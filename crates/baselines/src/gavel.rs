@@ -1,0 +1,532 @@
+//! Gavel (OSDI '20): heterogeneity-aware scheduling for rigid jobs.
+//!
+//! Gavel expresses scheduling as a continuous LP over a `(job, GPU type)`
+//! allocation matrix `X` (the fraction of time each job should spend on
+//! each GPU type) and realizes `X` with round-based time sharing: each
+//! round, `(job, type)` pairs are prioritized by `X_jg / f_jg` where `f_jg`
+//! is the fraction of time the job has actually received on that type so
+//! far. We use the `max-sum-throughput` policy, which the paper selects as
+//! Gavel's best-performing policy on these traces.
+//!
+//! Gavel does not adapt batch sizes or GPU counts: every job runs with its
+//! submitted (tuned) configuration. Time sharing means jobs are swapped
+//! between types and in/out of the cluster, paying checkpoint-restore
+//! overheads — the behaviour that collapses under newTrace congestion.
+
+use std::collections::BTreeMap;
+
+use sia_cluster::{ClusterSpec, GpuTypeId, JobId};
+use sia_sim::{AllocationMap, JobView, Scheduler};
+use sia_solver::{Problem, Sense};
+
+use crate::util::{point_for, rigid_demand, LooseFree};
+
+/// Gavel scheduling objective (the Gavel paper ships a family of policies;
+/// the Sia paper selects `max-sum-throughput` as the best-performing one on
+/// these traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GavelObjective {
+    /// Maximize total cluster throughput (the paper's choice).
+    #[default]
+    MaxSumThroughput,
+    /// Max-min fairness over normalized per-job throughput (water filling).
+    MaxMinFairness,
+    /// Max-min over completion *rates* (throughput / remaining work), an
+    /// LP analogue of Gavel's minimize-makespan policy.
+    MinMakespan,
+}
+
+/// Tunables for Gavel.
+#[derive(Debug, Clone)]
+pub struct GavelConfig {
+    /// Round duration, seconds (paper default for Gavel: 360 s).
+    pub round_duration: f64,
+    /// Which Gavel policy objective to optimize.
+    pub objective: GavelObjective,
+}
+
+impl Default for GavelConfig {
+    fn default() -> Self {
+        GavelConfig {
+            round_duration: 360.0,
+            objective: GavelObjective::MaxSumThroughput,
+        }
+    }
+}
+
+/// The Gavel scheduling policy.
+#[derive(Debug, Clone, Default)]
+pub struct GavelPolicy {
+    cfg: GavelConfig,
+    /// Seconds each job has run on each GPU type.
+    time_run: BTreeMap<JobId, Vec<f64>>,
+}
+
+impl GavelPolicy {
+    /// Creates Gavel with explicit configuration.
+    pub fn new(cfg: GavelConfig) -> Self {
+        GavelPolicy {
+            cfg,
+            time_run: BTreeMap::new(),
+        }
+    }
+
+    /// Solves the policy LP, returning `X[job][type]` time fractions.
+    ///
+    /// For `MaxSumThroughput`, objective coefficients are down-weighted by
+    /// each job's achieved time share, which realizes the time-sharing
+    /// behaviour of Gavel's round-based mechanism (without it, identical
+    /// jobs make the LP degenerate and an arbitrary vertex starves the rest
+    /// forever). The max-min objectives introduce an auxiliary epigraph
+    /// variable `z` with one `>=` row per job.
+    fn solve_lp(&self, jobs: &[JobView<'_>], spec: &ClusterSpec) -> BTreeMap<JobId, Vec<f64>> {
+        let n_types = spec.num_gpu_types();
+        let mut problem = Problem::new(Sense::Maximize);
+        let mut vars = Vec::new(); // (job idx, type idx, var, demand, throughput)
+        for (ji, view) in jobs.iter().enumerate() {
+            let demand = rigid_demand(view);
+            let achieved: f64 = self
+                .time_run
+                .get(&view.id)
+                .map(|r| r.iter().sum::<f64>() / view.age.max(self.cfg.round_duration))
+                .unwrap_or(0.0);
+            let share_weight = 1.0 / (0.25 + achieved);
+            for t in spec.gpu_types() {
+                if let Some(p) = point_for(view, spec, t, demand) {
+                    if p.throughput > 0.0 {
+                        let obj = match self.cfg.objective {
+                            GavelObjective::MaxSumThroughput => p.throughput * share_weight,
+                            _ => 0.0, // max-min objectives only maximize z
+                        };
+                        let v = problem.add_var(obj, 0.0, 1.0);
+                        vars.push((ji, t, v, demand, p.throughput));
+                    }
+                }
+            }
+        }
+        // Each job's total time fraction is at most 1.
+        for ji in 0..jobs.len() {
+            let row: Vec<_> = vars
+                .iter()
+                .filter(|&&(j, _, _, _, _)| j == ji)
+                .map(|&(_, _, v, _, _)| (v, 1.0))
+                .collect();
+            if !row.is_empty() {
+                problem.add_le(&row, 1.0);
+            }
+        }
+        // Expected GPU usage per type cannot exceed capacity.
+        for t in spec.gpu_types() {
+            let row: Vec<_> = vars
+                .iter()
+                .filter(|&&(_, vt, _, _, _)| vt == t)
+                .map(|&(_, _, v, d, _)| (v, d as f64))
+                .collect();
+            if !row.is_empty() {
+                problem.add_le(&row, spec.gpus_of_type(t) as f64);
+            }
+        }
+        // Epigraph rows for the max-min objectives.
+        if self.cfg.objective != GavelObjective::MaxSumThroughput {
+            let z = problem.add_var(1.0, 0.0, f64::INFINITY);
+            for (ji, view) in jobs.iter().enumerate() {
+                let norm = match self.cfg.objective {
+                    GavelObjective::MaxMinFairness => {
+                        // Normalize by the job's best single-type throughput.
+                        vars.iter()
+                            .filter(|&&(j, _, _, _, _)| j == ji)
+                            .map(|&(_, _, _, _, thr)| thr)
+                            .fold(0.0_f64, f64::max)
+                    }
+                    GavelObjective::MinMakespan => {
+                        // Normalize by remaining work: z becomes a lower
+                        // bound on every job's completion rate.
+                        ((1.0 - view.progress).max(1e-3) * view.spec.work_target).max(1.0)
+                    }
+                    GavelObjective::MaxSumThroughput => unreachable!(),
+                };
+                let mut row: Vec<_> = vars
+                    .iter()
+                    .filter(|&&(j, _, _, _, _)| j == ji)
+                    .map(|&(_, _, v, _, thr)| (v, thr / norm.max(1e-9)))
+                    .collect();
+                if row.is_empty() {
+                    continue;
+                }
+                row.push((z, -1.0));
+                problem.add_ge(&row, 0.0);
+            }
+        }
+        let mut x: BTreeMap<JobId, Vec<f64>> =
+            jobs.iter().map(|v| (v.id, vec![0.0; n_types])).collect();
+        if let Ok(sol) = problem.solve_lp() {
+            for &(ji, t, v, _, _) in &vars {
+                x.get_mut(&jobs[ji].id).expect("job present")[t.0] = sol.value(v);
+            }
+        }
+        x
+    }
+}
+
+impl Scheduler for GavelPolicy {
+    fn name(&self) -> &'static str {
+        "gavel"
+    }
+
+    fn round_duration(&self) -> f64 {
+        self.cfg.round_duration
+    }
+
+    fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+        let n_types = spec.num_gpu_types();
+
+        // Account the previous round's received time per type.
+        let live: Vec<JobId> = jobs.iter().map(|v| v.id).collect();
+        self.time_run.retain(|id, _| live.contains(id));
+        for view in jobs {
+            let entry = self
+                .time_run
+                .entry(view.id)
+                .or_insert_with(|| vec![0.0; n_types]);
+            if !view.current.is_empty() {
+                entry[view.current.gpu_type(spec).0] += self.cfg.round_duration;
+            }
+        }
+
+        let x = self.solve_lp(jobs, spec);
+
+        // Priorities: X_jg / f_jg with f the achieved time fraction.
+        let mut prio: Vec<(f64, usize, GpuTypeId)> = Vec::new();
+        for (ji, view) in jobs.iter().enumerate() {
+            let run = &self.time_run[&view.id];
+            let age = view.age.max(self.cfg.round_duration);
+            for t in spec.gpu_types() {
+                let target = x[&view.id][t.0];
+                if target <= 1e-6 {
+                    continue;
+                }
+                let achieved = run[t.0] / age;
+                prio.push((target / (achieved + 1e-3), ji, t));
+            }
+        }
+        prio.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut free = LooseFree::all_free(spec);
+        let mut out = AllocationMap::new();
+        for &(_, ji, t) in &prio {
+            let view = &jobs[ji];
+            if out.contains_key(&view.id) {
+                continue;
+            }
+            let demand = rigid_demand(view);
+            if let Some(p) = free.take(spec, t, demand) {
+                out.insert(view.id, p);
+            }
+        }
+        // Work conservation: fill leftovers with unassigned jobs on any type
+        // they can use.
+        for view in jobs {
+            if out.contains_key(&view.id) {
+                continue;
+            }
+            let demand = rigid_demand(view);
+            let mut best: Option<(f64, GpuTypeId)> = None;
+            for t in spec.gpu_types() {
+                if free.total_of_type(spec, t) < demand {
+                    continue;
+                }
+                if let Some(p) = point_for(view, spec, t, demand) {
+                    match best {
+                        Some((thr, _)) if thr >= p.throughput => {}
+                        _ => best = Some((p.throughput, t)),
+                    }
+                }
+            }
+            if let Some((_, t)) = best {
+                if let Some(p) = free.take(spec, t, demand) {
+                    out.insert(view.id, p);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_cluster::Placement;
+    use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
+    use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
+
+    fn params(speed: f64) -> ThroughputParams {
+        ThroughputParams {
+            alpha_c: 0.05 / speed,
+            beta_c: 0.002 / speed,
+            alpha_n: 0.02,
+            beta_n: 0.005,
+            alpha_d: 0.1,
+            beta_d: 0.02,
+            gamma: 2.5,
+            max_local_bsz: 256.0,
+        }
+    }
+
+    struct Fx {
+        specs: Vec<JobSpec>,
+        ests: Vec<JobEstimator>,
+        curs: Vec<Placement>,
+    }
+
+    impl Fx {
+        fn new(n: usize, demand: usize) -> Self {
+            let specs = (0..n as u64)
+                .map(|i| JobSpec {
+                    id: JobId(i),
+                    name: format!("j{i}"),
+                    model: ModelKind::ResNet18,
+                    category: SizeCategory::Small,
+                    submit_time: 0.0,
+                    adaptivity: Adaptivity::Rigid {
+                        batch_size: 512.0,
+                        num_gpus: demand,
+                    },
+                    min_gpus: 1,
+                    max_gpus: 64,
+                    work_target: 1e9,
+                })
+                .collect();
+            let ests = (0..n)
+                .map(|_| {
+                    JobEstimator::oracle(
+                        vec![params(1.0), params(1.8), params(4.0)],
+                        EfficiencyParams::new(2000.0, 128.0),
+                        BatchLimits::fixed(512.0),
+                    )
+                })
+                .collect();
+            Fx {
+                specs,
+                ests,
+                curs: vec![Placement::empty(); n],
+            }
+        }
+
+        fn views(&self) -> Vec<JobView<'_>> {
+            self.specs
+                .iter()
+                .zip(&self.ests)
+                .zip(&self.curs)
+                .map(|((spec, est), cur)| JobView {
+                    id: spec.id,
+                    spec,
+                    estimator: est,
+                    current: cur,
+                    age: 400.0,
+                    restarts: 0,
+                    restart_delay: 30.0,
+                    progress: 0.1,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn allocates_rigid_demand_exactly() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let fx = Fx::new(4, 4);
+        let mut gavel = GavelPolicy::default();
+        let out = gavel.schedule(0.0, &fx.views(), &spec);
+        assert_eq!(out.len(), 4);
+        for p in out.values() {
+            assert_eq!(p.total_gpus(), 4);
+        }
+    }
+
+    #[test]
+    fn respects_capacity_under_contention() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let fx = Fx::new(30, 4); // 120 GPUs demanded, 64 available
+        let mut gavel = GavelPolicy::default();
+        let out = gavel.schedule(0.0, &fx.views(), &spec);
+        let used: usize = out.values().map(|p| p.total_gpus()).sum();
+        assert!(used <= 64);
+        assert!(out.len() <= 16);
+        assert!(out.len() >= 14, "work conserving: got {}", out.len());
+    }
+
+    #[test]
+    fn time_sharing_rotates_starved_jobs_in() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let mut fx = Fx::new(30, 4);
+        let mut gavel = GavelPolicy::default();
+        let mut ever_allocated = std::collections::BTreeSet::new();
+        for _ in 0..12 {
+            let out = gavel.schedule(0.0, &fx.views(), &spec);
+            for (id, p) in &out {
+                ever_allocated.insert(*id);
+                let i = id.0 as usize;
+                fx.curs[i] = p.clone();
+            }
+            for (i, s) in fx.specs.iter().enumerate() {
+                if !out.contains_key(&s.id) {
+                    fx.curs[i] = Placement::empty();
+                }
+            }
+        }
+        assert!(
+            ever_allocated.len() >= 25,
+            "time sharing must rotate jobs: {}",
+            ever_allocated.len()
+        );
+    }
+
+    #[test]
+    fn single_job_gets_fastest_type() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let fx = Fx::new(1, 4);
+        let mut gavel = GavelPolicy::default();
+        let out = gavel.schedule(0.0, &fx.views(), &spec);
+        let p = &out[&JobId(0)];
+        let a100 = spec.gpu_type_by_name("a100").unwrap();
+        assert_eq!(p.gpu_type(&spec), a100);
+    }
+}
+
+#[cfg(test)]
+mod objective_tests {
+    use super::*;
+    use sia_cluster::Placement;
+    use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
+    use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
+
+    fn params(speed: f64) -> ThroughputParams {
+        ThroughputParams {
+            alpha_c: 0.05 / speed,
+            beta_c: 0.002 / speed,
+            alpha_n: 0.02,
+            beta_n: 0.005,
+            alpha_d: 0.1,
+            beta_d: 0.02,
+            gamma: 2.5,
+            max_local_bsz: 256.0,
+        }
+    }
+
+    struct Fx {
+        specs: Vec<JobSpec>,
+        ests: Vec<JobEstimator>,
+        curs: Vec<Placement>,
+        progress: Vec<f64>,
+    }
+
+    impl Fx {
+        fn new(n: usize, demand: usize) -> Self {
+            Fx {
+                specs: (0..n as u64)
+                    .map(|i| JobSpec {
+                        id: JobId(i),
+                        name: format!("j{i}"),
+                        model: ModelKind::ResNet18,
+                        category: SizeCategory::Small,
+                        submit_time: 0.0,
+                        adaptivity: Adaptivity::Rigid {
+                            batch_size: 512.0,
+                            num_gpus: demand,
+                        },
+                        min_gpus: 1,
+                        max_gpus: 64,
+                        work_target: 1e7,
+                    })
+                    .collect(),
+                ests: (0..n)
+                    .map(|_| {
+                        JobEstimator::oracle(
+                            vec![params(1.0), params(1.8), params(4.0)],
+                            EfficiencyParams::new(2000.0, 128.0),
+                            BatchLimits::fixed(512.0),
+                        )
+                    })
+                    .collect(),
+                curs: vec![Placement::empty(); n],
+                progress: vec![0.1; n],
+            }
+        }
+
+        fn views(&self) -> Vec<JobView<'_>> {
+            self.specs
+                .iter()
+                .zip(&self.ests)
+                .zip(self.curs.iter().zip(&self.progress))
+                .map(|((spec, est), (cur, &progress))| JobView {
+                    id: spec.id,
+                    spec,
+                    estimator: est,
+                    current: cur,
+                    age: 400.0,
+                    restarts: 0,
+                    restart_delay: 30.0,
+                    progress,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn max_min_fairness_spreads_shares() {
+        // 30 identical jobs, capacity 16 slots of 4 GPUs: under max-min,
+        // every job's LP share must be equal (16/30 each, up to tolerance).
+        let spec = ClusterSpec::heterogeneous_64();
+        let fx = Fx::new(30, 4);
+        let gavel = GavelPolicy::new(GavelConfig {
+            objective: GavelObjective::MaxMinFairness,
+            ..Default::default()
+        });
+        let x = gavel.solve_lp(&fx.views(), &spec);
+        let shares: Vec<f64> = x.values().map(|row| row.iter().sum::<f64>()).collect();
+        let min = shares.iter().cloned().fold(f64::INFINITY, f64::min);
+        // No job is starved under max-min fairness.
+        assert!(min > 0.2, "max-min must give everyone a share, min {min}");
+    }
+
+    #[test]
+    fn min_makespan_prioritizes_jobs_with_more_remaining_work() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let mut fx = Fx::new(20, 4);
+        // Job 0 is nearly done; job 1 has everything left.
+        fx.progress[0] = 0.99;
+        fx.progress[1] = 0.0;
+        let gavel = GavelPolicy::new(GavelConfig {
+            objective: GavelObjective::MinMakespan,
+            ..Default::default()
+        });
+        let x = gavel.solve_lp(&fx.views(), &spec);
+        let share = |i: u64| x[&JobId(i)].iter().sum::<f64>();
+        assert!(
+            share(1) > share(0),
+            "job with more remaining work should receive more time: {} vs {}",
+            share(1),
+            share(0)
+        );
+    }
+
+    #[test]
+    fn all_objectives_schedule_end_to_end() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let fx = Fx::new(10, 4);
+        for objective in [
+            GavelObjective::MaxSumThroughput,
+            GavelObjective::MaxMinFairness,
+            GavelObjective::MinMakespan,
+        ] {
+            let mut gavel = GavelPolicy::new(GavelConfig {
+                objective,
+                ..Default::default()
+            });
+            let out = gavel.schedule(0.0, &fx.views(), &spec);
+            assert!(!out.is_empty(), "{objective:?} allocated nothing");
+            let used: usize = out.values().map(|p| p.total_gpus()).sum();
+            assert!(used <= 64);
+        }
+    }
+}

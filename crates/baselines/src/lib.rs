@@ -1,0 +1,33 @@
+//! Baseline DL-cluster schedulers the Sia paper compares against.
+//!
+//! * [`pollux`] — Pollux (OSDI '21), the state-of-the-art *adaptivity-aware*
+//!   scheduler: per-job goodput models plus a genetic-algorithm search over
+//!   per-node GPU allocations. Heterogeneity-blind; extended for mixed
+//!   clusters exactly as §4.3 describes (virtual 4-GPU nodes + a
+//!   majority-type fix-up heuristic).
+//! * [`gavel`] — Gavel (OSDI '20), the state-of-the-art
+//!   *heterogeneity-aware* scheduler: a max-sum-throughput LP over
+//!   `(job, GPU type)` time fractions realized by round-based time sharing.
+//!   Jobs are rigid (TunedJobs).
+//! * [`shockwave`] — a faithful-in-spirit simplification of Shockwave
+//!   (NSDI '23): round-based planning for rigid jobs that balances
+//!   finish-time fairness with efficiency (see DESIGN.md for the
+//!   simplification note).
+//! * [`themis`] — Themis (NSDI '20) simplified: leximin finish-time-fairness
+//!   allocation for rigid jobs.
+//!
+//! All baselines implement [`sia_sim::Scheduler`] and run against the same
+//! simulator and estimators as Sia.
+
+#![forbid(unsafe_code)]
+
+pub mod gavel;
+pub mod pollux;
+pub mod shockwave;
+pub mod themis;
+pub mod util;
+
+pub use gavel::{GavelConfig, GavelObjective, GavelPolicy};
+pub use pollux::{PolluxConfig, PolluxPolicy};
+pub use shockwave::{ShockwaveConfig, ShockwavePolicy};
+pub use themis::{ThemisConfig, ThemisPolicy};

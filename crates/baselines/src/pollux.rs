@@ -1,0 +1,616 @@
+//! Pollux (OSDI '21): adaptivity-aware, heterogeneity-blind scheduling.
+//!
+//! Pollux co-adapts each job's GPU count and batch size using per-job
+//! goodput models, searching the space of per-node allocations with a
+//! genetic algorithm whose fitness is the `p`-mean of per-job speedups
+//! (`p = -1`). It assumes a homogeneous cluster; following §4.3 of the Sia
+//! paper, heterogeneous clusters are presented to it as uniform *virtual
+//! 4-GPU nodes*, and any job the GA spreads across several GPU types is
+//! fixed up afterwards by keeping only the majority type (ties broken
+//! toward the more powerful type) and idling the rest.
+//!
+//! The GA's work grows with `jobs × virtual nodes`, which is what makes
+//! Pollux's policy runtime blow up at large cluster sizes (Figure 9).
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sia_cluster::{ClusterSpec, GpuTypeId, JobId, Placement};
+use sia_models::AllocShape;
+use sia_sim::{AllocationMap, JobView, Scheduler};
+
+/// Virtual-node capacity Pollux sees (§4.3: 8-GPU nodes are presented as
+/// two virtual 4-GPU nodes).
+const VNODE_GPUS: usize = 4;
+
+/// Tunables for Pollux.
+#[derive(Debug, Clone)]
+pub struct PolluxConfig {
+    /// Round duration, seconds.
+    pub round_duration: f64,
+    /// Fairness power `p` of the speedup mean (paper default `-1`).
+    pub fairness_power: f64,
+    /// GA population size.
+    pub population: usize,
+    /// GA generations per round.
+    pub generations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PolluxConfig {
+    fn default() -> Self {
+        PolluxConfig {
+            round_duration: 60.0,
+            fairness_power: -1.0,
+            population: 32,
+            generations: 40,
+            seed: 0,
+        }
+    }
+}
+
+/// A virtual node: a slice of a physical node.
+#[derive(Debug, Clone, Copy)]
+struct VNode {
+    phys: usize,
+    gpus: usize,
+    gpu_type: GpuTypeId,
+}
+
+fn virtual_nodes(spec: &ClusterSpec) -> Vec<VNode> {
+    let mut out = Vec::new();
+    for n in spec.nodes() {
+        let mut left = n.num_gpus;
+        while left > 0 {
+            let g = left.min(VNODE_GPUS);
+            out.push(VNode {
+                phys: n.id,
+                gpus: g,
+                gpu_type: n.gpu_type,
+            });
+            left -= g;
+        }
+    }
+    out
+}
+
+/// Per-job speedup lookup tables (heterogeneity-blind).
+struct SpeedupTable {
+    /// `speedup[k]` for co-located `k` GPUs (index 0 unused).
+    local: Vec<f64>,
+    /// `speedup[k]` for distributed `k` GPUs.
+    dist: Vec<f64>,
+    max_gpus: usize,
+    restart_factor: f64,
+    current_key: Vec<usize>, // current GPUs per vnode, for change detection
+}
+
+/// The Pollux scheduling policy.
+pub struct PolluxPolicy {
+    cfg: PolluxConfig,
+    rng: ChaCha8Rng,
+    /// Speedup curves cached per job, keyed on `(estimator version, type)`.
+    curve_cache: BTreeMap<JobId, (u64, GpuTypeId, Vec<f64>, Vec<f64>)>,
+}
+
+impl Default for PolluxPolicy {
+    fn default() -> Self {
+        PolluxPolicy::new(PolluxConfig::default())
+    }
+}
+
+impl PolluxPolicy {
+    /// Creates Pollux with explicit configuration.
+    pub fn new(cfg: PolluxConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        PolluxPolicy {
+            cfg,
+            rng,
+            curve_cache: BTreeMap::new(),
+        }
+    }
+
+    /// Builds the per-job speedup tables. Pollux is heterogeneity-blind: it
+    /// evaluates each job's goodput model for the GPU type the job currently
+    /// runs on (its measurements come from there), falling back to the
+    /// cluster's most common type.
+    fn speedup_tables(
+        &mut self,
+        jobs: &[JobView<'_>],
+        spec: &ClusterSpec,
+        vnodes: &[VNode],
+    ) -> Vec<SpeedupTable> {
+        let live: std::collections::BTreeSet<JobId> = jobs.iter().map(|v| v.id).collect();
+        self.curve_cache.retain(|id, _| live.contains(id));
+        let default_type = spec
+            .gpu_types()
+            .max_by_key(|&t| spec.gpus_of_type(t))
+            .expect("non-empty cluster");
+        jobs.iter()
+            .map(|view| {
+                let t = if view.current.is_empty() {
+                    default_type
+                } else {
+                    view.current.gpu_type(spec)
+                };
+                let max_gpus = view.spec.max_gpus.min(spec.total_gpus()).max(1);
+                let version = view.estimator.version();
+                let (local, dist) = match self.curve_cache.get(&view.id) {
+                    Some((v, ct, l, d)) if *v == version && *ct == t && l.len() == max_gpus + 1 => {
+                        (l.clone(), d.clone())
+                    }
+                    _ => {
+                        let base = view
+                            .estimator
+                            .estimate(t, AllocShape::single())
+                            .map(|p| p.goodput)
+                            .unwrap_or(0.0);
+                        let mut local = vec![0.0; max_gpus + 1];
+                        let mut dist = vec![0.0; max_gpus + 1];
+                        if base > 0.0 {
+                            for k in 1..=max_gpus {
+                                let lshape = if k == 1 {
+                                    AllocShape::single()
+                                } else {
+                                    AllocShape::local(k)
+                                };
+                                local[k] = view
+                                    .estimator
+                                    .estimate(t, lshape)
+                                    .map(|p| p.goodput / base)
+                                    .unwrap_or(0.0);
+                                let dshape = if k == 1 {
+                                    AllocShape::single()
+                                } else {
+                                    AllocShape::dist(k)
+                                };
+                                dist[k] = view
+                                    .estimator
+                                    .estimate(t, dshape)
+                                    .map(|p| p.goodput / base)
+                                    .unwrap_or(0.0);
+                            }
+                        }
+                        self.curve_cache
+                            .insert(view.id, (version, t, local.clone(), dist.clone()));
+                        (local, dist)
+                    }
+                };
+                let mut current_key = vec![0usize; vnodes.len()];
+                for &(node, g) in &view.current.slots {
+                    // Attribute physical GPUs to that node's first vnodes.
+                    let mut left = g;
+                    for (vi, v) in vnodes.iter().enumerate() {
+                        if v.phys == node && left > 0 {
+                            let take = left.min(v.gpus);
+                            current_key[vi] += take;
+                            left -= take;
+                        }
+                    }
+                }
+                SpeedupTable {
+                    local,
+                    dist,
+                    max_gpus,
+                    restart_factor: view.restart_factor(),
+                    current_key,
+                }
+            })
+            .collect()
+    }
+
+    /// GA fitness: the `p`-mean of per-job speedups.
+    fn fitness(&self, ind: &[u8], tables: &[SpeedupTable], n_vnodes: usize) -> f64 {
+        let p = self.cfg.fairness_power;
+        let mut acc = 0.0;
+        let n_jobs = tables.len();
+        for (ji, table) in tables.iter().enumerate() {
+            let row = &ind[ji * n_vnodes..(ji + 1) * n_vnodes];
+            let mut k = 0usize;
+            let mut nodes = 0usize;
+            let mut changed = false;
+            for (vi, &g) in row.iter().enumerate() {
+                let g = g as usize;
+                if g > 0 {
+                    k += g;
+                    nodes += 1;
+                }
+                if g != table.current_key[vi] {
+                    changed = true;
+                }
+            }
+            let mut speedup = if k == 0 || k > table.max_gpus {
+                1e-3
+            } else if nodes > 1 {
+                table.dist[k].max(1e-3)
+            } else {
+                table.local[k].max(1e-3)
+            };
+            if changed {
+                // Age-based reallocation discount (Eq. 3 form); the
+                // post-GA hysteresis filter handles mature-job churn.
+                let r = table.restart_factor.max(1e-3);
+                speedup *= r;
+            }
+            acc += speedup.powf(p);
+        }
+        let mean = acc / n_jobs as f64;
+        mean.powf(1.0 / p)
+    }
+
+    /// Clamps an individual to node capacities and per-job GPU limits.
+    fn repair(&mut self, ind: &mut [u8], tables: &[SpeedupTable], vnodes: &[VNode]) {
+        let n_vnodes = vnodes.len();
+        let n_jobs = tables.len();
+        // Per-job max.
+        for (ji, table) in tables.iter().enumerate() {
+            let row = &mut ind[ji * n_vnodes..(ji + 1) * n_vnodes];
+            for (vi, g) in row.iter_mut().enumerate() {
+                *g = (*g).min(vnodes[vi].gpus as u8);
+            }
+            let mut total: usize = row.iter().map(|&g| g as usize).sum();
+            while total > table.max_gpus {
+                let vi = self.rng.random_range(0..n_vnodes);
+                if row[vi] > 0 {
+                    row[vi] -= 1;
+                    total -= 1;
+                }
+            }
+        }
+        // Per-vnode capacity.
+        for vi in 0..n_vnodes {
+            let mut used: usize = (0..n_jobs).map(|ji| ind[ji * n_vnodes + vi] as usize).sum();
+            while used > vnodes[vi].gpus {
+                let ji = self.rng.random_range(0..n_jobs);
+                let cell = &mut ind[ji * n_vnodes + vi];
+                if *cell > 0 {
+                    *cell -= 1;
+                    used -= 1;
+                }
+            }
+        }
+    }
+
+    /// Converts the best individual into physical placements with the
+    /// majority-type fix-up of §4.3. When a job's fixed-up GPU count and
+    /// type match its current allocation, the current physical placement is
+    /// kept verbatim (Pollux keeps placements when counts do not change).
+    fn to_placements(
+        &self,
+        ind: &[u8],
+        jobs: &[JobView<'_>],
+        spec: &ClusterSpec,
+        vnodes: &[VNode],
+        tables: &[SpeedupTable],
+    ) -> AllocationMap {
+        let n_vnodes = vnodes.len();
+        let mut out = AllocationMap::new();
+        let mut used: Vec<usize> = vec![0; spec.nodes().len()];
+        let mut deferred: Vec<(usize, GpuTypeId, usize)> = Vec::new(); // (job idx, type, gpus)
+        for (ji, view) in jobs.iter().enumerate() {
+            let row = &ind[ji * n_vnodes..(ji + 1) * n_vnodes];
+            // GPUs per type.
+            let mut per_type: BTreeMap<GpuTypeId, usize> = BTreeMap::new();
+            for (vi, &g) in row.iter().enumerate() {
+                if g > 0 {
+                    *per_type.entry(vnodes[vi].gpu_type).or_default() += g as usize;
+                }
+            }
+            if per_type.is_empty() {
+                continue;
+            }
+            // Majority type; ties toward higher power rank.
+            let keep = *per_type
+                .iter()
+                .max_by_key(|(t, &g)| (g, spec.kind(**t).power_rank))
+                .map(|(t, _)| t)
+                .expect("non-empty");
+            let mut want = per_type[&keep];
+            // Per-job hysteresis: only adopt a different (count, type) when
+            // the GA's choice improves this job's own discounted speedup by
+            // a real margin. Without this filter, random repair noise under
+            // contention reshuffles mature jobs every round.
+            if !view.current.is_empty() {
+                let cur_gpus = view.current.total_gpus();
+                let cur_type = view.current.gpu_type(spec);
+                if keep != cur_type || want != cur_gpus {
+                    let table = &tables[ji];
+                    let lookup = |k: usize, distributed: bool| -> f64 {
+                        if k == 0 || k > table.max_gpus {
+                            1e-3
+                        } else if distributed {
+                            table.dist[k].max(1e-3)
+                        } else {
+                            table.local[k].max(1e-3)
+                        }
+                    };
+                    let r = spec.gpus_per_node_of_type(cur_type);
+                    let cur_speed = lookup(cur_gpus, cur_gpus > r);
+                    let new_r = spec.gpus_per_node_of_type(keep);
+                    let new_speed = lookup(want, want > new_r);
+                    if new_speed < cur_speed * 1.02 {
+                        // Not worth a restart: keep the current allocation.
+                        for &(node, g) in &view.current.slots {
+                            used[node] += g;
+                        }
+                        out.insert(view.id, view.current.clone());
+                        continue;
+                    }
+                }
+            }
+            // Placement stability: same type and count -> keep placement.
+            if !view.current.is_empty()
+                && view.current.gpu_type(spec) == keep
+                && view.current.total_gpus() == want
+            {
+                let mut fits = true;
+                for &(node, g) in &view.current.slots {
+                    if used[node] + g > spec.nodes()[node].num_gpus {
+                        fits = false;
+                        break;
+                    }
+                }
+                if fits {
+                    for &(node, g) in &view.current.slots {
+                        used[node] += g;
+                    }
+                    out.insert(view.id, view.current.clone());
+                } else {
+                    deferred.push((ji, keep, want));
+                }
+            } else {
+                let _ = &mut want;
+                deferred.push((ji, keep, want));
+            }
+        }
+        // Place the moved/new jobs into the remaining capacity.
+        for (ji, t, want) in deferred {
+            let view = &jobs[ji];
+            let mut remaining = want;
+            let mut slots: BTreeMap<usize, usize> = BTreeMap::new();
+            let mut nodes: Vec<usize> = spec
+                .nodes_of_type(t)
+                .map(|n| n.id)
+                .filter(|&id| spec.nodes()[id].num_gpus > used[id])
+                .collect();
+            nodes.sort_by_key(|&id| std::cmp::Reverse(spec.nodes()[id].num_gpus - used[id]));
+            for id in nodes {
+                if remaining == 0 {
+                    break;
+                }
+                let free = spec.nodes()[id].num_gpus - used[id];
+                let take = free.min(remaining);
+                if take > 0 {
+                    *slots.entry(id).or_default() += take;
+                    used[id] += take;
+                    remaining -= take;
+                }
+            }
+            if !slots.is_empty() {
+                out.insert(view.id, Placement::new(slots.into_iter().collect()));
+            }
+        }
+        out
+    }
+}
+
+impl Scheduler for PolluxPolicy {
+    fn name(&self) -> &'static str {
+        "pollux"
+    }
+
+    fn round_duration(&self) -> f64 {
+        self.cfg.round_duration
+    }
+
+    fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+        if jobs.is_empty() {
+            return AllocationMap::new();
+        }
+        let vnodes = virtual_nodes(spec);
+        let n_vnodes = vnodes.len();
+        let n_jobs = jobs.len();
+        // The real GA iterates until convergence; the search space grows
+        // with the cluster, so the generation budget scales with it.
+        let generations = self.cfg.generations.max(n_vnodes);
+        let tables = self.speedup_tables(jobs, spec, &vnodes);
+
+        // Seed population: the current allocation plus random perturbations.
+        let genome_len = n_jobs * n_vnodes;
+        let mut current: Vec<u8> = vec![0; genome_len];
+        for (ji, table) in tables.iter().enumerate() {
+            for (vi, &g) in table.current_key.iter().enumerate() {
+                current[ji * n_vnodes + vi] = g as u8;
+            }
+        }
+        let mut population: Vec<(Vec<u8>, f64)> = Vec::with_capacity(self.cfg.population);
+        let cur_fit = self.fitness(&current, &tables, n_vnodes);
+        population.push((current.clone(), cur_fit));
+        while population.len() < self.cfg.population {
+            let mut ind = current.clone();
+            // Random perturbation: a handful of cell edits.
+            for _ in 0..(1 + genome_len / 16) {
+                let pos = self.rng.random_range(0..genome_len);
+                ind[pos] = self.rng.random_range(0..=VNODE_GPUS as u8);
+            }
+            self.repair(&mut ind, &tables, &vnodes);
+            let f = self.fitness(&ind, &tables, n_vnodes);
+            population.push((ind, f));
+        }
+
+        for _gen in 0..generations {
+            population.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            population.truncate(self.cfg.population / 2);
+            let elite = population.len();
+            while population.len() < self.cfg.population {
+                let pa = self.rng.random_range(0..elite);
+                let pb = self.rng.random_range(0..elite);
+                let mut child = vec![0u8; genome_len];
+                for ji in 0..n_jobs {
+                    let src = if self.rng.random::<bool>() { pa } else { pb };
+                    let row = &population[src].0[ji * n_vnodes..(ji + 1) * n_vnodes];
+                    child[ji * n_vnodes..(ji + 1) * n_vnodes].copy_from_slice(row);
+                }
+                // Mutation (sparse: a few cell edits per child).
+                for _ in 0..(1 + genome_len / 64) {
+                    let pos = self.rng.random_range(0..genome_len);
+                    child[pos] = self.rng.random_range(0..=VNODE_GPUS as u8);
+                }
+                self.repair(&mut child, &tables, &vnodes);
+                let f = self.fitness(&child, &tables, n_vnodes);
+                population.push((child, f));
+            }
+        }
+        population.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best = &population[0].0;
+        self.to_placements(best, jobs, spec, &vnodes, &tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
+    use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
+
+    fn params(speed: f64) -> ThroughputParams {
+        ThroughputParams {
+            alpha_c: 0.05 / speed,
+            beta_c: 0.002 / speed,
+            alpha_n: 0.02,
+            beta_n: 0.005,
+            alpha_d: 0.1,
+            beta_d: 0.02,
+            gamma: 2.5,
+            max_local_bsz: 256.0,
+        }
+    }
+
+    struct Fx {
+        specs: Vec<JobSpec>,
+        ests: Vec<JobEstimator>,
+        curs: Vec<Placement>,
+    }
+
+    impl Fx {
+        fn new(n: usize, n_types: usize) -> Self {
+            let specs = (0..n as u64)
+                .map(|i| JobSpec {
+                    id: JobId(i),
+                    name: format!("j{i}"),
+                    model: ModelKind::ResNet18,
+                    category: SizeCategory::Small,
+                    submit_time: 0.0,
+                    adaptivity: Adaptivity::Adaptive,
+                    min_gpus: 1,
+                    max_gpus: 16,
+                    work_target: 1e9,
+                })
+                .collect();
+            let speeds = [1.0, 1.8, 4.0];
+            let ests = (0..n)
+                .map(|_| {
+                    JobEstimator::oracle(
+                        speeds[..n_types].iter().map(|&s| params(s)).collect(),
+                        EfficiencyParams::new(4000.0, 128.0),
+                        BatchLimits::new(128.0, 8192.0),
+                    )
+                })
+                .collect();
+            Fx {
+                specs,
+                ests,
+                curs: vec![Placement::empty(); n],
+            }
+        }
+
+        fn views(&self) -> Vec<JobView<'_>> {
+            self.specs
+                .iter()
+                .zip(&self.ests)
+                .zip(&self.curs)
+                .map(|((spec, est), cur)| JobView {
+                    id: spec.id,
+                    spec,
+                    estimator: est,
+                    current: cur,
+                    age: 300.0,
+                    restarts: 0,
+                    restart_delay: 30.0,
+                    progress: 0.1,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_split_8gpu_nodes() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let vn = virtual_nodes(&spec);
+        // 6 t4 nodes (4 GPUs = 1 vnode) + 3 rtx (8 = 2 vnodes) + 2 a100 (2
+        // vnodes each) = 6 + 6 + 4 = 16 vnodes.
+        assert_eq!(vn.len(), 16);
+        assert!(vn.iter().all(|v| v.gpus <= VNODE_GPUS));
+        let total: usize = vn.iter().map(|v| v.gpus).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn allocates_every_job_when_capacity_allows() {
+        let spec = ClusterSpec::homogeneous_64();
+        let fx = Fx::new(8, 1);
+        let mut pollux = PolluxPolicy::default();
+        let out = pollux.schedule(0.0, &fx.views(), &spec);
+        // The harmonic-mean fitness tanks when any job is starved, so all 8
+        // jobs must get GPUs on a 64-GPU cluster.
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let fx = Fx::new(40, 3);
+        let mut pollux = PolluxPolicy::default();
+        let out = pollux.schedule(0.0, &fx.views(), &spec);
+        let mut used = vec![0usize; spec.nodes().len()];
+        for p in out.values() {
+            for &(node, g) in &p.slots {
+                used[node] += g;
+            }
+        }
+        for (n, &u) in used.iter().enumerate() {
+            assert!(u <= spec.nodes()[n].num_gpus, "node {n} over-committed");
+        }
+    }
+
+    #[test]
+    fn placements_are_single_type_after_fixup() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let fx = Fx::new(12, 3);
+        let mut pollux = PolluxPolicy::default();
+        let out = pollux.schedule(0.0, &fx.views(), &spec);
+        for p in out.values() {
+            assert!(p.is_single_type(&spec), "fix-up must strip minority types");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = ClusterSpec::homogeneous_64();
+        let fx = Fx::new(6, 1);
+        let mut pa = PolluxPolicy::new(PolluxConfig {
+            seed: 3,
+            ..Default::default()
+        });
+        let mut pb = PolluxPolicy::new(PolluxConfig {
+            seed: 3,
+            ..Default::default()
+        });
+        let a = pa.schedule(0.0, &fx.views(), &spec);
+        let b = pb.schedule(0.0, &fx.views(), &spec);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,206 @@
+//! Themis (NSDI '20), simplified: leximin finish-time fairness for rigid
+//! jobs.
+//!
+//! Themis repeatedly offers resources to the currently worst-off jobs by
+//! finish-time-fairness ratio `rho` (a partial-allocation auction in the
+//! original; a greedy worst-first allocation here — see DESIGN.md). It is
+//! heterogeneity-unaware and lease-based: every round the auction runs
+//! afresh, so allocations churn, and it never adapts batch size or GPU
+//! count.
+
+use sia_cluster::ClusterSpec;
+use sia_sim::{AllocationMap, JobView, Scheduler};
+
+use crate::shockwave::ftf_deficit;
+use crate::util::{rigid_demand, LooseFree};
+
+/// Tunables for the simplified Themis.
+#[derive(Debug, Clone)]
+pub struct ThemisConfig {
+    /// Round (lease) duration, seconds.
+    pub round_duration: f64,
+}
+
+impl Default for ThemisConfig {
+    fn default() -> Self {
+        ThemisConfig {
+            round_duration: 360.0,
+        }
+    }
+}
+
+/// The simplified Themis policy.
+#[derive(Debug, Clone, Default)]
+pub struct ThemisPolicy {
+    cfg: ThemisConfig,
+    /// Round counter used to rotate type preference (het-unaware).
+    counter: u64,
+}
+
+impl ThemisPolicy {
+    /// Creates the policy with explicit configuration.
+    pub fn new(cfg: ThemisConfig) -> Self {
+        ThemisPolicy { cfg, counter: 0 }
+    }
+}
+
+impl Scheduler for ThemisPolicy {
+    fn name(&self) -> &'static str {
+        "themis"
+    }
+
+    fn round_duration(&self) -> f64 {
+        self.cfg.round_duration
+    }
+
+    fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+        self.counter += 1;
+        // Worst-off first (largest rho).
+        let mut order: Vec<(f64, usize)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ftf_deficit(v, spec), i))
+            .collect();
+        order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let n_types = spec.num_gpu_types();
+        let mut free = LooseFree::all_free(spec);
+        let mut out = AllocationMap::new();
+        for (rank, &(_, i)) in order.iter().enumerate() {
+            let view = &jobs[i];
+            let demand = rigid_demand(view);
+            // Heterogeneity-unaware: rotate through types so no job class
+            // monopolizes a type; take the first with capacity.
+            let start = (self.counter as usize + rank) % n_types;
+            for k in 0..n_types {
+                let t = sia_cluster::GpuTypeId((start + k) % n_types);
+                if view.gpus_per_replica(spec, t) != Some(1)
+                    && view.gpus_per_replica(spec, t).is_none()
+                {
+                    continue;
+                }
+                if let Some(p) = free.take(spec, t, demand) {
+                    out.insert(view.id, p);
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_cluster::{JobId, Placement};
+    use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
+    use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
+
+    fn params(speed: f64) -> ThroughputParams {
+        ThroughputParams {
+            alpha_c: 0.05 / speed,
+            beta_c: 0.002 / speed,
+            alpha_n: 0.02,
+            beta_n: 0.005,
+            alpha_d: 0.1,
+            beta_d: 0.02,
+            gamma: 2.5,
+            max_local_bsz: 256.0,
+        }
+    }
+
+    struct Fx {
+        specs: Vec<JobSpec>,
+        ests: Vec<JobEstimator>,
+        curs: Vec<Placement>,
+        ages: Vec<f64>,
+    }
+
+    impl Fx {
+        fn new(n: usize, demand: usize) -> Self {
+            let specs = (0..n as u64)
+                .map(|i| JobSpec {
+                    id: JobId(i),
+                    name: format!("j{i}"),
+                    model: ModelKind::ResNet18,
+                    category: SizeCategory::Small,
+                    submit_time: 0.0,
+                    adaptivity: Adaptivity::Rigid {
+                        batch_size: 512.0,
+                        num_gpus: demand,
+                    },
+                    min_gpus: 1,
+                    max_gpus: 64,
+                    work_target: 1e7,
+                })
+                .collect();
+            let ests = (0..n)
+                .map(|_| {
+                    JobEstimator::oracle(
+                        vec![params(1.0), params(1.8), params(4.0)],
+                        EfficiencyParams::new(2000.0, 128.0),
+                        BatchLimits::fixed(512.0),
+                    )
+                })
+                .collect();
+            Fx {
+                specs,
+                ests,
+                curs: vec![Placement::empty(); n],
+                ages: vec![300.0; n],
+            }
+        }
+
+        fn views(&self) -> Vec<JobView<'_>> {
+            self.specs
+                .iter()
+                .zip(&self.ests)
+                .zip(self.curs.iter().zip(&self.ages))
+                .map(|((spec, est), (cur, &age))| JobView {
+                    id: spec.id,
+                    spec,
+                    estimator: est,
+                    current: cur,
+                    age,
+                    restarts: 0,
+                    restart_delay: 30.0,
+                    progress: 0.1,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn worst_off_job_allocated_first() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let mut fx = Fx::new(20, 8); // only 8 jobs fit
+        fx.ages[13] = 80_000.0;
+        let mut themis = ThemisPolicy::default();
+        let out = themis.schedule(0.0, &fx.views(), &spec);
+        assert!(out.contains_key(&JobId(13)));
+        let used: usize = out.values().map(|p| p.total_gpus()).sum();
+        assert!(used <= 64);
+    }
+
+    #[test]
+    fn packs_cluster_fully_when_demands_fit() {
+        let spec = ClusterSpec::homogeneous_64();
+        let fx = Fx::new(16, 4);
+        let mut themis = ThemisPolicy::default();
+        let out = themis.schedule(0.0, &fx.views(), &spec);
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn rotation_varies_type_assignment() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let fx = Fx::new(1, 4);
+        let mut themis = ThemisPolicy::default();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..6 {
+            let out = themis.schedule(0.0, &fx.views(), &spec);
+            seen.insert(out[&JobId(0)].gpu_type(&spec));
+        }
+        assert!(seen.len() >= 2, "het-unaware rotation must vary the type");
+    }
+}

@@ -1,0 +1,210 @@
+//! Shared helpers for baseline schedulers.
+
+use sia_cluster::{ClusterSpec, GpuTypeId, Placement};
+use sia_models::{AllocShape, GoodputPoint};
+use sia_sim::JobView;
+
+/// Free-GPU tracking with baseline-style (unrestricted) placement: GPUs may
+/// be taken from any nodes of a type, splitting allocations arbitrarily.
+/// Baselines do not follow Sia's placement rules.
+#[derive(Debug, Clone)]
+pub struct LooseFree {
+    free: Vec<usize>,
+}
+
+impl LooseFree {
+    /// All GPUs free.
+    pub fn all_free(spec: &ClusterSpec) -> Self {
+        LooseFree {
+            free: spec.nodes().iter().map(|n| n.num_gpus).collect(),
+        }
+    }
+
+    /// Total free GPUs of a type.
+    pub fn total_of_type(&self, spec: &ClusterSpec, t: GpuTypeId) -> usize {
+        spec.nodes_of_type(t).map(|n| self.free[n.id]).sum()
+    }
+
+    /// Takes `n` GPUs from one specific node, or `None` (unmutated) if the
+    /// node lacks them.
+    pub fn take_on_node(&mut self, node: usize, n: usize) -> Option<()> {
+        if self.free[node] >= n {
+            self.free[node] -= n;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Takes `n` GPUs of type `t` greedily (fullest nodes first to limit
+    /// fragmentation), splitting across nodes as needed. Returns `None`
+    /// without mutating when capacity is insufficient.
+    pub fn take(&mut self, spec: &ClusterSpec, t: GpuTypeId, n: usize) -> Option<Placement> {
+        if n == 0 || self.total_of_type(spec, t) < n {
+            return None;
+        }
+        let mut nodes: Vec<usize> = spec
+            .nodes_of_type(t)
+            .filter(|nd| self.free[nd.id] > 0)
+            .map(|nd| nd.id)
+            .collect();
+        // Prefer nodes that can hold the whole remainder; otherwise drain
+        // the fullest nodes first.
+        nodes.sort_by_key(|&id| std::cmp::Reverse(self.free[id]));
+        let mut remaining = n;
+        let mut slots = Vec::new();
+        for id in nodes {
+            if remaining == 0 {
+                break;
+            }
+            let take = self.free[id].min(remaining);
+            self.free[id] -= take;
+            slots.push((id, take));
+            remaining -= take;
+        }
+        debug_assert_eq!(remaining, 0);
+        Some(Placement::new(slots))
+    }
+}
+
+/// Evaluates a job's operating point for `n` GPUs of type `t`, deriving the
+/// allocation shape from the cluster's per-node GPU count.
+pub fn point_for(
+    view: &JobView<'_>,
+    spec: &ClusterSpec,
+    t: GpuTypeId,
+    n: usize,
+) -> Option<GoodputPoint> {
+    if n == 0 {
+        return None;
+    }
+    let per = view.gpus_per_replica(spec, t)?;
+    if !n.is_multiple_of(per) {
+        return None;
+    }
+    let replicas = n / per;
+    let r = spec.gpus_per_node_of_type(t);
+    let shape = if replicas == 1 {
+        AllocShape::single()
+    } else if n <= r {
+        AllocShape::local(replicas)
+    } else {
+        AllocShape::dist(replicas)
+    };
+    view.estimator.estimate(t, shape)
+}
+
+/// The GPU type a job currently runs on, if any.
+pub fn current_type(view: &JobView<'_>, spec: &ClusterSpec) -> Option<GpuTypeId> {
+    if view.current.is_empty() {
+        None
+    } else {
+        Some(view.current.gpu_type(spec))
+    }
+}
+
+/// The rigid `(batch, GPU count)` of a job, falling back to `(min batch,
+/// 1 GPU)` for non-rigid jobs handed to an inelastic scheduler.
+pub fn rigid_demand(view: &JobView<'_>) -> usize {
+    match view.spec.adaptivity {
+        sia_workloads::Adaptivity::Rigid { num_gpus, .. } => num_gpus,
+        _ => view.spec.min_gpus.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loose_take_splits_across_nodes() {
+        let spec = ClusterSpec::homogeneous_64(); // 16 nodes x 4 GPUs
+        let t = GpuTypeId(0);
+        let mut free = LooseFree::all_free(&spec);
+        let p = free.take(&spec, t, 10).unwrap();
+        assert_eq!(p.total_gpus(), 10);
+        assert!(p.num_nodes() >= 3);
+        assert_eq!(free.total_of_type(&spec, t), 54);
+    }
+
+    #[test]
+    fn loose_take_fails_without_capacity() {
+        let spec = ClusterSpec::homogeneous_64();
+        let t = GpuTypeId(0);
+        let mut free = LooseFree::all_free(&spec);
+        assert!(free.take(&spec, t, 65).is_none());
+        assert_eq!(free.total_of_type(&spec, t), 64); // unchanged
+    }
+
+    #[test]
+    fn loose_take_prefers_full_nodes() {
+        let spec = ClusterSpec::homogeneous_64();
+        let t = GpuTypeId(0);
+        let mut free = LooseFree::all_free(&spec);
+        free.take(&spec, t, 2).unwrap(); // fragments one node
+        let p = free.take(&spec, t, 4).unwrap();
+        assert_eq!(p.num_nodes(), 1, "whole allocation on one full node");
+    }
+}
+
+#[cfg(test)]
+mod current_type_tests {
+    use super::*;
+    use sia_cluster::JobId;
+    use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
+    use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
+
+    #[test]
+    fn current_type_tracks_placement() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let job = JobSpec {
+            id: JobId(0),
+            name: "j".into(),
+            model: ModelKind::ResNet18,
+            category: SizeCategory::Small,
+            submit_time: 0.0,
+            adaptivity: Adaptivity::Adaptive,
+            min_gpus: 1,
+            max_gpus: 8,
+            work_target: 1.0,
+        };
+        let est = JobEstimator::oracle(
+            vec![
+                ThroughputParams {
+                    alpha_c: 0.1,
+                    beta_c: 0.01,
+                    alpha_n: 0.0,
+                    beta_n: 0.0,
+                    alpha_d: 0.0,
+                    beta_d: 0.0,
+                    gamma: 1.0,
+                    max_local_bsz: 64.0,
+                };
+                3
+            ],
+            EfficiencyParams::new(10.0, 8.0),
+            BatchLimits::new(8.0, 64.0),
+        );
+        let queued = Placement::empty();
+        let view = JobView {
+            id: job.id,
+            spec: &job,
+            estimator: &est,
+            current: &queued,
+            age: 0.0,
+            restarts: 0,
+            restart_delay: 25.0,
+            progress: 0.0,
+        };
+        assert_eq!(current_type(&view, &spec), None);
+        let running = Placement::new(vec![(0, 2)]); // node 0 is t4
+        let view = JobView {
+            current: &running,
+            ..view
+        };
+        assert_eq!(
+            current_type(&view, &spec),
+            spec.gpu_type_by_name("t4")
+        );
+    }
+}

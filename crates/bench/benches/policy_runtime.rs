@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks of per-round policy runtime (§5.6).
+//!
+//! Benchmarks one `schedule()` call for Sia, Pollux and Gavel against
+//! synthetic steady-state job populations on 64- and 256-GPU heterogeneous
+//! clusters. The paper reports Sia at ~96 ms median on 64 GPUs (Python/
+//! GLPK); this Rust implementation is expected to be far faster in absolute
+//! terms while preserving the ordering Gavel < Sia << Pollux.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sia_baselines::{GavelPolicy, PolluxPolicy};
+use sia_cluster::{ClusterSpec, JobId, Placement};
+use sia_core::SiaPolicy;
+use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
+use sia_sim::{JobView, Scheduler};
+use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
+
+fn params(speed: f64) -> ThroughputParams {
+    ThroughputParams {
+        alpha_c: 0.05 / speed,
+        beta_c: 0.002 / speed,
+        alpha_n: 0.02,
+        beta_n: 0.005,
+        alpha_d: 0.1,
+        beta_d: 0.02,
+        gamma: 2.5,
+        max_local_bsz: 256.0,
+    }
+}
+
+struct Fixture {
+    specs: Vec<JobSpec>,
+    ests: Vec<JobEstimator>,
+    curs: Vec<Placement>,
+}
+
+impl Fixture {
+    fn new(n_jobs: usize, rigid: bool) -> Self {
+        let specs = (0..n_jobs as u64)
+            .map(|i| JobSpec {
+                id: JobId(i),
+                name: format!("j{i}"),
+                model: ModelKind::ResNet18,
+                category: SizeCategory::Small,
+                submit_time: 0.0,
+                adaptivity: if rigid {
+                    Adaptivity::Rigid {
+                        batch_size: 512.0,
+                        num_gpus: 1 + (i as usize % 4),
+                    }
+                } else {
+                    Adaptivity::Adaptive
+                },
+                min_gpus: 1,
+                max_gpus: 16,
+                work_target: 1e9,
+            })
+            .collect();
+        let ests = (0..n_jobs)
+            .map(|_| {
+                JobEstimator::oracle(
+                    vec![params(1.0), params(1.8), params(4.0)],
+                    EfficiencyParams::new(4000.0, 128.0),
+                    if rigid {
+                        BatchLimits::fixed(512.0)
+                    } else {
+                        BatchLimits::new(128.0, 8192.0)
+                    },
+                )
+            })
+            .collect();
+        Fixture {
+            specs,
+            ests,
+            curs: vec![Placement::empty(); n_jobs],
+        }
+    }
+
+    fn views(&self) -> Vec<JobView<'_>> {
+        self.specs
+            .iter()
+            .zip(&self.ests)
+            .zip(&self.curs)
+            .map(|((spec, est), cur)| JobView {
+                id: spec.id,
+                spec,
+                estimator: est,
+                current: cur,
+                age: 600.0,
+                restarts: 1,
+                restart_delay: 30.0,
+                progress: 0.2,
+            })
+            .collect()
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_round");
+    group.sample_size(10);
+    for factor in [1usize, 4] {
+        let cluster = ClusterSpec::heterogeneous_scaled(factor);
+        let n_jobs = 20 * factor;
+        let adaptive = Fixture::new(n_jobs, false);
+        let rigid = Fixture::new(n_jobs, true);
+        let gpus = 64 * factor;
+
+        group.bench_function(BenchmarkId::new("sia", gpus), |b| {
+            b.iter_batched(
+                || SiaPolicy::default(),
+                |mut p| p.schedule(0.0, &adaptive.views(), &cluster),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("pollux", gpus), |b| {
+            b.iter_batched(
+                || PolluxPolicy::default(),
+                |mut p| p.schedule(0.0, &adaptive.views(), &cluster),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("gavel", gpus), |b| {
+            b.iter_batched(
+                || GavelPolicy::default(),
+                |mut p| p.schedule(0.0, &rigid.views(), &cluster),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks of the LP / branch-and-bound MILP solver on
+//! Sia-shaped assignment problems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sia_solver::{Problem, Sense};
+
+/// Builds a Sia-shaped assignment problem: `jobs` SOS-1 rows over `configs`
+/// binary columns each, plus 3 GPU-type capacity rows.
+fn assignment_problem(jobs: usize, configs_per_job: usize, binary: bool) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let mut by_type: Vec<Vec<(sia_solver::VarId, f64)>> = vec![Vec::new(); 3];
+    for j in 0..jobs {
+        let mut row = Vec::new();
+        for c in 0..configs_per_job {
+            let weight = 1.0 + ((j * 31 + c * 17) % 97) as f64 / 97.0;
+            let v = if binary {
+                p.add_binary_var(weight)
+            } else {
+                p.add_var(weight, 0.0, 1.0)
+            };
+            row.push((v, 1.0));
+            let gpus = 1 << (c % 5);
+            by_type[c % 3].push((v, gpus as f64));
+        }
+        p.add_le(&row, 1.0);
+    }
+    for (t, row) in by_type.iter().enumerate() {
+        p.add_le(row, (jobs * 2 + t * 8) as f64);
+    }
+    p
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+    for &jobs in &[20usize, 80, 320] {
+        let lp = assignment_problem(jobs, 19, false);
+        group.bench_function(BenchmarkId::new("lp_assignment", jobs), |b| {
+            b.iter(|| lp.solve_lp().unwrap())
+        });
+        let milp = assignment_problem(jobs, 19, true);
+        group.bench_function(BenchmarkId::new("milp_assignment", jobs), |b| {
+            b.iter(|| milp.solve_milp().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

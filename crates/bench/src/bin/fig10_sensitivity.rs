@@ -1,0 +1,96 @@
+//! Figure 10: Sia parameter sensitivity on Helios-like traces.
+//!
+//! (Left) fairness power `p` swept over `[-1.0, 1.0]`: avg JCT, p99 JCT and
+//! makespan, normalized to `p = -0.5`. (Right) scheduling-round duration
+//! swept over 30–300 s: avg JCT. Expected shape: flat-ish around the
+//! defaults (robustness), p99 JCT dropping toward `p = 1`, avg JCT rising
+//! mildly with round duration and slightly worse at 30 s.
+
+use sia_bench::{sweep, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_sim::SimConfig;
+use sia_workloads::TraceKind;
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let seeds: Vec<u64> = (1..=2).collect();
+    let cfg = SimConfig::default();
+
+    // -- fairness power sweep --
+    let powers = [-10, -5, -3, 1, 5, 10]; // tenths
+    let mut rows = Vec::new();
+    for &p in &powers {
+        let a = sweep(
+            Policy::SiaWithPower(p),
+            &cluster,
+            TraceKind::Helios,
+            &seeds,
+            &cfg,
+            16,
+            1.0,
+            None,
+        );
+        rows.push((
+            p as f64 / 10.0,
+            a.mean(|s| s.avg_jct_hours),
+            a.mean(|s| s.p99_jct_hours),
+            a.mean(|s| s.makespan_hours),
+        ));
+    }
+    let base = rows
+        .iter()
+        .find(|r| (r.0 + 0.5).abs() < 1e-9)
+        .copied()
+        .unwrap();
+    println!("== Figure 10 (left): sensitivity to fairness power p (normalized to p=-0.5) ==");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "p", "avgJCT", "p99JCT", "makespan"
+    );
+    for &(p, avg, p99, mk) in &rows {
+        println!(
+            "{:>6.1} {:>10.3} {:>10.3} {:>10.3}",
+            p,
+            avg / base.1,
+            p99 / base.2,
+            mk / base.3
+        );
+    }
+
+    // -- round duration sweep --
+    let rounds = [30u32, 60, 120, 300];
+    let mut round_rows = Vec::new();
+    println!("\n== Figure 10 (right): avg JCT vs scheduling round duration ==");
+    println!("{:>8} {:>12}", "round(s)", "avgJCT(h)");
+    for &r in &rounds {
+        let a = sweep(
+            Policy::SiaWithRound(r),
+            &cluster,
+            TraceKind::Helios,
+            &seeds,
+            &cfg,
+            16,
+            1.0,
+            None,
+        );
+        let jct = a.mean(|s| s.avg_jct_hours);
+        println!("{r:>8} {jct:>12.3}");
+        round_rows.push((r, jct));
+    }
+
+    write_json(
+        "fig10_sensitivity",
+        &serde_json::json!({
+            "fairness_power": rows
+                .iter()
+                .map(|&(p, a, q, m)| serde_json::json!({
+                    "p": p, "avg_jct_hours": a, "p99_jct_hours": q, "makespan_hours": m
+                }))
+                .collect::<Vec<_>>(),
+            "round_duration": round_rows
+                .iter()
+                .map(|&(r, j)| serde_json::json!({"round_s": r, "avg_jct_hours": j}))
+                .collect::<Vec<_>>(),
+        }),
+    );
+}

@@ -1,0 +1,76 @@
+//! Figure 11: Sia's avg JCT and makespan as the fraction of
+//! adaptivity-restricted jobs grows (Philly-like traces).
+//!
+//! (Left) % of jobs that are strong-scaling (fixed batch, adaptive GPU
+//! count/type); (Right) % of jobs that are rigid (fixed batch and count,
+//! adaptive type only). Normalized to the all-adaptive workload. Expected
+//! shape: both curves rise with the restricted fraction; rigid hurts much
+//! more than strong-scaling (the paper attributes ~56% of the JCT win to
+//! GPU-count adaptivity and ~13% more to batch-size adaptivity).
+
+use sia_bench::{run_one, scale_work, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_metrics::summarize;
+use sia_sim::SimConfig;
+use sia_workloads::{Trace, TraceConfig, TraceKind};
+
+fn run_mix(cluster: &ClusterSpec, strong: f64, rigid: f64, seeds: &[u64]) -> (f64, f64) {
+    let mut jct = 0.0;
+    let mut mk = 0.0;
+    for &seed in seeds {
+        let tcfg = TraceConfig::new(TraceKind::Philly, seed)
+            .with_max_gpus_cap(16)
+            .with_adaptivity_mix(strong, rigid);
+        let mut trace = Trace::generate(&tcfg);
+        scale_work(&mut trace, 1.0);
+        let s = summarize(&run_one(
+            Policy::Sia,
+            cluster,
+            &trace,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+            seed,
+        ));
+        jct += s.avg_jct_hours;
+        mk += s.makespan_hours;
+    }
+    (jct / seeds.len() as f64, mk / seeds.len() as f64)
+}
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let seeds: Vec<u64> = (1..=2).collect();
+    let fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+    let (base_jct, base_mk) = run_mix(&cluster, 0.0, 0.0, &seeds);
+    let mut payload = serde_json::Map::new();
+    for (label, is_rigid) in [("strong_scaling", false), ("rigid", true)] {
+        println!("\n== Figure 11: % {label} jobs (normalized to all-adaptive) ==");
+        println!("{:>6} {:>10} {:>10}", "%", "avgJCT", "makespan");
+        let mut rows = Vec::new();
+        for &f in &fractions {
+            let (jct, mk) = if f == 0.0 {
+                (base_jct, base_mk)
+            } else if is_rigid {
+                run_mix(&cluster, 0.0, f, &seeds)
+            } else {
+                run_mix(&cluster, f, 0.0, &seeds)
+            };
+            println!(
+                "{:>6.0} {:>10.2} {:>10.2}",
+                f * 100.0,
+                jct / base_jct,
+                mk / base_mk
+            );
+            rows.push(serde_json::json!({
+                "fraction": f,
+                "avg_jct_norm": jct / base_jct,
+                "makespan_norm": mk / base_mk,
+            }));
+        }
+        payload.insert(label.into(), serde_json::json!(rows));
+    }
+    write_json("fig11_adaptivity", &serde_json::Value::Object(payload));
+}

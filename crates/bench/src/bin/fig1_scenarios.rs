@@ -1,0 +1,101 @@
+//! Figure 1: scheduler comparison across three scenarios.
+//!
+//! *Left*: adaptive jobs on a homogeneous cluster; *Center*: adaptive jobs on
+//! a heterogeneous cluster; *Right*: rigid jobs on a heterogeneous cluster.
+//! Expected shape: Pollux ≈ Sia < Gavel on the left; Sia < Pollux, Gavel in
+//! the center; Sia ≤ Gavel < Pollux on the right.
+
+use sia_bench::{aggregates_json, print_table, run_one, scale_work, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_metrics::summarize;
+use sia_sim::SimConfig;
+use sia_workloads::{Trace, TraceConfig, TraceKind};
+
+fn seeds() -> Vec<u64> {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .map(|n: u64| (1..=n).collect())
+        .unwrap_or_else(|| vec![1, 2])
+}
+
+fn scenario(
+    name: &str,
+    cluster: &ClusterSpec,
+    policies: &[Policy],
+    all_rigid: bool,
+    cap: usize,
+    seeds: &[u64],
+) -> Vec<sia_bench::Aggregate> {
+    let aggs: Vec<_> = policies
+        .iter()
+        .map(|&p| {
+            let runs = seeds
+                .iter()
+                .map(|&seed| {
+                    let mut tcfg = TraceConfig::new(TraceKind::Philly, seed).with_max_gpus_cap(cap);
+                    if all_rigid || p.needs_tuned_jobs() {
+                        tcfg = tcfg.with_adaptivity_mix(0.0, 1.0);
+                    }
+                    let mut trace = Trace::generate(&tcfg);
+                    scale_work(&mut trace, 1.0);
+                    summarize(&run_one(
+                        p,
+                        cluster,
+                        &trace,
+                        SimConfig {
+                            seed,
+                            ..SimConfig::default()
+                        },
+                        seed,
+                    ))
+                })
+                .collect();
+            sia_bench::Aggregate {
+                label: p.label(),
+                runs,
+            }
+        })
+        .collect();
+    print_table(name, &aggs);
+    aggs
+}
+
+fn main() {
+    let seeds = seeds();
+    let policies = [Policy::Pollux, Policy::Sia, Policy::GavelTuned];
+
+    let homog = scenario(
+        "Figure 1 [left]: Homogeneous + AdaptiveJobs (64x t4)",
+        &ClusterSpec::homogeneous_64(),
+        &policies,
+        false,
+        64,
+        &seeds,
+    );
+    let hetero = scenario(
+        "Figure 1 [center]: Heterogeneous + AdaptiveJobs (64 GPUs, 3 types)",
+        &ClusterSpec::heterogeneous_64(),
+        &policies,
+        false,
+        16,
+        &seeds,
+    );
+    let rigid = scenario(
+        "Figure 1 [right]: Heterogeneous + RigidJobs",
+        &ClusterSpec::heterogeneous_64(),
+        &policies,
+        true,
+        16,
+        &seeds,
+    );
+
+    write_json(
+        "fig1_scenarios",
+        &serde_json::json!({
+            "homogeneous_adaptive": aggregates_json(&homog),
+            "heterogeneous_adaptive": aggregates_json(&hetero),
+            "heterogeneous_rigid": aggregates_json(&rigid),
+        }),
+    );
+}

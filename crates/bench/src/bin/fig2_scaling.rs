@@ -1,0 +1,87 @@
+//! Figure 2: goodput scaling with GPU count per (model, GPU type).
+//!
+//! For BERT/SQuAD, ResNet/ImageNet and DeepSpeech2/CMU-ARCTIC, plots
+//! goodput on A100/RTX/T4 relative to single-T4 goodput as GPU count grows
+//! to 20+. Expected shape: every curve grows sublinearly; A100 curves
+//! dominate; BERT's A100 advantage is the largest.
+
+use sia_bench::write_json;
+use sia_cluster::GpuKind;
+use sia_models::{optimize_goodput, AllocShape};
+use sia_workloads::ModelKind;
+
+fn kind(name: &str, mem: f64, rank: u32) -> GpuKind {
+    GpuKind {
+        name: name.into(),
+        mem_gib: mem,
+        power_rank: rank,
+    }
+}
+
+fn main() {
+    let gpus: Vec<usize> = (1..=20).collect();
+    let kinds = [
+        kind("a100", 40.0, 4),
+        kind("rtx", 11.0, 2),
+        kind("t4", 16.0, 1),
+    ];
+    let models = [ModelKind::Bert, ModelKind::ResNet50, ModelKind::DeepSpeech2];
+    // Per-node GPU counts used for the local/distributed boundary.
+    let gpus_per_node = |name: &str| match name {
+        "a100" | "rtx" => 8,
+        _ => 4,
+    };
+
+    let mut payload = serde_json::Map::new();
+    for model in models {
+        let profile = model.profile();
+        let eff = profile.efficiency_params();
+        let limits = profile.batch_limits();
+        let t4_params = profile.throughput_params(&kinds[2]);
+        let base = optimize_goodput(&t4_params, &eff, AllocShape::single(), limits)
+            .expect("t4 single-GPU point")
+            .goodput;
+
+        println!(
+            "\n== Figure 2: {} (goodput relative to 1x t4) ==",
+            model.name()
+        );
+        print!("{:>6}", "#GPUs");
+        for k in &kinds {
+            print!("{:>10}", k.name);
+        }
+        println!();
+
+        let mut series = serde_json::Map::new();
+        for k in &kinds {
+            let params = profile.throughput_params(k);
+            let r = gpus_per_node(&k.name);
+            let curve: Vec<f64> = gpus
+                .iter()
+                .map(|&n| {
+                    let shape = if n == 1 {
+                        AllocShape::single()
+                    } else if n <= r {
+                        AllocShape::local(n)
+                    } else {
+                        AllocShape::dist(n)
+                    };
+                    optimize_goodput(&params, &eff, shape, limits)
+                        .map(|p| p.goodput / base)
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            series.insert(k.name.clone(), serde_json::json!(curve));
+        }
+        for (i, &n) in gpus.iter().enumerate() {
+            print!("{n:>6}");
+            for k in &kinds {
+                let v = series[&k.name].as_array().unwrap()[i].as_f64().unwrap();
+                print!("{v:>10.2}");
+            }
+            println!();
+        }
+        payload.insert(model.name().into(), serde_json::Value::Object(series));
+    }
+    write_json("fig2_scaling", &serde_json::Value::Object(payload));
+}

@@ -1,0 +1,77 @@
+//! Figure 4: physical-testbed vs simulator comparison (§5.1).
+//!
+//! The physical cluster is simulated with noise enabled (measurement,
+//! execution and restart jitter — `SimConfig::physical`), run 4 times per
+//! scheduler; the "simulated" condition is the clean simulator. Expected
+//! shape: Sia < Pollux < Gavel on avgJCT; Sia's simulated-vs-"real" gap
+//! small (<~5% in the paper); Pollux's gap and variance larger.
+
+use sia_bench::{run_one, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_metrics::{cdf, summarize};
+use sia_sim::SimConfig;
+use sia_workloads::{Trace, TraceConfig, TraceKind};
+
+fn main() {
+    let cluster = ClusterSpec::physical_44();
+    let trace_seed = 11u64;
+    let policies = [Policy::Sia, Policy::Pollux, Policy::GavelTuned];
+
+    let mut payload = serde_json::Map::new();
+    println!("== Figure 4: physical (noisy, 4 runs) vs simulated avgJCT, 44-GPU 3-type cluster ==");
+    println!(
+        "{:<12} {:>14} {:>20} {:>12}",
+        "Policy", "sim avgJCT(h)", "real avgJCT(h) ±", "gap(%)"
+    );
+    for p in policies {
+        let mk_trace = || {
+            let mut cfg = TraceConfig::new(TraceKind::Physical, trace_seed);
+            if p.needs_tuned_jobs() {
+                cfg = cfg.with_adaptivity_mix(0.0, 1.0);
+            }
+            Trace::generate(&cfg)
+        };
+        let trace = mk_trace();
+        let sim_run = run_one(p, &cluster, &trace, SimConfig::default(), trace_seed);
+        let sim_sum = summarize(&sim_run);
+
+        let mut real_jcts_all: Vec<f64> = Vec::new();
+        let real: Vec<f64> = (0..4u64)
+            .map(|i| {
+                let r = run_one(p, &cluster, &trace, SimConfig::physical(100 + i), 100 + i);
+                real_jcts_all.extend(r.records.iter().filter_map(|j| j.jct()));
+                summarize(&r).avg_jct_hours
+            })
+            .collect();
+        let real_mean = real.iter().sum::<f64>() / real.len() as f64;
+        let spread = real
+            .iter()
+            .map(|v| (v - real_mean).abs())
+            .fold(0.0_f64, f64::max);
+        let gap = (real_mean - sim_sum.avg_jct_hours).abs() / real_mean.max(1e-9) * 100.0;
+        println!(
+            "{:<12} {:>14.3} {:>14.3} ±{:<5.3} {:>10.1}",
+            p.label(),
+            sim_sum.avg_jct_hours,
+            real_mean,
+            spread,
+            gap
+        );
+        let sim_cdf = cdf(&sim_run
+            .records
+            .iter()
+            .filter_map(|j| j.jct())
+            .collect::<Vec<_>>());
+        payload.insert(
+            p.label(),
+            serde_json::json!({
+                "sim_avg_jct_hours": sim_sum.avg_jct_hours,
+                "real_avg_jct_hours_runs": real,
+                "gap_percent": gap,
+                "sim_jct_cdf": sim_cdf,
+                "real_jct_cdf": cdf(&real_jcts_all),
+            }),
+        );
+    }
+    write_json("fig4_physical", &serde_json::Value::Object(payload));
+}

@@ -1,0 +1,101 @@
+//! Figure 5: per-job allocation timelines under Sia on the physical-testbed
+//! setting.
+//!
+//! Tracks three jobs of different models (ResNet50/ImageNet-class, a
+//! CIFAR-class ResNet18, and a DeepSpeech2 job) through a Sia run, printing
+//! `(time, GPU type, #GPUs)` whenever an allocation changes, plus the
+//! active-job count. Expected shape: Sia scales jobs down / moves them to
+//! slower GPUs as congestion rises, and back up as it drains.
+
+use sia_bench::{run_one, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_sim::SimConfig;
+use sia_workloads::{ModelKind, Trace, TraceConfig, TraceKind};
+
+fn main() {
+    let cluster = ClusterSpec::physical_44();
+    let trace = Trace::generate(&TraceConfig::new(TraceKind::Physical, 11));
+    let result = run_one(Policy::Sia, &cluster, &trace, SimConfig::default(), 11);
+
+    // Pick one job of each target model (the longest-running of each kind).
+    let mut picks = Vec::new();
+    for kind in [
+        ModelKind::ResNet50,
+        ModelKind::ResNet18,
+        ModelKind::DeepSpeech2,
+    ] {
+        if let Some(rec) = result
+            .records
+            .iter()
+            .filter(|r| r.model == kind)
+            .max_by(|a, b| {
+                let ja = a.jct().unwrap_or(0.0);
+                let jb = b.jct().unwrap_or(0.0);
+                ja.partial_cmp(&jb).unwrap()
+            })
+        {
+            picks.push(rec.id);
+        }
+    }
+
+    let mut payload = serde_json::Map::new();
+    for id in &picks {
+        let rec = result.records.iter().find(|r| r.id == *id).unwrap();
+        println!(
+            "\n== Figure 5: allocations for {} ({}) ==",
+            rec.name,
+            rec.model.name()
+        );
+        let mut last: Option<(usize, usize)> = None;
+        let mut events = Vec::new();
+        for round in &result.rounds {
+            let alloc = round
+                .allocations
+                .iter()
+                .find(|(j, _, _)| j == id)
+                .map(|&(_, t, g)| (t.0, g));
+            if alloc != last {
+                let (t_name, gpus) = match alloc {
+                    Some((t, g)) => (cluster.kinds()[t].name.clone(), g),
+                    None => ("-".into(), 0),
+                };
+                println!(
+                    "  t={:>7.1} min  {:>5} x {}",
+                    round.time / 60.0,
+                    gpus,
+                    t_name
+                );
+                events.push(serde_json::json!({
+                    "time_s": round.time,
+                    "gpu_type": t_name,
+                    "gpus": gpus,
+                }));
+                last = alloc;
+            }
+        }
+        payload.insert(rec.name.clone(), serde_json::json!(events));
+    }
+
+    let active: Vec<serde_json::Value> = result
+        .rounds
+        .iter()
+        .map(|r| serde_json::json!({"time_s": r.time, "active": r.active_jobs}))
+        .collect();
+    println!(
+        "\nactive jobs: min {} max {}",
+        result
+            .rounds
+            .iter()
+            .map(|r| r.active_jobs)
+            .min()
+            .unwrap_or(0),
+        result
+            .rounds
+            .iter()
+            .map(|r| r.active_jobs)
+            .max()
+            .unwrap_or(0)
+    );
+    payload.insert("active_jobs".into(), serde_json::json!(active));
+    write_json("fig5_timeline", &serde_json::Value::Object(payload));
+}

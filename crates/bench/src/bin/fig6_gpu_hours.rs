@@ -1,0 +1,100 @@
+//! Figure 6: min-normalized GPU-hours consumed per model under Sia, Pollux
+//! and Gavel on Helios-like traces (heterogeneous setting).
+//!
+//! Expected shape: Sia matches jobs to GPU types (BERT parked on `a100`,
+//! DeepSpeech2 preferring `rtx`), consuming the fewest GPU-hours for the
+//! models with strong type affinity; Gavel's time sharing rotates jobs
+//! across types and inflates its totals.
+
+use std::collections::BTreeMap;
+
+use sia_bench::{model_hours_json, run_one, trace_for, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_sim::SimConfig;
+use sia_workloads::{ModelKind, TraceKind};
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let policies = [Policy::Sia, Policy::Pollux, Policy::GavelTuned];
+    let seeds: Vec<u64> = (1..=2).collect();
+
+    let mut per_policy: BTreeMap<String, BTreeMap<ModelKind, f64>> = BTreeMap::new();
+    // Also break down Sia's GPU-hours by (model, gpu type) to show matching.
+    let mut sia_type_hours: BTreeMap<(ModelKind, String), f64> = BTreeMap::new();
+
+    for p in policies {
+        let mut acc: BTreeMap<ModelKind, (f64, usize)> = BTreeMap::new();
+        for &seed in &seeds {
+            let trace = trace_for(TraceKind::Helios, p, seed, 16);
+            let result = run_one(
+                p,
+                &cluster,
+                &trace,
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+                seed,
+            );
+            for rec in &result.records {
+                let e = acc.entry(rec.model).or_insert((0.0, 0));
+                e.0 += rec.gpu_seconds / 3600.0;
+                e.1 += 1;
+            }
+            if p == Policy::Sia {
+                // Attribute GPU time by type from the round logs.
+                let round = 60.0;
+                let names: BTreeMap<_, _> =
+                    result.records.iter().map(|r| (r.id, r.model)).collect();
+                for r in &result.rounds {
+                    for &(job, t, gpus) in &r.allocations {
+                        let model = names[&job];
+                        *sia_type_hours
+                            .entry((model, cluster.kinds()[t.0].name.clone()))
+                            .or_default() += gpus as f64 * round / 3600.0;
+                    }
+                }
+            }
+        }
+        per_policy.insert(
+            p.label(),
+            acc.into_iter()
+                .map(|(m, (tot, n))| (m, tot / n as f64))
+                .collect(),
+        );
+    }
+
+    println!("== Figure 6: avg GPU-hours per job, by model (Helios, hetero) ==");
+    print!("{:<14}", "Model");
+    for p in per_policy.keys() {
+        print!("{p:>12}");
+    }
+    println!();
+    for model in ModelKind::all() {
+        if model == ModelKind::Gpt2p8b {
+            continue;
+        }
+        print!("{:<14}", model.name());
+        for hours in per_policy.values() {
+            print!("{:>12.2}", hours.get(&model).copied().unwrap_or(0.0));
+        }
+        println!();
+    }
+
+    println!("\nSia GPU-hours by (model, type) — matching behaviour:");
+    for ((model, ty), hours) in &sia_type_hours {
+        println!("  {:<14} {:<6} {:>8.1} h", model.name(), ty, hours);
+    }
+
+    let payload = serde_json::json!({
+        "per_policy": per_policy
+            .iter()
+            .map(|(k, v)| (k.clone(), model_hours_json(v)))
+            .collect::<serde_json::Map<_, _>>(),
+        "sia_type_hours": sia_type_hours
+            .iter()
+            .map(|((m, t), h)| serde_json::json!({"model": m.name(), "type": t, "hours": h}))
+            .collect::<Vec<_>>(),
+    });
+    write_json("fig6_gpu_hours", &payload);
+}

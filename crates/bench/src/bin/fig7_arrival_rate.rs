@@ -1,0 +1,59 @@
+//! Figure 7: average JCT vs job arrival rate (Helios-like traces, 64-GPU
+//! heterogeneous cluster).
+//!
+//! Expected shape: all schedulers degrade as the arrival rate grows; Gavel
+//! degrades fastest (time sharing under congestion); Sia consistently below
+//! Pollux by a wide margin.
+
+use sia_bench::{print_table, sweep, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_sim::SimConfig;
+use sia_workloads::TraceKind;
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let policies = [Policy::Sia, Policy::Pollux, Policy::GavelTuned];
+    let rates = [10.0, 20.0, 30.0, 50.0];
+    let seeds: Vec<u64> = (1..=2).collect();
+    let cfg = SimConfig::default();
+
+    let mut payload = serde_json::Map::new();
+    println!("== Figure 7: avg JCT (h) vs arrival rate (jobs/hr), Helios hetero ==");
+    print!("{:<10}", "rate");
+    for p in policies {
+        print!("{:>12}", p.label());
+    }
+    println!();
+    let mut series: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    for &rate in &rates {
+        print!("{rate:<10}");
+        let mut aggs = Vec::new();
+        for p in policies {
+            let a = sweep(
+                p,
+                &cluster,
+                TraceKind::Helios,
+                &seeds,
+                &cfg,
+                16,
+                1.0,
+                Some(rate),
+            );
+            let jct = a.mean(|s| s.avg_jct_hours);
+            print!("{jct:>12.2}");
+            series.entry(a.label.clone()).or_default().push(jct);
+            aggs.push(a);
+        }
+        println!();
+        if rate == 50.0 {
+            print_table("detail at 50 jobs/hr", &aggs);
+        }
+    }
+    for (label, jcts) in &series {
+        payload.insert(
+            label.clone(),
+            serde_json::json!({"rates": rates, "avg_jct_hours": jcts}),
+        );
+    }
+    write_json("fig7_arrival_rate", &serde_json::Value::Object(payload));
+}

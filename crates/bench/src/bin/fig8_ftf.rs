@@ -1,0 +1,74 @@
+//! Figure 8: CDFs of the finish-time-fairness ratio (heterogeneous Eq. 6)
+//! and of JCT, for Sia / Pollux / Gavel+TJ / Shockwave+TJ on Helios-like
+//! traces in the heterogeneous setting.
+//!
+//! Expected shape: Sia's rho CDF is the most vertical with the smallest
+//! worst-case rho and by far the lowest unfair fraction; Shockwave beats
+//! Gavel and Pollux on fairness; Gavel has the worst tail.
+
+use sia_bench::{run_one, trace_for, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_metrics::{cdf, ftf_ratios, unfair_fraction, worst_ftf};
+use sia_sim::SimConfig;
+use sia_workloads::TraceKind;
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let policies = [
+        Policy::Sia,
+        Policy::Pollux,
+        Policy::GavelTuned,
+        Policy::ShockwaveTuned,
+    ];
+    let seeds: Vec<u64> = (1..=2).collect();
+
+    println!("== Figure 8: finish-time fairness (Helios, hetero 64) ==");
+    println!(
+        "{:<16} {:>12} {:>16} {:>12}",
+        "Policy", "worst rho", "unfair frac(%)", "median rho"
+    );
+    let mut payload = serde_json::Map::new();
+    for p in policies {
+        let mut ratios = Vec::new();
+        let mut jcts = Vec::new();
+        for &seed in &seeds {
+            let trace = trace_for(TraceKind::Helios, p, seed, 16);
+            let result = run_one(
+                p,
+                &cluster,
+                &trace,
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+                seed,
+            );
+            ratios.extend(ftf_ratios(&result, &cluster));
+            jcts.extend(result.records.iter().filter_map(|r| r.jct()));
+        }
+        let rho_values: Vec<f64> = ratios.iter().map(|&(_, r)| r).collect();
+        let rho_cdf = cdf(&rho_values);
+        let median = rho_cdf
+            .iter()
+            .find(|&&(_, f)| f >= 0.5)
+            .map(|&(x, _)| x)
+            .unwrap_or(0.0);
+        println!(
+            "{:<16} {:>12.2} {:>16.1} {:>12.2}",
+            p.label(),
+            worst_ftf(&ratios),
+            unfair_fraction(&ratios) * 100.0,
+            median
+        );
+        payload.insert(
+            p.label(),
+            serde_json::json!({
+                "worst_ftf": worst_ftf(&ratios),
+                "unfair_fraction": unfair_fraction(&ratios),
+                "rho_cdf": rho_cdf,
+                "jct_cdf_hours": cdf(&jcts.iter().map(|j| j / 3600.0).collect::<Vec<_>>()),
+            }),
+        );
+    }
+    write_json("fig8_ftf", &serde_json::Value::Object(payload));
+}

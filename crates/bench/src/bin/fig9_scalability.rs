@@ -1,0 +1,80 @@
+//! Figure 9: median policy runtime vs cluster size (64 → 2048 GPUs),
+//! Helios-like traces scaled proportionally.
+//!
+//! Expected shape: Gavel fastest (tiny LP); Sia around a second at 2048
+//! GPUs; Pollux's genetic algorithm orders of magnitude slower at scale.
+
+use sia_bench::{run_one, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_metrics::percentile;
+use sia_sim::SimConfig;
+use sia_workloads::{Trace, TraceConfig, TraceKind};
+
+fn main() {
+    let factors: Vec<usize> = std::env::args()
+        .nth(1)
+        .map(|_| vec![1, 2, 4, 8])
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32]);
+    let policies = [Policy::Sia, Policy::Pollux, Policy::GavelTuned];
+
+    println!("== Figure 9: median policy runtime (s) vs cluster size ==");
+    print!("{:<10}", "#GPUs");
+    for p in policies {
+        print!("{:>14}", p.label());
+    }
+    println!();
+
+    let mut payload = serde_json::Map::new();
+    let mut series: std::collections::BTreeMap<String, Vec<(usize, f64, f64, f64)>> =
+        Default::default();
+    for &f in &factors {
+        let cluster = ClusterSpec::heterogeneous_scaled(f);
+        print!("{:<10}", 64 * f);
+        for p in policies {
+            // Proportionally scaled load: rate x factor, short window; we
+            // only need enough rounds for a stable runtime median.
+            let mut tcfg = TraceConfig::new(TraceKind::Helios, 7)
+                .with_rate(20.0 * f as f64)
+                .with_max_gpus_cap(16);
+            if p.needs_tuned_jobs() {
+                tcfg = tcfg.with_adaptivity_mix(0.0, 1.0);
+            }
+            tcfg.window_hours = 1.0;
+            let trace = Trace::generate(&tcfg);
+            let cfg = SimConfig {
+                seed: 7,
+                max_hours: 0.35,
+                ..SimConfig::default()
+            };
+            let result = run_one(p, &cluster, &trace, cfg, 7);
+            let runtimes: Vec<f64> = result
+                .rounds
+                .iter()
+                .map(|r| r.policy_runtime)
+                // Skip warm-up rounds with few jobs.
+                .skip(result.rounds.len() / 3)
+                .collect();
+            let median = percentile(&runtimes, 0.5);
+            let p25 = percentile(&runtimes, 0.25);
+            let p75 = percentile(&runtimes, 0.75);
+            print!("{median:>14.4}");
+            series
+                .entry(p.label())
+                .or_default()
+                .push((64 * f, median, p25, p75));
+        }
+        println!();
+    }
+    for (label, pts) in &series {
+        payload.insert(
+            label.clone(),
+            serde_json::json!(pts
+                .iter()
+                .map(|&(g, med, p25, p75)| serde_json::json!({
+                    "gpus": g, "median_s": med, "p25_s": p25, "p75_s": p75
+                }))
+                .collect::<Vec<_>>()),
+        );
+    }
+    write_json("fig9_scalability", &serde_json::Value::Object(payload));
+}

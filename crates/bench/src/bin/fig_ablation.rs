@@ -1,0 +1,74 @@
+//! Ablation study of Sia's design choices (DESIGN.md §5):
+//!
+//! * **restart factor** (Eq. 3): disabled, Sia should reallocate far more
+//!   often and lose JCT/GPU-hours to checkpoint-restore churn;
+//! * **queue penalty `lambda`**: swept around the paper's default `1.1`.
+//!
+//! Not a paper figure; supports the claim in §3.4 that "without a restart
+//! factor, each tiny change in G would result in altering some jobs'
+//! resources and additional checkpoint-restore overheads".
+
+use sia_bench::{print_table, write_json, Aggregate};
+use sia_cluster::ClusterSpec;
+use sia_core::{SiaConfig, SiaPolicy};
+use sia_metrics::summarize;
+use sia_sim::{SimConfig, Simulator};
+use sia_workloads::{Trace, TraceConfig, TraceKind};
+
+fn run_variant(label: &str, cfg: SiaConfig, seeds: &[u64]) -> Aggregate {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let runs = seeds
+        .iter()
+        .map(|&seed| {
+            let trace =
+                Trace::generate(&TraceConfig::new(TraceKind::Philly, seed).with_max_gpus_cap(16));
+            let sim = Simulator::new(
+                cluster.clone(),
+                &trace,
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            );
+            summarize(&sim.run(&mut SiaPolicy::new(cfg.clone())))
+        })
+        .collect();
+    Aggregate {
+        label: label.to_string(),
+        runs,
+    }
+}
+
+fn main() {
+    let seeds: Vec<u64> = (1..=2).collect();
+    let mut aggs = Vec::new();
+    aggs.push(run_variant("Sia", SiaConfig::default(), &seeds));
+    aggs.push(run_variant(
+        "Sia[no r_i]",
+        SiaConfig {
+            use_restart_factor: false,
+            ..SiaConfig::default()
+        },
+        &seeds,
+    ));
+    for lambda in [0.55, 2.2, 4.4] {
+        aggs.push(run_variant(
+            &format!("Sia[λ={lambda}]"),
+            SiaConfig {
+                lambda,
+                ..SiaConfig::default()
+            },
+            &seeds,
+        ));
+    }
+    print_table(
+        "Ablation: restart factor and lambda (Philly, hetero 64)",
+        &aggs,
+    );
+
+    // Sanity line: removing the restart factor must raise restart counts.
+    let base = aggs[0].mean(|s| s.avg_restarts);
+    let no_rf = aggs[1].mean(|s| s.avg_restarts);
+    println!("\nrestarts/job: Sia {base:.1} vs no-restart-factor {no_rf:.1}");
+    write_json("fig_ablation", &sia_bench::aggregates_json(&aggs));
+}

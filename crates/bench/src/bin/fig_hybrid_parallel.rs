@@ -1,0 +1,140 @@
+//! §5.3: scheduling and elastically scaling a hybrid-parallel (pipeline +
+//! data parallel) 2.8B GPT finetuning job.
+//!
+//! (Left) throughput of the GPT model vs total GPU count on `a100`
+//! (2-stage pipelines) and `rtx` (8-stage pipelines): near-linear, since
+//! computation dominates communication for this model. (Right) Sia's
+//! adaptation of the GPT job on a mixed a100/rtx cluster under a background
+//! workload: scaled down around congestion peaks and back up as load
+//! drains.
+
+use sia_bench::{run_one, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_models::{optimize_goodput, AllocShape, BatchLimits};
+use sia_workloads::{ModelKind, Trace, TraceConfig, TraceKind};
+
+fn main() {
+    let profile = ModelKind::Gpt2p8b.profile();
+    let pipe = profile.pipeline.expect("GPT is hybrid parallel");
+
+    // ---- (Left) throughput scaling ----
+    println!("== Hybrid parallel: GPT-2.8B throughput vs total GPUs ==");
+    println!("{:>8} {:>12} {:>12}", "#GPUs", "a100", "rtx");
+    let mut a100_curve = Vec::new();
+    let mut rtx_curve = Vec::new();
+    let a100_kind = sia_cluster::GpuKind {
+        name: "a100".into(),
+        mem_gib: 40.0,
+        power_rank: 4,
+    };
+    let rtx_kind = sia_cluster::GpuKind {
+        name: "rtx".into(),
+        mem_gib: 11.0,
+        power_rank: 2,
+    };
+    for total in (8..=128).step_by(8) {
+        let mut row = vec![format!("{total:>8}")];
+        for (kind, width, curve) in [
+            (&a100_kind, 2usize, &mut a100_curve),
+            (&rtx_kind, 8usize, &mut rtx_curve),
+        ] {
+            let replicas = total / width;
+            let params = profile.throughput_params(kind);
+            let shape = if replicas == 1 {
+                AllocShape::single()
+            } else {
+                AllocShape::dist(replicas)
+            };
+            let thr = optimize_goodput(
+                &params,
+                &profile.efficiency_params(),
+                shape,
+                BatchLimits::fixed(pipe.replica_batch * replicas as f64),
+            )
+            .map(|p| p.throughput)
+            .unwrap_or(0.0);
+            row.push(format!("{thr:>12.1}"));
+            curve.push((total, thr));
+        }
+        println!("{}", row.join(""));
+    }
+
+    // ---- (Right) Sia adaptation under background load ----
+    // Mixed a100/rtx cluster like the paper's §5.3 experiment.
+    let mut cluster = ClusterSpec::new();
+    let rtx = cluster.add_gpu_kind("rtx", 11.0, 2);
+    let a100 = cluster.add_gpu_kind("a100", 40.0, 4);
+    cluster.add_nodes(rtx, 4, 8);
+    cluster.add_nodes(a100, 2, 8);
+
+    let mut trace = Trace::generate(
+        &TraceConfig::new(TraceKind::Physical, 5)
+            .with_rate(8.0)
+            .with_max_gpus_cap(16),
+    );
+    trace.push_hybrid_parallel_job(30.0);
+    let gpt_id = trace
+        .jobs
+        .iter()
+        .find(|j| j.model == ModelKind::Gpt2p8b)
+        .unwrap()
+        .id;
+
+    let result = run_one(
+        Policy::Sia,
+        &cluster,
+        &trace,
+        sia_sim::SimConfig::default(),
+        5,
+    );
+    println!("\n== Sia adaptation of the GPT job (time, type, GPUs, active jobs) ==");
+    let mut last = None;
+    let mut timeline = Vec::new();
+    for round in &result.rounds {
+        let alloc = round
+            .allocations
+            .iter()
+            .find(|(j, _, _)| *j == gpt_id)
+            .map(|&(_, t, g)| (t.0, g));
+        if alloc != last {
+            let (name, gpus) = match alloc {
+                Some((t, g)) => (cluster.kinds()[t].name.clone(), g),
+                None => ("-".into(), 0),
+            };
+            println!(
+                "  t={:>6.1} min  {:>3} x {:<5} (active jobs: {})",
+                round.time / 60.0,
+                gpus,
+                name,
+                round.active_jobs
+            );
+            timeline.push(serde_json::json!({
+                "time_s": round.time,
+                "gpu_type": name,
+                "gpus": gpus,
+                "active_jobs": round.active_jobs,
+            }));
+            last = alloc;
+        }
+    }
+    let gpt_rec = result.records.iter().find(|r| r.id == gpt_id).unwrap();
+    println!(
+        "\nGPT job: restarts {}, finished: {}, GPU-hours {:.1}",
+        gpt_rec.restarts,
+        gpt_rec.finish_time.is_some(),
+        gpt_rec.gpu_seconds / 3600.0
+    );
+    // The scheduler must have scaled the job both down and up at least once.
+    write_json(
+        "fig_hybrid_parallel",
+        &serde_json::json!({
+            "throughput_scaling": {
+                "a100": a100_curve,
+                "rtx": rtx_curve,
+            },
+            "adaptation_timeline": timeline,
+            "gpt_restarts": gpt_rec.restarts,
+            "gpt_finished": gpt_rec.finish_time.is_some(),
+        }),
+    );
+}

@@ -1,0 +1,67 @@
+//! §5.7 profiling-overhead ablation: Sia with Oracle / Bootstrap / NoProf
+//! estimators on Helios-like traces (heterogeneous setting).
+//!
+//! Expected shape: Bootstrap close to Oracle (the paper reports ~8% worse)
+//! and clearly better than NoProf (~30%).
+
+use sia_bench::{print_table, write_json, Aggregate, Policy};
+use sia_cluster::ClusterSpec;
+use sia_metrics::summarize;
+use sia_models::ProfilingMode;
+use sia_sim::SimConfig;
+use sia_workloads::{Trace, TraceConfig, TraceKind};
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let seeds: Vec<u64> = (1..=2).collect();
+    let modes = [
+        ("Oracle", ProfilingMode::Oracle),
+        ("Bootstrap", ProfilingMode::Bootstrap),
+        ("NoProf", ProfilingMode::NoProf),
+    ];
+
+    let mut aggs = Vec::new();
+    for (label, mode) in modes {
+        let runs = seeds
+            .iter()
+            .map(|&seed| {
+                let trace = Trace::generate(
+                    &TraceConfig::new(TraceKind::Helios, seed).with_max_gpus_cap(16),
+                );
+                let cfg = SimConfig {
+                    seed,
+                    profiling_mode: mode,
+                    profiling_gpu_seconds: if mode == ProfilingMode::Bootstrap {
+                        20.0
+                    } else {
+                        0.0
+                    },
+                    ..SimConfig::default()
+                };
+                summarize(&sia_bench::run_one(
+                    Policy::Sia,
+                    &cluster,
+                    &trace,
+                    cfg,
+                    seed,
+                ))
+            })
+            .collect();
+        aggs.push(Aggregate {
+            label: label.to_string(),
+            runs,
+        });
+    }
+    print_table("Profiling modes (Sia, Helios hetero)", &aggs);
+
+    let oracle = aggs[0].mean(|s| s.avg_jct_hours);
+    println!("\navg JCT normalized to Oracle:");
+    for a in &aggs {
+        println!(
+            "  {:<10} {:.3}",
+            a.label,
+            a.mean(|s| s.avg_jct_hours) / oracle
+        );
+    }
+    write_json("fig_profiling_modes", &sia_bench::aggregates_json(&aggs));
+}

@@ -1,0 +1,27 @@
+//! Quick cross-scheduler comparison for development sanity-checking.
+//!
+//! Not a paper experiment; runs a shortened heterogeneous Philly-like trace
+//! through Sia, Pollux, and Gavel+TJ with one seed.
+
+use sia_bench::{print_table, sweep, Policy};
+use sia_cluster::ClusterSpec;
+use sia_sim::SimConfig;
+use sia_workloads::TraceKind;
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let seeds = [1u64];
+    let cfg = SimConfig::default();
+    let t0 = std::time::Instant::now();
+    let aggs: Vec<_> = [Policy::Sia, Policy::Pollux, Policy::GavelTuned]
+        .into_iter()
+        .map(|p| {
+            let t = std::time::Instant::now();
+            let a = sweep(p, &cluster, TraceKind::Philly, &seeds, &cfg, 16, 1.0, None);
+            eprintln!("{}: {:?}", a.label, t.elapsed());
+            a
+        })
+        .collect();
+    print_table("quick compare (Philly-like, hetero 64, work x1.0)", &aggs);
+    eprintln!("total: {:?}", t0.elapsed());
+}

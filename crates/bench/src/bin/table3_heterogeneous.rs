@@ -1,0 +1,46 @@
+//! Table 3: Sia vs Pollux vs Gavel+TunedJobs in the Heterogeneous setting
+//! on Philly-, Helios- and newTrace-like workloads.
+//!
+//! Expected shape: Sia best on every metric; Pollux second; Gavel's average
+//! and p99 JCT degrade disproportionately on the congested 48 h newTrace
+//! (contention feedback loop), with far higher contention than Sia.
+
+use sia_bench::{aggregates_json, print_table, sweep, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_sim::SimConfig;
+use sia_workloads::TraceKind;
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let policies = [Policy::Sia, Policy::Pollux, Policy::GavelTuned];
+    let n_seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let nt_seeds: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let cfg = SimConfig::default();
+
+    let mut payload = serde_json::Map::new();
+    for (kind, label, seeds) in [
+        (TraceKind::Philly, "Philly", n_seeds),
+        (TraceKind::Helios, "Helios", n_seeds),
+        (TraceKind::NewTrace, "newTrace", nt_seeds),
+    ] {
+        let seed_list: Vec<u64> = (1..=seeds).collect();
+        let aggs: Vec<_> = policies
+            .iter()
+            .map(|&p| {
+                let t0 = std::time::Instant::now();
+                let a = sweep(p, &cluster, kind, &seed_list, &cfg, 16, 1.0, None);
+                eprintln!("{label}/{}: {:?}", a.label, t0.elapsed());
+                a
+            })
+            .collect();
+        print_table(&format!("Table 3: {label} (heterogeneous 64-GPU)"), &aggs);
+        payload.insert(label.to_string(), aggregates_json(&aggs));
+    }
+    write_json("table3_heterogeneous", &serde_json::Value::Object(payload));
+}

@@ -1,0 +1,43 @@
+//! Table 3, newTrace row: the congested 48-hour workload.
+//!
+//! Pollux's genetic algorithm becomes extremely slow once newTrace's
+//! congestion builds a multi-hundred-job backlog (the same poor scaling
+//! §5.6 measures), so this binary runs Pollux on one seed under a capped
+//! simulation horizon and reports any unfinished jobs, while Sia and Gavel
+//! run the full 2-seed sweep.
+
+use sia_bench::{aggregates_json, print_table, sweep, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_sim::SimConfig;
+use sia_workloads::TraceKind;
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let cfg = SimConfig::default();
+
+    let mut aggs = Vec::new();
+    for (policy, seeds, max_hours) in [
+        (Policy::Sia, vec![1u64, 2], 400.0),
+        (Policy::Pollux, vec![1u64], 72.0),
+        (Policy::GavelTuned, vec![1u64, 2], 400.0),
+    ] {
+        let t0 = std::time::Instant::now();
+        let a = sweep(
+            policy,
+            &cluster,
+            TraceKind::NewTrace,
+            &seeds,
+            &SimConfig {
+                max_hours,
+                ..cfg.clone()
+            },
+            16,
+            1.0,
+            None,
+        );
+        eprintln!("newTrace/{}: {:?}", a.label, t0.elapsed());
+        aggs.push(a);
+    }
+    print_table("Table 3: newTrace (heterogeneous 64-GPU)", &aggs);
+    write_json("table3_newtrace", &aggregates_json(&aggs));
+}

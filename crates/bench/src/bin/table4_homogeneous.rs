@@ -1,0 +1,42 @@
+//! Table 4: the Homogeneous setting (64x t4): Sia vs Pollux vs inelastic
+//! baselines (Shockwave, Themis, Gavel — all with TunedJobs).
+//!
+//! Expected shape: Sia ≈ Pollux (Sia slightly ahead, fewer restarts);
+//! Shockwave the best inelastic scheduler; Themis and Gavel behind it;
+//! the adaptive pair ~50-70% better than the inelastic baselines.
+
+use sia_bench::{aggregates_json, print_table, sweep, write_json, Policy};
+use sia_cluster::ClusterSpec;
+use sia_sim::SimConfig;
+use sia_workloads::TraceKind;
+
+fn main() {
+    let cluster = ClusterSpec::homogeneous_64();
+    let policies = [
+        Policy::Sia,
+        Policy::Pollux,
+        Policy::ShockwaveTuned,
+        Policy::ThemisTuned,
+        Policy::GavelTuned,
+    ];
+    let n_seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+    let cfg = SimConfig::default();
+
+    let aggs: Vec<_> = policies
+        .iter()
+        .map(|&p| {
+            let t0 = std::time::Instant::now();
+            // The homogeneous setting re-tunes jobs for the full 64-GPU
+            // cluster (§5.4).
+            let a = sweep(p, &cluster, TraceKind::Philly, &seeds, &cfg, 64, 1.0, None);
+            eprintln!("{}: {:?}", a.label, t0.elapsed());
+            a
+        })
+        .collect();
+    print_table("Table 4: Homogeneous setting (Philly, 64x t4)", &aggs);
+    write_json("table4_homogeneous", &aggregates_json(&aggs));
+}

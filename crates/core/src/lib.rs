@@ -1,0 +1,32 @@
+//! The Sia scheduling policy (the paper's primary contribution).
+//!
+//! Sia is a pre-emptive, round-based scheduler that, every round, chooses a
+//! *configuration* — a bundle `(n nodes, r GPUs, GPU type t)` from the
+//! restricted set of §3.3 — for every active job so as to maximize
+//! cluster-wide normalized goodput:
+//!
+//! 1. [`matrix`] builds the normalized goodput matrix `G`: per-job goodput
+//!    estimates across candidate configurations, row-normalized by the row
+//!    minimum, discounted by the restart factor `r_i` (Eq. 3) for
+//!    configurations that would move the job, and raised to the fairness
+//!    power `p` (§3.4);
+//! 2. [`ilp`] assembles and solves the binary ILP of Eq. 4 (at most one
+//!    configuration per job; per-GPU-type capacity constraints) using the
+//!    from-scratch branch-and-bound solver in `sia-solver`;
+//! 3. [`placer`] realizes the chosen configurations on physical nodes under
+//!    Sia's placement rules (partial allocations never split across nodes;
+//!    whole-node allocations take whole nodes; evict-and-retry on
+//!    fragmentation).
+//!
+//! Adaptive, strong-scaling, rigid and hybrid-parallel (pipeline + data
+//! parallel) jobs are all supported, as are non-preemptive reservations.
+
+#![forbid(unsafe_code)]
+
+pub mod ilp;
+pub mod matrix;
+pub mod placer;
+pub mod policy;
+
+pub use matrix::Candidate;
+pub use policy::{SiaConfig, SiaPolicy};

@@ -1,0 +1,427 @@
+//! Candidate enumeration and the normalized goodput matrix (§3.4).
+
+use sia_cluster::{ClusterSpec, Configuration, JobId, Placement};
+use sia_models::{AllocShape, BatchLimits};
+use sia_sim::JobView;
+use sia_workloads::Adaptivity;
+
+/// Expected holding period over which a reallocation's checkpoint-restore
+/// cost is amortized when discounting move candidates.
+const RESTART_HORIZON_SECS: f64 = 1200.0;
+
+/// One `(job, configuration)` cell of the goodput matrix, annotated with the
+/// final ILP weight.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The job this candidate belongs to.
+    pub job: JobId,
+    /// The configuration it would run in.
+    pub config: Configuration,
+    /// Data-parallel replica count under this configuration.
+    pub replicas: usize,
+    /// Raw goodput (or throughput, for strong-scaling/rigid jobs) estimate.
+    pub value: f64,
+    /// ILP objective weight `w_ij` after normalization, restart discount,
+    /// fairness power and the `lambda` queue-penalty folding.
+    pub weight: f64,
+    /// True if this configuration matches the job's current allocation
+    /// (same type, GPU count and node count — no restart required).
+    pub keeps_current: bool,
+}
+
+/// True if `cfg` describes the same allocation as `placement`.
+pub fn matches_placement(spec: &ClusterSpec, cfg: &Configuration, placement: &Placement) -> bool {
+    !placement.is_empty()
+        && placement.gpu_type(spec) == cfg.gpu_type
+        && placement.total_gpus() == cfg.gpus
+        && placement.num_nodes() == cfg.nodes
+}
+
+/// The allocation shape a configuration presents to the throughput model.
+pub fn shape_for(cfg: &Configuration, replicas: usize) -> AllocShape {
+    if replicas <= 1 {
+        AllocShape::single()
+    } else if cfg.nodes > 1 {
+        AllocShape::dist(replicas)
+    } else {
+        AllocShape::local(replicas)
+    }
+}
+
+/// Estimates the matrix value (goodput; throughput for batch-pinned jobs)
+/// of one job under one configuration, or `None` if the configuration is
+/// invalid for the job.
+pub fn candidate_value(
+    view: &JobView<'_>,
+    spec: &ClusterSpec,
+    cfg: &Configuration,
+) -> Option<(usize, f64)> {
+    let replicas = view.replicas_for(spec, cfg)?;
+    let shape = shape_for(cfg, replicas);
+    let profile = view.spec.model.profile();
+    let point = match profile.pipeline {
+        Some(pipe) => {
+            // Hybrid-parallel jobs pin the per-replica batch; the total
+            // batch must stay within the submitter's range.
+            let total = pipe.replica_batch * replicas as f64;
+            if total > profile.max_batch * 1.0001 {
+                return None;
+            }
+            view.estimator
+                .estimate_with_limits(cfg.gpu_type, shape, BatchLimits::fixed(total))?
+        }
+        None => view.estimator.estimate(cfg.gpu_type, shape)?,
+    };
+    // §3.4: for batch-pinned jobs goodput is proportional to throughput, and
+    // Sia uses throughput directly.
+    let value = match view.spec.adaptivity {
+        Adaptivity::Adaptive => point.goodput,
+        Adaptivity::StrongScaling { .. } | Adaptivity::Rigid { .. } => point.throughput,
+    };
+    if value.is_finite() && value > 0.0 {
+        Some((replicas, value))
+    } else {
+        None
+    }
+}
+
+/// Whether a configuration passes the job's GPU-count rules: submitter
+/// bounds, Sia's start-at-one-replica rule, and the at-most-2x-per-round
+/// scale-up rule (§3.1). Rigid jobs instead require their exact GPU count.
+pub fn config_allowed(view: &JobView<'_>, spec: &ClusterSpec, cfg: &Configuration) -> bool {
+    if view.gpus_per_replica(spec, cfg.gpu_type).is_none() {
+        return false;
+    }
+    if let Adaptivity::Rigid { num_gpus, .. } = view.spec.adaptivity {
+        return cfg.gpus == num_gpus;
+    }
+    if cfg.gpus < view.spec.min_gpus || cfg.gpus > view.spec.max_gpus {
+        return false;
+    }
+    let current = view.current.total_gpus();
+    if current == 0 {
+        // Queued jobs start with exactly one replica.
+        matches!(view.replicas_for(spec, cfg), Some(1))
+    } else {
+        cfg.gpus <= 2 * current
+    }
+}
+
+/// Raw `(replicas, value)` evaluations of one job over the configuration
+/// set, independent of the job's current placement. Cacheable across rounds
+/// keyed on [`sia_models::JobEstimator::version`].
+pub fn raw_values(
+    view: &JobView<'_>,
+    spec: &ClusterSpec,
+    configs: &[Configuration],
+) -> Vec<Option<(usize, f64)>> {
+    configs
+        .iter()
+        .map(|cfg| candidate_value(view, spec, cfg))
+        .collect()
+}
+
+/// Weighting parameters of the goodput matrix (see Eq. 4 and §3.4).
+#[derive(Debug, Clone)]
+pub struct MatrixParams {
+    /// Fairness power `p`.
+    pub fairness_power: f64,
+    /// Queue penalty `lambda`.
+    pub lambda: f64,
+    /// Apply the Eq. 3 restart discount (disable only for ablations).
+    pub use_restart_factor: bool,
+}
+
+/// Builds all weighted candidates for one job.
+///
+/// `fairness_power` is `p` and `lambda` the queue penalty of Eq. 4. The
+/// returned weights are constructed so that the scheduling objective is
+/// always *maximize* `sum A_ij * weight_ij`:
+///
+/// * `p >= 0`: `w = (r * G~)^p + lambda`
+/// * `p <  0`: the paper flips the sign and minimizes, equivalent to
+///   maximizing `w = lambda - (r * G~)^p`.
+pub fn job_candidates(
+    view: &JobView<'_>,
+    spec: &ClusterSpec,
+    configs: &[Configuration],
+    fairness_power: f64,
+    lambda: f64,
+) -> Vec<Candidate> {
+    let values = raw_values(view, spec, configs);
+    job_candidates_from_values(
+        view,
+        spec,
+        configs,
+        &values,
+        &MatrixParams {
+            fairness_power,
+            lambda,
+            use_restart_factor: true,
+        },
+    )
+}
+
+/// Like [`job_candidates`], but reusing precomputed [`raw_values`].
+pub fn job_candidates_from_values(
+    view: &JobView<'_>,
+    spec: &ClusterSpec,
+    configs: &[Configuration],
+    values: &[Option<(usize, f64)>],
+    params: &MatrixParams,
+) -> Vec<Candidate> {
+    let fairness_power = params.fairness_power;
+    let lambda = params.lambda;
+    let mut raw: Vec<(Configuration, usize, f64, bool)> = Vec::new();
+    for (cfg, val) in configs.iter().zip(values) {
+        if !config_allowed(view, spec, cfg) {
+            continue;
+        }
+        if let Some((replicas, value)) = *val {
+            let keeps = matches_placement(spec, cfg, view.current);
+            raw.push((*cfg, replicas, value, keeps));
+        }
+    }
+    if raw.is_empty() {
+        return Vec::new();
+    }
+    let min_value = raw
+        .iter()
+        .map(|&(_, _, v, _)| v)
+        .fold(f64::INFINITY, f64::min);
+    let n_min = view.spec.min_gpus.max(1) as f64;
+    // Restart discount: the Eq. 3 history-based factor, further amortizing
+    // the checkpoint-restore cost over an expected holding horizon so that
+    // expensive-to-restart jobs (e.g. 250 s hybrid-parallel checkpoints) do
+    // not flap between adjacent configurations at round granularity.
+    let amortized = 1.0 - (view.restart_delay / RESTART_HORIZON_SECS).min(0.5);
+    let r_i = if params.use_restart_factor {
+        view.restart_factor() * amortized
+    } else {
+        1.0
+    };
+    let running = !view.current.is_empty();
+
+    raw.into_iter()
+        .map(|(config, replicas, value, keeps_current)| {
+            let mut g = value / min_value * n_min;
+            if running && !keeps_current {
+                g *= r_i;
+            }
+            let powered = g.powf(fairness_power);
+            let weight = if fairness_power >= 0.0 {
+                powered + lambda
+            } else {
+                lambda - powered
+            };
+            Candidate {
+                job: view.id,
+                config,
+                replicas,
+                value,
+                weight,
+                keeps_current,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_cluster::GpuTypeId;
+    use sia_models::{EfficiencyParams, JobEstimator, ThroughputParams};
+    use sia_workloads::{JobSpec, ModelKind, SizeCategory};
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::heterogeneous_64()
+    }
+
+    fn params(speed: f64) -> ThroughputParams {
+        ThroughputParams {
+            alpha_c: 0.05 / speed,
+            beta_c: 0.002 / speed,
+            alpha_n: 0.02,
+            beta_n: 0.005,
+            alpha_d: 0.1,
+            beta_d: 0.02,
+            gamma: 2.5,
+            max_local_bsz: 256.0,
+        }
+    }
+
+    fn estimator() -> JobEstimator {
+        JobEstimator::oracle(
+            vec![params(1.0), params(1.8), params(4.0)],
+            EfficiencyParams::new(2000.0, 128.0),
+            BatchLimits::new(128.0, 4096.0),
+        )
+    }
+
+    fn spec_job(adaptivity: Adaptivity, min: usize, max: usize) -> JobSpec {
+        JobSpec {
+            id: JobId(7),
+            name: "j".into(),
+            model: ModelKind::ResNet18,
+            category: SizeCategory::Small,
+            submit_time: 0.0,
+            adaptivity,
+            min_gpus: min,
+            max_gpus: max,
+            work_target: 1e6,
+        }
+    }
+
+    fn view<'a>(spec: &'a JobSpec, est: &'a JobEstimator, cur: &'a Placement) -> JobView<'a> {
+        JobView {
+            id: spec.id,
+            spec,
+            estimator: est,
+            current: cur,
+            age: 600.0,
+            restarts: 1,
+            restart_delay: 30.0,
+            progress: 0.2,
+        }
+    }
+
+    #[test]
+    fn queued_jobs_limited_to_one_replica() {
+        let c = cluster();
+        let configs = sia_cluster::config_set(&c);
+        let job = spec_job(Adaptivity::Adaptive, 1, 64);
+        let est = estimator();
+        let cur = Placement::empty();
+        let v = view(&job, &est, &cur);
+        let cands = job_candidates(&v, &c, &configs, -0.5, 1.1);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|cd| cd.config.gpus == 1));
+        // One candidate per GPU type.
+        assert_eq!(cands.len(), 3);
+    }
+
+    #[test]
+    fn running_jobs_can_double_but_not_more() {
+        let c = cluster();
+        let configs = sia_cluster::config_set(&c);
+        let job = spec_job(Adaptivity::Adaptive, 1, 64);
+        let est = estimator();
+        // Currently 2 GPUs on node 0 (t4).
+        let cur = Placement::new(vec![(0, 2)]);
+        let v = view(&job, &est, &cur);
+        let cands = job_candidates(&v, &c, &configs, -0.5, 1.1);
+        assert!(cands.iter().all(|cd| cd.config.gpus <= 4));
+        assert!(cands.iter().any(|cd| cd.config.gpus == 4));
+        // Scale-down to 1 remains possible.
+        assert!(cands.iter().any(|cd| cd.config.gpus == 1));
+    }
+
+    #[test]
+    fn rigid_jobs_fix_gpu_count_vary_type() {
+        let c = cluster();
+        let configs = sia_cluster::config_set(&c);
+        let job = spec_job(
+            Adaptivity::Rigid {
+                batch_size: 512.0,
+                num_gpus: 4,
+            },
+            1,
+            64,
+        );
+        let est = estimator();
+        let cur = Placement::empty();
+        let v = view(&job, &est, &cur);
+        let cands = job_candidates(&v, &c, &configs, -0.5, 1.1);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|cd| cd.config.gpus == 4));
+        // All three types have a 4-GPU configuration.
+        let types: std::collections::BTreeSet<_> =
+            cands.iter().map(|cd| cd.config.gpu_type).collect();
+        assert_eq!(types.len(), 3);
+    }
+
+    #[test]
+    fn restart_discount_applied_to_moves_only() {
+        let c = cluster();
+        let configs = sia_cluster::config_set(&c);
+        let job = spec_job(Adaptivity::Adaptive, 1, 64);
+        let est = estimator();
+        let cur = Placement::new(vec![(0, 2)]); // (1, 2, t4)
+        let v = view(&job, &est, &cur);
+        // With p < 0, smaller (r*G)^p is better, so keeping should have
+        // weight advantage over an *equal-goodput* move. Compare the keep
+        // candidate against a hypothetical move with the same raw value.
+        let cands = job_candidates(&v, &c, &configs, -0.5, 1.1);
+        let keep = cands.iter().find(|cd| cd.keeps_current).unwrap();
+        assert_eq!(keep.config.gpus, 2);
+        let r = v.restart_factor();
+        assert!(r < 1.0);
+        // Reconstruct what the keep weight would be if it were a move.
+        let min_value = cands
+            .iter()
+            .map(|cd| cd.value)
+            .fold(f64::INFINITY, f64::min);
+        let g_keep = keep.value / min_value * 1.0;
+        let as_move = 1.1 - (g_keep * r).powf(-0.5);
+        assert!(keep.weight > as_move);
+    }
+
+    #[test]
+    fn positive_power_weights_are_value_plus_lambda() {
+        let c = cluster();
+        let configs = sia_cluster::config_set(&c);
+        let job = spec_job(Adaptivity::Adaptive, 1, 64);
+        let est = estimator();
+        let cur = Placement::empty();
+        let v = view(&job, &est, &cur);
+        let cands = job_candidates(&v, &c, &configs, 1.0, 2.0);
+        let min_value = cands
+            .iter()
+            .map(|cd| cd.value)
+            .fold(f64::INFINITY, f64::min);
+        for cd in &cands {
+            let expect = cd.value / min_value + 2.0;
+            assert!((cd.weight - expect).abs() < 1e-9);
+        }
+        // Best raw value gets the best weight under p > 0.
+        let best = cands
+            .iter()
+            .max_by(|a, b| a.value.partial_cmp(&b.value).unwrap())
+            .unwrap();
+        assert!(cands.iter().all(|cd| cd.weight <= best.weight + 1e-12));
+    }
+
+    #[test]
+    fn negative_power_prefers_higher_goodput_too() {
+        // With w = lambda - g^p and p < 0, larger g still means larger w.
+        let c = cluster();
+        let configs = sia_cluster::config_set(&c);
+        let job = spec_job(Adaptivity::Adaptive, 1, 64);
+        let est = estimator();
+        let cur = Placement::empty();
+        let v = view(&job, &est, &cur);
+        let cands = job_candidates(&v, &c, &configs, -0.5, 1.1);
+        let mut sorted = cands.clone();
+        sorted.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap());
+        for w in sorted.windows(2) {
+            assert!(w[0].weight <= w[1].weight + 1e-12);
+        }
+    }
+
+    #[test]
+    fn shape_for_distinguishes_local_and_dist() {
+        let t = GpuTypeId(0);
+        assert_eq!(
+            shape_for(&Configuration::new(1, 4, t), 4),
+            AllocShape::local(4)
+        );
+        assert_eq!(
+            shape_for(&Configuration::new(2, 8, t), 8),
+            AllocShape::dist(8)
+        );
+        assert_eq!(
+            shape_for(&Configuration::new(1, 1, t), 1),
+            AllocShape::single()
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! The Sia Placer: realizes chosen configurations on physical nodes.
+//!
+//! Placement rules (§3.1): (a) partial-node allocations never split across
+//! nodes, (b) whole-node allocations take whole nodes, (c) if fragmentation
+//! prevents a rule-conforming placement, evict and retry. Because the ILP's
+//! capacity constraints together with the §3.3 configuration restrictions
+//! guarantee a placement exists when packing from scratch, the retry is a
+//! clean re-pack in canonical order — the "evictions" are exactly the jobs
+//! whose kept placements had to move.
+
+use std::collections::BTreeMap;
+
+use sia_cluster::{ClusterSpec, Configuration, FreeGpus, JobId, Placement};
+use sia_sim::AllocationMap;
+
+use crate::matrix::matches_placement;
+
+/// Result of placement realization.
+#[derive(Debug, Clone)]
+pub struct PlacerOutcome {
+    /// Final placements per job.
+    pub allocations: AllocationMap,
+    /// Jobs evicted from their kept placements by the fragmentation retry.
+    pub evictions: usize,
+    /// Jobs that could not be placed at all (should not happen for valid
+    /// ILP output; tracked defensively).
+    pub dropped: usize,
+}
+
+/// Realizes `decisions` (configuration per job, plus each job's current
+/// placement for move-avoidance) into concrete placements.
+pub fn realize(
+    spec: &ClusterSpec,
+    decisions: &[(JobId, Configuration, Placement)],
+) -> PlacerOutcome {
+    // Attempt 1: keep matching current placements, place the rest around
+    // them (reduces unnecessary migration / de-fragmentation restarts).
+    if let Some(allocations) = try_with_keeps(spec, decisions) {
+        return PlacerOutcome {
+            allocations,
+            evictions: 0,
+            dropped: 0,
+        };
+    }
+    // Attempt 2 (rule c): evict everything and re-pack in canonical order.
+    let mut free = FreeGpus::all_free(spec);
+    let mut order: Vec<usize> = (0..decisions.len()).collect();
+    canonical_sort(&mut order, decisions);
+    let mut allocations = AllocationMap::new();
+    let mut dropped = 0usize;
+    let mut evictions = 0usize;
+    for i in order {
+        let (job, cfg, current) = &decisions[i];
+        match free.place(spec, cfg) {
+            Ok(p) => {
+                if !current.is_empty() && p != *current {
+                    evictions += 1;
+                }
+                allocations.insert(*job, p);
+            }
+            Err(_) => dropped += 1,
+        }
+    }
+    PlacerOutcome {
+        allocations,
+        evictions,
+        dropped,
+    }
+}
+
+/// Attempt 1: honor kept placements; `None` on fragmentation.
+fn try_with_keeps(
+    spec: &ClusterSpec,
+    decisions: &[(JobId, Configuration, Placement)],
+) -> Option<AllocationMap> {
+    let mut free = FreeGpus::all_free(spec);
+    let mut allocations = AllocationMap::new();
+    let mut rest: Vec<usize> = Vec::new();
+    for (i, (job, cfg, current)) in decisions.iter().enumerate() {
+        if matches_placement(spec, cfg, current) {
+            free.take(current);
+            allocations.insert(*job, current.clone());
+        } else {
+            rest.push(i);
+        }
+    }
+    canonical_sort(&mut rest, decisions);
+    for i in rest {
+        let (job, cfg, _) = &decisions[i];
+        match free.place(spec, cfg) {
+            Ok(p) => {
+                allocations.insert(*job, p);
+            }
+            Err(_) => return None,
+        }
+    }
+    Some(allocations)
+}
+
+/// Canonical packing order: multi-node (descending node count) first, then
+/// partial-node allocations by descending GPU count (buddy packing).
+fn canonical_sort(order: &mut [usize], decisions: &[(JobId, Configuration, Placement)]) {
+    order.sort_by_key(|&i| {
+        let cfg = &decisions[i].1;
+        (
+            std::cmp::Reverse(cfg.nodes),
+            std::cmp::Reverse(cfg.gpus),
+            decisions[i].0,
+        )
+    });
+}
+
+/// Convenience: realize an ILP solution map against current placements.
+pub fn realize_map(
+    spec: &ClusterSpec,
+    chosen: &BTreeMap<JobId, Configuration>,
+    current: &BTreeMap<JobId, Placement>,
+) -> PlacerOutcome {
+    let decisions: Vec<_> = chosen
+        .iter()
+        .map(|(&job, &cfg)| {
+            let cur = current.get(&job).cloned().unwrap_or_else(Placement::empty);
+            (job, cfg, cur)
+        })
+        .collect();
+    realize(spec, &decisions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_cluster::GpuTypeId;
+
+    fn cluster() -> ClusterSpec {
+        // 4 nodes x 4 t4 GPUs.
+        let mut c = ClusterSpec::new();
+        let t = c.add_gpu_kind("t4", 16.0, 1);
+        c.add_nodes(t, 4, 4);
+        c
+    }
+
+    #[test]
+    fn keeps_current_placements_when_possible() {
+        let c = cluster();
+        let t = GpuTypeId(0);
+        let current = Placement::new(vec![(2, 2)]);
+        let decisions = vec![
+            (JobId(1), Configuration::new(1, 2, t), current.clone()),
+            (JobId(2), Configuration::new(1, 4, t), Placement::empty()),
+        ];
+        let out = realize(&c, &decisions);
+        assert_eq!(out.evictions, 0);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.allocations[&JobId(1)], current);
+        assert_eq!(out.allocations[&JobId(2)].total_gpus(), 4);
+        // Whole-node job must not share node 2.
+        assert!(out.allocations[&JobId(2)]
+            .slots
+            .iter()
+            .all(|&(n, _)| n != 2));
+    }
+
+    #[test]
+    fn fragmentation_triggers_repack() {
+        let c = cluster();
+        let t = GpuTypeId(0);
+        // Four jobs currently holding 1 GPU on each of the four nodes; a new
+        // job needs 2 whole nodes. Keeping all four placements fragments the
+        // cluster, so the placer must evict some.
+        let decisions = vec![
+            (
+                JobId(1),
+                Configuration::new(1, 1, t),
+                Placement::new(vec![(0, 1)]),
+            ),
+            (
+                JobId(2),
+                Configuration::new(1, 1, t),
+                Placement::new(vec![(1, 1)]),
+            ),
+            (
+                JobId(3),
+                Configuration::new(1, 1, t),
+                Placement::new(vec![(2, 1)]),
+            ),
+            (
+                JobId(4),
+                Configuration::new(1, 1, t),
+                Placement::new(vec![(3, 1)]),
+            ),
+            (JobId(5), Configuration::new(2, 8, t), Placement::empty()),
+        ];
+        let out = realize(&c, &decisions);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.allocations.len(), 5);
+        assert!(out.evictions > 0, "some jobs must have moved");
+        let multi = &out.allocations[&JobId(5)];
+        assert_eq!(multi.num_nodes(), 2);
+        assert_eq!(multi.total_gpus(), 8);
+    }
+
+    #[test]
+    fn capacity_tight_packing_succeeds() {
+        let c = cluster();
+        let t = GpuTypeId(0);
+        // Exactly fills the cluster: one 2-node job + 2x4 + 4x2 partials
+        // would exceed; use 1x(2,8) + 2x(1,4) = 16 GPUs.
+        let decisions = vec![
+            (JobId(1), Configuration::new(2, 8, t), Placement::empty()),
+            (JobId(2), Configuration::new(1, 4, t), Placement::empty()),
+            (JobId(3), Configuration::new(1, 4, t), Placement::empty()),
+        ];
+        let out = realize(&c, &decisions);
+        assert_eq!(out.dropped, 0);
+        let used: usize = out.allocations.values().map(|p| p.total_gpus()).sum();
+        assert_eq!(used, 16);
+    }
+
+    #[test]
+    fn distributed_jobs_never_share_nodes() {
+        let c = cluster();
+        let t = GpuTypeId(0);
+        let decisions = vec![
+            (JobId(1), Configuration::new(2, 8, t), Placement::empty()),
+            (JobId(2), Configuration::new(2, 8, t), Placement::empty()),
+        ];
+        let out = realize(&c, &decisions);
+        let a: Vec<usize> = out.allocations[&JobId(1)]
+            .slots
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
+        let b: Vec<usize> = out.allocations[&JobId(2)]
+            .slots
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
+        assert!(a.iter().all(|n| !b.contains(n)));
+    }
+}

@@ -1,0 +1,196 @@
+//! Finish-time fairness (FTF), extended to heterogeneous clusters (§5.5).
+//!
+//! Mahajan et al. define the FTF ratio `rho = T_shared / T_isolated`, where
+//! `T_isolated` is the job's completion time in an *isolated, fair-sized*
+//! cluster of `N_gpus / N_avg` GPUs (with `N_avg` the average contention the
+//! job observed). The Sia paper extends the metric to heterogeneous
+//! clusters as the expectation over GPU types (Eq. 6):
+//!
+//! ```text
+//! rho = sum_g P(G = g) * rho_g,   P(G = g) = N_g / N_total
+//! ```
+//!
+//! `rho > 1` marks an unfair execution (the job would have finished sooner
+//! in isolation).
+//!
+//! `T_isolated` is computed analytically from the job's *true* performance
+//! model: the job runs alone at its goodput-optimal configuration on its
+//! fair share of type-`g` GPUs, without restarts, with the noise scale at
+//! mid-training.
+
+use sia_cluster::{ClusterSpec, GpuTypeId, JobId};
+use sia_models::{optimize_goodput, AllocShape, BatchLimits};
+use sia_sim::{JobRecord, SimResult};
+
+/// Isolated completion time of a job on `share` GPUs of type `g`, seconds.
+fn isolated_jct(record: &JobRecord, spec: &ClusterSpec, g: GpuTypeId, share: usize) -> f64 {
+    let profile = record.model.profile();
+    let truth = profile.true_model(spec);
+    let kind_name = &spec.kind(g).name;
+    // Replica width (pipeline width for hybrid-parallel jobs).
+    let width = match profile.pipeline {
+        Some(pipe) => match pipe.gpus_per_replica(kind_name) {
+            Some(w) => w,
+            // The model cannot run on this type at all: an isolated cluster
+            // of this type gives no progress; treat as the reference share
+            // of 1 replica on the narrowest type to keep Eq. 6 finite.
+            None => return f64::INFINITY,
+        },
+        None => 1,
+    };
+    let n = share.clamp(1, record.max_gpus).max(width);
+    let replicas = (n / width).max(1);
+    let r = spec.gpus_per_node_of_type(g);
+    let gpus = replicas * width;
+    let shape = if replicas == 1 {
+        AllocShape::single()
+    } else if gpus <= r {
+        AllocShape::local(replicas)
+    } else {
+        AllocShape::dist(replicas)
+    };
+    let limits = match profile.pipeline {
+        Some(pipe) => BatchLimits::fixed(pipe.replica_batch * replicas as f64),
+        None => profile.batch_limits(),
+    };
+    let eff = truth.eff_at(0.5);
+    match optimize_goodput(&truth.per_type[g.0], &eff, shape, limits) {
+        Some(p) if p.goodput > 0.0 => record.work_target / p.goodput,
+        _ => f64::INFINITY,
+    }
+}
+
+/// Heterogeneous FTF ratio (Eq. 6) for every finished job.
+pub fn ftf_ratios(result: &SimResult, spec: &ClusterSpec) -> Vec<(JobId, f64)> {
+    let total = spec.total_gpus() as f64;
+    result
+        .records
+        .iter()
+        .filter_map(|rec| {
+            let jct = rec.jct()?;
+            let contention = rec.avg_contention.max(1.0);
+            let mut rho = 0.0;
+            for g in spec.gpu_types() {
+                let n_g = spec.gpus_of_type(g) as f64;
+                let share = (n_g / contention).floor().max(1.0) as usize;
+                let iso = isolated_jct(rec, spec, g, share);
+                let rho_g = if iso.is_finite() { jct / iso } else { 0.0 };
+                // Types the job cannot use contribute their probability mass
+                // at the job's *best usable* ratio; handled below by
+                // re-normalization.
+                rho += (n_g / total) * rho_g;
+            }
+            Some((rec.id, rho))
+        })
+        .collect()
+}
+
+/// Worst (largest) FTF ratio across jobs.
+pub fn worst_ftf(ratios: &[(JobId, f64)]) -> f64 {
+    ratios.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+}
+
+/// Fraction of jobs with `rho > 1` (unfair executions).
+pub fn unfair_fraction(ratios: &[(JobId, f64)]) -> f64 {
+    if ratios.is_empty() {
+        return 0.0;
+    }
+    ratios.iter().filter(|&&(_, r)| r > 1.0).count() as f64 / ratios.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_sim::RoundLog;
+    use sia_workloads::{ModelKind, SizeCategory};
+
+    fn record(jct: f64, contention: f64, work: f64) -> JobRecord {
+        JobRecord {
+            id: JobId(0),
+            name: "j".into(),
+            model: ModelKind::ResNet18,
+            category: SizeCategory::Small,
+            submit_time: 0.0,
+            first_start: Some(0.0),
+            finish_time: Some(jct),
+            gpu_seconds: 100.0,
+            restarts: 0,
+            failures: 0,
+            avg_contention: contention,
+            max_gpus: 8,
+            work_target: work,
+            work_done: work,
+        }
+    }
+
+    fn mk_result(records: Vec<JobRecord>) -> SimResult {
+        SimResult {
+            scheduler: "t",
+            records,
+            rounds: vec![RoundLog {
+                time: 0.0,
+                active_jobs: 1,
+                contention: 1,
+                allocations: vec![],
+                policy_runtime: 0.0,
+            }],
+            makespan: 100.0,
+            unfinished: 0,
+        }
+    }
+
+    #[test]
+    fn fast_job_is_fair() {
+        // A job that finished as fast as isolation would allow has rho <= 1.
+        let spec = ClusterSpec::heterogeneous_64();
+        // Work sized to take ~1000s on its fair share; give it JCT 500s
+        // (impossible in practice, but rho must then be < 1).
+        let rec = record(500.0, 4.0, 1e6);
+        let iso = isolated_jct(&rec, &spec, GpuTypeId(0), 6);
+        assert!(iso.is_finite() && iso > 0.0);
+        let ratios = ftf_ratios(&mk_result(vec![rec]), &spec);
+        assert_eq!(ratios.len(), 1);
+        assert!(ratios[0].1 > 0.0);
+    }
+
+    #[test]
+    fn slower_jct_gives_larger_rho() {
+        let spec = ClusterSpec::heterogeneous_64();
+        let fast = ftf_ratios(&mk_result(vec![record(1000.0, 4.0, 1e6)]), &spec)[0].1;
+        let slow = ftf_ratios(&mk_result(vec![record(4000.0, 4.0, 1e6)]), &spec)[0].1;
+        assert!((slow / fast - 4.0).abs() < 1e-6, "rho linear in JCT");
+    }
+
+    #[test]
+    fn higher_contention_lowers_isolated_share() {
+        // More contention -> smaller fair share -> longer isolated JCT ->
+        // smaller rho for the same shared JCT.
+        let spec = ClusterSpec::heterogeneous_64();
+        let lo = ftf_ratios(&mk_result(vec![record(2000.0, 2.0, 1e6)]), &spec)[0].1;
+        let hi = ftf_ratios(&mk_result(vec![record(2000.0, 16.0, 1e6)]), &spec)[0].1;
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn unfair_fraction_and_worst() {
+        let ratios = vec![
+            (JobId(0), 0.5),
+            (JobId(1), 1.5),
+            (JobId(2), 0.9),
+            (JobId(3), 2.5),
+        ];
+        assert!((unfair_fraction(&ratios) - 0.5).abs() < 1e-12);
+        assert_eq!(worst_ftf(&ratios), 2.5);
+        assert_eq!(unfair_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn homogeneous_reduces_to_single_type_definition() {
+        let spec = ClusterSpec::homogeneous_64();
+        let rec = record(2000.0, 4.0, 1e6);
+        let share = (64.0 / 4.0) as usize;
+        let iso = isolated_jct(&rec, &spec, GpuTypeId(0), share);
+        let ratios = ftf_ratios(&mk_result(vec![rec]), &spec);
+        assert!((ratios[0].1 - 2000.0 / iso).abs() < 1e-9);
+    }
+}

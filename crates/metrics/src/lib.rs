@@ -1,0 +1,24 @@
+//! Scheduler evaluation metrics.
+//!
+//! Implements every metric the paper reports: average and tail JCT,
+//! makespan, GPU-hours per job, contention, restarts, per-model GPU-hours
+//! (Figure 6), CDFs (Figures 4 and 8), and finish-time fairness extended to
+//! heterogeneous clusters (Eq. 6):
+//!
+//! ```text
+//! rho = sum_g P(G = g) * rho_g
+//! ```
+//!
+//! where `rho_g` is the homogeneous FTF ratio computed against an isolated
+//! fair-sized cluster of GPU type `g` and `P(G = g)` is the fraction of
+//! cluster GPUs of type `g`.
+
+#![forbid(unsafe_code)]
+
+pub mod fairness;
+pub mod stats;
+
+pub use fairness::{ftf_ratios, unfair_fraction, worst_ftf};
+pub use stats::{
+    avg_utilization, cdf, gpu_hours_by_model, percentile, summarize, utilization_series, Summary,
+};

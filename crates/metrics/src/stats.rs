@@ -1,0 +1,289 @@
+//! Aggregate scheduler statistics (Tables 3 and 4).
+
+use std::collections::BTreeMap;
+
+use sia_sim::SimResult;
+use sia_workloads::ModelKind;
+
+/// The metric row the paper's tables report per `(trace, policy)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// Number of finished jobs.
+    pub finished: usize,
+    /// Number of jobs unfinished at the horizon.
+    pub unfinished: usize,
+    /// Average job completion time, hours.
+    pub avg_jct_hours: f64,
+    /// 99th-percentile JCT, hours.
+    pub p99_jct_hours: f64,
+    /// Makespan (last completion), hours.
+    pub makespan_hours: f64,
+    /// Average GPU-hours consumed per job.
+    pub gpu_hours_per_job: f64,
+    /// Mean contention (jobs wanting resources) over rounds.
+    pub avg_contention: f64,
+    /// Peak contention.
+    pub max_contention: usize,
+    /// Average restarts per job.
+    pub avg_restarts: f64,
+    /// Median policy runtime per round, seconds.
+    pub median_policy_runtime: f64,
+}
+
+/// Linear-interpolated percentile of an unsorted sample (`q` in `[0, 1]`).
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Empirical CDF: sorted `(value, cumulative fraction)` points.
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len() as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Builds the paper's table row from one simulation result.
+pub fn summarize(result: &SimResult) -> Summary {
+    let jcts: Vec<f64> = result.records.iter().filter_map(|r| r.jct()).collect();
+    let finished = jcts.len();
+    let avg = if finished > 0 {
+        jcts.iter().sum::<f64>() / finished as f64
+    } else {
+        0.0
+    };
+    let contentions: Vec<f64> = result.rounds.iter().map(|r| r.contention as f64).collect();
+    let avg_contention = if contentions.is_empty() {
+        0.0
+    } else {
+        contentions.iter().sum::<f64>() / contentions.len() as f64
+    };
+    Summary {
+        scheduler: result.scheduler,
+        finished,
+        unfinished: result.unfinished,
+        avg_jct_hours: avg / 3600.0,
+        p99_jct_hours: percentile(&jcts, 0.99) / 3600.0,
+        makespan_hours: result.makespan / 3600.0,
+        gpu_hours_per_job: if result.records.is_empty() {
+            0.0
+        } else {
+            result.total_gpu_hours() / result.records.len() as f64
+        },
+        avg_contention,
+        max_contention: result
+            .rounds
+            .iter()
+            .map(|r| r.contention)
+            .max()
+            .unwrap_or(0),
+        avg_restarts: result.avg_restarts(),
+        median_policy_runtime: result.median_policy_runtime(),
+    }
+}
+
+/// Average GPU-hours per job, split by model (Figure 6).
+pub fn gpu_hours_by_model(result: &SimResult) -> BTreeMap<ModelKind, f64> {
+    let mut sums: BTreeMap<ModelKind, (f64, usize)> = BTreeMap::new();
+    for r in &result.records {
+        let e = sums.entry(r.model).or_insert((0.0, 0));
+        e.0 += r.gpu_seconds / 3600.0;
+        e.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(m, (total, n))| (m, total / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_cluster::JobId;
+    use sia_sim::{JobRecord, RoundLog};
+    use sia_workloads::SizeCategory;
+
+    fn record(id: u64, model: ModelKind, jct: Option<f64>, gpu_secs: f64) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            name: format!("j{id}"),
+            model,
+            category: SizeCategory::Small,
+            submit_time: 0.0,
+            first_start: Some(10.0),
+            finish_time: jct,
+            gpu_seconds: gpu_secs,
+            restarts: 1,
+            failures: 0,
+            avg_contention: 3.0,
+            max_gpus: 8,
+            work_target: 100.0,
+            work_done: 100.0,
+        }
+    }
+
+    fn result(records: Vec<JobRecord>) -> SimResult {
+        let unfinished = records.iter().filter(|r| r.finish_time.is_none()).count();
+        SimResult {
+            scheduler: "test",
+            records,
+            rounds: vec![RoundLog {
+                time: 0.0,
+                active_jobs: 2,
+                contention: 2,
+                allocations: vec![],
+                policy_runtime: 0.01,
+            }],
+            makespan: 7200.0,
+            unfinished,
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_ends_at_one() {
+        let pts = cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(pts.len(), 3);
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let r = result(vec![
+            record(0, ModelKind::ResNet18, Some(3600.0), 3600.0),
+            record(1, ModelKind::Bert, Some(7200.0), 7200.0),
+            record(2, ModelKind::Bert, None, 1800.0),
+        ]);
+        let s = summarize(&r);
+        assert_eq!(s.finished, 2);
+        assert_eq!(s.unfinished, 1);
+        assert!((s.avg_jct_hours - 1.5).abs() < 1e-9);
+        assert!((s.makespan_hours - 2.0).abs() < 1e-9);
+        assert!((s.gpu_hours_per_job - (3.5 / 3.0)).abs() < 1e-9);
+        assert_eq!(s.max_contention, 2);
+    }
+
+    #[test]
+    fn per_model_gpu_hours() {
+        let r = result(vec![
+            record(0, ModelKind::ResNet18, Some(100.0), 3600.0),
+            record(1, ModelKind::Bert, Some(100.0), 7200.0),
+            record(2, ModelKind::Bert, Some(100.0), 3600.0),
+        ]);
+        let by = gpu_hours_by_model(&r);
+        assert!((by[&ModelKind::ResNet18] - 1.0).abs() < 1e-9);
+        assert!((by[&ModelKind::Bert] - 1.5).abs() < 1e-9);
+    }
+}
+
+/// Cluster GPU utilization per round: fraction of `total_gpus` allocated.
+pub fn utilization_series(result: &SimResult, total_gpus: usize) -> Vec<(f64, f64)> {
+    result
+        .rounds
+        .iter()
+        .map(|r| {
+            let used: usize = r.allocations.iter().map(|&(_, _, g)| g).sum();
+            (r.time, used as f64 / total_gpus.max(1) as f64)
+        })
+        .collect()
+}
+
+/// Mean cluster utilization over the busy period (rounds with any active
+/// jobs).
+pub fn avg_utilization(result: &SimResult, total_gpus: usize) -> f64 {
+    let busy: Vec<f64> = result
+        .rounds
+        .iter()
+        .filter(|r| r.active_jobs > 0)
+        .map(|r| {
+            let used: usize = r.allocations.iter().map(|&(_, _, g)| g).sum();
+            used as f64 / total_gpus.max(1) as f64
+        })
+        .collect();
+    if busy.is_empty() {
+        0.0
+    } else {
+        busy.iter().sum::<f64>() / busy.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod util_tests {
+    use super::*;
+    use sia_cluster::{GpuTypeId, JobId};
+    use sia_sim::RoundLog;
+
+    fn round(time: f64, gpus: usize, active: usize) -> RoundLog {
+        RoundLog {
+            time,
+            active_jobs: active,
+            contention: active,
+            allocations: if gpus > 0 {
+                vec![(JobId(0), GpuTypeId(0), gpus)]
+            } else {
+                vec![]
+            },
+            policy_runtime: 0.0,
+        }
+    }
+
+    fn result_with(rounds: Vec<RoundLog>) -> SimResult {
+        SimResult {
+            scheduler: "t",
+            records: vec![],
+            rounds,
+            makespan: 0.0,
+            unfinished: 0,
+        }
+    }
+
+    #[test]
+    fn utilization_series_tracks_allocations() {
+        let r = result_with(vec![
+            round(0.0, 32, 2),
+            round(60.0, 64, 2),
+            round(120.0, 0, 0),
+        ]);
+        let s = utilization_series(&r, 64);
+        assert_eq!(s.len(), 3);
+        assert!((s[0].1 - 0.5).abs() < 1e-12);
+        assert!((s[1].1 - 1.0).abs() < 1e-12);
+        assert_eq!(s[2].1, 0.0);
+    }
+
+    #[test]
+    fn avg_utilization_ignores_idle_rounds() {
+        let r = result_with(vec![round(0.0, 32, 1), round(60.0, 0, 0)]);
+        assert!((avg_utilization(&r, 64) - 0.5).abs() < 1e-12);
+        assert_eq!(avg_utilization(&result_with(vec![]), 64), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Statistical-efficiency model (gradient noise scale).
+//!
+//! Pollux (and Sia, which borrows the model) quantifies how much *training
+//! progress per sample* is lost when the total batch size `M` grows beyond
+//! the submitter's baseline `M₀`:
+//!
+//! ```text
+//! EFF(M) = (phi + M0) / (phi + M)       for M >= M0
+//! ```
+//!
+//! where `phi` is the (pre-conditioned) gradient noise scale. Noisy
+//! gradients (large `phi`) keep large batches efficient; clean gradients
+//! make them wasteful. `phi` typically *grows* as training converges, which
+//! is why schedulers re-estimate it online and can scale jobs out later in
+//! training.
+
+/// Parameters of the statistical-efficiency model for one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencyParams {
+    /// Gradient noise scale `phi` (same unit as batch size).
+    pub phi: f64,
+    /// Baseline batch size `M0` at which efficiency is defined to be 1.
+    pub m0: f64,
+}
+
+impl EfficiencyParams {
+    /// Creates efficiency parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi < 0` or `m0 <= 0`.
+    pub fn new(phi: f64, m0: f64) -> Self {
+        assert!(phi >= 0.0 && m0 > 0.0, "invalid efficiency parameters");
+        EfficiencyParams { phi, m0 }
+    }
+
+    /// Statistical efficiency at total batch size `m` (clamped to `(0, 1]`).
+    pub fn efficiency(&self, m: f64) -> f64 {
+        let m = m.max(self.m0);
+        ((self.phi + self.m0) / (self.phi + m)).clamp(0.0, 1.0)
+    }
+
+    /// The largest batch size whose efficiency is at least `target`.
+    ///
+    /// Useful for bounding the batch search; returns `m0` when `target >= 1`.
+    pub fn batch_at_efficiency(&self, target: f64) -> f64 {
+        if target >= 1.0 {
+            return self.m0;
+        }
+        assert!(target > 0.0);
+        ((self.phi + self.m0) / target - self.phi).max(self.m0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_at_baseline_batch() {
+        let e = EfficiencyParams::new(1000.0, 128.0);
+        assert!((e.efficiency(128.0) - 1.0).abs() < 1e-12);
+        assert!((e.efficiency(64.0) - 1.0).abs() < 1e-12); // clamped below M0
+    }
+
+    #[test]
+    fn decreasing_in_batch_size() {
+        let e = EfficiencyParams::new(1000.0, 128.0);
+        let mut last = 1.0 + 1e-12;
+        for m in [128.0, 256.0, 512.0, 1024.0, 4096.0] {
+            let v = e.efficiency(m);
+            assert!(v <= last);
+            assert!(v > 0.0 && v <= 1.0);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn noisier_gradients_tolerate_larger_batches() {
+        let clean = EfficiencyParams::new(100.0, 128.0);
+        let noisy = EfficiencyParams::new(10_000.0, 128.0);
+        assert!(noisy.efficiency(4096.0) > clean.efficiency(4096.0));
+    }
+
+    #[test]
+    fn batch_at_efficiency_inverts_model() {
+        let e = EfficiencyParams::new(2000.0, 128.0);
+        for target in [0.9, 0.7, 0.5, 0.25] {
+            let m = e.batch_at_efficiency(target);
+            assert!((e.efficiency(m) - target).abs() < 1e-9);
+        }
+        assert_eq!(e.batch_at_efficiency(1.0), 128.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid efficiency parameters")]
+    fn rejects_nonpositive_m0() {
+        EfficiencyParams::new(10.0, 0.0);
+    }
+}

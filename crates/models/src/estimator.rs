@@ -1,0 +1,495 @@
+//! The scheduler-visible per-job goodput estimator.
+//!
+//! Each job owns one [`JobEstimator`] holding one throughput model per GPU
+//! type plus a statistical-efficiency estimate. The estimator implements
+//! Sia's low-overhead bootstrapping strategy (§3.2):
+//!
+//! 1. at submission the job is profiled for ~20 GPU-seconds on **one GPU of
+//!    each type**, pinning down the compute terms `(alpha_c, beta_c)` and the
+//!    per-type memory limit;
+//! 2. multi-GPU estimates for a type that has never run multi-GPU assume
+//!    *perfect scaling* (zero sync cost) until **any** type has a refined
+//!    (multi-GPU-observed) model;
+//! 3. once a reference type `A` is refined, an unrefined type `B` is
+//!    estimated with the Eq. 1 ratio rule
+//!    `est-xput_B(N) = xput_B(1) / xput_A(1) * xput_A(N)`;
+//! 4. a multi-GPU observation on `B` discards the bootstrap and refits `B`'s
+//!    own model.
+//!
+//! The `Oracle` and `NoProf` profiling modes of §5.7 are provided for the
+//! profiling-overhead ablation.
+
+use sia_cluster::GpuTypeId;
+
+use crate::efficiency::EfficiencyParams;
+use crate::fit::{fit_throughput, FitSample};
+use crate::goodput::{optimize_goodput, BatchLimits, GoodputPoint};
+use crate::throughput::{AllocShape, ThroughputParams};
+
+/// How much initial profiling information the estimator starts with (§5.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfilingMode {
+    /// The estimator knows the true model for every type (ideal baseline).
+    Oracle,
+    /// Sia's default: one single-GPU profile per GPU type plus Eq. 1.
+    Bootstrap,
+    /// No initial profiling; learn only from configurations actually run.
+    NoProf,
+}
+
+/// Refinement state of one per-type throughput model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeModelState {
+    /// No information for this type at all (NoProf before first run).
+    Unknown,
+    /// Single-GPU profile only: compute terms known, sync terms are priors.
+    SingleGpuProfile,
+    /// At least one multi-GPU observation: full model trusted.
+    Refined,
+}
+
+/// One report from an Adaptive Executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// GPU type the job ran on.
+    pub gpu_type: GpuTypeId,
+    /// Allocation shape / batch / measured iteration time.
+    pub sample: FitSample,
+    /// Measured gradient noise scale (`phi`).
+    pub measured_phi: f64,
+}
+
+/// Per-type model plus its observation history.
+#[derive(Debug, Clone)]
+struct TypeModel {
+    params: ThroughputParams,
+    state: TypeModelState,
+    samples: Vec<FitSample>,
+    /// Sample count at the last refit (refits are throttled geometrically).
+    last_fit: usize,
+}
+
+/// Cap on retained observations per type (drop-oldest beyond this).
+const MAX_SAMPLES: usize = 72;
+/// Exponential-moving-average factor for the measured noise scale.
+const PHI_EMA: f64 = 0.3;
+
+/// The per-job goodput estimator.
+#[derive(Debug, Clone)]
+pub struct JobEstimator {
+    mode: ProfilingMode,
+    types: Vec<TypeModel>,
+    eff: EfficiencyParams,
+    limits: BatchLimits,
+    version: u64,
+}
+
+impl JobEstimator {
+    /// Oracle estimator: sees the true per-type models and efficiency.
+    pub fn oracle(
+        true_params: Vec<ThroughputParams>,
+        eff: EfficiencyParams,
+        limits: BatchLimits,
+    ) -> Self {
+        let types = true_params
+            .into_iter()
+            .map(|params| TypeModel {
+                params,
+                state: TypeModelState::Refined,
+                samples: Vec::new(),
+                last_fit: 0,
+            })
+            .collect();
+        JobEstimator {
+            mode: ProfilingMode::Oracle,
+            types,
+            eff,
+            limits,
+            version: 0,
+        }
+    }
+
+    /// Bootstrap estimator from single-GPU profiles (§3.2).
+    ///
+    /// `profiles[t]` must contain the measured compute terms and memory
+    /// limit for GPU type `t`; sync terms are taken from `sync_prior`.
+    pub fn bootstrap(
+        profiles: Vec<ThroughputParams>,
+        eff_prior: EfficiencyParams,
+        limits: BatchLimits,
+    ) -> Self {
+        let types = profiles
+            .into_iter()
+            .map(|params| TypeModel {
+                params,
+                state: TypeModelState::SingleGpuProfile,
+                samples: Vec::new(),
+                last_fit: 0,
+            })
+            .collect();
+        JobEstimator {
+            mode: ProfilingMode::Bootstrap,
+            types,
+            eff: eff_prior,
+            limits,
+            version: 0,
+        }
+    }
+
+    /// NoProf estimator: a generic prior for every type, refined only by
+    /// running.
+    pub fn no_prof(
+        generic_prior: ThroughputParams,
+        num_types: usize,
+        eff_prior: EfficiencyParams,
+        limits: BatchLimits,
+    ) -> Self {
+        let types = (0..num_types)
+            .map(|_| TypeModel {
+                params: generic_prior,
+                state: TypeModelState::Unknown,
+                samples: Vec::new(),
+                last_fit: 0,
+            })
+            .collect();
+        JobEstimator {
+            mode: ProfilingMode::NoProf,
+            types,
+            eff: eff_prior,
+            limits,
+            version: 0,
+        }
+    }
+
+    /// The profiling mode this estimator was built with.
+    pub fn mode(&self) -> ProfilingMode {
+        self.mode
+    }
+
+    /// Monotone counter bumped on every model update; lets policies cache
+    /// goodput evaluations across scheduling rounds.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The job's batch limits.
+    pub fn limits(&self) -> BatchLimits {
+        self.limits
+    }
+
+    /// Current efficiency-model estimate.
+    pub fn efficiency_params(&self) -> EfficiencyParams {
+        self.eff
+    }
+
+    /// Refinement state of a type's model.
+    pub fn type_state(&self, t: GpuTypeId) -> TypeModelState {
+        self.types[t.0].state
+    }
+
+    /// Current fitted parameters for a type.
+    pub fn type_params(&self, t: GpuTypeId) -> &ThroughputParams {
+        &self.types[t.0].params
+    }
+
+    /// Ingests one executor report: refits the type's throughput model and
+    /// updates the noise-scale estimate. No-op in `Oracle` mode.
+    pub fn observe(&mut self, obs: Observation) {
+        // The noise scale is measured regardless of mode fidelity, but the
+        // Oracle already knows everything.
+        if self.mode == ProfilingMode::Oracle {
+            return;
+        }
+        self.version += 1;
+        self.eff = EfficiencyParams::new(
+            (1.0 - PHI_EMA) * self.eff.phi + PHI_EMA * obs.measured_phi.max(0.0),
+            self.eff.m0,
+        );
+        let tm = &mut self.types[obs.gpu_type.0];
+        if tm.samples.len() >= MAX_SAMPLES {
+            tm.samples.remove(0);
+        }
+        tm.samples.push(obs.sample);
+        // Refit on a geometric schedule: always for the first few samples,
+        // then only once the history has grown ~25% since the last fit.
+        // A change in allocation shape (new replica count) forces a refit.
+        let n = tm.samples.len();
+        let shape_is_new = !tm.samples[..n - 1]
+            .iter()
+            .any(|s| s.shape == obs.sample.shape);
+        if n <= 6 || shape_is_new || n >= tm.last_fit + (tm.last_fit / 4).max(4) {
+            tm.params = fit_throughput(&tm.params, &tm.samples);
+            tm.last_fit = n;
+        }
+        if obs.sample.shape.replicas > 1 {
+            tm.state = TypeModelState::Refined;
+        } else if tm.state == TypeModelState::Unknown {
+            tm.state = TypeModelState::SingleGpuProfile;
+        }
+    }
+
+    /// Chooses the reference type for the Eq. 1 bootstrap: the refined type
+    /// with the most observations.
+    fn reference_type(&self) -> Option<GpuTypeId> {
+        self.types
+            .iter()
+            .enumerate()
+            .filter(|(_, tm)| tm.state == TypeModelState::Refined)
+            .max_by_key(|(_, tm)| tm.samples.len())
+            .map(|(i, _)| GpuTypeId(i))
+    }
+
+    /// Estimates the goodput-optimal operating point of this job on
+    /// `replicas` GPUs of type `t` (spanning nodes iff `distributed`).
+    ///
+    /// Returns `None` when the job cannot run in that shape (batch limits
+    /// unreachable).
+    pub fn estimate(&self, t: GpuTypeId, shape: AllocShape) -> Option<GoodputPoint> {
+        self.estimate_with_limits(t, shape, self.limits)
+    }
+
+    /// Like [`JobEstimator::estimate`] but with explicit batch limits
+    /// (strong-scaling and rigid jobs pin the batch).
+    pub fn estimate_with_limits(
+        &self,
+        t: GpuTypeId,
+        shape: AllocShape,
+        limits: BatchLimits,
+    ) -> Option<GoodputPoint> {
+        let tm = &self.types[t.0];
+        let own_trusted = self.mode == ProfilingMode::Oracle
+            || tm.state == TypeModelState::Refined
+            || shape.replicas == 1;
+        if own_trusted {
+            return optimize_goodput(&tm.params, &self.eff, shape, limits);
+        }
+
+        match self.reference_type() {
+            Some(r) if r.0 != t.0 => {
+                // Eq. 1: est-xput_t(N) = xput_t(1)/xput_r(1) * xput_r(N),
+                // applied at the goodput level.
+                let own1 = optimize_goodput(&tm.params, &self.eff, AllocShape::single(), limits)?;
+                let rm = &self.types[r.0];
+                let ref1 = optimize_goodput(&rm.params, &self.eff, AllocShape::single(), limits)?;
+                let refn = optimize_goodput(&rm.params, &self.eff, shape, limits)?;
+                if ref1.goodput <= 0.0 {
+                    return None;
+                }
+                let ratio = own1.goodput / ref1.goodput;
+                Some(GoodputPoint {
+                    goodput: ratio * refn.goodput,
+                    throughput: ratio * refn.throughput,
+                    ..refn
+                })
+            }
+            _ => {
+                // No refined reference anywhere yet: one-time perfect-scaling
+                // assumption (zero communication cost, §3.2).
+                let mut optimistic = tm.params;
+                optimistic.alpha_n = 0.0;
+                optimistic.beta_n = 0.0;
+                optimistic.alpha_d = 0.0;
+                optimistic.beta_d = 0.0;
+                optimize_goodput(&optimistic, &self.eff, shape, limits)
+            }
+        }
+    }
+}
+
+/// A generic sync-cost prior used to seed bootstrap models before any
+/// multi-GPU observation refines them.
+pub fn default_sync_prior() -> ThroughputParams {
+    ThroughputParams {
+        alpha_c: 0.05,
+        beta_c: 0.002,
+        alpha_n: 0.05,
+        beta_n: 0.01,
+        alpha_d: 0.2,
+        beta_d: 0.05,
+        gamma: 2.0,
+        max_local_bsz: 128.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_type() -> ThroughputParams {
+        ThroughputParams {
+            alpha_c: 0.02,
+            beta_c: 0.0005,
+            alpha_n: 0.01,
+            beta_n: 0.002,
+            alpha_d: 0.04,
+            beta_d: 0.01,
+            gamma: 3.0,
+            max_local_bsz: 512.0,
+        }
+    }
+
+    fn slow_type() -> ThroughputParams {
+        ThroughputParams {
+            alpha_c: 0.05,
+            beta_c: 0.002,
+            alpha_n: 0.02,
+            beta_n: 0.005,
+            alpha_d: 0.10,
+            beta_d: 0.03,
+            gamma: 3.0,
+            max_local_bsz: 256.0,
+        }
+    }
+
+    fn limits() -> BatchLimits {
+        BatchLimits::new(128.0, 4096.0)
+    }
+
+    fn eff() -> EfficiencyParams {
+        EfficiencyParams::new(2000.0, 128.0)
+    }
+
+    #[test]
+    fn oracle_prefers_faster_type() {
+        let est = JobEstimator::oracle(vec![slow_type(), fast_type()], eff(), limits());
+        let slow = est.estimate(GpuTypeId(0), AllocShape::local(4)).unwrap();
+        let fast = est.estimate(GpuTypeId(1), AllocShape::local(4)).unwrap();
+        assert!(fast.goodput > slow.goodput);
+    }
+
+    #[test]
+    fn perfect_scaling_assumed_before_any_multi_gpu_run() {
+        // Bootstrap mode, no observations: the 2-GPU estimate must be
+        // exactly 2x the 1-GPU *throughput* ceiling under zero sync cost.
+        let est = JobEstimator::bootstrap(vec![slow_type()], eff(), limits());
+        let one = est.estimate(GpuTypeId(0), AllocShape::single()).unwrap();
+        let two = est.estimate(GpuTypeId(0), AllocShape::local(2)).unwrap();
+        // With zero sync cost and the same per-GPU batch, throughput exactly
+        // doubles; efficiency drops only if the optimizer chooses a larger
+        // total batch, so goodput is between 1x and 2x.
+        assert!(two.goodput > one.goodput);
+        assert!(two.throughput <= 2.0 * one.throughput + 1e-6);
+    }
+
+    #[test]
+    fn bootstrap_ratio_rule_after_reference_refined() {
+        let mut est = JobEstimator::bootstrap(vec![slow_type(), fast_type()], eff(), limits());
+        // Run multi-GPU on type 0 -> type 0 becomes the refined reference.
+        let truth0 = slow_type();
+        for &k in &[2usize, 4, 8] {
+            est.observe(Observation {
+                gpu_type: GpuTypeId(0),
+                sample: FitSample {
+                    shape: AllocShape::local(k),
+                    local_bsz: 64.0,
+                    accum_steps: 0,
+                    iter_time: truth0.t_iter(AllocShape::local(k), 64.0, 0),
+                },
+                measured_phi: 2000.0,
+            });
+        }
+        assert_eq!(est.type_state(GpuTypeId(0)), TypeModelState::Refined);
+        assert_eq!(
+            est.type_state(GpuTypeId(1)),
+            TypeModelState::SingleGpuProfile
+        );
+        // Type 1 multi-GPU estimate now uses the ratio rule; it must exceed
+        // type 0's (type 1 is faster at 1 GPU) and stay finite.
+        let e0 = est.estimate(GpuTypeId(0), AllocShape::local(4)).unwrap();
+        let e1 = est.estimate(GpuTypeId(1), AllocShape::local(4)).unwrap();
+        assert!(e1.goodput > e0.goodput);
+    }
+
+    #[test]
+    fn multi_gpu_observation_discards_bootstrap() {
+        let mut est = JobEstimator::bootstrap(vec![slow_type(), fast_type()], eff(), limits());
+        let truth1 = fast_type();
+        for &k in &[2usize, 4] {
+            est.observe(Observation {
+                gpu_type: GpuTypeId(1),
+                sample: FitSample {
+                    shape: AllocShape::dist(k),
+                    local_bsz: 64.0,
+                    accum_steps: 0,
+                    iter_time: truth1.t_iter(AllocShape::dist(k), 64.0, 0),
+                },
+                measured_phi: 2000.0,
+            });
+        }
+        assert_eq!(est.type_state(GpuTypeId(1)), TypeModelState::Refined);
+        // Estimates for type 1 now come from its own fitted model.
+        let e = est.estimate(GpuTypeId(1), AllocShape::dist(4)).unwrap();
+        let truth_thr = truth1.throughput(AllocShape::dist(4), e.local_bsz, e.accum_steps);
+        assert!((e.throughput - truth_thr).abs() / truth_thr < 0.2);
+    }
+
+    #[test]
+    fn phi_updates_via_ema() {
+        let mut est = JobEstimator::bootstrap(vec![slow_type()], eff(), limits());
+        let phi0 = est.efficiency_params().phi;
+        est.observe(Observation {
+            gpu_type: GpuTypeId(0),
+            sample: FitSample {
+                shape: AllocShape::single(),
+                local_bsz: 64.0,
+                accum_steps: 0,
+                iter_time: 0.2,
+            },
+            measured_phi: 10_000.0,
+        });
+        let phi1 = est.efficiency_params().phi;
+        assert!(phi1 > phi0);
+        assert!(phi1 < 10_000.0);
+    }
+
+    #[test]
+    fn oracle_ignores_observations() {
+        let mut est = JobEstimator::oracle(vec![slow_type()], eff(), limits());
+        let before = est.estimate(GpuTypeId(0), AllocShape::local(4)).unwrap();
+        est.observe(Observation {
+            gpu_type: GpuTypeId(0),
+            sample: FitSample {
+                shape: AllocShape::local(4),
+                local_bsz: 64.0,
+                accum_steps: 0,
+                iter_time: 99.0, // absurd measurement
+            },
+            measured_phi: 1.0,
+        });
+        let after = est.estimate(GpuTypeId(0), AllocShape::local(4)).unwrap();
+        assert_eq!(before.goodput, after.goodput);
+    }
+
+    #[test]
+    fn noprof_uses_learned_type_for_unknown_types() {
+        let mut est = JobEstimator::no_prof(default_sync_prior(), 2, eff(), limits());
+        assert_eq!(est.type_state(GpuTypeId(0)), TypeModelState::Unknown);
+        let truth0 = slow_type();
+        for &k in &[1usize, 2, 4] {
+            est.observe(Observation {
+                gpu_type: GpuTypeId(0),
+                sample: FitSample {
+                    shape: if k == 1 {
+                        AllocShape::single()
+                    } else {
+                        AllocShape::local(k)
+                    },
+                    local_bsz: 64.0,
+                    accum_steps: 0,
+                    iter_time: truth0.t_iter(AllocShape::local(k), 64.0, 0),
+                },
+                measured_phi: 2000.0,
+            });
+        }
+        // Type 1 never ran; its estimate borrows type 0 via the ratio rule
+        // with a ratio derived from the (prior) single-GPU models.
+        let e1 = est.estimate(GpuTypeId(1), AllocShape::local(4));
+        assert!(e1.is_some());
+    }
+
+    #[test]
+    fn infeasible_shapes_propagate_none() {
+        let est = JobEstimator::oracle(vec![slow_type()], eff(), BatchLimits::new(16.0, 32.0));
+        assert!(est.estimate(GpuTypeId(0), AllocShape::dist(64)).is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! Goodput = throughput × statistical efficiency, and its optimisation.
+//!
+//! Given a fixed allocation (replica count, co-located or distributed) and a
+//! job's batch-size limits, the Adaptive Executor picks the per-GPU batch
+//! size `m` and gradient-accumulation step count `s` that maximise goodput.
+//! Gradient accumulation lets a job reach a statistically desirable total
+//! batch even when per-GPU memory is small — the mechanism Sia uses to
+//! "fully exploit whichever GPU type" (§3.1).
+
+use crate::efficiency::EfficiencyParams;
+use crate::throughput::{AllocShape, ThroughputParams};
+
+/// Batch-size limits declared by the job submitter (Table 2's ranges).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchLimits {
+    /// Minimum (baseline) total batch size `M0`.
+    pub min_total: f64,
+    /// Maximum total batch size the job tolerates.
+    pub max_total: f64,
+}
+
+impl BatchLimits {
+    /// Creates limits; `0 < min_total <= max_total` required.
+    pub fn new(min_total: f64, max_total: f64) -> Self {
+        assert!(
+            min_total > 0.0 && min_total <= max_total,
+            "invalid batch limits"
+        );
+        BatchLimits {
+            min_total,
+            max_total,
+        }
+    }
+
+    /// Limits for a job with a fixed batch size (strong-scaling / rigid).
+    pub fn fixed(total: f64) -> Self {
+        BatchLimits::new(total, total)
+    }
+}
+
+/// The goodput-optimal operating point for one allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoodputPoint {
+    /// Goodput in efficiency-weighted samples per second.
+    pub goodput: f64,
+    /// Raw throughput in samples per second.
+    pub throughput: f64,
+    /// Statistical efficiency at the chosen batch.
+    pub efficiency: f64,
+    /// Chosen per-GPU batch size.
+    pub local_bsz: f64,
+    /// Chosen gradient-accumulation steps.
+    pub accum_steps: u32,
+    /// Total batch size `replicas * local_bsz * (accum_steps + 1)`.
+    pub total_bsz: f64,
+}
+
+/// Maximum gradient-accumulation steps considered.
+const MAX_ACCUM: u32 = 15;
+/// Batch grid resolution per accumulation level.
+const GRID: usize = 12;
+/// Golden-section refinement iterations around the grid optimum.
+const REFINE_ITERS: usize = 14;
+
+/// Finds the goodput-maximising `(m, s)` for an allocation.
+///
+/// Returns `None` when no batch assignment satisfies the limits (e.g. the
+/// minimum total batch cannot fit even with maximum accumulation, or the
+/// replica count already exceeds `max_total` at batch 1).
+///
+/// # Examples
+///
+/// ```
+/// use sia_models::{optimize_goodput, AllocShape, BatchLimits, EfficiencyParams, ThroughputParams};
+///
+/// let thr = ThroughputParams {
+///     alpha_c: 0.05, beta_c: 0.002,
+///     alpha_n: 0.02, beta_n: 0.005,
+///     alpha_d: 0.10, beta_d: 0.02,
+///     gamma: 2.5, max_local_bsz: 256.0,
+/// };
+/// let eff = EfficiencyParams::new(2000.0, 128.0);
+/// let point = optimize_goodput(&thr, &eff, AllocShape::local(4),
+///                              BatchLimits::new(128.0, 4096.0)).unwrap();
+/// assert!(point.goodput > 0.0);
+/// assert!(point.total_bsz >= 128.0 && point.total_bsz <= 4096.0);
+/// ```
+pub fn optimize_goodput(
+    thr: &ThroughputParams,
+    eff: &EfficiencyParams,
+    shape: AllocShape,
+    limits: BatchLimits,
+) -> Option<GoodputPoint> {
+    let k = shape.replicas as f64;
+    debug_assert!(shape.replicas >= 1);
+    let eval = |m: f64, s: u32| -> GoodputPoint {
+        let waves = s as f64 + 1.0;
+        let total = k * m * waves;
+        let throughput = thr.throughput(shape, m, s);
+        let efficiency = eff.efficiency(total);
+        GoodputPoint {
+            goodput: throughput * efficiency,
+            throughput,
+            efficiency,
+            local_bsz: m,
+            accum_steps: s,
+            total_bsz: total,
+        }
+    };
+    let mut best: Option<GoodputPoint> = None;
+    let mut had_unbound_level = false;
+    for s in 0..=MAX_ACCUM {
+        let waves = s as f64 + 1.0;
+        // Feasible per-GPU batch window for this accumulation level.
+        let m_lo = (limits.min_total / (k * waves)).max(1.0);
+        let m_hi = (limits.max_total / (k * waves)).min(thr.max_local_bsz);
+        if m_lo > m_hi {
+            continue;
+        }
+        // Skip levels that cannot improve: once a level existed whose window
+        // was not clipped by memory, higher accumulation only re-covers the
+        // same total-batch range at strictly higher compute cost.
+        if had_unbound_level {
+            break;
+        }
+        if limits.max_total / (k * waves) <= thr.max_local_bsz {
+            had_unbound_level = true;
+        }
+        // Geometric grid over [m_lo, m_hi], inclusive of both ends.
+        let ratio = m_hi / m_lo;
+        let mut best_here: Option<GoodputPoint> = None;
+        for g in 0..GRID {
+            let frac = g as f64 / (GRID - 1) as f64;
+            let p = eval(m_lo * ratio.powf(frac), s);
+            if best_here.map(|b| p.goodput > b.goodput).unwrap_or(true) {
+                best_here = Some(p);
+            }
+        }
+        // Golden-section refinement around the grid optimum (goodput is
+        // unimodal in m for fixed s in this model family).
+        if let Some(bh) = best_here {
+            let step = ratio.powf(1.0 / (GRID - 1) as f64);
+            let mut a = (bh.local_bsz / step).max(m_lo);
+            let mut b = (bh.local_bsz * step).min(m_hi);
+            let phi = 0.618_033_988_749_894_9;
+            for _ in 0..REFINE_ITERS {
+                let x1 = b - phi * (b - a);
+                let x2 = a + phi * (b - a);
+                if eval(x1, s).goodput < eval(x2, s).goodput {
+                    a = x1;
+                } else {
+                    b = x2;
+                }
+            }
+            let refined = eval(0.5 * (a + b), s);
+            let candidate = if refined.goodput > bh.goodput {
+                refined
+            } else {
+                bh
+            };
+            if best.map(|b| candidate.goodput > b.goodput).unwrap_or(true) {
+                best = Some(candidate);
+            }
+        }
+        // Accumulation levels beyond the first feasible one only help when
+        // memory binds, but the space is small enough to scan them all.
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thr() -> ThroughputParams {
+        ThroughputParams {
+            alpha_c: 0.05,
+            beta_c: 0.002,
+            alpha_n: 0.02,
+            beta_n: 0.005,
+            alpha_d: 0.10,
+            beta_d: 0.02,
+            gamma: 3.0,
+            max_local_bsz: 256.0,
+        }
+    }
+
+    fn eff() -> EfficiencyParams {
+        EfficiencyParams::new(2000.0, 128.0)
+    }
+
+    #[test]
+    fn finds_feasible_point_single_gpu() {
+        let p = optimize_goodput(
+            &thr(),
+            &eff(),
+            AllocShape::single(),
+            BatchLimits::new(128.0, 4096.0),
+        )
+        .unwrap();
+        assert!(p.goodput > 0.0);
+        assert!(p.total_bsz >= 128.0 - 1e-9 && p.total_bsz <= 4096.0 + 1e-9);
+        assert!(p.local_bsz <= 256.0 + 1e-9);
+        assert!((p.goodput - p.throughput * p.efficiency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodput_increases_with_gpus_for_scalable_job() {
+        let limits = BatchLimits::new(128.0, 8192.0);
+        let g1 = optimize_goodput(&thr(), &eff(), AllocShape::single(), limits)
+            .unwrap()
+            .goodput;
+        let g4 = optimize_goodput(&thr(), &eff(), AllocShape::local(4), limits)
+            .unwrap()
+            .goodput;
+        assert!(g4 > g1);
+        assert!(g4 < 4.0 * g1, "statistical efficiency must bite");
+    }
+
+    #[test]
+    fn accumulation_used_when_memory_binds() {
+        // Tiny GPU memory forces accumulation to reach the minimum batch.
+        let mut t = thr();
+        t.max_local_bsz = 32.0;
+        let p = optimize_goodput(
+            &t,
+            &eff(),
+            AllocShape::single(),
+            BatchLimits::new(128.0, 512.0),
+        )
+        .unwrap();
+        assert!(p.accum_steps >= 3, "needs >= 4 waves of 32 to reach 128");
+        assert!(p.total_bsz >= 128.0 - 1e-6);
+    }
+
+    #[test]
+    fn infeasible_when_min_batch_unreachable() {
+        let mut t = thr();
+        t.max_local_bsz = 1.0;
+        // 1 GPU x 1 sample x 16 waves = 16 < required 1000.
+        let p = optimize_goodput(
+            &t,
+            &eff(),
+            AllocShape::single(),
+            BatchLimits::new(1000.0, 2000.0),
+        );
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn infeasible_when_replicas_exceed_max_batch() {
+        // 64 replicas at batch >= 1 each => total >= 64 > max 32.
+        let p = optimize_goodput(
+            &thr(),
+            &eff(),
+            AllocShape::dist(64),
+            BatchLimits::new(16.0, 32.0),
+        );
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn fixed_batch_strong_scaling() {
+        let limits = BatchLimits::fixed(512.0);
+        let p = optimize_goodput(&thr(), &eff(), AllocShape::local(4), limits).unwrap();
+        assert!((p.total_bsz - 512.0).abs() / 512.0 < 0.01);
+        // Efficiency at the fixed batch is what it is; goodput tracks
+        // throughput.
+        assert!((p.efficiency - eff().efficiency(512.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn larger_memory_gpu_reaches_higher_goodput() {
+        // Same compute speed, more memory => at least as good.
+        let small = thr();
+        let mut big = thr();
+        big.max_local_bsz = 1024.0;
+        let limits = BatchLimits::new(128.0, 8192.0);
+        let gs = optimize_goodput(&small, &eff(), AllocShape::local(2), limits)
+            .unwrap()
+            .goodput;
+        let gb = optimize_goodput(&big, &eff(), AllocShape::local(2), limits)
+            .unwrap()
+            .goodput;
+        assert!(gb >= gs * (1.0 - 1e-6));
+    }
+}

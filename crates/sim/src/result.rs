@@ -1,0 +1,176 @@
+//! Simulation outputs: per-job records and per-round logs.
+
+use sia_cluster::{GpuTypeId, JobId};
+use sia_workloads::{ModelKind, SizeCategory};
+
+/// Outcome of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: JobId,
+    /// Job name.
+    pub name: String,
+    /// Model trained.
+    pub model: ModelKind,
+    /// Size category.
+    pub category: SizeCategory,
+    /// Submission time, seconds.
+    pub submit_time: f64,
+    /// First time the job held resources, if ever.
+    pub first_start: Option<f64>,
+    /// Completion time; `None` if the simulation horizon was hit first.
+    pub finish_time: Option<f64>,
+    /// GPU-seconds consumed (including restart overheads and profiling).
+    pub gpu_seconds: f64,
+    /// Number of restarts (placement changes after first start).
+    pub restarts: u32,
+    /// Number of injected worker failures the job recovered from.
+    pub failures: u32,
+    /// Average number of jobs contending for resources over this job's
+    /// lifetime (`N_avg` in the finish-time-fairness definition).
+    pub avg_contention: f64,
+    /// Maximum GPUs the submitter allowed.
+    pub max_gpus: usize,
+    /// Total work target, efficiency-weighted samples.
+    pub work_target: f64,
+    /// Work completed by the end of simulation.
+    pub work_done: f64,
+}
+
+impl JobRecord {
+    /// Job completion time (finish − submit); `None` if unfinished.
+    pub fn jct(&self) -> Option<f64> {
+        self.finish_time.map(|f| f - self.submit_time)
+    }
+
+    /// Queueing delay before first start, if the job ever started.
+    pub fn queue_delay(&self) -> Option<f64> {
+        self.first_start.map(|s| s - self.submit_time)
+    }
+}
+
+/// Per-round snapshot of cluster state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundLog {
+    /// Round start time, seconds.
+    pub time: f64,
+    /// Jobs submitted and unfinished at this round.
+    pub active_jobs: usize,
+    /// Jobs wanting resources (queued + running): the contention metric.
+    pub contention: usize,
+    /// Per-job allocations this round: `(job, gpu type, gpus)`.
+    pub allocations: Vec<(JobId, GpuTypeId, usize)>,
+    /// Wall-clock seconds the policy spent computing this round.
+    pub policy_runtime: f64,
+}
+
+/// Full result of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// Per-job records (every submitted job, finished or not).
+    pub records: Vec<JobRecord>,
+    /// Per-round logs.
+    pub rounds: Vec<RoundLog>,
+    /// Time of the last job completion (or the horizon), seconds.
+    pub makespan: f64,
+    /// Number of jobs still unfinished at the horizon.
+    pub unfinished: usize,
+}
+
+impl SimResult {
+    /// Average JCT over finished jobs, seconds.
+    pub fn avg_jct(&self) -> f64 {
+        let jcts: Vec<f64> = self.records.iter().filter_map(|r| r.jct()).collect();
+        if jcts.is_empty() {
+            return 0.0;
+        }
+        jcts.iter().sum::<f64>() / jcts.len() as f64
+    }
+
+    /// Total GPU-hours consumed across all jobs.
+    pub fn total_gpu_hours(&self) -> f64 {
+        self.records.iter().map(|r| r.gpu_seconds).sum::<f64>() / 3600.0
+    }
+
+    /// Average restarts per job.
+    pub fn avg_restarts(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.restarts as f64).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Median policy runtime per round, seconds.
+    pub fn median_policy_runtime(&self) -> f64 {
+        let mut v: Vec<f64> = self.rounds.iter().map(|r| r.policy_runtime).collect();
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(submit: f64, finish: Option<f64>) -> JobRecord {
+        JobRecord {
+            id: JobId(0),
+            name: "r".into(),
+            model: ModelKind::ResNet18,
+            category: SizeCategory::Small,
+            submit_time: submit,
+            first_start: Some(submit + 60.0),
+            finish_time: finish,
+            gpu_seconds: 3600.0,
+            restarts: 2,
+            failures: 0,
+            avg_contention: 4.0,
+            max_gpus: 8,
+            work_target: 100.0,
+            work_done: 100.0,
+        }
+    }
+
+    #[test]
+    fn jct_and_queue_delay() {
+        let r = record(100.0, Some(1100.0));
+        assert_eq!(r.jct(), Some(1000.0));
+        assert_eq!(r.queue_delay(), Some(60.0));
+        assert_eq!(record(0.0, None).jct(), None);
+    }
+
+    #[test]
+    fn aggregate_metrics() {
+        let result = SimResult {
+            scheduler: "test",
+            records: vec![record(0.0, Some(100.0)), record(0.0, Some(300.0))],
+            rounds: vec![
+                RoundLog {
+                    time: 0.0,
+                    active_jobs: 2,
+                    contention: 2,
+                    allocations: vec![],
+                    policy_runtime: 0.002,
+                },
+                RoundLog {
+                    time: 60.0,
+                    active_jobs: 1,
+                    contention: 1,
+                    allocations: vec![],
+                    policy_runtime: 0.004,
+                },
+            ],
+            makespan: 300.0,
+            unfinished: 0,
+        };
+        assert!((result.avg_jct() - 200.0).abs() < 1e-9);
+        assert!((result.total_gpu_hours() - 2.0).abs() < 1e-9);
+        assert!((result.avg_restarts() - 2.0).abs() < 1e-9);
+        assert!((result.median_policy_runtime() - 0.004).abs() < 1e-12);
+    }
+}

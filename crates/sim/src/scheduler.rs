@@ -1,0 +1,209 @@
+//! The scheduler interface: what policies see and what they return.
+
+use std::collections::BTreeMap;
+
+use sia_cluster::{ClusterSpec, Configuration, GpuTypeId, JobId, Placement};
+use sia_models::JobEstimator;
+use sia_workloads::JobSpec;
+
+/// Placements chosen by a scheduler for one round, keyed by job. Jobs absent
+/// from the map receive no resources.
+pub type AllocationMap = BTreeMap<JobId, Placement>;
+
+/// The scheduler-visible state of one active job.
+///
+/// Policies never see the job's true performance model — only the fitted
+/// [`JobEstimator`], the job's static spec and its execution history.
+#[derive(Debug, Clone)]
+pub struct JobView<'a> {
+    /// Job id.
+    pub id: JobId,
+    /// Submission-time spec (model, adaptivity, limits, work target).
+    pub spec: &'a JobSpec,
+    /// The job's current goodput estimator.
+    pub estimator: &'a JobEstimator,
+    /// Placement held during the previous round (empty if queued).
+    pub current: &'a Placement,
+    /// Seconds since submission.
+    pub age: f64,
+    /// Number of restarts (placement changes) so far.
+    pub restarts: u32,
+    /// Checkpoint-restore cost of this job, seconds (`S_i` in Eq. 3).
+    pub restart_delay: f64,
+    /// Fraction of the job's work completed, in `[0, 1]`.
+    pub progress: f64,
+}
+
+impl JobView<'_> {
+    /// GPUs per data-parallel replica on GPU type `t` (1 for pure DP; the
+    /// pipeline width for hybrid-parallel jobs; `None` if the model cannot
+    /// run on that type at all).
+    pub fn gpus_per_replica(&self, spec: &ClusterSpec, t: GpuTypeId) -> Option<usize> {
+        match self.spec.model.profile().pipeline {
+            None => Some(1),
+            Some(pipe) => pipe.gpus_per_replica(&spec.kind(t).name),
+        }
+    }
+
+    /// Number of data-parallel replicas the job would run with under `cfg`,
+    /// or `None` when the configuration's GPU count is not a multiple of the
+    /// replica width (or the type is unusable).
+    pub fn replicas_for(&self, spec: &ClusterSpec, cfg: &Configuration) -> Option<usize> {
+        let per = self.gpus_per_replica(spec, cfg.gpu_type)?;
+        if cfg.gpus.is_multiple_of(per) && cfg.gpus >= per {
+            Some(cfg.gpus / per)
+        } else {
+            None
+        }
+    }
+
+    /// The restart factor `r_i` of Eq. 3:
+    /// `r = (T + N*S) / (T + (N+1)*S)` with age `T`, restarts `N`, restart
+    /// cost `S` — the multiplicative goodput discount applied to
+    /// configurations that would restart the job.
+    pub fn restart_factor(&self) -> f64 {
+        let t = self.age.max(0.0);
+        let n = self.restarts as f64;
+        let s = self.restart_delay.max(0.0);
+        let denom = t + (n + 1.0) * s;
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        ((t + n * s) / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// A cluster scheduling policy.
+///
+/// Implementations include Sia (`sia-core`) and the Pollux / Gavel /
+/// Shockwave / Themis baselines (`sia-baselines`).
+pub trait Scheduler {
+    /// Display name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Scheduling-round duration, seconds.
+    fn round_duration(&self) -> f64 {
+        60.0
+    }
+
+    /// Computes placements for the next round.
+    ///
+    /// `jobs` lists every submitted-but-unfinished job. The returned map
+    /// must satisfy node capacities; jobs missing from it are left without
+    /// resources. Placements must keep each job on a single GPU type.
+    fn schedule(&mut self, now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_models::{BatchLimits, EfficiencyParams};
+    use sia_workloads::{Adaptivity, ModelKind, SizeCategory};
+
+    fn dummy_spec(model: ModelKind) -> JobSpec {
+        JobSpec {
+            id: JobId(0),
+            name: "j".into(),
+            model,
+            category: SizeCategory::Small,
+            submit_time: 0.0,
+            adaptivity: Adaptivity::Adaptive,
+            min_gpus: 1,
+            max_gpus: 8,
+            work_target: 1000.0,
+        }
+    }
+
+    fn dummy_view<'a>(
+        spec: &'a JobSpec,
+        est: &'a JobEstimator,
+        cur: &'a Placement,
+        age: f64,
+        restarts: u32,
+    ) -> JobView<'a> {
+        JobView {
+            id: spec.id,
+            spec,
+            estimator: est,
+            current: cur,
+            age,
+            restarts,
+            restart_delay: 50.0,
+            progress: 0.1,
+        }
+    }
+
+    #[test]
+    fn restart_factor_matches_eq3() {
+        let spec = dummy_spec(ModelKind::ResNet18);
+        let est = JobEstimator::oracle(
+            vec![],
+            EfficiencyParams::new(100.0, 10.0),
+            BatchLimits::new(10.0, 100.0),
+        );
+        let cur = Placement::empty();
+        // T=950, N=2, S=50: r = (950+100)/(950+150) = 1050/1100.
+        let v = dummy_view(&spec, &est, &cur, 950.0, 2);
+        assert!((v.restart_factor() - 1050.0 / 1100.0).abs() < 1e-12);
+        // Young jobs are cheap to restart relative to their life so far:
+        // the factor is small (strong discount).
+        let young = dummy_view(&spec, &est, &cur, 10.0, 0);
+        assert!(young.restart_factor() < 0.2);
+        // Old jobs with few restarts approach 1.
+        let old = dummy_view(&spec, &est, &cur, 100_000.0, 1);
+        assert!(old.restart_factor() > 0.99);
+    }
+
+    #[test]
+    fn replicas_for_dp_job() {
+        let cluster = ClusterSpec::heterogeneous_64();
+        let t4 = cluster.gpu_type_by_name("t4").unwrap();
+        let spec = dummy_spec(ModelKind::ResNet18);
+        let est = JobEstimator::oracle(
+            vec![],
+            EfficiencyParams::new(100.0, 10.0),
+            BatchLimits::new(10.0, 100.0),
+        );
+        let cur = Placement::empty();
+        let v = dummy_view(&spec, &est, &cur, 0.0, 0);
+        let cfg = Configuration::new(1, 4, t4);
+        assert_eq!(v.replicas_for(&cluster, &cfg), Some(4));
+    }
+
+    #[test]
+    fn replicas_for_hybrid_parallel_job() {
+        let mut cluster = ClusterSpec::new();
+        let rtx = cluster.add_gpu_kind("rtx", 11.0, 2);
+        let a100 = cluster.add_gpu_kind("a100", 40.0, 4);
+        let t4 = cluster.add_gpu_kind("t4", 16.0, 1);
+        cluster.add_nodes(rtx, 2, 8);
+        cluster.add_nodes(a100, 2, 8);
+        cluster.add_nodes(t4, 2, 4);
+        let spec = dummy_spec(ModelKind::Gpt2p8b);
+        let est = JobEstimator::oracle(
+            vec![],
+            EfficiencyParams::new(100.0, 10.0),
+            BatchLimits::new(10.0, 100.0),
+        );
+        let cur = Placement::empty();
+        let v = dummy_view(&spec, &est, &cur, 0.0, 0);
+        // 8 GPUs of rtx = 1 replica; 8 GPUs of a100 = 4 replicas; t4 never.
+        assert_eq!(
+            v.replicas_for(&cluster, &Configuration::new(1, 8, rtx)),
+            Some(1)
+        );
+        assert_eq!(
+            v.replicas_for(&cluster, &Configuration::new(1, 8, a100)),
+            Some(4)
+        );
+        assert_eq!(
+            v.replicas_for(&cluster, &Configuration::new(1, 4, t4)),
+            None
+        );
+        // 4 GPUs of rtx cannot host a whole pipeline.
+        assert_eq!(
+            v.replicas_for(&cluster, &Configuration::new(1, 4, rtx)),
+            None
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Error types for LP/MILP solving.
+
+use std::fmt;
+
+/// Errors returned by the LP and MILP solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The simplex iteration limit was exhausted before convergence.
+    IterationLimit(usize),
+    /// A model-construction error (bad bounds, unknown variable, NaN input).
+    InvalidModel(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Infeasible => write!(f, "problem is infeasible"),
+            SolverError::Unbounded => write!(f, "objective is unbounded"),
+            SolverError::IterationLimit(n) => {
+                write!(f, "simplex iteration limit ({n}) exhausted")
+            }
+            SolverError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}

@@ -1,0 +1,47 @@
+//! Linear and mixed-integer linear programming for the Sia scheduler.
+//!
+//! The Sia paper (SOSP 2023) formulates each scheduling round as a binary
+//! integer linear program (ILP) over a `(job, configuration)` assignment
+//! matrix, and the Gavel baseline solves a continuous LP over a
+//! `(job, GPU type)` time-fraction matrix. Mature ILP bindings are not
+//! available in this environment, so this crate implements both layers from
+//! scratch:
+//!
+//! * [`Problem`] — a sparse LP/MILP model builder (maximize or minimize a
+//!   linear objective subject to linear constraints and variable bounds).
+//! * [`simplex`] — a bounded-variable, two-phase revised simplex method.
+//!   Variable bounds are handled implicitly (no extra rows), which keeps the
+//!   Sia ILP at `#jobs + #GPU-types` rows regardless of how many binary
+//!   variables it has.
+//! * [`milp`] — best-first branch-and-bound on top of the LP relaxation,
+//!   with most-fractional branching and node/time limits.
+//!
+//! The solver is deterministic: identical inputs produce identical solutions.
+//!
+//! # Examples
+//!
+//! ```
+//! use sia_solver::{Problem, Sense};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x <= 2,  x, y >= 0
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_var(3.0, 0.0, f64::INFINITY);
+//! let y = p.add_var(2.0, 0.0, f64::INFINITY);
+//! p.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+//! p.add_le(&[(x, 1.0)], 2.0);
+//! let sol = p.solve_lp().unwrap();
+//! assert!((sol.objective - 10.0).abs() < 1e-7);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod lagrangian;
+pub mod milp;
+pub mod problem;
+pub mod simplex;
+
+pub use error::SolverError;
+pub use lagrangian::{solve_assignment_lagrangian, AssignmentItem, AssignmentSolution};
+pub use milp::{MilpOptions, MilpStatus};
+pub use problem::{ConstraintOp, Problem, Sense, Solution, VarId};

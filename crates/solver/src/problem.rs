@@ -1,0 +1,295 @@
+//! Sparse LP/MILP model builder.
+//!
+//! A [`Problem`] collects variables (with objective coefficients and bounds),
+//! sparse linear constraints, and optional integrality marks, then hands the
+//! model to the [`crate::simplex`] or [`crate::milp`] back-ends.
+
+use crate::error::SolverError;
+use crate::milp::{self, MilpOptions, MilpSolution};
+use crate::simplex;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `row · x <= rhs`
+    Le,
+    /// `row · x >= rhs`
+    Ge,
+    /// `row · x == rhs`
+    Eq,
+}
+
+/// Opaque handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Returns the dense column index of this variable.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A sparse linear constraint `terms · x (op) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable, coefficient)` pairs; duplicate variables are summed.
+    pub terms: Vec<(VarId, f64)>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A solved LP/MILP point.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Objective value in the problem's own sense.
+    pub objective: f64,
+    /// Primal values, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// Returns the value of `var` in this solution.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+}
+
+/// A linear (or mixed-integer linear) optimization problem.
+///
+/// Variables carry their objective coefficient and `[lower, upper]` bounds;
+/// constraints are sparse rows. Marking a variable with
+/// [`Problem::set_integer`] or adding it via [`Problem::add_binary_var`]
+/// turns LP solves into MILP solves (use [`Problem::solve_milp`]).
+#[derive(Debug, Clone)]
+pub struct Problem {
+    sense: Sense,
+    objective: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    integer: Vec<bool>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Problem {
+            sense,
+            objective: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            integer: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Returns the optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Returns the number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Returns the number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Returns true if any variable is marked integer.
+    pub fn is_mip(&self) -> bool {
+        self.integer.iter().any(|&b| b)
+    }
+
+    /// Adds a continuous variable with objective coefficient `obj` and
+    /// bounds `[lower, upper]`. `upper` may be `f64::INFINITY`; `lower`
+    /// must be finite.
+    pub fn add_var(&mut self, obj: f64, lower: f64, upper: f64) -> VarId {
+        debug_assert!(lower.is_finite(), "lower bound must be finite");
+        debug_assert!(lower <= upper, "lower bound must not exceed upper bound");
+        let id = VarId(self.objective.len());
+        self.objective.push(obj);
+        self.lower.push(lower);
+        self.upper.push(upper);
+        self.integer.push(false);
+        id
+    }
+
+    /// Adds a binary (0/1 integer) variable with objective coefficient `obj`.
+    pub fn add_binary_var(&mut self, obj: f64) -> VarId {
+        let id = self.add_var(obj, 0.0, 1.0);
+        self.integer[id.0] = true;
+        id
+    }
+
+    /// Marks an existing variable as integer.
+    pub fn set_integer(&mut self, var: VarId) {
+        self.integer[var.0] = true;
+    }
+
+    /// Returns whether `var` is marked integer.
+    pub fn is_integer(&self, var: VarId) -> bool {
+        self.integer[var.0]
+    }
+
+    /// Overrides the bounds of an existing variable.
+    pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        debug_assert!(lower.is_finite() && lower <= upper);
+        self.lower[var.0] = lower;
+        self.upper[var.0] = upper;
+    }
+
+    /// Returns `(lower, upper)` bounds of `var`.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        (self.lower[var.0], self.upper[var.0])
+    }
+
+    /// Adds a general constraint.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], op: ConstraintOp, rhs: f64) {
+        debug_assert!(terms.iter().all(|(v, _)| v.0 < self.num_vars()));
+        debug_assert!(rhs.is_finite());
+        self.constraints.push(Constraint {
+            terms: terms.to_vec(),
+            op,
+            rhs,
+        });
+    }
+
+    /// Adds `terms · x <= rhs`.
+    pub fn add_le(&mut self, terms: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(terms, ConstraintOp::Le, rhs);
+    }
+
+    /// Adds `terms · x >= rhs`.
+    pub fn add_ge(&mut self, terms: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(terms, ConstraintOp::Ge, rhs);
+    }
+
+    /// Adds `terms · x == rhs`.
+    pub fn add_eq(&mut self, terms: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(terms, ConstraintOp::Eq, rhs);
+    }
+
+    /// Returns the constraint rows.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Returns the objective coefficient vector.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Returns the lower-bound vector.
+    pub fn lower_bounds(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Returns the upper-bound vector.
+    pub fn upper_bounds(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Returns indices of integer-marked variables.
+    pub fn integer_vars(&self) -> Vec<usize> {
+        self.integer
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| if b { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Solves the continuous (LP) relaxation, ignoring integrality marks.
+    pub fn solve_lp(&self) -> Result<Solution, SolverError> {
+        simplex::solve(self)
+    }
+
+    /// Solves the problem respecting integrality marks, with default options.
+    pub fn solve_milp(&self) -> Result<MilpSolution, SolverError> {
+        milp::solve(self, &MilpOptions::default())
+    }
+
+    /// Solves the problem respecting integrality marks, with custom options.
+    pub fn solve_milp_with(&self, opts: &MilpOptions) -> Result<MilpSolution, SolverError> {
+        milp::solve(self, opts)
+    }
+
+    /// Evaluates the objective at a point (in the problem's own sense).
+    pub fn eval_objective(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Returns the largest constraint violation at a point (0 if feasible).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.0]).sum();
+            let viol = match c.op {
+                ConstraintOp::Le => lhs - c.rhs,
+                ConstraintOp::Ge => c.rhs - lhs,
+                ConstraintOp::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        for (i, &xi) in x.iter().enumerate() {
+            worst = worst.max(self.lower[i] - xi);
+            if self.upper[i].is_finite() {
+                worst = worst.max(xi - self.upper[i]);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_vars_and_constraints() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, 10.0);
+        let y = p.add_binary_var(2.0);
+        p.add_le(&[(x, 1.0), (y, 3.0)], 5.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert!(p.is_mip());
+        assert_eq!(p.integer_vars(), vec![1]);
+        assert_eq!(p.bounds(y), (0.0, 1.0));
+    }
+
+    #[test]
+    fn eval_and_violation() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(2.0, 0.0, f64::INFINITY);
+        let y = p.add_var(-1.0, 0.0, 1.0);
+        p.add_ge(&[(x, 1.0), (y, 1.0)], 2.0);
+        let pt = [1.0, 0.5];
+        assert!((p.eval_objective(&pt) - 1.5).abs() < 1e-12);
+        assert!((p.max_violation(&pt) - 0.5).abs() < 1e-12);
+        let feas = [2.0, 0.0];
+        assert_eq!(p.max_violation(&feas), 0.0);
+    }
+
+    #[test]
+    fn set_bounds_overrides() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, 1.0);
+        p.set_bounds(x, 0.5, 0.5);
+        assert_eq!(p.bounds(x), (0.5, 0.5));
+    }
+}

@@ -1,0 +1,821 @@
+//! Bounded-variable, two-phase revised simplex.
+//!
+//! The implementation keeps variable bounds out of the constraint matrix
+//! (nonbasic variables rest at their lower or upper bound), maintains a dense
+//! basis inverse with eta updates and periodic refactorization, and uses a
+//! Dantzig pricing rule with a Bland's-rule fallback for anti-cycling.
+//!
+//! Problems are converted to the internal standard form
+//! `maximize c·x  s.t.  A x = b,  l <= x <= u` by adding one slack or surplus
+//! column per inequality row. An all-slack starting basis is used when the
+//! slack values are feasible; otherwise artificial columns are added and a
+//! phase-1 objective (minimize the sum of artificials) restores feasibility.
+
+// Dense linear-algebra kernels below index several parallel arrays by row;
+// iterator rewrites obscure the math without helping codegen.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::SolverError;
+use crate::problem::{ConstraintOp, Problem, Sense, Solution};
+
+/// Reduced-cost optimality tolerance.
+const OPT_TOL: f64 = 1e-9;
+/// Primal feasibility tolerance.
+const FEAS_TOL: f64 = 1e-7;
+/// Minimum acceptable pivot magnitude.
+const PIVOT_TOL: f64 = 1e-8;
+/// Refactorize the basis inverse every this many pivots.
+const REFACTOR_EVERY: usize = 128;
+
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+/// Internal standard-form tableau data.
+struct Tableau {
+    /// Number of rows (constraints).
+    m: usize,
+    /// Sparse columns: `cols[j]` lists `(row, coefficient)`.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Right-hand side (after sign normalization).
+    b: Vec<f64>,
+    /// Lower bounds per column.
+    lower: Vec<f64>,
+    /// Upper bounds per column (may be `INFINITY`).
+    upper: Vec<f64>,
+    /// Phase-2 objective (maximization form).
+    cost: Vec<f64>,
+    /// Number of structural (user) variables.
+    n_struct: usize,
+    /// Index of first artificial column, if any.
+    first_artificial: usize,
+}
+
+/// Mutable solver state over a [`Tableau`].
+struct State {
+    basis: Vec<usize>,
+    state: Vec<VarState>,
+    /// Dense row-major basis inverse, `m x m`.
+    binv: Vec<f64>,
+    /// Values of basic variables, by row.
+    xb: Vec<f64>,
+    pivots_since_refactor: usize,
+}
+
+impl Tableau {
+    fn from_problem(p: &Problem) -> Result<(Tableau, State), SolverError> {
+        let n = p.num_vars();
+        let m = p.num_constraints();
+        for (j, (&lo, &up)) in p
+            .lower_bounds()
+            .iter()
+            .zip(p.upper_bounds().iter())
+            .enumerate()
+        {
+            if !lo.is_finite() {
+                return Err(SolverError::InvalidModel(format!(
+                    "variable {j} has non-finite lower bound"
+                )));
+            }
+            if lo > up {
+                return Err(SolverError::InvalidModel(format!(
+                    "variable {j} has lower bound {lo} > upper bound {up}"
+                )));
+            }
+        }
+
+        let sign = match p.sense() {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut cost: Vec<f64> = p.objective().iter().map(|&c| sign * c).collect();
+        let mut lower = p.lower_bounds().to_vec();
+        let mut upper = p.upper_bounds().to_vec();
+        let mut b = Vec::with_capacity(m);
+        let mut slack_of_row: Vec<Option<usize>> = vec![None; m];
+
+        for (i, con) in p.constraints().iter().enumerate() {
+            if !con.rhs.is_finite() || con.terms.iter().any(|&(_, a)| !a.is_finite()) {
+                return Err(SolverError::InvalidModel(format!(
+                    "constraint {i} has non-finite data"
+                )));
+            }
+            for &(v, a) in &con.terms {
+                if a != 0.0 {
+                    cols[v.0].push((i, a));
+                }
+            }
+            b.push(con.rhs);
+            match con.op {
+                ConstraintOp::Le => {
+                    let j = cols.len();
+                    cols.push(vec![(i, 1.0)]);
+                    cost.push(0.0);
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                    slack_of_row[i] = Some(j);
+                }
+                ConstraintOp::Ge => {
+                    let j = cols.len();
+                    cols.push(vec![(i, -1.0)]);
+                    cost.push(0.0);
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                    slack_of_row[i] = Some(j);
+                }
+                ConstraintOp::Eq => {}
+            }
+        }
+
+        // Coalesce duplicate (row, coeff) entries within each structural column.
+        for col in cols.iter_mut().take(n) {
+            col.sort_by_key(|&(r, _)| r);
+            let mut out: Vec<(usize, f64)> = Vec::with_capacity(col.len());
+            for &(r, a) in col.iter() {
+                match out.last_mut() {
+                    Some((lr, la)) if *lr == r => *la += a,
+                    _ => out.push((r, a)),
+                }
+            }
+            out.retain(|&(_, a)| a != 0.0);
+            *col = out;
+        }
+
+        // Residuals with every non-artificial column at its lower bound.
+        let mut resid = b.clone();
+        for (j, col) in cols.iter().enumerate() {
+            let lo = lower[j];
+            if lo != 0.0 {
+                for &(r, a) in col {
+                    resid[r] -= a * lo;
+                }
+            }
+        }
+
+        // Seed the basis with slacks where feasible; otherwise artificials.
+        let mut basis = vec![usize::MAX; m];
+        let mut state = vec![VarState::AtLower; cols.len()];
+        let first_artificial = cols.len();
+        let mut xb = vec![0.0; m];
+        let mut n_artificial = 0usize;
+        for i in 0..m {
+            let usable_slack = match slack_of_row[i] {
+                Some(j) => {
+                    // Slack column is +/-1 in row i only; basic value must be
+                    // feasible (slack lower bound is 0, upper infinite).
+                    let coef = cols[j][0].1;
+                    let val = resid[i] / coef;
+                    if val >= -FEAS_TOL {
+                        Some((j, val.max(0.0)))
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            };
+            match usable_slack {
+                Some((j, val)) => {
+                    basis[i] = j;
+                    state[j] = VarState::Basic(i);
+                    xb[i] = val;
+                }
+                None => {
+                    let j = cols.len();
+                    let coef = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+                    cols.push(vec![(i, coef)]);
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                    cost.push(0.0);
+                    state.push(VarState::Basic(i));
+                    basis[i] = j;
+                    xb[i] = resid[i].abs();
+                    n_artificial += 1;
+                }
+            }
+        }
+        let _ = n_artificial;
+
+        // The starting basis is diagonal with entries +/-1, so its inverse is
+        // the same diagonal.
+        let mut binv = vec![0.0; m * m];
+        for (i, &bj) in basis.iter().enumerate() {
+            binv[i * m + i] = 1.0 / cols[bj][0].1;
+        }
+
+        let tab = Tableau {
+            m,
+            cols,
+            b,
+            lower,
+            upper,
+            cost,
+            n_struct: n,
+            first_artificial,
+        };
+        let st = State {
+            basis,
+            state,
+            binv,
+            xb,
+            pivots_since_refactor: 0,
+        };
+        Ok((tab, st))
+    }
+
+    fn n_total(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn has_artificials(&self) -> bool {
+        self.first_artificial < self.n_total()
+    }
+}
+
+impl State {
+    /// Rebuilds the basis inverse and basic values from scratch.
+    fn refactorize(&mut self, tab: &Tableau) -> Result<(), SolverError> {
+        let m = tab.m;
+        // Dense basis matrix.
+        let mut mat = vec![0.0; m * m];
+        for (k, &j) in self.basis.iter().enumerate() {
+            for &(r, a) in &tab.cols[j] {
+                mat[r * m + k] = a;
+            }
+        }
+        // Gauss-Jordan inversion with partial pivoting.
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            let mut piv = col;
+            let mut best = mat[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = mat[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(SolverError::InvalidModel(
+                    "singular basis during refactorization".into(),
+                ));
+            }
+            if piv != col {
+                for c in 0..m {
+                    mat.swap(col * m + c, piv * m + c);
+                    inv.swap(col * m + c, piv * m + c);
+                }
+            }
+            let d = mat[col * m + col];
+            for c in 0..m {
+                mat[col * m + c] /= d;
+                inv[col * m + c] /= d;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = mat[r * m + col];
+                    if f != 0.0 {
+                        for c in 0..m {
+                            mat[r * m + c] -= f * mat[col * m + c];
+                            inv[r * m + c] -= f * inv[col * m + c];
+                        }
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+
+        // Recompute basic values: x_B = B^-1 (b - N x_N).
+        let mut rhs = tab.b.clone();
+        for (j, col) in tab.cols.iter().enumerate() {
+            let val = match self.state[j] {
+                VarState::Basic(_) => continue,
+                VarState::AtLower => tab.lower[j],
+                VarState::AtUpper => tab.upper[j],
+            };
+            if val != 0.0 {
+                for &(r, a) in col {
+                    rhs[r] -= a * val;
+                }
+            }
+        }
+        for i in 0..m {
+            let mut v = 0.0;
+            for k in 0..m {
+                v += self.binv[i * m + k] * rhs[k];
+            }
+            self.xb[i] = v;
+        }
+        self.pivots_since_refactor = 0;
+        Ok(())
+    }
+
+    /// Computes `w = B^-1 a_j` for a sparse column.
+    fn ftran(&self, tab: &Tableau, j: usize, w: &mut [f64]) {
+        let m = tab.m;
+        w.fill(0.0);
+        for &(r, a) in &tab.cols[j] {
+            if a != 0.0 {
+                for i in 0..m {
+                    w[i] += self.binv[i * m + r] * a;
+                }
+            }
+        }
+    }
+
+    /// Computes the simplex multipliers `y = c_B^T B^-1` for a cost vector.
+    fn btran(&self, tab: &Tableau, cost: &[f64], y: &mut [f64]) {
+        let m = tab.m;
+        y.fill(0.0);
+        for (i, &bj) in self.basis.iter().enumerate() {
+            let cb = cost[bj];
+            if cb != 0.0 {
+                for k in 0..m {
+                    y[k] += cb * self.binv[i * m + k];
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one phase of the simplex loop.
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs the simplex loop on `tab` with objective `cost` (maximization).
+fn run_phase(
+    tab: &Tableau,
+    st: &mut State,
+    cost: &[f64],
+    max_iters: usize,
+    iters_used: &mut usize,
+) -> Result<PhaseOutcome, SolverError> {
+    let m = tab.m;
+    let n_total = tab.n_total();
+    let mut y = vec![0.0; m];
+    let mut w = vec![0.0; m];
+    let mut stall = 0usize;
+    let bland_after = 4 * (n_total + m) + 64;
+
+    loop {
+        if *iters_used >= max_iters {
+            return Err(SolverError::IterationLimit(max_iters));
+        }
+        *iters_used += 1;
+
+        if st.pivots_since_refactor >= REFACTOR_EVERY {
+            st.refactorize(tab)?;
+        }
+
+        st.btran(tab, cost, &mut y);
+
+        // Pricing: pick the entering variable.
+        let use_bland = stall > bland_after;
+        let mut enter: Option<(usize, f64, f64)> = None; // (col, reduced cost, direction)
+        for j in 0..n_total {
+            let dirn = match st.state[j] {
+                VarState::Basic(_) => continue,
+                VarState::AtLower => 1.0,
+                VarState::AtUpper => -1.0,
+            };
+            // Fixed variables can never improve the objective.
+            if tab.upper[j] - tab.lower[j] < 1e-15 {
+                continue;
+            }
+            let mut d = cost[j];
+            for &(r, a) in &tab.cols[j] {
+                d -= y[r] * a;
+            }
+            let improving = d * dirn > OPT_TOL;
+            if improving {
+                if use_bland {
+                    enter = Some((j, d, dirn));
+                    break;
+                }
+                match enter {
+                    Some((_, dbest, _)) if d.abs() <= dbest.abs() => {}
+                    _ => enter = Some((j, d, dirn)),
+                }
+            }
+        }
+
+        let (j_in, _d_in, dirn) = match enter {
+            Some(e) => e,
+            None => return Ok(PhaseOutcome::Optimal),
+        };
+
+        st.ftran(tab, j_in, &mut w);
+
+        // Ratio test: entering moves by t >= 0 in direction `dirn`; basic
+        // variable i changes by -dirn * w[i] * t.
+        let mut t_limit = tab.upper[j_in] - tab.lower[j_in]; // bound flip distance
+        let mut leave: Option<usize> = None; // row index
+        let mut leave_to_upper = false;
+        let mut best_piv = 0.0;
+        for i in 0..m {
+            let delta = -dirn * w[i];
+            if delta < -PIVOT_TOL {
+                // Basic value decreases toward its lower bound.
+                let bj = st.basis[i];
+                let room = st.xb[i] - tab.lower[bj];
+                let t = (room.max(0.0)) / (-delta);
+                if t < t_limit - FEAS_TOL || (t < t_limit + FEAS_TOL && w[i].abs() > best_piv) {
+                    t_limit = t.min(t_limit);
+                    leave = Some(i);
+                    leave_to_upper = false;
+                    best_piv = w[i].abs();
+                }
+            } else if delta > PIVOT_TOL {
+                // Basic value increases toward its upper bound.
+                let bj = st.basis[i];
+                if tab.upper[bj].is_finite() {
+                    let room = tab.upper[bj] - st.xb[i];
+                    let t = (room.max(0.0)) / delta;
+                    if t < t_limit - FEAS_TOL || (t < t_limit + FEAS_TOL && w[i].abs() > best_piv) {
+                        t_limit = t.min(t_limit);
+                        leave = Some(i);
+                        leave_to_upper = true;
+                        best_piv = w[i].abs();
+                    }
+                }
+            }
+        }
+
+        if t_limit.is_infinite() {
+            return Ok(PhaseOutcome::Unbounded);
+        }
+        if t_limit <= FEAS_TOL {
+            stall += 1;
+        } else {
+            stall = 0;
+        }
+        let t = t_limit.max(0.0);
+
+        match leave {
+            None => {
+                // Bound flip: the entering variable runs to its other bound.
+                for i in 0..m {
+                    st.xb[i] -= dirn * w[i] * t;
+                }
+                st.state[j_in] = if dirn > 0.0 {
+                    VarState::AtUpper
+                } else {
+                    VarState::AtLower
+                };
+            }
+            Some(r) => {
+                let j_out = st.basis[r];
+                // New values.
+                for i in 0..m {
+                    st.xb[i] -= dirn * w[i] * t;
+                }
+                let enter_from = if dirn > 0.0 {
+                    tab.lower[j_in]
+                } else {
+                    tab.upper[j_in]
+                };
+                let enter_val = enter_from + dirn * t;
+                // Pivot the basis inverse: row r is the pivot row.
+                let wr = w[r];
+                if wr.abs() < PIVOT_TOL {
+                    // Numerically degenerate pivot; refactorize and retry.
+                    st.refactorize(tab)?;
+                    continue;
+                }
+                let (head, mut tail) = split_row(&mut st.binv, r, m);
+                let pivot_row = head;
+                for i in 0..m {
+                    if i == r {
+                        continue;
+                    }
+                    let f = w[i] / wr;
+                    if f != 0.0 {
+                        let row_i = row_mut(&mut tail, i, r, m);
+                        for k in 0..m {
+                            row_i[k] -= f * pivot_row[k];
+                        }
+                    }
+                }
+                for v in pivot_row.iter_mut() {
+                    *v /= wr;
+                }
+
+                st.basis[r] = j_in;
+                st.state[j_in] = VarState::Basic(r);
+                st.state[j_out] = if leave_to_upper {
+                    VarState::AtUpper
+                } else {
+                    VarState::AtLower
+                };
+                st.xb[r] = enter_val;
+                st.pivots_since_refactor += 1;
+            }
+        }
+    }
+}
+
+/// Splits the dense matrix so the pivot row can be read while other rows are
+/// mutated. Returns `(pivot_row, rest)` where `rest` is the full matrix minus
+/// the pivot row, addressed through [`row_mut`].
+fn split_row(binv: &mut [f64], r: usize, m: usize) -> (&mut [f64], RowAccess<'_>) {
+    let (before, at) = binv.split_at_mut(r * m);
+    let (row, after) = at.split_at_mut(m);
+    (row, RowAccess { before, after, m })
+}
+
+/// Access to all rows of a matrix except one (see [`split_row`]).
+struct RowAccess<'a> {
+    before: &'a mut [f64],
+    after: &'a mut [f64],
+    m: usize,
+}
+
+/// Returns a mutable view of row `i` (which must differ from the pivot row
+/// `r`) from a [`RowAccess`].
+fn row_mut<'a>(acc: &'a mut RowAccess<'_>, i: usize, r: usize, m: usize) -> &'a mut [f64] {
+    debug_assert_ne!(i, r);
+    debug_assert_eq!(m, acc.m);
+    if i < r {
+        &mut acc.before[i * m..(i + 1) * m]
+    } else {
+        let k = i - r - 1;
+        &mut acc.after[k * m..(k + 1) * m]
+    }
+}
+
+/// Solves the LP relaxation of `p` with the default iteration limit.
+pub fn solve(p: &Problem) -> Result<Solution, SolverError> {
+    solve_with_limit(p, default_iteration_limit(p))
+}
+
+/// Returns the default simplex iteration budget for a problem.
+pub fn default_iteration_limit(p: &Problem) -> usize {
+    200 * (p.num_vars() + p.num_constraints()) + 2000
+}
+
+/// Solves the LP relaxation of `p` with an explicit iteration limit.
+pub fn solve_with_limit(p: &Problem, max_iters: usize) -> Result<Solution, SolverError> {
+    let (tab, mut st) = Tableau::from_problem(p)?;
+    let mut iters = 0usize;
+
+    // Phase 1: drive artificials to zero.
+    if tab.has_artificials() {
+        let mut c1 = vec![0.0; tab.n_total()];
+        for cj in c1.iter_mut().skip(tab.first_artificial) {
+            *cj = -1.0;
+        }
+        match run_phase(&tab, &mut st, &c1, max_iters, &mut iters)? {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded => {
+                return Err(SolverError::InvalidModel(
+                    "phase-1 objective reported unbounded".into(),
+                ))
+            }
+        }
+        let infeas: f64 = (0..tab.m)
+            .filter(|&i| st.basis[i] >= tab.first_artificial)
+            .map(|i| st.xb[i])
+            .sum();
+        let nonbasic_art: f64 = (tab.first_artificial..tab.n_total())
+            .filter_map(|j| match st.state[j] {
+                VarState::AtUpper => Some(tab.upper[j]),
+                _ => None,
+            })
+            .sum();
+        if infeas + nonbasic_art > 1e-6 {
+            return Err(SolverError::Infeasible);
+        }
+    }
+
+    // Phase 2: real objective. Artificials are pinned at zero by treating
+    // them as fixed (their cost is zero and they are skipped when fixed).
+    let mut tab = tab;
+    for j in tab.first_artificial..tab.n_total() {
+        tab.upper[j] = 0.0;
+    }
+    let cost = tab.cost.clone();
+    match run_phase(&tab, &mut st, &cost, max_iters, &mut iters)? {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => return Err(SolverError::Unbounded),
+    }
+
+    // Extract structural values.
+    let mut x = vec![0.0; tab.n_struct];
+    for (j, xj) in x.iter_mut().enumerate() {
+        *xj = match st.state[j] {
+            VarState::Basic(i) => st.xb[i],
+            VarState::AtLower => tab.lower[j],
+            VarState::AtUpper => tab.upper[j],
+        };
+    }
+    // Clamp tiny numerical drift back into bounds.
+    for (j, xj) in x.iter_mut().enumerate() {
+        let (lo, up) = (p.lower_bounds()[j], p.upper_bounds()[j]);
+        if *xj < lo {
+            *xj = lo;
+        }
+        if up.is_finite() && *xj > up {
+            *xj = up;
+        }
+        if xj.abs() < 1e-12 {
+            *xj = 0.0;
+        }
+    }
+    let objective = p.eval_objective(&x);
+    Ok(Solution {
+        objective,
+        values: x,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::problem::{Problem, Sense};
+    use crate::SolverError;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn maximize_simple_two_var() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0, 0.0, f64::INFINITY);
+        let y = p.add_var(5.0, 0.0, f64::INFINITY);
+        p.add_le(&[(x, 1.0)], 4.0);
+        p.add_le(&[(y, 2.0)], 12.0);
+        p.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let s = p.solve_lp().unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints_needs_phase1() {
+        // minimize 2x + 3y  s.t.  x + y >= 4,  x + 3y >= 6
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(2.0, 0.0, f64::INFINITY);
+        let y = p.add_var(3.0, 0.0, f64::INFINITY);
+        p.add_ge(&[(x, 1.0), (y, 1.0)], 4.0);
+        p.add_ge(&[(x, 1.0), (y, 3.0)], 6.0);
+        let s = p.solve_lp().unwrap();
+        assert_close(s.objective, 9.0);
+        assert_close(s.value(x), 3.0);
+        assert_close(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // maximize x + 2y  s.t.  x + y == 3,  x - y <= 1
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        let y = p.add_var(2.0, 0.0, f64::INFINITY);
+        p.add_eq(&[(x, 1.0), (y, 1.0)], 3.0);
+        p.add_le(&[(x, 1.0), (y, -1.0)], 1.0);
+        let s = p.solve_lp().unwrap();
+        assert_close(s.objective, 6.0);
+        assert_close(s.value(x), 0.0);
+        assert_close(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn upper_bounds_without_rows() {
+        // Bounds must be honored without materializing constraint rows.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, 2.5);
+        let y = p.add_var(1.0, 0.0, 1.0);
+        p.add_le(&[(x, 1.0), (y, 1.0)], 10.0);
+        let s = p.solve_lp().unwrap();
+        assert_close(s.objective, 3.5);
+        assert_close(s.value(x), 2.5);
+        assert_close(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds() {
+        // minimize x + y  s.t.  x + y >= 3,  x >= 1.5 (bound), y >= 0.5 (bound)
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(1.0, 1.5, f64::INFINITY);
+        let y = p.add_var(1.0, 0.5, f64::INFINITY);
+        p.add_ge(&[(x, 1.0), (y, 1.0)], 3.0);
+        let s = p.solve_lp().unwrap();
+        assert_close(s.objective, 3.0);
+        assert!(s.value(x) >= 1.5 - 1e-9);
+        assert!(s.value(y) >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        p.add_le(&[(x, 1.0)], 1.0);
+        p.add_ge(&[(x, 1.0)], 2.0);
+        assert_eq!(p.solve_lp().unwrap_err(), SolverError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        let y = p.add_var(0.0, 0.0, f64::INFINITY);
+        p.add_le(&[(x, 1.0), (y, -1.0)], 1.0);
+        assert_eq!(p.solve_lp().unwrap_err(), SolverError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        let y = p.add_var(1.0, 0.0, f64::INFINITY);
+        p.add_le(&[(x, 1.0), (y, 1.0)], 2.0);
+        p.add_le(&[(x, 2.0), (y, 2.0)], 4.0);
+        p.add_le(&[(x, 1.0)], 2.0);
+        p.add_le(&[(y, 1.0)], 2.0);
+        let s = p.solve_lp().unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // x - y <= -1 with x,y >= 0 forces y >= x + 1.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 0.0, f64::INFINITY);
+        let y = p.add_var(1.0, 0.0, f64::INFINITY);
+        p.add_le(&[(x, 1.0), (y, -1.0)], -1.0);
+        let s = p.solve_lp().unwrap();
+        assert_close(s.objective, 1.0);
+        assert_close(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        // 0.5x + 0.5x <= 3  =>  x <= 3
+        p.add_le(&[(x, 0.5), (x, 0.5)], 3.0);
+        let s = p.solve_lp().unwrap();
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn fixed_variables_respected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(5.0, 2.0, 2.0);
+        let y = p.add_var(1.0, 0.0, f64::INFINITY);
+        p.add_le(&[(x, 1.0), (y, 1.0)], 5.0);
+        let s = p.solve_lp().unwrap();
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 3.0);
+        assert_close(s.objective, 13.0);
+    }
+
+    #[test]
+    fn empty_objective_feasibility_check() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 0.0, 1.0);
+        p.add_eq(&[(x, 1.0)], 0.25);
+        let s = p.solve_lp().unwrap();
+        assert_close(s.value(x), 0.25);
+    }
+
+    #[test]
+    fn moderately_sized_assignment_lp() {
+        // 30 jobs x 10 configs, one capacity row: a small Sia-shaped LP.
+        let mut p = Problem::new(Sense::Maximize);
+        let mut vars = Vec::new();
+        for i in 0..30 {
+            for j in 0..10 {
+                let util = 1.0 + ((i * 7 + j * 13) % 17) as f64 / 17.0;
+                vars.push((i, j, p.add_var(util, 0.0, 1.0)));
+            }
+        }
+        for i in 0..30 {
+            let row: Vec<_> = vars
+                .iter()
+                .filter(|&&(vi, _, _)| vi == i)
+                .map(|&(_, _, v)| (v, 1.0))
+                .collect();
+            p.add_le(&row, 1.0);
+        }
+        let cap_row: Vec<_> = vars
+            .iter()
+            .map(|&(_, j, v)| (v, (1 << (j % 4)) as f64))
+            .collect();
+        p.add_le(&cap_row, 40.0);
+        let s = p.solve_lp().unwrap();
+        assert!(s.objective > 0.0);
+        assert!(p.max_violation(&s.values) < 1e-6);
+    }
+}

@@ -1,0 +1,122 @@
+//! Job specifications as submitted to the scheduler.
+
+use sia_cluster::JobId;
+
+use crate::zoo::ModelKind;
+
+/// Job-size category by total GPU time (§4.1 of the paper).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum SizeCategory {
+    /// 0–1 GPU-hours.
+    Small,
+    /// 1–10 GPU-hours.
+    Medium,
+    /// 10–100 GPU-hours.
+    Large,
+    /// More than 100 GPU-hours.
+    ExtraLarge,
+    /// Hybrid-parallel multi-billion-parameter jobs (§5.3 only).
+    XxLarge,
+}
+
+impl SizeCategory {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SizeCategory::Small => "S",
+            SizeCategory::Medium => "M",
+            SizeCategory::Large => "L",
+            SizeCategory::ExtraLarge => "XL",
+            SizeCategory::XxLarge => "XXL",
+        }
+    }
+}
+
+/// How much of the job's execution the scheduler may adapt (§3.4,
+/// "Support for limited adaptivity").
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Adaptivity {
+    /// Batch size, GPU count and GPU type may all be optimized.
+    Adaptive,
+    /// Fixed (user-supplied) total batch size; GPU count and type adapt.
+    StrongScaling {
+        /// The pinned total batch size.
+        batch_size: f64,
+    },
+    /// Fixed batch size *and* GPU count; only the GPU type adapts.
+    Rigid {
+        /// The pinned total batch size.
+        batch_size: f64,
+        /// The pinned GPU count.
+        num_gpus: usize,
+    },
+}
+
+impl Adaptivity {
+    /// True for fully adaptive jobs.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, Adaptivity::Adaptive)
+    }
+
+    /// True for rigid jobs.
+    pub fn is_rigid(&self) -> bool {
+        matches!(self, Adaptivity::Rigid { .. })
+    }
+}
+
+/// A job as submitted to the cluster scheduler.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JobSpec {
+    /// Unique id within the trace.
+    pub id: JobId,
+    /// Human-readable name, e.g. `"bert-17"`.
+    pub name: String,
+    /// The model being trained (selects the performance profile).
+    pub model: ModelKind,
+    /// Size category this job was sampled for.
+    pub category: SizeCategory,
+    /// Submission time in seconds from the start of the trace.
+    pub submit_time: f64,
+    /// Degree of adaptivity the submitter allows.
+    pub adaptivity: Adaptivity,
+    /// Minimum GPUs per data-parallel worker (1 for pure DP; the pipeline
+    /// width for hybrid-parallel jobs).
+    pub min_gpus: usize,
+    /// Maximum GPU count the submitter allows (`max_ngpus` in the paper).
+    pub max_gpus: usize,
+    /// Total work in efficiency-weighted samples until completion.
+    pub work_target: f64,
+}
+
+impl JobSpec {
+    /// True if this job uses pipeline-model parallelism (scales in units of
+    /// whole pipeline replicas).
+    pub fn is_hybrid_parallel(&self) -> bool {
+        self.model.profile().pipeline.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_labels() {
+        assert_eq!(SizeCategory::Small.label(), "S");
+        assert_eq!(SizeCategory::XxLarge.label(), "XXL");
+    }
+
+    #[test]
+    fn adaptivity_predicates() {
+        assert!(Adaptivity::Adaptive.is_adaptive());
+        assert!(!Adaptivity::Adaptive.is_rigid());
+        let rigid = Adaptivity::Rigid {
+            batch_size: 128.0,
+            num_gpus: 4,
+        };
+        assert!(rigid.is_rigid());
+        assert!(!rigid.is_adaptive());
+    }
+}

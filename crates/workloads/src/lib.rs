@@ -1,0 +1,28 @@
+//! Workloads for the Sia evaluation: the Table 2 model zoo and synthetic
+//! trace generators standing in for the Philly / Helios / newTrace
+//! production traces.
+//!
+//! The paper's traces are proprietary; per the reproduction's substitution
+//! policy (see `DESIGN.md`) this crate regenerates their *published
+//! statistics* instead: job-size category mixes (Small/Medium/Large/XL by
+//! total GPU time), Poisson arrivals at the stated rates (20 jobs/hr over
+//! 8 h for Philly/Helios; a 48 h diurnal 5–100 jobs/hr process for
+//! newTrace), and the Table 2 mapping from categories to representative
+//! models.
+//!
+//! The model zoo assigns each model synthetic — but Figure 2-shaped —
+//! per-GPU-type performance parameters: compute speed ratios, network
+//! (all-reduce) costs derived from gradient size and per-node-type
+//! interconnects, memory-capped per-GPU batch sizes, gradient-noise-scale
+//! statistics, and checkpoint-restore delays in the paper's 25–250 s band.
+
+#![forbid(unsafe_code)]
+
+pub mod job;
+pub mod trace;
+pub mod tuning;
+pub mod zoo;
+
+pub use job::{Adaptivity, JobSpec, SizeCategory};
+pub use trace::{reference_work_target, Trace, TraceConfig, TraceKind};
+pub use zoo::{ModelKind, ModelProfile, PipelineSpec, TrueModel};

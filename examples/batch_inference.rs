@@ -1,0 +1,58 @@
+//! Scheduling batch-inference jobs alongside training (§3.4, "Scheduling
+//! other workload types").
+//!
+//! Batch inference over a large dataset has no statistical-efficiency
+//! dimension: throughput *is* goodput, and with no gradient all-reduce it
+//! scales almost linearly. Sia schedules such jobs with the same ILP — they
+//! simply provide a different goodput estimator — and they soak up
+//! leftover capacity without starving training jobs.
+//!
+//! Run with: `cargo run --release --example batch_inference`
+
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::metrics::summarize;
+use sia::sim::{SimConfig, Simulator};
+use sia::workloads::{ModelKind, Trace, TraceConfig, TraceKind};
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let mut trace = Trace::generate(
+        &TraceConfig::new(TraceKind::Physical, 21)
+            .with_rate(8.0)
+            .with_max_gpus_cap(16),
+    );
+    // Three batch-inference sweeps arriving through the window.
+    trace.push_inference_job(300.0, 16);
+    trace.push_inference_job(3600.0, 16);
+    trace.push_inference_job(7200.0, 16);
+
+    let result = Simulator::new(cluster.clone(), &trace, SimConfig::default())
+        .run(&mut SiaPolicy::default());
+    let s = summarize(&result);
+    println!(
+        "{} jobs ({} inference), avg JCT {:.2} h, {} unfinished",
+        result.records.len(),
+        result
+            .records
+            .iter()
+            .filter(|r| r.model == ModelKind::BertInference)
+            .count(),
+        s.avg_jct_hours,
+        s.unfinished
+    );
+    println!("\ninference jobs:");
+    for r in result
+        .records
+        .iter()
+        .filter(|r| r.model == ModelKind::BertInference)
+    {
+        println!(
+            "  {:<22} JCT {:>6.2} h  GPU-hours {:>6.1}  restarts {}",
+            r.name,
+            r.jct().map(|j| j / 3600.0).unwrap_or(f64::NAN),
+            r.gpu_seconds / 3600.0,
+            r.restarts
+        );
+    }
+}

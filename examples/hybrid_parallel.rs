@@ -1,0 +1,83 @@
+//! Elastically scaling a hybrid-parallel (pipeline + data parallel) GPT job.
+//!
+//! Sia is the first cluster scheduler that elastically scales hybrid
+//! parallel jobs (§5.3): the 2.8B GPT model runs as 2-GPU pipelines on
+//! `a100` nodes or 8-GPU pipelines on `rtx` nodes, and data parallelism
+//! scales it out in whole-pipeline units. This example submits one GPT job
+//! alongside background jobs and prints the allocation trajectory.
+//!
+//! Run with: `cargo run --release --example hybrid_parallel`
+
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::sim::{SimConfig, Simulator};
+use sia::workloads::{ModelKind, Trace, TraceConfig, TraceKind};
+
+fn main() {
+    // A mixed rtx/a100 cluster (t4s cannot fit the 2.8B model at all).
+    let mut cluster = ClusterSpec::new();
+    let rtx = cluster.add_gpu_kind("rtx", 11.0, 2);
+    let a100 = cluster.add_gpu_kind("a100", 40.0, 4);
+    cluster.add_nodes(rtx, 4, 8);
+    cluster.add_nodes(a100, 2, 8);
+
+    // Background workload plus one GPT finetuning job.
+    let mut trace = Trace::generate(
+        &TraceConfig::new(TraceKind::Physical, 3)
+            .with_rate(8.0)
+            .with_max_gpus_cap(16),
+    );
+    trace.push_hybrid_parallel_job(60.0);
+    let gpt = trace
+        .jobs
+        .iter()
+        .find(|j| j.model == ModelKind::Gpt2p8b)
+        .expect("GPT job present");
+    println!(
+        "GPT job {}: pipeline widths a100=2 rtx=8, batch range {}..{}",
+        gpt.id,
+        ModelKind::Gpt2p8b.profile().min_batch,
+        ModelKind::Gpt2p8b.profile().max_batch
+    );
+    let gpt_id = gpt.id;
+
+    let sim = Simulator::new(cluster.clone(), &trace, SimConfig::default());
+    let result = sim.run(&mut SiaPolicy::default());
+
+    println!("\nGPT allocation trajectory (replicas = GPUs / pipeline width):");
+    let mut last = None;
+    for round in &result.rounds {
+        let alloc = round
+            .allocations
+            .iter()
+            .find(|(j, _, _)| *j == gpt_id)
+            .map(|&(_, t, g)| (t, g));
+        if alloc != last {
+            match alloc {
+                Some((t, g)) => {
+                    let name = &cluster.kind(t).name;
+                    let width = if name == "a100" { 2 } else { 8 };
+                    println!(
+                        "  t={:>6.1} min: {:>2} x {:<5} = {} replicas",
+                        round.time / 60.0,
+                        g,
+                        name,
+                        g / width
+                    );
+                }
+                None => println!("  t={:>6.1} min: preempted", round.time / 60.0),
+            }
+            last = alloc;
+        }
+    }
+    let rec = result.records.iter().find(|r| r.id == gpt_id).unwrap();
+    match rec.jct() {
+        Some(jct) => println!(
+            "\nGPT finished in {:.1} h with {} restarts, {:.1} GPU-hours",
+            jct / 3600.0,
+            rec.restarts,
+            rec.gpu_seconds / 3600.0
+        ),
+        None => println!("\nGPT did not finish within the horizon"),
+    }
+}

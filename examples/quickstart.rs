@@ -1,0 +1,58 @@
+//! Quickstart: schedule a small heterogeneous workload with Sia.
+//!
+//! Builds the paper's 64-GPU heterogeneous evaluation cluster, samples a
+//! Philly-like trace, runs the Sia scheduler in the discrete-time simulator
+//! and prints the headline metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::metrics::{ftf_ratios, summarize, unfair_fraction, worst_ftf};
+use sia::sim::{SimConfig, Simulator};
+use sia::workloads::{Trace, TraceConfig, TraceKind};
+
+fn main() {
+    // 1. A heterogeneous cluster: 6x t4 (4 GPU) + 3x rtx (8 GPU) +
+    //    2x a100 (8 GPU) nodes = 64 GPUs, 3 GPU types.
+    let cluster = ClusterSpec::heterogeneous_64();
+    println!(
+        "cluster: {} GPUs across {} nodes, {} GPU types",
+        cluster.total_gpus(),
+        cluster.nodes().len(),
+        cluster.num_gpu_types()
+    );
+
+    // 2. A synthetic Philly-like trace: ~160 jobs over 8 hours.
+    let trace = Trace::generate(&TraceConfig::new(TraceKind::Philly, 42).with_max_gpus_cap(16));
+    println!("trace: {} jobs over 8 h", trace.len());
+
+    // 3. Run Sia (default parameters: p = -0.5, lambda = 1.1, 60 s rounds).
+    let mut sia = SiaPolicy::default();
+    let sim = Simulator::new(cluster.clone(), &trace, SimConfig::default());
+    let result = sim.run(&mut sia);
+
+    // 4. Report.
+    let s = summarize(&result);
+    println!("\nscheduler        : {}", s.scheduler);
+    println!(
+        "finished jobs    : {} ({} unfinished)",
+        s.finished, s.unfinished
+    );
+    println!("avg JCT          : {:.2} h", s.avg_jct_hours);
+    println!("p99 JCT          : {:.2} h", s.p99_jct_hours);
+    println!("makespan         : {:.2} h", s.makespan_hours);
+    println!("GPU-hours / job  : {:.2}", s.gpu_hours_per_job);
+    println!("restarts / job   : {:.2}", s.avg_restarts);
+    println!(
+        "policy runtime   : {:.1} ms median / round",
+        s.median_policy_runtime * 1e3
+    );
+
+    let ratios = ftf_ratios(&result, &cluster);
+    println!(
+        "fairness         : worst rho {:.2}, unfair fraction {:.1}%",
+        worst_ftf(&ratios),
+        unfair_fraction(&ratios) * 100.0
+    );
+}

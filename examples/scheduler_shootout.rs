@@ -1,0 +1,57 @@
+//! Scheduler shootout: Sia vs Pollux vs Gavel vs Shockwave vs Themis on the
+//! same heterogeneous workload.
+//!
+//! Demonstrates driving multiple policies through the public simulator API.
+//! Schedulers without job adaptivity (Gavel/Shockwave/Themis) receive
+//! hand-tuned rigid jobs (the paper's "TunedJobs"), exactly as in §4.3.
+//!
+//! Run with: `cargo run --release --example scheduler_shootout`
+
+use sia::baselines::{GavelPolicy, PolluxPolicy, ShockwavePolicy, ThemisPolicy};
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::metrics::summarize;
+use sia::sim::{Scheduler, SimConfig, Simulator};
+use sia::workloads::{Trace, TraceConfig, TraceKind};
+
+fn main() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let seed = 7;
+
+    let adaptive_trace =
+        Trace::generate(&TraceConfig::new(TraceKind::Philly, seed).with_max_gpus_cap(16));
+    let rigid_trace = Trace::generate(
+        &TraceConfig::new(TraceKind::Philly, seed)
+            .with_max_gpus_cap(16)
+            .with_adaptivity_mix(0.0, 1.0),
+    );
+
+    let mut schedulers: Vec<(Box<dyn Scheduler>, &Trace)> = vec![
+        (Box::new(SiaPolicy::default()), &adaptive_trace),
+        (Box::new(PolluxPolicy::default()), &adaptive_trace),
+        (Box::new(GavelPolicy::default()), &rigid_trace),
+        (Box::new(ShockwavePolicy::default()), &rigid_trace),
+        (Box::new(ThemisPolicy::default()), &rigid_trace),
+    ];
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>10}",
+        "scheduler", "avgJCT(h)", "p99JCT(h)", "GPUh/job", "restarts"
+    );
+    for (sched, trace) in schedulers.iter_mut() {
+        let sim = Simulator::new(
+            cluster.clone(),
+            trace,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        );
+        let result = sim.run(sched.as_mut());
+        let s = summarize(&result);
+        println!(
+            "{:<12} {:>10.2} {:>10.2} {:>12.2} {:>10.1}",
+            s.scheduler, s.avg_jct_hours, s.p99_jct_hours, s.gpu_hours_per_job, s.avg_restarts
+        );
+    }
+}

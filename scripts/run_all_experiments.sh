@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the Sia paper (see DESIGN.md for
+# the experiment index). Results are printed and written to results/*.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p sia-bench
+
+bins=(
+  fig2_scaling
+  fig4_physical
+  fig5_timeline
+  fig_hybrid_parallel
+  fig_profiling_modes
+  fig1_scenarios
+  table4_homogeneous
+  fig6_gpu_hours
+  fig8_ftf
+  fig10_sensitivity
+  fig11_adaptivity
+  fig7_arrival_rate
+  # table3_heterogeneous's newTrace section is very slow for Pollux (the
+  # GA's cost explodes with the congested backlog); table3_newtrace is the
+  # bounded-budget variant. Pass args to trim seeds: table3_heterogeneous 5 1
+  table3_heterogeneous
+  table3_newtrace
+  fig_ablation
+  fig_failures
+  fig9_scalability
+)
+for b in "${bins[@]}"; do
+  echo "=== running $b ==="
+  cargo run --release -p sia-bench --bin "$b" | tee "results/$b.log"
+done

@@ -1,0 +1,144 @@
+//! Command-line driver for the Sia simulator.
+//!
+//! ```text
+//! sia-cli [--cluster hetero64|homog64|physical44] [--trace philly|helios|newtrace|physical]
+//!         [--policy sia|pollux|gavel|shockwave|themis] [--seed N] [--rate JOBS_PER_HOUR]
+//!         [--profiling oracle|bootstrap|noprof] [--json]
+//! ```
+//!
+//! Runs one simulation and prints the summary (or JSON with `--json`).
+
+use sia::baselines::{GavelPolicy, PolluxPolicy, ShockwavePolicy, ThemisPolicy};
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::metrics::{ftf_ratios, summarize, unfair_fraction, worst_ftf};
+use sia::models::ProfilingMode;
+use sia::sim::{Scheduler, SimConfig, Simulator};
+use sia::workloads::{Trace, TraceConfig, TraceKind};
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() {
+    if flag("--help") || flag("-h") {
+        println!(
+            "usage: sia-cli [--cluster hetero64|homog64|physical44] \
+             [--trace philly|helios|newtrace|physical] \
+             [--policy sia|pollux|gavel|shockwave|themis] [--seed N] \
+             [--rate JOBS/HR] [--profiling oracle|bootstrap|noprof] [--json]"
+        );
+        return;
+    }
+
+    let cluster = match arg("--cluster").as_deref().unwrap_or("hetero64") {
+        "hetero64" => ClusterSpec::heterogeneous_64(),
+        "homog64" => ClusterSpec::homogeneous_64(),
+        "physical44" => ClusterSpec::physical_44(),
+        other => {
+            eprintln!("unknown cluster {other}");
+            std::process::exit(2);
+        }
+    };
+    let kind = match arg("--trace").as_deref().unwrap_or("philly") {
+        "philly" => TraceKind::Philly,
+        "helios" => TraceKind::Helios,
+        "newtrace" => TraceKind::NewTrace,
+        "physical" => TraceKind::Physical,
+        other => {
+            eprintln!("unknown trace {other}");
+            std::process::exit(2);
+        }
+    };
+    let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let policy_name = arg("--policy").unwrap_or_else(|| "sia".into());
+    let rigid = matches!(policy_name.as_str(), "gavel" | "shockwave" | "themis");
+    let mut tcfg = TraceConfig::new(kind, seed).with_max_gpus_cap(16);
+    if rigid {
+        tcfg = tcfg.with_adaptivity_mix(0.0, 1.0);
+    }
+    if let Some(rate) = arg("--rate").and_then(|s| s.parse().ok()) {
+        tcfg = tcfg.with_rate(rate);
+    }
+    let trace = Trace::generate(&tcfg);
+
+    let profiling = match arg("--profiling").as_deref().unwrap_or("bootstrap") {
+        "oracle" => ProfilingMode::Oracle,
+        "bootstrap" => ProfilingMode::Bootstrap,
+        "noprof" => ProfilingMode::NoProf,
+        other => {
+            eprintln!("unknown profiling mode {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut sched: Box<dyn Scheduler> = match policy_name.as_str() {
+        "sia" => Box::new(SiaPolicy::default()),
+        "pollux" => Box::new(PolluxPolicy::default()),
+        "gavel" => Box::new(GavelPolicy::default()),
+        "shockwave" => Box::new(ShockwavePolicy::default()),
+        "themis" => Box::new(ThemisPolicy::default()),
+        other => {
+            eprintln!("unknown policy {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let sim = Simulator::new(
+        cluster.clone(),
+        &trace,
+        SimConfig {
+            seed,
+            profiling_mode: profiling,
+            ..SimConfig::default()
+        },
+    );
+    let result = sim.run(sched.as_mut());
+    let s = summarize(&result);
+    let ratios = ftf_ratios(&result, &cluster);
+
+    if flag("--json") {
+        println!(
+            "{{\"policy\":\"{}\",\"jobs\":{},\"unfinished\":{},\"avg_jct_hours\":{:.4},\
+             \"p99_jct_hours\":{:.4},\"makespan_hours\":{:.4},\"gpu_hours_per_job\":{:.4},\
+             \"avg_restarts\":{:.3},\"worst_ftf\":{:.3},\"unfair_fraction\":{:.4},\
+             \"median_policy_runtime_s\":{:.6}}}",
+            s.scheduler,
+            result.records.len(),
+            s.unfinished,
+            s.avg_jct_hours,
+            s.p99_jct_hours,
+            s.makespan_hours,
+            s.gpu_hours_per_job,
+            s.avg_restarts,
+            worst_ftf(&ratios),
+            unfair_fraction(&ratios),
+            s.median_policy_runtime,
+        );
+    } else {
+        println!("policy          : {}", s.scheduler);
+        println!(
+            "jobs            : {} submitted, {} unfinished",
+            result.records.len(),
+            s.unfinished
+        );
+        println!("avg JCT         : {:.2} h", s.avg_jct_hours);
+        println!("p99 JCT         : {:.2} h", s.p99_jct_hours);
+        println!("makespan        : {:.2} h", s.makespan_hours);
+        println!("GPU-hours/job   : {:.2}", s.gpu_hours_per_job);
+        println!("restarts/job    : {:.2}", s.avg_restarts);
+        println!("worst FTF rho   : {:.2}", worst_ftf(&ratios));
+        println!("unfair fraction : {:.1}%", unfair_fraction(&ratios) * 100.0);
+        println!(
+            "policy runtime  : {:.1} ms median/round",
+            s.median_policy_runtime * 1e3
+        );
+    }
+}

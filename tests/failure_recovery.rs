@@ -1,0 +1,56 @@
+//! Worker-failure injection and epoch-checkpoint recovery (§3.5).
+
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::sim::{SimConfig, Simulator};
+use sia::workloads::{Trace, TraceConfig, TraceKind};
+
+fn run(failure_rate: f64, seed: u64) -> sia::sim::SimResult {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let mut trace =
+        Trace::generate(&TraceConfig::new(TraceKind::Philly, seed).with_max_gpus_cap(16));
+    trace.jobs.truncate(16);
+    for j in &mut trace.jobs {
+        j.work_target *= 0.2;
+    }
+    let cfg = SimConfig {
+        seed,
+        failure_rate_per_gpu_hour: failure_rate,
+        ..SimConfig::default()
+    };
+    Simulator::new(cluster, &trace, cfg).run(&mut SiaPolicy::default())
+}
+
+#[test]
+fn failures_injected_and_recovered() {
+    let result = run(0.5, 3);
+    let total_failures: u32 = result.records.iter().map(|r| r.failures).sum();
+    assert!(total_failures > 0, "failure injection must trigger");
+    // Despite failures, every job recovers from its epoch checkpoint and
+    // finishes.
+    assert_eq!(result.unfinished, 0);
+    for r in &result.records {
+        assert!(r.work_done >= r.work_target * 0.999);
+    }
+}
+
+#[test]
+fn failures_slow_jobs_down() {
+    let clean = run(0.0, 4);
+    let faulty = run(1.0, 4);
+    assert_eq!(clean.records.iter().map(|r| r.failures).sum::<u32>(), 0);
+    assert!(
+        faulty.avg_jct() > clean.avg_jct(),
+        "failures must cost time: {} vs {}",
+        faulty.avg_jct(),
+        clean.avg_jct()
+    );
+}
+
+#[test]
+fn zero_rate_is_default_and_failure_free() {
+    let cfg = SimConfig::default();
+    assert_eq!(cfg.failure_rate_per_gpu_hour, 0.0);
+    let result = run(0.0, 5);
+    assert!(result.records.iter().all(|r| r.failures == 0));
+}

@@ -1,0 +1,162 @@
+//! End-to-end invariants of the Sia policy: adaptivity restrictions,
+//! hybrid-parallel widths, scale-up discipline and reservations.
+
+use sia::cluster::{ClusterSpec, Configuration, JobId};
+use sia::core::SiaPolicy;
+use sia::sim::{SimConfig, Simulator};
+use sia::workloads::{Adaptivity, ModelKind, Trace, TraceConfig, TraceKind};
+
+fn short_trace(seed: u64, n: usize) -> Trace {
+    let mut t = Trace::generate(&TraceConfig::new(TraceKind::Philly, seed).with_max_gpus_cap(16));
+    t.jobs.truncate(n);
+    for j in &mut t.jobs {
+        j.work_target *= 0.1;
+    }
+    t
+}
+
+#[test]
+fn rigid_jobs_keep_their_gpu_count() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let mut trace = short_trace(4, 16);
+    for j in &mut trace.jobs {
+        j.adaptivity = Adaptivity::Rigid {
+            batch_size: j.model.profile().min_batch * 4.0,
+            num_gpus: 2,
+        };
+    }
+    let result =
+        Simulator::new(cluster, &trace, SimConfig::default()).run(&mut SiaPolicy::default());
+    for round in &result.rounds {
+        for &(_, _, gpus) in &round.allocations {
+            assert_eq!(gpus, 2, "rigid jobs must run with exactly their count");
+        }
+    }
+    assert_eq!(result.unfinished, 0);
+}
+
+#[test]
+fn max_gpus_respected_for_adaptive_jobs() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let mut trace = short_trace(5, 8);
+    for j in &mut trace.jobs {
+        j.max_gpus = 4;
+    }
+    let result =
+        Simulator::new(cluster, &trace, SimConfig::default()).run(&mut SiaPolicy::default());
+    for round in &result.rounds {
+        for &(_, _, gpus) in &round.allocations {
+            assert!(gpus <= 4);
+        }
+    }
+}
+
+#[test]
+fn scale_up_at_most_doubles_per_round() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let trace = short_trace(6, 6);
+    let result =
+        Simulator::new(cluster, &trace, SimConfig::default()).run(&mut SiaPolicy::default());
+    let mut last: std::collections::BTreeMap<JobId, usize> = Default::default();
+    for round in &result.rounds {
+        let mut now: std::collections::BTreeMap<JobId, usize> = Default::default();
+        for &(job, _, gpus) in &round.allocations {
+            now.insert(job, gpus);
+            let prev = last.get(&job).copied().unwrap_or(0);
+            if prev == 0 {
+                assert_eq!(gpus, 1, "queued DP jobs must start at one GPU");
+            } else {
+                assert!(
+                    gpus <= 2 * prev,
+                    "job {job} jumped {prev} -> {gpus} in one round"
+                );
+            }
+        }
+        last = now;
+    }
+}
+
+#[test]
+fn hybrid_parallel_allocations_are_whole_pipelines() {
+    let mut cluster = ClusterSpec::new();
+    let rtx = cluster.add_gpu_kind("rtx", 11.0, 2);
+    let a100 = cluster.add_gpu_kind("a100", 40.0, 4);
+    cluster.add_nodes(rtx, 4, 8);
+    cluster.add_nodes(a100, 2, 8);
+    let mut trace = short_trace(7, 4);
+    trace.push_hybrid_parallel_job(0.0);
+    let gpt_id = trace
+        .jobs
+        .iter()
+        .find(|j| j.model == ModelKind::Gpt2p8b)
+        .unwrap()
+        .id;
+    // Shrink GPT work so the test completes quickly.
+    for j in &mut trace.jobs {
+        if j.id == gpt_id {
+            j.work_target *= 0.05;
+        }
+    }
+    let result = Simulator::new(cluster.clone(), &trace, SimConfig::default())
+        .run(&mut SiaPolicy::default());
+    let mut saw_gpt = false;
+    for round in &result.rounds {
+        for &(job, t, gpus) in &round.allocations {
+            if job == gpt_id {
+                saw_gpt = true;
+                let width = match cluster.kind(t).name.as_str() {
+                    "a100" => 2,
+                    "rtx" => 8,
+                    other => panic!("GPT placed on impossible type {other}"),
+                };
+                assert_eq!(gpus % width, 0, "partial pipeline allocation");
+            }
+        }
+    }
+    assert!(saw_gpt, "the GPT job must be scheduled");
+}
+
+#[test]
+fn reservations_hold_every_round() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let trace = short_trace(8, 12);
+    let a100 = cluster.gpu_type_by_name("a100").unwrap();
+    let reserved = trace.jobs[0].id;
+    let mut sia = SiaPolicy::default();
+    sia.reserve(reserved, Configuration::new(1, 1, a100));
+    let result = Simulator::new(cluster.clone(), &trace, SimConfig::default()).run(&mut sia);
+    // From its submission until completion, the reserved job must hold
+    // exactly 1 a100 GPU in every round.
+    let rec = result.records.iter().find(|r| r.id == reserved).unwrap();
+    let finish = rec.finish_time.expect("reserved job finishes");
+    for round in &result.rounds {
+        if round.time >= rec.submit_time && round.time + 60.0 < finish {
+            let alloc = round.allocations.iter().find(|(j, _, _)| *j == reserved);
+            let (_, t, g) = alloc.expect("reserved job allocated every round");
+            assert_eq!(*t, a100);
+            assert_eq!(*g, 1);
+        }
+    }
+    assert_eq!(rec.restarts, 0, "reservations never restart");
+}
+
+#[test]
+fn strong_scaling_jobs_adapt_count_but_not_batch() {
+    let cluster = ClusterSpec::heterogeneous_64();
+    let mut trace = short_trace(9, 6);
+    for j in &mut trace.jobs {
+        j.adaptivity = Adaptivity::StrongScaling {
+            batch_size: j.model.profile().min_batch * 2.0,
+        };
+    }
+    let result =
+        Simulator::new(cluster, &trace, SimConfig::default()).run(&mut SiaPolicy::default());
+    assert_eq!(result.unfinished, 0);
+    // Strong-scaling jobs can still use multiple GPUs.
+    let multi = result
+        .rounds
+        .iter()
+        .flat_map(|r| r.allocations.iter())
+        .any(|&(_, _, g)| g > 1);
+    assert!(multi, "strong-scaling jobs should scale out");
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for configuration sets and placement.
+
+use proptest::prelude::*;
+use sia::cluster::{config_set, ClusterSpec, Configuration, FreeGpus};
+
+fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
+    // 1-3 GPU kinds, each with 1-8 nodes of 2/4/8 GPUs.
+    proptest::collection::vec(
+        (1usize..=8, prop_oneof![Just(2usize), Just(4), Just(8)]),
+        1..=3,
+    )
+    .prop_map(|groups| {
+        let mut c = ClusterSpec::new();
+        for (i, (nodes, gpn)) in groups.into_iter().enumerate() {
+            let t = c.add_gpu_kind(&format!("g{i}"), 16.0, i as u32 + 1);
+            c.add_nodes(t, nodes, gpn);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every configuration in the valid set can be placed on an empty
+    /// cluster (the §3.3 guarantee's base case).
+    #[test]
+    fn every_config_placeable_on_empty_cluster(spec in arb_cluster()) {
+        for cfg in config_set(&spec) {
+            let mut free = FreeGpus::all_free(&spec);
+            let p = free.place(&spec, &cfg);
+            prop_assert!(p.is_ok(), "config {cfg} not placeable");
+            let p = p.unwrap();
+            prop_assert_eq!(p.total_gpus(), cfg.gpus);
+            prop_assert_eq!(p.num_nodes(), cfg.nodes);
+            prop_assert!(p.is_single_type(&spec));
+        }
+    }
+
+    /// Greedy largest-first packing of any capacity-respecting multiset of
+    /// valid configurations succeeds (the buddy/submesh-covering argument
+    /// behind Sia's capacity-only ILP rows).
+    #[test]
+    fn capacity_feasible_sets_pack(spec in arb_cluster(), picks in proptest::collection::vec(0usize..100, 0..24)) {
+        let configs = config_set(&spec);
+        // Build a random multiset greedily, respecting per-type capacity.
+        let mut remaining: Vec<i64> = spec
+            .gpu_types()
+            .map(|t| spec.gpus_of_type(t) as i64)
+            .collect();
+        let mut chosen: Vec<Configuration> = Vec::new();
+        for pick in picks {
+            let cfg = configs[pick % configs.len()];
+            if remaining[cfg.gpu_type.0] >= cfg.gpus as i64 {
+                remaining[cfg.gpu_type.0] -= cfg.gpus as i64;
+                chosen.push(cfg);
+            }
+        }
+        // Canonical order: multi-node first, then partials descending.
+        chosen.sort_by_key(|c| (std::cmp::Reverse(c.nodes), std::cmp::Reverse(c.gpus)));
+        let mut free = FreeGpus::all_free(&spec);
+        for cfg in &chosen {
+            prop_assert!(
+                free.place(&spec, cfg).is_ok(),
+                "capacity-feasible set failed to pack at {cfg}"
+            );
+        }
+    }
+
+    /// Take/release round-trips preserve the free pool exactly.
+    #[test]
+    fn take_release_roundtrip(spec in arb_cluster(), pick in 0usize..100) {
+        let configs = config_set(&spec);
+        let cfg = configs[pick % configs.len()];
+        let baseline = FreeGpus::all_free(&spec);
+        let mut free = baseline.clone();
+        if let Ok(p) = free.place(&spec, &cfg) {
+            free.release(&spec, &p);
+            prop_assert_eq!(free, baseline);
+        }
+    }
+
+    /// The configuration-set size follows the paper's `N + log2 R` formula
+    /// per type (for power-of-two R).
+    #[test]
+    fn config_set_size_formula(spec in arb_cluster()) {
+        let set = config_set(&spec);
+        let mut expect = 0usize;
+        for t in spec.gpu_types() {
+            let n = spec.num_nodes_of_type(t);
+            let r = spec.gpus_per_node_of_type(t);
+            expect += n + (r as f64).log2().round() as usize;
+        }
+        prop_assert_eq!(set.len(), expect);
+    }
+}

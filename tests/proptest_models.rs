@@ -1,0 +1,142 @@
+//! Property-based tests for the performance models.
+
+use proptest::prelude::*;
+use sia::models::{optimize_goodput, AllocShape, BatchLimits, EfficiencyParams, ThroughputParams};
+
+fn arb_params() -> impl Strategy<Value = ThroughputParams> {
+    // Marginal sync costs (`beta_*`) are kept a modest fraction of the base
+    // costs (`alpha_*`), matching real all-reduce behaviour (and the model
+    // zoo's 10-15% ratios). With adversarial `beta >> alpha` the model
+    // legitimately predicts *decreasing* throughput in replicas, which
+    // would invalidate the monotonicity property below.
+    (
+        0.001f64..0.5,   // alpha_c
+        0.0001f64..0.05, // beta_c
+        0.001f64..0.3,   // alpha_n
+        0.0f64..0.3,     // beta_n fraction of alpha_n
+        0.0f64..1.0,     // alpha_d extra over alpha_n
+        0.0f64..0.3,     // beta_d fraction of alpha_d
+        1.0f64..6.0,     // gamma
+        16.0f64..1024.0, // max_local_bsz
+    )
+        .prop_map(
+            |(alpha_c, beta_c, alpha_n, bn_frac, alpha_d_extra, bd_frac, gamma, max_local_bsz)| {
+                let alpha_d = alpha_n + alpha_d_extra; // distributed >= local
+                ThroughputParams {
+                    alpha_c,
+                    beta_c,
+                    alpha_n,
+                    beta_n: bn_frac * alpha_n,
+                    alpha_d,
+                    beta_d: (bd_frac * alpha_d).max(bn_frac * alpha_n),
+                    gamma,
+                    max_local_bsz: max_local_bsz.floor(),
+                }
+            },
+        )
+}
+
+fn arb_eff() -> impl Strategy<Value = EfficiencyParams> {
+    (1.0f64..10_000.0, 1.0f64..512.0).prop_map(|(phi, m0)| EfficiencyParams::new(phi, m0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Iteration time is positive and increases with batch size.
+    #[test]
+    fn iter_time_positive_and_monotone(p in arb_params(), m in 1.0f64..512.0) {
+        for shape in [AllocShape::single(), AllocShape::local(4), AllocShape::dist(8)] {
+            let t1 = p.t_iter(shape, m, 0);
+            let t2 = p.t_iter(shape, m * 2.0, 0);
+            prop_assert!(t1 > 0.0);
+            prop_assert!(t2 > t1);
+        }
+    }
+
+    /// Throughput never scales superlinearly with replicas at fixed per-GPU
+    /// batch.
+    #[test]
+    fn no_superlinear_scaling(p in arb_params(), m in 1.0f64..256.0, k in 2usize..32) {
+        let t1 = p.throughput(AllocShape::single(), m, 0);
+        let tk = p.throughput(AllocShape::dist(k), m, 0);
+        prop_assert!(tk <= k as f64 * t1 * (1.0 + 1e-9));
+        prop_assert!(tk > 0.0);
+    }
+
+    /// Statistical efficiency lies in (0, 1] and is non-increasing in M.
+    #[test]
+    fn efficiency_bounded_monotone(e in arb_eff(), m in 1.0f64..100_000.0) {
+        let v = e.efficiency(m);
+        prop_assert!(v > 0.0 && v <= 1.0);
+        prop_assert!(e.efficiency(m * 1.5) <= v + 1e-12);
+    }
+
+    /// The goodput optimizer returns points within limits, consistent
+    /// goodput = throughput * efficiency, and never worse than the
+    /// mid-range naive point.
+    #[test]
+    fn optimizer_feasible_and_dominant(
+        p in arb_params(),
+        e in arb_eff(),
+        k in 1usize..16,
+    ) {
+        let min_total = e.m0;
+        let max_total = e.m0 * 32.0;
+        let limits = BatchLimits::new(min_total, max_total);
+        let shape = if k == 1 { AllocShape::single() } else { AllocShape::dist(k) };
+        if let Some(pt) = optimize_goodput(&p, &e, shape, limits) {
+            prop_assert!(pt.total_bsz >= min_total * (1.0 - 1e-6));
+            prop_assert!(pt.total_bsz <= max_total * (1.0 + 1e-6));
+            prop_assert!(pt.local_bsz <= p.max_local_bsz * (1.0 + 1e-6));
+            prop_assert!((pt.goodput - pt.throughput * pt.efficiency).abs()
+                <= 1e-9 * pt.goodput.max(1.0));
+            // Compare against a naive feasible point at the minimum batch,
+            // if one exists without accumulation.
+            let m_naive = min_total / k as f64;
+            if m_naive >= 1.0 && m_naive <= p.max_local_bsz {
+                let naive = p.throughput(shape, m_naive, 0) * e.efficiency(min_total);
+                prop_assert!(pt.goodput >= naive * (1.0 - 1e-6),
+                    "optimizer {} worse than naive {}", pt.goodput, naive);
+            }
+        }
+    }
+
+    /// Co-located replicas are never slower than the same number of
+    /// replicas spread across nodes (intra-node sync <= inter-node sync by
+    /// construction).
+    #[test]
+    fn local_dominates_distributed(p in arb_params(), e in arb_eff(), k in 2usize..16) {
+        let limits = BatchLimits::new(e.m0, e.m0 * 64.0);
+        let local = optimize_goodput(&p, &e, AllocShape::local(k), limits);
+        let dist = optimize_goodput(&p, &e, AllocShape::dist(k), limits);
+        if let (Some(l), Some(d)) = (local, dist) {
+            prop_assert!(l.goodput >= d.goodput * (1.0 - 1e-6),
+                "k={k}: local {} < dist {}", l.goodput, d.goodput);
+        }
+    }
+
+    /// Within one placement family, the optimizer's goodput never decreases
+    /// when sync costs are scaled *down* uniformly.
+    #[test]
+    fn cheaper_sync_never_hurts(p in arb_params(), e in arb_eff(), k in 2usize..16) {
+        let limits = BatchLimits::new(e.m0, e.m0 * 64.0);
+        let mut cheap = p;
+        cheap.alpha_d *= 0.5;
+        cheap.beta_d *= 0.5;
+        let base = optimize_goodput(&p, &e, AllocShape::dist(k), limits);
+        let better = optimize_goodput(&cheap, &e, AllocShape::dist(k), limits);
+        if let (Some(b), Some(c)) = (base, better) {
+            prop_assert!(c.goodput >= b.goodput * (1.0 - 1e-6));
+        }
+    }
+}
+
+#[test]
+fn restart_factor_of_eq3_is_in_unit_interval() {
+    // Deterministic spot checks of the Eq. 3 algebra used by JobView.
+    for (t, n, s) in [(0.0, 0, 25.0), (100.0, 3, 250.0), (1e6, 100, 90.0)] {
+        let r = (t + n as f64 * s) / (t + (n as f64 + 1.0) * s);
+        assert!((0.0..=1.0).contains(&r));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the Sia Placer: every capacity-feasible ILP
+//! output must be realizable without drops (the §3.3 guarantee end-to-end).
+
+use proptest::prelude::*;
+use sia::cluster::{config_set, ClusterSpec, Configuration, JobId, Placement};
+use sia::core::placer::realize;
+
+fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
+    proptest::collection::vec(
+        (1usize..=6, prop_oneof![Just(4usize), Just(8)]),
+        1..=3,
+    )
+    .prop_map(|groups| {
+        let mut c = ClusterSpec::new();
+        for (i, (nodes, gpn)) in groups.into_iter().enumerate() {
+            let t = c.add_gpu_kind(&format!("g{i}"), 16.0, i as u32 + 1);
+            c.add_nodes(t, nodes, gpn);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any capacity-respecting multiset of valid configurations is placed
+    /// in full (no drops), nodes are never over-committed, and distributed
+    /// jobs never share nodes with anyone.
+    #[test]
+    fn capacity_feasible_decisions_always_place(
+        spec in arb_cluster(),
+        picks in proptest::collection::vec(0usize..1000, 0..20),
+    ) {
+        let configs = config_set(&spec);
+        let mut remaining: Vec<i64> = spec
+            .gpu_types()
+            .map(|t| spec.gpus_of_type(t) as i64)
+            .collect();
+        let mut decisions: Vec<(JobId, Configuration, Placement)> = Vec::new();
+        for (i, pick) in picks.iter().enumerate() {
+            let cfg = configs[pick % configs.len()];
+            if remaining[cfg.gpu_type.0] >= cfg.gpus as i64 {
+                remaining[cfg.gpu_type.0] -= cfg.gpus as i64;
+                decisions.push((JobId(i as u64), cfg, Placement::empty()));
+            }
+        }
+        let out = realize(&spec, &decisions);
+        prop_assert_eq!(out.dropped, 0, "capacity-feasible set must place");
+        prop_assert_eq!(out.allocations.len(), decisions.len());
+
+        // Node capacity and rule checks.
+        let mut used = vec![0usize; spec.nodes().len()];
+        for (job, cfg, _) in &decisions {
+            let p = &out.allocations[job];
+            prop_assert_eq!(p.total_gpus(), cfg.gpus);
+            prop_assert_eq!(p.num_nodes(), cfg.nodes);
+            prop_assert!(p.is_single_type(&spec));
+            for &(node, g) in &p.slots {
+                prop_assert_eq!(spec.nodes()[node].gpu_type, cfg.gpu_type);
+                used[node] += g;
+            }
+        }
+        for (n, &u) in used.iter().enumerate() {
+            prop_assert!(u <= spec.nodes()[n].num_gpus, "node {} over-committed", n);
+        }
+        // Rule: multi-node jobs own their nodes exclusively.
+        for (job, cfg, _) in &decisions {
+            if cfg.nodes > 1 {
+                let mine: std::collections::BTreeSet<usize> =
+                    out.allocations[job].slots.iter().map(|&(n, _)| n).collect();
+                for (other, _, _) in &decisions {
+                    if other != job {
+                        for &(n, _) in &out.allocations[other].slots {
+                            prop_assert!(!mine.contains(&n),
+                                "distributed job shares node {}", n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Keeping current placements never breaks feasibility: re-realizing the
+    /// previous round's own output is a no-op (zero evictions).
+    #[test]
+    fn idempotent_re_realization(
+        spec in arb_cluster(),
+        picks in proptest::collection::vec(0usize..1000, 0..12),
+    ) {
+        let configs = config_set(&spec);
+        let mut remaining: Vec<i64> = spec
+            .gpu_types()
+            .map(|t| spec.gpus_of_type(t) as i64)
+            .collect();
+        let mut decisions: Vec<(JobId, Configuration, Placement)> = Vec::new();
+        for (i, pick) in picks.iter().enumerate() {
+            let cfg = configs[pick % configs.len()];
+            if remaining[cfg.gpu_type.0] >= cfg.gpus as i64 {
+                remaining[cfg.gpu_type.0] -= cfg.gpus as i64;
+                decisions.push((JobId(i as u64), cfg, Placement::empty()));
+            }
+        }
+        let first = realize(&spec, &decisions);
+        let with_current: Vec<_> = decisions
+            .iter()
+            .map(|(j, cfg, _)| (*j, *cfg, first.allocations[j].clone()))
+            .collect();
+        let second = realize(&spec, &with_current);
+        prop_assert_eq!(second.evictions, 0);
+        prop_assert_eq!(&second.allocations, &first.allocations);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the LP/MILP solver.
+
+use proptest::prelude::*;
+use sia::solver::{MilpOptions, Problem, Sense, SolverError};
+
+/// A random small knapsack-like maximization problem.
+fn small_problem() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, f64)> {
+    let n = 2usize..7;
+    n.prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.1f64..10.0, n), // objective
+            proptest::collection::vec(0.1f64..5.0, n),  // weights
+            1.0f64..12.0,                               // capacity
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LP optimum is feasible and at least as good as any sampled feasible
+    /// point (weak optimality check).
+    #[test]
+    fn lp_optimum_dominates_feasible_points(
+        (obj, w, cap) in small_problem(),
+        probe in proptest::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = obj.iter().map(|&c| p.add_var(c, 0.0, 1.0)).collect();
+        let row: Vec<_> = vars.iter().zip(&w).map(|(&v, &wi)| (v, wi)).collect();
+        p.add_le(&row, cap);
+        let sol = p.solve_lp().unwrap();
+        prop_assert!(p.max_violation(&sol.values) < 1e-6);
+        // Random feasible point: scale the probe onto the constraint.
+        let mut x: Vec<f64> = probe.iter().take(obj.len()).cloned().collect();
+        x.resize(obj.len(), 0.0);
+        let used: f64 = x.iter().zip(&w).map(|(xi, wi)| xi * wi).sum();
+        if used > cap {
+            let s = cap / used;
+            for xi in &mut x {
+                *xi *= s;
+            }
+        }
+        let val = p.eval_objective(&x);
+        prop_assert!(sol.objective >= val - 1e-6,
+            "LP {} < feasible {}", sol.objective, val);
+    }
+
+    /// The binary MILP optimum matches exhaustive enumeration.
+    #[test]
+    fn milp_matches_brute_force((obj, w, cap) in small_problem()) {
+        let n = obj.len();
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = obj.iter().map(|&c| p.add_binary_var(c)).collect();
+        let row: Vec<_> = vars.iter().zip(&w).map(|(&v, &wi)| (v, wi)).collect();
+        p.add_le(&row, cap);
+        let milp = p.solve_milp().unwrap();
+
+        // Brute force over all 2^n subsets.
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0u32..(1 << n) {
+            let used: f64 = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| w[i])
+                .sum();
+            if used <= cap + 1e-12 {
+                let val: f64 = (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| obj[i])
+                    .sum();
+                best = best.max(val);
+            }
+        }
+        prop_assert!((milp.solution.objective - best).abs() < 1e-6,
+            "milp {} vs brute force {}", milp.solution.objective, best);
+    }
+
+    /// MILP objective never exceeds the LP relaxation bound and the solution
+    /// is integral.
+    #[test]
+    fn milp_bounded_by_relaxation((obj, w, cap) in small_problem()) {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = obj.iter().map(|&c| p.add_binary_var(c)).collect();
+        let row: Vec<_> = vars.iter().zip(&w).map(|(&v, &wi)| (v, wi)).collect();
+        p.add_le(&row, cap);
+        let milp = p.solve_milp().unwrap();
+        let lp = p.solve_lp().unwrap();
+        prop_assert!(milp.solution.objective <= lp.objective + 1e-6);
+        for v in &milp.solution.values {
+            prop_assert!((v - v.round()).abs() < 1e-6, "non-integral value {v}");
+        }
+        prop_assert!(p.max_violation(&milp.solution.values) < 1e-6);
+    }
+
+    /// Assignment-shaped problems (the Sia ILP structure): one SOS-1 row per
+    /// job plus one capacity row; solution never assigns a job twice.
+    #[test]
+    fn assignment_structure_sound(
+        weights in proptest::collection::vec(0.1f64..5.0, 6..18),
+        cap in 2u32..12,
+    ) {
+        let n_jobs = weights.len() / 3;
+        let mut p = Problem::new(Sense::Maximize);
+        let mut vars = Vec::new();
+        for j in 0..n_jobs {
+            for c in 0..3 {
+                let gpus = 1 << c; // 1, 2, 4 GPUs
+                vars.push((j, gpus, p.add_binary_var(weights[j * 3 + c])));
+            }
+        }
+        for j in 0..n_jobs {
+            let row: Vec<_> = vars
+                .iter()
+                .filter(|&&(vj, _, _)| vj == j)
+                .map(|&(_, _, v)| (v, 1.0))
+                .collect();
+            p.add_le(&row, 1.0);
+        }
+        let cap_row: Vec<_> = vars.iter().map(|&(_, g, v)| (v, g as f64)).collect();
+        p.add_le(&cap_row, cap as f64);
+        let milp = p.solve_milp().unwrap();
+        for j in 0..n_jobs {
+            let chosen: usize = vars
+                .iter()
+                .filter(|&&(vj, _, _)| vj == j)
+                .filter(|&&(_, _, v)| milp.solution.value(v) > 0.5)
+                .count();
+            prop_assert!(chosen <= 1, "job {j} assigned {chosen} configs");
+        }
+        let used: f64 = vars
+            .iter()
+            .filter(|&&(_, _, v)| milp.solution.value(v) > 0.5)
+            .map(|&(_, g, _)| g as f64)
+            .sum();
+        prop_assert!(used <= cap as f64 + 1e-9);
+    }
+}
+
+#[test]
+fn infeasible_problems_rejected_not_mis_solved() {
+    let mut p = Problem::new(Sense::Minimize);
+    let x = p.add_binary_var(1.0);
+    let y = p.add_binary_var(1.0);
+    p.add_ge(&[(x, 1.0), (y, 1.0)], 2.5);
+    assert_eq!(
+        p.solve_milp_with(&MilpOptions::default()).unwrap_err(),
+        SolverError::Infeasible
+    );
+}

@@ -1,0 +1,133 @@
+//! Simulator conservation and accounting invariants, checked end-to-end
+//! through the Sia policy.
+
+use sia::cluster::{ClusterSpec, FreeGpus};
+use sia::core::SiaPolicy;
+use sia::sim::{SimConfig, SimResult, Simulator};
+use sia::workloads::{Trace, TraceConfig, TraceKind};
+
+fn run(seed: u64, scale: f64) -> (SimResult, ClusterSpec, Trace) {
+    let spec = ClusterSpec::heterogeneous_64();
+    let mut trace = Trace::generate(&TraceConfig::new(TraceKind::Philly, seed));
+    trace.jobs.truncate(40);
+    for j in &mut trace.jobs {
+        j.work_target *= scale;
+    }
+    let sim = Simulator::new(
+        spec.clone(),
+        &trace,
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    let result = sim.run(&mut SiaPolicy::default());
+    (result, spec, trace)
+}
+
+#[test]
+fn per_round_allocations_respect_capacity_and_types() {
+    let (result, spec, _) = run(3, 0.3);
+    for round in &result.rounds {
+        let mut free = FreeGpus::all_free(&spec);
+        for &(_, t, gpus) in &round.allocations {
+            assert!(gpus >= 1);
+            // Aggregate per-type accounting.
+            assert!(
+                free.total_of_type(&spec, t) >= gpus,
+                "round {} over-commits type {t}",
+                round.time
+            );
+            // Burn the GPUs from arbitrary nodes of the type.
+            let mut left = gpus;
+            for node in spec.nodes_of_type(t) {
+                let take = free.on_node(node.id).min(left);
+                if take > 0 {
+                    free.take(&sia::cluster::Placement::new(vec![(node.id, take)]));
+                    left -= take;
+                }
+            }
+            assert_eq!(left, 0);
+        }
+    }
+}
+
+#[test]
+fn gpu_seconds_match_round_logs() {
+    let (result, _, _) = run(5, 0.2);
+    // Sum of per-round (gpus x round duration) must approximate the sum of
+    // per-job gpu_seconds, modulo profiling overhead (added) and mid-round
+    // completions (subtracted).
+    let from_rounds: f64 = result
+        .rounds
+        .iter()
+        .map(|r| r.allocations.iter().map(|&(_, _, g)| g as f64).sum::<f64>() * 60.0)
+        .sum();
+    let profiling = result.records.len() as f64 * 20.0 * 3.0; // 3 GPU types
+    let from_jobs: f64 = result.records.iter().map(|r| r.gpu_seconds).sum();
+    let diff = (from_jobs - profiling - from_rounds).abs();
+    assert!(
+        diff <= from_rounds * 0.05 + 1e4,
+        "accounting drift: rounds {from_rounds} vs jobs {from_jobs} (profiling {profiling})"
+    );
+}
+
+#[test]
+fn work_done_never_exceeds_target_and_finishing_jobs_complete() {
+    let (result, _, _) = run(7, 0.25);
+    for rec in &result.records {
+        assert!(rec.work_done <= rec.work_target * (1.0 + 1e-9));
+        if rec.finish_time.is_some() {
+            assert!(rec.work_done >= rec.work_target * (1.0 - 1e-9));
+            assert!(rec.finish_time.unwrap() >= rec.submit_time);
+            assert!(rec.first_start.is_some());
+            assert!(rec.first_start.unwrap() <= rec.finish_time.unwrap());
+        }
+    }
+}
+
+#[test]
+fn makespan_is_last_completion() {
+    let (result, _, _) = run(9, 0.2);
+    let last = result
+        .records
+        .iter()
+        .filter_map(|r| r.finish_time)
+        .fold(0.0_f64, f64::max);
+    assert!((result.makespan - last).abs() < 1e-6);
+}
+
+#[test]
+fn contention_counts_active_jobs() {
+    let (result, _, trace) = run(11, 0.2);
+    for round in &result.rounds {
+        assert!(round.contention <= trace.jobs.len());
+        assert_eq!(round.contention, round.active_jobs);
+        assert!(round.allocations.len() <= round.active_jobs);
+    }
+}
+
+#[test]
+fn noise_changes_outcomes_but_not_validity() {
+    let spec = ClusterSpec::heterogeneous_64();
+    let mut trace = Trace::generate(&TraceConfig::new(TraceKind::Philly, 13));
+    trace.jobs.truncate(20);
+    for j in &mut trace.jobs {
+        j.work_target *= 0.2;
+    }
+    let clean =
+        Simulator::new(spec.clone(), &trace, SimConfig::default()).run(&mut SiaPolicy::default());
+    let noisy =
+        Simulator::new(spec, &trace, SimConfig::physical(77)).run(&mut SiaPolicy::default());
+    assert_eq!(clean.unfinished, 0);
+    assert_eq!(noisy.unfinished, 0);
+    let cj = clean.avg_jct();
+    let nj = noisy.avg_jct();
+    assert!(cj > 0.0 && nj > 0.0);
+    assert!(
+        (cj - nj).abs() > 1e-9,
+        "physical noise must perturb schedules"
+    );
+    // Within a sane band of each other (noise, not chaos).
+    assert!(nj < cj * 3.0 && cj < nj * 3.0);
+}

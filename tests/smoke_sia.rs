@@ -1,0 +1,29 @@
+//! End-to-end smoke test: Sia scheduling a small Philly-like trace.
+
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::sim::{SimConfig, Simulator};
+use sia::workloads::{Trace, TraceConfig, TraceKind};
+
+#[test]
+fn sia_end_to_end_small_trace() {
+    let spec = ClusterSpec::heterogeneous_64();
+    let mut trace = Trace::generate(&TraceConfig::new(TraceKind::Philly, 1));
+    trace.jobs.truncate(24);
+    for j in &mut trace.jobs {
+        j.work_target *= 0.25;
+    }
+    let sim = Simulator::new(spec, &trace, SimConfig::default());
+    let t0 = std::time::Instant::now();
+    let result = sim.run(&mut SiaPolicy::default());
+    eprintln!(
+        "wall time: {:?}, avgJCT: {:.0}s, makespan: {:.0}s, unfinished: {}, policy median: {:.1}ms",
+        t0.elapsed(),
+        result.avg_jct(),
+        result.makespan,
+        result.unfinished,
+        result.median_policy_runtime() * 1e3
+    );
+    assert_eq!(result.unfinished, 0);
+    assert!(result.avg_jct() > 0.0);
+}

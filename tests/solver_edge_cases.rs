@@ -1,0 +1,149 @@
+//! Additional LP/MILP edge-case coverage beyond the in-crate unit tests.
+
+use sia::solver::{MilpOptions, Problem, Sense, SolverError};
+
+fn assert_close(a: f64, b: f64) {
+    assert!((a - b).abs() < 1e-6, "{a} != {b}");
+}
+
+#[test]
+fn equality_plus_bounded_variables() {
+    // maximize x + 2y + 3z  s.t. x + y + z == 2, x <= 0.5, y <= 1 (bounds).
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var(1.0, 0.0, 0.5);
+    let y = p.add_var(2.0, 0.0, 1.0);
+    let z = p.add_var(3.0, 0.0, f64::INFINITY);
+    p.add_eq(&[(x, 1.0), (y, 1.0), (z, 1.0)], 2.0);
+    let s = p.solve_lp().unwrap();
+    assert_close(s.value(z), 2.0);
+    assert_close(s.objective, 6.0);
+}
+
+#[test]
+fn minimize_with_upper_bounded_surplus() {
+    // minimize 4a + 3b  s.t.  2a + b >= 10, a + 3b >= 15, a <= 3.
+    let mut p = Problem::new(Sense::Minimize);
+    let a = p.add_var(4.0, 0.0, 3.0);
+    let b = p.add_var(3.0, 0.0, f64::INFINITY);
+    p.add_ge(&[(a, 2.0), (b, 1.0)], 10.0);
+    p.add_ge(&[(a, 1.0), (b, 3.0)], 15.0);
+    let s = p.solve_lp().unwrap();
+    assert!(p.max_violation(&s.values) < 1e-7);
+    // Optimum at a=3, b=4: cost 24.
+    assert_close(s.objective, 24.0);
+}
+
+#[test]
+fn redundant_equalities_do_not_break_phase1() {
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var(1.0, 0.0, 10.0);
+    let y = p.add_var(1.0, 0.0, 10.0);
+    p.add_eq(&[(x, 1.0), (y, 1.0)], 5.0);
+    p.add_eq(&[(x, 2.0), (y, 2.0)], 10.0); // same constraint, doubled
+    let s = p.solve_lp().unwrap();
+    assert_close(s.objective, 5.0);
+}
+
+#[test]
+fn zero_objective_still_finds_feasible_point() {
+    let mut p = Problem::new(Sense::Minimize);
+    let x = p.add_var(0.0, 0.0, f64::INFINITY);
+    let y = p.add_var(0.0, 0.0, f64::INFINITY);
+    p.add_ge(&[(x, 1.0), (y, 2.0)], 7.0);
+    p.add_le(&[(x, 1.0)], 3.0);
+    let s = p.solve_lp().unwrap();
+    assert!(p.max_violation(&s.values) < 1e-7);
+}
+
+#[test]
+fn general_integers_not_just_binaries() {
+    // maximize 3x + 2y, x integer in [0, 7], 2x + 5y <= 19, y <= 2.2.
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var(3.0, 0.0, 7.0);
+    p.set_integer(x);
+    let y = p.add_var(2.0, 0.0, 2.2);
+    p.add_le(&[(x, 2.0), (y, 5.0)], 19.0);
+    let milp = p.solve_milp().unwrap();
+    let xv = milp.solution.value(x);
+    assert!((xv - xv.round()).abs() < 1e-9);
+    assert!(p.max_violation(&milp.solution.values) < 1e-7);
+    // x = 7 uses 14, leaving y = 1.0: objective 23. Check optimality vs the
+    // next-best integer choice x = 6 (y = 1.4): 22.8.
+    assert_close(milp.solution.objective, 23.0);
+}
+
+#[test]
+fn tight_time_limit_never_panics() {
+    let mut p = Problem::new(Sense::Maximize);
+    let mut row = Vec::new();
+    for i in 0..24 {
+        let v = p.add_binary_var(1.0 + (i as f64) * 0.013);
+        row.push((v, 1.0 + (i % 5) as f64 * 0.31));
+    }
+    p.add_le(&row, 13.7);
+    let opts = MilpOptions {
+        time_limit: std::time::Duration::from_millis(1),
+        ..MilpOptions::default()
+    };
+    match p.solve_milp_with(&opts) {
+        Ok(sol) => assert!(p.max_violation(&sol.solution.values) < 1e-6),
+        Err(SolverError::IterationLimit(_)) => {}
+        Err(e) => panic!("unexpected: {e}"),
+    }
+}
+
+#[test]
+fn fixed_integer_variable_respected_in_milp() {
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_binary_var(10.0);
+    let y = p.add_binary_var(1.0);
+    p.set_bounds(x, 0.0, 0.0); // force off despite the big payoff
+    p.add_le(&[(x, 1.0), (y, 1.0)], 2.0);
+    let milp = p.solve_milp().unwrap();
+    assert_close(milp.solution.value(x), 0.0);
+    assert_close(milp.solution.value(y), 1.0);
+}
+
+#[test]
+fn large_sparse_assignment_lp_is_fast_and_feasible() {
+    // 400 jobs x 19 configs, 3 capacity rows: the Figure 9 shape at 1024+
+    // GPUs. Must solve in well under a second and satisfy all constraints.
+    let jobs = 400;
+    let configs = 19;
+    let mut p = Problem::new(Sense::Maximize);
+    let mut vars = Vec::with_capacity(jobs * configs);
+    for j in 0..jobs {
+        let mut row = Vec::with_capacity(configs);
+        for c in 0..configs {
+            let v = p.add_var(1.0 + ((j * 13 + c * 7) % 23) as f64 / 23.0, 0.0, 1.0);
+            row.push((v, 1.0));
+            vars.push((c, v));
+        }
+        p.add_le(&row, 1.0);
+    }
+    for t in 0..3 {
+        let row: Vec<_> = vars
+            .iter()
+            .filter(|(c, _)| c % 3 == t)
+            .map(|&(c, v)| (v, (1 << (c % 5)) as f64))
+            .collect();
+        p.add_le(&row, 700.0);
+    }
+    let t0 = std::time::Instant::now();
+    let s = p.solve_lp().unwrap();
+    assert!(p.max_violation(&s.values) < 1e-6);
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "took {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn infeasible_from_conflicting_bounds_via_constraint() {
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var(1.0, 0.0, 1.0);
+    let y = p.add_var(1.0, 0.0, 1.0);
+    p.add_ge(&[(x, 1.0), (y, 1.0)], 3.0); // impossible under bounds
+    assert_eq!(p.solve_lp().unwrap_err(), SolverError::Infeasible);
+}

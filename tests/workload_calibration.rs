@@ -1,0 +1,68 @@
+//! Regression tests for workload calibration.
+//!
+//! The evaluation depends on each trace's offered load sitting in the right
+//! regime: Philly/Helios are 8 h bursts that oversubscribe the cluster and
+//! drain afterwards (makespan ~2-4x the window), while newTrace is a 48 h
+//! *sustained* workload whose congestion builds and drains — which is only
+//! possible if its long-run offered load stays near or below cluster
+//! capacity. These tests pin those regimes so future zoo re-calibrations
+//! cannot silently break the Table 3 dynamics.
+
+use sia::workloads::{reference_work_target, Trace, TraceConfig, TraceKind};
+
+/// Offered load in 1-t4-GPU-hours per hour of submission window.
+fn offered_t4_hours_per_hour(kind: TraceKind, seed: u64) -> f64 {
+    let cfg = TraceConfig::new(kind, seed);
+    let trace = Trace::generate(&cfg);
+    let total_t4_hours: f64 = trace
+        .jobs
+        .iter()
+        .map(|j| j.work_target / reference_work_target(j.model, 1.0))
+        .sum();
+    total_t4_hours / cfg.window_hours
+}
+
+/// The heterogeneous 64-GPU cluster processes roughly this many
+/// t4-equivalent GPU-hours per hour (64 GPUs at an average ~1.8x t4 speed,
+/// before parallel-scaling losses).
+const CLUSTER_T4_RATE: f64 = 115.0;
+
+#[test]
+fn newtrace_long_run_load_is_sustainable() {
+    for seed in [1u64, 2, 3] {
+        let offered = offered_t4_hours_per_hour(TraceKind::NewTrace, seed);
+        assert!(
+            offered < CLUSTER_T4_RATE * 1.2,
+            "seed {seed}: newTrace offers {offered:.0} t4-h/h — the 48 h workload \
+             must not chronically exceed cluster capacity (~{CLUSTER_T4_RATE:.0})"
+        );
+        assert!(
+            offered > CLUSTER_T4_RATE * 0.3,
+            "seed {seed}: newTrace offers only {offered:.0} t4-h/h — too light to \
+             ever congest the cluster"
+        );
+    }
+}
+
+#[test]
+fn philly_and_helios_are_bursty_overload() {
+    // The 8 h windows run the cluster at or beyond capacity and drain
+    // afterwards: Philly sits right at capacity, Helios clearly above it.
+    let philly = offered_t4_hours_per_hour(TraceKind::Philly, 1);
+    assert!(
+        philly > CLUSTER_T4_RATE * 0.7 && philly < CLUSTER_T4_RATE * 3.0,
+        "Philly offered {philly:.0} t4-h/h outside the at-capacity band"
+    );
+    let helios = offered_t4_hours_per_hour(TraceKind::Helios, 1);
+    assert!(
+        helios > CLUSTER_T4_RATE && helios < CLUSTER_T4_RATE * 6.0,
+        "Helios offered {helios:.0} t4-h/h outside the overload band"
+    );
+}
+
+#[test]
+fn helios_offers_more_than_philly() {
+    let philly = offered_t4_hours_per_hour(TraceKind::Philly, 5);
+    let helios = offered_t4_hours_per_hour(TraceKind::Helios, 5);
+    assert!(helios > philly, "helios {helios:.0} vs philly {philly:.0}");
+}
