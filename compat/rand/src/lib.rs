@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real `rand` can never be fetched. This crate re-implements exactly the
+//! API subset the workspace uses (`Rng::random`, `Rng::random_range`,
+//! `SeedableRng::seed_from_u64`) with the rand 0.9 method names, so call
+//! sites compile unchanged. Streams are deterministic per seed but are NOT
+//! bit-compatible with the upstream crate — the simulator only relies on
+//! self-consistency, never on a specific published stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the `StandardUniform`
+/// distribution in real rand).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// Ranges that can produce a uniform sample (`Range`/`RangeInclusive`).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// High-level sampling helpers, auto-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn random_range<T, B: SampleRange<T>>(&mut self, range: B) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64 (deterministic and
+    /// well-mixed; matches upstream semantics, not upstream bits).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Namespace parity with the real crate (unused by the workspace today).
+}
+
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Counter(3);
+        for _ in 0..1000 {
+            let v = r.random_range(2usize..7);
+            assert!((2..7).contains(&v));
+            let w = r.random_range(0..=4u8);
+            assert!(w <= 4);
+            let f = r.random_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for `rand_chacha` providing `ChaCha8Rng`.
+//!
+//! This is a genuine ChaCha stream cipher core (8 rounds) driving the
+//! [`rand::RngCore`] interface, so statistical quality matches the upstream
+//! crate. Output is deterministic per seed but NOT bit-compatible with the
+//! published `rand_chacha` stream; the workspace only requires
+//! self-consistent determinism.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// ChaCha with 8 rounds, keyed from a 32-byte seed, zero nonce, 64-bit block
+/// counter.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u64; 8],
+    /// Next unread slot in `buf`; 8 means "refill before use".
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    #[inline]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16] stay zero (nonce).
+
+        let mut w = state;
+        for _ in 0..4 {
+            // Column round.
+            Self::quarter_round(&mut w, 0, 4, 8, 12);
+            Self::quarter_round(&mut w, 1, 5, 9, 13);
+            Self::quarter_round(&mut w, 2, 6, 10, 14);
+            Self::quarter_round(&mut w, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut w, 0, 5, 10, 15);
+            Self::quarter_round(&mut w, 1, 6, 11, 12);
+            Self::quarter_round(&mut w, 2, 7, 8, 13);
+            Self::quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (wi, si) in w.iter_mut().zip(state.iter()) {
+            *wi = wi.wrapping_add(*si);
+        }
+        for (i, slot) in self.buf.iter_mut().enumerate() {
+            *slot = (w[2 * i] as u64) | ((w[2 * i + 1] as u64) << 32);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.idx >= 8 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 8],
+            idx: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_doubles_look_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

@@ -1,0 +1,109 @@
+//! JSON writers: compact and pretty (2-space indent, matching the layout the
+//! real `serde_json::to_string_pretty` produces).
+
+use crate::{Error, ToJson, Value};
+
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_compact(&value.to_json()))
+}
+
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json(), 0, true, &mut out);
+    Ok(out)
+}
+
+pub(crate) fn write_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, 0, false, &mut out);
+    out
+}
+
+fn write_value(v: &Value, indent: usize, pretty: bool, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_f64(*f, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent + 1, pretty, out);
+                write_value(item, indent + 1, pretty, out);
+            }
+            newline_indent(indent, pretty, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent + 1, pretty, out);
+                write_escaped(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, indent + 1, pretty, out);
+            }
+            newline_indent(indent, pretty, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: usize, pretty: bool, out: &mut String) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_nan() || f.is_infinite() {
+        // JSON has no NaN/Inf; emit null like serde_json's arbitrary-precision
+        // fallback would reject — null keeps output parseable.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep a trailing ".0" so the value re-parses as a float.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

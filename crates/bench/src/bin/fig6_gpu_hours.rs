@@ -86,11 +86,12 @@ fn main() {
         println!("  {:<14} {:<6} {:>8.1} h", model.name(), ty, hours);
     }
 
+    let per_policy_json: serde_json::Map<_, _> = per_policy
+        .iter()
+        .map(|(k, v)| (k.clone(), model_hours_json(v)))
+        .collect();
     let payload = serde_json::json!({
-        "per_policy": per_policy
-            .iter()
-            .map(|(k, v)| (k.clone(), model_hours_json(v)))
-            .collect::<serde_json::Map<_, _>>(),
+        "per_policy": per_policy_json,
         "sia_type_hours": sia_type_hours
             .iter()
             .map(|((m, t), h)| serde_json::json!({"model": m.name(), "type": t, "hours": h}))

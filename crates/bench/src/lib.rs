@@ -244,7 +244,7 @@ pub fn aggregates_json(aggs: &[Aggregate]) -> serde_json::Value {
         .iter()
         .map(|a| {
             serde_json::json!({
-                "policy": a.label,
+                "policy": &a.label,
                 "avg_jct_hours": a.mean(|s| s.avg_jct_hours),
                 "avg_jct_std": a.std(|s| s.avg_jct_hours),
                 "p99_jct_hours": a.mean(|s| s.p99_jct_hours),

@@ -26,13 +26,24 @@ pub use placement::{FreeGpus, Placement, PlacementError};
 pub use spec::{ClusterSpec, GpuKind, GpuTypeId, Node, NodeGroup};
 
 /// Identifier of a job, unique within one simulation/cluster lifetime.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub u64);
 
 impl std::fmt::Display for JobId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "job-{}", self.0)
+    }
+}
+
+// Newtype serialization matches the old serde derive: a bare number.
+impl serde_json::ToJson for JobId {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Int(self.0 as i64)
+    }
+}
+
+impl serde_json::FromJson for JobId {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        <u64 as serde_json::FromJson>::from_json(v).map(JobId)
     }
 }

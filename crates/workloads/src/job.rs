@@ -5,9 +5,7 @@ use sia_cluster::JobId;
 use crate::zoo::ModelKind;
 
 /// Job-size category by total GPU time (§4.1 of the paper).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SizeCategory {
     /// 0–1 GPU-hours.
     Small,
@@ -36,7 +34,7 @@ impl SizeCategory {
 
 /// How much of the job's execution the scheduler may adapt (§3.4,
 /// "Support for limited adaptivity").
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Adaptivity {
     /// Batch size, GPU count and GPU type may all be optimized.
     Adaptive,
@@ -67,7 +65,7 @@ impl Adaptivity {
 }
 
 /// A job as submitted to the cluster scheduler.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Unique id within the trace.
     pub id: JobId,
@@ -95,6 +93,113 @@ impl JobSpec {
     /// whole pipeline replicas).
     pub fn is_hybrid_parallel(&self) -> bool {
         self.model.profile().pipeline.is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON encodings. These mirror what the old serde derives produced — unit
+// variants as strings, data-carrying variants externally tagged
+// (`{"Rigid": {"batch_size": ..., "num_gpus": ...}}`), structs as objects —
+// so traces written before the offline-serde switch keep parsing.
+// ---------------------------------------------------------------------------
+
+use serde_json::{Error, FromJson, ToJson, Value};
+
+impl ToJson for SizeCategory {
+    fn to_json(&self) -> Value {
+        Value::String(format!("{self:?}"))
+    }
+}
+
+impl FromJson for SizeCategory {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match <String as FromJson>::from_json(v)?.as_str() {
+            "Small" => Ok(SizeCategory::Small),
+            "Medium" => Ok(SizeCategory::Medium),
+            "Large" => Ok(SizeCategory::Large),
+            "ExtraLarge" => Ok(SizeCategory::ExtraLarge),
+            "XxLarge" => Ok(SizeCategory::XxLarge),
+            other => Err(Error::msg(format!("unknown SizeCategory `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Adaptivity {
+    fn to_json(&self) -> Value {
+        match *self {
+            Adaptivity::Adaptive => Value::String("Adaptive".into()),
+            Adaptivity::StrongScaling { batch_size } => {
+                serde_json::json!({"StrongScaling": {"batch_size": batch_size}})
+            }
+            Adaptivity::Rigid {
+                batch_size,
+                num_gpus,
+            } => {
+                serde_json::json!({"Rigid": {"batch_size": batch_size, "num_gpus": num_gpus}})
+            }
+        }
+    }
+}
+
+impl FromJson for Adaptivity {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        if v.as_str() == Some("Adaptive") {
+            return Ok(Adaptivity::Adaptive);
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::msg(format!("bad Adaptivity: {v}")))?;
+        if let Some(body) = obj.get("StrongScaling") {
+            let batch_size = field(body, "batch_size")?;
+            return Ok(Adaptivity::StrongScaling { batch_size });
+        }
+        if let Some(body) = obj.get("Rigid") {
+            return Ok(Adaptivity::Rigid {
+                batch_size: field(body, "batch_size")?,
+                num_gpus: field(body, "num_gpus")?,
+            });
+        }
+        Err(Error::msg(format!("bad Adaptivity: {v}")))
+    }
+}
+
+/// Fetch and decode a required object field.
+fn field<T: FromJson>(v: &Value, name: &str) -> Result<T, Error> {
+    let member = v
+        .get(name)
+        .ok_or_else(|| Error::msg(format!("missing field `{name}`")))?;
+    T::from_json(member).map_err(|e| Error::msg(format!("field `{name}`: {e}")))
+}
+
+impl ToJson for JobSpec {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "id": self.id.to_json(),
+            "name": &self.name,
+            "model": self.model.to_json(),
+            "category": self.category.to_json(),
+            "submit_time": self.submit_time,
+            "adaptivity": self.adaptivity.to_json(),
+            "min_gpus": self.min_gpus,
+            "max_gpus": self.max_gpus,
+            "work_target": self.work_target,
+        })
+    }
+}
+
+impl FromJson for JobSpec {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(JobSpec {
+            id: field(v, "id")?,
+            name: field(v, "name")?,
+            model: field(v, "model")?,
+            category: field(v, "category")?,
+            submit_time: field(v, "submit_time")?,
+            adaptivity: field(v, "adaptivity")?,
+            min_gpus: field(v, "min_gpus")?,
+            max_gpus: field(v, "max_gpus")?,
+            work_target: field(v, "work_target")?,
+        })
     }
 }
 

@@ -24,9 +24,7 @@ use sia_models::{BatchLimits, EfficiencyParams, ThroughputParams};
 use crate::job::SizeCategory;
 
 /// The models of Table 2.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ModelKind {
     /// ResNet18 on CIFAR-10 (Small).
     ResNet18,
@@ -44,6 +42,24 @@ pub enum ModelKind {
     /// workload types"): throughput *is* goodput — no statistical
     /// efficiency, no gradient sync.
     BertInference,
+}
+
+// Unit-enum serialization matches the old serde derive: the variant name as
+// a JSON string, so existing trace files keep parsing.
+impl serde_json::ToJson for ModelKind {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::String(format!("{self:?}"))
+    }
+}
+
+impl serde_json::FromJson for ModelKind {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let s = <String as serde_json::FromJson>::from_json(v)?;
+        ModelKind::all()
+            .into_iter()
+            .find(|m| format!("{m:?}") == s)
+            .ok_or_else(|| serde_json::Error::msg(format!("unknown ModelKind `{s}`")))
+    }
 }
 
 impl ModelKind {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_surface-b20078ac1ca65163.d: tests/api_surface.rs
+
+/root/repo/target/debug/deps/api_surface-b20078ac1ca65163: tests/api_surface.rs
+
+tests/api_surface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bootstrap_modes-9b249f1dfaf005c6.d: tests/bootstrap_modes.rs
+
+/root/repo/target/debug/deps/bootstrap_modes-9b249f1dfaf005c6: tests/bootstrap_modes.rs
+
+tests/bootstrap_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_scheduler-c8152882e8e2affb.d: tests/cross_scheduler.rs
+
+/root/repo/target/debug/deps/cross_scheduler-c8152882e8e2affb: tests/cross_scheduler.rs
+
+tests/cross_scheduler.rs:

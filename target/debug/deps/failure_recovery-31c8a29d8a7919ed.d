@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_recovery-31c8a29d8a7919ed.d: tests/failure_recovery.rs
+
+/root/repo/target/debug/deps/failure_recovery-31c8a29d8a7919ed: tests/failure_recovery.rs
+
+tests/failure_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_invariants-b3114680db86fa99.d: tests/policy_invariants.rs
+
+/root/repo/target/debug/deps/policy_invariants-b3114680db86fa99: tests/policy_invariants.rs
+
+tests/policy_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cluster-be79e3d3d9c3f00b.d: tests/proptest_cluster.rs
+
+/root/repo/target/debug/deps/proptest_cluster-be79e3d3d9c3f00b: tests/proptest_cluster.rs
+
+tests/proptest_cluster.rs:

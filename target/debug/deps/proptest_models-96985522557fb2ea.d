@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_models-96985522557fb2ea.d: tests/proptest_models.rs
+
+/root/repo/target/debug/deps/proptest_models-96985522557fb2ea: tests/proptest_models.rs
+
+tests/proptest_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_placer-a14d8b84ca79209c.d: tests/proptest_placer.rs
+
+/root/repo/target/debug/deps/proptest_placer-a14d8b84ca79209c: tests/proptest_placer.rs
+
+tests/proptest_placer.rs:

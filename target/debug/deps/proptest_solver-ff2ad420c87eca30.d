@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_solver-ff2ad420c87eca30.d: tests/proptest_solver.rs
+
+/root/repo/target/debug/deps/proptest_solver-ff2ad420c87eca30: tests/proptest_solver.rs
+
+tests/proptest_solver.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-3df6b41895be2f08.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3df6b41895be2f08.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3df6b41895be2f08.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

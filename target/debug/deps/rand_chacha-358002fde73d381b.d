@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-358002fde73d381b.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-358002fde73d381b.rlib: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-358002fde73d381b.rmeta: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-e0f2786c3684c227.d: compat/serde_json/src/lib.rs compat/serde_json/src/de.rs compat/serde_json/src/ser.rs
+
+/root/repo/target/debug/deps/libserde_json-e0f2786c3684c227.rlib: compat/serde_json/src/lib.rs compat/serde_json/src/de.rs compat/serde_json/src/ser.rs
+
+/root/repo/target/debug/deps/libserde_json-e0f2786c3684c227.rmeta: compat/serde_json/src/lib.rs compat/serde_json/src/de.rs compat/serde_json/src/ser.rs
+
+compat/serde_json/src/lib.rs:
+compat/serde_json/src/de.rs:
+compat/serde_json/src/ser.rs:

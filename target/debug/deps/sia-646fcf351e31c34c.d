@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sia-646fcf351e31c34c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsia-646fcf351e31c34c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsia-646fcf351e31c34c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sia-bf353da7f9acaeae.d: src/lib.rs
+
+/root/repo/target/debug/deps/sia-bf353da7f9acaeae: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sia_baselines-98adaf3e661fb0f8.d: crates/baselines/src/lib.rs crates/baselines/src/gavel.rs crates/baselines/src/pollux.rs crates/baselines/src/shockwave.rs crates/baselines/src/themis.rs crates/baselines/src/util.rs
+
+/root/repo/target/debug/deps/libsia_baselines-98adaf3e661fb0f8.rlib: crates/baselines/src/lib.rs crates/baselines/src/gavel.rs crates/baselines/src/pollux.rs crates/baselines/src/shockwave.rs crates/baselines/src/themis.rs crates/baselines/src/util.rs
+
+/root/repo/target/debug/deps/libsia_baselines-98adaf3e661fb0f8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gavel.rs crates/baselines/src/pollux.rs crates/baselines/src/shockwave.rs crates/baselines/src/themis.rs crates/baselines/src/util.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gavel.rs:
+crates/baselines/src/pollux.rs:
+crates/baselines/src/shockwave.rs:
+crates/baselines/src/themis.rs:
+crates/baselines/src/util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sia_cli-1af6fcb68f973b1b.d: src/bin/sia-cli.rs
+
+/root/repo/target/debug/deps/sia_cli-1af6fcb68f973b1b: src/bin/sia-cli.rs
+
+src/bin/sia-cli.rs:

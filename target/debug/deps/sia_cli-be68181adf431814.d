@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sia_cli-be68181adf431814.d: src/bin/sia-cli.rs
+
+/root/repo/target/debug/deps/sia_cli-be68181adf431814: src/bin/sia-cli.rs
+
+src/bin/sia-cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sia_cluster-6d3dea4c9d6d3a5b.d: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/placement.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/libsia_cluster-6d3dea4c9d6d3a5b.rlib: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/placement.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/libsia_cluster-6d3dea4c9d6d3a5b.rmeta: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/placement.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/placement.rs:
+crates/cluster/src/spec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sia_core-ab9f6c9ffe07c31f.d: crates/core/src/lib.rs crates/core/src/ilp.rs crates/core/src/matrix.rs crates/core/src/placer.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/libsia_core-ab9f6c9ffe07c31f.rlib: crates/core/src/lib.rs crates/core/src/ilp.rs crates/core/src/matrix.rs crates/core/src/placer.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/libsia_core-ab9f6c9ffe07c31f.rmeta: crates/core/src/lib.rs crates/core/src/ilp.rs crates/core/src/matrix.rs crates/core/src/placer.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ilp.rs:
+crates/core/src/matrix.rs:
+crates/core/src/placer.rs:
+crates/core/src/policy.rs:

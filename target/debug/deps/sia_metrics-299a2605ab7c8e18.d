@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sia_metrics-299a2605ab7c8e18.d: crates/metrics/src/lib.rs crates/metrics/src/fairness.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libsia_metrics-299a2605ab7c8e18.rlib: crates/metrics/src/lib.rs crates/metrics/src/fairness.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libsia_metrics-299a2605ab7c8e18.rmeta: crates/metrics/src/lib.rs crates/metrics/src/fairness.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/fairness.rs:
+crates/metrics/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sia_models-aa308f845d884087.d: crates/models/src/lib.rs crates/models/src/efficiency.rs crates/models/src/estimator.rs crates/models/src/fit.rs crates/models/src/gns.rs crates/models/src/goodput.rs crates/models/src/throughput.rs
+
+/root/repo/target/debug/deps/libsia_models-aa308f845d884087.rlib: crates/models/src/lib.rs crates/models/src/efficiency.rs crates/models/src/estimator.rs crates/models/src/fit.rs crates/models/src/gns.rs crates/models/src/goodput.rs crates/models/src/throughput.rs
+
+/root/repo/target/debug/deps/libsia_models-aa308f845d884087.rmeta: crates/models/src/lib.rs crates/models/src/efficiency.rs crates/models/src/estimator.rs crates/models/src/fit.rs crates/models/src/gns.rs crates/models/src/goodput.rs crates/models/src/throughput.rs
+
+crates/models/src/lib.rs:
+crates/models/src/efficiency.rs:
+crates/models/src/estimator.rs:
+crates/models/src/fit.rs:
+crates/models/src/gns.rs:
+crates/models/src/goodput.rs:
+crates/models/src/throughput.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sia_sim-c5ccf8fe8c89ffc2.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/result.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/debug/deps/libsia_sim-c5ccf8fe8c89ffc2.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/result.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/debug/deps/libsia_sim-c5ccf8fe8c89ffc2.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/result.rs crates/sim/src/scheduler.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/result.rs:
+crates/sim/src/scheduler.rs:

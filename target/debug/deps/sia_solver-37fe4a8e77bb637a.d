@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sia_solver-37fe4a8e77bb637a.d: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/lagrangian.rs crates/solver/src/milp.rs crates/solver/src/problem.rs crates/solver/src/simplex.rs
+
+/root/repo/target/debug/deps/libsia_solver-37fe4a8e77bb637a.rlib: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/lagrangian.rs crates/solver/src/milp.rs crates/solver/src/problem.rs crates/solver/src/simplex.rs
+
+/root/repo/target/debug/deps/libsia_solver-37fe4a8e77bb637a.rmeta: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/lagrangian.rs crates/solver/src/milp.rs crates/solver/src/problem.rs crates/solver/src/simplex.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/error.rs:
+crates/solver/src/lagrangian.rs:
+crates/solver/src/milp.rs:
+crates/solver/src/problem.rs:
+crates/solver/src/simplex.rs:

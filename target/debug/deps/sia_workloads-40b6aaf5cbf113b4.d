@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sia_workloads-40b6aaf5cbf113b4.d: crates/workloads/src/lib.rs crates/workloads/src/job.rs crates/workloads/src/trace.rs crates/workloads/src/tuning.rs crates/workloads/src/zoo.rs
+
+/root/repo/target/debug/deps/libsia_workloads-40b6aaf5cbf113b4.rlib: crates/workloads/src/lib.rs crates/workloads/src/job.rs crates/workloads/src/trace.rs crates/workloads/src/tuning.rs crates/workloads/src/zoo.rs
+
+/root/repo/target/debug/deps/libsia_workloads-40b6aaf5cbf113b4.rmeta: crates/workloads/src/lib.rs crates/workloads/src/job.rs crates/workloads/src/trace.rs crates/workloads/src/tuning.rs crates/workloads/src/zoo.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/job.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/tuning.rs:
+crates/workloads/src/zoo.rs:

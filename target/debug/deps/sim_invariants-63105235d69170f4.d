@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_invariants-63105235d69170f4.d: tests/sim_invariants.rs
+
+/root/repo/target/debug/deps/sim_invariants-63105235d69170f4: tests/sim_invariants.rs
+
+tests/sim_invariants.rs:

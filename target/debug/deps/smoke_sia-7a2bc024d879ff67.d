@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke_sia-7a2bc024d879ff67.d: tests/smoke_sia.rs
+
+/root/repo/target/debug/deps/smoke_sia-7a2bc024d879ff67: tests/smoke_sia.rs
+
+tests/smoke_sia.rs:

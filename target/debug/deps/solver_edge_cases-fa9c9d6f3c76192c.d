@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_edge_cases-fa9c9d6f3c76192c.d: tests/solver_edge_cases.rs
+
+/root/repo/target/debug/deps/solver_edge_cases-fa9c9d6f3c76192c: tests/solver_edge_cases.rs
+
+tests/solver_edge_cases.rs:

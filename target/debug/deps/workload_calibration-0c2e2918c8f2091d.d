@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_calibration-0c2e2918c8f2091d.d: tests/workload_calibration.rs
+
+/root/repo/target/debug/deps/workload_calibration-0c2e2918c8f2091d: tests/workload_calibration.rs
+
+tests/workload_calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_inference-d58059d0959f4baf.d: examples/batch_inference.rs
+
+/root/repo/target/debug/examples/batch_inference-d58059d0959f4baf: examples/batch_inference.rs
+
+examples/batch_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_scheduler-aa490331a801f939.d: examples/custom_scheduler.rs
+
+/root/repo/target/debug/examples/custom_scheduler-aa490331a801f939: examples/custom_scheduler.rs
+
+examples/custom_scheduler.rs:

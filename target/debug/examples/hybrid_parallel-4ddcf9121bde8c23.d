@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_parallel-4ddcf9121bde8c23.d: examples/hybrid_parallel.rs
+
+/root/repo/target/debug/examples/hybrid_parallel-4ddcf9121bde8c23: examples/hybrid_parallel.rs
+
+examples/hybrid_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7c431101d237632e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7c431101d237632e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_shootout-5e4e35c9a4c92e09.d: examples/scheduler_shootout.rs
+
+/root/repo/target/debug/examples/scheduler_shootout-5e4e35c9a4c92e09: examples/scheduler_shootout.rs
+
+examples/scheduler_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_sensitivity-188cc615887b72c1.d: crates/bench/src/bin/fig10_sensitivity.rs
+
+/root/repo/target/release/deps/fig10_sensitivity-188cc615887b72c1: crates/bench/src/bin/fig10_sensitivity.rs
+
+crates/bench/src/bin/fig10_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_sensitivity-c0c852b82fe194e0.d: crates/bench/src/bin/fig10_sensitivity.rs
+
+/root/repo/target/release/deps/fig10_sensitivity-c0c852b82fe194e0: crates/bench/src/bin/fig10_sensitivity.rs
+
+crates/bench/src/bin/fig10_sensitivity.rs:

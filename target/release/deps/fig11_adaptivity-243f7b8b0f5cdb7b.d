@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_adaptivity-243f7b8b0f5cdb7b.d: crates/bench/src/bin/fig11_adaptivity.rs
+
+/root/repo/target/release/deps/fig11_adaptivity-243f7b8b0f5cdb7b: crates/bench/src/bin/fig11_adaptivity.rs
+
+crates/bench/src/bin/fig11_adaptivity.rs:

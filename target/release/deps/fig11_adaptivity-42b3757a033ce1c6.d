@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_adaptivity-42b3757a033ce1c6.d: crates/bench/src/bin/fig11_adaptivity.rs
+
+/root/repo/target/release/deps/fig11_adaptivity-42b3757a033ce1c6: crates/bench/src/bin/fig11_adaptivity.rs
+
+crates/bench/src/bin/fig11_adaptivity.rs:

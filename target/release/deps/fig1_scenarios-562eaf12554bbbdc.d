@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_scenarios-562eaf12554bbbdc.d: crates/bench/src/bin/fig1_scenarios.rs
+
+/root/repo/target/release/deps/fig1_scenarios-562eaf12554bbbdc: crates/bench/src/bin/fig1_scenarios.rs
+
+crates/bench/src/bin/fig1_scenarios.rs:

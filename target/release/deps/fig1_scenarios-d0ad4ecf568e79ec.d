@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_scenarios-d0ad4ecf568e79ec.d: crates/bench/src/bin/fig1_scenarios.rs
+
+/root/repo/target/release/deps/fig1_scenarios-d0ad4ecf568e79ec: crates/bench/src/bin/fig1_scenarios.rs
+
+crates/bench/src/bin/fig1_scenarios.rs:

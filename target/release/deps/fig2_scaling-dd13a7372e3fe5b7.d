@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_scaling-dd13a7372e3fe5b7.d: crates/bench/src/bin/fig2_scaling.rs
+
+/root/repo/target/release/deps/fig2_scaling-dd13a7372e3fe5b7: crates/bench/src/bin/fig2_scaling.rs
+
+crates/bench/src/bin/fig2_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_physical-1503d725c7bcea71.d: crates/bench/src/bin/fig4_physical.rs
+
+/root/repo/target/release/deps/fig4_physical-1503d725c7bcea71: crates/bench/src/bin/fig4_physical.rs
+
+crates/bench/src/bin/fig4_physical.rs:

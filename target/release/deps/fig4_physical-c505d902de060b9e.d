@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_physical-c505d902de060b9e.d: crates/bench/src/bin/fig4_physical.rs
+
+/root/repo/target/release/deps/fig4_physical-c505d902de060b9e: crates/bench/src/bin/fig4_physical.rs
+
+crates/bench/src/bin/fig4_physical.rs:

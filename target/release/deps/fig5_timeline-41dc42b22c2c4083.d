@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_timeline-41dc42b22c2c4083.d: crates/bench/src/bin/fig5_timeline.rs
+
+/root/repo/target/release/deps/fig5_timeline-41dc42b22c2c4083: crates/bench/src/bin/fig5_timeline.rs
+
+crates/bench/src/bin/fig5_timeline.rs:

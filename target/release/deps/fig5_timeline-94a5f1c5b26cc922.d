@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_timeline-94a5f1c5b26cc922.d: crates/bench/src/bin/fig5_timeline.rs
+
+/root/repo/target/release/deps/fig5_timeline-94a5f1c5b26cc922: crates/bench/src/bin/fig5_timeline.rs
+
+crates/bench/src/bin/fig5_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_gpu_hours-2136a9159c49a363.d: crates/bench/src/bin/fig6_gpu_hours.rs
+
+/root/repo/target/release/deps/fig6_gpu_hours-2136a9159c49a363: crates/bench/src/bin/fig6_gpu_hours.rs
+
+crates/bench/src/bin/fig6_gpu_hours.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_gpu_hours-7bc6cd260222d11b.d: crates/bench/src/bin/fig6_gpu_hours.rs
+
+/root/repo/target/release/deps/fig6_gpu_hours-7bc6cd260222d11b: crates/bench/src/bin/fig6_gpu_hours.rs
+
+crates/bench/src/bin/fig6_gpu_hours.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_arrival_rate-c4cd6f37f7b87e88.d: crates/bench/src/bin/fig7_arrival_rate.rs
+
+/root/repo/target/release/deps/fig7_arrival_rate-c4cd6f37f7b87e88: crates/bench/src/bin/fig7_arrival_rate.rs
+
+crates/bench/src/bin/fig7_arrival_rate.rs:

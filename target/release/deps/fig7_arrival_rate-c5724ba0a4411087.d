@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_arrival_rate-c5724ba0a4411087.d: crates/bench/src/bin/fig7_arrival_rate.rs
+
+/root/repo/target/release/deps/fig7_arrival_rate-c5724ba0a4411087: crates/bench/src/bin/fig7_arrival_rate.rs
+
+crates/bench/src/bin/fig7_arrival_rate.rs:

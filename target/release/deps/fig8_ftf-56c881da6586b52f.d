@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_ftf-56c881da6586b52f.d: crates/bench/src/bin/fig8_ftf.rs
+
+/root/repo/target/release/deps/fig8_ftf-56c881da6586b52f: crates/bench/src/bin/fig8_ftf.rs
+
+crates/bench/src/bin/fig8_ftf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_ftf-e6cd116d9c18b99c.d: crates/bench/src/bin/fig8_ftf.rs
+
+/root/repo/target/release/deps/fig8_ftf-e6cd116d9c18b99c: crates/bench/src/bin/fig8_ftf.rs
+
+crates/bench/src/bin/fig8_ftf.rs:

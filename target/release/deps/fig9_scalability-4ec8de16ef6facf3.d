@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_scalability-4ec8de16ef6facf3.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/release/deps/fig9_scalability-4ec8de16ef6facf3: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_scalability-5e4f72c0cacb50b9.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/release/deps/fig9_scalability-5e4f72c0cacb50b9: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

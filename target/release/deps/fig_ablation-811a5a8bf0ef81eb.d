@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_ablation-811a5a8bf0ef81eb.d: crates/bench/src/bin/fig_ablation.rs
+
+/root/repo/target/release/deps/fig_ablation-811a5a8bf0ef81eb: crates/bench/src/bin/fig_ablation.rs
+
+crates/bench/src/bin/fig_ablation.rs:

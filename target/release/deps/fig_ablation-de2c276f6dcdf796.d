@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_ablation-de2c276f6dcdf796.d: crates/bench/src/bin/fig_ablation.rs
+
+/root/repo/target/release/deps/fig_ablation-de2c276f6dcdf796: crates/bench/src/bin/fig_ablation.rs
+
+crates/bench/src/bin/fig_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_failures-66e7d9fc24c9dc56.d: crates/bench/src/bin/fig_failures.rs
+
+/root/repo/target/release/deps/fig_failures-66e7d9fc24c9dc56: crates/bench/src/bin/fig_failures.rs
+
+crates/bench/src/bin/fig_failures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_failures-88dd1b03b52c836e.d: crates/bench/src/bin/fig_failures.rs
+
+/root/repo/target/release/deps/fig_failures-88dd1b03b52c836e: crates/bench/src/bin/fig_failures.rs
+
+crates/bench/src/bin/fig_failures.rs:

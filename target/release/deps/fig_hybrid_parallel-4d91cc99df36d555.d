@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_hybrid_parallel-4d91cc99df36d555.d: crates/bench/src/bin/fig_hybrid_parallel.rs
+
+/root/repo/target/release/deps/fig_hybrid_parallel-4d91cc99df36d555: crates/bench/src/bin/fig_hybrid_parallel.rs
+
+crates/bench/src/bin/fig_hybrid_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_hybrid_parallel-4ffcfb9c9337fc46.d: crates/bench/src/bin/fig_hybrid_parallel.rs
+
+/root/repo/target/release/deps/fig_hybrid_parallel-4ffcfb9c9337fc46: crates/bench/src/bin/fig_hybrid_parallel.rs
+
+crates/bench/src/bin/fig_hybrid_parallel.rs:

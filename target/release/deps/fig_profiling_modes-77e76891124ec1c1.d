@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_profiling_modes-77e76891124ec1c1.d: crates/bench/src/bin/fig_profiling_modes.rs
+
+/root/repo/target/release/deps/fig_profiling_modes-77e76891124ec1c1: crates/bench/src/bin/fig_profiling_modes.rs
+
+crates/bench/src/bin/fig_profiling_modes.rs:

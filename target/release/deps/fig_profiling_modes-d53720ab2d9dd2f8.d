@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_profiling_modes-d53720ab2d9dd2f8.d: crates/bench/src/bin/fig_profiling_modes.rs
+
+/root/repo/target/release/deps/fig_profiling_modes-d53720ab2d9dd2f8: crates/bench/src/bin/fig_profiling_modes.rs
+
+crates/bench/src/bin/fig_profiling_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/models-ccd32dc43b10e80d.d: crates/bench/benches/models.rs
+
+/root/repo/target/release/deps/models-ccd32dc43b10e80d: crates/bench/benches/models.rs
+
+crates/bench/benches/models.rs:

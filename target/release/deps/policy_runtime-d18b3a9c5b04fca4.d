@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policy_runtime-d18b3a9c5b04fca4.d: crates/bench/benches/policy_runtime.rs
+
+/root/repo/target/release/deps/policy_runtime-d18b3a9c5b04fca4: crates/bench/benches/policy_runtime.rs
+
+crates/bench/benches/policy_runtime.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-0c3d875c5439584d.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs compat/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/proptest-0c3d875c5439584d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs compat/proptest/src/test_runner.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:
+compat/proptest/src/test_runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-52accfc48fd9078e.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs compat/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-52accfc48fd9078e.rlib: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs compat/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-52accfc48fd9078e.rmeta: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs compat/proptest/src/test_runner.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:
+compat/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quick_compare-7b6bdca1cf02dde6.d: crates/bench/src/bin/quick_compare.rs
+
+/root/repo/target/release/deps/quick_compare-7b6bdca1cf02dde6: crates/bench/src/bin/quick_compare.rs
+
+crates/bench/src/bin/quick_compare.rs:

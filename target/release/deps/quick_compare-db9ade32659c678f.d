@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quick_compare-db9ade32659c678f.d: crates/bench/src/bin/quick_compare.rs
+
+/root/repo/target/release/deps/quick_compare-db9ade32659c678f: crates/bench/src/bin/quick_compare.rs
+
+crates/bench/src/bin/quick_compare.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c5c13c9f6442ac06.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c5c13c9f6442ac06.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c5c13c9f6442ac06.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

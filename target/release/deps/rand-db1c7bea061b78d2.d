@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-db1c7bea061b78d2.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-db1c7bea061b78d2: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-74473d9024942871.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-74473d9024942871: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

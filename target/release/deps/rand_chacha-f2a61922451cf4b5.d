@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-f2a61922451cf4b5.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-f2a61922451cf4b5.rlib: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-f2a61922451cf4b5.rmeta: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

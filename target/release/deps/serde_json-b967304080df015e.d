@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-b967304080df015e.d: compat/serde_json/src/lib.rs compat/serde_json/src/de.rs compat/serde_json/src/ser.rs
+
+/root/repo/target/release/deps/serde_json-b967304080df015e: compat/serde_json/src/lib.rs compat/serde_json/src/de.rs compat/serde_json/src/ser.rs
+
+compat/serde_json/src/lib.rs:
+compat/serde_json/src/de.rs:
+compat/serde_json/src/ser.rs:

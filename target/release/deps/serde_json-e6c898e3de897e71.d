@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-e6c898e3de897e71.d: compat/serde_json/src/lib.rs compat/serde_json/src/de.rs compat/serde_json/src/ser.rs
+
+/root/repo/target/release/deps/libserde_json-e6c898e3de897e71.rlib: compat/serde_json/src/lib.rs compat/serde_json/src/de.rs compat/serde_json/src/ser.rs
+
+/root/repo/target/release/deps/libserde_json-e6c898e3de897e71.rmeta: compat/serde_json/src/lib.rs compat/serde_json/src/de.rs compat/serde_json/src/ser.rs
+
+compat/serde_json/src/lib.rs:
+compat/serde_json/src/de.rs:
+compat/serde_json/src/ser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sia-0dce89c393a4e29d.d: src/lib.rs
+
+/root/repo/target/release/deps/sia-0dce89c393a4e29d: src/lib.rs
+
+src/lib.rs:

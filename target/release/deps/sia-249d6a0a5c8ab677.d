@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sia-249d6a0a5c8ab677.d: src/lib.rs
+
+/root/repo/target/release/deps/libsia-249d6a0a5c8ab677.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsia-249d6a0a5c8ab677.rmeta: src/lib.rs
+
+src/lib.rs:

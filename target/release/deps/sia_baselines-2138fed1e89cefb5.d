@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sia_baselines-2138fed1e89cefb5.d: crates/baselines/src/lib.rs crates/baselines/src/gavel.rs crates/baselines/src/pollux.rs crates/baselines/src/shockwave.rs crates/baselines/src/themis.rs crates/baselines/src/util.rs
+
+/root/repo/target/release/deps/sia_baselines-2138fed1e89cefb5: crates/baselines/src/lib.rs crates/baselines/src/gavel.rs crates/baselines/src/pollux.rs crates/baselines/src/shockwave.rs crates/baselines/src/themis.rs crates/baselines/src/util.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gavel.rs:
+crates/baselines/src/pollux.rs:
+crates/baselines/src/shockwave.rs:
+crates/baselines/src/themis.rs:
+crates/baselines/src/util.rs:

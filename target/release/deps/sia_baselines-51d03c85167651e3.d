@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sia_baselines-51d03c85167651e3.d: crates/baselines/src/lib.rs crates/baselines/src/gavel.rs crates/baselines/src/pollux.rs crates/baselines/src/shockwave.rs crates/baselines/src/themis.rs crates/baselines/src/util.rs
+
+/root/repo/target/release/deps/libsia_baselines-51d03c85167651e3.rlib: crates/baselines/src/lib.rs crates/baselines/src/gavel.rs crates/baselines/src/pollux.rs crates/baselines/src/shockwave.rs crates/baselines/src/themis.rs crates/baselines/src/util.rs
+
+/root/repo/target/release/deps/libsia_baselines-51d03c85167651e3.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gavel.rs crates/baselines/src/pollux.rs crates/baselines/src/shockwave.rs crates/baselines/src/themis.rs crates/baselines/src/util.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gavel.rs:
+crates/baselines/src/pollux.rs:
+crates/baselines/src/shockwave.rs:
+crates/baselines/src/themis.rs:
+crates/baselines/src/util.rs:

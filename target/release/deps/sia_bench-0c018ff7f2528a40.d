@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sia_bench-0c018ff7f2528a40.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/sia_bench-0c018ff7f2528a40: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

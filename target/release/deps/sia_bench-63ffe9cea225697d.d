@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sia_bench-63ffe9cea225697d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsia_bench-63ffe9cea225697d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsia_bench-63ffe9cea225697d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sia_cli-a652fe751c4283c0.d: src/bin/sia-cli.rs
+
+/root/repo/target/release/deps/sia_cli-a652fe751c4283c0: src/bin/sia-cli.rs
+
+src/bin/sia-cli.rs:

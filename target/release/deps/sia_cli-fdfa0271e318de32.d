@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sia_cli-fdfa0271e318de32.d: src/bin/sia-cli.rs
+
+/root/repo/target/release/deps/sia_cli-fdfa0271e318de32: src/bin/sia-cli.rs
+
+src/bin/sia-cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sia_cluster-2943cc5103d9464c.d: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/placement.rs crates/cluster/src/spec.rs
+
+/root/repo/target/release/deps/libsia_cluster-2943cc5103d9464c.rlib: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/placement.rs crates/cluster/src/spec.rs
+
+/root/repo/target/release/deps/libsia_cluster-2943cc5103d9464c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/placement.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/placement.rs:
+crates/cluster/src/spec.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sia_cluster-d5d4b98c3bc5735e.d: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/placement.rs crates/cluster/src/spec.rs
+
+/root/repo/target/release/deps/sia_cluster-d5d4b98c3bc5735e: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/placement.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/placement.rs:
+crates/cluster/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sia_core-d19a9514add4156c.d: crates/core/src/lib.rs crates/core/src/ilp.rs crates/core/src/matrix.rs crates/core/src/placer.rs crates/core/src/policy.rs
+
+/root/repo/target/release/deps/sia_core-d19a9514add4156c: crates/core/src/lib.rs crates/core/src/ilp.rs crates/core/src/matrix.rs crates/core/src/placer.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ilp.rs:
+crates/core/src/matrix.rs:
+crates/core/src/placer.rs:
+crates/core/src/policy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sia_core-e67a03d5af3ab431.d: crates/core/src/lib.rs crates/core/src/ilp.rs crates/core/src/matrix.rs crates/core/src/placer.rs crates/core/src/policy.rs
+
+/root/repo/target/release/deps/libsia_core-e67a03d5af3ab431.rlib: crates/core/src/lib.rs crates/core/src/ilp.rs crates/core/src/matrix.rs crates/core/src/placer.rs crates/core/src/policy.rs
+
+/root/repo/target/release/deps/libsia_core-e67a03d5af3ab431.rmeta: crates/core/src/lib.rs crates/core/src/ilp.rs crates/core/src/matrix.rs crates/core/src/placer.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ilp.rs:
+crates/core/src/matrix.rs:
+crates/core/src/placer.rs:
+crates/core/src/policy.rs:

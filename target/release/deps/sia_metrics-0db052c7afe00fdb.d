@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sia_metrics-0db052c7afe00fdb.d: crates/metrics/src/lib.rs crates/metrics/src/fairness.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/sia_metrics-0db052c7afe00fdb: crates/metrics/src/lib.rs crates/metrics/src/fairness.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/fairness.rs:
+crates/metrics/src/stats.rs:

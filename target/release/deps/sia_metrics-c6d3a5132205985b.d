@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sia_metrics-c6d3a5132205985b.d: crates/metrics/src/lib.rs crates/metrics/src/fairness.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libsia_metrics-c6d3a5132205985b.rlib: crates/metrics/src/lib.rs crates/metrics/src/fairness.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libsia_metrics-c6d3a5132205985b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/fairness.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/fairness.rs:
+crates/metrics/src/stats.rs:

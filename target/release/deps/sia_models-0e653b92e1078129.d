@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sia_models-0e653b92e1078129.d: crates/models/src/lib.rs crates/models/src/efficiency.rs crates/models/src/estimator.rs crates/models/src/fit.rs crates/models/src/gns.rs crates/models/src/goodput.rs crates/models/src/throughput.rs
+
+/root/repo/target/release/deps/libsia_models-0e653b92e1078129.rlib: crates/models/src/lib.rs crates/models/src/efficiency.rs crates/models/src/estimator.rs crates/models/src/fit.rs crates/models/src/gns.rs crates/models/src/goodput.rs crates/models/src/throughput.rs
+
+/root/repo/target/release/deps/libsia_models-0e653b92e1078129.rmeta: crates/models/src/lib.rs crates/models/src/efficiency.rs crates/models/src/estimator.rs crates/models/src/fit.rs crates/models/src/gns.rs crates/models/src/goodput.rs crates/models/src/throughput.rs
+
+crates/models/src/lib.rs:
+crates/models/src/efficiency.rs:
+crates/models/src/estimator.rs:
+crates/models/src/fit.rs:
+crates/models/src/gns.rs:
+crates/models/src/goodput.rs:
+crates/models/src/throughput.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sia_models-93fc83e877fd769a.d: crates/models/src/lib.rs crates/models/src/efficiency.rs crates/models/src/estimator.rs crates/models/src/fit.rs crates/models/src/gns.rs crates/models/src/goodput.rs crates/models/src/throughput.rs
+
+/root/repo/target/release/deps/sia_models-93fc83e877fd769a: crates/models/src/lib.rs crates/models/src/efficiency.rs crates/models/src/estimator.rs crates/models/src/fit.rs crates/models/src/gns.rs crates/models/src/goodput.rs crates/models/src/throughput.rs
+
+crates/models/src/lib.rs:
+crates/models/src/efficiency.rs:
+crates/models/src/estimator.rs:
+crates/models/src/fit.rs:
+crates/models/src/gns.rs:
+crates/models/src/goodput.rs:
+crates/models/src/throughput.rs:

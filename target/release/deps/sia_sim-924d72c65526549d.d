@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sia_sim-924d72c65526549d.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/result.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/release/deps/sia_sim-924d72c65526549d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/result.rs crates/sim/src/scheduler.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/result.rs:
+crates/sim/src/scheduler.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sia_sim-e7e54f24511aa346.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/result.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/release/deps/libsia_sim-e7e54f24511aa346.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/result.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/release/deps/libsia_sim-e7e54f24511aa346.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/result.rs crates/sim/src/scheduler.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/result.rs:
+crates/sim/src/scheduler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sia_solver-4e74017d46ffd3ba.d: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/lagrangian.rs crates/solver/src/milp.rs crates/solver/src/problem.rs crates/solver/src/simplex.rs
+
+/root/repo/target/release/deps/libsia_solver-4e74017d46ffd3ba.rlib: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/lagrangian.rs crates/solver/src/milp.rs crates/solver/src/problem.rs crates/solver/src/simplex.rs
+
+/root/repo/target/release/deps/libsia_solver-4e74017d46ffd3ba.rmeta: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/lagrangian.rs crates/solver/src/milp.rs crates/solver/src/problem.rs crates/solver/src/simplex.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/error.rs:
+crates/solver/src/lagrangian.rs:
+crates/solver/src/milp.rs:
+crates/solver/src/problem.rs:
+crates/solver/src/simplex.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sia_solver-fea82e0e91d375ed.d: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/lagrangian.rs crates/solver/src/milp.rs crates/solver/src/problem.rs crates/solver/src/simplex.rs
+
+/root/repo/target/release/deps/sia_solver-fea82e0e91d375ed: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/lagrangian.rs crates/solver/src/milp.rs crates/solver/src/problem.rs crates/solver/src/simplex.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/error.rs:
+crates/solver/src/lagrangian.rs:
+crates/solver/src/milp.rs:
+crates/solver/src/problem.rs:
+crates/solver/src/simplex.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sia_workloads-30cb5c9a2f8be1d8.d: crates/workloads/src/lib.rs crates/workloads/src/job.rs crates/workloads/src/trace.rs crates/workloads/src/tuning.rs crates/workloads/src/zoo.rs
+
+/root/repo/target/release/deps/sia_workloads-30cb5c9a2f8be1d8: crates/workloads/src/lib.rs crates/workloads/src/job.rs crates/workloads/src/trace.rs crates/workloads/src/tuning.rs crates/workloads/src/zoo.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/job.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/tuning.rs:
+crates/workloads/src/zoo.rs:

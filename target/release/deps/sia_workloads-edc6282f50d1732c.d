@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sia_workloads-edc6282f50d1732c.d: crates/workloads/src/lib.rs crates/workloads/src/job.rs crates/workloads/src/trace.rs crates/workloads/src/tuning.rs crates/workloads/src/zoo.rs
+
+/root/repo/target/release/deps/libsia_workloads-edc6282f50d1732c.rlib: crates/workloads/src/lib.rs crates/workloads/src/job.rs crates/workloads/src/trace.rs crates/workloads/src/tuning.rs crates/workloads/src/zoo.rs
+
+/root/repo/target/release/deps/libsia_workloads-edc6282f50d1732c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/job.rs crates/workloads/src/trace.rs crates/workloads/src/tuning.rs crates/workloads/src/zoo.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/job.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/tuning.rs:
+crates/workloads/src/zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver-4ac8e4c2dd0dfbc2.d: crates/bench/benches/solver.rs
+
+/root/repo/target/release/deps/solver-4ac8e4c2dd0dfbc2: crates/bench/benches/solver.rs
+
+crates/bench/benches/solver.rs:

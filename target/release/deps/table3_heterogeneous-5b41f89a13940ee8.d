@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_heterogeneous-5b41f89a13940ee8.d: crates/bench/src/bin/table3_heterogeneous.rs
+
+/root/repo/target/release/deps/table3_heterogeneous-5b41f89a13940ee8: crates/bench/src/bin/table3_heterogeneous.rs
+
+crates/bench/src/bin/table3_heterogeneous.rs:

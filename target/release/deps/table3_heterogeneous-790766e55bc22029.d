@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_heterogeneous-790766e55bc22029.d: crates/bench/src/bin/table3_heterogeneous.rs
+
+/root/repo/target/release/deps/table3_heterogeneous-790766e55bc22029: crates/bench/src/bin/table3_heterogeneous.rs
+
+crates/bench/src/bin/table3_heterogeneous.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_newtrace-589f81d237b2312f.d: crates/bench/src/bin/table3_newtrace.rs
+
+/root/repo/target/release/deps/table3_newtrace-589f81d237b2312f: crates/bench/src/bin/table3_newtrace.rs
+
+crates/bench/src/bin/table3_newtrace.rs:

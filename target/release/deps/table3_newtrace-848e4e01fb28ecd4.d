@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_newtrace-848e4e01fb28ecd4.d: crates/bench/src/bin/table3_newtrace.rs
+
+/root/repo/target/release/deps/table3_newtrace-848e4e01fb28ecd4: crates/bench/src/bin/table3_newtrace.rs
+
+crates/bench/src/bin/table3_newtrace.rs:

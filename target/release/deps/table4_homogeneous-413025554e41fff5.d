@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_homogeneous-413025554e41fff5.d: crates/bench/src/bin/table4_homogeneous.rs
+
+/root/repo/target/release/deps/table4_homogeneous-413025554e41fff5: crates/bench/src/bin/table4_homogeneous.rs
+
+crates/bench/src/bin/table4_homogeneous.rs:

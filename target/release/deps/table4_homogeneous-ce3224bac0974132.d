@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_homogeneous-ce3224bac0974132.d: crates/bench/src/bin/table4_homogeneous.rs
+
+/root/repo/target/release/deps/table4_homogeneous-ce3224bac0974132: crates/bench/src/bin/table4_homogeneous.rs
+
+crates/bench/src/bin/table4_homogeneous.rs:

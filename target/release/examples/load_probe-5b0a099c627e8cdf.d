@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/load_probe-5b0a099c627e8cdf.d: examples/load_probe.rs
+
+/root/repo/target/release/examples/load_probe-5b0a099c627e8cdf: examples/load_probe.rs
+
+examples/load_probe.rs:
