@@ -9,6 +9,11 @@
 //! derived serde implement these by hand (the wire format is kept identical
 //! to what the derives produced, so stored JSON keeps parsing).
 
+// The `json!` array expansion builds a Vec then pushes into it; only this
+// crate's own tests see the lint (expansions in dependent crates count as
+// external macros and are exempt).
+#![allow(clippy::vec_init_then_push)]
+
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -137,7 +142,11 @@ impl Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "{} at line {} column {}", self.msg, self.line, self.column)
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.msg, self.line, self.column
+            )
         } else {
             f.write_str(&self.msg)
         }

@@ -178,6 +178,8 @@ impl Scheduler for GavelPolicy {
     }
 
     fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+        let _span = sia_telemetry::span("baseline.gavel.schedule");
+        sia_telemetry::counter("baseline.gavel.rounds").incr();
         let n_types = spec.num_gpu_types();
 
         // Account the previous round's received time per type.

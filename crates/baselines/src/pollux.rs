@@ -407,6 +407,8 @@ impl Scheduler for PolluxPolicy {
     }
 
     fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+        let _span = sia_telemetry::span("baseline.pollux.schedule");
+        sia_telemetry::counter("baseline.pollux.rounds").incr();
         if jobs.is_empty() {
             return AllocationMap::new();
         }

@@ -92,6 +92,8 @@ impl Scheduler for ShockwavePolicy {
     }
 
     fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+        let _span = sia_telemetry::span("baseline.shockwave.schedule");
+        sia_telemetry::counter("baseline.shockwave.rounds").incr();
         let mut scored: Vec<(f64, usize)> = jobs
             .iter()
             .enumerate()

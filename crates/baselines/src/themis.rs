@@ -54,6 +54,8 @@ impl Scheduler for ThemisPolicy {
     }
 
     fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+        let _span = sia_telemetry::span("baseline.themis.schedule");
+        sia_telemetry::counter("baseline.themis.rounds").incr();
         self.counter += 1;
         // Worst-off first (largest rho).
         let mut order: Vec<(f64, usize)> = jobs

@@ -202,9 +202,6 @@ mod current_type_tests {
             current: &running,
             ..view
         };
-        assert_eq!(
-            current_type(&view, &spec),
-            spec.gpu_type_by_name("t4")
-        );
+        assert_eq!(current_type(&view, &spec), spec.gpu_type_by_name("t4"));
     }
 }

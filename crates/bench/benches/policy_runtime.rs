@@ -106,21 +106,21 @@ fn bench_policies(c: &mut Criterion) {
 
         group.bench_function(BenchmarkId::new("sia", gpus), |b| {
             b.iter_batched(
-                || SiaPolicy::default(),
+                SiaPolicy::default,
                 |mut p| p.schedule(0.0, &adaptive.views(), &cluster),
                 criterion::BatchSize::SmallInput,
             )
         });
         group.bench_function(BenchmarkId::new("pollux", gpus), |b| {
             b.iter_batched(
-                || PolluxPolicy::default(),
+                PolluxPolicy::default,
                 |mut p| p.schedule(0.0, &adaptive.views(), &cluster),
                 criterion::BatchSize::SmallInput,
             )
         });
         group.bench_function(BenchmarkId::new("gavel", gpus), |b| {
             b.iter_batched(
-                || GavelPolicy::default(),
+                GavelPolicy::default,
                 |mut p| p.schedule(0.0, &rigid.views(), &cluster),
                 criterion::BatchSize::SmallInput,
             )

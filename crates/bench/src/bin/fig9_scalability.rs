@@ -6,7 +6,7 @@
 
 use sia_bench::{run_one, write_json, Policy};
 use sia_cluster::ClusterSpec;
-use sia_metrics::percentile;
+use sia_metrics::{percentile, summarize_phases};
 use sia_sim::SimConfig;
 use sia_workloads::{Trace, TraceConfig, TraceKind};
 
@@ -26,6 +26,11 @@ fn main() {
 
     let mut payload = serde_json::Map::new();
     let mut series: std::collections::BTreeMap<String, Vec<(usize, f64, f64, f64)>> =
+        Default::default();
+    // Per-phase breakdown (refit/goodput/build/solve/placement) for policies
+    // that report SolverStats — shows where Sia's runtime goes as the
+    // cluster grows.
+    let mut phase_series: std::collections::BTreeMap<String, Vec<serde_json::Value>> =
         Default::default();
     for &f in &factors {
         let cluster = ClusterSpec::heterogeneous_scaled(f);
@@ -62,6 +67,23 @@ fn main() {
                 .entry(p.label())
                 .or_default()
                 .push((64 * f, median, p25, p75));
+            if let Some(ph) = summarize_phases(&result) {
+                phase_series
+                    .entry(p.label())
+                    .or_default()
+                    .push(serde_json::json!({
+                        "gpus": 64 * f,
+                        "mean_refit_s": ph.mean_refit_s,
+                        "mean_goodput_s": ph.mean_goodput_s,
+                        "mean_build_s": ph.mean_build_s,
+                        "mean_solve_s": ph.mean_solve_s,
+                        "mean_placement_s": ph.mean_placement_s,
+                        "mean_candidates": ph.mean_candidates,
+                        "milp_nodes": ph.total_nodes,
+                        "simplex_pivots": ph.total_pivots,
+                        "fallback_rounds": ph.fallback_rounds,
+                    }));
+            }
         }
         println!();
     }
@@ -75,6 +97,9 @@ fn main() {
                 }))
                 .collect::<Vec<_>>()),
         );
+    }
+    for (label, pts) in phase_series {
+        payload.insert(format!("{label}_phases"), serde_json::Value::Array(pts));
     }
     write_json("fig9_scalability", &serde_json::Value::Object(payload));
 }

@@ -6,6 +6,9 @@
 //! and JSON output to `results/`.
 
 #![forbid(unsafe_code)]
+// The declarative `json!` expansion for the aggregates row exceeds the
+// default recursion limit.
+#![recursion_limit = "512"]
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -256,6 +259,17 @@ pub fn aggregates_json(aggs: &[Aggregate]) -> serde_json::Value {
                 "unfinished": a.mean(|s| s.unfinished as f64),
                 "median_policy_runtime_s": a.mean(|s| s.median_policy_runtime),
                 "seeds": a.runs.len(),
+                // Per-phase solver telemetry (zeros for baselines that do not
+                // report SolverStats).
+                "phase_refit_s": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_refit_s)),
+                "phase_goodput_s": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_goodput_s)),
+                "phase_build_s": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_build_s)),
+                "phase_solve_s": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_solve_s)),
+                "phase_placement_s": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_placement_s)),
+                "mean_candidates": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_candidates)),
+                "milp_nodes": a.mean(|s| s.solver.map_or(0.0, |p| p.total_nodes as f64)),
+                "simplex_pivots": a.mean(|s| s.solver.map_or(0.0, |p| p.total_pivots as f64)),
+                "fallback_rounds": a.mean(|s| s.solver.map_or(0.0, |p| p.fallback_rounds as f64)),
             })
         })
         .collect();
@@ -314,6 +328,7 @@ mod tests {
             max_contention: 1,
             avg_restarts: 0.0,
             median_policy_runtime: 0.0,
+            solver: None,
         };
         let a = Aggregate {
             label: "x".into(),

@@ -7,8 +7,10 @@
 //! no per-node rows are needed.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use sia_cluster::{ClusterSpec, Configuration, JobId};
+use sia_sim::SolveOutcome;
 use sia_solver::{
     solve_assignment_lagrangian, AssignmentItem, MilpOptions, Problem, Sense, SolverError,
 };
@@ -18,6 +20,25 @@ use crate::matrix::Candidate;
 /// Jobs whose resources are pinned this round (non-preemptive jobs and
 /// reservations, §3.4): the matching candidate is forced into the solution.
 pub type ForcedAssignments = BTreeMap<JobId, Configuration>;
+
+/// Introspection for one [`solve_assignment_with_stats`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssignmentStats {
+    /// Seconds spent building the ILP (variables + rows).
+    pub build_s: f64,
+    /// Seconds spent inside the MILP solve and any fallbacks.
+    pub solve_s: f64,
+    /// Branch-and-bound nodes explored (0 on the fallback paths).
+    pub nodes: usize,
+    /// Simplex pivots across all node relaxations.
+    pub pivots: usize,
+    /// Root LP relaxation objective, when the root was solved.
+    pub lp_objective: Option<f64>,
+    /// Total weight of the returned assignment, when one exists.
+    pub objective: Option<f64>,
+    /// How the solve concluded.
+    pub outcome: SolveOutcome,
+}
 
 /// Solves the assignment ILP over weighted candidates.
 ///
@@ -30,10 +51,32 @@ pub fn solve_assignment(
     forced: &ForcedAssignments,
     opts: &MilpOptions,
 ) -> BTreeMap<JobId, Configuration> {
+    solve_assignment_with_stats(spec, candidates, forced, opts).0
+}
+
+/// Like [`solve_assignment`], additionally reporting where the time went and
+/// how the branch-and-bound concluded.
+pub fn solve_assignment_with_stats(
+    spec: &ClusterSpec,
+    candidates: &[Candidate],
+    forced: &ForcedAssignments,
+    opts: &MilpOptions,
+) -> (BTreeMap<JobId, Configuration>, AssignmentStats) {
     if candidates.is_empty() {
-        return BTreeMap::new();
+        let stats = AssignmentStats {
+            build_s: 0.0,
+            solve_s: 0.0,
+            nodes: 0,
+            pivots: 0,
+            lp_objective: None,
+            objective: None,
+            outcome: SolveOutcome::Empty,
+        };
+        return (BTreeMap::new(), stats);
     }
 
+    let build_t0 = Instant::now();
+    let build_span = sia_telemetry::span("policy.milp_build");
     let mut problem = Problem::new(Sense::Maximize);
     let vars: Vec<_> = candidates
         .iter()
@@ -69,8 +112,14 @@ pub fn solve_assignment(
             problem.add_le(&row, spec.gpus_of_type(t) as f64);
         }
     }
+    drop(build_span);
+    let build_s = build_t0.elapsed().as_secs_f64();
 
-    match problem.solve_milp_with(opts) {
+    let solve_t0 = Instant::now();
+    let solve_span = sia_telemetry::span("policy.milp_solve");
+    let solved = problem.solve_milp_with(opts);
+    drop(solve_span);
+    match solved {
         Ok(milp) => {
             let mut out = BTreeMap::new();
             for (i, c) in candidates.iter().enumerate() {
@@ -78,24 +127,66 @@ pub fn solve_assignment(
                     out.insert(c.job, c.config);
                 }
             }
-            out
+            let stats = AssignmentStats {
+                build_s,
+                solve_s: solve_t0.elapsed().as_secs_f64(),
+                nodes: milp.nodes_explored,
+                pivots: milp.total_pivots,
+                lp_objective: milp.root_lp_objective,
+                objective: Some(milp.solution.objective),
+                outcome: match milp.status {
+                    sia_solver::MilpStatus::Optimal => SolveOutcome::Optimal,
+                    sia_solver::MilpStatus::Feasible => SolveOutcome::Feasible,
+                },
+            };
+            (out, stats)
         }
         Err(SolverError::Infeasible) if !forced.is_empty() => {
-            // Over-constrained reservations: retry without them.
-            solve_assignment(spec, candidates, &ForcedAssignments::new(), opts)
+            // Over-constrained reservations: retry without them, folding
+            // this attempt's build/solve time into the retry's stats.
+            sia_telemetry::counter("policy.ilp.reservation_retries").incr();
+            let failed_solve_s = solve_t0.elapsed().as_secs_f64();
+            let (out, mut stats) =
+                solve_assignment_with_stats(spec, candidates, &ForcedAssignments::new(), opts);
+            stats.build_s += build_s;
+            stats.solve_s += failed_solve_s;
+            (out, stats)
         }
         // Node/time limits exhausted: fall back to the Lagrangian
         // relaxation heuristic (near-optimal on this problem structure),
         // then plain greedy if even that fails to assign anything.
         Err(_) => {
+            sia_telemetry::counter("policy.ilp.fallbacks").incr();
             let lagrangian = lagrangian_assignment(spec, candidates);
-            if lagrangian.is_empty() {
-                greedy_assignment(spec, candidates)
+            let (out, outcome) = if lagrangian.is_empty() {
+                (
+                    greedy_assignment(spec, candidates),
+                    SolveOutcome::GreedyFallback,
+                )
             } else {
-                lagrangian
-            }
+                (lagrangian, SolveOutcome::LagrangianFallback)
+            };
+            let stats = AssignmentStats {
+                build_s,
+                solve_s: solve_t0.elapsed().as_secs_f64(),
+                nodes: 0,
+                pivots: 0,
+                lp_objective: None,
+                objective: Some(assignment_weight(candidates, &out)),
+                outcome,
+            };
+            (out, stats)
         }
     }
+}
+
+/// Total candidate weight of an assignment (the quantity the ILP maximizes).
+fn assignment_weight(candidates: &[Candidate], chosen: &BTreeMap<JobId, Configuration>) -> f64 {
+    candidates
+        .iter()
+        .filter(|c| chosen.get(&c.job) == Some(&c.config))
+        .map(|c| c.weight)
+        .sum()
 }
 
 /// Anytime fallback: projected-subgradient Lagrangian relaxation over the
@@ -110,8 +201,7 @@ fn lagrangian_assignment(
         v.dedup();
         v
     };
-    let group_of: BTreeMap<JobId, usize> =
-        jobs.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+    let group_of: BTreeMap<JobId, usize> = jobs.iter().enumerate().map(|(i, &j)| (j, i)).collect();
     let items: Vec<AssignmentItem> = candidates
         .iter()
         .map(|c| AssignmentItem {

@@ -28,5 +28,6 @@ pub mod matrix;
 pub mod placer;
 pub mod policy;
 
+pub use ilp::{solve_assignment, solve_assignment_with_stats, AssignmentStats, ForcedAssignments};
 pub use matrix::Candidate;
 pub use policy::{SiaConfig, SiaPolicy};

@@ -33,6 +33,8 @@ pub fn realize(
     spec: &ClusterSpec,
     decisions: &[(JobId, Configuration, Placement)],
 ) -> PlacerOutcome {
+    let _span = sia_telemetry::span("placement.realize");
+    sia_telemetry::counter("placement.realizes").incr();
     // Attempt 1: keep matching current placements, place the rest around
     // them (reduces unnecessary migration / de-fragmentation restarts).
     if let Some(allocations) = try_with_keeps(spec, decisions) {
@@ -43,6 +45,7 @@ pub fn realize(
         };
     }
     // Attempt 2 (rule c): evict everything and re-pack in canonical order.
+    sia_telemetry::counter("placement.fragmentation_retries").incr();
     let mut free = FreeGpus::all_free(spec);
     let mut order: Vec<usize> = (0..decisions.len()).collect();
     canonical_sort(&mut order, decisions);
@@ -60,6 +63,12 @@ pub fn realize(
             }
             Err(_) => dropped += 1,
         }
+    }
+    if evictions > 0 {
+        sia_telemetry::counter("placement.evictions").add(evictions as u64);
+    }
+    if dropped > 0 {
+        sia_telemetry::counter("placement.dropped").add(dropped as u64);
     }
     PlacerOutcome {
         allocations,

@@ -1,12 +1,13 @@
 //! The Sia scheduler policy (implements [`sia_sim::Scheduler`]).
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use sia_cluster::{config_set, ClusterSpec, Configuration, JobId, Placement};
-use sia_sim::{AllocationMap, JobView, Scheduler};
+use sia_sim::{AllocationMap, JobView, Scheduler, SolverStats};
 use sia_solver::MilpOptions;
 
-use crate::ilp::{solve_assignment, ForcedAssignments};
+use crate::ilp::{solve_assignment_with_stats, ForcedAssignments};
 use crate::placer::realize;
 
 /// One cached row of raw goodput evaluations: `(estimator version,
@@ -65,6 +66,9 @@ pub struct SiaPolicy {
     /// job estimator's version (queued jobs never change, so their rows are
     /// never recomputed).
     row_cache: BTreeMap<JobId, CachedRow>,
+    /// Phase breakdown of the most recent `schedule` call, handed to the
+    /// engine via [`Scheduler::round_stats`].
+    last_stats: Option<SolverStats>,
 }
 
 impl SiaPolicy {
@@ -74,6 +78,7 @@ impl SiaPolicy {
             cfg,
             reservations: ForcedAssignments::new(),
             row_cache: BTreeMap::new(),
+            last_stats: None,
         }
     }
 
@@ -105,53 +110,67 @@ impl Scheduler for SiaPolicy {
     }
 
     fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+        let _span = sia_telemetry::span("policy.schedule");
         let configs = config_set(spec);
 
         // Evict cache entries for departed jobs.
         let live: std::collections::BTreeSet<JobId> = jobs.iter().map(|v| v.id).collect();
         self.row_cache.retain(|id, _| live.contains(id));
 
-        // 1. Normalized, restart-discounted, fairness-powered goodput matrix.
-        let mut candidates = Vec::new();
-        for view in jobs {
-            let version = view.estimator.version();
-            let entry = self.row_cache.entry(view.id);
-            let values = match entry {
-                std::collections::btree_map::Entry::Occupied(e)
-                    if e.get().0 == version && e.get().1.len() == configs.len() =>
-                {
-                    &e.into_mut().1
-                }
-                e => {
+        // 1a. Re-fit: recompute raw goodput rows whose estimator moved
+        // (queued jobs never change, so their rows are never recomputed).
+        let refit_t0 = Instant::now();
+        let mut refitted = 0u64;
+        {
+            let _refit = sia_telemetry::span("policy.refit");
+            for view in jobs {
+                let version = view.estimator.version();
+                let stale = match self.row_cache.get(&view.id) {
+                    Some((v, row)) => *v != version || row.len() != configs.len(),
+                    None => true,
+                };
+                if stale {
                     let fresh = crate::matrix::raw_values(view, spec, &configs);
-                    match e {
-                        std::collections::btree_map::Entry::Occupied(mut o) => {
-                            *o.get_mut() = (version, fresh);
-                            &o.into_mut().1
-                        }
-                        std::collections::btree_map::Entry::Vacant(v) => {
-                            &v.insert((version, fresh)).1
-                        }
-                    }
+                    self.row_cache.insert(view.id, (version, fresh));
+                    refitted += 1;
                 }
-            };
-            candidates.extend(crate::matrix::job_candidates_from_values(
-                view,
-                spec,
-                &configs,
-                values,
-                &crate::matrix::MatrixParams {
-                    fairness_power: self.cfg.fairness_power,
-                    lambda: self.cfg.lambda,
-                    use_restart_factor: self.cfg.use_restart_factor,
-                },
-            ));
+            }
         }
+        if refitted > 0 {
+            sia_telemetry::counter("policy.rows_refit").add(refitted);
+        }
+        let refit_s = refit_t0.elapsed().as_secs_f64();
+
+        // 1b. Goodput matrix: normalized, restart-discounted,
+        // fairness-powered candidates from the cached raw rows.
+        let goodput_t0 = Instant::now();
+        let mut candidates = Vec::new();
+        {
+            let _goodput = sia_telemetry::span("policy.goodput");
+            for view in jobs {
+                let values = &self.row_cache[&view.id].1;
+                candidates.extend(crate::matrix::job_candidates_from_values(
+                    view,
+                    spec,
+                    &configs,
+                    values,
+                    &crate::matrix::MatrixParams {
+                        fairness_power: self.cfg.fairness_power,
+                        lambda: self.cfg.lambda,
+                        use_restart_factor: self.cfg.use_restart_factor,
+                    },
+                ));
+            }
+        }
+        let goodput_s = goodput_t0.elapsed().as_secs_f64();
+        sia_telemetry::counter("policy.candidates").add(candidates.len() as u64);
 
         // 2. Assignment ILP (Eq. 4).
-        let chosen = solve_assignment(spec, &candidates, &self.reservations, &self.cfg.milp);
+        let (chosen, ilp) =
+            solve_assignment_with_stats(spec, &candidates, &self.reservations, &self.cfg.milp);
 
         // 3. Placement under the Sia rules.
+        let placement_t0 = Instant::now();
         let current: BTreeMap<JobId, Placement> =
             jobs.iter().map(|v| (v.id, v.current.clone())).collect();
         let decisions: Vec<_> = chosen
@@ -161,7 +180,27 @@ impl Scheduler for SiaPolicy {
                 (job, cfg, cur)
             })
             .collect();
-        realize(spec, &decisions).allocations
+        let allocations = realize(spec, &decisions).allocations;
+        let placement_s = placement_t0.elapsed().as_secs_f64();
+
+        self.last_stats = Some(SolverStats {
+            refit_s,
+            goodput_s,
+            build_s: ilp.build_s,
+            solve_s: ilp.solve_s,
+            placement_s,
+            candidates: candidates.len(),
+            nodes: ilp.nodes,
+            pivots: ilp.pivots,
+            lp_objective: ilp.lp_objective,
+            objective: ilp.objective,
+            outcome: ilp.outcome,
+        });
+        allocations
+    }
+
+    fn round_stats(&mut self) -> Option<SolverStats> {
+        self.last_stats.take()
     }
 }
 

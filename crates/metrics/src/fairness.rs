@@ -133,6 +133,7 @@ mod tests {
                 contention: 1,
                 allocations: vec![],
                 policy_runtime: 0.0,
+                solver_stats: None,
             }],
             makespan: 100.0,
             unfinished: 0,

@@ -20,5 +20,6 @@ pub mod stats;
 
 pub use fairness::{ftf_ratios, unfair_fraction, worst_ftf};
 pub use stats::{
-    avg_utilization, cdf, gpu_hours_by_model, percentile, summarize, utilization_series, Summary,
+    avg_utilization, cdf, gpu_hours_by_model, percentile, summarize, summarize_phases,
+    utilization_series, SolverPhaseSummary, Summary,
 };

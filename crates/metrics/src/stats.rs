@@ -30,6 +30,70 @@ pub struct Summary {
     pub avg_restarts: f64,
     /// Median policy runtime per round, seconds.
     pub median_policy_runtime: f64,
+    /// Per-phase scheduler breakdown, for policies that report one.
+    pub solver: Option<SolverPhaseSummary>,
+}
+
+/// Where the scheduler's per-round wall-clock went, averaged over the rounds
+/// that reported a [`sia_sim::SolverStats`] (§5.6 scalability breakdowns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverPhaseSummary {
+    /// Rounds that carried solver stats.
+    pub rounds: usize,
+    /// Mean seconds re-fitting stale goodput rows.
+    pub mean_refit_s: f64,
+    /// Mean seconds evaluating the goodput/utility matrix.
+    pub mean_goodput_s: f64,
+    /// Mean seconds building the assignment ILP.
+    pub mean_build_s: f64,
+    /// Mean seconds solving it (including fallbacks).
+    pub mean_solve_s: f64,
+    /// Mean seconds realizing placements.
+    pub mean_placement_s: f64,
+    /// Mean candidate count offered to the solver per round.
+    pub mean_candidates: f64,
+    /// Branch-and-bound nodes explored across all rounds.
+    pub total_nodes: u64,
+    /// Simplex pivots across all rounds.
+    pub total_pivots: u64,
+    /// Rounds resolved by a heuristic fallback instead of the exact solver.
+    pub fallback_rounds: usize,
+}
+
+/// Aggregates per-round [`sia_sim::SolverStats`] into a phase summary
+/// (`None` when no round reported stats).
+pub fn summarize_phases(result: &SimResult) -> Option<SolverPhaseSummary> {
+    let stats: Vec<_> = result
+        .rounds
+        .iter()
+        .filter_map(|r| r.solver_stats)
+        .collect();
+    if stats.is_empty() {
+        return None;
+    }
+    let n = stats.len() as f64;
+    let mean = |f: fn(&sia_sim::SolverStats) -> f64| stats.iter().map(f).sum::<f64>() / n;
+    Some(SolverPhaseSummary {
+        rounds: stats.len(),
+        mean_refit_s: mean(|s| s.refit_s),
+        mean_goodput_s: mean(|s| s.goodput_s),
+        mean_build_s: mean(|s| s.build_s),
+        mean_solve_s: mean(|s| s.solve_s),
+        mean_placement_s: mean(|s| s.placement_s),
+        mean_candidates: mean(|s| s.candidates as f64),
+        total_nodes: stats.iter().map(|s| s.nodes as u64).sum(),
+        total_pivots: stats.iter().map(|s| s.pivots as u64).sum(),
+        fallback_rounds: stats
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.outcome,
+                    sia_sim::SolveOutcome::LagrangianFallback
+                        | sia_sim::SolveOutcome::GreedyFallback
+                )
+            })
+            .count(),
+    })
 }
 
 /// Linear-interpolated percentile of an unsorted sample (`q` in `[0, 1]`).
@@ -97,6 +161,7 @@ pub fn summarize(result: &SimResult) -> Summary {
             .unwrap_or(0),
         avg_restarts: result.avg_restarts(),
         median_policy_runtime: result.median_policy_runtime(),
+        solver: summarize_phases(result),
     }
 }
 
@@ -150,6 +215,7 @@ mod tests {
                 contention: 2,
                 allocations: vec![],
                 policy_runtime: 0.01,
+                solver_stats: None,
             }],
             makespan: 7200.0,
             unfinished,
@@ -253,6 +319,7 @@ mod util_tests {
                 vec![]
             },
             policy_runtime: 0.0,
+            solver_stats: None,
         }
     }
 

@@ -131,6 +131,15 @@ impl Simulator {
         let mut now = 0.0_f64;
         let mut makespan = 0.0_f64;
 
+        // Telemetry handles hoisted out of the round loop: registry lookups
+        // happen once per run, the loop itself only touches atomics.
+        let ctr_rounds = sia_telemetry::counter("engine.rounds");
+        let ctr_restarts = sia_telemetry::counter("engine.restarts");
+        let ctr_failures = sia_telemetry::counter("engine.failures");
+        let ctr_churn = sia_telemetry::counter("engine.alloc_churn");
+        let gauge_active = sia_telemetry::gauge("engine.active_jobs");
+        let gauge_queue = sia_telemetry::gauge("engine.queue_depth");
+
         loop {
             // Admit newly submitted jobs.
             while next_submit < self.trace.len() && self.trace[next_submit].submit_time <= now {
@@ -148,9 +157,13 @@ impl Simulator {
                 break;
             }
 
-            // Ask the policy for placements.
-            let allocs = if active.is_empty() {
-                (BTreeMap::new(), 0.0)
+            // Ask the policy for placements. The timer deliberately also
+            // covers the validate/apply (placement translation) loop below,
+            // so `policy_runtime` reflects the full per-round scheduling
+            // cost, not just the policy's own `schedule` call.
+            let round_t0 = Instant::now();
+            let (alloc_map, solver_stats) = if active.is_empty() {
+                (BTreeMap::new(), None)
             } else {
                 let views: Vec<JobView<'_>> = active
                     .iter()
@@ -168,16 +181,20 @@ impl Simulator {
                         }
                     })
                     .collect();
-                let t0 = Instant::now();
-                let map = sched.schedule(now, &views, &self.spec);
-                (map, t0.elapsed().as_secs_f64())
+                let map = {
+                    let _span = sia_telemetry::span("engine.schedule");
+                    sched.schedule(now, &views, &self.spec)
+                };
+                (map, sched.round_stats())
             };
-            let (alloc_map, policy_runtime) = allocs;
 
             // Validate and apply placements.
+            let apply_span = sia_telemetry::span("engine.apply");
             let mut free = FreeGpus::all_free(&self.spec);
             let contention = active.len();
             let mut round_allocs = Vec::new();
+            let mut round_restarts = 0u64;
+            let mut round_churn = 0u64;
             for &i in &active {
                 let job = &mut jobs[i];
                 let new = alloc_map
@@ -193,8 +210,10 @@ impl Simulator {
                     free.take(&new); // panics on over-commit: scheduler bug
                 }
                 if new != job.placement {
+                    round_churn += 1;
                     if !job.placement.is_empty() {
                         job.restarts += 1;
+                        round_restarts += 1;
                     }
                     if !new.is_empty() {
                         let jitter = 1.0 + self.cfg.restart_jitter * symmetric(&mut rng);
@@ -212,15 +231,27 @@ impl Simulator {
                 job.contention_sum += contention as f64;
                 job.contention_rounds += 1;
             }
+            drop(apply_span);
+            let policy_runtime = round_t0.elapsed().as_secs_f64();
+
+            ctr_rounds.incr();
+            ctr_restarts.add(round_restarts);
+            ctr_churn.add(round_churn);
+            gauge_active.set(active.len() as f64);
+            gauge_queue.set((contention - round_allocs.len()) as f64);
+
             rounds.push(RoundLog {
                 time: now,
                 active_jobs: active.len(),
                 contention,
                 allocations: round_allocs,
                 policy_runtime,
+                solver_stats,
             });
 
             // Advance one round of execution.
+            let execute_span = sia_telemetry::span("engine.execute");
+            let mut round_failures = 0u64;
             for &i in &active {
                 let job = &mut jobs[i];
                 if job.placement.is_empty() {
@@ -234,6 +265,7 @@ impl Simulator {
                         self.cfg.failure_rate_per_gpu_hour * gpus as f64 * round / 3600.0;
                     if rng.random::<f64>() < expected.min(1.0) {
                         job.failures += 1;
+                        round_failures += 1;
                         job.work_done = job.checkpointed_work;
                         job.restart_remaining =
                             (job.restart_remaining + job.truth.restart_delay).min(4.0 * round);
@@ -307,6 +339,8 @@ impl Simulator {
                     job.placement = Placement::empty();
                 }
             }
+            drop(execute_span);
+            ctr_failures.add(round_failures);
 
             now += round;
         }

@@ -27,5 +27,5 @@ pub mod result;
 pub mod scheduler;
 
 pub use engine::{SimConfig, Simulator};
-pub use result::{JobRecord, RoundLog, SimResult};
+pub use result::{JobRecord, RoundLog, SimResult, SolveOutcome, SolverStats};
 pub use scheduler::{AllocationMap, JobView, Scheduler};

@@ -49,6 +49,70 @@ impl JobRecord {
     }
 }
 
+/// How the per-round assignment solve concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// Branch and bound proved optimality.
+    Optimal,
+    /// A feasible incumbent was returned under a node/time limit.
+    Feasible,
+    /// Exact limits exhausted; the Lagrangian-relaxation heuristic answered.
+    LagrangianFallback,
+    /// Even the heuristic assigned nothing; the greedy scan answered.
+    GreedyFallback,
+    /// No candidates this round (empty problem, nothing to solve).
+    Empty,
+}
+
+impl SolveOutcome {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveOutcome::Optimal => "optimal",
+            SolveOutcome::Feasible => "feasible",
+            SolveOutcome::LagrangianFallback => "lagrangian_fallback",
+            SolveOutcome::GreedyFallback => "greedy_fallback",
+            SolveOutcome::Empty => "empty",
+        }
+    }
+}
+
+/// Per-round scheduler introspection: where the policy's wall-clock went and
+/// what the underlying solver did. Produced by [`crate::Scheduler::round_stats`];
+/// policies that don't track phases leave [`RoundLog::solver_stats`] empty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverStats {
+    /// Seconds re-fitting stale goodput estimator rows.
+    pub refit_s: f64,
+    /// Seconds evaluating the goodput/utility matrix into candidates.
+    pub goodput_s: f64,
+    /// Seconds building the assignment problem (variables + rows).
+    pub build_s: f64,
+    /// Seconds inside the MILP/heuristic solve.
+    pub solve_s: f64,
+    /// Seconds translating chosen configurations into physical placements.
+    pub placement_s: f64,
+    /// Candidate (job, configuration) pairs offered to the solver.
+    pub candidates: usize,
+    /// Branch-and-bound nodes explored (0 for fallback/empty solves).
+    pub nodes: usize,
+    /// Simplex pivots across all node relaxations.
+    pub pivots: usize,
+    /// Root LP relaxation objective, when the root was solved.
+    pub lp_objective: Option<f64>,
+    /// Objective of the returned assignment, when one exists.
+    pub objective: Option<f64>,
+    /// How the solve concluded.
+    pub outcome: SolveOutcome,
+}
+
+impl SolverStats {
+    /// Sum of all phase timers (≤ the round's `policy_runtime`).
+    pub fn phase_total_s(&self) -> f64 {
+        self.refit_s + self.goodput_s + self.build_s + self.solve_s + self.placement_s
+    }
+}
+
 /// Per-round snapshot of cluster state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundLog {
@@ -60,8 +124,11 @@ pub struct RoundLog {
     pub contention: usize,
     /// Per-job allocations this round: `(job, gpu type, gpus)`.
     pub allocations: Vec<(JobId, GpuTypeId, usize)>,
-    /// Wall-clock seconds the policy spent computing this round.
+    /// Wall-clock seconds the policy spent computing this round, including
+    /// the engine-side validate/apply (placement translation) work.
     pub policy_runtime: f64,
+    /// Phase/solver breakdown reported by the policy, if it tracks one.
+    pub solver_stats: Option<SolverStats>,
 }
 
 /// Full result of one simulation.
@@ -156,6 +223,7 @@ mod tests {
                     contention: 2,
                     allocations: vec![],
                     policy_runtime: 0.002,
+                    solver_stats: None,
                 },
                 RoundLog {
                     time: 60.0,
@@ -163,6 +231,19 @@ mod tests {
                     contention: 1,
                     allocations: vec![],
                     policy_runtime: 0.004,
+                    solver_stats: Some(SolverStats {
+                        refit_s: 0.001,
+                        goodput_s: 0.001,
+                        build_s: 0.0005,
+                        solve_s: 0.001,
+                        placement_s: 0.0005,
+                        candidates: 12,
+                        nodes: 3,
+                        pivots: 40,
+                        lp_objective: Some(5.0),
+                        objective: Some(4.5),
+                        outcome: SolveOutcome::Optimal,
+                    }),
                 },
             ],
             makespan: 300.0,
@@ -172,5 +253,9 @@ mod tests {
         assert!((result.total_gpu_hours() - 2.0).abs() < 1e-9);
         assert!((result.avg_restarts() - 2.0).abs() < 1e-9);
         assert!((result.median_policy_runtime() - 0.004).abs() < 1e-12);
+        let stats = result.rounds[1].solver_stats.unwrap();
+        assert!((stats.phase_total_s() - 0.004).abs() < 1e-12);
+        assert!(stats.phase_total_s() <= result.rounds[1].policy_runtime + 1e-12);
+        assert_eq!(stats.outcome.label(), "optimal");
     }
 }

@@ -92,6 +92,14 @@ pub trait Scheduler {
     /// must satisfy node capacities; jobs missing from it are left without
     /// resources. Placements must keep each job on a single GPU type.
     fn schedule(&mut self, now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap;
+
+    /// Phase/solver breakdown for the most recent [`Scheduler::schedule`]
+    /// call. The engine reads this once per round, right after `schedule`,
+    /// and attaches it to the round log. Policies that don't track phases
+    /// keep the default `None`.
+    fn round_stats(&mut self) -> Option<crate::result::SolverStats> {
+        None
+    }
 }
 
 #[cfg(test)]

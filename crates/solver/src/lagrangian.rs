@@ -49,6 +49,9 @@ pub fn solve_assignment_lagrangian(
     capacities: &[f64],
     iters: usize,
 ) -> AssignmentSolution {
+    let _span = sia_telemetry::span("solver.lagrangian.solve");
+    sia_telemetry::counter("solver.lagrangian.solves").incr();
+    sia_telemetry::counter("solver.lagrangian.iters").add(iters.max(1) as u64);
     let n_rows = capacities.len();
     let mut lambda = vec![0.0_f64; n_rows];
     let mut best: Option<AssignmentSolution> = None;
@@ -148,7 +151,11 @@ pub fn solve_assignment_lagrangian(
             }
         }
         let objective: f64 = chosen.values().map(|&i| items[i].weight).sum();
-        if best.as_ref().map(|b| objective > b.objective).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|b| objective > b.objective)
+            .unwrap_or(true)
+        {
             best = Some(AssignmentSolution {
                 chosen,
                 objective,

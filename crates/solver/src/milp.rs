@@ -62,6 +62,10 @@ pub struct MilpSolution {
     pub nodes_explored: usize,
     /// Best remaining relaxation bound (in the problem's own sense).
     pub best_bound: f64,
+    /// Simplex pivots summed over every successfully solved node relaxation.
+    pub total_pivots: usize,
+    /// Objective of the root LP relaxation, if the root node was feasible.
+    pub root_lp_objective: Option<f64>,
 }
 
 /// A pending branch-and-bound node.
@@ -106,7 +110,10 @@ pub fn solve(p: &Problem, opts: &MilpOptions) -> Result<MilpSolution, SolverErro
     if int_vars.is_empty() {
         let solution = p.solve_lp()?;
         let best_bound = solution.objective;
+        record_outcome(1, solution.pivots, "optimal");
         return Ok(MilpSolution {
+            total_pivots: solution.pivots,
+            root_lp_objective: Some(solution.objective),
             solution,
             status: MilpStatus::Optimal,
             nodes_explored: 1,
@@ -133,6 +140,8 @@ pub fn solve(p: &Problem, opts: &MilpOptions) -> Result<MilpSolution, SolverErro
     let mut nodes = 0usize;
     let mut root_infeasible = true;
     let mut limit_hit = false;
+    let mut total_pivots = 0usize;
+    let mut root_lp_objective = None;
 
     let mut scratch = p.clone();
 
@@ -162,6 +171,10 @@ pub fn solve(p: &Problem, opts: &MilpOptions) -> Result<MilpSolution, SolverErro
             Err(SolverError::Infeasible) => continue,
             Err(e) => return Err(e),
         };
+        total_pivots += lp.pivots;
+        if node.depth == 0 {
+            root_lp_objective = Some(lp.objective);
+        }
         root_infeasible = false;
         let node_bound = max_sign * lp.objective;
         if node_bound <= incumbent_obj + BOUND_TOL {
@@ -192,7 +205,11 @@ pub fn solve(p: &Problem, opts: &MilpOptions) -> Result<MilpSolution, SolverErro
                 let obj_max = max_sign * objective;
                 if obj_max > incumbent_obj && p.max_violation(&values) <= 1e-6 {
                     incumbent_obj = obj_max;
-                    incumbent = Some(Solution { objective, values });
+                    incumbent = Some(Solution {
+                        objective,
+                        values,
+                        pivots: lp.pivots,
+                    });
                 }
             }
             Some(v) => {
@@ -237,24 +254,43 @@ pub fn solve(p: &Problem, opts: &MilpOptions) -> Result<MilpSolution, SolverErro
             } else {
                 MilpStatus::Feasible
             };
+            record_outcome(
+                nodes,
+                total_pivots,
+                if proven { "optimal" } else { "feasible" },
+            );
             let best_bound = max_sign * incumbent_obj.max(best_remaining);
             Ok(MilpSolution {
                 solution,
                 status,
                 nodes_explored: nodes,
                 best_bound,
+                total_pivots,
+                root_lp_objective,
             })
         }
         None => {
             if root_infeasible && !limit_hit {
+                record_outcome(nodes, total_pivots, "infeasible");
                 Err(SolverError::Infeasible)
             } else if limit_hit {
+                record_outcome(nodes, total_pivots, "limit_hit");
                 Err(SolverError::IterationLimit(opts.max_nodes))
             } else {
+                record_outcome(nodes, total_pivots, "infeasible");
                 Err(SolverError::Infeasible)
             }
         }
     }
+}
+
+/// Bumps the `solver.milp.*` counters once per solve (aggregated, so the
+/// branch-and-bound loop itself stays telemetry-free).
+fn record_outcome(nodes: usize, pivots: usize, outcome: &str) {
+    sia_telemetry::counter("solver.milp.solves").incr();
+    sia_telemetry::counter("solver.milp.nodes").add(nodes as u64);
+    sia_telemetry::counter("solver.milp.pivots").add(pivots as u64);
+    sia_telemetry::counter(&format!("solver.milp.{outcome}")).incr();
 }
 
 /// Tightens (or inserts) a bound override for variable `v`.

@@ -57,6 +57,8 @@ pub struct Solution {
     pub objective: f64,
     /// Primal values, indexed by [`VarId::index`].
     pub values: Vec<f64>,
+    /// Simplex pivots performed to reach this point.
+    pub pivots: usize,
 }
 
 impl Solution {

@@ -564,9 +564,33 @@ pub fn default_iteration_limit(p: &Problem) -> usize {
 }
 
 /// Solves the LP relaxation of `p` with an explicit iteration limit.
+///
+/// Telemetry: bumps `solver.simplex.solves` / `solver.simplex.pivots` once
+/// per call (aggregated — never per pivot), plus `solver.simplex.infeasible`
+/// or `solver.simplex.iteration_limit` on those outcomes.
 pub fn solve_with_limit(p: &Problem, max_iters: usize) -> Result<Solution, SolverError> {
-    let (tab, mut st) = Tableau::from_problem(p)?;
     let mut iters = 0usize;
+    let out = solve_with_limit_inner(p, max_iters, &mut iters);
+    sia_telemetry::counter("solver.simplex.solves").incr();
+    sia_telemetry::counter("solver.simplex.pivots").add(iters as u64);
+    match &out {
+        Err(SolverError::Infeasible) => {
+            sia_telemetry::counter("solver.simplex.infeasible").incr();
+        }
+        Err(SolverError::IterationLimit(_)) => {
+            sia_telemetry::counter("solver.simplex.iteration_limit").incr();
+        }
+        _ => {}
+    }
+    out
+}
+
+fn solve_with_limit_inner(
+    p: &Problem,
+    max_iters: usize,
+    iters: &mut usize,
+) -> Result<Solution, SolverError> {
+    let (tab, mut st) = Tableau::from_problem(p)?;
 
     // Phase 1: drive artificials to zero.
     if tab.has_artificials() {
@@ -574,7 +598,7 @@ pub fn solve_with_limit(p: &Problem, max_iters: usize) -> Result<Solution, Solve
         for cj in c1.iter_mut().skip(tab.first_artificial) {
             *cj = -1.0;
         }
-        match run_phase(&tab, &mut st, &c1, max_iters, &mut iters)? {
+        match run_phase(&tab, &mut st, &c1, max_iters, iters)? {
             PhaseOutcome::Optimal => {}
             PhaseOutcome::Unbounded => {
                 return Err(SolverError::InvalidModel(
@@ -604,7 +628,7 @@ pub fn solve_with_limit(p: &Problem, max_iters: usize) -> Result<Solution, Solve
         tab.upper[j] = 0.0;
     }
     let cost = tab.cost.clone();
-    match run_phase(&tab, &mut st, &cost, max_iters, &mut iters)? {
+    match run_phase(&tab, &mut st, &cost, max_iters, iters)? {
         PhaseOutcome::Optimal => {}
         PhaseOutcome::Unbounded => return Err(SolverError::Unbounded),
     }
@@ -635,6 +659,7 @@ pub fn solve_with_limit(p: &Problem, max_iters: usize) -> Result<Solution, Solve
     Ok(Solution {
         objective,
         values: x,
+        pivots: *iters,
     })
 }
 

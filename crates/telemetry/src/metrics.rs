@@ -1,0 +1,264 @@
+//! Atomic metric primitives behind the registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::sink;
+
+/// Shared state of a monotone counter.
+#[derive(Default)]
+pub(crate) struct CounterInner {
+    value: AtomicU64,
+}
+
+impl CounterInner {
+    pub(crate) fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a monotone counter. Cheap to clone; cheap to `add` (one relaxed
+/// atomic plus a branch when the sink is disabled).
+#[derive(Clone)]
+pub struct Counter {
+    name: String,
+    inner: Arc<CounterInner>,
+}
+
+impl Counter {
+    pub(crate) fn new(name: String, inner: Arc<CounterInner>) -> Self {
+        Counter { name, inner }
+    }
+
+    pub fn add(&self, delta: u64) {
+        let total = self.inner.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        sink::emit_counter(&self.name, delta, total);
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.inner.value()
+    }
+}
+
+/// Shared state of a gauge: the latest f64, bit-cast into an atomic, plus a
+/// "was ever set" flag packed as the sentinel `u64::MAX` (a NaN bit pattern
+/// no caller can set through the API, since `set` stores a canonical NaN).
+#[derive(Default)]
+pub(crate) struct GaugeInner {
+    bits: AtomicU64,
+    set: AtomicU64,
+}
+
+impl GaugeInner {
+    pub(crate) fn value(&self) -> Option<f64> {
+        if self.set.load(Ordering::Relaxed) == 0 {
+            None
+        } else {
+            Some(f64::from_bits(self.bits.load(Ordering::Relaxed)))
+        }
+    }
+}
+
+/// Handle to a last-value-wins gauge.
+#[derive(Clone)]
+pub struct Gauge {
+    name: String,
+    inner: Arc<GaugeInner>,
+}
+
+impl Gauge {
+    pub(crate) fn new(name: String, inner: Arc<GaugeInner>) -> Self {
+        Gauge { name, inner }
+    }
+
+    pub fn set(&self, value: f64) {
+        let canonical = if value.is_nan() { f64::NAN } else { value };
+        self.inner
+            .bits
+            .store(canonical.to_bits(), Ordering::Relaxed);
+        self.inner.set.store(1, Ordering::Relaxed);
+        sink::emit_gauge(&self.name, value);
+    }
+
+    pub fn value(&self) -> Option<f64> {
+        self.inner.value()
+    }
+}
+
+/// Number of log2 buckets. Bucket `i` holds values in `[2^(i-32), 2^(i-31))`
+/// so the range spans ~2^-32 (sub-nanosecond durations) to ~2^31 (decades).
+const BUCKETS: usize = 64;
+
+/// Shared state of a histogram: log2 buckets + count/sum/max.
+pub(crate) struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Sum as f64 bits, updated by CAS.
+    sum_bits: AtomicU64,
+    /// Max as f64 bits, updated by CAS.
+    max_bits: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 {
+        return 0;
+    }
+    // log2 in [-32, 31] maps to [0, 63].
+    let exp = value.log2().floor() as i64;
+    (exp + 32).clamp(0, BUCKETS as i64 - 1) as usize
+}
+
+/// Inclusive upper edge of a bucket.
+fn bucket_upper(index: usize) -> f64 {
+    2f64.powi(index as i32 - 31)
+}
+
+impl HistogramInner {
+    fn record(&self, value: f64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loops for the f64 aggregates.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while value > f64::from_bits(cur) {
+            match self.max_bits.compare_exchange_weak(
+                cur,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub(crate) fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let mut p50 = 0.0;
+        let mut p99 = 0.0;
+        if count > 0 {
+            let (t50, t99) = (count.div_ceil(2), (count * 99).div_ceil(100));
+            let mut seen = 0;
+            for (i, b) in self.buckets.iter().enumerate() {
+                let n = b.load(Ordering::Relaxed);
+                if n == 0 {
+                    continue;
+                }
+                let prev = seen;
+                seen += n;
+                if prev < t50 && t50 <= seen {
+                    p50 = bucket_upper(i);
+                }
+                if prev < t99 && t99 <= seen {
+                    p99 = bucket_upper(i);
+                }
+            }
+        }
+        HistogramSummary {
+            count,
+            mean: if count > 0 { sum / count as f64 } else { 0.0 },
+            p50,
+            p99,
+            max,
+        }
+    }
+}
+
+/// Handle to a histogram of f64 samples (durations, sizes).
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    pub(crate) fn new(inner: Arc<HistogramInner>) -> Self {
+        Histogram { inner }
+    }
+
+    pub fn record(&self, value: f64) {
+        self.inner.record(value);
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        self.inner.summary()
+    }
+}
+
+/// Point-in-time digest of a histogram. `p50`/`p99` are upper edges of the
+/// log2 bucket containing the quantile (≤2x overestimates), which is plenty
+/// for "where does scheduler time go" reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone() {
+        let values = [1e-9, 1e-6, 1e-3, 0.5, 1.0, 2.0, 1e3];
+        let mut last = 0;
+        for v in values {
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket({v}) = {b} < {last}");
+            last = b;
+            assert!(
+                v <= bucket_upper(b) * (1.0 + 1e-12),
+                "{v} vs {}",
+                bucket_upper(b)
+            );
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+    }
+
+    #[test]
+    fn summary_quantiles_bound_samples() {
+        let h = HistogramInner::default();
+        for i in 1..=100 {
+            h.record(i as f64 / 1000.0); // 1ms..100ms
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 0.0505).abs() < 1e-9);
+        assert!(s.p50 >= 0.050 && s.p50 <= 0.128, "p50 {}", s.p50);
+        assert!(s.p99 >= 0.099, "p99 {}", s.p99);
+        assert!((s.max - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! The JSONL event sink.
+//!
+//! Disabled by default: every emit helper starts with one relaxed atomic
+//! load and returns — the entire cost telemetry adds to un-instrumented
+//! runs. Enabling routes events through a buffered writer behind a mutex.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::now_s;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EMITTED: AtomicU64 = AtomicU64::new(0);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn writer() -> &'static Mutex<Option<BufWriter<File>>> {
+    static WRITER: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    WRITER.get_or_init(|| Mutex::new(None))
+}
+
+/// Route events to a JSONL file at `path` (truncating it). Replaces any
+/// previous sink.
+pub fn init_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut guard = writer().lock().unwrap();
+    if let Some(mut old) = guard.replace(BufWriter::new(file)) {
+        let _ = old.flush();
+    }
+    ENABLED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// True if a sink is currently accepting events.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Stop emitting events (the sink file, if any, stays open but idle).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Flush buffered events to the sink file.
+pub fn flush() {
+    if let Some(w) = writer().lock().unwrap().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Disable the sink, flush, and close the file.
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::Release);
+    if let Some(mut w) = writer().lock().unwrap().take() {
+        let _ = w.flush();
+    }
+}
+
+/// Total events written since process start (across all sink files). Only
+/// moves while a sink is enabled, which makes "disabled emits nothing"
+/// directly testable.
+pub fn events_emitted() -> u64 {
+    EMITTED.load(Ordering::Relaxed)
+}
+
+/// Append one event line. The sequence number is allocated under the writer
+/// lock so on-disk order always matches `seq` order.
+fn write_event(render: impl FnOnce(u64) -> String) {
+    let mut guard = writer().lock().unwrap();
+    if let Some(w) = guard.as_mut() {
+        // Re-check under the lock so shutdown() can't race a straggler.
+        if ENABLED.load(Ordering::Relaxed) {
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let _ = writeln!(w, "{}", render(seq));
+            EMITTED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+pub(crate) fn emit_span(name: &str, start_s: f64, dur_s: f64, depth: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    write_event(|seq| {
+        serde_json::json!({
+            "ev": "span",
+            "name": name,
+            "t_s": start_s,
+            "dur_s": dur_s,
+            "depth": depth,
+            "seq": seq,
+        })
+        .to_string()
+    });
+}
+
+pub(crate) fn emit_counter(name: &str, delta: u64, total: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    write_event(|seq| {
+        serde_json::json!({
+            "ev": "counter",
+            "name": name,
+            "delta": delta,
+            "total": total,
+            "t_s": now_s(),
+            "seq": seq,
+        })
+        .to_string()
+    });
+}
+
+pub(crate) fn emit_gauge(name: &str, value: f64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    write_event(|seq| {
+        serde_json::json!({
+            "ev": "gauge",
+            "name": name,
+            "value": value,
+            "t_s": now_s(),
+            "seq": seq,
+        })
+        .to_string()
+    });
+}

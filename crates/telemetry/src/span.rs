@@ -1,0 +1,89 @@
+//! RAII span timers with thread-local nesting depth.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::{histogram, now_s, sink};
+
+thread_local! {
+    static DEPTH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Start a scoped span. On drop it records its duration into the histogram
+/// named after the span and, if the sink is enabled, emits a span event.
+///
+/// Spans nest per thread: a span opened while another is live reports
+/// `depth + 1`. Bind the guard (`let _span = span(...)`) — an unbound call
+/// would drop immediately and time nothing.
+#[must_use = "binding the guard defines the span's scope"]
+pub fn span(name: &str) -> SpanGuard {
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard {
+        name: name.to_string(),
+        depth,
+        start_s: now_s(),
+        start: Instant::now(),
+    }
+}
+
+/// Live span; see [`span`].
+pub struct SpanGuard {
+    name: String,
+    depth: u64,
+    start_s: f64,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Nesting depth of this span on its thread (0 = outermost).
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Seconds elapsed since the span started, without closing it.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_s = self.start.elapsed().as_secs_f64();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        histogram(&self.name).record(dur_s);
+        sink::emit_span(&self.name, self.start_s, dur_s, self.depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_tracks_nesting_and_recovers() {
+        let a = span("test.span.a");
+        assert_eq!(a.depth(), 0);
+        {
+            let b = span("test.span.b");
+            assert_eq!(b.depth(), 1);
+        }
+        let c = span("test.span.c");
+        assert_eq!(c.depth(), 1);
+        drop(c);
+        drop(a);
+        let d = span("test.span.d");
+        assert_eq!(d.depth(), 0);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let s = span("test.span.elapsed");
+        let e1 = s.elapsed_s();
+        let e2 = s.elapsed_s();
+        assert!(e2 >= e1);
+    }
+}

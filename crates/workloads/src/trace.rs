@@ -579,10 +579,7 @@ mod inference_tests {
     fn inference_jobs_appended_and_sorted() {
         let mut t = Trace::generate(&TraceConfig::new(TraceKind::Physical, 2));
         t.push_inference_job(120.0, 16);
-        assert!(t
-            .jobs
-            .iter()
-            .any(|j| j.model == ModelKind::BertInference));
+        assert!(t.jobs.iter().any(|j| j.model == ModelKind::BertInference));
         for w in t.jobs.windows(2) {
             assert!(w[0].submit_time <= w[1].submit_time);
         }

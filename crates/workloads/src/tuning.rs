@@ -88,7 +88,7 @@ mod tests {
             let p = model.profile();
             assert!(bsz >= p.min_batch * 0.999, "{model:?}: bsz {bsz}");
             assert!(bsz <= p.max_batch * 1.001, "{model:?}: bsz {bsz}");
-            assert!(n >= 1 && n <= 16, "{model:?}: n {n}");
+            assert!((1..=16).contains(&n), "{model:?}: n {n}");
         }
     }
 

@@ -4,9 +4,12 @@
 //! sia-cli [--cluster hetero64|homog64|physical44] [--trace philly|helios|newtrace|physical]
 //!         [--policy sia|pollux|gavel|shockwave|themis] [--seed N] [--rate JOBS_PER_HOUR]
 //!         [--profiling oracle|bootstrap|noprof] [--json]
+//!         [--telemetry-out PATH] [--quiet]
 //! ```
 //!
 //! Runs one simulation and prints the summary (or JSON with `--json`).
+//! `--telemetry-out PATH` streams span/counter events as JSONL to PATH;
+//! `--quiet` suppresses the human-readable summary.
 
 use sia::baselines::{GavelPolicy, PolluxPolicy, ShockwavePolicy, ThemisPolicy};
 use sia::cluster::ClusterSpec;
@@ -16,29 +19,91 @@ use sia::models::ProfilingMode;
 use sia::sim::{Scheduler, SimConfig, Simulator};
 use sia::workloads::{Trace, TraceConfig, TraceKind};
 
-fn arg(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+/// Options that take a value.
+const VALUE_OPTS: &[&str] = &[
+    "--cluster",
+    "--trace",
+    "--policy",
+    "--seed",
+    "--rate",
+    "--profiling",
+    "--telemetry-out",
+];
+/// Boolean flags.
+const FLAG_OPTS: &[&str] = &["--json", "--quiet", "--help", "-h"];
+
+/// Command-line arguments, collected once at startup.
+struct Args {
+    argv: Vec<String>,
 }
 
-fn flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
+impl Args {
+    fn parse() -> Args {
+        Args {
+            argv: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Value of `--name VALUE`, if present.
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.argv
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Whether boolean flag `name` is present.
+    fn flag(&self, name: &str) -> bool {
+        self.argv.iter().any(|a| a == name)
+    }
+
+    /// Rejects unrecognized `--options` (values of value-options are skipped).
+    fn check_unknown(&self) -> Result<(), String> {
+        let mut i = 0;
+        while i < self.argv.len() {
+            let a = self.argv[i].as_str();
+            if VALUE_OPTS.contains(&a) {
+                if i + 1 >= self.argv.len() {
+                    return Err(format!("option {a} requires a value"));
+                }
+                i += 2;
+            } else if FLAG_OPTS.contains(&a) {
+                i += 1;
+            } else {
+                return Err(format!("unknown argument {a}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 fn main() {
-    if flag("--help") || flag("-h") {
+    let args = Args::parse();
+    if args.flag("--help") || args.flag("-h") {
         println!(
             "usage: sia-cli [--cluster hetero64|homog64|physical44] \
              [--trace philly|helios|newtrace|physical] \
              [--policy sia|pollux|gavel|shockwave|themis] [--seed N] \
-             [--rate JOBS/HR] [--profiling oracle|bootstrap|noprof] [--json]"
+             [--rate JOBS/HR] [--profiling oracle|bootstrap|noprof] [--json] \
+             [--telemetry-out PATH] [--quiet]"
         );
         return;
     }
+    if let Err(e) = args.check_unknown() {
+        eprintln!("{e} (see --help)");
+        std::process::exit(2);
+    }
 
-    let cluster = match arg("--cluster").as_deref().unwrap_or("hetero64") {
+    if let Some(path) = args.opt("--telemetry-out") {
+        if let Err(e) = sia::telemetry::init_jsonl(path) {
+            eprintln!("cannot open telemetry sink {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let quiet = args.flag("--quiet");
+
+    let cluster = match args.opt("--cluster").unwrap_or("hetero64") {
         "hetero64" => ClusterSpec::heterogeneous_64(),
         "homog64" => ClusterSpec::homogeneous_64(),
         "physical44" => ClusterSpec::physical_44(),
@@ -47,7 +112,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let kind = match arg("--trace").as_deref().unwrap_or("philly") {
+    let kind = match args.opt("--trace").unwrap_or("philly") {
         "philly" => TraceKind::Philly,
         "helios" => TraceKind::Helios,
         "newtrace" => TraceKind::NewTrace,
@@ -57,19 +122,19 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let policy_name = arg("--policy").unwrap_or_else(|| "sia".into());
+    let seed: u64 = args.opt("--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let policy_name = args.opt("--policy").unwrap_or("sia").to_string();
     let rigid = matches!(policy_name.as_str(), "gavel" | "shockwave" | "themis");
     let mut tcfg = TraceConfig::new(kind, seed).with_max_gpus_cap(16);
     if rigid {
         tcfg = tcfg.with_adaptivity_mix(0.0, 1.0);
     }
-    if let Some(rate) = arg("--rate").and_then(|s| s.parse().ok()) {
+    if let Some(rate) = args.opt("--rate").and_then(|s| s.parse().ok()) {
         tcfg = tcfg.with_rate(rate);
     }
     let trace = Trace::generate(&tcfg);
 
-    let profiling = match arg("--profiling").as_deref().unwrap_or("bootstrap") {
+    let profiling = match args.opt("--profiling").unwrap_or("bootstrap") {
         "oracle" => ProfilingMode::Oracle,
         "bootstrap" => ProfilingMode::Bootstrap,
         "noprof" => ProfilingMode::NoProf,
@@ -104,7 +169,7 @@ fn main() {
     let s = summarize(&result);
     let ratios = ftf_ratios(&result, &cluster);
 
-    if flag("--json") {
+    if args.flag("--json") {
         println!(
             "{{\"policy\":\"{}\",\"jobs\":{},\"unfinished\":{},\"avg_jct_hours\":{:.4},\
              \"p99_jct_hours\":{:.4},\"makespan_hours\":{:.4},\"gpu_hours_per_job\":{:.4},\
@@ -122,7 +187,7 @@ fn main() {
             unfair_fraction(&ratios),
             s.median_policy_runtime,
         );
-    } else {
+    } else if !quiet {
         println!("policy          : {}", s.scheduler);
         println!(
             "jobs            : {} submitted, {} unfinished",
@@ -140,5 +205,19 @@ fn main() {
             "policy runtime  : {:.1} ms median/round",
             s.median_policy_runtime * 1e3
         );
+        if let Some(ph) = sia::metrics::summarize_phases(&result) {
+            println!(
+                "solver phases   : refit {:.2} ms, goodput {:.2} ms, build {:.2} ms, \
+                 solve {:.2} ms, placement {:.2} ms (mean/round over {} rounds)",
+                ph.mean_refit_s * 1e3,
+                ph.mean_goodput_s * 1e3,
+                ph.mean_build_s * 1e3,
+                ph.mean_solve_s * 1e3,
+                ph.mean_placement_s * 1e3,
+                ph.rounds,
+            );
+        }
     }
+
+    sia::telemetry::shutdown();
 }

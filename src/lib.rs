@@ -14,6 +14,7 @@
 //! * [`core`] — the Sia policy itself (ILP objective, restart factor, placer).
 //! * [`baselines`] — Pollux, Gavel, Shockwave and Themis reimplementations.
 //! * [`metrics`] — JCT/makespan/GPU-hour/finish-time-fairness metrics.
+//! * [`telemetry`] — span timers, counters/gauges/histograms, JSONL sink.
 //!
 //! # Examples
 //!
@@ -28,4 +29,5 @@ pub use sia_metrics as metrics;
 pub use sia_models as models;
 pub use sia_sim as sim;
 pub use sia_solver as solver;
+pub use sia_telemetry as telemetry;
 pub use sia_workloads as workloads;

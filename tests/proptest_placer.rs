@@ -6,18 +6,16 @@ use sia::cluster::{config_set, ClusterSpec, Configuration, JobId, Placement};
 use sia::core::placer::realize;
 
 fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
-    proptest::collection::vec(
-        (1usize..=6, prop_oneof![Just(4usize), Just(8)]),
-        1..=3,
+    proptest::collection::vec((1usize..=6, prop_oneof![Just(4usize), Just(8)]), 1..=3).prop_map(
+        |groups| {
+            let mut c = ClusterSpec::new();
+            for (i, (nodes, gpn)) in groups.into_iter().enumerate() {
+                let t = c.add_gpu_kind(&format!("g{i}"), 16.0, i as u32 + 1);
+                c.add_nodes(t, nodes, gpn);
+            }
+            c
+        },
     )
-    .prop_map(|groups| {
-        let mut c = ClusterSpec::new();
-        for (i, (nodes, gpn)) in groups.into_iter().enumerate() {
-            let t = c.add_gpu_kind(&format!("g{i}"), 16.0, i as u32 + 1);
-            c.add_nodes(t, nodes, gpn);
-        }
-        c
-    })
 }
 
 proptest! {

@@ -1,0 +1,112 @@
+//! End-to-end telemetry: a full simulation with the JSONL sink enabled must
+//! stream well-formed span/counter events covering every instrumented
+//! subsystem, and with the sink disabled must emit nothing.
+//!
+//! The sink is process-global, so the disabled and enabled phases run inside
+//! one `#[test]` to fix their order.
+
+use std::collections::BTreeSet;
+
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::sim::{SimConfig, SimResult, Simulator};
+use sia::workloads::{Trace, TraceConfig, TraceKind};
+
+fn run_sim(seed: u64) -> SimResult {
+    let spec = ClusterSpec::heterogeneous_64();
+    let mut trace = Trace::generate(&TraceConfig::new(TraceKind::Philly, seed));
+    trace.jobs.truncate(25);
+    for j in &mut trace.jobs {
+        j.work_target *= 0.2;
+    }
+    let sim = Simulator::new(
+        spec,
+        &trace,
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    sim.run(&mut SiaPolicy::default())
+}
+
+#[test]
+fn jsonl_sink_round_trip() {
+    // Phase 1: telemetry disabled (the default). Counters still advance, but
+    // no events may be written anywhere.
+    let emitted_before = sia::telemetry::events_emitted();
+    let result = run_sim(3);
+    assert!(!result.rounds.is_empty());
+    assert_eq!(
+        sia::telemetry::events_emitted(),
+        emitted_before,
+        "disabled telemetry must not emit events"
+    );
+
+    // Phase 2: enable the JSONL sink and run again.
+    let path = std::env::temp_dir().join(format!("sia-telemetry-{}.jsonl", std::process::id()));
+    sia::telemetry::init_jsonl(&path).expect("open telemetry sink");
+    let result = run_sim(5);
+    sia::telemetry::shutdown();
+    assert!(!result.rounds.is_empty());
+    assert!(
+        sia::telemetry::events_emitted() > emitted_before,
+        "enabled telemetry must emit events"
+    );
+
+    let text = std::fs::read_to_string(&path).expect("read sink file");
+    let _ = std::fs::remove_file(&path);
+    let mut kinds = BTreeSet::new();
+    let mut subsystems = BTreeSet::new();
+    let mut span_names = BTreeSet::new();
+    let mut last_seq = None::<u64>;
+    let mut lines = 0usize;
+    for line in text.lines() {
+        lines += 1;
+        let v: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad JSONL line {lines}: {e}"));
+        let obj = v.as_object().expect("event must be an object");
+        let ev = obj["ev"].as_str().expect("ev field");
+        let name = obj["name"].as_str().expect("name field");
+        kinds.insert(ev.to_string());
+        subsystems.insert(name.split('.').next().unwrap().to_string());
+        match ev {
+            "span" => {
+                span_names.insert(name.to_string());
+                assert!(obj["dur_s"].as_f64().expect("dur_s") >= 0.0);
+            }
+            "counter" => {
+                assert!(obj["total"].as_u64().is_some(), "counter total");
+            }
+            "gauge" => {
+                assert!(obj["value"].as_f64().is_some(), "gauge value");
+            }
+            "histogram" => {}
+            other => panic!("unknown event kind {other}"),
+        }
+        // Sequence numbers are strictly increasing within one sink session.
+        let seq = obj["seq"].as_u64().expect("seq field");
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "seq must increase: {prev} then {seq}");
+        }
+        last_seq = Some(seq);
+    }
+    assert!(lines > 100, "expected a busy stream, got {lines} lines");
+
+    assert!(kinds.contains("span") && kinds.contains("counter"));
+    // The acceptance bar: events from at least these four subsystems.
+    for want in ["engine", "policy", "solver", "placement"] {
+        assert!(
+            subsystems.contains(want),
+            "missing subsystem {want}; saw {subsystems:?}"
+        );
+    }
+    for want in [
+        "engine.schedule",
+        "policy.schedule",
+        "policy.milp_solve",
+        "placement.realize",
+    ] {
+        assert!(span_names.contains(want), "missing span {want}");
+    }
+}
