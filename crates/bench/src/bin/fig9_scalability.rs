@@ -3,17 +3,35 @@
 //!
 //! Expected shape: Gavel fastest (tiny LP); Sia around a second at 2048
 //! GPUs; Pollux's genetic algorithm orders of magnitude slower at scale.
+//!
+//! Each cell runs under both simulation engines (legacy round loop and the
+//! event-driven kernel) so the JSON records a wall-clock before/after; the
+//! policy-runtime medians are taken from the event-engine run (the engines
+//! are bit-identical with failures off, so the medians agree anyway).
+//!
+//! An optional argument restricts the scale factors, e.g.
+//! `fig9_scalability 1,2,4,8` (any unparseable argument means `1,2,4,8`).
 
 use sia_bench::{run_one, write_json, Policy};
 use sia_cluster::ClusterSpec;
 use sia_metrics::{percentile, summarize_phases};
-use sia_sim::SimConfig;
+use sia_sim::{EngineKind, SimConfig};
 use sia_workloads::{Trace, TraceConfig, TraceKind};
 
 fn main() {
     let factors: Vec<usize> = std::env::args()
         .nth(1)
-        .map(|_| vec![1, 2, 4, 8])
+        .map(|arg| {
+            let parsed: Vec<usize> = arg
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect();
+            if parsed.is_empty() {
+                vec![1, 2, 4, 8]
+            } else {
+                parsed
+            }
+        })
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32]);
     let policies = [Policy::Sia, Policy::Pollux, Policy::GavelTuned];
 
@@ -26,6 +44,9 @@ fn main() {
 
     let mut payload = serde_json::Map::new();
     let mut series: std::collections::BTreeMap<String, Vec<(usize, f64, f64, f64)>> =
+        Default::default();
+    // Whole-simulation wall-clock per engine, per cell: (gpus, round, events).
+    let mut wall_series: std::collections::BTreeMap<String, Vec<(usize, f64, f64)>> =
         Default::default();
     // Per-phase breakdown (refit/goodput/build/solve/placement) for policies
     // that report SolverStats — shows where Sia's runtime goes as the
@@ -46,12 +67,28 @@ fn main() {
             }
             tcfg.window_hours = 1.0;
             let trace = Trace::generate(&tcfg);
-            let cfg = SimConfig {
-                seed: 7,
-                max_hours: 0.35,
-                ..SimConfig::default()
-            };
-            let result = run_one(p, &cluster, &trace, cfg, 7);
+            let mut result = None;
+            let mut walls = [0.0_f64; 2];
+            for (slot, engine) in [EngineKind::Round, EngineKind::Events]
+                .into_iter()
+                .enumerate()
+            {
+                let cfg = SimConfig {
+                    engine,
+                    seed: 7,
+                    max_hours: 0.35,
+                    ..SimConfig::default()
+                };
+                let t = std::time::Instant::now();
+                let r = run_one(p, &cluster, &trace, cfg, 7);
+                walls[slot] = t.elapsed().as_secs_f64();
+                result = Some(r);
+            }
+            let result = result.expect("both engines ran");
+            wall_series
+                .entry(p.label())
+                .or_default()
+                .push((64 * f, walls[0], walls[1]));
             let runtimes: Vec<f64> = result
                 .rounds
                 .iter()
@@ -87,6 +124,22 @@ fn main() {
         }
         println!();
     }
+
+    println!("\n== simulation wall-clock (s), round engine -> event engine ==");
+    print!("{:<10}", "#GPUs");
+    for p in policies {
+        print!("{:>24}", p.label());
+    }
+    println!();
+    for (row, &f) in factors.iter().enumerate() {
+        print!("{:<10}", 64 * f);
+        for p in policies {
+            let (_, a, b) = wall_series[&p.label()][row];
+            print!("{:>24}", format!("{a:.2} -> {b:.2}"));
+        }
+        println!();
+    }
+
     for (label, pts) in &series {
         payload.insert(
             label.clone(),
@@ -94,6 +147,17 @@ fn main() {
                 .iter()
                 .map(|&(g, med, p25, p75)| serde_json::json!({
                     "gpus": g, "median_s": med, "p25_s": p25, "p75_s": p75
+                }))
+                .collect::<Vec<_>>()),
+        );
+    }
+    for (label, pts) in wall_series {
+        payload.insert(
+            format!("{label}_wall"),
+            serde_json::json!(pts
+                .iter()
+                .map(|&(g, a, b)| serde_json::json!({
+                    "gpus": g, "wall_round_s": a, "wall_events_s": b
                 }))
                 .collect::<Vec<_>>()),
         );

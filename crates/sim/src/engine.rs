@@ -17,9 +17,35 @@ use sia_workloads::{Adaptivity, JobSpec, Trace};
 use crate::result::{JobRecord, RoundLog, SimResult};
 use crate::scheduler::{JobView, Scheduler};
 
+/// Which simulation engine executes the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The legacy fixed-round loop: every job scanned every round; failures
+    /// quantized to round boundaries.
+    Round,
+    /// The discrete-event engine on the `sia-events` kernel: arrivals,
+    /// completions, failures and restart completions are exact-time events;
+    /// the scheduling round is a recurring timer; idle spans are skipped.
+    /// Bit-compatible with `Round` when failure injection is off.
+    #[default]
+    Events,
+}
+
+impl EngineKind {
+    /// Stable lowercase label (CLI values, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Round => "round",
+            EngineKind::Events => "events",
+        }
+    }
+}
+
 /// Simulation-wide configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
+    /// Engine that executes the run (default: event-driven).
+    pub engine: EngineKind,
     /// How much initial model information each job's estimator gets (§5.7).
     pub profiling_mode: ProfilingMode,
     /// RNG seed for all noise sources.
@@ -46,6 +72,7 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
+            engine: EngineKind::default(),
             profiling_mode: ProfilingMode::Bootstrap,
             seed: 0,
             measurement_noise: 0.02,
@@ -71,41 +98,63 @@ impl SimConfig {
     }
 }
 
-/// Internal per-job state.
-struct JobState {
-    spec: JobSpec,
-    truth: TrueModel,
-    estimator: JobEstimator,
-    placement: Placement,
-    restart_remaining: f64,
-    work_done: f64,
+/// Internal per-job state (shared by both engines).
+pub(crate) struct JobState {
+    pub(crate) spec: JobSpec,
+    pub(crate) truth: TrueModel,
+    pub(crate) estimator: JobEstimator,
+    pub(crate) placement: Placement,
+    pub(crate) restart_remaining: f64,
+    pub(crate) work_done: f64,
     /// Work at the last epoch checkpoint (§3.5: Sia checkpoints model and
     /// optimizer state every epoch; failures roll back to here).
-    checkpointed_work: f64,
-    restarts: u32,
-    failures: u32,
-    first_start: Option<f64>,
-    finish_time: Option<f64>,
-    gpu_seconds: f64,
-    contention_sum: f64,
-    contention_rounds: u64,
+    pub(crate) checkpointed_work: f64,
+    pub(crate) restarts: u32,
+    pub(crate) failures: u32,
+    pub(crate) first_start: Option<f64>,
+    pub(crate) finish_time: Option<f64>,
+    pub(crate) gpu_seconds: f64,
+    pub(crate) contention_sum: f64,
+    pub(crate) contention_rounds: u64,
 }
 
 impl JobState {
-    fn finished(&self) -> bool {
+    pub(crate) fn finished(&self) -> bool {
         self.finish_time.is_some()
     }
 
-    fn progress(&self) -> f64 {
+    pub(crate) fn progress(&self) -> f64 {
         (self.work_done / self.spec.work_target).clamp(0.0, 1.0)
+    }
+
+    /// Advances the epoch checkpoint to the last whole epoch of `work_done`
+    /// (epochs are ~5% of the total work target).
+    pub(crate) fn advance_checkpoint(&mut self) {
+        let epoch = self.spec.work_target * 0.05;
+        let completed_epochs = (self.work_done / epoch).floor();
+        self.checkpointed_work = self.checkpointed_work.max(completed_epochs * epoch);
+    }
+
+    /// Builds the scheduler-visible view of this job at time `now`.
+    pub(crate) fn view(&self, now: f64) -> JobView<'_> {
+        JobView {
+            id: self.spec.id,
+            spec: &self.spec,
+            estimator: &self.estimator,
+            current: &self.placement,
+            age: now - self.spec.submit_time,
+            restarts: self.restarts,
+            restart_delay: self.truth.restart_delay,
+            progress: self.progress(),
+        }
     }
 }
 
 /// The discrete-time simulator: one cluster, one trace, one scheduler run.
 pub struct Simulator {
-    spec: ClusterSpec,
-    trace: Vec<JobSpec>,
-    cfg: SimConfig,
+    pub(crate) spec: ClusterSpec,
+    pub(crate) trace: Vec<JobSpec>,
+    pub(crate) cfg: SimConfig,
 }
 
 impl Simulator {
@@ -118,8 +167,23 @@ impl Simulator {
         }
     }
 
-    /// Runs `sched` to completion (all jobs finished or horizon reached).
+    /// Runs `sched` to completion (all jobs finished or horizon reached)
+    /// under the engine selected by [`SimConfig::engine`].
     pub fn run(&self, sched: &mut dyn Scheduler) -> SimResult {
+        match self.cfg.engine {
+            EngineKind::Round => self.run_round(sched),
+            EngineKind::Events => self.run_events(sched),
+        }
+    }
+
+    /// Runs on the event-driven engine regardless of [`SimConfig::engine`].
+    pub fn run_events(&self, sched: &mut dyn Scheduler) -> SimResult {
+        crate::event_engine::run(self, sched)
+    }
+
+    /// Runs on the legacy fixed-round engine regardless of
+    /// [`SimConfig::engine`].
+    pub fn run_round(&self, sched: &mut dyn Scheduler) -> SimResult {
         let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
         let round = sched.round_duration();
         assert!(round > 0.0, "round duration must be positive");
@@ -165,22 +229,7 @@ impl Simulator {
             let (alloc_map, solver_stats) = if active.is_empty() {
                 (BTreeMap::new(), None)
             } else {
-                let views: Vec<JobView<'_>> = active
-                    .iter()
-                    .map(|&i| {
-                        let j = &jobs[i];
-                        JobView {
-                            id: j.spec.id,
-                            spec: &j.spec,
-                            estimator: &j.estimator,
-                            current: &j.placement,
-                            age: now - j.spec.submit_time,
-                            restarts: j.restarts,
-                            restart_delay: j.truth.restart_delay,
-                            progress: j.progress(),
-                        }
-                    })
-                    .collect();
+                let views: Vec<JobView<'_>> = active.iter().map(|&i| jobs[i].view(now)).collect();
                 let map = {
                     let _span = sia_telemetry::span("engine.schedule");
                     sched.schedule(now, &views, &self.spec)
@@ -232,6 +281,9 @@ impl Simulator {
                 job.contention_rounds += 1;
             }
             drop(apply_span);
+            // Deterministic log order: golden files and cross-platform diffs
+            // must not depend on how the map handed out allocations.
+            round_allocs.sort_unstable_by_key(|&(id, _, _)| id);
             let policy_runtime = round_t0.elapsed().as_secs_f64();
 
             ctr_rounds.incr();
@@ -259,16 +311,21 @@ impl Simulator {
                 }
                 let gpus = job.placement.total_gpus();
                 // Worker failures (§3.5): roll back to the last epoch
-                // checkpoint and pay a restore delay.
+                // checkpoint and pay a restore delay. The per-round count is
+                // Poisson — a Bernoulli draw on `min(lambda, 1)` would
+                // silently saturate at one failure per round for large jobs
+                // or long rounds.
                 if self.cfg.failure_rate_per_gpu_hour > 0.0 {
                     let expected =
                         self.cfg.failure_rate_per_gpu_hour * gpus as f64 * round / 3600.0;
-                    if rng.random::<f64>() < expected.min(1.0) {
-                        job.failures += 1;
-                        round_failures += 1;
+                    let k = sia_events::poisson_sample(&mut rng, expected);
+                    if k > 0 {
+                        job.failures += u32::try_from(k).unwrap_or(u32::MAX);
+                        round_failures += k;
                         job.work_done = job.checkpointed_work;
-                        job.restart_remaining =
-                            (job.restart_remaining + job.truth.restart_delay).min(4.0 * round);
+                        job.restart_remaining = (job.restart_remaining
+                            + k as f64 * job.truth.restart_delay)
+                            .min(4.0 * round);
                     }
                 }
                 let paid_restart = job.restart_remaining.min(round);
@@ -277,7 +334,7 @@ impl Simulator {
                 let mut consumed = round; // GPU time held this round
 
                 if usable > 0.0 {
-                    if let Some((goodput, point, gpu_type)) = self.true_goodput(job, &mut rng) {
+                    if let Some((goodput, point, gpu_type)) = self.true_goodput(job) {
                         let jittered =
                             goodput * (1.0 + self.cfg.execution_noise * symmetric(&mut rng));
                         let jittered = jittered.max(0.0);
@@ -291,47 +348,10 @@ impl Simulator {
                             makespan = makespan.max(finish);
                         } else {
                             job.work_done += jittered * usable;
-                            // Epoch checkpoint every ~5% of total work.
-                            let epoch = job.spec.work_target * 0.05;
-                            let completed_epochs = (job.work_done / epoch).floor();
-                            job.checkpointed_work =
-                                job.checkpointed_work.max(completed_epochs * epoch);
+                            job.advance_checkpoint();
                         }
                         // Executor report (throttled to one per round).
-                        let noise = 1.0 + self.cfg.measurement_noise * symmetric(&mut rng);
-                        let width = job
-                            .spec
-                            .model
-                            .profile()
-                            .pipeline
-                            .and_then(|p| p.gpus_per_replica(&self.spec.kind(gpu_type).name))
-                            .unwrap_or(1);
-                        let replicas = gpus / width;
-                        let shape = shape_of(&job.placement, replicas);
-                        let true_iter = job.truth.per_type[gpu_type.0].t_iter(
-                            shape,
-                            point.local_bsz,
-                            point.accum_steps,
-                        );
-                        let obs = Observation {
-                            gpu_type,
-                            sample: FitSample {
-                                shape,
-                                local_bsz: point.local_bsz,
-                                accum_steps: point.accum_steps,
-                                iter_time: (true_iter * noise).max(1e-6),
-                            },
-                            // The executor measures the noise scale via the
-                            // two-batch gradient-statistics trick rather
-                            // than observing it directly.
-                            measured_phi: sia_models::measure_phi(
-                                job.truth.phi_at(job.progress()),
-                                point.local_bsz,
-                                (point.total_bsz).max(point.local_bsz * 2.0),
-                                self.cfg.measurement_noise.min(1.0) * symmetric(&mut rng) * 10.0,
-                            ),
-                        };
-                        job.estimator.observe(obs);
+                        self.executor_report(job, gpus, gpu_type, &point, &mut rng);
                     }
                 }
                 job.gpu_seconds += gpus as f64 * consumed;
@@ -345,49 +365,12 @@ impl Simulator {
             now += round;
         }
 
-        // Assemble records.
-        let mut unfinished = 0usize;
-        let records: Vec<JobRecord> = jobs
-            .iter()
-            .map(|j| {
-                if !j.finished() {
-                    unfinished += 1;
-                }
-                JobRecord {
-                    id: j.spec.id,
-                    name: j.spec.name.clone(),
-                    model: j.spec.model,
-                    category: j.spec.category,
-                    submit_time: j.spec.submit_time,
-                    first_start: j.first_start,
-                    finish_time: j.finish_time,
-                    gpu_seconds: j.gpu_seconds,
-                    restarts: j.restarts,
-                    failures: j.failures,
-                    avg_contention: if j.contention_rounds > 0 {
-                        j.contention_sum / j.contention_rounds as f64
-                    } else {
-                        1.0
-                    },
-                    max_gpus: j.spec.max_gpus,
-                    work_target: j.spec.work_target,
-                    work_done: j.work_done,
-                }
-            })
-            .collect();
-
-        SimResult {
-            scheduler: sched.name(),
-            records,
-            rounds,
-            makespan,
-            unfinished,
-        }
+        assemble_result(sched.name(), &jobs, rounds, makespan)
     }
 
     /// Builds a job's initial state (estimator per profiling mode, charging
     /// any profiling overhead).
-    fn admit(&self, spec: &JobSpec, rng: &mut ChaCha8Rng) -> JobState {
+    pub(crate) fn admit(&self, spec: &JobSpec, rng: &mut ChaCha8Rng) -> JobState {
         let truth = spec.model.profile().true_model(&self.spec);
         let limits = batch_limits_of(spec);
         let eff_prior = truth.eff0;
@@ -449,10 +432,9 @@ impl Simulator {
     /// The true goodput of a job on its current placement (the executor's
     /// batch choice uses the true model — executors measure their own
     /// performance directly).
-    fn true_goodput(
+    pub(crate) fn true_goodput(
         &self,
         job: &JobState,
-        _rng: &mut ChaCha8Rng,
     ) -> Option<(f64, sia_models::GoodputPoint, sia_cluster::GpuTypeId)> {
         let gpu_type = job.placement.gpu_type(&self.spec);
         let gpus = job.placement.total_gpus();
@@ -472,6 +454,97 @@ impl Simulator {
         let eff = job.truth.eff_at(job.progress());
         let point = optimize_goodput(&job.truth.per_type[gpu_type.0], &eff, shape, limits)?;
         Some((point.goodput, point, gpu_type))
+    }
+
+    /// One noisy executor report (throughput sample + measured gradient
+    /// noise scale) fed into the job's estimator. Both engines call this
+    /// once per scheduled round per running job, with identical RNG draw
+    /// order (iteration-time noise first, then the phi-measurement noise).
+    pub(crate) fn executor_report(
+        &self,
+        job: &mut JobState,
+        gpus: usize,
+        gpu_type: sia_cluster::GpuTypeId,
+        point: &sia_models::GoodputPoint,
+        rng: &mut ChaCha8Rng,
+    ) {
+        let noise = 1.0 + self.cfg.measurement_noise * symmetric(rng);
+        let width = job
+            .spec
+            .model
+            .profile()
+            .pipeline
+            .and_then(|p| p.gpus_per_replica(&self.spec.kind(gpu_type).name))
+            .unwrap_or(1);
+        let replicas = gpus / width;
+        let shape = shape_of(&job.placement, replicas);
+        let true_iter =
+            job.truth.per_type[gpu_type.0].t_iter(shape, point.local_bsz, point.accum_steps);
+        let obs = Observation {
+            gpu_type,
+            sample: FitSample {
+                shape,
+                local_bsz: point.local_bsz,
+                accum_steps: point.accum_steps,
+                iter_time: (true_iter * noise).max(1e-6),
+            },
+            // The executor measures the noise scale via the two-batch
+            // gradient-statistics trick rather than observing it directly.
+            measured_phi: sia_models::measure_phi(
+                job.truth.phi_at(job.progress()),
+                point.local_bsz,
+                (point.total_bsz).max(point.local_bsz * 2.0),
+                self.cfg.measurement_noise.min(1.0) * symmetric(rng) * 10.0,
+            ),
+        };
+        job.estimator.observe(obs);
+    }
+}
+
+/// Builds the final [`SimResult`] from terminal per-job state (shared by
+/// both engines so record fields cannot drift apart).
+pub(crate) fn assemble_result(
+    scheduler: &'static str,
+    jobs: &[JobState],
+    rounds: Vec<RoundLog>,
+    makespan: f64,
+) -> SimResult {
+    let mut unfinished = 0usize;
+    let records: Vec<JobRecord> = jobs
+        .iter()
+        .map(|j| {
+            if !j.finished() {
+                unfinished += 1;
+            }
+            JobRecord {
+                id: j.spec.id,
+                name: j.spec.name.clone(),
+                model: j.spec.model,
+                category: j.spec.category,
+                submit_time: j.spec.submit_time,
+                first_start: j.first_start,
+                finish_time: j.finish_time,
+                gpu_seconds: j.gpu_seconds,
+                restarts: j.restarts,
+                failures: j.failures,
+                avg_contention: if j.contention_rounds > 0 {
+                    j.contention_sum / j.contention_rounds as f64
+                } else {
+                    1.0
+                },
+                max_gpus: j.spec.max_gpus,
+                work_target: j.spec.work_target,
+                work_done: j.work_done,
+            }
+        })
+        .collect();
+
+    SimResult {
+        scheduler,
+        records,
+        rounds,
+        makespan,
+        unfinished,
     }
 }
 
@@ -507,7 +580,7 @@ fn execution_limits(spec: &JobSpec, replicas: usize) -> BatchLimits {
 }
 
 /// Uniform noise in `[-1, 1]`.
-fn symmetric(rng: &mut ChaCha8Rng) -> f64 {
+pub(crate) fn symmetric(rng: &mut ChaCha8Rng) -> f64 {
     rng.random::<f64>() * 2.0 - 1.0
 }
 
@@ -711,6 +784,66 @@ mod tests {
         let result = Simulator::new(spec, &trace, SimConfig::default()).run(&mut OneGpuEach);
         assert!(result.rounds.iter().any(|r| r.contention > 1));
         assert!(result.records.iter().all(|r| r.avg_contention >= 1.0));
+    }
+
+    #[test]
+    fn high_failure_rates_do_not_saturate() {
+        // Regression: the per-round failure count used to be a Bernoulli
+        // draw on `min(lambda, 1)`, silently capping at one failure per
+        // round. At lambda ~= 10 failures per round the run must observe
+        // far more failures than it has rounds.
+        let spec = ClusterSpec::homogeneous_64();
+        let mut trace = tiny_trace(1);
+        trace.jobs[0].work_target *= 1e9; // never finishes
+        trace.jobs[0].submit_time = 0.0;
+        let cfg = SimConfig {
+            max_hours: 0.5, // 30 rounds of 60 s
+            failure_rate_per_gpu_hour: 600.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(spec, &trace, cfg);
+        for result in [
+            sim.run_round(&mut OneGpuEach),
+            sim.run_events(&mut OneGpuEach),
+        ] {
+            let rounds = result.rounds.len() as u64;
+            let failures = u64::from(result.records[0].failures);
+            assert!(
+                failures > 3 * rounds,
+                "failure sampling saturated: {failures} failures in {rounds} rounds"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_streams_do_not_perturb_noise_draws() {
+        // Event engine: failures draw from their own RNG stream, so turning
+        // injection on must not change when jobs would otherwise finish if
+        // no failure actually lands before completion. Compare a zero-rate
+        // run against a tiny-but-nonzero rate where no failure fires.
+        let spec = ClusterSpec::homogeneous_64();
+        let trace = tiny_trace(4);
+        let run_with = |rate: f64| {
+            let cfg = SimConfig {
+                seed: 11,
+                measurement_noise: 0.05,
+                execution_noise: 0.03,
+                failure_rate_per_gpu_hour: rate,
+                ..SimConfig::default()
+            };
+            Simulator::new(spec.clone(), &trace, cfg).run_events(&mut OneGpuEach)
+        };
+        let clean = run_with(0.0);
+        let armed = run_with(1e-9);
+        assert_eq!(
+            armed.records.iter().map(|r| r.failures).sum::<u32>(),
+            0,
+            "rate too high for this test's premise"
+        );
+        let finish = |r: &SimResult| -> Vec<Option<f64>> {
+            r.records.iter().map(|j| j.finish_time).collect()
+        };
+        assert_eq!(finish(&clean), finish(&armed));
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! The event-driven simulation engine, built on the `sia-events` kernel.
+//!
+//! Instead of scanning every job every round, the engine schedules typed
+//! events and fast-forwards the clock between them:
+//!
+//! - `Arrival` — a trace job's submission instant,
+//! - `Completion` — the exact instant a job's remaining work hits zero,
+//! - `Failure` — a worker failure, sampled as an exponential inter-arrival
+//!   process per placement (the exact-time view of the round engine's
+//!   per-round Poisson count),
+//! - `RestartDone` — the instant a job finishes paying its checkpoint
+//!   restore and resumes useful work,
+//! - `RoundTimer` — the recurring scheduling round.
+//!
+//! Same-timestamp causality is encoded in event priorities: a completion at
+//! a round boundary is observed before that round's timer, an arrival at
+//! `t` is admitted before the round at `t` schedules (matching the round
+//! engine's admit-before-schedule order).
+//!
+//! ## Determinism and parity with the round engine
+//!
+//! All scheduler-visible noise is drawn from the kernel's `"engine"` RNG
+//! stream, explicitly seeded with `SimConfig::seed` so its draw sequence is
+//! identical to the round engine's single RNG. Because admissions, placement
+//! changes and per-round execution consume draws in exactly the round
+//! engine's order, the two engines are *bit-identical* when failure
+//! injection is off (see `tests/engine_parity.rs`).
+//!
+//! Failure injection draws from a separate `"failure"` stream: turning
+//! failures on (or changing the rate) never perturbs the engine stream, so
+//! job noise trajectories stay fixed — the round engine cannot offer this,
+//! since its single RNG interleaves failure draws with everything else.
+//!
+//! ## Known divergence
+//!
+//! The round engine logs a `RoundLog` for every round tick, including
+//! rounds where no job is active; this engine goes dormant when nothing is
+//! runnable and re-arms the timer on the next arrival, so empty rounds
+//! produce no log entries (and no `engine.rounds` ticks). Empty rounds draw
+//! no randomness, so skipping them cannot affect job outcomes.
+
+use std::time::Instant;
+
+use sia_cluster::{FreeGpus, Placement};
+use sia_events::{exp_sample, EventId, EventPayload, Kernel};
+
+use crate::engine::{assemble_result, symmetric, JobState, Simulator};
+use crate::result::{RoundLog, SimResult};
+use crate::scheduler::{JobView, Scheduler};
+
+/// Event payloads; job indices refer to the admitted-jobs vector.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A trace job submission; the index refers to the trace.
+    Arrival { trace_idx: usize },
+    /// A job's remaining work reaches zero.
+    Completion { job: usize },
+    /// A worker failure under a job's current placement.
+    Failure { job: usize },
+    /// A job finishes its checkpoint-restore and resumes useful work.
+    RestartDone { job: usize },
+    /// The recurring scheduling round.
+    RoundTimer,
+}
+
+impl EventPayload for Ev {
+    fn kind(&self) -> &'static str {
+        match self {
+            Ev::Arrival { .. } => "arrival",
+            Ev::Completion { .. } => "completion",
+            Ev::Failure { .. } => "failure",
+            Ev::RestartDone { .. } => "restart_done",
+            Ev::RoundTimer => "round_timer",
+        }
+    }
+
+    /// Same-timestamp order: completions happen-before failures
+    /// happen-before admissions happen-before the scheduling round.
+    fn priority(&self) -> u8 {
+        match self {
+            Ev::Completion { .. } => 0,
+            Ev::Failure { .. } => 1,
+            Ev::Arrival { .. } => 2,
+            Ev::RestartDone { .. } => 3,
+            Ev::RoundTimer => 4,
+        }
+    }
+}
+
+/// Per-job event bookkeeping, parallel to the jobs vector.
+#[derive(Default)]
+struct Aux {
+    /// Pending completion, if the job finishes within the current round.
+    completion: Option<EventId>,
+    /// GPU time already charged for the slice ending at that completion.
+    completion_consumed: f64,
+    /// Next pending failure under the current placement.
+    failure: Option<EventId>,
+}
+
+pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
+    let round = sched.round_duration();
+    assert!(round > 0.0, "round duration must be positive");
+    let horizon = sim.cfg.max_hours * 3600.0;
+    // The round engine admits a job iff some round tick reaches its submit
+    // time before breaking on the horizon; the last tick it evaluates is the
+    // first round boundary at or past the horizon.
+    let admit_cutoff = round * (horizon / round).ceil();
+
+    let mut kernel: Kernel<Ev> = Kernel::new(sim.cfg.seed);
+    // The engine stream must replay the round engine's exact draw sequence,
+    // so it is seeded directly rather than derived from the stream name.
+    kernel.seed_stream("engine", sim.cfg.seed);
+
+    // All admissible arrivals are known up-front. Scheduling them in trace
+    // order makes equal-submit-time ties fire FIFO, i.e. in trace order —
+    // the same admission order the round engine produces.
+    for (trace_idx, spec) in sim.trace.iter().enumerate() {
+        if spec.submit_time <= admit_cutoff {
+            kernel.schedule_at(spec.submit_time.max(0.0), Ev::Arrival { trace_idx });
+        }
+    }
+
+    let mut jobs: Vec<JobState> = Vec::new();
+    let mut aux: Vec<Aux> = Vec::new();
+    let mut rounds: Vec<RoundLog> = Vec::new();
+    let mut makespan = 0.0_f64;
+    // Pending round timer; `None` means dormant (re-armed by arrivals and
+    // by failures that revive an otherwise-completing job).
+    let mut timer: Option<EventId> = None;
+
+    let ctr_rounds = sia_telemetry::counter("engine.rounds");
+    let ctr_restarts = sia_telemetry::counter("engine.restarts");
+    let ctr_failures = sia_telemetry::counter("engine.failures");
+    let ctr_churn = sia_telemetry::counter("engine.alloc_churn");
+    let gauge_active = sia_telemetry::gauge("engine.active_jobs");
+    let gauge_queue = sia_telemetry::gauge("engine.queue_depth");
+
+    // Arms the dormant timer for the first round boundary at or after `now`
+    // (a boundary exactly at `now` still works: the timer's priority places
+    // it after every other event at that timestamp).
+    let arm_timer = |kernel: &mut Kernel<Ev>, now: f64| -> Option<EventId> {
+        let next = (now / round).ceil() * round;
+        (next < horizon).then(|| kernel.schedule_at(next, Ev::RoundTimer))
+    };
+
+    while let Some(ev) = kernel.pop() {
+        let now = ev.time;
+        match ev.payload {
+            Ev::Arrival { trace_idx } => {
+                let spec = &sim.trace[trace_idx];
+                let state = sim.admit(spec, kernel.rng("engine"));
+                jobs.push(state);
+                aux.push(Aux::default());
+                if timer.is_none() {
+                    timer = arm_timer(&mut kernel, now);
+                }
+            }
+
+            Ev::Completion { job } => {
+                aux[job].completion = None;
+                if let Some(f) = aux[job].failure.take() {
+                    kernel.cancel(f);
+                }
+                let j = &mut jobs[job];
+                j.finish_time = Some(now);
+                j.placement = Placement::empty();
+                makespan = makespan.max(now);
+            }
+
+            Ev::Failure { job } => {
+                aux[job].failure = None;
+                // Rounds stop at the horizon; failures past it can no longer
+                // be observed, matching the round engine.
+                if now >= horizon || jobs[job].finished() || jobs[job].placement.is_empty() {
+                    continue;
+                }
+                let j = &mut jobs[job];
+                j.failures += 1;
+                ctr_failures.incr();
+                let gpus = j.placement.total_gpus();
+                if let Some(c) = aux[job].completion.take() {
+                    // The failure pre-empts the scheduled finish: the job
+                    // keeps its GPUs through the end of the round instead of
+                    // releasing them at the completion instant.
+                    kernel.cancel(c);
+                    j.gpu_seconds += gpus as f64 * (round - aux[job].completion_consumed);
+                }
+                j.work_done = j.checkpointed_work;
+                j.restart_remaining =
+                    (j.restart_remaining + j.truth.restart_delay).min(4.0 * round);
+                // Re-arm the failure process for this placement.
+                let lambda = sim.cfg.failure_rate_per_gpu_hour * gpus as f64 / 3600.0;
+                let gap = exp_sample(kernel.rng("failure"), lambda);
+                if gap.is_finite() {
+                    aux[job].failure = Some(kernel.schedule_in(gap, Ev::Failure { job }));
+                }
+                // A cancelled completion can leave a running job with no
+                // pending round; revive the timer.
+                if timer.is_none() {
+                    timer = arm_timer(&mut kernel, now);
+                }
+            }
+
+            // The restore instant itself carries no state change (the slice
+            // accounting already paid for it); the kernel's per-kind counter
+            // records it for the event taxonomy.
+            Ev::RestartDone { job } => {
+                // Completions land strictly after the restore they paid for.
+                debug_assert!(!jobs[job].finished(), "restart ended after finish");
+            }
+
+            Ev::RoundTimer => {
+                timer = None;
+                let active: Vec<usize> = (0..jobs.len()).filter(|&i| !jobs[i].finished()).collect();
+                if active.is_empty() {
+                    // Dormant: the next arrival re-arms the timer.
+                    continue;
+                }
+
+                // Ask the policy for placements. As in the round engine, the
+                // timer covers schedule + validate/apply.
+                let round_t0 = Instant::now();
+                let (alloc_map, solver_stats) = {
+                    let views: Vec<JobView<'_>> =
+                        active.iter().map(|&i| jobs[i].view(now)).collect();
+                    let map = {
+                        let _span = sia_telemetry::span("engine.schedule");
+                        sched.schedule(now, &views, &sim.spec)
+                    };
+                    (map, sched.round_stats())
+                };
+
+                // Validate and apply placements.
+                let apply_span = sia_telemetry::span("engine.apply");
+                let mut free = FreeGpus::all_free(&sim.spec);
+                let contention = active.len();
+                let mut round_allocs = Vec::new();
+                let mut round_restarts = 0u64;
+                let mut round_churn = 0u64;
+                for &i in &active {
+                    let new = alloc_map
+                        .get(&jobs[i].spec.id)
+                        .cloned()
+                        .unwrap_or_else(Placement::empty);
+                    if !new.is_empty() {
+                        debug_assert!(
+                            new.is_single_type(&sim.spec),
+                            "scheduler placed {} on mixed GPU types",
+                            jobs[i].spec.id
+                        );
+                        free.take(&new); // panics on over-commit: scheduler bug
+                    }
+                    if new != jobs[i].placement {
+                        round_churn += 1;
+                        if !jobs[i].placement.is_empty() {
+                            jobs[i].restarts += 1;
+                            round_restarts += 1;
+                        }
+                        if !new.is_empty() {
+                            let jitter =
+                                1.0 + sim.cfg.restart_jitter * symmetric(kernel.rng("engine"));
+                            jobs[i].restart_remaining =
+                                jobs[i].truth.restart_delay * jitter.max(0.1);
+                            if jobs[i].first_start.is_none() {
+                                jobs[i].first_start = Some(now);
+                            }
+                        }
+                        jobs[i].placement = new;
+                        // The failure process is per-placement: reset it.
+                        if sim.cfg.failure_rate_per_gpu_hour > 0.0 {
+                            if let Some(f) = aux[i].failure.take() {
+                                kernel.cancel(f);
+                            }
+                            if !jobs[i].placement.is_empty() {
+                                let lambda = sim.cfg.failure_rate_per_gpu_hour
+                                    * jobs[i].placement.total_gpus() as f64
+                                    / 3600.0;
+                                let gap = exp_sample(kernel.rng("failure"), lambda);
+                                if gap.is_finite() {
+                                    aux[i].failure =
+                                        Some(kernel.schedule_in(gap, Ev::Failure { job: i }));
+                                }
+                            }
+                        }
+                    }
+                    if !jobs[i].placement.is_empty() {
+                        let t = jobs[i].placement.gpu_type(&sim.spec);
+                        round_allocs.push((jobs[i].spec.id, t, jobs[i].placement.total_gpus()));
+                    }
+                    jobs[i].contention_sum += contention as f64;
+                    jobs[i].contention_rounds += 1;
+                }
+                drop(apply_span);
+                // Deterministic log order (matches the round engine).
+                round_allocs.sort_unstable_by_key(|&(id, _, _)| id);
+                let policy_runtime = round_t0.elapsed().as_secs_f64();
+
+                ctr_rounds.incr();
+                ctr_restarts.add(round_restarts);
+                ctr_churn.add(round_churn);
+                gauge_active.set(active.len() as f64);
+                gauge_queue.set((contention - round_allocs.len()) as f64);
+
+                rounds.push(RoundLog {
+                    time: now,
+                    active_jobs: active.len(),
+                    contention,
+                    allocations: round_allocs,
+                    policy_runtime,
+                    solver_stats,
+                });
+
+                // Execute one round slice per placed job. Jobs that finish
+                // within the slice get an exact-time Completion event; their
+                // work is committed eagerly so the executor report observes
+                // the same progress the round engine would.
+                let execute_span = sia_telemetry::span("engine.execute");
+                for &i in &active {
+                    if jobs[i].placement.is_empty() {
+                        continue;
+                    }
+                    let gpus = jobs[i].placement.total_gpus();
+                    let paid_restart = jobs[i].restart_remaining.min(round);
+                    jobs[i].restart_remaining -= paid_restart;
+                    let usable = round - paid_restart;
+                    let mut consumed = round; // GPU time held this round
+
+                    if usable > 0.0 {
+                        if let Some((goodput, point, gpu_type)) = sim.true_goodput(&jobs[i]) {
+                            let jittered = goodput
+                                * (1.0 + sim.cfg.execution_noise * symmetric(kernel.rng("engine")));
+                            let jittered = jittered.max(0.0);
+                            let needed = jobs[i].spec.work_target - jobs[i].work_done;
+                            if jittered > 0.0 && needed <= jittered * usable {
+                                let dt = needed / jittered;
+                                // Associativity matters for bit parity: the
+                                // round engine computes (now + paid) + dt.
+                                let finish = now + paid_restart + dt;
+                                consumed = paid_restart + dt;
+                                jobs[i].work_done = jobs[i].spec.work_target;
+                                aux[i].completion_consumed = consumed;
+                                aux[i].completion =
+                                    Some(kernel.schedule_at(finish, Ev::Completion { job: i }));
+                            } else {
+                                jobs[i].work_done += jittered * usable;
+                                jobs[i].advance_checkpoint();
+                            }
+                            // Executor report (throttled to one per round).
+                            sim.executor_report(
+                                &mut jobs[i],
+                                gpus,
+                                gpu_type,
+                                &point,
+                                kernel.rng("engine"),
+                            );
+                        }
+                    }
+                    if paid_restart > 0.0 && usable > 0.0 {
+                        kernel.schedule_at(now + paid_restart, Ev::RestartDone { job: i });
+                    }
+                    jobs[i].gpu_seconds += gpus as f64 * consumed;
+                }
+                drop(execute_span);
+
+                // Next round, if anything will still be runnable: jobs with
+                // a pending completion finish before the next boundary and
+                // don't count. With nothing runnable the timer goes dormant
+                // and the clock fast-forwards to the next arrival.
+                let runnable = active
+                    .iter()
+                    .any(|&i| !jobs[i].finished() && aux[i].completion.is_none());
+                if runnable {
+                    let next = now + round;
+                    if next < horizon {
+                        timer = Some(kernel.schedule_at(next, Ev::RoundTimer));
+                    } else {
+                        // Horizon reached: no further rounds will observe a
+                        // failure, so drop the pending ones.
+                        for a in aux.iter_mut() {
+                            if let Some(f) = a.failure.take() {
+                                kernel.cancel(f);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    assemble_result(sched.name(), &jobs, rounds, makespan)
+}

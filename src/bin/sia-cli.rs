@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sia-cli [--cluster hetero64|homog64|physical44] [--trace philly|helios|newtrace|physical]
-//!         [--policy sia|pollux|gavel|shockwave|themis] [--seed N] [--rate JOBS_PER_HOUR]
+//!         [--policy sia|pollux|gavel|shockwave|themis] [--engine round|events]
+//!         [--seed N] [--rate JOBS_PER_HOUR]
 //!         [--profiling oracle|bootstrap|noprof] [--json]
 //!         [--telemetry-out PATH] [--quiet]
 //! ```
@@ -16,7 +17,7 @@ use sia::cluster::ClusterSpec;
 use sia::core::SiaPolicy;
 use sia::metrics::{ftf_ratios, summarize, unfair_fraction, worst_ftf};
 use sia::models::ProfilingMode;
-use sia::sim::{Scheduler, SimConfig, Simulator};
+use sia::sim::{EngineKind, Scheduler, SimConfig, Simulator};
 use sia::workloads::{Trace, TraceConfig, TraceKind};
 
 /// Options that take a value.
@@ -24,6 +25,7 @@ const VALUE_OPTS: &[&str] = &[
     "--cluster",
     "--trace",
     "--policy",
+    "--engine",
     "--seed",
     "--rate",
     "--profiling",
@@ -84,7 +86,8 @@ fn main() {
         println!(
             "usage: sia-cli [--cluster hetero64|homog64|physical44] \
              [--trace philly|helios|newtrace|physical] \
-             [--policy sia|pollux|gavel|shockwave|themis] [--seed N] \
+             [--policy sia|pollux|gavel|shockwave|themis] \
+             [--engine round|events] [--seed N] \
              [--rate JOBS/HR] [--profiling oracle|bootstrap|noprof] [--json] \
              [--telemetry-out PATH] [--quiet]"
         );
@@ -134,6 +137,15 @@ fn main() {
     }
     let trace = Trace::generate(&tcfg);
 
+    let engine = match args.opt("--engine").unwrap_or("events") {
+        "round" => EngineKind::Round,
+        "events" => EngineKind::Events,
+        other => {
+            eprintln!("unknown engine {other} (expected round or events)");
+            std::process::exit(2);
+        }
+    };
+
     let profiling = match args.opt("--profiling").unwrap_or("bootstrap") {
         "oracle" => ProfilingMode::Oracle,
         "bootstrap" => ProfilingMode::Bootstrap,
@@ -160,6 +172,7 @@ fn main() {
         cluster.clone(),
         &trace,
         SimConfig {
+            engine,
             seed,
             profiling_mode: profiling,
             ..SimConfig::default()

@@ -14,6 +14,8 @@
 //! * [`core`] — the Sia policy itself (ILP objective, restart factor, placer).
 //! * [`baselines`] — Pollux, Gavel, Shockwave and Themis reimplementations.
 //! * [`metrics`] — JCT/makespan/GPU-hour/finish-time-fairness metrics.
+//! * [`events`] — the deterministic discrete-event kernel under the
+//!   simulator's event-driven engine.
 //! * [`telemetry`] — span timers, counters/gauges/histograms, JSONL sink.
 //!
 //! # Examples
@@ -25,6 +27,7 @@
 pub use sia_baselines as baselines;
 pub use sia_cluster as cluster;
 pub use sia_core as core;
+pub use sia_events as events;
 pub use sia_metrics as metrics;
 pub use sia_models as models;
 pub use sia_sim as sim;

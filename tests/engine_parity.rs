@@ -1,0 +1,158 @@
+//! Round engine vs event engine parity.
+//!
+//! The event-driven engine replays the round engine's RNG draw order from
+//! an identically-seeded stream, so with failure injection off the two are
+//! bit-identical — not merely statistically close. These tests pin that
+//! guarantee across the Sia policy and two baselines on the
+//! `quick_compare` configuration (hetero-64 cluster, Philly trace), plus
+//! the physical-cluster noise profile.
+
+use sia::baselines::{GavelPolicy, PolluxPolicy};
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::sim::{EngineKind, Scheduler, SimConfig, SimResult, Simulator};
+use sia::workloads::{Trace, TraceConfig, TraceKind};
+
+/// The quick_compare workload, shortened for debug-mode test budgets.
+fn quick_trace(seed: u64) -> Trace {
+    let mut t = Trace::generate(&TraceConfig::new(TraceKind::Philly, seed).with_max_gpus_cap(16));
+    t.jobs.truncate(24);
+    for j in &mut t.jobs {
+        j.work_target *= 0.05;
+    }
+    t
+}
+
+fn run_both(
+    make: &dyn Fn() -> Box<dyn Scheduler>,
+    trace: &Trace,
+    cfg: &SimConfig,
+) -> (SimResult, SimResult) {
+    let spec = ClusterSpec::heterogeneous_64();
+    let round = Simulator::new(
+        spec.clone(),
+        trace,
+        SimConfig {
+            engine: EngineKind::Round,
+            ..cfg.clone()
+        },
+    )
+    .run(make().as_mut());
+    let events = Simulator::new(
+        spec,
+        trace,
+        SimConfig {
+            engine: EngineKind::Events,
+            ..cfg.clone()
+        },
+    )
+    .run(make().as_mut());
+    (round, events)
+}
+
+/// Exact per-job parity: identical completion times, GPU-time accounting
+/// and restart counts, job by job.
+fn assert_bit_parity(round: &SimResult, events: &SimResult) {
+    assert_eq!(round.records.len(), events.records.len(), "admission count");
+    assert_eq!(round.unfinished, events.unfinished);
+    assert_eq!(round.makespan, events.makespan, "makespan");
+    for (r, e) in round.records.iter().zip(&events.records) {
+        assert_eq!(r.id, e.id, "record order");
+        assert_eq!(r.finish_time, e.finish_time, "job {} finish", r.id);
+        assert_eq!(r.first_start, e.first_start, "job {} start", r.id);
+        assert_eq!(r.gpu_seconds, e.gpu_seconds, "job {} gpu-seconds", r.id);
+        assert_eq!(r.restarts, e.restarts, "job {} restarts", r.id);
+        assert_eq!(r.failures, e.failures, "job {} failures", r.id);
+        assert_eq!(r.work_done, e.work_done, "job {} work", r.id);
+    }
+    // Scheduling decisions must also match round-for-round. The event
+    // engine fast-forwards over rounds with no active jobs (its documented
+    // divergence), so compare against the round engine's non-empty rounds.
+    let busy: Vec<_> = round.rounds.iter().filter(|r| r.active_jobs > 0).collect();
+    assert_eq!(busy.len(), events.rounds.len(), "busy round count");
+    for (a, b) in busy.iter().zip(&events.rounds) {
+        assert_eq!(a.time, b.time, "round time");
+        assert_eq!(a.active_jobs, b.active_jobs, "active at t={}", a.time);
+        assert_eq!(a.allocations, b.allocations, "allocations at t={}", a.time);
+    }
+}
+
+#[test]
+fn sia_engines_bit_identical() {
+    let trace = quick_trace(1);
+    let cfg = SimConfig {
+        seed: 1,
+        ..SimConfig::default()
+    };
+    let (round, events) = run_both(&|| Box::new(SiaPolicy::default()), &trace, &cfg);
+    assert_eq!(round.unfinished, 0, "workload must complete");
+    assert_bit_parity(&round, &events);
+}
+
+#[test]
+fn baselines_engines_bit_identical() {
+    let trace = quick_trace(1);
+    let cfg = SimConfig {
+        seed: 1,
+        ..SimConfig::default()
+    };
+    let (round, events) = run_both(&|| Box::new(PolluxPolicy::default()), &trace, &cfg);
+    assert_bit_parity(&round, &events);
+    let (round, events) = run_both(&|| Box::new(GavelPolicy::default()), &trace, &cfg);
+    assert_bit_parity(&round, &events);
+}
+
+#[test]
+fn physical_noise_profile_bit_identical() {
+    // All three noise sources active (measurement, execution, restart
+    // jitter) — the widest RNG draw surface.
+    let trace = quick_trace(2);
+    let cfg = SimConfig::physical(9);
+    let (round, events) = run_both(&|| Box::new(SiaPolicy::default()), &trace, &cfg);
+    assert_bit_parity(&round, &events);
+}
+
+#[test]
+fn horizon_truncation_matches() {
+    // Jobs left running at the horizon: both engines must admit the same
+    // set and leave identical partial progress.
+    let mut trace = quick_trace(3);
+    for j in &mut trace.jobs {
+        j.work_target *= 400.0;
+    }
+    let cfg = SimConfig {
+        seed: 3,
+        max_hours: 0.5,
+        ..SimConfig::default()
+    };
+    let (round, events) = run_both(&|| Box::new(SiaPolicy::default()), &trace, &cfg);
+    assert!(round.unfinished > 0, "horizon must truncate the workload");
+    assert_bit_parity(&round, &events);
+}
+
+#[test]
+fn failure_injection_stays_on_summary_parity() {
+    // With failures on the engines model different processes (per-round
+    // Poisson counts vs exact-time exponential arrivals), so only summary
+    // statistics are comparable: both must observe failures, and outcomes
+    // must remain in the same regime.
+    let trace = quick_trace(4);
+    let cfg = SimConfig {
+        seed: 4,
+        failure_rate_per_gpu_hour: 1.0,
+        ..SimConfig::default()
+    };
+    let (round, events) = run_both(&|| Box::new(SiaPolicy::default()), &trace, &cfg);
+    let failures = |r: &SimResult| r.records.iter().map(|j| u64::from(j.failures)).sum::<u64>();
+    assert!(failures(&round) > 0, "round engine saw no failures");
+    assert!(failures(&events) > 0, "event engine saw no failures");
+    let avg = |r: &SimResult| {
+        let jcts: Vec<f64> = r.records.iter().filter_map(|j| j.jct()).collect();
+        jcts.iter().sum::<f64>() / jcts.len().max(1) as f64
+    };
+    let (a, b) = (avg(&round), avg(&events));
+    assert!(
+        (a - b).abs() <= 0.5 * a.max(b),
+        "failure-regime JCTs diverged: round {a} vs events {b}"
+    );
+}
