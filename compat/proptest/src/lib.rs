@@ -1,7 +1,8 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset of the proptest surface this workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range
+//! tests use: the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range
 //! and tuple strategies, `collection::vec`, `Just`, `prop_oneof!`, the
 //! `proptest!` test macro and the `prop_assert*` assertion macros.
 //!

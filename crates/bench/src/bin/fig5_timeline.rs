@@ -1,21 +1,24 @@
 //! Figure 5: per-job allocation timelines under Sia on the physical-testbed
-//! setting.
+//! setting, derived from the flight-recorder stream.
 //!
 //! Tracks three jobs of different models (ResNet50/ImageNet-class, a
 //! CIFAR-class ResNet18, and a DeepSpeech2 job) through a Sia run, printing
-//! `(time, GPU type, #GPUs)` whenever an allocation changes, plus the
-//! active-job count. Expected shape: Sia scales jobs down / moves them to
-//! slower GPUs as congestion rises, and back up as it drains.
+//! `(time, GPU type, #GPUs, reason)` for every `alloc` record in the trace,
+//! plus the active-job count. Expected shape: Sia scales jobs down / moves
+//! them to slower GPUs as congestion rises, and back up as it drains — and
+//! the recorder's decision reasons say which transition was which.
 
 use sia_bench::{run_one, write_json, Policy};
 use sia_cluster::ClusterSpec;
 use sia_sim::SimConfig;
+use sia_telemetry::TraceEvent;
 use sia_workloads::{ModelKind, Trace, TraceConfig, TraceKind};
 
 fn main() {
     let cluster = ClusterSpec::physical_44();
     let trace = Trace::generate(&TraceConfig::new(TraceKind::Physical, 11));
     let result = run_one(Policy::Sia, &cluster, &trace, SimConfig::default(), 11);
+    let gpu_types = result.trace.gpu_types();
 
     // Pick one job of each target model (the longest-running of each kind).
     let mut picks = Vec::new();
@@ -31,7 +34,7 @@ fn main() {
             .max_by(|a, b| {
                 let ja = a.jct().unwrap_or(0.0);
                 let jb = b.jct().unwrap_or(0.0);
-                ja.partial_cmp(&jb).unwrap()
+                ja.total_cmp(&jb)
             })
         {
             picks.push(rec.id);
@@ -46,32 +49,38 @@ fn main() {
             rec.name,
             rec.model.name()
         );
-        let mut last: Option<(usize, usize)> = None;
         let mut events = Vec::new();
-        for round in &result.rounds {
-            let alloc = round
-                .allocations
-                .iter()
-                .find(|(j, _, _)| j == id)
-                .map(|&(_, t, g)| (t.0, g));
-            if alloc != last {
-                let (t_name, gpus) = match alloc {
-                    Some((t, g)) => (cluster.kinds()[t].name.clone(), g),
-                    None => ("-".into(), 0),
-                };
-                println!(
-                    "  t={:>7.1} min  {:>5} x {}",
-                    round.time / 60.0,
-                    gpus,
-                    t_name
-                );
-                events.push(serde_json::json!({
-                    "time_s": round.time,
-                    "gpu_type": t_name,
-                    "gpus": gpus,
-                }));
-                last = alloc;
+        for r in &result.trace.records {
+            let TraceEvent::AllocationChanged {
+                job,
+                gpu_type,
+                gpus,
+                reason,
+                ..
+            } = &r.ev
+            else {
+                continue;
+            };
+            if *job != id.0 {
+                continue;
             }
+            let t_name = gpu_type
+                .and_then(|t| gpu_types.get(t))
+                .map(String::as_str)
+                .unwrap_or("-");
+            println!(
+                "  t={:>7.1} min  {:>5} x {:<6} ({})",
+                r.t / 60.0,
+                gpus,
+                t_name,
+                reason.label()
+            );
+            events.push(serde_json::json!({
+                "time_s": r.t,
+                "gpu_type": t_name,
+                "gpus": *gpus as u64,
+                "reason": reason.label(),
+            }));
         }
         payload.insert(rec.name.clone(), serde_json::json!(events));
     }

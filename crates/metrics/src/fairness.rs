@@ -137,6 +137,7 @@ mod tests {
             }],
             makespan: 100.0,
             unfinished: 0,
+            trace: Default::default(),
         }
     }
 

@@ -219,6 +219,7 @@ mod tests {
             }],
             makespan: 7200.0,
             unfinished,
+            trace: Default::default(),
         }
     }
 
@@ -330,6 +331,7 @@ mod util_tests {
             rounds,
             makespan: 0.0,
             unfinished: 0,
+            trace: Default::default(),
         }
     }
 

@@ -1,21 +1,23 @@
 //! The round-based discrete-time simulation engine.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sia_cluster::{ClusterSpec, FreeGpus, Placement};
+use sia_cluster::{ClusterSpec, FreeGpus, GpuTypeId, JobId, Placement};
 use sia_models::{
     default_sync_prior, optimize_goodput, AllocShape, BatchLimits, FitSample, JobEstimator,
     Observation, ProfilingMode,
 };
+use sia_telemetry::{AllocReason, FlightRecorder, FlightTrace, TraceEvent};
 use sia_workloads::zoo::TrueModel;
 use sia_workloads::{Adaptivity, JobSpec, Trace};
 
 use crate::result::{JobRecord, RoundLog, SimResult};
-use crate::scheduler::{JobView, Scheduler};
+use crate::scheduler::{AllocationMap, JobView, Scheduler};
 
 /// Which simulation engine executes the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,6 +69,16 @@ pub struct SimConfig {
     /// On failure a job falls back to its last epoch checkpoint and pays a
     /// checkpoint-restore delay.
     pub failure_rate_per_gpu_hour: f64,
+    /// Flight-recorder ring capacity: at most this many lifecycle events are
+    /// kept in memory per run (oldest evicted first, evictions counted in
+    /// `SimResult::trace.dropped`). Recording is always on; the default is
+    /// plenty for any bench scenario in this repo.
+    pub trace_capacity: usize,
+    /// Optional full-fidelity JSONL spill for the flight recorder: every
+    /// event is appended to this file regardless of the ring bound. The
+    /// spill is flushed on drop, so even a panicking run leaves complete
+    /// lines behind.
+    pub trace_spill: Option<PathBuf>,
 }
 
 impl Default for SimConfig {
@@ -81,6 +93,8 @@ impl Default for SimConfig {
             max_hours: 400.0,
             profiling_gpu_seconds: 20.0,
             failure_rate_per_gpu_hour: 0.0,
+            trace_capacity: 65_536,
+            trace_spill: None,
         }
     }
 }
@@ -194,6 +208,7 @@ impl Simulator {
         let mut rounds: Vec<RoundLog> = Vec::new();
         let mut now = 0.0_f64;
         let mut makespan = 0.0_f64;
+        let mut rec = self.make_recorder(round);
 
         // Telemetry handles hoisted out of the round loop: registry lookups
         // happen once per run, the loop itself only touches atomics.
@@ -208,7 +223,7 @@ impl Simulator {
             // Admit newly submitted jobs.
             while next_submit < self.trace.len() && self.trace[next_submit].submit_time <= now {
                 let spec = self.trace[next_submit].clone();
-                let state = self.admit(&spec, &mut rng);
+                let state = self.admit(&spec, &mut rng, &mut rec);
                 jobs.push(state);
                 next_submit += 1;
             }
@@ -237,66 +252,40 @@ impl Simulator {
                 (map, sched.round_stats())
             };
 
-            // Validate and apply placements.
-            let apply_span = sia_telemetry::span("engine.apply");
-            let mut free = FreeGpus::all_free(&self.spec);
+            // Validate and apply placements (the shared apply loop).
             let contention = active.len();
-            let mut round_allocs = Vec::new();
-            let mut round_restarts = 0u64;
-            let mut round_churn = 0u64;
-            for &i in &active {
-                let job = &mut jobs[i];
-                let new = alloc_map
-                    .get(&job.spec.id)
-                    .cloned()
-                    .unwrap_or_else(Placement::empty);
-                if !new.is_empty() {
-                    debug_assert!(
-                        new.is_single_type(&self.spec),
-                        "scheduler placed {} on mixed GPU types",
-                        job.spec.id
-                    );
-                    free.take(&new); // panics on over-commit: scheduler bug
-                }
-                if new != job.placement {
-                    round_churn += 1;
-                    if !job.placement.is_empty() {
-                        job.restarts += 1;
-                        round_restarts += 1;
-                    }
-                    if !new.is_empty() {
-                        let jitter = 1.0 + self.cfg.restart_jitter * symmetric(&mut rng);
-                        job.restart_remaining = job.truth.restart_delay * jitter.max(0.1);
-                        if job.first_start.is_none() {
-                            job.first_start = Some(now);
-                        }
-                    }
-                    job.placement = new;
-                }
-                if !job.placement.is_empty() {
-                    let t = job.placement.gpu_type(&self.spec);
-                    round_allocs.push((job.spec.id, t, job.placement.total_gpus()));
-                }
-                job.contention_sum += contention as f64;
-                job.contention_rounds += 1;
-            }
-            drop(apply_span);
-            // Deterministic log order: golden files and cross-platform diffs
-            // must not depend on how the map handed out allocations.
-            round_allocs.sort_unstable_by_key(|&(id, _, _)| id);
+            let applied = apply_allocations(
+                self,
+                &mut jobs,
+                &active,
+                &alloc_map,
+                now,
+                is_fallback(&solver_stats),
+                &mut rng,
+                &mut rec,
+            );
             let policy_runtime = round_t0.elapsed().as_secs_f64();
+            if !active.is_empty() {
+                rec.record(
+                    now,
+                    TraceEvent::RoundScheduled {
+                        contention,
+                        policy_runtime,
+                    },
+                );
+            }
 
             ctr_rounds.incr();
-            ctr_restarts.add(round_restarts);
-            ctr_churn.add(round_churn);
+            ctr_restarts.add(applied.restarts);
+            ctr_churn.add(applied.churn);
             gauge_active.set(active.len() as f64);
-            gauge_queue.set((contention - round_allocs.len()) as f64);
+            gauge_queue.set((contention - applied.allocations.len()) as f64);
 
             rounds.push(RoundLog {
                 time: now,
                 active_jobs: active.len(),
                 contention,
-                allocations: round_allocs,
+                allocations: applied.allocations,
                 policy_runtime,
                 solver_stats,
             });
@@ -326,6 +315,13 @@ impl Simulator {
                         job.restart_remaining = (job.restart_remaining
                             + k as f64 * job.truth.restart_delay)
                             .min(4.0 * round);
+                        rec.record(
+                            now,
+                            TraceEvent::JobFailed {
+                                job: job.spec.id.0,
+                                count: k,
+                            },
+                        );
                     }
                 }
                 let paid_restart = job.restart_remaining.min(round);
@@ -346,6 +342,19 @@ impl Simulator {
                             job.work_done = job.spec.work_target;
                             consumed = paid_restart + dt;
                             makespan = makespan.max(finish);
+                            // Stamped with the exact completion instant,
+                            // matching the event engine's Completion event.
+                            rec.record(finish, TraceEvent::JobCompleted { job: job.spec.id.0 });
+                            rec.record(
+                                finish,
+                                TraceEvent::AllocationChanged {
+                                    job: job.spec.id.0,
+                                    gpu_type: None,
+                                    gpus: 0,
+                                    reason: AllocReason::Completed,
+                                    restart: false,
+                                },
+                            );
                         } else {
                             job.work_done += jittered * usable;
                             job.advance_checkpoint();
@@ -353,6 +362,14 @@ impl Simulator {
                         // Executor report (throttled to one per round).
                         self.executor_report(job, gpus, gpu_type, &point, &mut rng);
                     }
+                }
+                if paid_restart > 0.0 && usable > 0.0 {
+                    // The restore ends mid-round; the event engine fires a
+                    // RestartDone event at the same instant.
+                    rec.record(
+                        now + paid_restart,
+                        TraceEvent::RestartFinished { job: job.spec.id.0 },
+                    );
                 }
                 job.gpu_seconds += gpus as f64 * consumed;
                 if job.finished() {
@@ -365,12 +382,59 @@ impl Simulator {
             now += round;
         }
 
-        assemble_result(sched.name(), &jobs, rounds, makespan)
+        assemble_result(sched.name(), &jobs, rounds, makespan, rec.into_trace())
+    }
+
+    /// Opens this run's flight recorder (ring bound and spill per config)
+    /// and stamps the stream header. Shared by both engines.
+    pub(crate) fn make_recorder(&self, round: f64) -> FlightRecorder {
+        let mut rec = match &self.cfg.trace_spill {
+            Some(path) => {
+                FlightRecorder::with_spill(self.cfg.trace_capacity, path).unwrap_or_else(|e| {
+                    eprintln!(
+                        "warning: cannot open trace spill {}: {e}; recording in memory only",
+                        path.display()
+                    );
+                    FlightRecorder::new(self.cfg.trace_capacity)
+                })
+            }
+            None => FlightRecorder::new(self.cfg.trace_capacity),
+        };
+        rec.record(
+            0.0,
+            TraceEvent::Meta {
+                gpu_types: self
+                    .spec
+                    .gpu_types()
+                    .map(|t| self.spec.kind(t).name.clone())
+                    .collect(),
+                round_duration: round,
+            },
+        );
+        rec
     }
 
     /// Builds a job's initial state (estimator per profiling mode, charging
-    /// any profiling overhead).
-    pub(crate) fn admit(&self, spec: &JobSpec, rng: &mut ChaCha8Rng) -> JobState {
+    /// any profiling overhead). Emits the job's `submitted`/`admitted`
+    /// records stamped with the submission instant — both engines call this
+    /// exactly once per job, so the stream carries identical admission
+    /// records even though the round engine admits at round boundaries.
+    pub(crate) fn admit(
+        &self,
+        spec: &JobSpec,
+        rng: &mut ChaCha8Rng,
+        rec: &mut FlightRecorder,
+    ) -> JobState {
+        let t_submit = spec.submit_time.max(0.0);
+        rec.record(
+            t_submit,
+            TraceEvent::JobSubmitted {
+                job: spec.id.0,
+                name: spec.name.clone(),
+                model: spec.model.name().to_string(),
+            },
+        );
+        rec.record(t_submit, TraceEvent::JobAdmitted { job: spec.id.0 });
         let truth = spec.model.profile().true_model(&self.spec);
         let limits = batch_limits_of(spec);
         let eff_prior = truth.eff0;
@@ -501,6 +565,139 @@ impl Simulator {
     }
 }
 
+/// What one round's validate/apply pass produced.
+pub(crate) struct RoundApply {
+    /// Per-job allocations after the round, sorted by job id.
+    pub(crate) allocations: Vec<(JobId, GpuTypeId, usize)>,
+    /// Jobs whose running placement was replaced (restart count delta).
+    pub(crate) restarts: u64,
+    /// Jobs whose placement changed at all.
+    pub(crate) churn: u64,
+    /// Indices (into `jobs`) of the changed jobs, in apply order — the
+    /// event engine re-arms per-placement failure processes from this.
+    pub(crate) changed: Vec<usize>,
+}
+
+/// Validates and applies one round of placements: the single shared apply
+/// loop of both engines. Consumes engine-stream RNG draws (restart jitter)
+/// in exactly the legacy order and emits the round's `alloc` /
+/// `restart_started` flight-recorder records, so the two engines cannot
+/// drift apart in either RNG sequence or trace content.
+///
+/// `fallback` tags this round's allocation changes as decided by a
+/// fallback heuristic (`ilp-infeasible-fallback`) rather than the policy's
+/// primary solve.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_allocations(
+    sim: &Simulator,
+    jobs: &mut [JobState],
+    active: &[usize],
+    alloc_map: &AllocationMap,
+    now: f64,
+    fallback: bool,
+    rng: &mut ChaCha8Rng,
+    rec: &mut FlightRecorder,
+) -> RoundApply {
+    let apply_span = sia_telemetry::span("engine.apply");
+    let mut free = FreeGpus::all_free(&sim.spec);
+    let contention = active.len();
+    let mut out = RoundApply {
+        allocations: Vec::new(),
+        restarts: 0,
+        churn: 0,
+        changed: Vec::new(),
+    };
+    for &i in active {
+        let job = &mut jobs[i];
+        let new = alloc_map
+            .get(&job.spec.id)
+            .cloned()
+            .unwrap_or_else(Placement::empty);
+        if !new.is_empty() {
+            debug_assert!(
+                new.is_single_type(&sim.spec),
+                "scheduler placed {} on mixed GPU types",
+                job.spec.id
+            );
+            free.take(&new); // panics on over-commit: scheduler bug
+        }
+        if new != job.placement {
+            out.churn += 1;
+            out.changed.push(i);
+            let restart = !job.placement.is_empty();
+            if restart {
+                job.restarts += 1;
+                out.restarts += 1;
+            }
+            let reason = if fallback {
+                AllocReason::IlpInfeasibleFallback
+            } else if new.is_empty() {
+                AllocReason::Preempted
+            } else if job.placement.is_empty() {
+                AllocReason::Started
+            } else if new.gpu_type(&sim.spec) != job.placement.gpu_type(&sim.spec) {
+                AllocReason::Migrated
+            } else if new.total_gpus() > job.placement.total_gpus() {
+                AllocReason::ScaledUp
+            } else if new.total_gpus() < job.placement.total_gpus() {
+                AllocReason::ScaledDown
+            } else {
+                // Same type, same size, different nodes: a migration.
+                AllocReason::Migrated
+            };
+            rec.record(
+                now,
+                TraceEvent::AllocationChanged {
+                    job: job.spec.id.0,
+                    gpu_type: (!new.is_empty()).then(|| new.gpu_type(&sim.spec).0),
+                    gpus: new.total_gpus(),
+                    reason,
+                    restart,
+                },
+            );
+            if !new.is_empty() {
+                let jitter = 1.0 + sim.cfg.restart_jitter * symmetric(rng);
+                job.restart_remaining = job.truth.restart_delay * jitter.max(0.1);
+                // Every (re)placement pays a checkpoint restore, including
+                // the cold start — the engine charges it identically.
+                rec.record(
+                    now,
+                    TraceEvent::RestartStarted {
+                        job: job.spec.id.0,
+                        checkpoint_cost: job.restart_remaining,
+                    },
+                );
+                if job.first_start.is_none() {
+                    job.first_start = Some(now);
+                }
+            }
+            job.placement = new;
+        }
+        if !job.placement.is_empty() {
+            let t = job.placement.gpu_type(&sim.spec);
+            out.allocations
+                .push((job.spec.id, t, job.placement.total_gpus()));
+        }
+        job.contention_sum += contention as f64;
+        job.contention_rounds += 1;
+    }
+    drop(apply_span);
+    // Deterministic log order: golden files and cross-platform diffs must
+    // not depend on how the map handed out allocations.
+    out.allocations.sort_unstable_by_key(|&(id, _, _)| id);
+    out
+}
+
+/// Whether this round's solve fell back past the exact ILP (its allocation
+/// changes are then tagged `ilp-infeasible-fallback` in the trace).
+pub(crate) fn is_fallback(stats: &Option<crate::result::SolverStats>) -> bool {
+    matches!(
+        stats.as_ref().map(|s| s.outcome),
+        Some(crate::result::SolveOutcome::LagrangianFallback)
+            | Some(crate::result::SolveOutcome::GreedyFallback)
+    )
+}
+
 /// Builds the final [`SimResult`] from terminal per-job state (shared by
 /// both engines so record fields cannot drift apart).
 pub(crate) fn assemble_result(
@@ -508,6 +705,7 @@ pub(crate) fn assemble_result(
     jobs: &[JobState],
     rounds: Vec<RoundLog>,
     makespan: f64,
+    trace: FlightTrace,
 ) -> SimResult {
     let mut unfinished = 0usize;
     let records: Vec<JobRecord> = jobs
@@ -545,6 +743,7 @@ pub(crate) fn assemble_result(
         rounds,
         makespan,
         unfinished,
+        trace,
     }
 }
 

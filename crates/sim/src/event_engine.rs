@@ -41,10 +41,13 @@
 
 use std::time::Instant;
 
-use sia_cluster::{FreeGpus, Placement};
+use sia_cluster::Placement;
 use sia_events::{exp_sample, EventId, EventPayload, Kernel};
+use sia_telemetry::{AllocReason, TraceEvent};
 
-use crate::engine::{assemble_result, symmetric, JobState, Simulator};
+use crate::engine::{
+    apply_allocations, assemble_result, is_fallback, symmetric, JobState, Simulator,
+};
 use crate::result::{RoundLog, SimResult};
 use crate::scheduler::{JobView, Scheduler};
 
@@ -125,6 +128,7 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
     let mut aux: Vec<Aux> = Vec::new();
     let mut rounds: Vec<RoundLog> = Vec::new();
     let mut makespan = 0.0_f64;
+    let mut rec = sim.make_recorder(round);
     // Pending round timer; `None` means dormant (re-armed by arrivals and
     // by failures that revive an otherwise-completing job).
     let mut timer: Option<EventId> = None;
@@ -149,7 +153,7 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
         match ev.payload {
             Ev::Arrival { trace_idx } => {
                 let spec = &sim.trace[trace_idx];
-                let state = sim.admit(spec, kernel.rng("engine"));
+                let state = sim.admit(spec, kernel.rng("engine"), &mut rec);
                 jobs.push(state);
                 aux.push(Aux::default());
                 if timer.is_none() {
@@ -166,6 +170,17 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
                 j.finish_time = Some(now);
                 j.placement = Placement::empty();
                 makespan = makespan.max(now);
+                rec.record(now, TraceEvent::JobCompleted { job: j.spec.id.0 });
+                rec.record(
+                    now,
+                    TraceEvent::AllocationChanged {
+                        job: j.spec.id.0,
+                        gpu_type: None,
+                        gpus: 0,
+                        reason: AllocReason::Completed,
+                        restart: false,
+                    },
+                );
             }
 
             Ev::Failure { job } => {
@@ -178,6 +193,13 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
                 let j = &mut jobs[job];
                 j.failures += 1;
                 ctr_failures.incr();
+                rec.record(
+                    now,
+                    TraceEvent::JobFailed {
+                        job: j.spec.id.0,
+                        count: 1,
+                    },
+                );
                 let gpus = j.placement.total_gpus();
                 if let Some(c) = aux[job].completion.take() {
                     // The failure pre-empts the scheduled finish: the job
@@ -208,6 +230,12 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
             Ev::RestartDone { job } => {
                 // Completions land strictly after the restore they paid for.
                 debug_assert!(!jobs[job].finished(), "restart ended after finish");
+                rec.record(
+                    now,
+                    TraceEvent::RestartFinished {
+                        job: jobs[job].spec.id.0,
+                    },
+                );
             }
 
             Ev::RoundTimer => {
@@ -231,82 +259,62 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
                     (map, sched.round_stats())
                 };
 
-                // Validate and apply placements.
-                let apply_span = sia_telemetry::span("engine.apply");
-                let mut free = FreeGpus::all_free(&sim.spec);
+                // Validate and apply placements (the shared apply loop; it
+                // draws restart jitter from the engine stream in the legacy
+                // order and emits the round's alloc trace records).
                 let contention = active.len();
-                let mut round_allocs = Vec::new();
-                let mut round_restarts = 0u64;
-                let mut round_churn = 0u64;
-                for &i in &active {
-                    let new = alloc_map
-                        .get(&jobs[i].spec.id)
-                        .cloned()
-                        .unwrap_or_else(Placement::empty);
-                    if !new.is_empty() {
-                        debug_assert!(
-                            new.is_single_type(&sim.spec),
-                            "scheduler placed {} on mixed GPU types",
-                            jobs[i].spec.id
-                        );
-                        free.take(&new); // panics on over-commit: scheduler bug
-                    }
-                    if new != jobs[i].placement {
-                        round_churn += 1;
+                let applied = apply_allocations(
+                    sim,
+                    &mut jobs,
+                    &active,
+                    &alloc_map,
+                    now,
+                    is_fallback(&solver_stats),
+                    kernel.rng("engine"),
+                    &mut rec,
+                );
+                // The failure process is per-placement: reset it for every
+                // changed job. This runs after the apply loop (the helper
+                // has no kernel access), which is draw-order-safe because
+                // failures sample from their own "failure" stream — the
+                // stream's internal sequence is unchanged.
+                if sim.cfg.failure_rate_per_gpu_hour > 0.0 {
+                    for &i in &applied.changed {
+                        if let Some(f) = aux[i].failure.take() {
+                            kernel.cancel(f);
+                        }
                         if !jobs[i].placement.is_empty() {
-                            jobs[i].restarts += 1;
-                            round_restarts += 1;
-                        }
-                        if !new.is_empty() {
-                            let jitter =
-                                1.0 + sim.cfg.restart_jitter * symmetric(kernel.rng("engine"));
-                            jobs[i].restart_remaining =
-                                jobs[i].truth.restart_delay * jitter.max(0.1);
-                            if jobs[i].first_start.is_none() {
-                                jobs[i].first_start = Some(now);
-                            }
-                        }
-                        jobs[i].placement = new;
-                        // The failure process is per-placement: reset it.
-                        if sim.cfg.failure_rate_per_gpu_hour > 0.0 {
-                            if let Some(f) = aux[i].failure.take() {
-                                kernel.cancel(f);
-                            }
-                            if !jobs[i].placement.is_empty() {
-                                let lambda = sim.cfg.failure_rate_per_gpu_hour
-                                    * jobs[i].placement.total_gpus() as f64
-                                    / 3600.0;
-                                let gap = exp_sample(kernel.rng("failure"), lambda);
-                                if gap.is_finite() {
-                                    aux[i].failure =
-                                        Some(kernel.schedule_in(gap, Ev::Failure { job: i }));
-                                }
+                            let lambda = sim.cfg.failure_rate_per_gpu_hour
+                                * jobs[i].placement.total_gpus() as f64
+                                / 3600.0;
+                            let gap = exp_sample(kernel.rng("failure"), lambda);
+                            if gap.is_finite() {
+                                aux[i].failure =
+                                    Some(kernel.schedule_in(gap, Ev::Failure { job: i }));
                             }
                         }
                     }
-                    if !jobs[i].placement.is_empty() {
-                        let t = jobs[i].placement.gpu_type(&sim.spec);
-                        round_allocs.push((jobs[i].spec.id, t, jobs[i].placement.total_gpus()));
-                    }
-                    jobs[i].contention_sum += contention as f64;
-                    jobs[i].contention_rounds += 1;
                 }
-                drop(apply_span);
-                // Deterministic log order (matches the round engine).
-                round_allocs.sort_unstable_by_key(|&(id, _, _)| id);
                 let policy_runtime = round_t0.elapsed().as_secs_f64();
+                rec.record(
+                    now,
+                    TraceEvent::RoundScheduled {
+                        contention,
+                        policy_runtime,
+                    },
+                );
 
                 ctr_rounds.incr();
-                ctr_restarts.add(round_restarts);
-                ctr_churn.add(round_churn);
+                ctr_restarts.add(applied.restarts);
+                ctr_churn.add(applied.churn);
                 gauge_active.set(active.len() as f64);
-                gauge_queue.set((contention - round_allocs.len()) as f64);
+                gauge_queue.set((contention - applied.allocations.len()) as f64);
 
                 rounds.push(RoundLog {
                     time: now,
                     active_jobs: active.len(),
                     contention,
-                    allocations: round_allocs,
+                    allocations: applied.allocations,
                     policy_runtime,
                     solver_stats,
                 });
@@ -388,5 +396,5 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
         }
     }
 
-    assemble_result(sched.name(), &jobs, rounds, makespan)
+    assemble_result(sched.name(), &jobs, rounds, makespan, rec.into_trace())
 }

@@ -1,6 +1,7 @@
 //! Simulation outputs: per-job records and per-round logs.
 
 use sia_cluster::{GpuTypeId, JobId};
+use sia_telemetry::FlightTrace;
 use sia_workloads::{ModelKind, SizeCategory};
 
 /// Outcome of one job.
@@ -144,6 +145,10 @@ pub struct SimResult {
     pub makespan: f64,
     /// Number of jobs still unfinished at the horizon.
     pub unfinished: usize,
+    /// The flight-recorder stream of this run: typed per-job lifecycle
+    /// events in simulated time (bounded by `SimConfig::trace_capacity`;
+    /// `trace.dropped` counts ring evictions).
+    pub trace: FlightTrace,
 }
 
 impl SimResult {
@@ -175,7 +180,10 @@ impl SimResult {
         if v.is_empty() {
             return 0.0;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN runtime (e.g.
+        // from a corrupted log) must not panic summary assembly. NaN sorts
+        // last under the IEEE total order.
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     }
 }
@@ -248,6 +256,7 @@ mod tests {
             ],
             makespan: 300.0,
             unfinished: 0,
+            trace: FlightTrace::default(),
         };
         assert!((result.avg_jct() - 200.0).abs() < 1e-9);
         assert!((result.total_gpu_hours() - 2.0).abs() < 1e-9);
@@ -257,5 +266,32 @@ mod tests {
         assert!((stats.phase_total_s() - 0.004).abs() < 1e-12);
         assert!(stats.phase_total_s() <= result.rounds[1].policy_runtime + 1e-12);
         assert_eq!(stats.outcome.label(), "optimal");
+    }
+
+    #[test]
+    fn median_policy_runtime_tolerates_nan() {
+        // Regression: the percentile sort used `partial_cmp(..).unwrap()`,
+        // which panics the moment any runtime sample is NaN.
+        let round = |rt: f64| RoundLog {
+            time: 0.0,
+            active_jobs: 1,
+            contention: 1,
+            allocations: vec![],
+            policy_runtime: rt,
+            solver_stats: None,
+        };
+        let result = SimResult {
+            scheduler: "test",
+            records: vec![],
+            rounds: vec![round(0.002), round(f64::NAN), round(0.001)],
+            makespan: 0.0,
+            unfinished: 0,
+            trace: FlightTrace::default(),
+        };
+        let median = result.median_policy_runtime();
+        assert!(
+            (median - 0.002).abs() < 1e-12,
+            "NaN must sort last, not panic; got {median}"
+        );
     }
 }

@@ -30,10 +30,15 @@
 mod metrics;
 mod sink;
 mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use sink::{disable, events_emitted, flush, init_jsonl, is_enabled, shutdown};
 pub use span::{span, SpanGuard};
+pub use trace::{
+    AllocReason, FlightRecord, FlightRecorder, FlightTrace, JobTraceStats, OccupancySample,
+    TraceEvent, TraceReport,
+};
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -264,5 +269,45 @@ mod tests {
         let after = events_emitted();
         counter("test.lib.rt_counter").add(1);
         assert_eq!(events_emitted(), after);
+    }
+
+    #[test]
+    fn panicked_run_leaves_parseable_jsonl() {
+        let _guard = test_support::sink_lock();
+        let path = std::env::temp_dir().join(format!(
+            "sia-telemetry-panic-test-{}.jsonl",
+            std::process::id()
+        ));
+        init_jsonl(&path).unwrap();
+
+        // Emit from a thread that dies mid-run. The panic hook installed by
+        // init_jsonl must flush the buffered writer, and the poisoned-lock
+        // recovery must keep the sink usable afterwards.
+        let handle = std::thread::spawn(|| {
+            counter("test.lib.panic_counter").add(3);
+            gauge("test.lib.panic_gauge").set(9.0);
+            panic!("simulated crash with events still buffered");
+        });
+        assert!(handle.join().is_err(), "the run must have panicked");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut kinds = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            let v: serde_json::Value =
+                serde_json::from_str(line).expect("every line must be whole after a panic");
+            kinds.insert(v.get("ev").and_then(|e| e.as_str()).unwrap().to_string());
+        }
+        assert!(kinds.contains("counter"), "flushed events must be present");
+        assert!(kinds.contains("gauge"));
+
+        // The sink still works after the panic (no poisoned-lock lockout).
+        counter("test.lib.panic_counter").add(1);
+        shutdown();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            text.lines().count() >= 3,
+            "post-panic events must still be recorded"
+        );
     }
 }

@@ -3,12 +3,18 @@
 //! Disabled by default: every emit helper starts with one relaxed atomic
 //! load and returns — the entire cost telemetry adds to un-instrumented
 //! runs. Enabling routes events through a buffered writer behind a mutex.
+//!
+//! Crash safety: the first `init_jsonl` installs a panic hook that flushes
+//! the sink, so a run that dies mid-simulation still leaves whole, parseable
+//! lines behind (the buffered writer would otherwise truncate mid-line).
+//! Every sink lock is poison-tolerant — a panic while holding the writer
+//! must not take telemetry down with it.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock};
 
 use crate::now_s;
 
@@ -21,11 +27,38 @@ fn writer() -> &'static Mutex<Option<BufWriter<File>>> {
     WRITER.get_or_init(|| Mutex::new(None))
 }
 
+/// Locks the writer, recovering from poisoning: the sink holds no invariant
+/// a panicked emitter could have broken mid-write (the worst case is one
+/// torn line, which parsers skip), so refusing all further telemetry after
+/// one panic would only destroy evidence.
+fn lock_writer() -> MutexGuard<'static, Option<BufWriter<File>>> {
+    match writer().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Installs (once) a panic hook that flushes the sink before unwinding
+/// continues, chained in front of the default hook.
+fn install_panic_flush() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(w) = lock_writer().as_mut() {
+                let _ = w.flush();
+            }
+            previous(info);
+        }));
+    });
+}
+
 /// Route events to a JSONL file at `path` (truncating it). Replaces any
 /// previous sink.
 pub fn init_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
     let file = File::create(path)?;
-    let mut guard = writer().lock().unwrap();
+    install_panic_flush();
+    let mut guard = lock_writer();
     if let Some(mut old) = guard.replace(BufWriter::new(file)) {
         let _ = old.flush();
     }
@@ -45,7 +78,7 @@ pub fn disable() {
 
 /// Flush buffered events to the sink file.
 pub fn flush() {
-    if let Some(w) = writer().lock().unwrap().as_mut() {
+    if let Some(w) = lock_writer().as_mut() {
         let _ = w.flush();
     }
 }
@@ -53,7 +86,7 @@ pub fn flush() {
 /// Disable the sink, flush, and close the file.
 pub fn shutdown() {
     ENABLED.store(false, Ordering::Release);
-    if let Some(mut w) = writer().lock().unwrap().take() {
+    if let Some(mut w) = lock_writer().take() {
         let _ = w.flush();
     }
 }
@@ -68,7 +101,7 @@ pub fn events_emitted() -> u64 {
 /// Append one event line. The sequence number is allocated under the writer
 /// lock so on-disk order always matches `seq` order.
 fn write_event(render: impl FnOnce(u64) -> String) {
-    let mut guard = writer().lock().unwrap();
+    let mut guard = lock_writer();
     if let Some(w) = guard.as_mut() {
         // Re-check under the lock so shutdown() can't race a straggler.
         if ENABLED.load(Ordering::Relaxed) {

@@ -5,12 +5,21 @@
 //!         [--policy sia|pollux|gavel|shockwave|themis] [--engine round|events]
 //!         [--seed N] [--rate JOBS_PER_HOUR]
 //!         [--profiling oracle|bootstrap|noprof] [--json]
-//!         [--telemetry-out PATH] [--quiet]
+//!         [--telemetry-out PATH] [--trace-out PATH] [--trace-format jsonl|chrome]
+//!         [--quiet]
+//! sia-cli trace-report FILE [--json] [--quiet]
 //! ```
 //!
 //! Runs one simulation and prints the summary (or JSON with `--json`).
 //! `--telemetry-out PATH` streams span/counter events as JSONL to PATH;
-//! `--quiet` suppresses the human-readable summary.
+//! `--trace-out PATH` writes the simulated-time flight-recorder stream —
+//! per-job lifecycle events — as JSONL (default) or as a Chrome trace-event
+//! document (`--trace-format chrome`, loadable in Perfetto). `--quiet`
+//! suppresses the human-readable summary.
+//!
+//! `sia-cli trace-report FILE` analyses a recorded JSONL stream: per-job
+//! queueing delay, restart count/overhead, allocation churn,
+//! time-on-each-GPU-type and the cluster occupancy series.
 
 use sia::baselines::{GavelPolicy, PolluxPolicy, ShockwavePolicy, ThemisPolicy};
 use sia::cluster::ClusterSpec;
@@ -18,6 +27,7 @@ use sia::core::SiaPolicy;
 use sia::metrics::{ftf_ratios, summarize, unfair_fraction, worst_ftf};
 use sia::models::ProfilingMode;
 use sia::sim::{EngineKind, Scheduler, SimConfig, Simulator};
+use sia::telemetry::FlightTrace;
 use sia::workloads::{Trace, TraceConfig, TraceKind};
 
 /// Options that take a value.
@@ -30,6 +40,8 @@ const VALUE_OPTS: &[&str] = &[
     "--rate",
     "--profiling",
     "--telemetry-out",
+    "--trace-out",
+    "--trace-format",
 ];
 /// Boolean flags.
 const FLAG_OPTS: &[&str] = &["--json", "--quiet", "--help", "-h"];
@@ -40,12 +52,6 @@ struct Args {
 }
 
 impl Args {
-    fn parse() -> Args {
-        Args {
-            argv: std::env::args().skip(1).collect(),
-        }
-    }
-
     /// Value of `--name VALUE`, if present.
     fn opt(&self, name: &str) -> Option<&str> {
         self.argv
@@ -81,7 +87,13 @@ impl Args {
 }
 
 fn main() {
-    let args = Args::parse();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommand dispatch: `sia-cli trace-report FILE [--json] [--quiet]`.
+    if raw.first().map(String::as_str) == Some("trace-report") {
+        trace_report(&raw[1..]);
+    }
+
+    let args = Args { argv: raw };
     if args.flag("--help") || args.flag("-h") {
         println!(
             "usage: sia-cli [--cluster hetero64|homog64|physical44] \
@@ -89,7 +101,9 @@ fn main() {
              [--policy sia|pollux|gavel|shockwave|themis] \
              [--engine round|events] [--seed N] \
              [--rate JOBS/HR] [--profiling oracle|bootstrap|noprof] [--json] \
-             [--telemetry-out PATH] [--quiet]"
+             [--telemetry-out PATH] [--trace-out PATH] \
+             [--trace-format jsonl|chrome] [--quiet]\n\
+             \x20      sia-cli trace-report FILE [--json] [--quiet]"
         );
         return;
     }
@@ -146,6 +160,29 @@ fn main() {
         }
     };
 
+    let trace_out = args.opt("--trace-out");
+    let trace_chrome = match args.opt("--trace-format").unwrap_or("jsonl") {
+        "jsonl" => false,
+        "chrome" => true,
+        other => {
+            eprintln!("unknown trace format {other} (expected jsonl or chrome)");
+            std::process::exit(2);
+        }
+    };
+    if args.opt("--trace-format").is_some() && trace_out.is_none() {
+        eprintln!("--trace-format requires --trace-out (see --help)");
+        std::process::exit(2);
+    }
+    if let Some(path) = trace_out {
+        // Fail fast on an unwritable path rather than discovering it after
+        // the run (jsonl spills open inside the engine; chrome exports
+        // write after the run).
+        if let Err(e) = std::fs::File::create(path) {
+            eprintln!("cannot open trace output {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+
     let profiling = match args.opt("--profiling").unwrap_or("bootstrap") {
         "oracle" => ProfilingMode::Oracle,
         "bootstrap" => ProfilingMode::Bootstrap,
@@ -168,17 +205,38 @@ fn main() {
         }
     };
 
-    let sim = Simulator::new(
-        cluster.clone(),
-        &trace,
-        SimConfig {
-            engine,
-            seed,
-            profiling_mode: profiling,
-            ..SimConfig::default()
-        },
-    );
+    let mut cfg = SimConfig {
+        engine,
+        seed,
+        profiling_mode: profiling,
+        ..SimConfig::default()
+    };
+    if let (Some(path), false) = (trace_out, trace_chrome) {
+        cfg.trace_spill = Some(path.into());
+    }
+    let sim = Simulator::new(cluster.clone(), &trace, cfg);
     let result = sim.run(sched.as_mut());
+
+    if let Some(path) = trace_out {
+        if trace_chrome {
+            if result.trace.dropped > 0 {
+                eprintln!(
+                    "warning: {} trace records evicted from the ring; chrome export is partial",
+                    result.trace.dropped
+                );
+            }
+            if let Err(e) = std::fs::write(path, result.trace.chrome_trace().to_string()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        if !args.flag("--quiet") {
+            eprintln!(
+                "trace written to {path} ({} format)",
+                if trace_chrome { "chrome" } else { "jsonl" }
+            );
+        }
+    }
     let s = summarize(&result);
     let ratios = ftf_ratios(&result, &cluster);
 
@@ -233,4 +291,162 @@ fn main() {
     }
 
     sia::telemetry::shutdown();
+}
+
+/// `sia-cli trace-report FILE [--json] [--quiet]`: analyse a recorded
+/// flight-recorder JSONL stream. Never returns.
+fn trace_report(argv: &[String]) -> ! {
+    const USAGE: &str = "usage: sia-cli trace-report FILE [--json] [--quiet]";
+    let mut file: Option<&str> = None;
+    let mut json = false;
+    let mut quiet = false;
+    for a in argv {
+        match a.as_str() {
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other),
+            other => {
+                eprintln!("unknown argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    if !quiet {
+        eprintln!("reading {file} ...");
+    }
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let trace = match FlightTrace::parse_jsonl(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !quiet {
+        eprintln!("parsed {} records", trace.records.len());
+    }
+    let report = trace.report();
+
+    if json {
+        let jobs: Vec<serde_json::Value> = report
+            .jobs
+            .iter()
+            .map(|j| {
+                let opt = |v: Option<f64>| match v {
+                    Some(x) => serde_json::json!(x),
+                    None => serde_json::Value::Null,
+                };
+                serde_json::json!({
+                    "job": j.job,
+                    "name": j.name.as_str(),
+                    "model": j.model.as_str(),
+                    "submitted_s": j.submitted,
+                    "queue_delay_s": opt(j.queue_delay()),
+                    "jct_s": opt(j.jct()),
+                    "restarts": j.restarts,
+                    "restart_overhead_s": j.restart_overhead_s,
+                    "alloc_changes": j.alloc_changes,
+                    "failures": j.failures,
+                    "seconds_by_type": j.seconds_by_type.clone(),
+                    "gpu_seconds_by_type": j.gpu_seconds_by_type.clone(),
+                })
+            })
+            .collect();
+        let occupancy: Vec<serde_json::Value> = report
+            .gpu_types
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                serde_json::json!({
+                    "gpu_type": name.as_str(),
+                    "mean_gpus": report.mean_occupancy()[i],
+                    "peak_gpus": report.peak_occupancy()[i],
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "records": trace.records.len() as u64,
+            "dropped": trace.dropped,
+            "rounds": report.rounds,
+            "round_s": report.round_duration,
+            "end_time_s": report.end_time,
+            "policy_runtime_total_s": report.total_policy_runtime_s,
+            "occupancy": occupancy,
+            "jobs": jobs,
+        });
+        println!("{doc}");
+        std::process::exit(0);
+    }
+
+    println!(
+        "rounds          : {} x {:.0} s, window {:.2} h",
+        report.rounds,
+        report.round_duration,
+        report.end_time / 3600.0
+    );
+    println!(
+        "policy runtime  : {:.3} s total",
+        report.total_policy_runtime_s
+    );
+    let mean = report.mean_occupancy();
+    let peak = report.peak_occupancy();
+    for (i, name) in report.gpu_types.iter().enumerate() {
+        println!(
+            "occupancy {:<6}: mean {:6.2} GPUs, peak {:3} GPUs",
+            name, mean[i], peak[i]
+        );
+    }
+    if trace.dropped > 0 {
+        println!(
+            "note            : {} records were evicted from the recording ring; figures are partial",
+            trace.dropped
+        );
+    }
+    println!(
+        "{:>5} {:<14} {:<12} {:>10} {:>9} {:>8} {:>11} {:>6} {:>6} {:>9}",
+        "job",
+        "name",
+        "model",
+        "queue(min)",
+        "jct(h)",
+        "restarts",
+        "rst-ovh(m)",
+        "churn",
+        "fails",
+        "gpu-h"
+    );
+    for j in &report.jobs {
+        let fmt_opt = |v: Option<f64>, scale: f64| match v {
+            Some(x) => format!("{:.2}", x / scale),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:>5} {:<14} {:<12} {:>10} {:>9} {:>8} {:>11.2} {:>6} {:>6} {:>9.2}",
+            j.job,
+            j.name,
+            j.model,
+            fmt_opt(j.queue_delay(), 60.0),
+            fmt_opt(j.jct(), 3600.0),
+            j.restarts,
+            j.restart_overhead_s / 60.0,
+            j.alloc_changes,
+            j.failures,
+            j.gpu_seconds() / 3600.0,
+        );
+    }
+    std::process::exit(0);
 }

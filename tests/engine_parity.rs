@@ -75,6 +75,25 @@ fn assert_bit_parity(round: &SimResult, events: &SimResult) {
         assert_eq!(a.active_jobs, b.active_jobs, "active at t={}", a.time);
         assert_eq!(a.allocations, b.allocations, "allocations at t={}", a.time);
     }
+    // The flight-recorder streams must also agree record-for-record in
+    // canonical form (emission order and the host-wall-clock policy runtime
+    // are the only engine-specific artifacts, and canonicalization erases
+    // exactly those).
+    let (a, b) = (
+        round.trace.canonical_jsonl(),
+        events.trace.canonical_jsonl(),
+    );
+    assert!(!a.is_empty(), "round engine recorded no trace");
+    if a != b {
+        for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+            assert_eq!(la, lb, "canonical trace diverges at record {i}");
+        }
+        panic!(
+            "canonical traces diverge in length: {} vs {} records",
+            a.lines().count(),
+            b.lines().count()
+        );
+    }
 }
 
 #[test]
@@ -128,6 +147,52 @@ fn horizon_truncation_matches() {
     let (round, events) = run_both(&|| Box::new(SiaPolicy::default()), &trace, &cfg);
     assert!(round.unfinished > 0, "horizon must truncate the workload");
     assert_bit_parity(&round, &events);
+}
+
+#[test]
+fn same_seed_reruns_are_byte_identical() {
+    // Determinism within each engine: two runs of the identical
+    // configuration must produce byte-identical canonical trace streams
+    // (and, modulo wall-clock, identical raw streams — the canonical form
+    // only zeroes `policy_runtime_s` and normalizes order).
+    let trace = quick_trace(5);
+    let cfg = SimConfig {
+        seed: 5,
+        ..SimConfig::default()
+    };
+    for engine in [EngineKind::Round, EngineKind::Events] {
+        let run = || {
+            Simulator::new(
+                ClusterSpec::heterogeneous_64(),
+                &trace,
+                SimConfig {
+                    engine,
+                    ..cfg.clone()
+                },
+            )
+            .run(Box::new(SiaPolicy::default()).as_mut())
+        };
+        let (a, b) = (run(), run());
+        assert!(
+            !a.trace.records.is_empty(),
+            "{engine:?} engine recorded no trace"
+        );
+        assert_eq!(
+            a.trace.canonical_jsonl(),
+            b.trace.canonical_jsonl(),
+            "{engine:?} engine is not deterministic across same-seed runs"
+        );
+        // Raw emission order is deterministic too: the record sequence
+        // (timestamps, kinds, payloads) matches 1:1; only the wall-clock
+        // policy_runtime field may differ.
+        assert_eq!(a.trace.records.len(), b.trace.records.len());
+        for (ra, rb) in a.trace.records.iter().zip(&b.trace.records) {
+            assert_eq!(ra.t, rb.t, "raw emission timestamps diverge");
+            assert_eq!(ra.seq, rb.seq);
+            assert_eq!(ra.ev.kind(), rb.ev.kind());
+            assert_eq!(ra.ev.job(), rb.ev.job());
+        }
+    }
 }
 
 #[test]
