@@ -1,8 +1,20 @@
-//! Criterion microbenchmarks of the LP / branch-and-bound MILP solver on
-//! Sia-shaped assignment problems.
+//! Microbenchmarks of the LP / branch-and-bound MILP solver on Sia-shaped
+//! assignment problems, plus the round-over-round fast-path comparisons:
+//! cold vs warm-started MILP and full vs incremental goodput-matrix builds.
+//!
+//! The vendored criterion stand-in reports no timing data, so this bench
+//! uses a hand-rolled `Instant` harness and writes its measurements to
+//! `results/BENCH_solver.json`. Set `SIA_BENCH_QUICK=1` for a fast CI
+//! smoke run (smaller sizes, fewer iterations).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sia_solver::{Problem, Sense};
+use std::time::Instant;
+
+use sia_cluster::{config_set, ClusterSpec, JobId, Placement};
+use sia_core::MatrixCache;
+use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
+use sia_sim::JobView;
+use sia_solver::{MilpWarmStart, Problem, Sense};
+use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
 
 /// Builds a Sia-shaped assignment problem: `jobs` SOS-1 rows over `configs`
 /// binary columns each, plus 3 GPU-type capacity rows.
@@ -24,27 +36,198 @@ fn assignment_problem(jobs: usize, configs_per_job: usize, binary: bool) -> Prob
         }
         p.add_le(&row, 1.0);
     }
+    // Fractional capacities force fractional LP vertices, so the MILP
+    // actually branches instead of solving at the root.
     for (t, row) in by_type.iter().enumerate() {
-        p.add_le(row, (jobs * 2 + t * 8) as f64);
+        p.add_le(row, (jobs * 2 + t * 8) as f64 * 0.83 + 0.37);
     }
     p
 }
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver");
-    group.sample_size(10);
-    for &jobs in &[20usize, 80, 320] {
-        let lp = assignment_problem(jobs, 19, false);
-        group.bench_function(BenchmarkId::new("lp_assignment", jobs), |b| {
-            b.iter(|| lp.solve_lp().unwrap())
-        });
-        let milp = assignment_problem(jobs, 19, true);
-        group.bench_function(BenchmarkId::new("milp_assignment", jobs), |b| {
-            b.iter(|| milp.solve_milp().unwrap())
-        });
+fn params(speed: f64) -> ThroughputParams {
+    ThroughputParams {
+        alpha_c: 0.05 / speed,
+        beta_c: 0.002 / speed,
+        alpha_n: 0.02,
+        beta_n: 0.005,
+        alpha_d: 0.1,
+        beta_d: 0.02,
+        gamma: 2.5,
+        max_local_bsz: 256.0,
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_solver);
-criterion_main!(benches);
+struct Fixture {
+    specs: Vec<JobSpec>,
+    ests: Vec<JobEstimator>,
+    curs: Vec<Placement>,
+}
+
+impl Fixture {
+    fn new(n_jobs: usize) -> Self {
+        let specs = (0..n_jobs as u64)
+            .map(|i| JobSpec {
+                id: JobId(i),
+                name: format!("j{i}"),
+                model: ModelKind::ResNet18,
+                category: SizeCategory::Small,
+                submit_time: 0.0,
+                adaptivity: Adaptivity::Adaptive,
+                min_gpus: 1,
+                max_gpus: 16,
+                work_target: 1e9,
+            })
+            .collect();
+        let ests = (0..n_jobs)
+            .map(|_| {
+                JobEstimator::oracle(
+                    vec![params(1.0), params(1.8), params(4.0)],
+                    EfficiencyParams::new(4000.0, 128.0),
+                    BatchLimits::new(128.0, 8192.0),
+                )
+            })
+            .collect();
+        Fixture {
+            specs,
+            ests,
+            curs: vec![Placement::empty(); n_jobs],
+        }
+    }
+
+    fn views(&self) -> Vec<JobView<'_>> {
+        self.specs
+            .iter()
+            .zip(&self.ests)
+            .zip(&self.curs)
+            .map(|((spec, est), cur)| JobView {
+                id: spec.id,
+                spec,
+                estimator: est,
+                current: cur,
+                age: 600.0,
+                restarts: 1,
+                restart_delay: 30.0,
+                progress: 0.2,
+            })
+            .collect()
+    }
+}
+
+/// Median wall-clock seconds of `iters` runs of `f`.
+fn median_s<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    // `cargo bench` runs benches from the crate directory; hop to the
+    // workspace root so `results/` is shared with the figure binaries.
+    let _ = std::env::set_current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let quick = std::env::var("SIA_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let iters = if quick { 3 } else { 10 };
+    let job_sizes: &[usize] = if quick { &[20, 80] } else { &[20, 80, 320] };
+    let mut rows = Vec::new();
+
+    for &jobs in job_sizes {
+        let lp = assignment_problem(jobs, 19, false);
+        let lp_s = median_s(iters, || {
+            lp.solve_lp().unwrap();
+        });
+        println!("lp_assignment/{jobs}: {:.3} ms", lp_s * 1e3);
+
+        let milp = assignment_problem(jobs, 19, true);
+        let cold_s = median_s(iters, || {
+            milp.solve_milp().unwrap();
+        });
+        let cold = milp.solve_milp().unwrap();
+
+        // Warm start from the cold optimum: the round-over-round case where
+        // last round's assignment seeds the incumbent.
+        let hint = MilpWarmStart {
+            hint: cold.solution.values.clone(),
+        };
+        let opts = sia_solver::MilpOptions::default();
+        let warm_s = median_s(iters, || {
+            milp.solve_milp_warm(&opts, Some(&hint)).unwrap();
+        });
+        let warm = milp.solve_milp_warm(&opts, Some(&hint)).unwrap();
+        assert!(
+            (warm.solution.objective - cold.solution.objective).abs() < 1e-6,
+            "warm start changed the optimum"
+        );
+        println!(
+            "milp_assignment/{jobs}: cold {:.3} ms ({} nodes, {} pivots) \
+             warm {:.3} ms ({} nodes, {} pivots, {} pivots saved)",
+            cold_s * 1e3,
+            cold.nodes_explored,
+            cold.total_pivots,
+            warm_s * 1e3,
+            warm.nodes_explored,
+            warm.total_pivots,
+            warm.warm_pivots_saved,
+        );
+
+        rows.push(serde_json::json!({
+            "jobs": jobs,
+            "lp_s": lp_s,
+            "milp_cold_s": cold_s,
+            "milp_warm_s": warm_s,
+            "milp_warm_speedup": cold_s / warm_s.max(1e-12),
+            "cold_nodes": cold.nodes_explored,
+            "warm_nodes": warm.nodes_explored,
+            "cold_pivots": cold.total_pivots,
+            "warm_pivots": warm.total_pivots,
+            "warm_pivots_saved": warm.warm_pivots_saved,
+            "incumbent_seeded": warm.incumbent_seed_objective.is_some(),
+        }));
+    }
+
+    // Full vs incremental goodput-matrix build: a fresh cache re-enumerates
+    // every row; a second refresh with clean estimators reuses all of them.
+    let mut matrix_rows = Vec::new();
+    for &jobs in job_sizes {
+        let cluster = ClusterSpec::heterogeneous_scaled(4);
+        let configs = config_set(&cluster);
+        let fx = Fixture::new(jobs);
+        let views = fx.views();
+        let full_s = median_s(iters, || {
+            let mut cache = MatrixCache::new();
+            cache.refresh(&views, &cluster, &configs, 1);
+        });
+        let mut warm_cache = MatrixCache::new();
+        warm_cache.refresh(&views, &cluster, &configs, 1);
+        let incr_s = median_s(iters, || {
+            warm_cache.refresh(&views, &cluster, &configs, 1);
+        });
+        println!(
+            "matrix_build/{jobs}: full {:.3} ms incremental {:.3} ms ({:.0}x)",
+            full_s * 1e3,
+            incr_s * 1e3,
+            full_s / incr_s.max(1e-12)
+        );
+        matrix_rows.push(serde_json::json!({
+            "jobs": jobs,
+            "full_s": full_s,
+            "incremental_s": incr_s,
+            "incremental_speedup": full_s / incr_s.max(1e-12),
+        }));
+    }
+
+    sia_bench::write_json(
+        "BENCH_solver",
+        &serde_json::json!({
+            "bench": "solver",
+            "quick": quick,
+            "iters": iters,
+            "assignment": rows,
+            "matrix_build": matrix_rows,
+        }),
+    );
+}

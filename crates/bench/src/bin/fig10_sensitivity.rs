@@ -4,7 +4,10 @@
 //! makespan, normalized to `p = -0.5`. (Right) scheduling-round duration
 //! swept over 30–300 s: avg JCT. Expected shape: flat-ish around the
 //! defaults (robustness), p99 JCT dropping toward `p = 1`, avg JCT rising
-//! mildly with round duration and slightly worse at 30 s.
+//! mildly with round duration and slightly worse at 30 s. A third sweep
+//! varies the Eq. 3 restart-amortization horizon over 300–4800 s: avg JCT
+//! is mildly U-shaped around the 1200 s default while restarts rise with
+//! the horizon (longer amortization makes moves cheaper in the objective).
 
 use sia_bench::{sweep, write_json, Policy};
 use sia_cluster::ClusterSpec;
@@ -78,6 +81,31 @@ fn main() {
         round_rows.push((r, jct));
     }
 
+    // -- restart-horizon sweep --
+    let horizons = [300u32, 600, 1200, 2400, 4800];
+    let mut horizon_rows = Vec::new();
+    println!("\n== Figure 10 (extra): avg JCT / restarts vs restart-amortization horizon ==");
+    println!(
+        "{:>10} {:>12} {:>10}",
+        "horizon(s)", "avgJCT(h)", "restarts"
+    );
+    for &h in &horizons {
+        let a = sweep(
+            Policy::SiaWithHorizon(h),
+            &cluster,
+            TraceKind::Helios,
+            &seeds,
+            &cfg,
+            16,
+            1.0,
+            None,
+        );
+        let jct = a.mean(|s| s.avg_jct_hours);
+        let restarts = a.mean(|s| s.avg_restarts);
+        println!("{h:>10} {jct:>12.3} {restarts:>10.2}");
+        horizon_rows.push((h, jct, restarts));
+    }
+
     write_json(
         "fig10_sensitivity",
         &serde_json::json!({
@@ -90,6 +118,12 @@ fn main() {
             "round_duration": round_rows
                 .iter()
                 .map(|&(r, j)| serde_json::json!({"round_s": r, "avg_jct_hours": j}))
+                .collect::<Vec<_>>(),
+            "restart_horizon": horizon_rows
+                .iter()
+                .map(|&(h, j, rs)| serde_json::json!({
+                    "horizon_s": h, "avg_jct_hours": j, "avg_restarts": rs
+                }))
                 .collect::<Vec<_>>(),
         }),
     );

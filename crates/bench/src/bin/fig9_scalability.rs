@@ -119,6 +119,10 @@ fn main() {
                         "milp_nodes": ph.total_nodes,
                         "simplex_pivots": ph.total_pivots,
                         "fallback_rounds": ph.fallback_rounds,
+                        "matrix_cache_hits": ph.total_cache_hits,
+                        "matrix_cache_misses": ph.total_cache_misses,
+                        "warm_seeded_rounds": ph.warm_seeded_rounds,
+                        "warm_pivots_saved": ph.total_warm_pivots_saved,
                     }));
             }
         }

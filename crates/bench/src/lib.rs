@@ -30,6 +30,9 @@ pub enum Policy {
     SiaWithPower(i32),
     /// Sia with an explicit round duration in seconds (Figure 10).
     SiaWithRound(u32),
+    /// Sia with an explicit restart-amortization horizon in seconds
+    /// (Figure 10 sensitivity sweep).
+    SiaWithHorizon(u32),
     /// Pollux (adaptive, heterogeneity-blind).
     Pollux,
     /// Gavel + TunedJobs (rigid, heterogeneity-aware).
@@ -47,6 +50,7 @@ impl Policy {
             Policy::Sia => "Sia".into(),
             Policy::SiaWithPower(p) => format!("Sia(p={})", *p as f64 / 10.0),
             Policy::SiaWithRound(r) => format!("Sia(round={r}s)"),
+            Policy::SiaWithHorizon(h) => format!("Sia(horizon={h}s)"),
             Policy::Pollux => "Pollux".into(),
             Policy::GavelTuned => "Gavel+TJ".into(),
             Policy::ShockwaveTuned => "Shockwave+TJ".into(),
@@ -72,6 +76,10 @@ impl Policy {
             })),
             Policy::SiaWithRound(r) => Box::new(SiaPolicy::new(SiaConfig {
                 round_duration: *r as f64,
+                ..SiaConfig::default()
+            })),
+            Policy::SiaWithHorizon(h) => Box::new(SiaPolicy::new(SiaConfig {
+                restart_horizon_secs: *h as f64,
                 ..SiaConfig::default()
             })),
             Policy::Pollux => Box::new(PolluxPolicy::new(sia_baselines::pollux::PolluxConfig {
@@ -270,6 +278,11 @@ pub fn aggregates_json(aggs: &[Aggregate]) -> serde_json::Value {
                 "milp_nodes": a.mean(|s| s.solver.map_or(0.0, |p| p.total_nodes as f64)),
                 "simplex_pivots": a.mean(|s| s.solver.map_or(0.0, |p| p.total_pivots as f64)),
                 "fallback_rounds": a.mean(|s| s.solver.map_or(0.0, |p| p.fallback_rounds as f64)),
+                // Round-over-round fast-path counters.
+                "matrix_cache_hits": a.mean(|s| s.solver.map_or(0.0, |p| p.total_cache_hits as f64)),
+                "matrix_cache_misses": a.mean(|s| s.solver.map_or(0.0, |p| p.total_cache_misses as f64)),
+                "warm_seeded_rounds": a.mean(|s| s.solver.map_or(0.0, |p| p.warm_seeded_rounds as f64)),
+                "warm_pivots_saved": a.mean(|s| s.solver.map_or(0.0, |p| p.total_warm_pivots_saved as f64)),
             })
         })
         .collect();

@@ -12,7 +12,8 @@ use std::time::Instant;
 use sia_cluster::{ClusterSpec, Configuration, JobId};
 use sia_sim::SolveOutcome;
 use sia_solver::{
-    solve_assignment_lagrangian, AssignmentItem, MilpOptions, Problem, Sense, SolverError,
+    solve_assignment_lagrangian, AssignmentItem, MilpOptions, MilpWarmStart, Problem, Sense,
+    SolverError,
 };
 
 use crate::matrix::Candidate;
@@ -36,6 +37,13 @@ pub struct AssignmentStats {
     pub lp_objective: Option<f64>,
     /// Total weight of the returned assignment, when one exists.
     pub objective: Option<f64>,
+    /// Objective of the previous-round allocation accepted as the
+    /// branch-and-bound incumbent seed ([`solve_assignment_warm`]).
+    pub incumbent_seed: Option<f64>,
+    /// Branch-and-bound nodes re-solved from their parent's simplex basis.
+    pub warm_nodes: usize,
+    /// Estimated simplex pivots avoided by parent-basis reuse.
+    pub warm_pivots_saved: usize,
     /// How the solve concluded.
     pub outcome: SolveOutcome,
 }
@@ -62,6 +70,26 @@ pub fn solve_assignment_with_stats(
     forced: &ForcedAssignments,
     opts: &MilpOptions,
 ) -> (BTreeMap<JobId, Configuration>, AssignmentStats) {
+    solve_assignment_warm(spec, candidates, forced, opts, None)
+}
+
+/// Like [`solve_assignment_with_stats`], warm-started with the previous
+/// round's chosen configurations.
+///
+/// The previous allocation — restricted to candidates that still exist, and
+/// overridden by `forced` entries — is offered to branch-and-bound as an
+/// initial incumbent. When it is still feasible (the common round-over-round
+/// case) every node whose bound cannot beat it is pruned on arrival, which
+/// collapses most of the search tree; when it is not (capacity changed, a
+/// candidate vanished), the hint is rejected inside the solver and the solve
+/// proceeds exactly as cold.
+pub fn solve_assignment_warm(
+    spec: &ClusterSpec,
+    candidates: &[Candidate],
+    forced: &ForcedAssignments,
+    opts: &MilpOptions,
+    prev: Option<&BTreeMap<JobId, Configuration>>,
+) -> (BTreeMap<JobId, Configuration>, AssignmentStats) {
     if candidates.is_empty() {
         let stats = AssignmentStats {
             build_s: 0.0,
@@ -70,10 +98,29 @@ pub fn solve_assignment_with_stats(
             pivots: 0,
             lp_objective: None,
             objective: None,
+            incumbent_seed: None,
+            warm_nodes: 0,
+            warm_pivots_saved: 0,
             outcome: SolveOutcome::Empty,
         };
         return (BTreeMap::new(), stats);
     }
+
+    // Build the incumbent hint: 1.0 exactly on candidates matching the
+    // previous round's choice (forced assignments take precedence so the
+    // hint cannot contradict the forced variable bounds).
+    let warm = prev.and_then(|prev| {
+        let mut hint = vec![0.0; candidates.len()];
+        let mut any = false;
+        for (i, c) in candidates.iter().enumerate() {
+            let want = forced.get(&c.job).or_else(|| prev.get(&c.job));
+            if want == Some(&c.config) {
+                hint[i] = 1.0;
+                any = true;
+            }
+        }
+        any.then_some(MilpWarmStart { hint })
+    });
 
     let build_t0 = Instant::now();
     let build_span = sia_telemetry::span("policy.milp_build");
@@ -117,7 +164,7 @@ pub fn solve_assignment_with_stats(
 
     let solve_t0 = Instant::now();
     let solve_span = sia_telemetry::span("policy.milp_solve");
-    let solved = problem.solve_milp_with(opts);
+    let solved = problem.solve_milp_warm(opts, warm.as_ref());
     drop(solve_span);
     match solved {
         Ok(milp) => {
@@ -134,6 +181,9 @@ pub fn solve_assignment_with_stats(
                 pivots: milp.total_pivots,
                 lp_objective: milp.root_lp_objective,
                 objective: Some(milp.solution.objective),
+                incumbent_seed: milp.incumbent_seed_objective,
+                warm_nodes: milp.warm_nodes,
+                warm_pivots_saved: milp.warm_pivots_saved,
                 outcome: match milp.status {
                     sia_solver::MilpStatus::Optimal => SolveOutcome::Optimal,
                     sia_solver::MilpStatus::Feasible => SolveOutcome::Feasible,
@@ -147,7 +197,7 @@ pub fn solve_assignment_with_stats(
             sia_telemetry::counter("policy.ilp.reservation_retries").incr();
             let failed_solve_s = solve_t0.elapsed().as_secs_f64();
             let (out, mut stats) =
-                solve_assignment_with_stats(spec, candidates, &ForcedAssignments::new(), opts);
+                solve_assignment_warm(spec, candidates, &ForcedAssignments::new(), opts, prev);
             stats.build_s += build_s;
             stats.solve_s += failed_solve_s;
             (out, stats)
@@ -173,6 +223,9 @@ pub fn solve_assignment_with_stats(
                 pivots: 0,
                 lp_objective: None,
                 objective: Some(assignment_weight(candidates, &out)),
+                incumbent_seed: None,
+                warm_nodes: 0,
+                warm_pivots_saved: 0,
                 outcome,
             };
             (out, stats)

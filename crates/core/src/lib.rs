@@ -27,7 +27,11 @@ pub mod ilp;
 pub mod matrix;
 pub mod placer;
 pub mod policy;
+pub mod pool;
 
-pub use ilp::{solve_assignment, solve_assignment_with_stats, AssignmentStats, ForcedAssignments};
-pub use matrix::Candidate;
+pub use ilp::{
+    solve_assignment, solve_assignment_warm, solve_assignment_with_stats, AssignmentStats,
+    ForcedAssignments,
+};
+pub use matrix::{Candidate, MatrixCache, RefreshStats, DEFAULT_RESTART_HORIZON_SECS};
 pub use policy::{SiaConfig, SiaPolicy};

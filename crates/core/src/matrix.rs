@@ -1,13 +1,19 @@
 //! Candidate enumeration and the normalized goodput matrix (§3.4).
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use sia_cluster::{ClusterSpec, Configuration, JobId, Placement};
 use sia_models::{AllocShape, BatchLimits};
 use sia_sim::JobView;
 use sia_workloads::Adaptivity;
 
-/// Expected holding period over which a reallocation's checkpoint-restore
-/// cost is amortized when discounting move candidates.
-const RESTART_HORIZON_SECS: f64 = 1200.0;
+use crate::pool;
+
+/// Default expected holding period over which a reallocation's
+/// checkpoint-restore cost is amortized when discounting move candidates.
+/// Configurable per policy via [`MatrixParams::restart_horizon_secs`] /
+/// `SiaConfig::restart_horizon_secs` for sensitivity sweeps.
+pub const DEFAULT_RESTART_HORIZON_SECS: f64 = 1200.0;
 
 /// One `(job, configuration)` cell of the goodput matrix, annotated with the
 /// final ILP weight.
@@ -130,6 +136,20 @@ pub struct MatrixParams {
     pub lambda: f64,
     /// Apply the Eq. 3 restart discount (disable only for ablations).
     pub use_restart_factor: bool,
+    /// Holding horizon (seconds) over which a move's restart delay is
+    /// amortized (default [`DEFAULT_RESTART_HORIZON_SECS`]).
+    pub restart_horizon_secs: f64,
+}
+
+impl Default for MatrixParams {
+    fn default() -> Self {
+        MatrixParams {
+            fairness_power: -0.5,
+            lambda: 1.1,
+            use_restart_factor: true,
+            restart_horizon_secs: DEFAULT_RESTART_HORIZON_SECS,
+        }
+    }
 }
 
 /// Builds all weighted candidates for one job.
@@ -157,7 +177,7 @@ pub fn job_candidates(
         &MatrixParams {
             fairness_power,
             lambda,
-            use_restart_factor: true,
+            ..MatrixParams::default()
         },
     )
 }
@@ -194,7 +214,7 @@ pub fn job_candidates_from_values(
     // the checkpoint-restore cost over an expected holding horizon so that
     // expensive-to-restart jobs (e.g. 250 s hybrid-parallel checkpoints) do
     // not flap between adjacent configurations at round granularity.
-    let amortized = 1.0 - (view.restart_delay / RESTART_HORIZON_SECS).min(0.5);
+    let amortized = 1.0 - (view.restart_delay / params.restart_horizon_secs).min(0.5);
     let r_i = if params.use_restart_factor {
         view.restart_factor() * amortized
     } else {
@@ -224,6 +244,122 @@ pub fn job_candidates_from_values(
             }
         })
         .collect()
+}
+
+/// One cached matrix row plus the invalidation keys it was computed under.
+#[derive(Debug, Clone)]
+struct CachedRow {
+    /// [`sia_models::JobEstimator::version`] at computation time.
+    version: u64,
+    /// Progress decile at computation time (see [`progress_bucket`]).
+    progress_bucket: u32,
+    values: Vec<Option<(usize, f64)>>,
+}
+
+/// Row reuse accounting for one [`MatrixCache::refresh`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Rows carried over unchanged from the previous round.
+    pub reused: usize,
+    /// Rows re-enumerated because the job was new or dirty.
+    pub rebuilt: usize,
+}
+
+/// Conservative progress bucketing for cache invalidation: a job crossing a
+/// progress decile counts as dirty. [`raw_values`] does not actually read
+/// progress, so bucket-triggered rebuilds recompute identical rows — the
+/// bucket exists to bound row staleness if raw values ever grow a
+/// progress-dependent term.
+fn progress_bucket(progress: f64) -> u32 {
+    (progress.clamp(0.0, 1.0) * 10.0) as u32
+}
+
+/// Incremental cross-round cache of raw goodput matrix rows.
+///
+/// A job's row is rebuilt only when *dirty*: newly seen, its estimator
+/// version moved (profile refit), the configuration set changed size, or its
+/// progress crossed a decile. Clean rows are reused verbatim, which skips
+/// the whole goodput-evaluation stack for the (typical) majority of jobs
+/// whose models did not change between rounds. Departed jobs are evicted on
+/// every refresh.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixCache {
+    rows: BTreeMap<JobId, CachedRow>,
+}
+
+impl MatrixCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows are cached.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The cached raw-value row for a job, if present.
+    pub fn row(&self, id: JobId) -> Option<&[Option<(usize, f64)>]> {
+        self.rows.get(&id).map(|r| r.values.as_slice())
+    }
+
+    /// Brings the cache up to date for this round's jobs: evicts departed
+    /// jobs, reuses clean rows, and re-enumerates dirty ones — fanned out
+    /// over `workers` threads (see [`pool::ordered_map`]; results are merged
+    /// in job order so the outcome is identical for any worker count).
+    ///
+    /// Telemetry: bumps `matrix.rows_reused` / `matrix.rows_rebuilt`.
+    pub fn refresh(
+        &mut self,
+        jobs: &[JobView<'_>],
+        spec: &ClusterSpec,
+        configs: &[Configuration],
+        workers: usize,
+    ) -> RefreshStats {
+        let live: BTreeSet<JobId> = jobs.iter().map(|v| v.id).collect();
+        self.rows.retain(|id, _| live.contains(id));
+
+        let dirty: Vec<&JobView<'_>> = jobs
+            .iter()
+            .filter(|view| match self.rows.get(&view.id) {
+                Some(row) => {
+                    row.version != view.estimator.version()
+                        || row.values.len() != configs.len()
+                        || row.progress_bucket != progress_bucket(view.progress)
+                }
+                None => true,
+            })
+            .collect();
+        let stats = RefreshStats {
+            reused: jobs.len() - dirty.len(),
+            rebuilt: dirty.len(),
+        };
+
+        let fresh = pool::ordered_map(&dirty, workers, |view| raw_values(view, spec, configs));
+        for (view, values) in dirty.iter().zip(fresh) {
+            self.rows.insert(
+                view.id,
+                CachedRow {
+                    version: view.estimator.version(),
+                    progress_bucket: progress_bucket(view.progress),
+                    values,
+                },
+            );
+        }
+
+        if stats.reused > 0 {
+            sia_telemetry::counter("matrix.rows_reused").add(stats.reused as u64);
+        }
+        if stats.rebuilt > 0 {
+            sia_telemetry::counter("matrix.rows_rebuilt").add(stats.rebuilt as u64);
+        }
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -405,6 +541,141 @@ mod tests {
         sorted.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap());
         for w in sorted.windows(2) {
             assert!(w[0].weight <= w[1].weight + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cache_rebuilds_refit_rows_and_reuses_clean_rows_verbatim() {
+        use sia_models::{FitSample, Observation};
+
+        let c = cluster();
+        let configs = sia_cluster::config_set(&c);
+        let mk_bootstrap = || {
+            JobEstimator::bootstrap(
+                vec![params(1.0), params(1.8), params(4.0)],
+                EfficiencyParams::new(2000.0, 128.0),
+                BatchLimits::new(128.0, 4096.0),
+            )
+        };
+        let mut est: Vec<JobEstimator> = (0..2).map(|_| mk_bootstrap()).collect();
+        let specs: Vec<JobSpec> = (0..2u64)
+            .map(|i| {
+                let mut s = spec_job(Adaptivity::Adaptive, 1, 64);
+                s.id = JobId(i);
+                s
+            })
+            .collect();
+        let cur = Placement::empty();
+        fn views<'a>(
+            est: &'a [JobEstimator],
+            specs: &'a [JobSpec],
+            cur: &'a Placement,
+        ) -> Vec<JobView<'a>> {
+            specs
+                .iter()
+                .zip(est)
+                .map(|(s, e)| JobView {
+                    id: s.id,
+                    spec: s,
+                    estimator: e,
+                    current: cur,
+                    age: 600.0,
+                    restarts: 0,
+                    restart_delay: 30.0,
+                    progress: 0.2,
+                })
+                .collect()
+        }
+
+        let mut cache = MatrixCache::new();
+        let first = cache.refresh(&views(&est, &specs, &cur), &c, &configs, 1);
+        assert_eq!(
+            first,
+            RefreshStats {
+                reused: 0,
+                rebuilt: 2
+            }
+        );
+        let clean_row_before = cache.row(JobId(1)).unwrap().to_vec();
+
+        // Nothing changed: every row is reused.
+        let second = cache.refresh(&views(&est, &specs, &cur), &c, &configs, 1);
+        assert_eq!(
+            second,
+            RefreshStats {
+                reused: 2,
+                rebuilt: 0
+            }
+        );
+
+        // Refit job 0 (observe bumps its estimator version): its row must be
+        // rebuilt while job 1's row is reused verbatim.
+        est[0].observe(Observation {
+            gpu_type: GpuTypeId(0),
+            sample: FitSample {
+                shape: AllocShape::local(2),
+                local_bsz: 64.0,
+                accum_steps: 0,
+                iter_time: 0.15,
+            },
+            measured_phi: 2000.0,
+        });
+        let third = cache.refresh(&views(&est, &specs, &cur), &c, &configs, 1);
+        assert_eq!(
+            third,
+            RefreshStats {
+                reused: 1,
+                rebuilt: 1
+            }
+        );
+        assert_eq!(
+            cache.row(JobId(1)).unwrap(),
+            clean_row_before.as_slice(),
+            "clean row must be reused verbatim"
+        );
+
+        // Departed jobs are evicted.
+        let solo = views(&est[..1], &specs[..1], &cur);
+        cache.refresh(&solo, &c, &configs, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.row(JobId(1)).is_none());
+    }
+
+    #[test]
+    fn cache_refresh_identical_across_worker_counts() {
+        let c = cluster();
+        let configs = sia_cluster::config_set(&c);
+        let est: Vec<JobEstimator> = (0..12).map(|_| estimator()).collect();
+        let specs: Vec<JobSpec> = (0..12u64)
+            .map(|i| {
+                let mut s = spec_job(Adaptivity::Adaptive, 1, 64);
+                s.id = JobId(i);
+                s
+            })
+            .collect();
+        let cur = Placement::empty();
+        let views: Vec<JobView<'_>> = specs
+            .iter()
+            .zip(&est)
+            .map(|(s, e)| JobView {
+                id: s.id,
+                spec: s,
+                estimator: e,
+                current: &cur,
+                age: 600.0,
+                restarts: 0,
+                restart_delay: 30.0,
+                progress: 0.2,
+            })
+            .collect();
+        let mut serial = MatrixCache::new();
+        serial.refresh(&views, &c, &configs, 1);
+        for workers in [2usize, 4, 8] {
+            let mut par = MatrixCache::new();
+            par.refresh(&views, &c, &configs, workers);
+            for s in &specs {
+                assert_eq!(serial.row(s.id), par.row(s.id), "workers={workers}");
+            }
         }
     }
 

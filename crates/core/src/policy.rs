@@ -7,12 +7,9 @@ use sia_cluster::{config_set, ClusterSpec, Configuration, JobId, Placement};
 use sia_sim::{AllocationMap, JobView, Scheduler, SolverStats};
 use sia_solver::MilpOptions;
 
-use crate::ilp::{solve_assignment_with_stats, ForcedAssignments};
+use crate::ilp::{solve_assignment_warm, ForcedAssignments};
+use crate::matrix::MatrixCache;
 use crate::placer::realize;
-
-/// One cached row of raw goodput evaluations: `(estimator version,
-/// per-configuration values)`.
-type CachedRow = (u64, Vec<Option<(usize, f64)>>);
 
 /// Tunable parameters of the Sia policy (§4.3 defaults).
 #[derive(Debug, Clone)]
@@ -26,6 +23,13 @@ pub struct SiaConfig {
     /// Apply the Eq. 3 restart factor to move candidates (default `true`;
     /// disable only for the ablation study).
     pub use_restart_factor: bool,
+    /// Restart-amortization horizon of Eq. 3, seconds (default
+    /// [`crate::matrix::DEFAULT_RESTART_HORIZON_SECS`]; §5.7 sweeps it).
+    pub restart_horizon_secs: f64,
+    /// Worker threads for candidate-matrix evaluation: `0` auto-detects
+    /// (see [`crate::pool::resolve_workers`]). Any value yields identical
+    /// allocations; only wall-clock time changes.
+    pub workers: usize,
     /// Branch-and-bound limits for the per-round ILP.
     pub milp: MilpOptions,
 }
@@ -37,9 +41,11 @@ impl Default for SiaConfig {
             lambda: 1.1,
             round_duration: 60.0,
             use_restart_factor: true,
+            restart_horizon_secs: crate::matrix::DEFAULT_RESTART_HORIZON_SECS,
+            workers: 0,
             milp: MilpOptions {
                 max_nodes: 20_000,
-                time_limit: std::time::Duration::from_secs(20),
+                time_limit: None,
                 gap_tolerance: 1e-9,
             },
         }
@@ -62,10 +68,13 @@ impl Default for SiaConfig {
 pub struct SiaPolicy {
     cfg: SiaConfig,
     reservations: ForcedAssignments,
-    /// Per-job raw goodput evaluations cached across rounds, keyed on the
-    /// job estimator's version (queued jobs never change, so their rows are
-    /// never recomputed).
-    row_cache: BTreeMap<JobId, CachedRow>,
+    /// Per-job raw goodput rows cached across rounds; only rows whose job
+    /// is dirty (new, refit, config-set change, progress-bucket crossing)
+    /// are re-enumerated each round.
+    matrix_cache: MatrixCache,
+    /// Last round's chosen configurations, used to seed the branch-and-bound
+    /// incumbent (warm start) next round.
+    prev_assignment: BTreeMap<JobId, Configuration>,
     /// Phase breakdown of the most recent `schedule` call, handed to the
     /// engine via [`Scheduler::round_stats`].
     last_stats: Option<SolverStats>,
@@ -77,7 +86,8 @@ impl SiaPolicy {
         SiaPolicy {
             cfg,
             reservations: ForcedAssignments::new(),
-            row_cache: BTreeMap::new(),
+            matrix_cache: MatrixCache::new(),
+            prev_assignment: BTreeMap::new(),
             last_stats: None,
         }
     }
@@ -112,32 +122,18 @@ impl Scheduler for SiaPolicy {
     fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
         let _span = sia_telemetry::span("policy.schedule");
         let configs = config_set(spec);
+        let workers = crate::pool::resolve_workers(self.cfg.workers);
 
-        // Evict cache entries for departed jobs.
-        let live: std::collections::BTreeSet<JobId> = jobs.iter().map(|v| v.id).collect();
-        self.row_cache.retain(|id, _| live.contains(id));
-
-        // 1a. Re-fit: recompute raw goodput rows whose estimator moved
-        // (queued jobs never change, so their rows are never recomputed).
+        // 1a. Re-fit: re-enumerate raw goodput rows for dirty jobs only
+        // (queued jobs never change, so their rows are never recomputed);
+        // rebuilt rows fan out across the worker pool.
         let refit_t0 = Instant::now();
-        let mut refitted = 0u64;
-        {
+        let refresh = {
             let _refit = sia_telemetry::span("policy.refit");
-            for view in jobs {
-                let version = view.estimator.version();
-                let stale = match self.row_cache.get(&view.id) {
-                    Some((v, row)) => *v != version || row.len() != configs.len(),
-                    None => true,
-                };
-                if stale {
-                    let fresh = crate::matrix::raw_values(view, spec, &configs);
-                    self.row_cache.insert(view.id, (version, fresh));
-                    refitted += 1;
-                }
-            }
-        }
-        if refitted > 0 {
-            sia_telemetry::counter("policy.rows_refit").add(refitted);
+            self.matrix_cache.refresh(jobs, spec, &configs, workers)
+        };
+        if refresh.rebuilt > 0 {
+            sia_telemetry::counter("policy.rows_refit").add(refresh.rebuilt as u64);
         }
         let refit_s = refit_t0.elapsed().as_secs_f64();
 
@@ -148,7 +144,10 @@ impl Scheduler for SiaPolicy {
         {
             let _goodput = sia_telemetry::span("policy.goodput");
             for view in jobs {
-                let values = &self.row_cache[&view.id].1;
+                let values = self
+                    .matrix_cache
+                    .row(view.id)
+                    .expect("refresh populated every live job");
                 candidates.extend(crate::matrix::job_candidates_from_values(
                     view,
                     spec,
@@ -158,6 +157,7 @@ impl Scheduler for SiaPolicy {
                         fairness_power: self.cfg.fairness_power,
                         lambda: self.cfg.lambda,
                         use_restart_factor: self.cfg.use_restart_factor,
+                        restart_horizon_secs: self.cfg.restart_horizon_secs,
                     },
                 ));
             }
@@ -165,9 +165,15 @@ impl Scheduler for SiaPolicy {
         let goodput_s = goodput_t0.elapsed().as_secs_f64();
         sia_telemetry::counter("policy.candidates").add(candidates.len() as u64);
 
-        // 2. Assignment ILP (Eq. 4).
-        let (chosen, ilp) =
-            solve_assignment_with_stats(spec, &candidates, &self.reservations, &self.cfg.milp);
+        // 2. Assignment ILP (Eq. 4), warm-started from last round's choices.
+        let (chosen, ilp) = solve_assignment_warm(
+            spec,
+            &candidates,
+            &self.reservations,
+            &self.cfg.milp,
+            Some(&self.prev_assignment),
+        );
+        self.prev_assignment = chosen.clone();
 
         // 3. Placement under the Sia rules.
         let placement_t0 = Instant::now();
@@ -194,6 +200,11 @@ impl Scheduler for SiaPolicy {
             pivots: ilp.pivots,
             lp_objective: ilp.lp_objective,
             objective: ilp.objective,
+            cache_hits: refresh.reused,
+            cache_misses: refresh.rebuilt,
+            incumbent_seed: ilp.incumbent_seed,
+            warm_pivots_saved: ilp.warm_pivots_saved,
+            workers,
             outcome: ilp.outcome,
         });
         allocations
@@ -361,6 +372,32 @@ mod tests {
         }
         let again = sia.schedule(0.0, &fx.views(), &spec);
         assert_eq!(last, again, "steady state must be stable");
+    }
+
+    #[test]
+    fn allocations_identical_across_worker_counts() {
+        // The worker pool must never change decisions — only wall-clock.
+        let spec = ClusterSpec::heterogeneous_64();
+        let run = |workers: usize| {
+            let mut fx = Fixture::new(12, 16, &[1.0, 1.8, 4.0]);
+            let mut sia = SiaPolicy::new(SiaConfig {
+                workers,
+                ..SiaConfig::default()
+            });
+            let mut rounds = Vec::new();
+            for _ in 0..4 {
+                let allocs = sia.schedule(0.0, &fx.views(), &spec);
+                for (i, s) in fx.specs.iter().enumerate() {
+                    fx.placements[i] = allocs.get(&s.id).cloned().unwrap_or_else(Placement::empty);
+                }
+                rounds.push(allocs);
+            }
+            rounds
+        };
+        let serial = run(1);
+        for workers in [2usize, 4, 8] {
+            assert_eq!(run(workers), serial, "workers={workers}");
+        }
     }
 
     #[test]

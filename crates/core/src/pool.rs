@@ -1,0 +1,93 @@
+//! Deterministic fork-join helper for candidate-matrix evaluation.
+//!
+//! A tiny `std::thread::scope`-based pool: the input slice is split into
+//! contiguous chunks, one scoped thread maps each chunk, and the chunk
+//! results are concatenated in chunk order. Because the chunks partition the
+//! input in order and each item is evaluated by a pure function, the output
+//! is *identical* to the serial `items.iter().map(f).collect()` — worker
+//! count only changes wall-clock time, never results. Small inputs skip the
+//! spawn overhead entirely and run serially.
+
+/// Below this many items the fan-out overhead outweighs the win and
+/// [`ordered_map`] runs serially.
+pub const SERIAL_THRESHOLD: usize = 4;
+
+/// Resolves a configured worker count: `0` means auto-detect from
+/// [`std::thread::available_parallelism`] (capped at 8 — matrix rows are
+/// memory-bandwidth-bound and more threads stop helping).
+pub fn resolve_workers(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
+/// Applies `f` to every item of `items`, returning the results in input
+/// order.
+///
+/// With `workers > 1` and at least [`SERIAL_THRESHOLD`] items the evaluation
+/// fans out across scoped threads; the ordered merge guarantees the result
+/// vector is byte-identical to the serial evaluation, which is what keeps
+/// canonical flight traces stable under any pool size.
+pub fn ordered_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if workers <= 1 || items.len() < SERIAL_THRESHOLD {
+        return items.iter().map(&f).collect();
+    }
+    let workers = workers.min(items.len());
+    let chunk = items.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                let f = &f;
+                s.spawn(move || c.iter().map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("matrix worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_for_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for workers in [0usize, 1, 2, 3, 5, 8, 16, 64] {
+            let par = ordered_map(&items, workers, |&x| x * x + 1);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_serially() {
+        // No observable difference, but must not panic on empty/small input.
+        assert_eq!(
+            ordered_map::<u32, u32, _>(&[], 8, |&x| x),
+            Vec::<u32>::new()
+        );
+        assert_eq!(ordered_map(&[7u32], 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn resolve_workers_prefers_explicit() {
+        assert_eq!(resolve_workers(3), 3);
+        assert!(resolve_workers(0) >= 1);
+        assert!(resolve_workers(0) <= 8);
+    }
+}

@@ -58,6 +58,14 @@ pub struct SolverPhaseSummary {
     pub total_pivots: u64,
     /// Rounds resolved by a heuristic fallback instead of the exact solver.
     pub fallback_rounds: usize,
+    /// Goodput-matrix rows reused across all rounds (fast-path cache hits).
+    pub total_cache_hits: u64,
+    /// Goodput-matrix rows re-enumerated across all rounds.
+    pub total_cache_misses: u64,
+    /// Rounds whose branch-and-bound accepted the warm-start incumbent seed.
+    pub warm_seeded_rounds: usize,
+    /// Estimated simplex pivots avoided via parent-basis warm starts.
+    pub total_warm_pivots_saved: u64,
 }
 
 /// Aggregates per-round [`sia_sim::SolverStats`] into a phase summary
@@ -93,6 +101,10 @@ pub fn summarize_phases(result: &SimResult) -> Option<SolverPhaseSummary> {
                 )
             })
             .count(),
+        total_cache_hits: stats.iter().map(|s| s.cache_hits as u64).sum(),
+        total_cache_misses: stats.iter().map(|s| s.cache_misses as u64).sum(),
+        warm_seeded_rounds: stats.iter().filter(|s| s.incumbent_seed.is_some()).count(),
+        total_warm_pivots_saved: stats.iter().map(|s| s.warm_pivots_saved as u64).sum(),
     })
 }
 

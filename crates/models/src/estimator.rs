@@ -19,6 +19,10 @@
 //! The `Oracle` and `NoProf` profiling modes of §5.7 are provided for the
 //! profiling-overhead ablation.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use sia_cluster::GpuTypeId;
 
 use crate::efficiency::EfficiencyParams;
@@ -74,14 +78,49 @@ const MAX_SAMPLES: usize = 72;
 /// Exponential-moving-average factor for the measured noise scale.
 const PHI_EMA: f64 = 0.3;
 
+/// Memo key for one goodput evaluation: GPU type, allocation shape and
+/// bit-exact batch limits (pipeline-pinned jobs query non-default limits).
+type MemoKey = (usize, AllocShape, u64, u64);
+
+/// Version-guarded goodput memo. Entries are valid only while the
+/// estimator's model version matches `version`; [`JobEstimator::observe`]
+/// bumps the version, which lazily invalidates the whole map.
+#[derive(Debug, Default)]
+struct Memo {
+    version: u64,
+    map: HashMap<MemoKey, Option<GoodputPoint>>,
+}
+
 /// The per-job goodput estimator.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct JobEstimator {
     mode: ProfilingMode,
     types: Vec<TypeModel>,
     eff: EfficiencyParams,
     limits: BatchLimits,
     version: u64,
+    /// Interior-mutable evaluation cache; `estimate*` take `&self` and are
+    /// called from the policy's worker pool, so this must stay `Sync`.
+    memo: Mutex<Memo>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+impl Clone for JobEstimator {
+    fn clone(&self) -> Self {
+        // The memo is a pure function of the model state, so a clone starting
+        // empty (with zeroed counters) is behaviorally identical.
+        JobEstimator {
+            mode: self.mode,
+            types: self.types.clone(),
+            eff: self.eff,
+            limits: self.limits,
+            version: self.version,
+            memo: Mutex::new(Memo::default()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl JobEstimator {
@@ -106,6 +145,9 @@ impl JobEstimator {
             eff,
             limits,
             version: 0,
+            memo: Mutex::new(Memo::default()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
     }
 
@@ -133,6 +175,9 @@ impl JobEstimator {
             eff: eff_prior,
             limits,
             version: 0,
+            memo: Mutex::new(Memo::default()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
     }
 
@@ -158,6 +203,9 @@ impl JobEstimator {
             eff: eff_prior,
             limits,
             version: 0,
+            memo: Mutex::new(Memo::default()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
     }
 
@@ -250,7 +298,56 @@ impl JobEstimator {
 
     /// Like [`JobEstimator::estimate`] but with explicit batch limits
     /// (strong-scaling and rigid jobs pin the batch).
+    ///
+    /// Evaluations are memoized per `(type, shape, limits)` behind the model
+    /// [`JobEstimator::version`]: repeat queries between two `observe` calls
+    /// hit the cache, and any model update lazily invalidates it. The Eq. 1
+    /// ratio rule routes its single-GPU sub-queries through the same memo,
+    /// so a row of bootstrap estimates computes each `xput(1)` term once.
     pub fn estimate_with_limits(
+        &self,
+        t: GpuTypeId,
+        shape: AllocShape,
+        limits: BatchLimits,
+    ) -> Option<GoodputPoint> {
+        let key: MemoKey = (
+            t.0,
+            shape,
+            limits.min_total.to_bits(),
+            limits.max_total.to_bits(),
+        );
+        {
+            let memo = self.memo.lock().unwrap_or_else(|e| e.into_inner());
+            if memo.version == self.version {
+                if let Some(&cached) = memo.map.get(&key) {
+                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    return cached;
+                }
+            }
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let out = self.compute_estimate(t, shape, limits);
+        let mut memo = self.memo.lock().unwrap_or_else(|e| e.into_inner());
+        if memo.version != self.version {
+            memo.map.clear();
+            memo.version = self.version;
+        }
+        memo.map.insert(key, out);
+        out
+    }
+
+    /// Cumulative `(hits, misses)` of the goodput memo since construction.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.memo_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The uncached estimation path behind [`estimate_with_limits`].
+    ///
+    /// [`estimate_with_limits`]: JobEstimator::estimate_with_limits
+    fn compute_estimate(
         &self,
         t: GpuTypeId,
         shape: AllocShape,
@@ -267,11 +364,13 @@ impl JobEstimator {
         match self.reference_type() {
             Some(r) if r.0 != t.0 => {
                 // Eq. 1: est-xput_t(N) = xput_t(1)/xput_r(1) * xput_r(N),
-                // applied at the goodput level.
-                let own1 = optimize_goodput(&tm.params, &self.eff, AllocShape::single(), limits)?;
-                let rm = &self.types[r.0];
-                let ref1 = optimize_goodput(&rm.params, &self.eff, AllocShape::single(), limits)?;
-                let refn = optimize_goodput(&rm.params, &self.eff, shape, limits)?;
+                // applied at the goodput level. The sub-queries are all
+                // "trusted" shapes (single-GPU or refined reference), so the
+                // recursion terminates after one level and each term lands
+                // in the memo for the rest of the row.
+                let own1 = self.estimate_with_limits(t, AllocShape::single(), limits)?;
+                let ref1 = self.estimate_with_limits(r, AllocShape::single(), limits)?;
+                let refn = self.estimate_with_limits(r, shape, limits)?;
                 if ref1.goodput <= 0.0 {
                     return None;
                 }
@@ -485,6 +584,80 @@ mod tests {
         // with a ratio derived from the (prior) single-GPU models.
         let e1 = est.estimate(GpuTypeId(1), AllocShape::local(4));
         assert!(e1.is_some());
+    }
+
+    #[test]
+    fn memo_hits_on_repeat_and_invalidates_on_observe() {
+        let mut est = JobEstimator::bootstrap(vec![slow_type(), fast_type()], eff(), limits());
+        let a = est.estimate(GpuTypeId(0), AllocShape::local(2)).unwrap();
+        let (h0, m0) = est.memo_stats();
+        assert_eq!(h0, 0);
+        assert!(m0 >= 1);
+        // Same query again: pure cache hit, identical value.
+        let b = est.estimate(GpuTypeId(0), AllocShape::local(2)).unwrap();
+        assert_eq!(a, b);
+        let (h1, m1) = est.memo_stats();
+        assert_eq!(h1, h0 + 1);
+        assert_eq!(m1, m0);
+        // An observation bumps the version; the next query must recompute.
+        est.observe(Observation {
+            gpu_type: GpuTypeId(0),
+            sample: FitSample {
+                shape: AllocShape::local(2),
+                local_bsz: 64.0,
+                accum_steps: 0,
+                iter_time: slow_type().t_iter(AllocShape::local(2), 64.0, 0),
+            },
+            measured_phi: 2000.0,
+        });
+        let _ = est.estimate(GpuTypeId(0), AllocShape::local(2)).unwrap();
+        let (h2, m2) = est.memo_stats();
+        assert_eq!(h2, h1, "post-observe query must not hit the stale cache");
+        assert!(m2 > m1);
+    }
+
+    #[test]
+    fn memo_matches_uncached_path() {
+        // Memoized results must be bit-identical to direct recomputation.
+        let est = JobEstimator::oracle(vec![slow_type(), fast_type()], eff(), limits());
+        for t in 0..2 {
+            for shape in [
+                AllocShape::single(),
+                AllocShape::local(4),
+                AllocShape::dist(8),
+            ] {
+                let cached = est.estimate(GpuTypeId(t), shape);
+                let direct = est.clone().estimate(GpuTypeId(t), shape);
+                assert_eq!(cached, direct);
+                assert_eq!(cached, est.estimate(GpuTypeId(t), shape));
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_rule_sub_queries_share_the_memo() {
+        let mut est = JobEstimator::bootstrap(vec![slow_type(), fast_type()], eff(), limits());
+        let truth0 = slow_type();
+        for &k in &[2usize, 4, 8] {
+            est.observe(Observation {
+                gpu_type: GpuTypeId(0),
+                sample: FitSample {
+                    shape: AllocShape::local(k),
+                    local_bsz: 64.0,
+                    accum_steps: 0,
+                    iter_time: truth0.t_iter(AllocShape::local(k), 64.0, 0),
+                },
+                measured_phi: 2000.0,
+            });
+        }
+        // Two different multi-GPU shapes on the unrefined type 1: the second
+        // reuses own1/ref1 from the memo (only refn + the outer query miss).
+        let _ = est.estimate(GpuTypeId(1), AllocShape::local(2));
+        let (_, m1) = est.memo_stats();
+        let _ = est.estimate(GpuTypeId(1), AllocShape::local(4));
+        let (h2, m2) = est.memo_stats();
+        assert!(h2 >= 2, "single-GPU terms should be cache hits");
+        assert!(m2 - m1 <= 2, "only the new shape terms should recompute");
     }
 
     #[test]

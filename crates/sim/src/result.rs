@@ -103,6 +103,18 @@ pub struct SolverStats {
     pub lp_objective: Option<f64>,
     /// Objective of the returned assignment, when one exists.
     pub objective: Option<f64>,
+    /// Goodput-matrix rows reused verbatim from the previous round.
+    pub cache_hits: usize,
+    /// Goodput-matrix rows re-enumerated this round (dirty jobs).
+    pub cache_misses: usize,
+    /// Objective of the warm-start incumbent accepted by branch-and-bound,
+    /// when the previous round's assignment seeded a feasible incumbent.
+    pub incumbent_seed: Option<f64>,
+    /// Estimated simplex pivots avoided by warm-starting node LP
+    /// relaxations from their parent's basis.
+    pub warm_pivots_saved: usize,
+    /// Worker threads used for candidate-matrix evaluation.
+    pub workers: usize,
     /// How the solve concluded.
     pub outcome: SolveOutcome,
 }
@@ -250,6 +262,11 @@ mod tests {
                         pivots: 40,
                         lp_objective: Some(5.0),
                         objective: Some(4.5),
+                        cache_hits: 8,
+                        cache_misses: 4,
+                        incumbent_seed: Some(4.4),
+                        warm_pivots_saved: 10,
+                        workers: 2,
                         outcome: SolveOutcome::Optimal,
                     }),
                 },

@@ -43,5 +43,6 @@ pub mod simplex;
 
 pub use error::SolverError;
 pub use lagrangian::{solve_assignment_lagrangian, AssignmentItem, AssignmentSolution};
-pub use milp::{MilpOptions, MilpStatus};
+pub use milp::{MilpOptions, MilpStatus, MilpWarmStart};
 pub use problem::{ConstraintOp, Problem, Sense, Solution, VarId};
+pub use simplex::Basis;

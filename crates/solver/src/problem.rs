@@ -230,6 +230,16 @@ impl Problem {
         milp::solve(self, opts)
     }
 
+    /// Solves the problem respecting integrality marks, optionally seeded
+    /// with a warm start from a previous related solve.
+    pub fn solve_milp_warm(
+        &self,
+        opts: &MilpOptions,
+        warm: Option<&milp::MilpWarmStart>,
+    ) -> Result<MilpSolution, SolverError> {
+        milp::solve_warm(self, opts, warm)
+    }
+
     /// Evaluates the objective at a point (in the problem's own sense).
     pub fn eval_objective(&self, x: &[f64]) -> f64 {
         self.objective.iter().zip(x).map(|(c, v)| c * v).sum()

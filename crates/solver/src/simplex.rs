@@ -35,6 +35,44 @@ enum VarState {
     AtUpper,
 }
 
+/// Opaque snapshot of a simplex basis, captured after a successful solve and
+/// installable into a later solve of a *structurally identical* problem (same
+/// constraint rows, same structural and slack columns).
+///
+/// Bounds are allowed to differ between the capturing and the receiving
+/// problem: installation refactorizes, which recomputes every basic value at
+/// the receiver's bounds and re-seats nonbasic variables on their (possibly
+/// moved) rest bounds. This is exactly the branch-and-bound case — a child
+/// node's LP differs from its parent's only in one variable bound, so the
+/// parent's optimal basis is a primal-feasible (often optimal) starting point
+/// and phase 1 can be skipped entirely.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// Number of constraint rows the basis was captured against.
+    m: usize,
+    /// Number of structural + slack columns (artificials excluded).
+    n_cols: usize,
+    /// Basic column index per row; all entries are `< n_cols`.
+    basis: Vec<usize>,
+    /// Rest state per structural/slack column.
+    state: Vec<VarState>,
+}
+
+/// Result of a warm-capable LP solve ([`solve_with_warm_start`]).
+#[derive(Debug, Clone)]
+pub struct WarmOutcome {
+    /// The optimal solution, identical in meaning to [`solve_with_limit`]'s.
+    pub solution: Solution,
+    /// Final basis, exportable for a future warm start. `None` when the
+    /// optimal basis still contains artificial columns (degenerate phase-1
+    /// leftovers), which would not be portable across tableaus.
+    pub basis: Option<Basis>,
+    /// Whether the supplied warm basis was accepted (dimensions matched and
+    /// it was primal-feasible under the new bounds). When `false` the solve
+    /// ran cold from the usual slack/artificial start.
+    pub warm_used: bool,
+}
+
 /// Internal standard-form tableau data.
 struct Tableau {
     /// Number of rows (constraints).
@@ -569,8 +607,24 @@ pub fn default_iteration_limit(p: &Problem) -> usize {
 /// per call (aggregated — never per pivot), plus `solver.simplex.infeasible`
 /// or `solver.simplex.iteration_limit` on those outcomes.
 pub fn solve_with_limit(p: &Problem, max_iters: usize) -> Result<Solution, SolverError> {
+    solve_with_warm_start(p, max_iters, None).map(|w| w.solution)
+}
+
+/// Solves the LP relaxation of `p`, optionally warm-starting from a basis
+/// captured on a structurally identical problem (see [`Basis`]).
+///
+/// An unusable warm basis (dimension mismatch, singular after the bound
+/// changes, or primal-infeasible at the new bounds) silently falls back to
+/// the cold two-phase start, so this is never less robust than
+/// [`solve_with_limit`]. Telemetry: the usual `solver.simplex.*` counters
+/// plus `solver.simplex.warm_accepted` / `solver.simplex.warm_rejected`.
+pub fn solve_with_warm_start(
+    p: &Problem,
+    max_iters: usize,
+    warm: Option<&Basis>,
+) -> Result<WarmOutcome, SolverError> {
     let mut iters = 0usize;
-    let out = solve_with_limit_inner(p, max_iters, &mut iters);
+    let out = solve_inner(p, max_iters, &mut iters, warm);
     sia_telemetry::counter("solver.simplex.solves").incr();
     sia_telemetry::counter("solver.simplex.pivots").add(iters as u64);
     match &out {
@@ -582,18 +636,242 @@ pub fn solve_with_limit(p: &Problem, max_iters: usize) -> Result<Solution, Solve
         }
         _ => {}
     }
+    if warm.is_some() {
+        match &out {
+            Ok(w) if w.warm_used => sia_telemetry::counter("solver.simplex.warm_accepted").incr(),
+            _ => sia_telemetry::counter("solver.simplex.warm_rejected").incr(),
+        }
+    }
     out
 }
 
-fn solve_with_limit_inner(
+/// True if every basic variable sits within its (current) bounds.
+fn primal_feasible(tab: &Tableau, st: &State) -> bool {
+    (0..tab.m).all(|i| {
+        let bj = st.basis[i];
+        st.xb[i] >= tab.lower[bj] - FEAS_TOL
+            && (!tab.upper[bj].is_finite() || st.xb[i] <= tab.upper[bj] + FEAS_TOL)
+    })
+}
+
+/// Restores primal feasibility after bound changes via bounded-variable
+/// *dual* simplex pivots: the most-violated basic variable leaves toward its
+/// violated bound, and the entering column is chosen by the dual ratio test
+/// (min `|d_j| / |alpha_j|`), which preserves dual feasibility of a basis
+/// that was optimal before the bound change. Artificial columns never enter.
+///
+/// Returns `true` once every basic variable is back within bounds; `false`
+/// when no admissible pivot exists or the iteration cap is hit (the caller
+/// then falls back to a cold start, so a failure here only costs time).
+fn dual_repair(tab: &Tableau, st: &mut State, iters: &mut usize) -> bool {
+    let m = tab.m;
+    let mut y = vec![0.0; m];
+    let mut w = vec![0.0; m];
+    let max_rounds = 4 * m + 50;
+    for _ in 0..max_rounds {
+        if st.pivots_since_refactor >= REFACTOR_EVERY && st.refactorize(tab).is_err() {
+            return false;
+        }
+
+        // Leaving row: the most-violated basic variable.
+        let mut leave: Option<(usize, f64, bool)> = None; // (row, violation, to_upper)
+        for i in 0..m {
+            let bj = st.basis[i];
+            let below = tab.lower[bj] - st.xb[i];
+            let above = if tab.upper[bj].is_finite() {
+                st.xb[i] - tab.upper[bj]
+            } else {
+                f64::NEG_INFINITY
+            };
+            let (v, to_upper) = if above > below {
+                (above, true)
+            } else {
+                (below, false)
+            };
+            if v > FEAS_TOL && leave.is_none_or(|(_, bv, _)| v > bv) {
+                leave = Some((i, v, to_upper));
+            }
+        }
+        let (r, _, to_upper) = match leave {
+            Some(l) => l,
+            None => return true,
+        };
+        let j_out = st.basis[r];
+        let bound_target = if to_upper {
+            tab.upper[j_out]
+        } else {
+            tab.lower[j_out]
+        };
+        let delta = st.xb[r] - bound_target; // > 0 iff to_upper
+
+        // Reduced costs under the real objective and the pivot row of B^-1.
+        st.btran(tab, &tab.cost, &mut y);
+        let rho = &st.binv[r * m..(r + 1) * m];
+
+        // Entering column: dual ratio test over admissible nonbasic
+        // structural/slack columns.
+        let mut enter: Option<(usize, f64, f64, f64)> = None; // (col, ratio, alpha, sigma)
+        for j in 0..tab.first_artificial {
+            let sigma = match st.state[j] {
+                VarState::Basic(_) => continue,
+                VarState::AtLower => 1.0,
+                VarState::AtUpper => -1.0,
+            };
+            if tab.upper[j] - tab.lower[j] < 1e-15 {
+                continue;
+            }
+            let mut alpha = 0.0;
+            for &(row, a) in &tab.cols[j] {
+                alpha += rho[row] * a;
+            }
+            let signed = alpha * sigma;
+            let admissible = if to_upper {
+                signed > PIVOT_TOL
+            } else {
+                signed < -PIVOT_TOL
+            };
+            if !admissible {
+                continue;
+            }
+            let mut d = tab.cost[j];
+            for &(row, a) in &tab.cols[j] {
+                d -= y[row] * a;
+            }
+            let ratio = d.abs() / alpha.abs();
+            let better = match enter {
+                Some((_, br, ba, _)) => {
+                    ratio < br - OPT_TOL || (ratio < br + OPT_TOL && alpha.abs() > ba.abs())
+                }
+                None => true,
+            };
+            if better {
+                enter = Some((j, ratio, alpha, sigma));
+            }
+        }
+        let (j_in, _, _, sigma) = match enter {
+            Some(e) => e,
+            // Dual unbounded: primal infeasible at these bounds. Let the
+            // cold two-phase start make that determination.
+            None => return false,
+        };
+
+        st.ftran(tab, j_in, &mut w);
+        let t = delta / (w[r] * sigma);
+        let range = tab.upper[j_in] - tab.lower[j_in];
+        if range.is_finite() && t > range + FEAS_TOL {
+            // Generalized ratio test: the entering variable hits its other
+            // bound first. Flip it, absorb the move, re-select the row.
+            for i in 0..m {
+                st.xb[i] -= sigma * range * w[i];
+            }
+            st.state[j_in] = if sigma > 0.0 {
+                VarState::AtUpper
+            } else {
+                VarState::AtLower
+            };
+            *iters += 1;
+            continue;
+        }
+
+        let wr = w[r];
+        if wr.abs() < PIVOT_TOL {
+            return false;
+        }
+        let enter_from = if sigma > 0.0 {
+            tab.lower[j_in]
+        } else {
+            tab.upper[j_in]
+        };
+        for i in 0..m {
+            st.xb[i] -= sigma * t * w[i];
+        }
+        let (pivot_row, mut tail) = split_row(&mut st.binv, r, m);
+        for i in 0..m {
+            if i == r {
+                continue;
+            }
+            let f = w[i] / wr;
+            if f != 0.0 {
+                let row_i = row_mut(&mut tail, i, r, m);
+                for k in 0..m {
+                    row_i[k] -= f * pivot_row[k];
+                }
+            }
+        }
+        for v in pivot_row.iter_mut() {
+            *v /= wr;
+        }
+        st.basis[r] = j_in;
+        st.state[j_in] = VarState::Basic(r);
+        st.state[j_out] = if to_upper {
+            VarState::AtUpper
+        } else {
+            VarState::AtLower
+        };
+        st.xb[r] = enter_from + sigma * t;
+        st.pivots_since_refactor += 1;
+        *iters += 1;
+    }
+    false
+}
+
+/// Attempts to install `wb` into `(tab, st)`. Returns `true` on success; on
+/// any failure the state is restored to the cold start and `false` returned.
+///
+/// Bound changes since the basis was captured (the branch-and-bound case)
+/// usually leave the branching variable basic but out of bounds; those are
+/// repaired with dual simplex pivots (see [`dual_repair`]) rather than
+/// rejected outright.
+fn install_warm_basis(tab: &Tableau, st: &mut State, wb: &Basis, iters: &mut usize) -> bool {
+    if wb.m != tab.m || wb.n_cols != tab.first_artificial {
+        return false;
+    }
+    // Rebuild the candidate rest states against the *current* bounds:
+    // artificial columns (if any) rest at zero, and a variable whose upper
+    // bound became infinite can no longer rest there.
+    let mut cand_state = Vec::with_capacity(tab.n_total());
+    cand_state.extend_from_slice(&wb.state);
+    cand_state.resize(tab.n_total(), VarState::AtLower);
+    for (j, s) in cand_state.iter_mut().enumerate() {
+        if *s == VarState::AtUpper && !tab.upper[j].is_finite() {
+            *s = VarState::AtLower;
+        }
+    }
+    let saved = (
+        st.basis.clone(),
+        st.state.clone(),
+        st.binv.clone(),
+        st.xb.clone(),
+    );
+    st.basis.clone_from(&wb.basis);
+    st.state = cand_state;
+    let feasible = st.refactorize(tab).is_ok()
+        && (primal_feasible(tab, st) || (dual_repair(tab, st, iters) && primal_feasible(tab, st)));
+    if feasible {
+        return true;
+    }
+    (st.basis, st.state, st.binv, st.xb) = saved;
+    st.pivots_since_refactor = 0;
+    false
+}
+
+fn solve_inner(
     p: &Problem,
     max_iters: usize,
     iters: &mut usize,
-) -> Result<Solution, SolverError> {
+    warm: Option<&Basis>,
+) -> Result<WarmOutcome, SolverError> {
     let (tab, mut st) = Tableau::from_problem(p)?;
 
-    // Phase 1: drive artificials to zero.
-    if tab.has_artificials() {
+    let warm_used = match warm {
+        Some(wb) => install_warm_basis(&tab, &mut st, wb, iters),
+        None => false,
+    };
+
+    // Phase 1: drive artificials to zero. A successfully installed warm
+    // basis is already primal-feasible with every artificial nonbasic at
+    // zero, so it jumps straight to phase 2.
+    if !warm_used && tab.has_artificials() {
         let mut c1 = vec![0.0; tab.n_total()];
         for cj in c1.iter_mut().skip(tab.first_artificial) {
             *cj = -1.0;
@@ -656,10 +934,29 @@ fn solve_with_limit_inner(
         }
     }
     let objective = p.eval_objective(&x);
-    Ok(Solution {
-        objective,
-        values: x,
-        pivots: *iters,
+
+    // Export the final basis for future warm starts — unless it still holds
+    // an artificial column (possible after a degenerate phase 1), which has
+    // no stable identity across tableaus.
+    let basis = if st.basis.iter().all(|&j| j < tab.first_artificial) {
+        Some(Basis {
+            m: tab.m,
+            n_cols: tab.first_artificial,
+            basis: st.basis.clone(),
+            state: st.state[..tab.first_artificial].to_vec(),
+        })
+    } else {
+        None
+    };
+
+    Ok(WarmOutcome {
+        solution: Solution {
+            objective,
+            values: x,
+            pivots: *iters,
+        },
+        basis,
+        warm_used,
     })
 }
 
@@ -813,6 +1110,51 @@ mod tests {
         p.add_eq(&[(x, 1.0)], 0.25);
         let s = p.solve_lp().unwrap();
         assert_close(s.value(x), 0.25);
+    }
+
+    #[test]
+    fn warm_start_after_bound_change_matches_cold() {
+        // Solve, tighten one bound, re-solve warm from the old basis: the
+        // result must match a cold solve of the modified problem.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0, 0.0, 1.0);
+        let y = p.add_var(5.0, 0.0, 1.0);
+        let z = p.add_var(4.0, 0.0, 1.0);
+        p.add_le(&[(x, 1.0), (y, 2.0), (z, 1.0)], 2.5);
+        let limit = super::default_iteration_limit(&p);
+        let first = super::solve_with_warm_start(&p, limit, None).unwrap();
+        assert!(!first.warm_used);
+        let basis = first.basis.expect("artificial-free basis");
+
+        p.set_bounds(x, 0.0, 0.0); // branch-style bound fix
+        let cold = super::solve_with_limit(&p, limit).unwrap();
+        let warm = super::solve_with_warm_start(&p, limit, Some(&basis)).unwrap();
+        assert!(warm.warm_used, "warm basis should be accepted");
+        assert_close(warm.solution.objective, cold.objective);
+        assert!(warm.solution.pivots <= cold.pivots);
+    }
+
+    #[test]
+    fn mismatched_warm_basis_falls_back_cold() {
+        let mut small = Problem::new(Sense::Maximize);
+        let a = small.add_var(1.0, 0.0, 1.0);
+        small.add_le(&[(a, 1.0)], 1.0);
+        let basis = super::solve_with_warm_start(&small, 100, None)
+            .unwrap()
+            .basis
+            .unwrap();
+
+        let mut big = Problem::new(Sense::Maximize);
+        let x = big.add_var(3.0, 0.0, 4.0);
+        let y = big.add_var(5.0, 0.0, 6.0);
+        big.add_le(&[(x, 1.0)], 4.0);
+        big.add_le(&[(y, 2.0)], 12.0);
+        big.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let out =
+            super::solve_with_warm_start(&big, super::default_iteration_limit(&big), Some(&basis))
+                .unwrap();
+        assert!(!out.warm_used, "mismatched basis must be rejected");
+        assert_close(out.solution.objective, 36.0);
     }
 
     #[test]

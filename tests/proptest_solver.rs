@@ -1,7 +1,7 @@
 //! Property-based tests for the LP/MILP solver.
 
 use proptest::prelude::*;
-use sia::solver::{MilpOptions, Problem, Sense, SolverError};
+use sia::solver::{MilpOptions, MilpWarmStart, Problem, Sense, SolverError};
 
 /// A random small knapsack-like maximization problem.
 fn small_problem() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, f64)> {
@@ -133,6 +133,33 @@ proptest! {
             .map(|&(_, g, _)| g as f64)
             .sum();
         prop_assert!(used <= cap as f64 + 1e-9);
+    }
+
+    /// A warm-start hint — feasible, infeasible or garbage — never changes
+    /// the MILP optimum: warm and cold objectives agree to 1e-6.
+    #[test]
+    fn warm_start_matches_cold_objective(
+        (obj, w, cap) in small_problem(),
+        hint_bits in proptest::collection::vec(0.0f64..1.0, 7),
+    ) {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = obj.iter().map(|&c| p.add_binary_var(c)).collect();
+        let row: Vec<_> = vars.iter().zip(&w).map(|(&v, &wi)| (v, wi)).collect();
+        p.add_le(&row, cap);
+        let opts = MilpOptions::default();
+        let cold = p.solve_milp_with(&opts).unwrap();
+        let hint: Vec<f64> = hint_bits
+            .iter()
+            .take(obj.len())
+            .map(|&b| if b >= 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let warm = p
+            .solve_milp_warm(&opts, Some(&MilpWarmStart { hint }))
+            .unwrap();
+        prop_assert!(
+            (warm.solution.objective - cold.solution.objective).abs() < 1e-6,
+            "warm {} vs cold {}", warm.solution.objective, cold.solution.objective
+        );
     }
 }
 

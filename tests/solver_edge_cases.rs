@@ -82,13 +82,52 @@ fn tight_time_limit_never_panics() {
     }
     p.add_le(&row, 13.7);
     let opts = MilpOptions {
-        time_limit: std::time::Duration::from_millis(1),
+        time_limit: Some(std::time::Duration::from_millis(1)),
         ..MilpOptions::default()
     };
     match p.solve_milp_with(&opts) {
         Ok(sol) => assert!(p.max_violation(&sol.solution.values) < 1e-6),
         Err(SolverError::IterationLimit(_)) => {}
         Err(e) => panic!("unexpected: {e}"),
+    }
+}
+
+#[test]
+fn tight_node_budget_is_deterministic() {
+    // With no wall-clock limit, a node-budget-truncated solve must return
+    // the exact same solution on every run.
+    let build = || {
+        let mut p = Problem::new(Sense::Maximize);
+        let mut row = Vec::new();
+        for i in 0..24 {
+            let v = p.add_binary_var(1.0 + (i as f64) * 0.013);
+            row.push((v, 1.0 + (i % 5) as f64 * 0.31));
+        }
+        p.add_le(&row, 13.7);
+        p
+    };
+    let opts = MilpOptions {
+        max_nodes: 7,
+        time_limit: None,
+        ..MilpOptions::default()
+    };
+    let solve = || {
+        build().solve_milp_with(&opts).map(|s| {
+            (
+                s.solution.values.clone(),
+                s.solution.objective,
+                s.nodes_explored,
+            )
+        })
+    };
+    let first = solve();
+    for _ in 0..2 {
+        let again = solve();
+        match (&first, &again) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            _ => panic!("determinism violated: {first:?} vs {again:?}"),
+        }
     }
 }
 
