@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use sia_cluster::{ClusterSpec, GpuTypeId, JobId};
+use sia_cluster::{ClusterView, GpuTypeId, JobId};
 use sia_sim::{AllocationMap, JobView, Scheduler};
 use sia_solver::{Problem, Sense};
 
@@ -79,7 +79,8 @@ impl GavelPolicy {
     /// jobs make the LP degenerate and an arbitrary vertex starves the rest
     /// forever). The max-min objectives introduce an auxiliary epigraph
     /// variable `z` with one `>=` row per job.
-    fn solve_lp(&self, jobs: &[JobView<'_>], spec: &ClusterSpec) -> BTreeMap<JobId, Vec<f64>> {
+    fn solve_lp(&self, jobs: &[JobView<'_>], cluster: &ClusterView) -> BTreeMap<JobId, Vec<f64>> {
+        let spec = cluster.spec();
         let n_types = spec.num_gpu_types();
         let mut problem = Problem::new(Sense::Maximize);
         let mut vars = Vec::new(); // (job idx, type idx, var, demand, throughput)
@@ -123,7 +124,7 @@ impl GavelPolicy {
                 .map(|&(_, _, v, d, _)| (v, d as f64))
                 .collect();
             if !row.is_empty() {
-                problem.add_le(&row, spec.gpus_of_type(t) as f64);
+                problem.add_le(&row, cluster.gpus_of_type(t) as f64);
             }
         }
         // Epigraph rows for the max-min objectives.
@@ -177,9 +178,15 @@ impl Scheduler for GavelPolicy {
         self.cfg.round_duration
     }
 
-    fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[JobView<'_>],
+        cluster: &ClusterView,
+    ) -> AllocationMap {
         let _span = sia_telemetry::span("baseline.gavel.schedule");
         sia_telemetry::counter("baseline.gavel.rounds").incr();
+        let spec = cluster.spec();
         let n_types = spec.num_gpu_types();
 
         // Account the previous round's received time per type.
@@ -195,7 +202,7 @@ impl Scheduler for GavelPolicy {
             }
         }
 
-        let x = self.solve_lp(jobs, spec);
+        let x = self.solve_lp(jobs, cluster);
 
         // Priorities: X_jg / f_jg with f the achieved time fraction.
         let mut prio: Vec<(f64, usize, GpuTypeId)> = Vec::new();
@@ -213,7 +220,7 @@ impl Scheduler for GavelPolicy {
         }
         prio.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
-        let mut free = LooseFree::all_free(spec);
+        let mut free = LooseFree::for_view(cluster);
         let mut out = AllocationMap::new();
         for &(_, ji, t) in &prio {
             let view = &jobs[ji];
@@ -257,7 +264,7 @@ impl Scheduler for GavelPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sia_cluster::Placement;
+    use sia_cluster::{ClusterSpec, Placement};
     use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
     use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
 
@@ -335,10 +342,10 @@ mod tests {
 
     #[test]
     fn allocates_rigid_demand_exactly() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let fx = Fx::new(4, 4);
         let mut gavel = GavelPolicy::default();
-        let out = gavel.schedule(0.0, &fx.views(), &spec);
+        let out = gavel.schedule(0.0, &fx.views(), &cluster);
         assert_eq!(out.len(), 4);
         for p in out.values() {
             assert_eq!(p.total_gpus(), 4);
@@ -347,10 +354,10 @@ mod tests {
 
     #[test]
     fn respects_capacity_under_contention() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let fx = Fx::new(30, 4); // 120 GPUs demanded, 64 available
         let mut gavel = GavelPolicy::default();
-        let out = gavel.schedule(0.0, &fx.views(), &spec);
+        let out = gavel.schedule(0.0, &fx.views(), &cluster);
         let used: usize = out.values().map(|p| p.total_gpus()).sum();
         assert!(used <= 64);
         assert!(out.len() <= 16);
@@ -359,12 +366,12 @@ mod tests {
 
     #[test]
     fn time_sharing_rotates_starved_jobs_in() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let mut fx = Fx::new(30, 4);
         let mut gavel = GavelPolicy::default();
         let mut ever_allocated = std::collections::BTreeSet::new();
         for _ in 0..12 {
-            let out = gavel.schedule(0.0, &fx.views(), &spec);
+            let out = gavel.schedule(0.0, &fx.views(), &cluster);
             for (id, p) in &out {
                 ever_allocated.insert(*id);
                 let i = id.0 as usize;
@@ -385,20 +392,20 @@ mod tests {
 
     #[test]
     fn single_job_gets_fastest_type() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let fx = Fx::new(1, 4);
         let mut gavel = GavelPolicy::default();
-        let out = gavel.schedule(0.0, &fx.views(), &spec);
+        let out = gavel.schedule(0.0, &fx.views(), &cluster);
         let p = &out[&JobId(0)];
-        let a100 = spec.gpu_type_by_name("a100").unwrap();
-        assert_eq!(p.gpu_type(&spec), a100);
+        let a100 = cluster.gpu_type_by_name("a100").unwrap();
+        assert_eq!(p.gpu_type(cluster.spec()), a100);
     }
 }
 
 #[cfg(test)]
 mod objective_tests {
     use super::*;
-    use sia_cluster::Placement;
+    use sia_cluster::{ClusterSpec, Placement};
     use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
     use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
 
@@ -478,13 +485,13 @@ mod objective_tests {
     fn max_min_fairness_spreads_shares() {
         // 30 identical jobs, capacity 16 slots of 4 GPUs: under max-min,
         // every job's LP share must be equal (16/30 each, up to tolerance).
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let fx = Fx::new(30, 4);
         let gavel = GavelPolicy::new(GavelConfig {
             objective: GavelObjective::MaxMinFairness,
             ..Default::default()
         });
-        let x = gavel.solve_lp(&fx.views(), &spec);
+        let x = gavel.solve_lp(&fx.views(), &cluster);
         let shares: Vec<f64> = x.values().map(|row| row.iter().sum::<f64>()).collect();
         let min = shares.iter().cloned().fold(f64::INFINITY, f64::min);
         // No job is starved under max-min fairness.
@@ -493,7 +500,7 @@ mod objective_tests {
 
     #[test]
     fn min_makespan_prioritizes_jobs_with_more_remaining_work() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let mut fx = Fx::new(20, 4);
         // Job 0 is nearly done; job 1 has everything left.
         fx.progress[0] = 0.99;
@@ -502,7 +509,7 @@ mod objective_tests {
             objective: GavelObjective::MinMakespan,
             ..Default::default()
         });
-        let x = gavel.solve_lp(&fx.views(), &spec);
+        let x = gavel.solve_lp(&fx.views(), &cluster);
         let share = |i: u64| x[&JobId(i)].iter().sum::<f64>();
         assert!(
             share(1) > share(0),
@@ -514,7 +521,7 @@ mod objective_tests {
 
     #[test]
     fn all_objectives_schedule_end_to_end() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let fx = Fx::new(10, 4);
         for objective in [
             GavelObjective::MaxSumThroughput,
@@ -525,7 +532,7 @@ mod objective_tests {
                 objective,
                 ..Default::default()
             });
-            let out = gavel.schedule(0.0, &fx.views(), &spec);
+            let out = gavel.schedule(0.0, &fx.views(), &cluster);
             assert!(!out.is_empty(), "{objective:?} allocated nothing");
             let used: usize = out.values().map(|p| p.total_gpus()).sum();
             assert!(used <= 64);

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sia_cluster::{ClusterSpec, GpuTypeId, JobId, Placement};
+use sia_cluster::{ClusterView, GpuTypeId, JobId, Placement};
 use sia_models::AllocShape;
 use sia_sim::{AllocationMap, JobView, Scheduler};
 
@@ -60,9 +60,13 @@ struct VNode {
     gpu_type: GpuTypeId,
 }
 
-fn virtual_nodes(spec: &ClusterSpec) -> Vec<VNode> {
+fn virtual_nodes(cluster: &ClusterView) -> Vec<VNode> {
     let mut out = Vec::new();
-    for n in spec.nodes() {
+    for n in cluster.nodes() {
+        // Draining/Removed nodes present no virtual capacity to the GA.
+        if !cluster.is_placeable(n.id) {
+            continue;
+        }
         let mut left = n.num_gpus;
         while left > 0 {
             let g = left.min(VNODE_GPUS);
@@ -120,14 +124,15 @@ impl PolluxPolicy {
     fn speedup_tables(
         &mut self,
         jobs: &[JobView<'_>],
-        spec: &ClusterSpec,
+        cluster: &ClusterView,
         vnodes: &[VNode],
     ) -> Vec<SpeedupTable> {
+        let spec = cluster.spec();
         let live: std::collections::BTreeSet<JobId> = jobs.iter().map(|v| v.id).collect();
         self.curve_cache.retain(|id, _| live.contains(id));
-        let default_type = spec
+        let default_type = cluster
             .gpu_types()
-            .max_by_key(|&t| spec.gpus_of_type(t))
+            .max_by_key(|&t| cluster.gpus_of_type(t))
             .expect("non-empty cluster");
         jobs.iter()
             .map(|view| {
@@ -136,7 +141,7 @@ impl PolluxPolicy {
                 } else {
                     view.current.gpu_type(spec)
                 };
-                let max_gpus = view.spec.max_gpus.min(spec.total_gpus()).max(1);
+                let max_gpus = view.spec.max_gpus.min(cluster.total_gpus()).max(1);
                 let version = view.estimator.version();
                 let (local, dist) = match self.curve_cache.get(&view.id) {
                     Some((v, ct, l, d)) if *v == version && *ct == t && l.len() == max_gpus + 1 => {
@@ -282,10 +287,11 @@ impl PolluxPolicy {
         &self,
         ind: &[u8],
         jobs: &[JobView<'_>],
-        spec: &ClusterSpec,
+        cluster: &ClusterView,
         vnodes: &[VNode],
         tables: &[SpeedupTable],
     ) -> AllocationMap {
+        let spec = cluster.spec();
         let n_vnodes = vnodes.len();
         let mut out = AllocationMap::new();
         let mut used: Vec<usize> = vec![0; spec.nodes().len()];
@@ -332,11 +338,21 @@ impl PolluxPolicy {
                     let new_r = spec.gpus_per_node_of_type(keep);
                     let new_speed = lookup(want, want > new_r);
                     if new_speed < cur_speed * 1.02 {
-                        // Not worth a restart: keep the current allocation.
-                        for &(node, g) in &view.current.slots {
-                            used[node] += g;
+                        // Not worth a restart: keep the current allocation —
+                        // unless its nodes lost capacity, then re-place.
+                        let fits = view
+                            .current
+                            .slots
+                            .iter()
+                            .all(|&(node, g)| used[node] + g <= cluster.capacity_of(node));
+                        if fits {
+                            for &(node, g) in &view.current.slots {
+                                used[node] += g;
+                            }
+                            out.insert(view.id, view.current.clone());
+                        } else {
+                            deferred.push((ji, cur_type, cur_gpus));
                         }
-                        out.insert(view.id, view.current.clone());
                         continue;
                     }
                 }
@@ -348,7 +364,9 @@ impl PolluxPolicy {
             {
                 let mut fits = true;
                 for &(node, g) in &view.current.slots {
-                    if used[node] + g > spec.nodes()[node].num_gpus {
+                    // capacity_of is 0 for Draining/Removed nodes, so a job
+                    // whose node lost capacity is re-placed, never kept.
+                    if used[node] + g > cluster.capacity_of(node) {
                         fits = false;
                         break;
                     }
@@ -371,17 +389,17 @@ impl PolluxPolicy {
             let view = &jobs[ji];
             let mut remaining = want;
             let mut slots: BTreeMap<usize, usize> = BTreeMap::new();
-            let mut nodes: Vec<usize> = spec
+            let mut nodes: Vec<usize> = cluster
                 .nodes_of_type(t)
                 .map(|n| n.id)
-                .filter(|&id| spec.nodes()[id].num_gpus > used[id])
+                .filter(|&id| cluster.capacity_of(id) > used[id])
                 .collect();
-            nodes.sort_by_key(|&id| std::cmp::Reverse(spec.nodes()[id].num_gpus - used[id]));
+            nodes.sort_by_key(|&id| std::cmp::Reverse(cluster.capacity_of(id) - used[id]));
             for id in nodes {
                 if remaining == 0 {
                     break;
                 }
-                let free = spec.nodes()[id].num_gpus - used[id];
+                let free = cluster.capacity_of(id) - used[id];
                 let take = free.min(remaining);
                 if take > 0 {
                     *slots.entry(id).or_default() += take;
@@ -406,19 +424,24 @@ impl Scheduler for PolluxPolicy {
         self.cfg.round_duration
     }
 
-    fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[JobView<'_>],
+        cluster: &ClusterView,
+    ) -> AllocationMap {
         let _span = sia_telemetry::span("baseline.pollux.schedule");
         sia_telemetry::counter("baseline.pollux.rounds").incr();
         if jobs.is_empty() {
             return AllocationMap::new();
         }
-        let vnodes = virtual_nodes(spec);
+        let vnodes = virtual_nodes(cluster);
         let n_vnodes = vnodes.len();
         let n_jobs = jobs.len();
         // The real GA iterates until convergence; the search space grows
         // with the cluster, so the generation budget scales with it.
         let generations = self.cfg.generations.max(n_vnodes);
-        let tables = self.speedup_tables(jobs, spec, &vnodes);
+        let tables = self.speedup_tables(jobs, cluster, &vnodes);
 
         // Seed population: the current allocation plus random perturbations.
         let genome_len = n_jobs * n_vnodes;
@@ -468,13 +491,14 @@ impl Scheduler for PolluxPolicy {
         }
         population.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let best = &population[0].0;
-        self.to_placements(best, jobs, spec, &vnodes, &tables)
+        self.to_placements(best, jobs, cluster, &vnodes, &tables)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sia_cluster::ClusterSpec;
     use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
     use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
 
@@ -550,8 +574,8 @@ mod tests {
 
     #[test]
     fn virtual_nodes_split_8gpu_nodes() {
-        let spec = ClusterSpec::heterogeneous_64();
-        let vn = virtual_nodes(&spec);
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
+        let vn = virtual_nodes(&cluster);
         // 6 t4 nodes (4 GPUs = 1 vnode) + 3 rtx (8 = 2 vnodes) + 2 a100 (2
         // vnodes each) = 6 + 6 + 4 = 16 vnodes.
         assert_eq!(vn.len(), 16);
@@ -562,10 +586,10 @@ mod tests {
 
     #[test]
     fn allocates_every_job_when_capacity_allows() {
-        let spec = ClusterSpec::homogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::homogeneous_64());
         let fx = Fx::new(8, 1);
         let mut pollux = PolluxPolicy::default();
-        let out = pollux.schedule(0.0, &fx.views(), &spec);
+        let out = pollux.schedule(0.0, &fx.views(), &cluster);
         // The harmonic-mean fitness tanks when any job is starved, so all 8
         // jobs must get GPUs on a 64-GPU cluster.
         assert_eq!(out.len(), 8);
@@ -573,10 +597,11 @@ mod tests {
 
     #[test]
     fn never_exceeds_capacity() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
+        let spec = cluster.spec();
         let fx = Fx::new(40, 3);
         let mut pollux = PolluxPolicy::default();
-        let out = pollux.schedule(0.0, &fx.views(), &spec);
+        let out = pollux.schedule(0.0, &fx.views(), &cluster);
         let mut used = vec![0usize; spec.nodes().len()];
         for p in out.values() {
             for &(node, g) in &p.slots {
@@ -590,18 +615,21 @@ mod tests {
 
     #[test]
     fn placements_are_single_type_after_fixup() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let fx = Fx::new(12, 3);
         let mut pollux = PolluxPolicy::default();
-        let out = pollux.schedule(0.0, &fx.views(), &spec);
+        let out = pollux.schedule(0.0, &fx.views(), &cluster);
         for p in out.values() {
-            assert!(p.is_single_type(&spec), "fix-up must strip minority types");
+            assert!(
+                p.is_single_type(cluster.spec()),
+                "fix-up must strip minority types"
+            );
         }
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let spec = ClusterSpec::homogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::homogeneous_64());
         let fx = Fx::new(6, 1);
         let mut pa = PolluxPolicy::new(PolluxConfig {
             seed: 3,
@@ -611,8 +639,8 @@ mod tests {
             seed: 3,
             ..Default::default()
         });
-        let a = pa.schedule(0.0, &fx.views(), &spec);
-        let b = pb.schedule(0.0, &fx.views(), &spec);
+        let a = pa.schedule(0.0, &fx.views(), &cluster);
+        let b = pb.schedule(0.0, &fx.views(), &cluster);
         assert_eq!(a, b);
     }
 }

@@ -16,7 +16,7 @@
 //!   inflation);
 //! * allocation is greedy by score, whole-demand-or-nothing.
 
-use sia_cluster::ClusterSpec;
+use sia_cluster::{ClusterSpec, ClusterView};
 use sia_sim::{AllocationMap, JobView, Scheduler};
 
 use crate::util::{point_for, rigid_demand, LooseFree};
@@ -91,9 +91,15 @@ impl Scheduler for ShockwavePolicy {
         self.cfg.round_duration
     }
 
-    fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[JobView<'_>],
+        cluster: &ClusterView,
+    ) -> AllocationMap {
         let _span = sia_telemetry::span("baseline.shockwave.schedule");
         sia_telemetry::counter("baseline.shockwave.rounds").incr();
+        let spec = cluster.spec();
         let mut scored: Vec<(f64, usize)> = jobs
             .iter()
             .enumerate()
@@ -115,7 +121,7 @@ impl Scheduler for ShockwavePolicy {
             .collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
-        let mut free = LooseFree::all_free(spec);
+        let mut free = LooseFree::for_view(cluster);
         let mut out = AllocationMap::new();
         for &(_, i) in &scored {
             let view = &jobs[i];
@@ -247,10 +253,10 @@ mod tests {
 
     #[test]
     fn allocates_whole_demand_or_nothing() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let fx = Fx::new(20, 4);
         let mut sw = ShockwavePolicy::default();
-        let out = sw.schedule(0.0, &fx.views(), &spec);
+        let out = sw.schedule(0.0, &fx.views(), &cluster);
         for p in out.values() {
             assert_eq!(p.total_gpus(), 4);
         }
@@ -261,11 +267,11 @@ mod tests {
 
     #[test]
     fn older_waiting_jobs_win() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let mut fx = Fx::new(17, 4); // one more than fits
         fx.ages[16] = 50_000.0; // much older job
         let mut sw = ShockwavePolicy::default();
-        let out = sw.schedule(0.0, &fx.views(), &spec);
+        let out = sw.schedule(0.0, &fx.views(), &cluster);
         assert!(
             out.contains_key(&JobId(16)),
             "the most FTF-starved job must be allocated"
@@ -274,15 +280,15 @@ mod tests {
 
     #[test]
     fn running_jobs_retained() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let mut fx = Fx::new(16, 4);
         // All 16 running somewhere.
         let mut sw = ShockwavePolicy::default();
-        let first = sw.schedule(0.0, &fx.views(), &spec);
+        let first = sw.schedule(0.0, &fx.views(), &cluster);
         for (i, s) in fx.specs.iter().enumerate() {
             fx.curs[i] = first.get(&s.id).cloned().unwrap_or_else(Placement::empty);
         }
-        let second = sw.schedule(0.0, &fx.views(), &spec);
+        let second = sw.schedule(0.0, &fx.views(), &cluster);
         let kept = fx
             .specs
             .iter()

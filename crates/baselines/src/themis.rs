@@ -8,7 +8,7 @@
 //! afresh, so allocations churn, and it never adapts batch size or GPU
 //! count.
 
-use sia_cluster::ClusterSpec;
+use sia_cluster::ClusterView;
 use sia_sim::{AllocationMap, JobView, Scheduler};
 
 use crate::shockwave::ftf_deficit;
@@ -53,9 +53,15 @@ impl Scheduler for ThemisPolicy {
         self.cfg.round_duration
     }
 
-    fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[JobView<'_>],
+        cluster: &ClusterView,
+    ) -> AllocationMap {
         let _span = sia_telemetry::span("baseline.themis.schedule");
         sia_telemetry::counter("baseline.themis.rounds").incr();
+        let spec = cluster.spec();
         self.counter += 1;
         // Worst-off first (largest rho).
         let mut order: Vec<(f64, usize)> = jobs
@@ -66,7 +72,7 @@ impl Scheduler for ThemisPolicy {
         order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
         let n_types = spec.num_gpu_types();
-        let mut free = LooseFree::all_free(spec);
+        let mut free = LooseFree::for_view(cluster);
         let mut out = AllocationMap::new();
         for (rank, &(_, i)) in order.iter().enumerate() {
             let view = &jobs[i];
@@ -94,7 +100,7 @@ impl Scheduler for ThemisPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sia_cluster::{JobId, Placement};
+    use sia_cluster::{ClusterSpec, JobId, Placement};
     use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
     use sia_workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
 
@@ -174,11 +180,11 @@ mod tests {
 
     #[test]
     fn worst_off_job_allocated_first() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let mut fx = Fx::new(20, 8); // only 8 jobs fit
         fx.ages[13] = 80_000.0;
         let mut themis = ThemisPolicy::default();
-        let out = themis.schedule(0.0, &fx.views(), &spec);
+        let out = themis.schedule(0.0, &fx.views(), &cluster);
         assert!(out.contains_key(&JobId(13)));
         let used: usize = out.values().map(|p| p.total_gpus()).sum();
         assert!(used <= 64);
@@ -186,22 +192,22 @@ mod tests {
 
     #[test]
     fn packs_cluster_fully_when_demands_fit() {
-        let spec = ClusterSpec::homogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::homogeneous_64());
         let fx = Fx::new(16, 4);
         let mut themis = ThemisPolicy::default();
-        let out = themis.schedule(0.0, &fx.views(), &spec);
+        let out = themis.schedule(0.0, &fx.views(), &cluster);
         assert_eq!(out.len(), 16);
     }
 
     #[test]
     fn rotation_varies_type_assignment() {
-        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
         let fx = Fx::new(1, 4);
         let mut themis = ThemisPolicy::default();
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..6 {
-            let out = themis.schedule(0.0, &fx.views(), &spec);
-            seen.insert(out[&JobId(0)].gpu_type(&spec));
+            let out = themis.schedule(0.0, &fx.views(), &cluster);
+            seen.insert(out[&JobId(0)].gpu_type(cluster.spec()));
         }
         assert!(seen.len() >= 2, "het-unaware rotation must vary the type");
     }

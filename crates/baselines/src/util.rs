@@ -1,6 +1,6 @@
 //! Shared helpers for baseline schedulers.
 
-use sia_cluster::{ClusterSpec, GpuTypeId, Placement};
+use sia_cluster::{ClusterSpec, ClusterView, GpuTypeId, Placement};
 use sia_models::{AllocShape, GoodputPoint};
 use sia_sim::JobView;
 
@@ -17,6 +17,20 @@ impl LooseFree {
     pub fn all_free(spec: &ClusterSpec) -> Self {
         LooseFree {
             free: spec.nodes().iter().map(|n| n.num_gpus).collect(),
+        }
+    }
+
+    /// All *placeable* GPUs free: Active nodes carry their capacity,
+    /// Draining/Removed nodes carry none, so baseline take paths (which
+    /// filter zero-free nodes) never land new work on them.
+    pub fn for_view(view: &ClusterView) -> Self {
+        LooseFree {
+            free: view
+                .spec()
+                .nodes()
+                .iter()
+                .map(|n| view.capacity_of(n.id))
+                .collect(),
         }
     }
 

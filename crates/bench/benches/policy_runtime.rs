@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sia_baselines::{GavelPolicy, PolluxPolicy};
-use sia_cluster::{ClusterSpec, JobId, Placement};
+use sia_cluster::{ClusterSpec, ClusterView, JobId, Placement};
 use sia_core::SiaPolicy;
 use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
 use sia_sim::{JobView, Scheduler};
@@ -98,7 +98,7 @@ fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy_round");
     group.sample_size(10);
     for factor in [1usize, 4] {
-        let cluster = ClusterSpec::heterogeneous_scaled(factor);
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_scaled(factor));
         let n_jobs = 20 * factor;
         let adaptive = Fixture::new(n_jobs, false);
         let rigid = Fixture::new(n_jobs, true);

@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use sia_cluster::{config_set, ClusterSpec, JobId, Placement};
+use sia_cluster::{config_set, ClusterSpec, ClusterView, JobId, Placement};
 use sia_core::MatrixCache;
 use sia_models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
 use sia_sim::JobView;
@@ -193,8 +193,8 @@ fn main() {
     // every row; a second refresh with clean estimators reuses all of them.
     let mut matrix_rows = Vec::new();
     for &jobs in job_sizes {
-        let cluster = ClusterSpec::heterogeneous_scaled(4);
-        let configs = config_set(&cluster);
+        let cluster = ClusterView::new(ClusterSpec::heterogeneous_scaled(4));
+        let configs = config_set(cluster.spec());
         let fx = Fixture::new(jobs);
         let views = fx.views();
         let full_s = median_s(iters, || {

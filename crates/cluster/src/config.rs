@@ -15,6 +15,7 @@
 //! two distributed jobs share a node.
 
 use crate::spec::{ClusterSpec, GpuTypeId};
+use crate::view::ClusterView;
 
 /// A resource bundle `(n, r, t)`: `r` GPUs of type `t` over `n` nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,7 +68,21 @@ pub fn configs_for_type(spec: &ClusterSpec, t: GpuTypeId) -> Vec<Configuration> 
     if n_nodes == 0 {
         return Vec::new();
     }
-    let r = spec.gpus_per_node_of_type(t);
+    configs_from(n_nodes, spec.gpus_per_node_of_type(t), t)
+}
+
+/// Builds the valid configuration set for one GPU type of a *view*,
+/// counting Active nodes only (a fully drained or removed type yields no
+/// configurations).
+pub fn configs_for_type_view(view: &ClusterView, t: GpuTypeId) -> Vec<Configuration> {
+    let n_nodes = view.num_nodes_of_type(t);
+    if n_nodes == 0 {
+        return Vec::new();
+    }
+    configs_from(n_nodes, view.gpus_per_node_of_type(t), t)
+}
+
+fn configs_from(n_nodes: usize, r: usize, t: GpuTypeId) -> Vec<Configuration> {
     let mut out = Vec::new();
     let mut g = 1usize;
     while g < r {
@@ -102,6 +117,19 @@ pub fn config_set(spec: &ClusterSpec) -> Vec<Configuration> {
     let mut out = Vec::new();
     for t in spec.gpu_types() {
         out.extend(configs_for_type(spec, t));
+    }
+    out
+}
+
+/// Builds the Sia configuration set over the *Active* capacity of a view.
+///
+/// With every node Active this is identical to [`config_set`] on the
+/// underlying spec; drained/removed nodes shrink (or empty) the per-type
+/// sets, which is what invalidates goodput-matrix rows downstream.
+pub fn config_set_view(view: &ClusterView) -> Vec<Configuration> {
+    let mut out = Vec::new();
+    for t in view.gpu_types() {
+        out.extend(configs_for_type_view(view, t));
     }
     out
 }
@@ -158,6 +186,20 @@ mod tests {
                 assert_eq!(cfg.gpus, cfg.nodes * r);
             }
         }
+    }
+
+    #[test]
+    fn view_set_shrinks_with_capacity() {
+        use crate::view::{ClusterView, NodeHealth};
+        let mut view = ClusterView::new(ClusterSpec::heterogeneous_64());
+        let a100 = view.gpu_type_by_name("a100").unwrap();
+        assert_eq!(config_set_view(&view), config_set(view.spec()));
+        let ids: Vec<usize> = view.spec().nodes_of_type(a100).map(|n| n.id).collect();
+        view.set_health(ids[1], NodeHealth::Removed);
+        // a100: 1,2,4,8 only (one node left) => 5 - 1 = 4 configs.
+        assert_eq!(configs_for_type_view(&view, a100).len(), 4);
+        view.set_health(ids[0], NodeHealth::Draining);
+        assert!(configs_for_type_view(&view, a100).is_empty());
     }
 
     #[test]

@@ -20,10 +20,14 @@
 pub mod config;
 pub mod placement;
 pub mod spec;
+pub mod view;
 
-pub use config::{config_set, configs_for_type, Configuration};
+pub use config::{
+    config_set, config_set_view, configs_for_type, configs_for_type_view, Configuration,
+};
 pub use placement::{FreeGpus, Placement, PlacementError};
 pub use spec::{ClusterSpec, GpuKind, GpuTypeId, Node, NodeGroup};
+pub use view::{ClusterView, NodeHealth, NodeState};
 
 /// Identifier of a job, unique within one simulation/cluster lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -11,6 +11,7 @@
 
 use crate::config::Configuration;
 use crate::spec::ClusterSpec;
+use crate::view::ClusterView;
 
 /// A concrete assignment of GPUs on physical nodes to one job.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -96,6 +97,38 @@ impl FreeGpus {
     pub fn all_free(spec: &ClusterSpec) -> Self {
         FreeGpus {
             free: spec.nodes().iter().map(|n| n.num_gpus).collect(),
+        }
+    }
+
+    /// All *placeable* GPUs free: Active nodes carry their full capacity,
+    /// Draining/Removed nodes carry none, so [`FreeGpus::place`] (driven by
+    /// the underlying spec's node table) can never land a new placement on
+    /// them.
+    pub fn for_view(view: &ClusterView) -> Self {
+        FreeGpus {
+            free: view
+                .spec()
+                .nodes()
+                .iter()
+                .map(|n| view.capacity_of(n.id))
+                .collect(),
+        }
+    }
+
+    /// Marks a kept placement's GPUs as used, skipping slots on nodes whose
+    /// capacity is not tracked in this pool (Draining nodes during a grace
+    /// window): nothing new can be placed there, so there is nothing to
+    /// collide with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot on a *placeable* node over-commits it.
+    pub fn take_available(&mut self, view: &ClusterView, p: &Placement) {
+        for &(node, g) in &p.slots {
+            if view.is_placeable(node) {
+                assert!(self.free[node] >= g, "placement over-commits node {node}");
+                self.free[node] -= g;
+            }
         }
     }
 
@@ -290,6 +323,41 @@ mod tests {
             free.place(&c, &Configuration::new(1, want, t)).unwrap();
         }
         assert_eq!(free.total_of_type(&c, t), 0);
+    }
+
+    #[test]
+    fn view_pool_shields_unplaceable_nodes() {
+        use crate::view::{ClusterView, NodeHealth};
+        let mut view = ClusterView::new(small_cluster());
+        let t = GpuTypeId(0);
+        view.set_health(1, NodeHealth::Draining);
+        view.set_health(2, NodeHealth::Removed);
+        let mut free = FreeGpus::for_view(&view);
+        assert_eq!(free.total_of_type(view.spec(), t), 4);
+        // Whole-node placement must land on the one Active node.
+        let p = free
+            .place(view.spec(), &Configuration::new(1, 4, t))
+            .unwrap();
+        assert_eq!(p.slots, vec![(0, 4)]);
+        // A second allocation has nowhere to go, even though nodes 1 and 2
+        // are physically idle.
+        assert_eq!(
+            free.place(view.spec(), &Configuration::new(1, 1, t)),
+            Err(PlacementError::InsufficientCapacity)
+        );
+    }
+
+    #[test]
+    fn take_available_skips_untracked_nodes() {
+        use crate::view::{ClusterView, NodeHealth};
+        let mut view = ClusterView::new(small_cluster());
+        view.set_health(1, NodeHealth::Draining);
+        let mut free = FreeGpus::for_view(&view);
+        // A job kept across nodes 0 (Active) and 1 (Draining): only the
+        // Active slot is deducted from the pool.
+        free.take_available(&view, &Placement::new(vec![(0, 2), (1, 4)]));
+        assert_eq!(free.on_node(0), 2);
+        assert_eq!(free.on_node(1), 0);
     }
 
     #[test]

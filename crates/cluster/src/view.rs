@@ -1,0 +1,300 @@
+//! Versioned, health-aware view of a cluster.
+//!
+//! A [`ClusterView`] wraps a [`ClusterSpec`] with per-node lifecycle state
+//! so capacity can change mid-simulation (the `sia-dynamics` subsystem):
+//!
+//! * **Active** nodes are normal capacity: schedulers may place jobs there
+//!   and capacity accounting counts their GPUs.
+//! * **Draining** nodes accept no new placements and contribute no
+//!   capacity, but jobs already running there may be kept until the drain
+//!   grace window expires.
+//! * **Removed** nodes are gone. The node *table* never shrinks — removed
+//!   nodes keep their dense ids so existing [`Placement`]s stay meaningful
+//!   long enough to be evicted — but no job may reference them after the
+//!   eviction sweep.
+//!
+//! Every mutation bumps [`ClusterView::version`], which downstream caches
+//! (goodput matrices, warm-started MILP incumbents) key on to invalidate.
+
+use crate::placement::Placement;
+use crate::spec::{ClusterSpec, GpuKind, GpuTypeId, Node};
+
+/// Lifecycle state of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Normal capacity.
+    Active,
+    /// No new placements; running jobs may stay until evicted.
+    Draining,
+    /// Gone. Nothing may be placed or kept here.
+    Removed,
+}
+
+/// Per-node dynamic state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeState {
+    /// Lifecycle state.
+    pub health: NodeHealth,
+    /// Straggler multiplier on true throughput (1.0 = healthy). Applies to
+    /// every GPU of the node; a placement runs at the minimum multiplier
+    /// across its nodes (synchronous training is gated by the slowest
+    /// worker).
+    pub degradation: f64,
+}
+
+impl NodeState {
+    fn healthy() -> Self {
+        NodeState {
+            health: NodeHealth::Active,
+            degradation: 1.0,
+        }
+    }
+}
+
+/// A [`ClusterSpec`] plus per-node health and a version counter.
+///
+/// Capacity-style accessors (`nodes_of_type`, `gpus_of_type`, `total_gpus`,
+/// …) count **Active** nodes only; topology-style accessors (`kind`,
+/// `gpu_types`, `nodes`, `gpus_per_node_of_type`) reflect the full static
+/// table, removed nodes included, so placements on not-yet-evicted nodes
+/// still resolve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterView {
+    spec: ClusterSpec,
+    states: Vec<NodeState>,
+    version: u64,
+}
+
+impl ClusterView {
+    /// Wraps a spec; every node starts Active and healthy, version 0.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let states = vec![NodeState::healthy(); spec.nodes().len()];
+        ClusterView {
+            spec,
+            states,
+            version: 0,
+        }
+    }
+
+    /// The underlying (augmented) spec: full node table, all GPU kinds.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Monotonic counter, bumped by every capacity mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    // ---- topology (static) delegates ----
+
+    /// The GPU kinds.
+    pub fn kinds(&self) -> &[GpuKind] {
+        self.spec.kinds()
+    }
+
+    /// The kind for a type id.
+    pub fn kind(&self, t: GpuTypeId) -> &GpuKind {
+        self.spec.kind(t)
+    }
+
+    /// Number of distinct GPU kinds.
+    pub fn num_gpu_types(&self) -> usize {
+        self.spec.num_gpu_types()
+    }
+
+    /// All GPU type ids.
+    pub fn gpu_types(&self) -> impl Iterator<Item = GpuTypeId> + '_ {
+        self.spec.gpu_types()
+    }
+
+    /// GPU type id by kind name.
+    pub fn gpu_type_by_name(&self, name: &str) -> Option<GpuTypeId> {
+        self.spec.gpu_type_by_name(name)
+    }
+
+    /// The full node table (removed nodes included).
+    pub fn nodes(&self) -> &[Node] {
+        self.spec.nodes()
+    }
+
+    /// Uniform per-node GPU count of a type (static shape; see
+    /// [`ClusterSpec::gpus_per_node_of_type`]).
+    pub fn gpus_per_node_of_type(&self, t: GpuTypeId) -> usize {
+        self.spec.gpus_per_node_of_type(t)
+    }
+
+    // ---- capacity (Active nodes only) ----
+
+    /// Active nodes of a type.
+    pub fn nodes_of_type(&self, t: GpuTypeId) -> impl Iterator<Item = &Node> + '_ {
+        self.spec
+            .nodes_of_type(t)
+            .filter(move |n| self.is_placeable(n.id))
+    }
+
+    /// Number of Active nodes of a type.
+    pub fn num_nodes_of_type(&self, t: GpuTypeId) -> usize {
+        self.nodes_of_type(t).count()
+    }
+
+    /// Total GPUs of a type on Active nodes.
+    pub fn gpus_of_type(&self, t: GpuTypeId) -> usize {
+        self.nodes_of_type(t).map(|n| n.num_gpus).sum()
+    }
+
+    /// Total GPUs across all Active nodes.
+    pub fn total_gpus(&self) -> usize {
+        self.spec
+            .nodes()
+            .iter()
+            .filter(|n| self.is_placeable(n.id))
+            .map(|n| n.num_gpus)
+            .sum()
+    }
+
+    /// Placeable capacity of a node: its GPU count if Active, else 0.
+    pub fn capacity_of(&self, node: usize) -> usize {
+        if self.is_placeable(node) {
+            self.spec.nodes()[node].num_gpus
+        } else {
+            0
+        }
+    }
+
+    // ---- per-node state ----
+
+    /// Lifecycle state of a node.
+    pub fn health(&self, node: usize) -> NodeHealth {
+        self.states[node].health
+    }
+
+    /// True if new placements may land on the node (Active).
+    pub fn is_placeable(&self, node: usize) -> bool {
+        self.states[node].health == NodeHealth::Active
+    }
+
+    /// True if a running job may remain on the node (Active or Draining).
+    pub fn is_usable(&self, node: usize) -> bool {
+        self.states[node].health != NodeHealth::Removed
+    }
+
+    /// Straggler multiplier of a node (1.0 = healthy).
+    pub fn degradation(&self, node: usize) -> f64 {
+        self.states[node].degradation
+    }
+
+    /// Effective throughput multiplier of a placement: the minimum node
+    /// degradation across its slots (the slowest worker gates synchronous
+    /// training). 1.0 for an empty placement.
+    pub fn placement_degradation(&self, p: &Placement) -> f64 {
+        let mut m = 1.0f64;
+        for &(node, _) in &p.slots {
+            let d = self.states[node].degradation;
+            if d < m {
+                m = d;
+            }
+        }
+        m
+    }
+
+    /// True if any slot of the placement sits on a Removed node.
+    pub fn references_removed(&self, p: &Placement) -> bool {
+        p.slots
+            .iter()
+            .any(|&(node, _)| self.states[node].health == NodeHealth::Removed)
+    }
+
+    // ---- mutation (bump the version) ----
+
+    /// Appends `num_nodes` fresh nodes of an existing kind, returning their
+    /// (dense, new) ids.
+    pub fn add_nodes(
+        &mut self,
+        gpu_type: GpuTypeId,
+        num_nodes: usize,
+        gpus_per_node: usize,
+    ) -> Vec<usize> {
+        let first = self.spec.nodes().len();
+        self.spec.add_nodes(gpu_type, num_nodes, gpus_per_node);
+        let last = self.spec.nodes().len();
+        self.states.resize(last, NodeState::healthy());
+        self.version += 1;
+        (first..last).collect()
+    }
+
+    /// Sets the lifecycle state of a node.
+    pub fn set_health(&mut self, node: usize, health: NodeHealth) {
+        self.states[node].health = health;
+        self.version += 1;
+    }
+
+    /// Sets the straggler multiplier of a node.
+    pub fn set_degradation(&mut self, node: usize, factor: f64) {
+        assert!(factor > 0.0, "degradation factor must be positive");
+        self.states[node].degradation = factor;
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_view_matches_spec_capacity() {
+        let view = ClusterView::new(ClusterSpec::heterogeneous_64());
+        assert_eq!(view.total_gpus(), 64);
+        assert_eq!(view.version(), 0);
+        let t4 = view.gpu_type_by_name("t4").unwrap();
+        assert_eq!(view.gpus_of_type(t4), view.spec().gpus_of_type(t4));
+    }
+
+    #[test]
+    fn draining_and_removed_nodes_lose_capacity_but_keep_topology() {
+        let mut view = ClusterView::new(ClusterSpec::heterogeneous_64());
+        let a100 = view.gpu_type_by_name("a100").unwrap();
+        let ids: Vec<usize> = view.spec().nodes_of_type(a100).map(|n| n.id).collect();
+        view.set_health(ids[0], NodeHealth::Draining);
+        view.set_health(ids[1], NodeHealth::Removed);
+        assert_eq!(view.gpus_of_type(a100), 0);
+        assert_eq!(view.num_nodes_of_type(a100), 0);
+        assert_eq!(view.total_gpus(), 48);
+        // Topology is unchanged: the node table still lists both nodes.
+        assert_eq!(view.spec().num_nodes_of_type(a100), 2);
+        assert_eq!(view.version(), 2);
+        assert!(view.is_usable(ids[0]));
+        assert!(!view.is_usable(ids[1]));
+        assert!(!view.is_placeable(ids[0]));
+    }
+
+    #[test]
+    fn added_nodes_extend_the_table_with_fresh_ids() {
+        let mut view = ClusterView::new(ClusterSpec::homogeneous_64());
+        let t4 = view.gpu_type_by_name("t4").unwrap();
+        let ids = view.add_nodes(t4, 2, 4);
+        assert_eq!(ids, vec![16, 17]);
+        assert_eq!(view.total_gpus(), 72);
+        assert_eq!(view.version(), 1);
+        assert!(view.is_placeable(16));
+    }
+
+    #[test]
+    fn placement_degradation_is_min_over_nodes() {
+        let mut view = ClusterView::new(ClusterSpec::homogeneous_64());
+        view.set_degradation(3, 0.5);
+        let p = Placement::new(vec![(2, 4), (3, 4)]);
+        assert_eq!(view.placement_degradation(&p), 0.5);
+        let healthy = Placement::new(vec![(0, 4)]);
+        assert_eq!(view.placement_degradation(&healthy), 1.0);
+        assert_eq!(view.placement_degradation(&Placement::empty()), 1.0);
+    }
+
+    #[test]
+    fn references_removed_detects_stale_placements() {
+        let mut view = ClusterView::new(ClusterSpec::homogeneous_64());
+        view.set_health(5, NodeHealth::Removed);
+        assert!(view.references_removed(&Placement::new(vec![(5, 4)])));
+        assert!(!view.references_removed(&Placement::new(vec![(4, 4)])));
+    }
+}

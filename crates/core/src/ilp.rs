@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use sia_cluster::{ClusterSpec, Configuration, JobId};
+use sia_cluster::{ClusterView, Configuration, JobId};
 use sia_sim::SolveOutcome;
 use sia_solver::{
     solve_assignment_lagrangian, AssignmentItem, MilpOptions, MilpWarmStart, Problem, Sense,
@@ -54,23 +54,23 @@ pub struct AssignmentStats {
 /// receive no resources this round). Falls back to a greedy assignment when
 /// the branch-and-bound solver hits its node/time limits.
 pub fn solve_assignment(
-    spec: &ClusterSpec,
+    cluster: &ClusterView,
     candidates: &[Candidate],
     forced: &ForcedAssignments,
     opts: &MilpOptions,
 ) -> BTreeMap<JobId, Configuration> {
-    solve_assignment_with_stats(spec, candidates, forced, opts).0
+    solve_assignment_with_stats(cluster, candidates, forced, opts).0
 }
 
 /// Like [`solve_assignment`], additionally reporting where the time went and
 /// how the branch-and-bound concluded.
 pub fn solve_assignment_with_stats(
-    spec: &ClusterSpec,
+    cluster: &ClusterView,
     candidates: &[Candidate],
     forced: &ForcedAssignments,
     opts: &MilpOptions,
 ) -> (BTreeMap<JobId, Configuration>, AssignmentStats) {
-    solve_assignment_warm(spec, candidates, forced, opts, None)
+    solve_assignment_warm(cluster, candidates, forced, opts, None)
 }
 
 /// Like [`solve_assignment_with_stats`], warm-started with the previous
@@ -84,7 +84,7 @@ pub fn solve_assignment_with_stats(
 /// candidate vanished), the hint is rejected inside the solver and the solve
 /// proceeds exactly as cold.
 pub fn solve_assignment_warm(
-    spec: &ClusterSpec,
+    cluster: &ClusterView,
     candidates: &[Candidate],
     forced: &ForcedAssignments,
     opts: &MilpOptions,
@@ -147,8 +147,8 @@ pub fn solve_assignment_warm(
         problem.add_le(&row, 1.0);
     }
 
-    // Per-type GPU capacity.
-    for t in spec.gpu_types() {
+    // Per-type GPU capacity (Active nodes only).
+    for t in cluster.gpu_types() {
         let row: Vec<_> = candidates
             .iter()
             .enumerate()
@@ -156,7 +156,7 @@ pub fn solve_assignment_warm(
             .map(|(i, c)| (vars[i], c.config.gpus as f64))
             .collect();
         if !row.is_empty() {
-            problem.add_le(&row, spec.gpus_of_type(t) as f64);
+            problem.add_le(&row, cluster.gpus_of_type(t) as f64);
         }
     }
     drop(build_span);
@@ -197,7 +197,7 @@ pub fn solve_assignment_warm(
             sia_telemetry::counter("policy.ilp.reservation_retries").incr();
             let failed_solve_s = solve_t0.elapsed().as_secs_f64();
             let (out, mut stats) =
-                solve_assignment_warm(spec, candidates, &ForcedAssignments::new(), opts, prev);
+                solve_assignment_warm(cluster, candidates, &ForcedAssignments::new(), opts, prev);
             stats.build_s += build_s;
             stats.solve_s += failed_solve_s;
             (out, stats)
@@ -207,10 +207,10 @@ pub fn solve_assignment_warm(
         // then plain greedy if even that fails to assign anything.
         Err(_) => {
             sia_telemetry::counter("policy.ilp.fallbacks").incr();
-            let lagrangian = lagrangian_assignment(spec, candidates);
+            let lagrangian = lagrangian_assignment(cluster, candidates);
             let (out, outcome) = if lagrangian.is_empty() {
                 (
-                    greedy_assignment(spec, candidates),
+                    greedy_assignment(cluster, candidates),
                     SolveOutcome::GreedyFallback,
                 )
             } else {
@@ -245,7 +245,7 @@ fn assignment_weight(candidates: &[Candidate], chosen: &BTreeMap<JobId, Configur
 /// Anytime fallback: projected-subgradient Lagrangian relaxation over the
 /// same candidate set (see `sia_solver::lagrangian`).
 fn lagrangian_assignment(
-    spec: &ClusterSpec,
+    cluster: &ClusterView,
     candidates: &[Candidate],
 ) -> BTreeMap<JobId, Configuration> {
     let jobs: Vec<JobId> = {
@@ -263,9 +263,9 @@ fn lagrangian_assignment(
             weight: c.weight,
         })
         .collect();
-    let capacities: Vec<f64> = spec
+    let capacities: Vec<f64> = cluster
         .gpu_types()
-        .map(|t| spec.gpus_of_type(t) as f64)
+        .map(|t| cluster.gpus_of_type(t) as f64)
         .collect();
     let sol = solve_assignment_lagrangian(&items, &capacities, 50);
     sol.chosen
@@ -277,7 +277,7 @@ fn lagrangian_assignment(
 /// Greedy fallback: scan candidates by descending weight, assign when the
 /// job is unassigned and capacity remains.
 fn greedy_assignment(
-    spec: &ClusterSpec,
+    cluster: &ClusterView,
     candidates: &[Candidate],
 ) -> BTreeMap<JobId, Configuration> {
     let mut order: Vec<usize> = (0..candidates.len()).collect();
@@ -287,9 +287,9 @@ fn greedy_assignment(
             .partial_cmp(&candidates[a].weight)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    let mut capacity: BTreeMap<usize, i64> = spec
+    let mut capacity: BTreeMap<usize, i64> = cluster
         .gpu_types()
-        .map(|t| (t.0, spec.gpus_of_type(t) as i64))
+        .map(|t| (t.0, cluster.gpus_of_type(t) as i64))
         .collect();
     let mut out = BTreeMap::new();
     for i in order {
@@ -309,7 +309,7 @@ fn greedy_assignment(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sia_cluster::GpuTypeId;
+    use sia_cluster::{ClusterSpec, GpuTypeId};
 
     fn cand(job: u64, cfg: Configuration, weight: f64) -> Candidate {
         Candidate {
@@ -322,7 +322,7 @@ mod tests {
         }
     }
 
-    fn two_type_cluster() -> ClusterSpec {
+    fn two_type_cluster() -> ClusterView {
         // Matches the running example of §3.4: 1 node x 2 A-GPUs,
         // 1 node x 4 B-GPUs.
         let mut c = ClusterSpec::new();
@@ -330,7 +330,7 @@ mod tests {
         let b = c.add_gpu_kind("B", 16.0, 2);
         c.add_nodes(a, 1, 2);
         c.add_nodes(b, 1, 4);
-        c
+        ClusterView::new(c)
     }
 
     #[test]
@@ -446,7 +446,7 @@ mod tests {
 #[cfg(test)]
 mod fallback_tests {
     use super::*;
-    use sia_cluster::GpuTypeId;
+    use sia_cluster::{ClusterSpec, GpuTypeId};
 
     #[test]
     fn lagrangian_fallback_used_under_tiny_limits() {
@@ -457,6 +457,7 @@ mod fallback_tests {
         let b = c.add_gpu_kind("B", 16.0, 2);
         c.add_nodes(a, 2, 4);
         c.add_nodes(b, 2, 4);
+        let c = ClusterView::new(c);
         let mut cands = Vec::new();
         for j in 0..10u64 {
             for (t, g) in [(a, 1usize), (a, 2), (b, 1), (b, 4)] {

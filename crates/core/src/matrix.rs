@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use sia_cluster::{ClusterSpec, Configuration, JobId, Placement};
+use sia_cluster::{ClusterSpec, ClusterView, Configuration, JobId, Placement};
 use sia_models::{AllocShape, BatchLimits};
 use sia_sim::JobView;
 use sia_workloads::Adaptivity;
@@ -251,6 +251,11 @@ pub fn job_candidates_from_values(
 struct CachedRow {
     /// [`sia_models::JobEstimator::version`] at computation time.
     version: u64,
+    /// [`ClusterView::version`] at computation time: any capacity change
+    /// (node add/remove/drain/degrade) dirties every row, since the
+    /// configuration set and per-type capacities the row was enumerated
+    /// against may no longer exist.
+    cluster_version: u64,
     /// Progress decile at computation time (see [`progress_bucket`]).
     progress_bucket: u32,
     values: Vec<Option<(usize, f64)>>,
@@ -317,10 +322,11 @@ impl MatrixCache {
     pub fn refresh(
         &mut self,
         jobs: &[JobView<'_>],
-        spec: &ClusterSpec,
+        cluster: &ClusterView,
         configs: &[Configuration],
         workers: usize,
     ) -> RefreshStats {
+        let spec = cluster.spec();
         let live: BTreeSet<JobId> = jobs.iter().map(|v| v.id).collect();
         self.rows.retain(|id, _| live.contains(id));
 
@@ -329,6 +335,7 @@ impl MatrixCache {
             .filter(|view| match self.rows.get(&view.id) {
                 Some(row) => {
                     row.version != view.estimator.version()
+                        || row.cluster_version != cluster.version()
                         || row.values.len() != configs.len()
                         || row.progress_bucket != progress_bucket(view.progress)
                 }
@@ -346,6 +353,7 @@ impl MatrixCache {
                 view.id,
                 CachedRow {
                     version: view.estimator.version(),
+                    cluster_version: cluster.version(),
                     progress_bucket: progress_bucket(view.progress),
                     values,
                 },
@@ -548,8 +556,8 @@ mod tests {
     fn cache_rebuilds_refit_rows_and_reuses_clean_rows_verbatim() {
         use sia_models::{FitSample, Observation};
 
-        let c = cluster();
-        let configs = sia_cluster::config_set(&c);
+        let c = ClusterView::new(cluster());
+        let configs = sia_cluster::config_set(c.spec());
         let mk_bootstrap = || {
             JobEstimator::bootstrap(
                 vec![params(1.0), params(1.8), params(4.0)],
@@ -643,8 +651,8 @@ mod tests {
 
     #[test]
     fn cache_refresh_identical_across_worker_counts() {
-        let c = cluster();
-        let configs = sia_cluster::config_set(&c);
+        let c = ClusterView::new(cluster());
+        let configs = sia_cluster::config_set(c.spec());
         let est: Vec<JobEstimator> = (0..12).map(|_| estimator()).collect();
         let specs: Vec<JobSpec> = (0..12u64)
             .map(|i| {

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use sia_cluster::{ClusterSpec, Configuration, FreeGpus, JobId, Placement};
+use sia_cluster::{ClusterView, Configuration, FreeGpus, JobId, Placement};
 use sia_sim::AllocationMap;
 
 use crate::matrix::matches_placement;
@@ -30,14 +30,15 @@ pub struct PlacerOutcome {
 /// Realizes `decisions` (configuration per job, plus each job's current
 /// placement for move-avoidance) into concrete placements.
 pub fn realize(
-    spec: &ClusterSpec,
+    cluster: &ClusterView,
     decisions: &[(JobId, Configuration, Placement)],
 ) -> PlacerOutcome {
     let _span = sia_telemetry::span("placement.realize");
     sia_telemetry::counter("placement.realizes").incr();
+    let spec = cluster.spec();
     // Attempt 1: keep matching current placements, place the rest around
     // them (reduces unnecessary migration / de-fragmentation restarts).
-    if let Some(allocations) = try_with_keeps(spec, decisions) {
+    if let Some(allocations) = try_with_keeps(cluster, decisions) {
         return PlacerOutcome {
             allocations,
             evictions: 0,
@@ -46,7 +47,7 @@ pub fn realize(
     }
     // Attempt 2 (rule c): evict everything and re-pack in canonical order.
     sia_telemetry::counter("placement.fragmentation_retries").incr();
-    let mut free = FreeGpus::all_free(spec);
+    let mut free = FreeGpus::for_view(cluster);
     let mut order: Vec<usize> = (0..decisions.len()).collect();
     canonical_sort(&mut order, decisions);
     let mut allocations = AllocationMap::new();
@@ -79,15 +80,19 @@ pub fn realize(
 
 /// Attempt 1: honor kept placements; `None` on fragmentation.
 fn try_with_keeps(
-    spec: &ClusterSpec,
+    cluster: &ClusterView,
     decisions: &[(JobId, Configuration, Placement)],
 ) -> Option<AllocationMap> {
-    let mut free = FreeGpus::all_free(spec);
+    let spec = cluster.spec();
+    // Free pool shields Draining/Removed nodes; kept placements on Draining
+    // nodes deduct only what the pool tracks (the eviction sweep runs before
+    // scheduling, so no current placement references a Removed node).
+    let mut free = FreeGpus::for_view(cluster);
     let mut allocations = AllocationMap::new();
     let mut rest: Vec<usize> = Vec::new();
     for (i, (job, cfg, current)) in decisions.iter().enumerate() {
         if matches_placement(spec, cfg, current) {
-            free.take(current);
+            free.take_available(cluster, current);
             allocations.insert(*job, current.clone());
         } else {
             rest.push(i);
@@ -121,7 +126,7 @@ fn canonical_sort(order: &mut [usize], decisions: &[(JobId, Configuration, Place
 
 /// Convenience: realize an ILP solution map against current placements.
 pub fn realize_map(
-    spec: &ClusterSpec,
+    cluster: &ClusterView,
     chosen: &BTreeMap<JobId, Configuration>,
     current: &BTreeMap<JobId, Placement>,
 ) -> PlacerOutcome {
@@ -132,20 +137,20 @@ pub fn realize_map(
             (job, cfg, cur)
         })
         .collect();
-    realize(spec, &decisions)
+    realize(cluster, &decisions)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sia_cluster::GpuTypeId;
+    use sia_cluster::{ClusterSpec, GpuTypeId};
 
-    fn cluster() -> ClusterSpec {
+    fn cluster() -> ClusterView {
         // 4 nodes x 4 t4 GPUs.
         let mut c = ClusterSpec::new();
         let t = c.add_gpu_kind("t4", 16.0, 1);
         c.add_nodes(t, 4, 4);
-        c
+        ClusterView::new(c)
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use sia_cluster::{config_set, ClusterSpec, Configuration, JobId, Placement};
+use sia_cluster::{config_set_view, ClusterView, Configuration, JobId, Placement};
 use sia_sim::{AllocationMap, JobView, Scheduler, SolverStats};
 use sia_solver::MilpOptions;
 
@@ -75,6 +75,11 @@ pub struct SiaPolicy {
     /// Last round's chosen configurations, used to seed the branch-and-bound
     /// incumbent (warm start) next round.
     prev_assignment: BTreeMap<JobId, Configuration>,
+    /// [`ClusterView::version`] the previous assignment was computed under;
+    /// a version bump (capacity change) drops the warm-start incumbent, so
+    /// the solve proceeds cold instead of seeding from a plan that may
+    /// reference vanished GPUs.
+    prev_cluster_version: Option<u64>,
     /// Phase breakdown of the most recent `schedule` call, handed to the
     /// engine via [`Scheduler::round_stats`].
     last_stats: Option<SolverStats>,
@@ -88,6 +93,7 @@ impl SiaPolicy {
             reservations: ForcedAssignments::new(),
             matrix_cache: MatrixCache::new(),
             prev_assignment: BTreeMap::new(),
+            prev_cluster_version: None,
             last_stats: None,
         }
     }
@@ -119,10 +125,27 @@ impl Scheduler for SiaPolicy {
         self.cfg.round_duration
     }
 
-    fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[JobView<'_>],
+        cluster: &ClusterView,
+    ) -> AllocationMap {
         let _span = sia_telemetry::span("policy.schedule");
-        let configs = config_set(spec);
+        let spec = cluster.spec();
+        let configs = config_set_view(cluster);
         let workers = crate::pool::resolve_workers(self.cfg.workers);
+
+        // Capacity changed since last round: the previous assignment may
+        // reference GPUs that no longer exist, so reject it as a warm-start
+        // incumbent and let the MILP solve cold this round.
+        if self.prev_cluster_version != Some(cluster.version()) {
+            if self.prev_cluster_version.is_some() {
+                sia_telemetry::counter("policy.warm_start_invalidated").incr();
+                self.prev_assignment.clear();
+            }
+            self.prev_cluster_version = Some(cluster.version());
+        }
 
         // 1a. Re-fit: re-enumerate raw goodput rows for dirty jobs only
         // (queued jobs never change, so their rows are never recomputed);
@@ -130,7 +153,7 @@ impl Scheduler for SiaPolicy {
         let refit_t0 = Instant::now();
         let refresh = {
             let _refit = sia_telemetry::span("policy.refit");
-            self.matrix_cache.refresh(jobs, spec, &configs, workers)
+            self.matrix_cache.refresh(jobs, cluster, &configs, workers)
         };
         if refresh.rebuilt > 0 {
             sia_telemetry::counter("policy.rows_refit").add(refresh.rebuilt as u64);
@@ -167,7 +190,7 @@ impl Scheduler for SiaPolicy {
 
         // 2. Assignment ILP (Eq. 4), warm-started from last round's choices.
         let (chosen, ilp) = solve_assignment_warm(
-            spec,
+            cluster,
             &candidates,
             &self.reservations,
             &self.cfg.milp,
@@ -186,7 +209,7 @@ impl Scheduler for SiaPolicy {
                 (job, cfg, cur)
             })
             .collect();
-        let allocations = realize(spec, &decisions).allocations;
+        let allocations = realize(cluster, &decisions).allocations;
         let placement_s = placement_t0.elapsed().as_secs_f64();
 
         self.last_stats = Some(SolverStats {
@@ -294,9 +317,10 @@ mod tests {
     #[test]
     fn every_queued_job_gets_one_gpu_when_capacity_allows() {
         let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(spec.clone());
         let fx = Fixture::new(10, 16, &[1.0, 1.8, 4.0]);
         let mut sia = SiaPolicy::default();
-        let allocs = sia.schedule(0.0, &fx.views(), &spec);
+        let allocs = sia.schedule(0.0, &fx.views(), &cluster);
         assert_eq!(allocs.len(), 10, "lambda makes allocation worthwhile");
         for p in allocs.values() {
             assert_eq!(p.total_gpus(), 1, "queued jobs start at one GPU");
@@ -306,11 +330,12 @@ mod tests {
     #[test]
     fn running_jobs_scale_up_over_rounds() {
         let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(spec.clone());
         let mut fx = Fixture::new(2, 64, &[1.0, 1.8, 4.0]);
         let mut sia = SiaPolicy::default();
         let mut gpus_seen = Vec::new();
         for _ in 0..6 {
-            let allocs = sia.schedule(0.0, &fx.views(), &spec);
+            let allocs = sia.schedule(0.0, &fx.views(), &cluster);
             let total: usize = allocs.values().map(|p| p.total_gpus()).sum();
             gpus_seen.push(total);
             for (i, s) in fx.specs.iter().enumerate() {
@@ -326,9 +351,10 @@ mod tests {
     #[test]
     fn capacity_never_exceeded() {
         let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(spec.clone());
         let fx = Fixture::new(80, 16, &[1.0, 1.8, 4.0]); // heavy contention
         let mut sia = SiaPolicy::default();
-        let allocs = sia.schedule(0.0, &fx.views(), &spec);
+        let allocs = sia.schedule(0.0, &fx.views(), &cluster);
         let total: usize = allocs.values().map(|p| p.total_gpus()).sum();
         assert!(total <= spec.total_gpus());
         // Spot-check per-type capacity via FreeGpus (take panics if exceeded).
@@ -341,9 +367,10 @@ mod tests {
     #[test]
     fn faster_type_preferred_under_low_contention() {
         let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(spec.clone());
         let fx = Fixture::new(1, 16, &[1.0, 1.8, 4.0]);
         let mut sia = SiaPolicy::default();
-        let allocs = sia.schedule(0.0, &fx.views(), &spec);
+        let allocs = sia.schedule(0.0, &fx.views(), &cluster);
         let p = allocs.values().next().unwrap();
         let a100 = spec.gpu_type_by_name("a100").unwrap();
         assert_eq!(p.gpu_type(&spec), a100);
@@ -354,9 +381,10 @@ mod tests {
         // Once running, the restart factor should keep the job in place
         // when nothing material changed.
         let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(spec.clone());
         let mut fx = Fixture::new(4, 8, &[1.0, 1.8, 4.0]);
         let mut sia = SiaPolicy::default();
-        let first = sia.schedule(0.0, &fx.views(), &spec);
+        let first = sia.schedule(0.0, &fx.views(), &cluster);
         for (i, s) in fx.specs.iter().enumerate() {
             fx.placements[i] = first.get(&s.id).cloned().unwrap_or_else(Placement::empty);
         }
@@ -364,13 +392,13 @@ mod tests {
         // stop changing.
         let mut last = first;
         for _ in 0..8 {
-            let next = sia.schedule(0.0, &fx.views(), &spec);
+            let next = sia.schedule(0.0, &fx.views(), &cluster);
             for (i, s) in fx.specs.iter().enumerate() {
                 fx.placements[i] = next.get(&s.id).cloned().unwrap_or_else(Placement::empty);
             }
             last = next;
         }
-        let again = sia.schedule(0.0, &fx.views(), &spec);
+        let again = sia.schedule(0.0, &fx.views(), &cluster);
         assert_eq!(last, again, "steady state must be stable");
     }
 
@@ -378,6 +406,7 @@ mod tests {
     fn allocations_identical_across_worker_counts() {
         // The worker pool must never change decisions — only wall-clock.
         let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(spec.clone());
         let run = |workers: usize| {
             let mut fx = Fixture::new(12, 16, &[1.0, 1.8, 4.0]);
             let mut sia = SiaPolicy::new(SiaConfig {
@@ -386,7 +415,7 @@ mod tests {
             });
             let mut rounds = Vec::new();
             for _ in 0..4 {
-                let allocs = sia.schedule(0.0, &fx.views(), &spec);
+                let allocs = sia.schedule(0.0, &fx.views(), &cluster);
                 for (i, s) in fx.specs.iter().enumerate() {
                     fx.placements[i] = allocs.get(&s.id).cloned().unwrap_or_else(Placement::empty);
                 }
@@ -403,6 +432,7 @@ mod tests {
     #[test]
     fn reservation_forces_allocation() {
         let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(spec.clone());
         let fx = Fixture::new(40, 16, &[1.0, 1.8, 4.0]);
         let mut sia = SiaPolicy::default();
         let a100 = spec.gpu_type_by_name("a100").unwrap();
@@ -412,7 +442,7 @@ mod tests {
         // the candidate must exist, so mark the job as already running at 8.
         let mut fx = fx;
         fx.placements[39] = Placement::new(vec![(9, 8)]); // a100 node
-        let allocs = sia.schedule(0.0, &fx.views(), &spec);
+        let allocs = sia.schedule(0.0, &fx.views(), &cluster);
         let p = allocs.get(&JobId(39)).expect("reserved job allocated");
         assert_eq!(p.total_gpus(), 8);
         assert_eq!(p.gpu_type(&spec), a100);
@@ -421,6 +451,7 @@ mod tests {
     #[test]
     fn hybrid_parallel_job_scales_in_replica_units() {
         let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(spec.clone());
         let profile = ModelKind::Gpt2p8b.profile();
         let job = JobSpec {
             id: JobId(0),
@@ -451,7 +482,7 @@ mod tests {
             progress: 0.0,
         }];
         let mut sia = SiaPolicy::default();
-        let allocs = sia.schedule(0.0, &views, &spec);
+        let allocs = sia.schedule(0.0, &views, &cluster);
         let p = allocs.get(&job.id).expect("GPT job allocated");
         // One replica: 2 GPUs on a100 or 8 on rtx; t4 is impossible.
         let t = p.gpu_type(&spec);

@@ -1,0 +1,481 @@
+//! Scripted capacity-event schedules.
+//!
+//! A [`DynamicsScript`] is an ordered list of `(time, CapacityEvent)`
+//! entries describing how cluster capacity changes over a simulation. It is
+//! the *serializable* half of the subsystem: build one with the fluent
+//! [`DynamicsScript::at`] API or parse it from JSONL (one event object per
+//! line), validate it against a [`ClusterSpec`], and hand it to the
+//! simulator via `SimConfig::dynamics`. The executable half is
+//! [`crate::DynamicsRuntime`].
+
+use serde_json::{json, Value};
+use sia_cluster::ClusterSpec;
+
+/// One scripted capacity change. GPU types are referenced by kind *name*
+/// (resolved against the cluster when the script is compiled), node counts
+/// by cardinality — concrete node ids are chosen deterministically at
+/// apply time, so the same script works across cluster sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapacityEvent {
+    /// Add `num_nodes` fresh nodes of an existing GPU kind.
+    Add {
+        /// GPU kind name.
+        gpu_type: String,
+        /// Number of nodes to add.
+        num_nodes: usize,
+        /// GPUs per added node.
+        gpus_per_node: usize,
+    },
+    /// Abruptly kill `num_nodes` nodes: running jobs are evicted at the
+    /// next round boundary and lose progress since their last checkpoint.
+    Remove {
+        /// GPU kind name.
+        gpu_type: String,
+        /// Number of nodes to remove.
+        num_nodes: usize,
+    },
+    /// Gracefully drain `num_nodes` nodes: no new placements from the next
+    /// round on; running jobs are evicted (keeping their progress) at the
+    /// first round boundary at least `grace` seconds later.
+    Drain {
+        /// GPU kind name.
+        gpu_type: String,
+        /// Number of nodes to drain.
+        num_nodes: usize,
+        /// Grace window in seconds (0 = evict at the next round).
+        grace: f64,
+    },
+    /// Degrade `num_nodes` nodes to a straggler throughput multiplier.
+    Degrade {
+        /// GPU kind name.
+        gpu_type: String,
+        /// Number of nodes to degrade.
+        num_nodes: usize,
+        /// Multiplier on true throughput, in `(0, 1]` typically.
+        factor: f64,
+    },
+    /// Restore up to `num_nodes` degraded nodes to full throughput.
+    Restore {
+        /// GPU kind name.
+        gpu_type: String,
+        /// Number of nodes to restore.
+        num_nodes: usize,
+    },
+}
+
+impl CapacityEvent {
+    /// The JSONL `ev` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CapacityEvent::Add { .. } => "add",
+            CapacityEvent::Remove { .. } => "remove",
+            CapacityEvent::Drain { .. } => "drain",
+            CapacityEvent::Degrade { .. } => "degrade",
+            CapacityEvent::Restore { .. } => "restore",
+        }
+    }
+
+    /// The GPU kind name the event targets.
+    pub fn gpu_type(&self) -> &str {
+        match self {
+            CapacityEvent::Add { gpu_type, .. }
+            | CapacityEvent::Remove { gpu_type, .. }
+            | CapacityEvent::Drain { gpu_type, .. }
+            | CapacityEvent::Degrade { gpu_type, .. }
+            | CapacityEvent::Restore { gpu_type, .. } => gpu_type,
+        }
+    }
+}
+
+/// One `(time, event)` entry of a script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptEntry {
+    /// Simulation time (seconds) at which the event takes effect.
+    pub time: f64,
+    /// The capacity event.
+    pub event: CapacityEvent,
+}
+
+/// Why a script failed to parse or validate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsError {
+    /// 1-based JSONL line (0 when the error is not tied to a line).
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for DynamicsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "dynamics script line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "dynamics script: {}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for DynamicsError {}
+
+fn err(line: usize, msg: impl Into<String>) -> DynamicsError {
+    DynamicsError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// A deterministic timeline of capacity events.
+///
+/// Entries are kept stably sorted by time, so two scripts built from the
+/// same events in any insertion order compile to the same runtime.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DynamicsScript {
+    entries: Vec<ScriptEntry>,
+}
+
+impl DynamicsScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        DynamicsScript::default()
+    }
+
+    /// Adds an event at `time` (seconds), keeping entries sorted by time
+    /// (stable: same-time events preserve insertion order).
+    pub fn at(mut self, time: f64, event: CapacityEvent) -> Self {
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "event time must be finite and non-negative"
+        );
+        let idx = self
+            .entries
+            .partition_point(|e| e.time.total_cmp(&time) != std::cmp::Ordering::Greater);
+        self.entries.insert(idx, ScriptEntry { time, event });
+        self
+    }
+
+    /// The entries, sorted by time.
+    pub fn entries(&self) -> &[ScriptEntry] {
+        &self.entries
+    }
+
+    /// True if the script holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Checks every event against a cluster spec: GPU kind names must
+    /// exist, node counts must be positive, degradation factors positive
+    /// and grace windows non-negative.
+    pub fn validate(&self, spec: &ClusterSpec) -> Result<(), DynamicsError> {
+        for (i, e) in self.entries.iter().enumerate() {
+            let line = i + 1;
+            let name = e.event.gpu_type();
+            if spec.gpu_type_by_name(name).is_none() {
+                return Err(err(line, format!("unknown GPU type {name:?}")));
+            }
+            match &e.event {
+                CapacityEvent::Add {
+                    num_nodes,
+                    gpus_per_node,
+                    ..
+                } => {
+                    if *num_nodes == 0 || *gpus_per_node == 0 {
+                        return Err(err(line, "add needs positive nodes and gpus_per_node"));
+                    }
+                    let existing = spec
+                        .gpus_per_node_of_type(spec.gpu_type_by_name(name).expect("checked above"));
+                    if *gpus_per_node != existing {
+                        return Err(err(
+                            line,
+                            format!(
+                                "add of {gpus_per_node}-GPU nodes breaks the uniform \
+                                 {existing}-GPU shape of type {name:?}"
+                            ),
+                        ));
+                    }
+                }
+                CapacityEvent::Remove { num_nodes, .. }
+                | CapacityEvent::Restore { num_nodes, .. } => {
+                    if *num_nodes == 0 {
+                        return Err(err(line, "node count must be positive"));
+                    }
+                }
+                CapacityEvent::Drain {
+                    num_nodes, grace, ..
+                } => {
+                    if *num_nodes == 0 {
+                        return Err(err(line, "node count must be positive"));
+                    }
+                    if !grace.is_finite() || *grace < 0.0 {
+                        return Err(err(line, "grace must be finite and non-negative"));
+                    }
+                }
+                CapacityEvent::Degrade {
+                    num_nodes, factor, ..
+                } => {
+                    if *num_nodes == 0 {
+                        return Err(err(line, "node count must be positive"));
+                    }
+                    if !factor.is_finite() || *factor <= 0.0 {
+                        return Err(err(line, "degradation factor must be positive"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to JSONL: one event object per line, in time order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let mut v = match &e.event {
+                CapacityEvent::Add {
+                    gpu_type,
+                    num_nodes,
+                    gpus_per_node,
+                } => json!({
+                    "gpu_type": gpu_type.clone(),
+                    "nodes": *num_nodes as u64,
+                    "gpus_per_node": *gpus_per_node as u64,
+                }),
+                CapacityEvent::Remove {
+                    gpu_type,
+                    num_nodes,
+                } => json!({
+                    "gpu_type": gpu_type.clone(),
+                    "nodes": *num_nodes as u64,
+                }),
+                CapacityEvent::Drain {
+                    gpu_type,
+                    num_nodes,
+                    grace,
+                } => json!({
+                    "gpu_type": gpu_type.clone(),
+                    "nodes": *num_nodes as u64,
+                    "grace": *grace,
+                }),
+                CapacityEvent::Degrade {
+                    gpu_type,
+                    num_nodes,
+                    factor,
+                } => json!({
+                    "gpu_type": gpu_type.clone(),
+                    "nodes": *num_nodes as u64,
+                    "factor": *factor,
+                }),
+                CapacityEvent::Restore {
+                    gpu_type,
+                    num_nodes,
+                } => json!({
+                    "gpu_type": gpu_type.clone(),
+                    "nodes": *num_nodes as u64,
+                }),
+            };
+            if let Value::Object(m) = &mut v {
+                m.insert("t".to_string(), Value::Float(e.time));
+                m.insert("ev".to_string(), Value::String(e.event.kind().to_string()));
+            }
+            out.push_str(&serde_json::to_string(&v).expect("Value serialization is infallible"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL document (blank lines and `#` comment lines are
+    /// skipped). Errors carry the offending 1-based line number.
+    pub fn parse_jsonl(text: &str) -> Result<Self, DynamicsError> {
+        let mut script = DynamicsScript::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let v: Value = serde_json::from_str(trimmed)
+                .map_err(|e| err(line, format!("invalid JSON: {e}")))?;
+            let t = v
+                .get("t")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| err(line, "missing numeric field \"t\""))?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(err(line, "\"t\" must be finite and non-negative"));
+            }
+            let ev = v
+                .get("ev")
+                .and_then(Value::as_str)
+                .ok_or_else(|| err(line, "missing string field \"ev\""))?;
+            let gpu_type = v
+                .get("gpu_type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| err(line, "missing string field \"gpu_type\""))?
+                .to_string();
+            let nodes = v
+                .get("nodes")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| err(line, "missing integer field \"nodes\""))?
+                as usize;
+            let event = match ev {
+                "add" => CapacityEvent::Add {
+                    gpu_type,
+                    num_nodes: nodes,
+                    gpus_per_node: v
+                        .get("gpus_per_node")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| err(line, "add needs integer \"gpus_per_node\""))?
+                        as usize,
+                },
+                "remove" => CapacityEvent::Remove {
+                    gpu_type,
+                    num_nodes: nodes,
+                },
+                "drain" => CapacityEvent::Drain {
+                    gpu_type,
+                    num_nodes: nodes,
+                    grace: v.get("grace").and_then(Value::as_f64).unwrap_or(0.0),
+                },
+                "degrade" => CapacityEvent::Degrade {
+                    gpu_type,
+                    num_nodes: nodes,
+                    factor: v
+                        .get("factor")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| err(line, "degrade needs numeric \"factor\""))?,
+                },
+                "restore" => CapacityEvent::Restore {
+                    gpu_type,
+                    num_nodes: nodes,
+                },
+                other => return Err(err(line, format!("unknown event kind {other:?}"))),
+            };
+            script = script.at(t, event);
+        }
+        Ok(script)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shrink_grow() -> DynamicsScript {
+        DynamicsScript::new()
+            .at(
+                7200.0,
+                CapacityEvent::Add {
+                    gpu_type: "a100".into(),
+                    num_nodes: 2,
+                    gpus_per_node: 8,
+                },
+            )
+            .at(
+                3600.0,
+                CapacityEvent::Remove {
+                    gpu_type: "a100".into(),
+                    num_nodes: 2,
+                },
+            )
+    }
+
+    #[test]
+    fn entries_sorted_by_time() {
+        let s = shrink_grow();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.entries()[0].time, 3600.0);
+        assert_eq!(s.entries()[0].event.kind(), "remove");
+        assert_eq!(s.entries()[1].event.kind(), "add");
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let s = DynamicsScript::new()
+            .at(
+                10.0,
+                CapacityEvent::Drain {
+                    gpu_type: "t4".into(),
+                    num_nodes: 1,
+                    grace: 120.0,
+                },
+            )
+            .at(
+                20.0,
+                CapacityEvent::Degrade {
+                    gpu_type: "rtx".into(),
+                    num_nodes: 2,
+                    factor: 0.5,
+                },
+            )
+            .at(
+                30.0,
+                CapacityEvent::Restore {
+                    gpu_type: "rtx".into(),
+                    num_nodes: 2,
+                },
+            );
+        let text = s.to_jsonl();
+        let parsed = DynamicsScript::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, s);
+        let again = shrink_grow();
+        assert_eq!(
+            DynamicsScript::parse_jsonl(&again.to_jsonl()).unwrap(),
+            again
+        );
+    }
+
+    #[test]
+    fn parse_skips_blank_and_comment_lines() {
+        let text = "# capacity script\n\n{\"t\": 5.0, \"ev\": \"remove\", \
+                    \"gpu_type\": \"t4\", \"nodes\": 1}\n";
+        let s = DynamicsScript::parse_jsonl(text).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "{\"t\": 1.0, \"ev\": \"remove\", \"gpu_type\": \"t4\", \"nodes\": 1}\n\
+                   {\"t\": 2.0, \"ev\": \"frobnicate\", \"gpu_type\": \"t4\", \"nodes\": 1}\n";
+        let e = DynamicsScript::parse_jsonl(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("frobnicate"), "{}", e.msg);
+        assert!(DynamicsScript::parse_jsonl("not json\n").is_err());
+        let no_t = "{\"ev\": \"remove\", \"gpu_type\": \"t4\", \"nodes\": 1}\n";
+        assert!(DynamicsScript::parse_jsonl(no_t).is_err());
+    }
+
+    #[test]
+    fn validate_checks_names_shapes_and_ranges() {
+        let spec = sia_cluster::ClusterSpec::heterogeneous_64();
+        assert!(shrink_grow().validate(&spec).is_ok());
+        let unknown = DynamicsScript::new().at(
+            0.0,
+            CapacityEvent::Remove {
+                gpu_type: "h100".into(),
+                num_nodes: 1,
+            },
+        );
+        assert!(unknown.validate(&spec).is_err());
+        let bad_shape = DynamicsScript::new().at(
+            0.0,
+            CapacityEvent::Add {
+                gpu_type: "t4".into(),
+                num_nodes: 1,
+                gpus_per_node: 8, // t4 nodes have 4
+            },
+        );
+        assert!(bad_shape.validate(&spec).is_err());
+        let bad_factor = DynamicsScript::new().at(
+            0.0,
+            CapacityEvent::Degrade {
+                gpu_type: "t4".into(),
+                num_nodes: 1,
+                factor: 0.0,
+            },
+        );
+        assert!(bad_factor.validate(&spec).is_err());
+    }
+}

@@ -7,7 +7,8 @@ use std::time::Instant;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sia_cluster::{ClusterSpec, FreeGpus, GpuTypeId, JobId, Placement};
+use sia_cluster::{ClusterSpec, ClusterView, FreeGpus, GpuTypeId, JobId, Placement};
+use sia_dynamics::{CapacityChange, CapacityChangeKind, DynamicsRuntime, DynamicsScript};
 use sia_models::{
     default_sync_prior, optimize_goodput, AllocShape, BatchLimits, FitSample, JobEstimator,
     Observation, ProfilingMode,
@@ -79,6 +80,10 @@ pub struct SimConfig {
     /// spill is flushed on drop, so even a panicking run leaves complete
     /// lines behind.
     pub trace_spill: Option<PathBuf>,
+    /// Optional capacity-dynamics timeline: node add/remove/drain/degrade
+    /// events applied as simulated time passes (`sia-dynamics`). `None`
+    /// (the default) reproduces the static-cluster behavior bit-for-bit.
+    pub dynamics: Option<DynamicsScript>,
 }
 
 impl Default for SimConfig {
@@ -95,6 +100,7 @@ impl Default for SimConfig {
             failure_rate_per_gpu_hour: 0.0,
             trace_capacity: 65_536,
             trace_spill: None,
+            dynamics: None,
         }
     }
 }
@@ -147,6 +153,14 @@ impl JobState {
         let epoch = self.spec.work_target * 0.05;
         let completed_epochs = (self.work_done / epoch).floor();
         self.checkpointed_work = self.checkpointed_work.max(completed_epochs * epoch);
+    }
+
+    /// True if the job's placement uses any of `nodes`.
+    pub(crate) fn slots_touch(&self, nodes: &[usize]) -> bool {
+        self.placement
+            .slots
+            .iter()
+            .any(|&(n, _)| nodes.contains(&n))
     }
 
     /// Builds the scheduler-visible view of this job at time `now`.
@@ -202,6 +216,9 @@ impl Simulator {
         let round = sched.round_duration();
         assert!(round > 0.0, "round duration must be positive");
         let horizon = self.cfg.max_hours * 3600.0;
+        // Capacity events past the last evaluated boundary can never be
+        // observed (same cutoff as the event engine's arrival horizon).
+        let dyn_cutoff = round * (horizon / round).ceil();
 
         let mut jobs: Vec<JobState> = Vec::new();
         let mut next_submit = 0usize;
@@ -209,6 +226,10 @@ impl Simulator {
         let mut now = 0.0_f64;
         let mut makespan = 0.0_f64;
         let mut rec = self.make_recorder(round);
+        let mut view = ClusterView::new(self.spec.clone());
+        let mut dynamics = self.cfg.dynamics.as_ref().map(|s| {
+            DynamicsRuntime::new(s, &view).expect("dynamics script rejected by cluster spec")
+        });
 
         // Telemetry handles hoisted out of the round loop: registry lookups
         // happen once per run, the loop itself only touches atomics.
@@ -228,8 +249,22 @@ impl Simulator {
                 next_submit += 1;
             }
 
+            // Apply capacity events due by this boundary. Records land at
+            // their scripted event time; evictions are enforced here, at the
+            // boundary — exactly when the event engine's next round timer
+            // would enforce them.
+            let mut dynamics_pending = false;
+            if let Some(rt) = dynamics.as_mut() {
+                let changes = rt.poll(now, &mut view);
+                record_capacity(&changes, &mut rec);
+                if now < horizon {
+                    ctr_restarts.add(evict_for_capacity(&changes, &mut jobs, now, &mut rec));
+                }
+                dynamics_pending = rt.next_time().is_some_and(|t| t <= dyn_cutoff);
+            }
+
             let active: Vec<usize> = (0..jobs.len()).filter(|&i| !jobs[i].finished()).collect();
-            if active.is_empty() && next_submit >= self.trace.len() {
+            if active.is_empty() && next_submit >= self.trace.len() && !dynamics_pending {
                 break;
             }
             if now >= horizon {
@@ -247,7 +282,7 @@ impl Simulator {
                 let views: Vec<JobView<'_>> = active.iter().map(|&i| jobs[i].view(now)).collect();
                 let map = {
                     let _span = sia_telemetry::span("engine.schedule");
-                    sched.schedule(now, &views, &self.spec)
+                    sched.schedule(now, &views, &view)
                 };
                 (map, sched.round_stats())
             };
@@ -261,6 +296,7 @@ impl Simulator {
                 &alloc_map,
                 now,
                 is_fallback(&solver_stats),
+                &view,
                 &mut rng,
                 &mut rec,
             );
@@ -330,7 +366,7 @@ impl Simulator {
                 let mut consumed = round; // GPU time held this round
 
                 if usable > 0.0 {
-                    if let Some((goodput, point, gpu_type)) = self.true_goodput(job) {
+                    if let Some((goodput, point, gpu_type)) = self.true_goodput(job, &view) {
                         let jittered =
                             goodput * (1.0 + self.cfg.execution_noise * symmetric(&mut rng));
                         let jittered = jittered.max(0.0);
@@ -495,12 +531,15 @@ impl Simulator {
 
     /// The true goodput of a job on its current placement (the executor's
     /// batch choice uses the true model — executors measure their own
-    /// performance directly).
+    /// performance directly). Straggler multipliers from the capacity view
+    /// scale the result; a clean view (all nodes at 1.0) leaves the value
+    /// bit-identical to the pre-dynamics computation.
     pub(crate) fn true_goodput(
         &self,
         job: &JobState,
+        view: &ClusterView,
     ) -> Option<(f64, sia_models::GoodputPoint, sia_cluster::GpuTypeId)> {
-        let gpu_type = job.placement.gpu_type(&self.spec);
+        let gpu_type = job.placement.gpu_type(view.spec());
         let gpus = job.placement.total_gpus();
         let width = job
             .spec
@@ -517,7 +556,12 @@ impl Simulator {
         let limits = execution_limits(&job.spec, replicas);
         let eff = job.truth.eff_at(job.progress());
         let point = optimize_goodput(&job.truth.per_type[gpu_type.0], &eff, shape, limits)?;
-        Some((point.goodput, point, gpu_type))
+        let mut goodput = point.goodput;
+        let mult = view.placement_degradation(&job.placement);
+        if mult != 1.0 {
+            goodput *= mult;
+        }
+        Some((goodput, point, gpu_type))
     }
 
     /// One noisy executor report (throughput sample + measured gradient
@@ -595,11 +639,15 @@ pub(crate) fn apply_allocations(
     alloc_map: &AllocationMap,
     now: f64,
     fallback: bool,
+    view: &ClusterView,
     rng: &mut ChaCha8Rng,
     rec: &mut FlightRecorder,
 ) -> RoundApply {
     let apply_span = sia_telemetry::span("engine.apply");
-    let mut free = FreeGpus::all_free(&sim.spec);
+    let spec = view.spec();
+    // Only placeable capacity enters the pool; a kept placement's slots on
+    // Draining nodes are skipped (nothing new can collide with them there).
+    let mut free = FreeGpus::for_view(view);
     let contention = active.len();
     let mut out = RoundApply {
         allocations: Vec::new(),
@@ -615,11 +663,18 @@ pub(crate) fn apply_allocations(
             .unwrap_or_else(Placement::empty);
         if !new.is_empty() {
             debug_assert!(
-                new.is_single_type(&sim.spec),
+                new.is_single_type(spec),
                 "scheduler placed {} on mixed GPU types",
                 job.spec.id
             );
-            free.take(&new); // panics on over-commit: scheduler bug
+            // Capacity-shrink audit: after the boundary's eviction sweep no
+            // placement — kept or fresh — may reference a removed node.
+            debug_assert!(
+                !view.references_removed(&new),
+                "scheduler placed {} on a removed node",
+                job.spec.id
+            );
+            free.take_available(view, &new); // panics on over-commit: scheduler bug
         }
         if new != job.placement {
             out.churn += 1;
@@ -635,7 +690,7 @@ pub(crate) fn apply_allocations(
                 AllocReason::Preempted
             } else if job.placement.is_empty() {
                 AllocReason::Started
-            } else if new.gpu_type(&sim.spec) != job.placement.gpu_type(&sim.spec) {
+            } else if new.gpu_type(spec) != job.placement.gpu_type(spec) {
                 AllocReason::Migrated
             } else if new.total_gpus() > job.placement.total_gpus() {
                 AllocReason::ScaledUp
@@ -649,7 +704,7 @@ pub(crate) fn apply_allocations(
                 now,
                 TraceEvent::AllocationChanged {
                     job: job.spec.id.0,
-                    gpu_type: (!new.is_empty()).then(|| new.gpu_type(&sim.spec).0),
+                    gpu_type: (!new.is_empty()).then(|| new.gpu_type(spec).0),
                     gpus: new.total_gpus(),
                     reason,
                     restart,
@@ -674,7 +729,7 @@ pub(crate) fn apply_allocations(
             job.placement = new;
         }
         if !job.placement.is_empty() {
-            let t = job.placement.gpu_type(&sim.spec);
+            let t = job.placement.gpu_type(spec);
             out.allocations
                 .push((job.spec.id, t, job.placement.total_gpus()));
         }
@@ -686,6 +741,108 @@ pub(crate) fn apply_allocations(
     // not depend on how the map handed out allocations.
     out.allocations.sort_unstable_by_key(|&(id, _, _)| id);
     out
+}
+
+/// Records one flight-recorder event per applied capacity change, stamped
+/// with the *scripted* event time (both engines call this with the same
+/// change sequence, so the records are identical even though the round
+/// engine observes mid-round events late).
+pub(crate) fn record_capacity(changes: &[CapacityChange], rec: &mut FlightRecorder) {
+    for ch in changes {
+        let ev = match ch.kind {
+            CapacityChangeKind::Added => TraceEvent::CapacityAdded {
+                gpu_type: ch.gpu_type.0,
+                nodes: ch.nodes.len(),
+                gpus: ch.gpus,
+            },
+            CapacityChangeKind::Removed => TraceEvent::CapacityRemoved {
+                gpu_type: ch.gpu_type.0,
+                nodes: ch.nodes.len(),
+                gpus: ch.gpus,
+                graceful: false,
+            },
+            CapacityChangeKind::DrainFinished => TraceEvent::CapacityRemoved {
+                gpu_type: ch.gpu_type.0,
+                nodes: ch.nodes.len(),
+                gpus: ch.gpus,
+                graceful: true,
+            },
+            CapacityChangeKind::DrainStarted => TraceEvent::DrainStarted {
+                gpu_type: ch.gpu_type.0,
+                nodes: ch.nodes.len(),
+                gpus: ch.gpus,
+            },
+            CapacityChangeKind::Degraded => TraceEvent::NodeDegraded {
+                gpu_type: ch.gpu_type.0,
+                nodes: ch.nodes.len(),
+                factor: ch.factor,
+            },
+            CapacityChangeKind::Restored => TraceEvent::NodeDegraded {
+                gpu_type: ch.gpu_type.0,
+                nodes: ch.nodes.len(),
+                factor: 1.0,
+            },
+        };
+        rec.record(ch.time, ev);
+    }
+}
+
+/// Evicts every job whose placement touches a node removed by `changes`
+/// (abrupt kill or expired drain). Kills also roll progress back to the
+/// last epoch checkpoint; drained jobs keep their work. Both engines run
+/// this sweep at the round boundary that enforces the change, so eviction
+/// records and job state transitions are identical across engines. No RNG
+/// is drawn here — the evicted job pays its restore when (and if) the
+/// scheduler re-places it, through the ordinary apply path.
+pub(crate) fn evict_for_capacity(
+    changes: &[CapacityChange],
+    jobs: &mut [JobState],
+    now: f64,
+    rec: &mut FlightRecorder,
+) -> u64 {
+    let mut killed: Vec<usize> = Vec::new();
+    let mut drained: Vec<usize> = Vec::new();
+    for ch in changes {
+        if !ch.evicts() {
+            continue;
+        }
+        if ch.lose_progress() {
+            killed.extend_from_slice(&ch.nodes);
+        } else {
+            drained.extend_from_slice(&ch.nodes);
+        }
+    }
+    if killed.is_empty() && drained.is_empty() {
+        return 0;
+    }
+    let mut evicted = 0u64;
+    for job in jobs.iter_mut() {
+        if job.finished() || job.placement.is_empty() {
+            continue;
+        }
+        let touches = |nodes: &[usize]| job.slots_touch(nodes);
+        let lose = touches(&killed);
+        if !lose && !touches(&drained) {
+            continue;
+        }
+        if lose {
+            job.work_done = job.checkpointed_work;
+        }
+        job.placement = Placement::empty();
+        job.restarts += 1;
+        evicted += 1;
+        rec.record(
+            now,
+            TraceEvent::AllocationChanged {
+                job: job.spec.id.0,
+                gpu_type: None,
+                gpus: 0,
+                reason: AllocReason::CapacityLost,
+                restart: true,
+            },
+        );
+    }
+    evicted
 }
 
 /// Whether this round's solve fell back past the exact ILP (its allocation
@@ -791,7 +948,7 @@ mod tests {
     use sia_workloads::{TraceConfig, TraceKind};
 
     /// A trivial scheduler: gives every job 1 GPU (first-fit) and never
-    /// reallocates.
+    /// reallocates (drops placements the capacity view no longer allows).
     struct OneGpuEach;
 
     impl Scheduler for OneGpuEach {
@@ -803,14 +960,16 @@ mod tests {
             &mut self,
             _now: f64,
             jobs: &[JobView<'_>],
-            spec: &ClusterSpec,
+            cluster: &ClusterView,
         ) -> AllocationMap {
-            let mut free = FreeGpus::all_free(spec);
+            let spec = cluster.spec();
+            let mut free = FreeGpus::for_view(cluster);
             let mut out = AllocationMap::new();
             for j in jobs {
                 if !j.current.is_empty() {
-                    // Keep the existing placement.
-                    free.take(j.current);
+                    // Keep the existing placement (Draining slots are kept
+                    // but not deducted — they are outside the pool).
+                    free.take_available(cluster, j.current);
                     out.insert(j.id, j.current.clone());
                     continue;
                 }
@@ -884,13 +1043,13 @@ mod tests {
                 &mut self,
                 _now: f64,
                 jobs: &[JobView<'_>],
-                spec: &ClusterSpec,
+                cluster: &ClusterView,
             ) -> AllocationMap {
                 self.flip = !self.flip;
                 let node = usize::from(self.flip);
                 let mut out = AllocationMap::new();
                 if let Some(j) = jobs.first() {
-                    let _ = spec;
+                    let _ = cluster;
                     out.insert(j.id, Placement::new(vec![(node, 1)]));
                 }
                 out
@@ -922,7 +1081,7 @@ mod tests {
                 &mut self,
                 _now: f64,
                 jobs: &[JobView<'_>],
-                _spec: &ClusterSpec,
+                _cluster: &ClusterView,
             ) -> AllocationMap {
                 let mut out = AllocationMap::new();
                 if let Some(j) = jobs.first() {
@@ -940,7 +1099,7 @@ mod tests {
                 &mut self,
                 now: f64,
                 jobs: &[JobView<'_>],
-                _spec: &ClusterSpec,
+                _cluster: &ClusterView,
             ) -> AllocationMap {
                 let mut out = AllocationMap::new();
                 let node = ((now / 60.0) as usize) % 2;

@@ -41,12 +41,14 @@
 
 use std::time::Instant;
 
-use sia_cluster::Placement;
+use sia_cluster::{ClusterView, Placement};
+use sia_dynamics::{CapacityChange, DynamicsRuntime};
 use sia_events::{exp_sample, EventId, EventPayload, Kernel};
 use sia_telemetry::{AllocReason, TraceEvent};
 
 use crate::engine::{
-    apply_allocations, assemble_result, is_fallback, symmetric, JobState, Simulator,
+    apply_allocations, assemble_result, evict_for_capacity, is_fallback, record_capacity,
+    symmetric, JobState, Simulator,
 };
 use crate::result::{RoundLog, SimResult};
 use crate::scheduler::{JobView, Scheduler};
@@ -62,6 +64,8 @@ enum Ev {
     Failure { job: usize },
     /// A job finishes its checkpoint-restore and resumes useful work.
     RestartDone { job: usize },
+    /// One or more scripted capacity events fall due at this instant.
+    Dynamics,
     /// The recurring scheduling round.
     RoundTimer,
 }
@@ -73,19 +77,24 @@ impl EventPayload for Ev {
             Ev::Completion { .. } => "completion",
             Ev::Failure { .. } => "failure",
             Ev::RestartDone { .. } => "restart_done",
+            Ev::Dynamics => "dynamics",
             Ev::RoundTimer => "round_timer",
         }
     }
 
     /// Same-timestamp order: completions happen-before failures
-    /// happen-before admissions happen-before the scheduling round.
+    /// happen-before admissions happen-before capacity changes
+    /// happen-before the scheduling round (a capacity event exactly at a
+    /// boundary is visible to — and enforced by — that boundary's round,
+    /// matching the round engine's poll-then-schedule order).
     fn priority(&self) -> u8 {
         match self {
             Ev::Completion { .. } => 0,
             Ev::Failure { .. } => 1,
             Ev::Arrival { .. } => 2,
             Ev::RestartDone { .. } => 3,
-            Ev::RoundTimer => 4,
+            Ev::Dynamics => 4,
+            Ev::RoundTimer => 5,
         }
     }
 }
@@ -132,6 +141,27 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
     // Pending round timer; `None` means dormant (re-armed by arrivals and
     // by failures that revive an otherwise-completing job).
     let mut timer: Option<EventId> = None;
+
+    let mut view = ClusterView::new(sim.spec.clone());
+    let mut dynamics =
+        sim.cfg.dynamics.as_ref().map(|s| {
+            DynamicsRuntime::new(s, &view).expect("dynamics script rejected by cluster spec")
+        });
+    // Capacity changes applied since the last round boundary; their
+    // evictions are enforced by the next round (the round engine enforces
+    // at the boundary that first observes the change).
+    let mut pending_changes: Vec<CapacityChange> = Vec::new();
+    if let Some(rt) = &dynamics {
+        // One kernel event per distinct op time (the same cutoff rule as
+        // arrivals: the round engine's last evaluated boundary).
+        let mut last = f64::NEG_INFINITY;
+        for t in rt.op_times() {
+            if t <= admit_cutoff && t != last {
+                kernel.schedule_at(t, Ev::Dynamics);
+                last = t;
+            }
+        }
+    }
 
     let ctr_rounds = sia_telemetry::counter("engine.rounds");
     let ctr_restarts = sia_telemetry::counter("engine.restarts");
@@ -238,8 +268,29 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
                 );
             }
 
+            Ev::Dynamics => {
+                if let Some(rt) = dynamics.as_mut() {
+                    let changes = rt.poll(now, &mut view);
+                    record_capacity(&changes, &mut rec);
+                    pending_changes.extend(changes);
+                }
+            }
+
             Ev::RoundTimer => {
                 timer = None;
+                // Enforce capacity changes observed since the last boundary:
+                // evict jobs whose nodes were removed (kills also roll back
+                // to the last checkpoint) before the scheduler sees the
+                // round's job views.
+                if !pending_changes.is_empty() {
+                    ctr_restarts.add(evict_for_capacity(
+                        &pending_changes,
+                        &mut jobs,
+                        now,
+                        &mut rec,
+                    ));
+                    pending_changes.clear();
+                }
                 let active: Vec<usize> = (0..jobs.len()).filter(|&i| !jobs[i].finished()).collect();
                 if active.is_empty() {
                     // Dormant: the next arrival re-arms the timer.
@@ -254,7 +305,7 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
                         active.iter().map(|&i| jobs[i].view(now)).collect();
                     let map = {
                         let _span = sia_telemetry::span("engine.schedule");
-                        sched.schedule(now, &views, &sim.spec)
+                        sched.schedule(now, &views, &view)
                     };
                     (map, sched.round_stats())
                 };
@@ -270,6 +321,7 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
                     &alloc_map,
                     now,
                     is_fallback(&solver_stats),
+                    &view,
                     kernel.rng("engine"),
                     &mut rec,
                 );
@@ -335,7 +387,8 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
                     let mut consumed = round; // GPU time held this round
 
                     if usable > 0.0 {
-                        if let Some((goodput, point, gpu_type)) = sim.true_goodput(&jobs[i]) {
+                        if let Some((goodput, point, gpu_type)) = sim.true_goodput(&jobs[i], &view)
+                        {
                             let jittered = goodput
                                 * (1.0 + sim.cfg.execution_noise * symmetric(kernel.rng("engine")));
                             let jittered = jittered.max(0.0);

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use sia_cluster::{ClusterSpec, Configuration, GpuTypeId, JobId, Placement};
+use sia_cluster::{ClusterSpec, ClusterView, Configuration, GpuTypeId, JobId, Placement};
 use sia_models::JobEstimator;
 use sia_workloads::JobSpec;
 
@@ -88,10 +88,14 @@ pub trait Scheduler {
 
     /// Computes placements for the next round.
     ///
-    /// `jobs` lists every submitted-but-unfinished job. The returned map
-    /// must satisfy node capacities; jobs missing from it are left without
-    /// resources. Placements must keep each job on a single GPU type.
-    fn schedule(&mut self, now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap;
+    /// `jobs` lists every submitted-but-unfinished job. `cluster` is the
+    /// current capacity view: new placements may only use its Active nodes
+    /// (capacity accessors already exclude draining/removed ones), while a
+    /// job's `current` placement may be kept on a Draining node until the
+    /// engine evicts it. The returned map must satisfy node capacities;
+    /// jobs missing from it are left without resources. Placements must
+    /// keep each job on a single GPU type.
+    fn schedule(&mut self, now: f64, jobs: &[JobView<'_>], cluster: &ClusterView) -> AllocationMap;
 
     /// Phase/solver breakdown for the most recent [`Scheduler::schedule`]
     /// call. The engine reads this once per round, right after `schedule`,

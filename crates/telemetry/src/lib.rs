@@ -36,8 +36,8 @@ pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use sink::{disable, events_emitted, flush, init_jsonl, is_enabled, shutdown};
 pub use span::{span, SpanGuard};
 pub use trace::{
-    AllocReason, FlightRecord, FlightRecorder, FlightTrace, JobTraceStats, OccupancySample,
-    TraceEvent, TraceReport,
+    AllocReason, CapacitySample, FlightRecord, FlightRecorder, FlightTrace, JobTraceStats,
+    OccupancySample, TraceEvent, TraceReport,
 };
 
 use std::collections::BTreeMap;

@@ -84,6 +84,9 @@ pub enum AllocReason {
     /// The change was decided by a fallback heuristic after the exact ILP
     /// exhausted its limits (`SolveOutcome::{Lagrangian,Greedy}Fallback`).
     IlpInfeasibleFallback,
+    /// The job's nodes left the cluster (abrupt kill or expired drain
+    /// grace window): the engine evicted it, not a scheduling decision.
+    CapacityLost,
 }
 
 impl AllocReason {
@@ -97,6 +100,7 @@ impl AllocReason {
             AllocReason::Preempted => "preempted",
             AllocReason::Completed => "completed",
             AllocReason::IlpInfeasibleFallback => "ilp-infeasible-fallback",
+            AllocReason::CapacityLost => "capacity-lost",
         }
     }
 
@@ -110,6 +114,7 @@ impl AllocReason {
             "preempted" => AllocReason::Preempted,
             "completed" => AllocReason::Completed,
             "ilp-infeasible-fallback" => AllocReason::IlpInfeasibleFallback,
+            "capacity-lost" => AllocReason::CapacityLost,
             _ => return None,
         })
     }
@@ -190,6 +195,48 @@ pub enum TraceEvent {
         /// it).
         policy_runtime: f64,
     },
+    /// Fresh nodes joined the cluster (capacity grew).
+    CapacityAdded {
+        /// GPU type index (meta name table).
+        gpu_type: usize,
+        /// Number of nodes added.
+        nodes: usize,
+        /// Total GPUs added.
+        gpus: usize,
+    },
+    /// Nodes left the cluster (capacity shrank). Stamped with the scripted
+    /// event time even when eviction is enforced at the next round boundary.
+    CapacityRemoved {
+        /// GPU type index (meta name table).
+        gpu_type: usize,
+        /// Number of nodes removed.
+        nodes: usize,
+        /// Total GPUs removed.
+        gpus: usize,
+        /// True when the removal completed a drain (evicted jobs keep their
+        /// progress); false for an abrupt kill (progress rolls back to the
+        /// last checkpoint).
+        graceful: bool,
+    },
+    /// Nodes stopped accepting new placements ahead of a graceful removal.
+    DrainStarted {
+        /// GPU type index (meta name table).
+        gpu_type: usize,
+        /// Number of nodes draining.
+        nodes: usize,
+        /// Total GPUs on the draining nodes.
+        gpus: usize,
+    },
+    /// Per-node straggler multiplier changed (`factor == 1.0` restores
+    /// full speed).
+    NodeDegraded {
+        /// GPU type index (meta name table).
+        gpu_type: usize,
+        /// Number of nodes affected.
+        nodes: usize,
+        /// Throughput multiplier now in effect on those nodes.
+        factor: f64,
+    },
 }
 
 impl TraceEvent {
@@ -205,6 +252,10 @@ impl TraceEvent {
             TraceEvent::JobFailed { .. } => "failed",
             TraceEvent::JobCompleted { .. } => "completed",
             TraceEvent::RoundScheduled { .. } => "round",
+            TraceEvent::CapacityAdded { .. } => "capacity_added",
+            TraceEvent::CapacityRemoved { .. } => "capacity_removed",
+            TraceEvent::DrainStarted { .. } => "drain_started",
+            TraceEvent::NodeDegraded { .. } => "degraded",
         }
     }
 
@@ -218,7 +269,12 @@ impl TraceEvent {
             | TraceEvent::RestartFinished { job }
             | TraceEvent::JobFailed { job, .. }
             | TraceEvent::JobCompleted { job } => Some(job),
-            TraceEvent::Meta { .. } | TraceEvent::RoundScheduled { .. } => None,
+            TraceEvent::Meta { .. }
+            | TraceEvent::RoundScheduled { .. }
+            | TraceEvent::CapacityAdded { .. }
+            | TraceEvent::CapacityRemoved { .. }
+            | TraceEvent::DrainStarted { .. }
+            | TraceEvent::NodeDegraded { .. } => None,
         }
     }
 
@@ -236,6 +292,13 @@ impl TraceEvent {
             TraceEvent::RoundScheduled { .. } => 6,
             TraceEvent::AllocationChanged { .. } => 7,
             TraceEvent::RestartStarted { .. } => 8,
+            // Capacity events sort after job records at the same instant;
+            // both engines record them at the scripted event time, so any
+            // fixed relative order keeps the canonical streams identical.
+            TraceEvent::CapacityAdded { .. } => 9,
+            TraceEvent::CapacityRemoved { .. } => 10,
+            TraceEvent::DrainStarted { .. } => 11,
+            TraceEvent::NodeDegraded { .. } => 12,
         }
     }
 }
@@ -292,6 +355,44 @@ impl FlightRecord {
             } => json!({
                 "contention": *contention as u64,
                 "policy_runtime_s": *policy_runtime,
+            }),
+            TraceEvent::CapacityAdded {
+                gpu_type,
+                nodes,
+                gpus,
+            } => json!({
+                "gpu_type": *gpu_type as u64,
+                "nodes": *nodes as u64,
+                "gpus": *gpus as u64,
+            }),
+            TraceEvent::CapacityRemoved {
+                gpu_type,
+                nodes,
+                gpus,
+                graceful,
+            } => json!({
+                "gpu_type": *gpu_type as u64,
+                "nodes": *nodes as u64,
+                "gpus": *gpus as u64,
+                "graceful": *graceful,
+            }),
+            TraceEvent::DrainStarted {
+                gpu_type,
+                nodes,
+                gpus,
+            } => json!({
+                "gpu_type": *gpu_type as u64,
+                "nodes": *nodes as u64,
+                "gpus": *gpus as u64,
+            }),
+            TraceEvent::NodeDegraded {
+                gpu_type,
+                nodes,
+                factor,
+            } => json!({
+                "gpu_type": *gpu_type as u64,
+                "nodes": *nodes as u64,
+                "factor": *factor,
             }),
         };
         if let Value::Object(m) = &mut v {
@@ -376,6 +477,27 @@ impl FlightRecord {
                     .get("policy_runtime_s")
                     .and_then(Value::as_f64)
                     .unwrap_or(0.0),
+            },
+            "capacity_added" => TraceEvent::CapacityAdded {
+                gpu_type: job("gpu_type")? as usize,
+                nodes: job("nodes")? as usize,
+                gpus: job("gpus")? as usize,
+            },
+            "capacity_removed" => TraceEvent::CapacityRemoved {
+                gpu_type: job("gpu_type")? as usize,
+                nodes: job("nodes")? as usize,
+                gpus: job("gpus")? as usize,
+                graceful: v.get("graceful").and_then(Value::as_bool).unwrap_or(false),
+            },
+            "drain_started" => TraceEvent::DrainStarted {
+                gpu_type: job("gpu_type")? as usize,
+                nodes: job("nodes")? as usize,
+                gpus: job("gpus")? as usize,
+            },
+            "degraded" => TraceEvent::NodeDegraded {
+                gpu_type: job("gpu_type")? as usize,
+                nodes: job("nodes")? as usize,
+                factor: v.get("factor").and_then(Value::as_f64).unwrap_or(1.0),
             },
             other => return Err(format!("unknown record kind {other:?}")),
         };
@@ -587,6 +709,9 @@ impl FlightTrace {
 
         // Open allocation per job: (type index, gpus, since, reason label).
         let mut open: BTreeMap<u64, (usize, usize, f64, &'static str)> = BTreeMap::new();
+        // Net capacity change per type (GPUs), relative to the initial
+        // cluster (the stream does not carry absolute capacity).
+        let mut cap_delta: Vec<i64> = vec![0; types.len().max(1)];
         // (pid, tid) pairs already given a thread_name metadata event.
         let mut named: std::collections::BTreeSet<(u64, u64)> = std::collections::BTreeSet::new();
         let mut job_names: BTreeMap<u64, String> = BTreeMap::new();
@@ -684,6 +809,68 @@ impl FlightTrace {
                         "args": {"jobs": *contention as u64},
                     }));
                 }
+                TraceEvent::CapacityAdded {
+                    gpu_type,
+                    nodes,
+                    gpus,
+                } => {
+                    events.push(json!({
+                        "name": format!("capacity +{gpus} ({nodes} nodes)"),
+                        "cat": "capacity", "ph": "i", "s": "p",
+                        "ts": us(r.t), "pid": (*gpu_type + 1) as u64, "tid": 0u64,
+                    }));
+                    if let Some(d) = cap_delta.get_mut(*gpu_type) {
+                        *d += *gpus as i64;
+                        events.push(json!({
+                            "name": "capacity_delta", "ph": "C", "ts": us(r.t),
+                            "pid": (*gpu_type + 1) as u64, "tid": 0u64,
+                            "args": {"gpus": *d},
+                        }));
+                    }
+                }
+                TraceEvent::CapacityRemoved {
+                    gpu_type,
+                    nodes,
+                    gpus,
+                    graceful,
+                } => {
+                    let how = if *graceful { "drained" } else { "killed" };
+                    events.push(json!({
+                        "name": format!("capacity -{gpus} ({nodes} nodes {how})"),
+                        "cat": "capacity", "ph": "i", "s": "p",
+                        "ts": us(r.t), "pid": (*gpu_type + 1) as u64, "tid": 0u64,
+                    }));
+                    if let Some(d) = cap_delta.get_mut(*gpu_type) {
+                        *d -= *gpus as i64;
+                        events.push(json!({
+                            "name": "capacity_delta", "ph": "C", "ts": us(r.t),
+                            "pid": (*gpu_type + 1) as u64, "tid": 0u64,
+                            "args": {"gpus": *d},
+                        }));
+                    }
+                }
+                TraceEvent::DrainStarted {
+                    gpu_type,
+                    nodes,
+                    gpus,
+                } => {
+                    events.push(json!({
+                        "name": format!("drain started ({nodes} nodes, {gpus} GPUs)"),
+                        "cat": "capacity", "ph": "i", "s": "p",
+                        "ts": us(r.t), "pid": (*gpu_type + 1) as u64, "tid": 0u64,
+                    }));
+                }
+                TraceEvent::NodeDegraded {
+                    gpu_type,
+                    nodes,
+                    factor,
+                } => {
+                    events.push(json!({
+                        "name": format!("degraded x{factor} ({nodes} nodes)"),
+                        "cat": "capacity", "ph": "i", "s": "p",
+                        "ts": us(r.t), "pid": (*gpu_type + 1) as u64, "tid": 0u64,
+                    }));
+                }
             }
         }
         // Close any slice left open at the horizon at the last known time
@@ -705,6 +892,7 @@ impl FlightTrace {
         // Open allocation per job: (type index, gpus, since).
         let mut open: BTreeMap<u64, (usize, usize, f64)> = BTreeMap::new();
         let mut occupancy = Vec::new();
+        let mut capacity_events: Vec<CapacitySample> = Vec::new();
         let mut rounds = 0u64;
         let mut total_policy_runtime_s = 0.0;
         let mut last_round_t = f64::NEG_INFINITY;
@@ -793,6 +981,63 @@ impl FlightTrace {
                     total_policy_runtime_s += policy_runtime;
                     last_round_t = r.t;
                 }
+                TraceEvent::CapacityAdded {
+                    gpu_type,
+                    nodes,
+                    gpus,
+                } => capacity_events.push(CapacitySample {
+                    t: r.t,
+                    kind: "added",
+                    gpu_type: *gpu_type,
+                    nodes: *nodes,
+                    gpus: *gpus,
+                    delta_gpus: *gpus as i64,
+                    factor: 1.0,
+                }),
+                TraceEvent::CapacityRemoved {
+                    gpu_type,
+                    nodes,
+                    gpus,
+                    graceful,
+                } => capacity_events.push(CapacitySample {
+                    t: r.t,
+                    kind: if *graceful { "drained" } else { "killed" },
+                    gpu_type: *gpu_type,
+                    nodes: *nodes,
+                    gpus: *gpus,
+                    delta_gpus: -(*gpus as i64),
+                    factor: 1.0,
+                }),
+                TraceEvent::DrainStarted {
+                    gpu_type,
+                    nodes,
+                    gpus,
+                } => capacity_events.push(CapacitySample {
+                    t: r.t,
+                    kind: "drain_started",
+                    gpu_type: *gpu_type,
+                    nodes: *nodes,
+                    gpus: *gpus,
+                    delta_gpus: 0,
+                    factor: 1.0,
+                }),
+                TraceEvent::NodeDegraded {
+                    gpu_type,
+                    nodes,
+                    factor,
+                } => capacity_events.push(CapacitySample {
+                    t: r.t,
+                    kind: if *factor == 1.0 {
+                        "restored"
+                    } else {
+                        "degraded"
+                    },
+                    gpu_type: *gpu_type,
+                    nodes: *nodes,
+                    gpus: 0,
+                    delta_gpus: 0,
+                    factor: *factor,
+                }),
             }
             // Occupancy is sampled *after* each round's allocation records
             // land, i.e. at the next record boundary past the round; doing
@@ -847,6 +1092,7 @@ impl FlightTrace {
             rounds,
             total_policy_runtime_s,
             occupancy,
+            capacity_events,
             end_time: horizon_end,
             dropped: self.dropped,
         }
@@ -900,6 +1146,27 @@ impl JobTraceStats {
     }
 }
 
+/// One capacity-timeline entry of a [`TraceReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacitySample {
+    /// Scripted event time, simulated seconds.
+    pub t: f64,
+    /// What happened: `added`, `killed`, `drained`, `drain_started`,
+    /// `degraded` or `restored`.
+    pub kind: &'static str,
+    /// GPU type index (meta name table).
+    pub gpu_type: usize,
+    /// Nodes affected.
+    pub nodes: usize,
+    /// GPUs on the affected nodes (0 for degradation events).
+    pub gpus: usize,
+    /// Signed change to placeable capacity, GPUs (0 for drain-start and
+    /// degradation events).
+    pub delta_gpus: i64,
+    /// Straggler multiplier now in effect (1.0 unless degraded).
+    pub factor: f64,
+}
+
 /// Cluster allocation state at one instant.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OccupancySample {
@@ -927,6 +1194,9 @@ pub struct TraceReport {
     /// Cluster occupancy time series (one sample per allocation change or
     /// scheduling round).
     pub occupancy: Vec<OccupancySample>,
+    /// Capacity timeline: every capacity event in the stream, in record
+    /// order (empty unless the run had cluster dynamics).
+    pub capacity_events: Vec<CapacitySample>,
     /// End of the accounted window, simulated seconds.
     pub end_time: f64,
     /// Ring-buffer drops in the source trace (the report is partial if

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example custom_scheduler`
 
-use sia::cluster::{ClusterSpec, Configuration, FreeGpus};
+use sia::cluster::{ClusterSpec, ClusterView, Configuration, FreeGpus};
 use sia::core::SiaPolicy;
 use sia::metrics::summarize;
 use sia::models::AllocShape;
@@ -25,10 +25,16 @@ impl Scheduler for HeteroFifo {
         "hetero-fifo"
     }
 
-    fn schedule(&mut self, _now: f64, jobs: &[JobView<'_>], spec: &ClusterSpec) -> AllocationMap {
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[JobView<'_>],
+        cluster: &ClusterView,
+    ) -> AllocationMap {
+        let spec = cluster.spec();
         let mut order: Vec<&JobView<'_>> = jobs.iter().collect();
         order.sort_by(|a, b| a.spec.submit_time.partial_cmp(&b.spec.submit_time).unwrap());
-        let mut free = FreeGpus::all_free(spec);
+        let mut free = FreeGpus::for_view(cluster);
         let mut out = AllocationMap::new();
         for view in order {
             // Rank GPU types by estimated single-GPU goodput.

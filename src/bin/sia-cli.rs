@@ -3,7 +3,7 @@
 //! ```text
 //! sia-cli [--cluster hetero64|homog64|physical44] [--trace philly|helios|newtrace|physical]
 //!         [--policy sia|pollux|gavel|shockwave|themis] [--engine round|events]
-//!         [--seed N] [--rate JOBS_PER_HOUR]
+//!         [--seed N] [--rate JOBS_PER_HOUR] [--dynamics FILE]
 //!         [--profiling oracle|bootstrap|noprof] [--json]
 //!         [--telemetry-out PATH] [--trace-out PATH] [--trace-format jsonl|chrome]
 //!         [--quiet]
@@ -11,6 +11,10 @@
 //! ```
 //!
 //! Runs one simulation and prints the summary (or JSON with `--json`).
+//! `--dynamics FILE` loads a capacity-dynamics script (JSONL, one
+//! add/remove/drain/degrade/restore event per line — see `sia-dynamics`)
+//! and replays it against the cluster as simulated time passes; a script
+//! that fails to parse or references unknown GPU types exits with status 2.
 //! `--telemetry-out PATH` streams span/counter events as JSONL to PATH;
 //! `--trace-out PATH` writes the simulated-time flight-recorder stream —
 //! per-job lifecycle events — as JSONL (default) or as a Chrome trace-event
@@ -38,6 +42,7 @@ const VALUE_OPTS: &[&str] = &[
     "--engine",
     "--seed",
     "--rate",
+    "--dynamics",
     "--profiling",
     "--telemetry-out",
     "--trace-out",
@@ -100,7 +105,8 @@ fn main() {
              [--trace philly|helios|newtrace|physical] \
              [--policy sia|pollux|gavel|shockwave|themis] \
              [--engine round|events] [--seed N] \
-             [--rate JOBS/HR] [--profiling oracle|bootstrap|noprof] [--json] \
+             [--rate JOBS/HR] [--dynamics FILE] \
+             [--profiling oracle|bootstrap|noprof] [--json] \
              [--telemetry-out PATH] [--trace-out PATH] \
              [--trace-format jsonl|chrome] [--quiet]\n\
              \x20      sia-cli trace-report FILE [--json] [--quiet]"
@@ -150,6 +156,30 @@ fn main() {
         tcfg = tcfg.with_rate(rate);
     }
     let trace = Trace::generate(&tcfg);
+
+    // Load and validate the capacity-dynamics script before anything runs:
+    // malformed input is an exit-2 usage error, not a mid-run panic.
+    let dynamics = args.opt("--dynamics").map(|path| {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read dynamics script {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let script = match sia::dynamics::DynamicsScript::parse_jsonl(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = script.validate(&cluster) {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+        script
+    });
 
     let engine = match args.opt("--engine").unwrap_or("events") {
         "round" => EngineKind::Round,
@@ -209,6 +239,7 @@ fn main() {
         engine,
         seed,
         profiling_mode: profiling,
+        dynamics,
         ..SimConfig::default()
     };
     if let (Some(path), false) = (trace_out, trace_chrome) {
@@ -378,6 +409,25 @@ fn trace_report(argv: &[String]) -> ! {
                 })
             })
             .collect();
+        let capacity: Vec<serde_json::Value> = report
+            .capacity_events
+            .iter()
+            .map(|c| {
+                serde_json::json!({
+                    "t_s": c.t,
+                    "kind": c.kind,
+                    "gpu_type": report
+                        .gpu_types
+                        .get(c.gpu_type)
+                        .map(|s| s.as_str())
+                        .unwrap_or("?"),
+                    "nodes": c.nodes as u64,
+                    "gpus": c.gpus as u64,
+                    "delta_gpus": c.delta_gpus,
+                    "factor": c.factor,
+                })
+            })
+            .collect();
         let doc = serde_json::json!({
             "records": trace.records.len() as u64,
             "dropped": trace.dropped,
@@ -386,6 +436,7 @@ fn trace_report(argv: &[String]) -> ! {
             "end_time_s": report.end_time,
             "policy_runtime_total_s": report.total_policy_runtime_s,
             "occupancy": occupancy,
+            "capacity_timeline": capacity,
             "jobs": jobs,
         });
         println!("{doc}");
@@ -409,6 +460,27 @@ fn trace_report(argv: &[String]) -> ! {
             "occupancy {:<6}: mean {:6.2} GPUs, peak {:3} GPUs",
             name, mean[i], peak[i]
         );
+    }
+    if !report.capacity_events.is_empty() {
+        println!("capacity timeline:");
+        for c in &report.capacity_events {
+            let name = report
+                .gpu_types
+                .get(c.gpu_type)
+                .map(|s| s.as_str())
+                .unwrap_or("?");
+            let delta = if c.delta_gpus != 0 {
+                format!(", {:+} GPUs", c.delta_gpus)
+            } else if (c.factor - 1.0).abs() > f64::EPSILON {
+                format!(", x{:.2} throughput", c.factor)
+            } else {
+                String::new()
+            };
+            println!(
+                "  t={:>8.0}s {:<13} {:<6} {} node(s){}",
+                c.t, c.kind, name, c.nodes, delta
+            );
+        }
     }
     if trace.dropped > 0 {
         println!(

@@ -16,6 +16,8 @@
 //! * [`metrics`] — JCT/makespan/GPU-hour/finish-time-fairness metrics.
 //! * [`events`] — the deterministic discrete-event kernel under the
 //!   simulator's event-driven engine.
+//! * [`dynamics`] — scripted and stochastic cluster-capacity dynamics
+//!   (elastic add/remove, drains, failures, stragglers).
 //! * [`telemetry`] — span timers, counters/gauges/histograms, JSONL sink.
 //!
 //! # Examples
@@ -27,6 +29,7 @@
 pub use sia_baselines as baselines;
 pub use sia_cluster as cluster;
 pub use sia_core as core;
+pub use sia_dynamics as dynamics;
 pub use sia_events as events;
 pub use sia_metrics as metrics;
 pub use sia_models as models;

@@ -1,0 +1,204 @@
+//! Regression tests for capacity-version invalidation (PR 5 satellite):
+//! a [`ClusterView::version`] bump must dirty every goodput-matrix row, and
+//! a stale warm-start incumbent from the pre-change cluster must not
+//! corrupt the MILP solution — the warm solve falls back to a cold solve
+//! and reaches the same objective.
+
+use std::collections::BTreeMap;
+
+use sia::cluster::{config_set, ClusterSpec, ClusterView, JobId, NodeHealth, Placement};
+use sia::core::ilp::solve_assignment_warm;
+use sia::core::matrix::job_candidates;
+use sia::core::{Candidate, MatrixCache, RefreshStats};
+use sia::models::{BatchLimits, EfficiencyParams, JobEstimator, ThroughputParams};
+use sia::sim::JobView;
+use sia::solver::MilpOptions;
+use sia::workloads::{Adaptivity, JobSpec, ModelKind, SizeCategory};
+
+fn params(speed: f64) -> ThroughputParams {
+    ThroughputParams {
+        alpha_c: 0.05 / speed,
+        beta_c: 0.002 / speed,
+        alpha_n: 0.02,
+        beta_n: 0.005,
+        alpha_d: 0.1,
+        beta_d: 0.02,
+        gamma: 2.5,
+        max_local_bsz: 256.0,
+    }
+}
+
+fn estimator() -> JobEstimator {
+    JobEstimator::oracle(
+        vec![params(1.0), params(1.8), params(4.0)],
+        EfficiencyParams::new(2000.0, 128.0),
+        BatchLimits::new(128.0, 4096.0),
+    )
+}
+
+fn job_spec(i: u64) -> JobSpec {
+    JobSpec {
+        id: JobId(i),
+        name: format!("j{i}"),
+        model: ModelKind::ResNet18,
+        category: SizeCategory::Small,
+        submit_time: 0.0,
+        adaptivity: Adaptivity::Adaptive,
+        min_gpus: 1,
+        max_gpus: 16,
+        work_target: 1e7,
+    }
+}
+
+fn views<'a>(
+    specs: &'a [JobSpec],
+    ests: &'a [JobEstimator],
+    cur: &'a Placement,
+) -> Vec<JobView<'a>> {
+    specs
+        .iter()
+        .zip(ests)
+        .map(|(s, e)| JobView {
+            id: s.id,
+            spec: s,
+            estimator: e,
+            current: cur,
+            age: 600.0,
+            restarts: 0,
+            restart_delay: 30.0,
+            progress: 0.2,
+        })
+        .collect()
+}
+
+/// Any capacity change (here: a drain) bumps the view version and must
+/// rebuild every cached goodput row, even though no estimator refit or
+/// progress-decile crossing happened.
+#[test]
+fn matrix_cache_invalidates_on_cluster_version_bump() {
+    let mut cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
+    let configs = config_set(cluster.spec());
+    let specs: Vec<JobSpec> = (0..4).map(job_spec).collect();
+    let ests: Vec<JobEstimator> = (0..4).map(|_| estimator()).collect();
+    let cur = Placement::empty();
+
+    let mut cache = MatrixCache::new();
+    let first = cache.refresh(&views(&specs, &ests, &cur), &cluster, &configs, 1);
+    assert_eq!(
+        first,
+        RefreshStats {
+            reused: 0,
+            rebuilt: 4
+        }
+    );
+    let second = cache.refresh(&views(&specs, &ests, &cur), &cluster, &configs, 1);
+    assert_eq!(
+        second,
+        RefreshStats {
+            reused: 4,
+            rebuilt: 0
+        }
+    );
+
+    let v0 = cluster.version();
+    cluster.set_health(0, NodeHealth::Draining);
+    assert!(cluster.version() > v0, "capacity change must bump version");
+
+    let third = cache.refresh(&views(&specs, &ests, &cur), &cluster, &configs, 1);
+    assert_eq!(
+        third,
+        RefreshStats {
+            reused: 0,
+            rebuilt: 4
+        },
+        "version bump must dirty every row"
+    );
+
+    // And the new rows are stable again.
+    let fourth = cache.refresh(&views(&specs, &ests, &cur), &cluster, &configs, 1);
+    assert_eq!(
+        fourth,
+        RefreshStats {
+            reused: 4,
+            rebuilt: 0
+        }
+    );
+}
+
+/// A warm-start hint computed against the pre-shrink cluster is infeasible
+/// after the capacity drop; the solver must reject it and reach the cold
+/// objective on the shrunk cluster exactly.
+#[test]
+fn stale_warm_start_matches_cold_solve_after_capacity_loss() {
+    let mut cluster = ClusterView::new(ClusterSpec::heterogeneous_64());
+    let specs: Vec<JobSpec> = (0..8).map(job_spec).collect();
+    let ests: Vec<JobEstimator> = (0..8).map(|_| estimator()).collect();
+    let cur = Placement::empty();
+    let opts = MilpOptions::default();
+
+    let candidates_for = |cluster: &ClusterView| -> Vec<Candidate> {
+        let configs = config_set(cluster.spec());
+        views(&specs, &ests, &cur)
+            .iter()
+            .flat_map(|v| job_candidates(v, cluster.spec(), &configs, -0.5, 1.1))
+            .collect()
+    };
+
+    // Round 1: solve on the full cluster.
+    let cands_full = candidates_for(&cluster);
+    let (prev, _) = solve_assignment_warm(&cluster, &cands_full, &BTreeMap::new(), &opts, None);
+    assert!(!prev.is_empty(), "full cluster must admit an assignment");
+
+    // Capacity change: every node of the fastest type goes away.
+    let fast = cluster
+        .gpu_types()
+        .max_by(|&a, &b| {
+            let ga = cluster.gpus_of_type(a);
+            let gb = cluster.gpus_of_type(b);
+            ga.cmp(&gb)
+        })
+        .unwrap();
+    let victims: Vec<usize> = cluster.nodes_of_type(fast).map(|n| n.id).collect();
+    assert!(!victims.is_empty());
+    for id in victims {
+        cluster.set_health(id, NodeHealth::Removed);
+    }
+    assert_eq!(cluster.gpus_of_type(fast), 0);
+
+    // Round 2 on the shrunk cluster: cold vs stale-warm must agree.
+    let cands = candidates_for(&cluster);
+    let (cold, cold_stats) = solve_assignment_warm(&cluster, &cands, &BTreeMap::new(), &opts, None);
+    let (warm, warm_stats) =
+        solve_assignment_warm(&cluster, &cands, &BTreeMap::new(), &opts, Some(&prev));
+
+    let cold_obj = cold_stats
+        .objective
+        .expect("cold solve must find a solution");
+    let warm_obj = warm_stats
+        .objective
+        .expect("warm solve must find a solution");
+    assert!(
+        (cold_obj - warm_obj).abs() < 1e-6,
+        "stale warm start changed the objective: cold {cold_obj} vs warm {warm_obj}"
+    );
+
+    // Both assignments must respect the shrunk capacity.
+    for chosen in [&cold, &warm] {
+        let mut used: BTreeMap<usize, usize> = BTreeMap::new();
+        for cfg in chosen.values() {
+            *used.entry(cfg.gpu_type.0).or_insert(0) += cfg.gpus;
+        }
+        for (t, g) in used {
+            assert!(
+                g <= cluster.gpus_of_type(sia::cluster::GpuTypeId(t)),
+                "type {t} over-committed: {g} GPUs"
+            );
+        }
+        for cfg in chosen.values() {
+            assert_ne!(
+                cfg.gpu_type, fast,
+                "assignment references the removed GPU type"
+            );
+        }
+    }
+}

@@ -221,3 +221,141 @@ fn failure_injection_stays_on_summary_parity() {
         "failure-regime JCTs diverged: round {a} vs events {b}"
     );
 }
+
+/// A fixed capacity-dynamics script exercising every event kind inside the
+/// first simulated hour: an abrupt a100 kill, a t4 straggler window, a
+/// graceful rtx drain, and elastic re-growth.
+fn fixed_dynamics() -> sia::dynamics::DynamicsScript {
+    use sia::dynamics::CapacityEvent;
+    sia::dynamics::DynamicsScript::new()
+        .at(
+            400.0,
+            CapacityEvent::Remove {
+                gpu_type: "a100".to_string(),
+                num_nodes: 2,
+            },
+        )
+        .at(
+            700.0,
+            CapacityEvent::Degrade {
+                gpu_type: "t4".to_string(),
+                num_nodes: 2,
+                factor: 0.5,
+            },
+        )
+        .at(
+            1500.0,
+            CapacityEvent::Drain {
+                gpu_type: "rtx".to_string(),
+                num_nodes: 3,
+                grace: 300.0,
+            },
+        )
+        .at(
+            2500.0,
+            CapacityEvent::Add {
+                gpu_type: "a100".to_string(),
+                num_nodes: 2,
+                gpus_per_node: 8,
+            },
+        )
+        .at(
+            3000.0,
+            CapacityEvent::Restore {
+                gpu_type: "t4".to_string(),
+                num_nodes: 2,
+            },
+        )
+}
+
+#[test]
+fn dynamics_engines_bit_identical() {
+    let trace = quick_trace(6);
+    let cfg = SimConfig {
+        seed: 6,
+        dynamics: Some(fixed_dynamics()),
+        ..SimConfig::default()
+    };
+    for make in [
+        (&|| Box::new(SiaPolicy::default()) as Box<dyn Scheduler>)
+            as &dyn Fn() -> Box<dyn Scheduler>,
+        &|| Box::new(GavelPolicy::default()),
+    ] {
+        let (round, events) = run_both(make, &trace, &cfg);
+        assert_bit_parity(&round, &events);
+        // The script must actually bite: capacity records present, and at
+        // least one job lost its placement to a capacity change.
+        let canon = round.trace.canonical_jsonl();
+        for kind in [
+            "capacity_removed",
+            "capacity_added",
+            "drain_started",
+            "degraded",
+        ] {
+            assert!(
+                canon.contains(kind),
+                "canonical trace records no {kind} event"
+            );
+        }
+        assert!(
+            canon.contains("capacity-lost"),
+            "no job was evicted by the capacity script"
+        );
+    }
+}
+
+#[test]
+fn dynamics_same_seed_reruns_are_byte_identical() {
+    let trace = quick_trace(6);
+    for engine in [EngineKind::Round, EngineKind::Events] {
+        let run = || {
+            Simulator::new(
+                ClusterSpec::heterogeneous_64(),
+                &trace,
+                SimConfig {
+                    engine,
+                    seed: 6,
+                    dynamics: Some(fixed_dynamics()),
+                    ..SimConfig::default()
+                },
+            )
+            .run(Box::new(SiaPolicy::default()).as_mut())
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.trace.canonical_jsonl(),
+            b.trace.canonical_jsonl(),
+            "{engine:?} engine is not deterministic with dynamics enabled"
+        );
+    }
+}
+
+#[test]
+fn empty_dynamics_script_matches_dynamics_none() {
+    // Guard for the dynamics=None bit-identity contract: threading an empty
+    // script through the runtime must not perturb a single RNG draw,
+    // version bump, or trace byte relative to running with no dynamics.
+    let trace = quick_trace(7);
+    for engine in [EngineKind::Round, EngineKind::Events] {
+        let run = |dynamics: Option<sia::dynamics::DynamicsScript>| {
+            Simulator::new(
+                ClusterSpec::heterogeneous_64(),
+                &trace,
+                SimConfig {
+                    engine,
+                    seed: 7,
+                    dynamics,
+                    ..SimConfig::default()
+                },
+            )
+            .run(Box::new(SiaPolicy::default()).as_mut())
+        };
+        let without = run(None);
+        let with = run(Some(sia::dynamics::DynamicsScript::new()));
+        assert_eq!(
+            without.trace.canonical_jsonl(),
+            with.trace.canonical_jsonl(),
+            "{engine:?}: an empty dynamics script changed the simulation"
+        );
+    }
+}

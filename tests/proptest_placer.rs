@@ -2,7 +2,7 @@
 //! output must be realizable without drops (the §3.3 guarantee end-to-end).
 
 use proptest::prelude::*;
-use sia::cluster::{config_set, ClusterSpec, Configuration, JobId, Placement};
+use sia::cluster::{config_set, ClusterSpec, ClusterView, Configuration, JobId, Placement};
 use sia::core::placer::realize;
 
 fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
@@ -42,7 +42,8 @@ proptest! {
                 decisions.push((JobId(i as u64), cfg, Placement::empty()));
             }
         }
-        let out = realize(&spec, &decisions);
+        let view = ClusterView::new(spec.clone());
+        let out = realize(&view, &decisions);
         prop_assert_eq!(out.dropped, 0, "capacity-feasible set must place");
         prop_assert_eq!(out.allocations.len(), decisions.len());
 
@@ -98,12 +99,13 @@ proptest! {
                 decisions.push((JobId(i as u64), cfg, Placement::empty()));
             }
         }
-        let first = realize(&spec, &decisions);
+        let view = ClusterView::new(spec.clone());
+        let first = realize(&view, &decisions);
         let with_current: Vec<_> = decisions
             .iter()
             .map(|(j, cfg, _)| (*j, *cfg, first.allocations[j].clone()))
             .collect();
-        let second = realize(&spec, &with_current);
+        let second = realize(&view, &with_current);
         prop_assert_eq!(second.evictions, 0);
         prop_assert_eq!(&second.allocations, &first.allocations);
     }

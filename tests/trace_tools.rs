@@ -315,3 +315,119 @@ fn cli_trace_report_analyses_a_stream() {
         Some(180.0)
     );
 }
+
+#[test]
+fn cli_rejects_malformed_dynamics_script() {
+    let path = std::env::temp_dir().join(format!("sia-dyn-bad-{}.jsonl", std::process::id()));
+    std::fs::write(&path, "{\"t\": 100.0, \"ev\": \"explode\"}\n").unwrap();
+    let out = cli()
+        .args(["--dynamics", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(2), "malformed script must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "stderr was: {stderr}");
+}
+
+#[test]
+fn cli_rejects_dynamics_script_with_unknown_gpu_type() {
+    let path = std::env::temp_dir().join(format!("sia-dyn-unk-{}.jsonl", std::process::id()));
+    std::fs::write(
+        &path,
+        "{\"t\": 100.0, \"ev\": \"remove\", \"gpu_type\": \"tpu9000\", \"nodes\": 1}\n",
+    )
+    .unwrap();
+    let out = cli()
+        .args(["--dynamics", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(2), "unknown GPU type must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown GPU type"), "stderr was: {stderr}");
+}
+
+#[test]
+fn cli_rejects_missing_dynamics_file() {
+    let out = cli()
+        .args(["--dynamics", "/nonexistent/dynamics.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn trace_report_surfaces_capacity_timeline_from_dynamics_run() {
+    use sia::dynamics::{CapacityEvent, DynamicsScript};
+
+    let spill = std::env::temp_dir().join(format!("sia-dyn-spill-{}.jsonl", std::process::id()));
+    let mut trace = Trace::generate(&TraceConfig::new(TraceKind::Philly, 7).with_max_gpus_cap(16));
+    trace.jobs.truncate(16);
+    let script = DynamicsScript::new()
+        .at(
+            400.0,
+            CapacityEvent::Remove {
+                gpu_type: "a100".to_string(),
+                num_nodes: 2,
+            },
+        )
+        .at(
+            2500.0,
+            CapacityEvent::Add {
+                gpu_type: "a100".to_string(),
+                num_nodes: 2,
+                gpus_per_node: 8,
+            },
+        );
+    let cfg = SimConfig {
+        engine: EngineKind::Events,
+        seed: 7,
+        profiling_mode: ProfilingMode::Oracle,
+        trace_spill: Some(spill.clone()),
+        dynamics: Some(script),
+        ..SimConfig::default()
+    };
+    let mut policy = SiaPolicy::default();
+    Simulator::new(ClusterSpec::heterogeneous_64(), &trace, cfg).run(&mut policy);
+
+    let out = cli()
+        .args(["trace-report", spill.to_str().unwrap(), "--quiet"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("capacity timeline:"),
+        "human report must show the capacity section: {stdout}"
+    );
+
+    let out = cli()
+        .args(["trace-report", spill.to_str().unwrap(), "--json", "--quiet"])
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(&spill);
+    assert_eq!(out.status.code(), Some(0));
+    let doc: Value = serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let timeline = doc
+        .get("capacity_timeline")
+        .and_then(Value::as_array)
+        .expect("capacity_timeline array");
+    let kinds: Vec<&str> = timeline
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(Value::as_str))
+        .collect();
+    assert!(
+        kinds.contains(&"killed"),
+        "abrupt removal missing from timeline, got {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"added"),
+        "capacity add missing from timeline, got {kinds:?}"
+    );
+    for e in timeline {
+        assert_eq!(e.get("gpu_type").and_then(Value::as_str), Some("a100"));
+        assert!(e.get("t_s").and_then(Value::as_f64).unwrap() >= 0.0);
+    }
+}
