@@ -123,6 +123,14 @@ fn main() {
                         "matrix_cache_misses": ph.total_cache_misses,
                         "warm_seeded_rounds": ph.warm_seeded_rounds,
                         "warm_pivots_saved": ph.total_warm_pivots_saved,
+                        // Gap-over-scale series (sia-audit): does the proven
+                        // optimality gap widen as the MILP grows?
+                        "bounded_rounds": ph.bounded_rounds,
+                        "mean_best_bound": ph.mean_best_bound,
+                        "median_rel_gap": ph.median_rel_gap,
+                        "max_rel_gap": ph.max_rel_gap,
+                        "milp_nodes_pruned": ph.total_nodes_pruned,
+                        "mean_seed_objective": ph.mean_seed_objective,
                     }));
             }
         }

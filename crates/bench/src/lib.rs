@@ -283,6 +283,13 @@ pub fn aggregates_json(aggs: &[Aggregate]) -> serde_json::Value {
                 "matrix_cache_misses": a.mean(|s| s.solver.map_or(0.0, |p| p.total_cache_misses as f64)),
                 "warm_seeded_rounds": a.mean(|s| s.solver.map_or(0.0, |p| p.warm_seeded_rounds as f64)),
                 "warm_pivots_saved": a.mean(|s| s.solver.map_or(0.0, |p| p.total_warm_pivots_saved as f64)),
+                // Decision-quality telemetry (sia-audit).
+                "bounded_rounds": a.mean(|s| s.solver.map_or(0.0, |p| p.bounded_rounds as f64)),
+                "mean_best_bound": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_best_bound)),
+                "median_rel_gap": a.mean(|s| s.solver.map_or(0.0, |p| p.median_rel_gap)),
+                "max_rel_gap": a.max(|s| s.solver.map_or(0.0, |p| p.max_rel_gap)),
+                "milp_nodes_pruned": a.mean(|s| s.solver.map_or(0.0, |p| p.total_nodes_pruned as f64)),
+                "mean_seed_objective": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_seed_objective)),
             })
         })
         .collect();

@@ -37,6 +37,17 @@ pub struct AssignmentStats {
     pub lp_objective: Option<f64>,
     /// Total weight of the returned assignment, when one exists.
     pub objective: Option<f64>,
+    /// Proven relaxation bound on the optimum (`None` on fallback paths,
+    /// where no bound is available).
+    pub best_bound: Option<f64>,
+    /// Branch-and-bound nodes discarded because their bound could not beat
+    /// the incumbent.
+    pub nodes_pruned: usize,
+    /// Node index of the first incumbent (0 = warm-start seed accepted).
+    pub first_incumbent_node: Option<usize>,
+    /// Wall-clock seconds to the first incumbent (0.0 for seed/pure-LP;
+    /// host-dependent, so canonical audit serialization zeroes it).
+    pub first_incumbent_s: Option<f64>,
     /// Objective of the previous-round allocation accepted as the
     /// branch-and-bound incumbent seed ([`solve_assignment_warm`]).
     pub incumbent_seed: Option<f64>,
@@ -98,6 +109,10 @@ pub fn solve_assignment_warm(
             pivots: 0,
             lp_objective: None,
             objective: None,
+            best_bound: None,
+            nodes_pruned: 0,
+            first_incumbent_node: None,
+            first_incumbent_s: None,
             incumbent_seed: None,
             warm_nodes: 0,
             warm_pivots_saved: 0,
@@ -181,6 +196,10 @@ pub fn solve_assignment_warm(
                 pivots: milp.total_pivots,
                 lp_objective: milp.root_lp_objective,
                 objective: Some(milp.solution.objective),
+                best_bound: Some(milp.best_bound),
+                nodes_pruned: milp.nodes_pruned,
+                first_incumbent_node: milp.first_incumbent_node,
+                first_incumbent_s: milp.first_incumbent_s,
                 incumbent_seed: milp.incumbent_seed_objective,
                 warm_nodes: milp.warm_nodes,
                 warm_pivots_saved: milp.warm_pivots_saved,
@@ -223,6 +242,10 @@ pub fn solve_assignment_warm(
                 pivots: 0,
                 lp_objective: None,
                 objective: Some(assignment_weight(candidates, &out)),
+                best_bound: None,
+                nodes_pruned: 0,
+                first_incumbent_node: None,
+                first_incumbent_s: None,
                 incumbent_seed: None,
                 warm_nodes: 0,
                 warm_pivots_saved: 0,

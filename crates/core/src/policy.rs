@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use sia_cluster::{config_set_view, ClusterView, Configuration, JobId, Placement};
-use sia_sim::{AllocationMap, JobView, Scheduler, SolverStats};
+use sia_sim::{AllocationMap, DecisionInfo, JobView, Scheduler, SolverStats};
 use sia_solver::MilpOptions;
 
 use crate::ilp::{solve_assignment_warm, ForcedAssignments};
@@ -83,6 +83,11 @@ pub struct SiaPolicy {
     /// Phase breakdown of the most recent `schedule` call, handed to the
     /// engine via [`Scheduler::round_stats`].
     last_stats: Option<SolverStats>,
+    /// Per-job decision provenance of the most recent `schedule` call,
+    /// handed to the engine via [`Scheduler::round_decisions`]. Values are
+    /// ILP objective weights (normalized, restart-discounted,
+    /// fairness-powered goodput — what the solver actually traded off).
+    last_decisions: Vec<DecisionInfo>,
 }
 
 impl SiaPolicy {
@@ -95,6 +100,7 @@ impl SiaPolicy {
             prev_assignment: BTreeMap::new(),
             prev_cluster_version: None,
             last_stats: None,
+            last_decisions: Vec::new(),
         }
     }
 
@@ -196,6 +202,35 @@ impl Scheduler for SiaPolicy {
             &self.cfg.milp,
             Some(&self.prev_assignment),
         );
+
+        // Decision provenance: for every job, the weight of the chosen
+        // configuration vs the best weight it was offered at all — one pass
+        // over the candidate list, keyed against the solver's choices.
+        let mut provenance: BTreeMap<JobId, DecisionInfo> = jobs
+            .iter()
+            .map(|v| {
+                (
+                    v.id,
+                    DecisionInfo {
+                        job: v.id,
+                        chosen_value: 0.0,
+                        best_value: 0.0,
+                    },
+                )
+            })
+            .collect();
+        for c in &candidates {
+            if let Some(d) = provenance.get_mut(&c.job) {
+                if c.weight > d.best_value {
+                    d.best_value = c.weight;
+                }
+                if chosen.get(&c.job).is_some_and(|cfg| *cfg == c.config) {
+                    d.chosen_value = c.weight;
+                }
+            }
+        }
+        self.last_decisions = provenance.into_values().collect();
+
         self.prev_assignment = chosen.clone();
 
         // 3. Placement under the Sia rules.
@@ -223,6 +258,10 @@ impl Scheduler for SiaPolicy {
             pivots: ilp.pivots,
             lp_objective: ilp.lp_objective,
             objective: ilp.objective,
+            best_bound: ilp.best_bound,
+            nodes_pruned: ilp.nodes_pruned,
+            first_incumbent_node: ilp.first_incumbent_node,
+            first_incumbent_s: ilp.first_incumbent_s,
             cache_hits: refresh.reused,
             cache_misses: refresh.rebuilt,
             incumbent_seed: ilp.incumbent_seed,
@@ -235,6 +274,14 @@ impl Scheduler for SiaPolicy {
 
     fn round_stats(&mut self) -> Option<SolverStats> {
         self.last_stats.take()
+    }
+
+    fn round_decisions(&mut self) -> Vec<DecisionInfo> {
+        std::mem::take(&mut self.last_decisions)
+    }
+
+    fn gap_tolerance(&self) -> Option<f64> {
+        Some(self.cfg.milp.gap_tolerance)
     }
 }
 

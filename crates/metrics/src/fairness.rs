@@ -138,6 +138,7 @@ mod tests {
             makespan: 100.0,
             unfinished: 0,
             trace: Default::default(),
+            audit: Default::default(),
         }
     }
 

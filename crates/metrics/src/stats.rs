@@ -66,6 +66,19 @@ pub struct SolverPhaseSummary {
     pub warm_seeded_rounds: usize,
     /// Estimated simplex pivots avoided via parent-basis warm starts.
     pub total_warm_pivots_saved: u64,
+    /// Rounds carrying a proven relaxation bound (exact solves only;
+    /// fallback rounds have no bound).
+    pub bounded_rounds: usize,
+    /// Mean proven bound over bounded rounds.
+    pub mean_best_bound: f64,
+    /// Median proven relative optimality gap over bounded rounds.
+    pub median_rel_gap: f64,
+    /// Largest proven relative optimality gap.
+    pub max_rel_gap: f64,
+    /// Branch-and-bound nodes pruned by bound across all rounds.
+    pub total_nodes_pruned: u64,
+    /// Mean objective of accepted warm-start seeds, over seeded rounds.
+    pub mean_seed_objective: f64,
 }
 
 /// Aggregates per-round [`sia_sim::SolverStats`] into a phase summary
@@ -81,6 +94,17 @@ pub fn summarize_phases(result: &SimResult) -> Option<SolverPhaseSummary> {
     }
     let n = stats.len() as f64;
     let mean = |f: fn(&sia_sim::SolverStats) -> f64| stats.iter().map(f).sum::<f64>() / n;
+    let bounds: Vec<f64> = stats.iter().filter_map(|s| s.best_bound).collect();
+    let mut rel_gaps: Vec<f64> = stats.iter().filter_map(|s| s.gap_rel()).collect();
+    rel_gaps.sort_by(f64::total_cmp);
+    let seeds: Vec<f64> = stats.iter().filter_map(|s| s.incumbent_seed).collect();
+    let mean_of = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     Some(SolverPhaseSummary {
         rounds: stats.len(),
         mean_refit_s: mean(|s| s.refit_s),
@@ -105,6 +129,16 @@ pub fn summarize_phases(result: &SimResult) -> Option<SolverPhaseSummary> {
         total_cache_misses: stats.iter().map(|s| s.cache_misses as u64).sum(),
         warm_seeded_rounds: stats.iter().filter(|s| s.incumbent_seed.is_some()).count(),
         total_warm_pivots_saved: stats.iter().map(|s| s.warm_pivots_saved as u64).sum(),
+        bounded_rounds: bounds.len(),
+        mean_best_bound: mean_of(&bounds),
+        median_rel_gap: if rel_gaps.is_empty() {
+            0.0
+        } else {
+            rel_gaps[rel_gaps.len() / 2]
+        },
+        max_rel_gap: rel_gaps.last().copied().unwrap_or(0.0),
+        total_nodes_pruned: stats.iter().map(|s| s.nodes_pruned as u64).sum(),
+        mean_seed_objective: mean_of(&seeds),
     })
 }
 
@@ -232,6 +266,7 @@ mod tests {
             makespan: 7200.0,
             unfinished,
             trace: Default::default(),
+            audit: Default::default(),
         }
     }
 
@@ -344,6 +379,7 @@ mod util_tests {
             makespan: 0.0,
             unfinished: 0,
             trace: Default::default(),
+            audit: Default::default(),
         }
     }
 

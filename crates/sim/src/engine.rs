@@ -13,11 +13,13 @@ use sia_models::{
     default_sync_prior, optimize_goodput, AllocShape, BatchLimits, FitSample, JobEstimator,
     Observation, ProfilingMode,
 };
-use sia_telemetry::{AllocReason, FlightRecorder, FlightTrace, TraceEvent};
+use sia_telemetry::{
+    AllocReason, AuditEvent, AuditRecorder, AuditStream, FlightRecorder, FlightTrace, TraceEvent,
+};
 use sia_workloads::zoo::TrueModel;
 use sia_workloads::{Adaptivity, JobSpec, Trace};
 
-use crate::result::{JobRecord, RoundLog, SimResult};
+use crate::result::{DecisionInfo, JobRecord, RoundLog, SimResult, SolverStats};
 use crate::scheduler::{AllocationMap, JobView, Scheduler};
 
 /// Which simulation engine executes the run.
@@ -80,6 +82,14 @@ pub struct SimConfig {
     /// spill is flushed on drop, so even a panicking run leaves complete
     /// lines behind.
     pub trace_spill: Option<PathBuf>,
+    /// Audit-recorder ring capacity: at most this many decision-quality
+    /// records (round gap/effort + per-job provenance) are kept in memory
+    /// per run (oldest evicted first, evictions counted in
+    /// `SimResult::audit.dropped`). Recording is always on.
+    pub audit_capacity: usize,
+    /// Optional full-fidelity JSONL spill for the audit recorder, same
+    /// contract as `trace_spill`.
+    pub audit_spill: Option<PathBuf>,
     /// Optional capacity-dynamics timeline: node add/remove/drain/degrade
     /// events applied as simulated time passes (`sia-dynamics`). `None`
     /// (the default) reproduces the static-cluster behavior bit-for-bit.
@@ -100,6 +110,8 @@ impl Default for SimConfig {
             failure_rate_per_gpu_hour: 0.0,
             trace_capacity: 65_536,
             trace_spill: None,
+            audit_capacity: 65_536,
+            audit_spill: None,
             dynamics: None,
         }
     }
@@ -226,6 +238,8 @@ impl Simulator {
         let mut now = 0.0_f64;
         let mut makespan = 0.0_f64;
         let mut rec = self.make_recorder(round);
+        let mut audit = self.make_audit_recorder(sched.name(), round, sched.gap_tolerance());
+        let mut audit_round: u64 = 0;
         let mut view = ClusterView::new(self.spec.clone());
         let mut dynamics = self.cfg.dynamics.as_ref().map(|s| {
             DynamicsRuntime::new(s, &view).expect("dynamics script rejected by cluster spec")
@@ -258,7 +272,14 @@ impl Simulator {
                 let changes = rt.poll(now, &mut view);
                 record_capacity(&changes, &mut rec);
                 if now < horizon {
-                    ctr_restarts.add(evict_for_capacity(&changes, &mut jobs, now, &mut rec));
+                    ctr_restarts.add(evict_for_capacity(
+                        &changes,
+                        &mut jobs,
+                        now,
+                        &mut rec,
+                        &mut audit,
+                        audit_round,
+                    ));
                 }
                 dynamics_pending = rt.next_time().is_some_and(|t| t <= dyn_cutoff);
             }
@@ -276,16 +297,19 @@ impl Simulator {
             // so `policy_runtime` reflects the full per-round scheduling
             // cost, not just the policy's own `schedule` call.
             let round_t0 = Instant::now();
-            let (alloc_map, solver_stats) = if active.is_empty() {
-                (BTreeMap::new(), None)
+            let (alloc_map, solver_stats, decisions) = if active.is_empty() {
+                (BTreeMap::new(), None, Vec::new())
             } else {
                 let views: Vec<JobView<'_>> = active.iter().map(|&i| jobs[i].view(now)).collect();
                 let map = {
                     let _span = sia_telemetry::span("engine.schedule");
                     sched.schedule(now, &views, &view)
                 };
-                (map, sched.round_stats())
+                (map, sched.round_stats(), sched.round_decisions())
             };
+            let provenance: BTreeMap<JobId, DecisionInfo> =
+                decisions.into_iter().map(|d| (d.job, d)).collect();
+            record_audit_round(&mut audit, audit_round, now, active.len(), &solver_stats);
 
             // Validate and apply placements (the shared apply loop).
             let contention = active.len();
@@ -299,7 +323,13 @@ impl Simulator {
                 &view,
                 &mut rng,
                 &mut rec,
+                &mut audit,
+                audit_round,
+                &provenance,
             );
+            if solver_stats.is_some() {
+                audit_round += 1;
+            }
             let policy_runtime = round_t0.elapsed().as_secs_f64();
             if !active.is_empty() {
                 rec.record(
@@ -418,7 +448,14 @@ impl Simulator {
             now += round;
         }
 
-        assemble_result(sched.name(), &jobs, rounds, makespan, rec.into_trace())
+        assemble_result(
+            sched.name(),
+            &jobs,
+            rounds,
+            makespan,
+            rec.into_trace(),
+            audit.into_stream(),
+        )
     }
 
     /// Opens this run's flight recorder (ring bound and spill per config)
@@ -448,6 +485,37 @@ impl Simulator {
             },
         );
         rec
+    }
+
+    /// Opens this run's audit recorder (ring bound and spill per config)
+    /// and stamps the stream's meta record. Shared by both engines.
+    pub(crate) fn make_audit_recorder(
+        &self,
+        scheduler: &str,
+        round: f64,
+        gap_tolerance: Option<f64>,
+    ) -> AuditRecorder {
+        let mut audit = match &self.cfg.audit_spill {
+            Some(path) => {
+                AuditRecorder::with_spill(self.cfg.audit_capacity, path).unwrap_or_else(|e| {
+                    eprintln!(
+                        "warning: cannot open audit spill {}: {e}; recording in memory only",
+                        path.display()
+                    );
+                    AuditRecorder::new(self.cfg.audit_capacity)
+                })
+            }
+            None => AuditRecorder::new(self.cfg.audit_capacity),
+        };
+        audit.record(
+            0.0,
+            AuditEvent::Meta {
+                scheduler: scheduler.to_string(),
+                round_duration: round,
+                gap_tolerance: gap_tolerance.unwrap_or(0.0),
+            },
+        );
+        audit
     }
 
     /// Builds a job's initial state (estimator per profiling mode, charging
@@ -609,6 +677,37 @@ impl Simulator {
     }
 }
 
+/// Emits one audit `round` record from the policy's reported solver stats
+/// (no record when the policy tracks none — baselines produce meta-only
+/// streams). Shared by both engines so the records cannot drift apart.
+pub(crate) fn record_audit_round(
+    audit: &mut AuditRecorder,
+    audit_round: u64,
+    now: f64,
+    contention: usize,
+    stats: &Option<SolverStats>,
+) {
+    let Some(s) = stats else { return };
+    audit.record(
+        now,
+        AuditEvent::Round {
+            round: audit_round,
+            contention,
+            objective: s.objective,
+            best_bound: s.best_bound,
+            lp_objective: s.lp_objective,
+            outcome: s.outcome.label().to_string(),
+            nodes: s.nodes,
+            pruned: s.nodes_pruned,
+            first_incumbent_node: s.first_incumbent_node.map(|n| n as u64),
+            first_incumbent_s: s.first_incumbent_s,
+            seed_objective: s.incumbent_seed,
+            warm_pivots_saved: s.warm_pivots_saved,
+            solve_s: s.solve_s,
+        },
+    );
+}
+
 /// What one round's validate/apply pass produced.
 pub(crate) struct RoundApply {
     /// Per-job allocations after the round, sorted by job id.
@@ -631,6 +730,10 @@ pub(crate) struct RoundApply {
 /// `fallback` tags this round's allocation changes as decided by a
 /// fallback heuristic (`ilp-infeasible-fallback`) rather than the policy's
 /// primary solve.
+///
+/// Every allocation change additionally emits one audit `decision` record:
+/// the change's reason plus the chosen/best candidate values from
+/// `provenance` (zeroes when the policy reported none for the job).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_allocations(
     sim: &Simulator,
@@ -642,6 +745,9 @@ pub(crate) fn apply_allocations(
     view: &ClusterView,
     rng: &mut ChaCha8Rng,
     rec: &mut FlightRecorder,
+    audit: &mut AuditRecorder,
+    audit_round: u64,
+    provenance: &BTreeMap<JobId, DecisionInfo>,
 ) -> RoundApply {
     let apply_span = sia_telemetry::span("engine.apply");
     let spec = view.spec();
@@ -708,6 +814,19 @@ pub(crate) fn apply_allocations(
                     gpus: new.total_gpus(),
                     reason,
                     restart,
+                },
+            );
+            let d = provenance.get(&job.spec.id);
+            audit.record(
+                now,
+                AuditEvent::Decision {
+                    round: audit_round,
+                    job: job.spec.id.0,
+                    gpu_type: (!new.is_empty()).then(|| new.gpu_type(spec).0),
+                    gpus: new.total_gpus(),
+                    reason,
+                    chosen_value: d.map_or(0.0, |d| d.chosen_value),
+                    best_value: d.map_or(0.0, |d| d.best_value),
                 },
             );
             if !new.is_empty() {
@@ -799,6 +918,8 @@ pub(crate) fn evict_for_capacity(
     jobs: &mut [JobState],
     now: f64,
     rec: &mut FlightRecorder,
+    audit: &mut AuditRecorder,
+    audit_round: u64,
 ) -> u64 {
     let mut killed: Vec<usize> = Vec::new();
     let mut drained: Vec<usize> = Vec::new();
@@ -841,6 +962,20 @@ pub(crate) fn evict_for_capacity(
                 restart: true,
             },
         );
+        // Capacity loss is not a solver choice — the decision record tags
+        // the change with zero candidate values so regret stays untouched.
+        audit.record(
+            now,
+            AuditEvent::Decision {
+                round: audit_round,
+                job: job.spec.id.0,
+                gpu_type: None,
+                gpus: 0,
+                reason: AllocReason::CapacityLost,
+                chosen_value: 0.0,
+                best_value: 0.0,
+            },
+        );
     }
     evicted
 }
@@ -863,6 +998,7 @@ pub(crate) fn assemble_result(
     rounds: Vec<RoundLog>,
     makespan: f64,
     trace: FlightTrace,
+    audit: AuditStream,
 ) -> SimResult {
     let mut unfinished = 0usize;
     let records: Vec<JobRecord> = jobs
@@ -901,6 +1037,7 @@ pub(crate) fn assemble_result(
         makespan,
         unfinished,
         trace,
+        audit,
     }
 }
 

@@ -39,18 +39,19 @@
 //! produce no log entries (and no `engine.rounds` ticks). Empty rounds draw
 //! no randomness, so skipping them cannot affect job outcomes.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
-use sia_cluster::{ClusterView, Placement};
+use sia_cluster::{ClusterView, JobId, Placement};
 use sia_dynamics::{CapacityChange, DynamicsRuntime};
 use sia_events::{exp_sample, EventId, EventPayload, Kernel};
 use sia_telemetry::{AllocReason, TraceEvent};
 
 use crate::engine::{
-    apply_allocations, assemble_result, evict_for_capacity, is_fallback, record_capacity,
-    symmetric, JobState, Simulator,
+    apply_allocations, assemble_result, evict_for_capacity, is_fallback, record_audit_round,
+    record_capacity, symmetric, JobState, Simulator,
 };
-use crate::result::{RoundLog, SimResult};
+use crate::result::{DecisionInfo, RoundLog, SimResult};
 use crate::scheduler::{JobView, Scheduler};
 
 /// Event payloads; job indices refer to the admitted-jobs vector.
@@ -138,6 +139,8 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
     let mut rounds: Vec<RoundLog> = Vec::new();
     let mut makespan = 0.0_f64;
     let mut rec = sim.make_recorder(round);
+    let mut audit = sim.make_audit_recorder(sched.name(), round, sched.gap_tolerance());
+    let mut audit_round: u64 = 0;
     // Pending round timer; `None` means dormant (re-armed by arrivals and
     // by failures that revive an otherwise-completing job).
     let mut timer: Option<EventId> = None;
@@ -288,6 +291,8 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
                         &mut jobs,
                         now,
                         &mut rec,
+                        &mut audit,
+                        audit_round,
                     ));
                     pending_changes.clear();
                 }
@@ -300,15 +305,18 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
                 // Ask the policy for placements. As in the round engine, the
                 // timer covers schedule + validate/apply.
                 let round_t0 = Instant::now();
-                let (alloc_map, solver_stats) = {
+                let (alloc_map, solver_stats, decisions) = {
                     let views: Vec<JobView<'_>> =
                         active.iter().map(|&i| jobs[i].view(now)).collect();
                     let map = {
                         let _span = sia_telemetry::span("engine.schedule");
                         sched.schedule(now, &views, &view)
                     };
-                    (map, sched.round_stats())
+                    (map, sched.round_stats(), sched.round_decisions())
                 };
+                let provenance: BTreeMap<JobId, DecisionInfo> =
+                    decisions.into_iter().map(|d| (d.job, d)).collect();
+                record_audit_round(&mut audit, audit_round, now, active.len(), &solver_stats);
 
                 // Validate and apply placements (the shared apply loop; it
                 // draws restart jitter from the engine stream in the legacy
@@ -324,7 +332,13 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
                     &view,
                     kernel.rng("engine"),
                     &mut rec,
+                    &mut audit,
+                    audit_round,
+                    &provenance,
                 );
+                if solver_stats.is_some() {
+                    audit_round += 1;
+                }
                 // The failure process is per-placement: reset it for every
                 // changed job. This runs after the apply loop (the helper
                 // has no kernel access), which is draw-order-safe because
@@ -449,5 +463,12 @@ pub(crate) fn run(sim: &Simulator, sched: &mut dyn Scheduler) -> SimResult {
         }
     }
 
-    assemble_result(sched.name(), &jobs, rounds, makespan, rec.into_trace())
+    assemble_result(
+        sched.name(),
+        &jobs,
+        rounds,
+        makespan,
+        rec.into_trace(),
+        audit.into_stream(),
+    )
 }

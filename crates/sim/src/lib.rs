@@ -33,5 +33,5 @@ pub mod result;
 pub mod scheduler;
 
 pub use engine::{EngineKind, SimConfig, Simulator};
-pub use result::{JobRecord, RoundLog, SimResult, SolveOutcome, SolverStats};
+pub use result::{DecisionInfo, JobRecord, RoundLog, SimResult, SolveOutcome, SolverStats};
 pub use scheduler::{AllocationMap, JobView, Scheduler};

@@ -1,7 +1,7 @@
 //! Simulation outputs: per-job records and per-round logs.
 
 use sia_cluster::{GpuTypeId, JobId};
-use sia_telemetry::FlightTrace;
+use sia_telemetry::{AuditStream, FlightTrace};
 use sia_workloads::{ModelKind, SizeCategory};
 
 /// Outcome of one job.
@@ -103,6 +103,19 @@ pub struct SolverStats {
     pub lp_objective: Option<f64>,
     /// Objective of the returned assignment, when one exists.
     pub objective: Option<f64>,
+    /// Proven relaxation bound on the optimum: the assignment objective can
+    /// be no better than this. `None` when the solve fell back to a
+    /// heuristic (no bound available) or had nothing to solve.
+    pub best_bound: Option<f64>,
+    /// Branch-and-bound nodes discarded because their relaxation bound could
+    /// not beat the incumbent.
+    pub nodes_pruned: usize,
+    /// Node index at which the first incumbent appeared (0 = the warm-start
+    /// seed was accepted before the search began).
+    pub first_incumbent_node: Option<usize>,
+    /// Wall-clock seconds to the first incumbent. Host-dependent; canonical
+    /// audit serialization zeroes it, like the trace's `policy_runtime_s`.
+    pub first_incumbent_s: Option<f64>,
     /// Goodput-matrix rows reused verbatim from the previous round.
     pub cache_hits: usize,
     /// Goodput-matrix rows re-enumerated this round (dirty jobs).
@@ -123,6 +136,46 @@ impl SolverStats {
     /// Sum of all phase timers (≤ the round's `policy_runtime`).
     pub fn phase_total_s(&self) -> f64 {
         self.refit_s + self.goodput_s + self.build_s + self.solve_s + self.placement_s
+    }
+
+    /// Proven absolute optimality gap (`best_bound − objective`, clamped at
+    /// zero), when both sides exist.
+    pub fn gap_abs(&self) -> Option<f64> {
+        match (self.best_bound, self.objective) {
+            (Some(b), Some(o)) => Some((b - o).max(0.0)),
+            _ => None,
+        }
+    }
+
+    /// Proven relative optimality gap: `gap_abs / max(|best_bound|, 1e-12)`.
+    pub fn gap_rel(&self) -> Option<f64> {
+        let gap = self.gap_abs()?;
+        let bound = self.best_bound?;
+        Some(gap / bound.abs().max(1e-12))
+    }
+}
+
+/// Per-job decision provenance for one scheduling round, reported by
+/// policies that expose it ([`crate::Scheduler::round_decisions`]). Values
+/// are in the policy's own candidate-value units (normalized goodput for
+/// Sia), so `regret()` is directly comparable across rounds of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionInfo {
+    /// The job this decision concerns.
+    pub job: JobId,
+    /// Value of the configuration the solver chose (0.0 when the job was
+    /// left unallocated this round).
+    pub chosen_value: f64,
+    /// Best value among all configurations offered for this job, ignoring
+    /// the other jobs — what the job would get if it alone mattered.
+    pub best_value: f64,
+}
+
+impl DecisionInfo {
+    /// What the job gave up for the global optimum: `best − chosen`,
+    /// clamped at zero.
+    pub fn regret(&self) -> f64 {
+        (self.best_value - self.chosen_value).max(0.0)
     }
 }
 
@@ -161,6 +214,10 @@ pub struct SimResult {
     /// events in simulated time (bounded by `SimConfig::trace_capacity`;
     /// `trace.dropped` counts ring evictions).
     pub trace: FlightTrace,
+    /// The decision-quality audit stream of this run: per-round solver
+    /// gap/effort records plus per-job decision provenance (bounded by
+    /// `SimConfig::audit_capacity`; `audit.dropped` counts ring evictions).
+    pub audit: AuditStream,
 }
 
 impl SimResult {
@@ -262,6 +319,10 @@ mod tests {
                         pivots: 40,
                         lp_objective: Some(5.0),
                         objective: Some(4.5),
+                        best_bound: Some(4.5),
+                        nodes_pruned: 1,
+                        first_incumbent_node: Some(0),
+                        first_incumbent_s: Some(0.0),
                         cache_hits: 8,
                         cache_misses: 4,
                         incumbent_seed: Some(4.4),
@@ -274,6 +335,7 @@ mod tests {
             makespan: 300.0,
             unfinished: 0,
             trace: FlightTrace::default(),
+            audit: AuditStream::default(),
         };
         assert!((result.avg_jct() - 200.0).abs() < 1e-9);
         assert!((result.total_gpu_hours() - 2.0).abs() < 1e-9);
@@ -304,6 +366,7 @@ mod tests {
             makespan: 0.0,
             unfinished: 0,
             trace: FlightTrace::default(),
+            audit: AuditStream::default(),
         };
         let median = result.median_policy_runtime();
         assert!(

@@ -104,6 +104,24 @@ pub trait Scheduler {
     fn round_stats(&mut self) -> Option<crate::result::SolverStats> {
         None
     }
+
+    /// Per-job decision provenance for the most recent
+    /// [`Scheduler::schedule`] call: for each job the solver considered,
+    /// the value of the chosen configuration and the best value the job
+    /// could have had alone. The engine reads this once per round, right
+    /// after `schedule`, and joins it against the allocation changes it
+    /// applies to produce audit `decision` records. Policies that don't
+    /// track candidates keep the default empty vector.
+    fn round_decisions(&mut self) -> Vec<crate::result::DecisionInfo> {
+        Vec::new()
+    }
+
+    /// The absolute optimality-gap tolerance of the policy's solver, if it
+    /// runs one (`MilpOptions::gap_tolerance` for Sia). Recorded in the
+    /// audit stream's meta record so reports can judge gaps against it.
+    fn gap_tolerance(&self) -> Option<f64> {
+        None
+    }
 }
 
 #[cfg(test)]

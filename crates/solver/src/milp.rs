@@ -88,6 +88,19 @@ pub struct MilpSolution {
     /// Objective of the accepted warm-start incumbent seed, if any
     /// (in the problem's own sense).
     pub incumbent_seed_objective: Option<f64>,
+    /// Nodes discarded without branching because their relaxation bound
+    /// (inherited or freshly solved) could not beat the incumbent.
+    pub nodes_pruned: usize,
+    /// Node count at which the first incumbent appeared: `Some(0)` when the
+    /// warm-start seed was accepted before the search began, `Some(n)` when
+    /// the n-th explored node produced it, `None` if the solve is infeasible.
+    /// Deterministic, unlike a wall-clock time-to-first-incumbent.
+    pub first_incumbent_node: Option<usize>,
+    /// Wall-clock seconds from search start to the first incumbent (0.0 for
+    /// an accepted seed or a pure-LP solve). Host-dependent: consumers that
+    /// promise determinism must zero this, as the flight trace does for
+    /// `policy_runtime_s`.
+    pub first_incumbent_s: Option<f64>,
     /// Nodes whose LP relaxation was solved from the parent's basis
     /// (phase 1 skipped) rather than from a cold slack start.
     pub warm_nodes: usize,
@@ -167,6 +180,9 @@ pub fn solve_warm(
             status: MilpStatus::Optimal,
             nodes_explored: 1,
             best_bound,
+            nodes_pruned: 0,
+            first_incumbent_node: Some(0),
+            first_incumbent_s: Some(0.0),
             incumbent_seed_objective: None,
             warm_nodes: 0,
             warm_pivots_saved: 0,
@@ -191,6 +207,8 @@ pub fn solve_warm(
     let mut incumbent: Option<Solution> = None;
     let mut incumbent_obj = f64::NEG_INFINITY; // maximization form
     let mut incumbent_seed_objective = None;
+    let mut first_incumbent_node = None;
+    let mut first_incumbent_s = None;
 
     // Seed the incumbent from the warm-start hint when it is a valid
     // integer-feasible point of *this* problem (bound changes since the hint
@@ -211,12 +229,15 @@ pub fn solve_warm(
                     pivots: 0,
                 });
                 incumbent_seed_objective = Some(objective);
+                first_incumbent_node = Some(0);
+                first_incumbent_s = Some(0.0);
                 sia_telemetry::counter("solver.milp.warm_seeds").incr();
             }
         }
     }
 
     let mut nodes = 0usize;
+    let mut nodes_pruned = 0usize;
     let mut root_infeasible = true;
     let mut limit_hit = false;
     let mut total_pivots = 0usize;
@@ -229,6 +250,7 @@ pub fn solve_warm(
 
     while let Some(QueuedNode(node)) = heap.pop() {
         if node.parent_bound <= incumbent_obj + BOUND_TOL {
+            nodes_pruned += 1;
             continue; // pruned by a newer incumbent
         }
         if nodes >= opts.max_nodes || opts.time_limit.is_some_and(|tl| start.elapsed() > tl) {
@@ -271,6 +293,7 @@ pub fn solve_warm(
         root_infeasible = false;
         let node_bound = max_sign * lp.objective;
         if node_bound <= incumbent_obj + BOUND_TOL {
+            nodes_pruned += 1;
             continue;
         }
 
@@ -303,6 +326,10 @@ pub fn solve_warm(
                         values,
                         pivots: lp.pivots,
                     });
+                    if first_incumbent_node.is_none() {
+                        first_incumbent_node = Some(nodes);
+                        first_incumbent_s = Some(start.elapsed().as_secs_f64());
+                    }
                 }
             }
             Some(v) => {
@@ -360,6 +387,9 @@ pub fn solve_warm(
                 status,
                 nodes_explored: nodes,
                 best_bound,
+                nodes_pruned,
+                first_incumbent_node,
+                first_incumbent_s,
                 total_pivots,
                 root_lp_objective,
                 incumbent_seed_objective,
@@ -556,6 +586,37 @@ mod tests {
         assert_close(seed, cold.solution.objective);
         assert!(warm.nodes_explored <= cold.nodes_explored);
         assert!(warm.total_pivots <= cold.total_pivots);
+    }
+
+    #[test]
+    fn search_accounting_fields_are_populated() {
+        // A fractional-relaxation instance that forces real branching, so
+        // the incumbent appears at a concrete node and pruning fires.
+        let mut p = Problem::new(Sense::Maximize);
+        let mut row = Vec::new();
+        for i in 0..10 {
+            let v = p.add_binary_var(1.0 + (i as f64 * 0.73).sin().abs());
+            row.push((v, 1.0 + (i % 3) as f64));
+        }
+        p.add_le(&row, 9.5);
+        let cold = solve(&p, &MilpOptions::default()).unwrap();
+        let first = cold.first_incumbent_node.expect("incumbent exists");
+        assert!(first >= 1, "cold solve finds its incumbent at a node");
+        assert!(first <= cold.nodes_explored);
+        // Seeding with the optimum marks the incumbent as pre-search.
+        let warm = solve_warm(
+            &p,
+            &MilpOptions::default(),
+            Some(&MilpWarmStart {
+                hint: cold.solution.values.clone(),
+            }),
+        )
+        .unwrap();
+        assert_eq!(warm.first_incumbent_node, Some(0));
+        assert!(
+            warm.nodes_pruned >= 1,
+            "an optimal seed must prune at least the root's children"
+        );
     }
 
     #[test]

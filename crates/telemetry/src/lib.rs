@@ -27,11 +27,15 @@
 //! these metrics, e.g. `RoundLog`). `seq` is a global monotone sequence
 //! number so interleavings from multiple threads can be ordered.
 
+pub mod audit;
 mod metrics;
 mod sink;
 mod span;
 pub mod trace;
 
+pub use audit::{
+    AuditEvent, AuditRecord, AuditRecorder, AuditReport, AuditStream, JobRegret, WorstRound,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use sink::{disable, events_emitted, flush, init_jsonl, is_enabled, shutdown};
 pub use span::{span, SpanGuard};

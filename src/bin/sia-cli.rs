@@ -1,13 +1,14 @@
 //! Command-line driver for the Sia simulator.
 //!
 //! ```text
-//! sia-cli [--cluster hetero64|homog64|physical44] [--trace philly|helios|newtrace|physical]
+//! sia-cli [--cluster hetero64|heteroN|homog64|physical44] [--trace philly|helios|newtrace|physical]
 //!         [--policy sia|pollux|gavel|shockwave|themis] [--engine round|events]
 //!         [--seed N] [--rate JOBS_PER_HOUR] [--dynamics FILE]
 //!         [--profiling oracle|bootstrap|noprof] [--json]
 //!         [--telemetry-out PATH] [--trace-out PATH] [--trace-format jsonl|chrome]
-//!         [--quiet]
-//! sia-cli trace-report FILE [--json] [--quiet]
+//!         [--audit-out PATH] [--quiet]
+//! sia-cli trace-report FILE [--audit FILE] [--json] [--quiet]
+//! sia-cli audit FILE [--json] [--quiet]
 //! ```
 //!
 //! Runs one simulation and prints the summary (or JSON with `--json`).
@@ -18,12 +19,19 @@
 //! `--telemetry-out PATH` streams span/counter events as JSONL to PATH;
 //! `--trace-out PATH` writes the simulated-time flight-recorder stream —
 //! per-job lifecycle events — as JSONL (default) or as a Chrome trace-event
-//! document (`--trace-format chrome`, loadable in Perfetto). `--quiet`
-//! suppresses the human-readable summary.
+//! document (`--trace-format chrome`, loadable in Perfetto).
+//! `--audit-out PATH` writes the decision-quality audit stream — per-round
+//! solver gap/effort records plus per-job decision provenance — as JSONL.
+//! `--quiet` suppresses the human-readable summary.
 //!
 //! `sia-cli trace-report FILE` analyses a recorded JSONL stream: per-job
 //! queueing delay, restart count/overhead, allocation churn,
-//! time-on-each-GPU-type and the cluster occupancy series.
+//! time-on-each-GPU-type and the cluster occupancy series. `--audit FILE`
+//! adds a one-line solver-health summary from a recorded audit stream.
+//!
+//! `sia-cli audit FILE` analyses a recorded audit stream: proven optimality
+//! gap percentiles, worst-gap rounds, warm-start hit rate and the per-job
+//! regret table.
 
 use sia::baselines::{GavelPolicy, PolluxPolicy, ShockwavePolicy, ThemisPolicy};
 use sia::cluster::ClusterSpec;
@@ -31,7 +39,7 @@ use sia::core::SiaPolicy;
 use sia::metrics::{ftf_ratios, summarize, unfair_fraction, worst_ftf};
 use sia::models::ProfilingMode;
 use sia::sim::{EngineKind, Scheduler, SimConfig, Simulator};
-use sia::telemetry::FlightTrace;
+use sia::telemetry::{AuditReport, AuditStream, FlightTrace};
 use sia::workloads::{Trace, TraceConfig, TraceKind};
 
 /// Options that take a value.
@@ -47,6 +55,7 @@ const VALUE_OPTS: &[&str] = &[
     "--telemetry-out",
     "--trace-out",
     "--trace-format",
+    "--audit-out",
 ];
 /// Boolean flags.
 const FLAG_OPTS: &[&str] = &["--json", "--quiet", "--help", "-h"];
@@ -97,19 +106,24 @@ fn main() {
     if raw.first().map(String::as_str) == Some("trace-report") {
         trace_report(&raw[1..]);
     }
+    // `sia-cli audit FILE [--json] [--quiet]`.
+    if raw.first().map(String::as_str) == Some("audit") {
+        audit_report(&raw[1..]);
+    }
 
     let args = Args { argv: raw };
     if args.flag("--help") || args.flag("-h") {
         println!(
-            "usage: sia-cli [--cluster hetero64|homog64|physical44] \
+            "usage: sia-cli [--cluster hetero64|heteroN|homog64|physical44] \
              [--trace philly|helios|newtrace|physical] \
              [--policy sia|pollux|gavel|shockwave|themis] \
              [--engine round|events] [--seed N] \
              [--rate JOBS/HR] [--dynamics FILE] \
              [--profiling oracle|bootstrap|noprof] [--json] \
              [--telemetry-out PATH] [--trace-out PATH] \
-             [--trace-format jsonl|chrome] [--quiet]\n\
-             \x20      sia-cli trace-report FILE [--json] [--quiet]"
+             [--trace-format jsonl|chrome] [--audit-out PATH] [--quiet]\n\
+             \x20      sia-cli trace-report FILE [--audit FILE] [--json] [--quiet]\n\
+             \x20      sia-cli audit FILE [--json] [--quiet]"
         );
         return;
     }
@@ -130,10 +144,19 @@ fn main() {
         "hetero64" => ClusterSpec::heterogeneous_64(),
         "homog64" => ClusterSpec::homogeneous_64(),
         "physical44" => ClusterSpec::physical_44(),
-        other => {
-            eprintln!("unknown cluster {other}");
-            std::process::exit(2);
-        }
+        // Fig9-style scaled heterogeneous clusters: heteroN for any
+        // multiple of 64 (hetero128 ... hetero2048).
+        other => match other
+            .strip_prefix("hetero")
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|n| *n > 0 && n % 64 == 0)
+        {
+            Some(n) => ClusterSpec::heterogeneous_scaled(n / 64),
+            None => {
+                eprintln!("unknown cluster {other}");
+                std::process::exit(2);
+            }
+        },
     };
     let kind = match args.opt("--trace").unwrap_or("philly") {
         "philly" => TraceKind::Philly,
@@ -212,6 +235,14 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let audit_out = args.opt("--audit-out");
+    if let Some(path) = audit_out {
+        // Same fail-fast contract as --trace-out.
+        if let Err(e) = std::fs::File::create(path) {
+            eprintln!("cannot open audit output {path}: {e}");
+            std::process::exit(2);
+        }
+    }
 
     let profiling = match args.opt("--profiling").unwrap_or("bootstrap") {
         "oracle" => ProfilingMode::Oracle,
@@ -245,6 +276,9 @@ fn main() {
     if let (Some(path), false) = (trace_out, trace_chrome) {
         cfg.trace_spill = Some(path.into());
     }
+    if let Some(path) = audit_out {
+        cfg.audit_spill = Some(path.into());
+    }
     let sim = Simulator::new(cluster.clone(), &trace, cfg);
     let result = sim.run(sched.as_mut());
 
@@ -266,6 +300,11 @@ fn main() {
                 "trace written to {path} ({} format)",
                 if trace_chrome { "chrome" } else { "jsonl" }
             );
+        }
+    }
+    if let Some(path) = audit_out {
+        if !args.flag("--quiet") {
+            eprintln!("audit stream written to {path} (jsonl format)");
         }
     }
     let s = summarize(&result);
@@ -324,17 +363,27 @@ fn main() {
     sia::telemetry::shutdown();
 }
 
-/// `sia-cli trace-report FILE [--json] [--quiet]`: analyse a recorded
-/// flight-recorder JSONL stream. Never returns.
+/// `sia-cli trace-report FILE [--audit FILE] [--json] [--quiet]`: analyse
+/// a recorded flight-recorder JSONL stream. Never returns.
 fn trace_report(argv: &[String]) -> ! {
-    const USAGE: &str = "usage: sia-cli trace-report FILE [--json] [--quiet]";
+    const USAGE: &str = "usage: sia-cli trace-report FILE [--audit FILE] [--json] [--quiet]";
     let mut file: Option<&str> = None;
+    let mut audit_file: Option<&str> = None;
     let mut json = false;
     let mut quiet = false;
-    for a in argv {
-        match a.as_str() {
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
             "--json" => json = true,
             "--quiet" => quiet = true,
+            "--audit" => {
+                let Some(v) = argv.get(i + 1) else {
+                    eprintln!("--audit requires a value\n{USAGE}");
+                    std::process::exit(2);
+                };
+                audit_file = Some(v);
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -345,11 +394,30 @@ fn trace_report(argv: &[String]) -> ! {
                 std::process::exit(2);
             }
         }
+        i += 1;
     }
     let Some(file) = file else {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
+    // Solver-health sidebar: load the audit stream up-front so a bad path
+    // is a usage error, not a post-report surprise.
+    let audit_summary: Option<AuditReport> = audit_file.map(|path| {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match AuditStream::parse_jsonl(&text) {
+            Ok(s) => s.report(),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
     if !quiet {
         eprintln!("reading {file} ...");
     }
@@ -428,6 +496,16 @@ fn trace_report(argv: &[String]) -> ! {
                 })
             })
             .collect();
+        let solver_health = match &audit_summary {
+            Some(a) => serde_json::json!({
+                "rounds": a.rounds,
+                "median_rel_gap": a.median_rel_gap,
+                "max_rel_gap": a.max_rel_gap,
+                "warm_hit_rate": a.warm_hit_rate(),
+                "fallback_rounds": a.fallback_rounds,
+            }),
+            None => serde_json::Value::Null,
+        };
         let doc = serde_json::json!({
             "records": trace.records.len() as u64,
             "dropped": trace.dropped,
@@ -438,6 +516,7 @@ fn trace_report(argv: &[String]) -> ! {
             "occupancy": occupancy,
             "capacity_timeline": capacity,
             "jobs": jobs,
+            "solver_health": solver_health,
         });
         println!("{doc}");
         std::process::exit(0);
@@ -453,6 +532,17 @@ fn trace_report(argv: &[String]) -> ! {
         "policy runtime  : {:.3} s total",
         report.total_policy_runtime_s
     );
+    if let Some(a) = &audit_summary {
+        println!(
+            "solver health   : median gap {:.2e}, max gap {:.2e} (rel, {} rounds), \
+             warm-start hit rate {:.0}%, {} fallback round(s)",
+            a.median_rel_gap,
+            a.max_rel_gap,
+            a.rounds,
+            a.warm_hit_rate() * 100.0,
+            a.fallback_rounds,
+        );
+    }
     let mean = report.mean_occupancy();
     let peak = report.peak_occupancy();
     for (i, name) in report.gpu_types.iter().enumerate() {
@@ -518,6 +608,164 @@ fn trace_report(argv: &[String]) -> ! {
             j.alloc_changes,
             j.failures,
             j.gpu_seconds() / 3600.0,
+        );
+    }
+    std::process::exit(0);
+}
+
+/// `sia-cli audit FILE [--json] [--quiet]`: analyse a recorded decision
+/// audit JSONL stream. Never returns.
+fn audit_report(argv: &[String]) -> ! {
+    const USAGE: &str = "usage: sia-cli audit FILE [--json] [--quiet]";
+    let mut file: Option<&str> = None;
+    let mut json = false;
+    let mut quiet = false;
+    for arg in argv {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other),
+            other => {
+                eprintln!("unknown argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    if !quiet {
+        eprintln!("reading {file} ...");
+    }
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stream = match AuditStream::parse_jsonl(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !quiet {
+        eprintln!("parsed {} records", stream.records.len());
+    }
+    let report = stream.report();
+
+    if json {
+        let worst: Vec<serde_json::Value> = report
+            .worst_rounds
+            .iter()
+            .map(|w| {
+                serde_json::json!({
+                    "round": w.round,
+                    "t_s": w.t,
+                    "abs_gap": w.abs_gap,
+                    "rel_gap": w.rel_gap,
+                })
+            })
+            .collect();
+        let jobs: Vec<serde_json::Value> = report
+            .jobs
+            .iter()
+            .map(|j| {
+                serde_json::json!({
+                    "job": j.job,
+                    "decisions": j.decisions,
+                    "total_regret": j.total_regret,
+                    "max_regret": j.max_regret,
+                    "fallback_decisions": j.fallback_decisions,
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "scheduler": report.scheduler.as_str(),
+            "gap_tolerance": report.gap_tolerance,
+            "rounds": report.rounds,
+            "solved_rounds": report.solved_rounds,
+            "proven_rounds": report.proven_rounds,
+            "fallback_rounds": report.fallback_rounds,
+            "warm_seeded_rounds": report.warm_seeded_rounds,
+            "warm_hit_rate": report.warm_hit_rate(),
+            "median_abs_gap": report.median_abs_gap,
+            "max_abs_gap": report.max_abs_gap,
+            "median_rel_gap": report.median_rel_gap,
+            "p90_rel_gap": report.p90_rel_gap,
+            "max_rel_gap": report.max_rel_gap,
+            "worst_rounds": worst,
+            "total_nodes": report.total_nodes,
+            "total_pruned": report.total_pruned,
+            "decisions": report.decisions,
+            "total_regret": report.total_regret,
+            "jobs": jobs,
+            "dropped": report.dropped,
+        });
+        println!("{doc}");
+        std::process::exit(0);
+    }
+
+    println!("scheduler       : {}", report.scheduler);
+    println!("gap tolerance   : {:.2e}", report.gap_tolerance);
+    println!(
+        "rounds          : {} audited, {} solved, {} proven optimal, {} fallback",
+        report.rounds, report.solved_rounds, report.proven_rounds, report.fallback_rounds
+    );
+    println!(
+        "warm starts     : {} of {} rounds seeded ({:.0}% hit rate)",
+        report.warm_seeded_rounds,
+        report.rounds,
+        report.warm_hit_rate() * 100.0
+    );
+    println!(
+        "abs gap         : median {:.3e}, max {:.3e}",
+        report.median_abs_gap, report.max_abs_gap
+    );
+    println!(
+        "rel gap         : median {:.3e}, p90 {:.3e}, max {:.3e}",
+        report.median_rel_gap, report.p90_rel_gap, report.max_rel_gap
+    );
+    println!(
+        "search effort   : {} B&B nodes explored, {} pruned",
+        report.total_nodes, report.total_pruned
+    );
+    if !report.worst_rounds.is_empty() {
+        println!("worst-gap rounds:");
+        for w in &report.worst_rounds {
+            println!(
+                "  round {:>5} t={:>8.0}s  abs {:.3e}  rel {:.3e}",
+                w.round, w.t, w.abs_gap, w.rel_gap
+            );
+        }
+    }
+    println!(
+        "decisions       : {} recorded, total regret {:.4}",
+        report.decisions, report.total_regret
+    );
+    if !report.jobs.is_empty() {
+        println!(
+            "{:>5} {:>9} {:>13} {:>11} {:>9}",
+            "job", "decisions", "total-regret", "max-regret", "fallback"
+        );
+        for j in &report.jobs {
+            println!(
+                "{:>5} {:>9} {:>13.4} {:>11.4} {:>9}",
+                j.job, j.decisions, j.total_regret, j.max_regret, j.fallback_decisions
+            );
+        }
+    }
+    if report.dropped > 0 {
+        println!(
+            "note            : {} records were evicted from the recording ring; figures are partial",
+            report.dropped
         );
     }
     std::process::exit(0);

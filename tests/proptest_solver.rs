@@ -1,7 +1,7 @@
 //! Property-based tests for the LP/MILP solver.
 
 use proptest::prelude::*;
-use sia::solver::{MilpOptions, MilpWarmStart, Problem, Sense, SolverError};
+use sia::solver::{MilpOptions, MilpStatus, MilpWarmStart, Problem, Sense, SolverError};
 
 /// A random small knapsack-like maximization problem.
 fn small_problem() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, f64)> {
@@ -133,6 +133,46 @@ proptest! {
             .map(|&(_, g, _)| g as f64)
             .sum();
         prop_assert!(used <= cap as f64 + 1e-9);
+    }
+
+    /// The bound sandwich behind the audit gap (sia-audit): in a maximize
+    /// problem `root LP relaxation >= proven best bound >= incumbent`, the
+    /// recorded root relaxation matches a direct LP solve, and a proven
+    /// `Optimal` status means the reported gap `best_bound - objective`
+    /// closed to the solver's tolerance (1e-9 by default).
+    #[test]
+    fn bound_sandwich_and_gap_consistency((obj, w, cap) in small_problem()) {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = obj.iter().map(|&c| p.add_binary_var(c)).collect();
+        let row: Vec<_> = vars.iter().zip(&w).map(|(&v, &wi)| (v, wi)).collect();
+        p.add_le(&row, cap);
+        let lp = p.solve_lp().unwrap();
+        let milp = p.solve_milp().unwrap();
+        prop_assert!(lp.objective >= milp.best_bound - 1e-6,
+            "relaxation {} below proven bound {}", lp.objective, milp.best_bound);
+        prop_assert!(milp.best_bound >= milp.solution.objective - 1e-9,
+            "bound {} below incumbent {}", milp.best_bound, milp.solution.objective);
+        let root = milp.root_lp_objective.expect("feasible root relaxation");
+        prop_assert!((root - lp.objective).abs() < 1e-6,
+            "recorded root LP {} vs direct solve {}", root, lp.objective);
+        prop_assert!(milp.first_incumbent_node.is_some(),
+            "feasible solve must report the node of its first incumbent");
+        if milp.status == MilpStatus::Optimal {
+            let gap = (milp.best_bound - milp.solution.objective).max(0.0);
+            prop_assert!(gap <= 1e-9 + 1e-9 * milp.best_bound.abs(),
+                "optimal status but proven gap {gap}");
+        }
+
+        // Seeding the search with its own optimum is accepted before node 0
+        // expands, and the seed objective surfaces verbatim in the result.
+        let hint = MilpWarmStart { hint: milp.solution.values.clone() };
+        let warm = p.solve_milp_warm(&MilpOptions::default(), Some(&hint)).unwrap();
+        prop_assert_eq!(warm.first_incumbent_node, Some(0));
+        let seed = warm.incumbent_seed_objective.expect("seed accepted");
+        prop_assert!((seed - milp.solution.objective).abs() < 1e-9,
+            "seed objective {} vs incumbent {}", seed, milp.solution.objective);
+        prop_assert!(warm.solution.objective >= seed - 1e-9,
+            "warm solve regressed below its own seed");
     }
 
     /// A warm-start hint — feasible, infeasible or garbage — never changes
