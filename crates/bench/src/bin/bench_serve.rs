@@ -1,0 +1,145 @@
+//! Sustained-throughput benchmark for the `sia-serve` daemon.
+//!
+//! Streams a large burst of `submit` requests (plus interleaved cancels
+//! and queries) through an in-process [`Server`] in replay pacing and
+//! measures end-to-end admission latency — line parse, schema stage,
+//! quota stage, audit record, queue insert — per request. Reports
+//! jobs/sec and p50/p99 latency to `results/BENCH_serve.json` with the
+//! acceptance thresholds (>= 10k submissions/sec, p99 < 10 ms) evaluated
+//! in-place.
+//!
+//! Requests arrive in nondecreasing virtual-time order inside a single
+//! scheduling round, as `sia-cli trace-to-stream` emits them, so the
+//! numbers isolate the admission pipeline rather than the MILP solve.
+
+use std::time::Instant;
+
+use sia_bench::write_json;
+use sia_cluster::ClusterSpec;
+use sia_core::SiaPolicy;
+use sia_serve::{ServeOptions, Server};
+use sia_sim::{EngineKind, SimConfig};
+use sia_workloads::{Trace, TraceConfig, TraceKind};
+
+use serde_json::{json, ToJson, Value};
+
+const SUBMISSIONS: usize = 20_000;
+const CANCEL_EVERY: usize = 40;
+const QUERY_EVERY: usize = 97;
+const MIN_JOBS_PER_SEC: f64 = 10_000.0;
+const MAX_P99_S: f64 = 0.010;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    // One template trace supplies realistic model/size mixes; ids and
+    // submit times are reassigned so all requests land inside one round.
+    let template = Trace::generate(&TraceConfig::new(TraceKind::Philly, 11).with_max_gpus_cap(16));
+    let round_s = 60.0;
+    let mut lines = Vec::with_capacity(SUBMISSIONS + SUBMISSIONS / CANCEL_EVERY);
+    for i in 0..SUBMISSIONS {
+        let mut job = template.jobs[i % template.jobs.len()].clone();
+        job.id = sia_cluster::JobId(i as u64);
+        job.name = format!("bench-{i}");
+        job.submit_time = round_s * 0.9 * (i as f64) / (SUBMISSIONS as f64);
+        let tenant = format!("tenant-{}", i % 4);
+        let line = json!({
+            "id": format!("r{i}"),
+            "cmd": "submit",
+            "at": job.submit_time,
+            "tenant": tenant,
+            "gpu_hours": 1.0,
+            "job": job.to_json(),
+        });
+        lines.push(serde_json::to_string(&line).expect("request line"));
+        if i % CANCEL_EVERY == CANCEL_EVERY - 1 {
+            lines.push(format!(
+                r#"{{"id":"c{i}","cmd":"cancel","at":{},"job":{i}}}"#,
+                job.submit_time
+            ));
+        }
+        if i % QUERY_EVERY == QUERY_EVERY - 1 {
+            lines.push(format!(
+                r#"{{"id":"q{i}","cmd":"query","at":{}}}"#,
+                job.submit_time
+            ));
+        }
+    }
+
+    let mut server = Server::new(
+        ClusterSpec::heterogeneous_64(),
+        SimConfig {
+            engine: EngineKind::Round,
+            seed: 11,
+            ..SimConfig::default()
+        },
+        Box::new(SiaPolicy::default()),
+        &ServeOptions {
+            default_quota: Some(1e9),
+            quotas: Vec::new(),
+            max_pending: None,
+        },
+    );
+
+    let mut latencies = Vec::with_capacity(lines.len());
+    let mut responses = 0usize;
+    let wall_start = Instant::now();
+    for line in &lines {
+        let t0 = Instant::now();
+        let out = server.handle(line);
+        latencies.push(t0.elapsed().as_secs_f64());
+        responses += out.len();
+        debug_assert!(out.iter().all(|v| v.get("ok") != Some(&Value::Bool(false))));
+    }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = lines.len();
+    let jobs_per_sec = requests as f64 / wall_s;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let max = *latencies.last().unwrap_or(&0.0);
+    let pass = jobs_per_sec >= MIN_JOBS_PER_SEC && p99 < MAX_P99_S;
+
+    println!(
+        "serve throughput: {requests} requests ({SUBMISSIONS} submissions) in {wall_s:.3} s \
+         = {jobs_per_sec:.0} req/s"
+    );
+    println!(
+        "admission latency: p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+        p50 * 1e6,
+        p99 * 1e6,
+        max * 1e6
+    );
+    println!(
+        "thresholds: >= {MIN_JOBS_PER_SEC:.0} req/s and p99 < {:.0} ms -> {}",
+        MAX_P99_S * 1e3,
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    write_json(
+        "BENCH_serve",
+        &json!({
+            "submissions": SUBMISSIONS as u64,
+            "requests": requests as u64,
+            "responses": responses as u64,
+            "wall_s": wall_s,
+            "jobs_per_sec": jobs_per_sec,
+            "admit_latency_p50_s": p50,
+            "admit_latency_p99_s": p99,
+            "admit_latency_max_s": max,
+            "min_jobs_per_sec_threshold": MIN_JOBS_PER_SEC,
+            "max_p99_latency_s_threshold": MAX_P99_S,
+            "pass": pass,
+        }),
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

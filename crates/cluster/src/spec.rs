@@ -253,6 +253,85 @@ impl Default for ClusterSpec {
     }
 }
 
+// ---------------------------------------------------------------------------
+// JSON encoding (snapshot/restore support). Only the GPU kinds and node
+// groups are serialized: the flat node table is rebuilt deterministically
+// from the groups on parse, so the two representations cannot drift.
+// ---------------------------------------------------------------------------
+
+use serde_json::{Error, FromJson, ToJson, Value};
+
+/// Fetch and decode a required object field.
+fn field<T: FromJson>(v: &Value, name: &str) -> Result<T, Error> {
+    let member = v
+        .get(name)
+        .ok_or_else(|| Error::msg(format!("missing field `{name}`")))?;
+    T::from_json(member).map_err(|e| Error::msg(format!("field `{name}`: {e}")))
+}
+
+impl ToJson for ClusterSpec {
+    fn to_json(&self) -> Value {
+        let kinds: Vec<Value> = self
+            .kinds
+            .iter()
+            .map(|k| {
+                serde_json::json!({
+                    "name": &k.name,
+                    "mem_gib": k.mem_gib,
+                    "power_rank": k.power_rank,
+                })
+            })
+            .collect();
+        let groups: Vec<Value> = self
+            .groups
+            .iter()
+            .map(|g| {
+                serde_json::json!({
+                    "gpu_type": g.gpu_type.0,
+                    "num_nodes": g.num_nodes,
+                    "gpus_per_node": g.gpus_per_node,
+                })
+            })
+            .collect();
+        serde_json::json!({ "kinds": kinds, "groups": groups })
+    }
+}
+
+impl FromJson for ClusterSpec {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let kinds = v
+            .get("kinds")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::msg("ClusterSpec: missing `kinds` array"))?;
+        let groups = v
+            .get("groups")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::msg("ClusterSpec: missing `groups` array"))?;
+        let mut spec = ClusterSpec::new();
+        for k in kinds {
+            let name: String = field(k, "name")?;
+            let mem_gib: f64 = field(k, "mem_gib")?;
+            let power_rank: u32 = field(k, "power_rank")?;
+            spec.add_gpu_kind(&name, mem_gib, power_rank);
+        }
+        for g in groups {
+            let gpu_type: usize = field(g, "gpu_type")?;
+            if gpu_type >= spec.kinds.len() {
+                return Err(Error::msg(format!(
+                    "ClusterSpec: group references unknown GPU type {gpu_type}"
+                )));
+            }
+            let num_nodes: usize = field(g, "num_nodes")?;
+            let gpus_per_node: usize = field(g, "gpus_per_node")?;
+            if num_nodes == 0 || gpus_per_node == 0 {
+                return Err(Error::msg("ClusterSpec: empty node group"));
+            }
+            spec.add_nodes(GpuTypeId(gpu_type), num_nodes, gpus_per_node);
+        }
+        Ok(spec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +393,29 @@ mod tests {
     fn add_nodes_rejects_unknown_type() {
         let mut c = ClusterSpec::new();
         c.add_nodes(GpuTypeId(3), 1, 4);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        use serde_json::{FromJson, ToJson};
+        for spec in [
+            ClusterSpec::physical_44(),
+            ClusterSpec::heterogeneous_64(),
+            ClusterSpec::homogeneous_64(),
+        ] {
+            let back = ClusterSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn spec_json_rejects_bad_group() {
+        use serde_json::FromJson;
+        let v: serde_json::Value = serde_json::from_str(
+            r#"{"kinds": [{"name": "t4", "mem_gib": 16.0, "power_rank": 1}],
+                "groups": [{"gpu_type": 7, "num_nodes": 1, "gpus_per_node": 4}]}"#,
+        )
+        .unwrap();
+        assert!(ClusterSpec::from_json(&v).is_err());
     }
 }

@@ -76,6 +76,32 @@ impl ClusterView {
         }
     }
 
+    /// Rebuilds a view from previously captured parts (snapshot restore).
+    /// The result is indistinguishable from the view that was captured:
+    /// same node table, same per-node states, same version counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` does not cover the spec's node table 1:1.
+    pub fn from_parts(spec: ClusterSpec, states: Vec<NodeState>, version: u64) -> Self {
+        assert_eq!(
+            states.len(),
+            spec.nodes().len(),
+            "node state table must match the spec's node table"
+        );
+        ClusterView {
+            spec,
+            states,
+            version,
+        }
+    }
+
+    /// The per-node dynamic states, indexed by dense node id (snapshot
+    /// capture; pair with [`ClusterView::from_parts`]).
+    pub fn states(&self) -> &[NodeState] {
+        &self.states
+    }
+
     /// The underlying (augmented) spec: full node table, all GPU kinds.
     pub fn spec(&self) -> &ClusterSpec {
         &self.spec
@@ -237,6 +263,100 @@ impl ClusterView {
     }
 }
 
+// ---------------------------------------------------------------------------
+// JSON encoding (snapshot/restore support).
+// ---------------------------------------------------------------------------
+
+use serde_json::{Error, FromJson, ToJson, Value};
+
+impl ToJson for NodeHealth {
+    fn to_json(&self) -> Value {
+        Value::String(
+            match self {
+                NodeHealth::Active => "Active",
+                NodeHealth::Draining => "Draining",
+                NodeHealth::Removed => "Removed",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for NodeHealth {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v.as_str() {
+            Some("Active") => Ok(NodeHealth::Active),
+            Some("Draining") => Ok(NodeHealth::Draining),
+            Some("Removed") => Ok(NodeHealth::Removed),
+            _ => Err(Error::msg(format!("unknown NodeHealth `{v}`"))),
+        }
+    }
+}
+
+impl ToJson for NodeState {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "health": self.health.to_json(),
+            "degradation": self.degradation,
+        })
+    }
+}
+
+impl FromJson for NodeState {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let health = v
+            .get("health")
+            .ok_or_else(|| Error::msg("NodeState: missing `health`"))?;
+        let degradation = v
+            .get("degradation")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| Error::msg("NodeState: missing `degradation`"))?;
+        Ok(NodeState {
+            health: NodeHealth::from_json(health)?,
+            degradation,
+        })
+    }
+}
+
+impl ToJson for ClusterView {
+    fn to_json(&self) -> Value {
+        let states: Vec<Value> = self.states.iter().map(ToJson::to_json).collect();
+        serde_json::json!({
+            "spec": self.spec.to_json(),
+            "states": states,
+            "version": self.version,
+        })
+    }
+}
+
+impl FromJson for ClusterView {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let spec = v
+            .get("spec")
+            .ok_or_else(|| Error::msg("ClusterView: missing `spec`"))?;
+        let spec = ClusterSpec::from_json(spec)?;
+        let states = v
+            .get("states")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::msg("ClusterView: missing `states`"))?;
+        let states: Result<Vec<NodeState>, Error> =
+            states.iter().map(NodeState::from_json).collect();
+        let states = states?;
+        let version = v
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::msg("ClusterView: missing `version`"))?;
+        if states.len() != spec.nodes().len() {
+            return Err(Error::msg(format!(
+                "ClusterView: {} node states for {} nodes",
+                states.len(),
+                spec.nodes().len()
+            )));
+        }
+        Ok(ClusterView::from_parts(spec, states, version))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +416,29 @@ mod tests {
         view.set_health(5, NodeHealth::Removed);
         assert!(view.references_removed(&Placement::new(vec![(5, 4)])));
         assert!(!view.references_removed(&Placement::new(vec![(4, 4)])));
+    }
+
+    #[test]
+    fn view_round_trips_through_json() {
+        let mut view = ClusterView::new(ClusterSpec::heterogeneous_64());
+        view.set_health(2, NodeHealth::Draining);
+        view.set_health(3, NodeHealth::Removed);
+        view.set_degradation(0, 0.75);
+        let t4 = view.gpu_type_by_name("t4").unwrap();
+        view.add_nodes(t4, 1, 4);
+        let back = ClusterView::from_json(&view.to_json()).unwrap();
+        assert_eq!(view, back);
+        assert_eq!(back.version(), view.version());
+        assert_eq!(back.total_gpus(), view.total_gpus());
+    }
+
+    #[test]
+    fn view_json_rejects_state_table_mismatch() {
+        let view = ClusterView::new(ClusterSpec::homogeneous_64());
+        let mut v = view.to_json();
+        if let serde_json::Value::Object(obj) = &mut v {
+            obj.insert("states".into(), serde_json::Value::Array(Vec::new()));
+        }
+        assert!(ClusterView::from_json(&v).is_err());
     }
 }

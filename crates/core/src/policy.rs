@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use sia_cluster::{config_set_view, ClusterView, Configuration, JobId, Placement};
+use sia_cluster::{config_set_view, ClusterView, Configuration, GpuTypeId, JobId, Placement};
 use sia_sim::{AllocationMap, DecisionInfo, JobView, Scheduler, SolverStats};
 use sia_solver::MilpOptions;
 
@@ -283,6 +283,65 @@ impl Scheduler for SiaPolicy {
     fn gap_tolerance(&self) -> Option<f64> {
         Some(self.cfg.milp.gap_tolerance)
     }
+
+    /// Exports the warm-start seed: last round's chosen configurations and
+    /// the cluster version they were computed under. The matrix cache,
+    /// reservations and per-round stats are deliberately not serialized —
+    /// the cache is rebuilt lazily (first post-restore round re-enumerates
+    /// rows, losing only wall-clock), reservations belong to the embedding
+    /// layer, and the stats are consumed within a round.
+    fn export_state(&self) -> Option<serde_json::Value> {
+        let assignment: Vec<serde_json::Value> = self
+            .prev_assignment
+            .iter()
+            .map(|(job, cfg)| {
+                serde_json::json!({
+                    "job": job.0,
+                    "nodes": cfg.nodes as u64,
+                    "gpus": cfg.gpus as u64,
+                    "gpu_type": cfg.gpu_type.0 as u64,
+                })
+            })
+            .collect();
+        Some(serde_json::json!({
+            "prev_assignment": assignment,
+            "prev_cluster_version": match self.prev_cluster_version {
+                Some(v) => serde_json::json!(v),
+                None => serde_json::Value::Null,
+            },
+        }))
+    }
+
+    /// Restores the warm-start seed exported by
+    /// [`Scheduler::export_state`]. Malformed entries are skipped — a
+    /// partial (or empty) seed only costs the first round a cold solve.
+    fn import_state(&mut self, state: &serde_json::Value) {
+        self.prev_assignment.clear();
+        if let Some(entries) = state.get("prev_assignment").and_then(|v| v.as_array()) {
+            for e in entries {
+                let (Some(job), Some(nodes), Some(gpus), Some(gpu_type)) = (
+                    e.get("job").and_then(|v| v.as_u64()),
+                    e.get("nodes").and_then(|v| v.as_u64()),
+                    e.get("gpus").and_then(|v| v.as_u64()),
+                    e.get("gpu_type").and_then(|v| v.as_u64()),
+                ) else {
+                    continue;
+                };
+                if nodes == 0 || gpus < nodes {
+                    continue;
+                }
+                self.prev_assignment.insert(
+                    JobId(job),
+                    Configuration::new(nodes as usize, gpus as usize, GpuTypeId(gpu_type as usize)),
+                );
+            }
+        }
+        self.prev_cluster_version = state.get("prev_cluster_version").and_then(|v| v.as_u64());
+        // Derived state starts cold on purpose.
+        self.matrix_cache = MatrixCache::new();
+        self.last_stats = None;
+        self.last_decisions.clear();
+    }
 }
 
 #[cfg(test)]
@@ -493,6 +552,52 @@ mod tests {
         let p = allocs.get(&JobId(39)).expect("reserved job allocated");
         assert_eq!(p.total_gpus(), 8);
         assert_eq!(p.gpu_type(&spec), a100);
+    }
+
+    #[test]
+    fn exported_state_restores_warm_start_decisions() {
+        // A restored policy must make the same decisions as the original:
+        // run a few rounds, export, import into a fresh policy, and compare
+        // the next rounds side by side.
+        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(spec.clone());
+        let mut fx = Fixture::new(8, 16, &[1.0, 1.8, 4.0]);
+        let mut sia = SiaPolicy::default();
+        for _ in 0..3 {
+            let allocs = sia.schedule(0.0, &fx.views(), &cluster);
+            for (i, s) in fx.specs.iter().enumerate() {
+                fx.placements[i] = allocs.get(&s.id).cloned().unwrap_or_else(Placement::empty);
+            }
+        }
+        let state = sia.export_state().expect("sia exports state");
+        let mut restored = SiaPolicy::default();
+        restored.import_state(&state);
+        assert_eq!(restored.prev_assignment, sia.prev_assignment);
+        assert_eq!(restored.prev_cluster_version, sia.prev_cluster_version);
+        for _ in 0..2 {
+            let a = sia.schedule(0.0, &fx.views(), &cluster);
+            let b = restored.schedule(0.0, &fx.views(), &cluster);
+            assert_eq!(a, b, "restored policy must decide identically");
+            for (i, s) in fx.specs.iter().enumerate() {
+                fx.placements[i] = a.get(&s.id).cloned().unwrap_or_else(Placement::empty);
+            }
+        }
+    }
+
+    #[test]
+    fn import_state_skips_malformed_entries() {
+        let mut sia = SiaPolicy::default();
+        sia.import_state(&serde_json::json!({
+            "prev_assignment": [
+                {"job": 1, "nodes": 1, "gpus": 4, "gpu_type": 0},
+                {"job": 2, "nodes": 2, "gpus": 1, "gpu_type": 0}, // gpus < nodes
+                {"job": 3, "nodes": 1, "gpu_type": 0},            // missing gpus
+            ],
+            "prev_cluster_version": 7,
+        }));
+        assert_eq!(sia.prev_assignment.len(), 1);
+        assert!(sia.prev_assignment.contains_key(&JobId(1)));
+        assert_eq!(sia.prev_cluster_version, Some(7));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use serde_json::{Error, FromJson, ToJson, Value};
 use sia_cluster::GpuTypeId;
 
 use crate::efficiency::EfficiencyParams;
@@ -395,6 +396,193 @@ impl JobEstimator {
     }
 }
 
+fn field<T: FromJson>(v: &Value, name: &str) -> Result<T, Error> {
+    T::from_json(
+        v.get(name)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`")))?,
+    )
+}
+
+impl ToJson for ProfilingMode {
+    fn to_json(&self) -> Value {
+        Value::String(format!("{self:?}"))
+    }
+}
+
+impl FromJson for ProfilingMode {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v.as_str() {
+            Some("Oracle") => Ok(ProfilingMode::Oracle),
+            Some("Bootstrap") => Ok(ProfilingMode::Bootstrap),
+            Some("NoProf") => Ok(ProfilingMode::NoProf),
+            _ => Err(Error::msg(format!("invalid ProfilingMode: {v:?}"))),
+        }
+    }
+}
+
+impl ToJson for TypeModelState {
+    fn to_json(&self) -> Value {
+        Value::String(format!("{self:?}"))
+    }
+}
+
+impl FromJson for TypeModelState {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v.as_str() {
+            Some("Unknown") => Ok(TypeModelState::Unknown),
+            Some("SingleGpuProfile") => Ok(TypeModelState::SingleGpuProfile),
+            Some("Refined") => Ok(TypeModelState::Refined),
+            _ => Err(Error::msg(format!("invalid TypeModelState: {v:?}"))),
+        }
+    }
+}
+
+impl ToJson for ThroughputParams {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "alpha_c": self.alpha_c,
+            "beta_c": self.beta_c,
+            "alpha_n": self.alpha_n,
+            "beta_n": self.beta_n,
+            "alpha_d": self.alpha_d,
+            "beta_d": self.beta_d,
+            "gamma": self.gamma,
+            "max_local_bsz": self.max_local_bsz,
+        })
+    }
+}
+
+impl FromJson for ThroughputParams {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(ThroughputParams {
+            alpha_c: field(v, "alpha_c")?,
+            beta_c: field(v, "beta_c")?,
+            alpha_n: field(v, "alpha_n")?,
+            beta_n: field(v, "beta_n")?,
+            alpha_d: field(v, "alpha_d")?,
+            beta_d: field(v, "beta_d")?,
+            gamma: field(v, "gamma")?,
+            max_local_bsz: field(v, "max_local_bsz")?,
+        })
+    }
+}
+
+impl ToJson for FitSample {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "replicas": self.shape.replicas as u64,
+            "distributed": self.shape.distributed,
+            "local_bsz": self.local_bsz,
+            "accum_steps": self.accum_steps as u64,
+            "iter_time": self.iter_time,
+        })
+    }
+}
+
+impl FromJson for FitSample {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let replicas: u64 = field(v, "replicas")?;
+        let accum_steps: u64 = field(v, "accum_steps")?;
+        Ok(FitSample {
+            shape: AllocShape {
+                replicas: replicas as usize,
+                distributed: field(v, "distributed")?,
+            },
+            local_bsz: field(v, "local_bsz")?,
+            accum_steps: u32::try_from(accum_steps)
+                .map_err(|_| Error::msg("accum_steps out of range"))?,
+            iter_time: field(v, "iter_time")?,
+        })
+    }
+}
+
+impl ToJson for EfficiencyParams {
+    fn to_json(&self) -> Value {
+        serde_json::json!({ "phi": self.phi, "m0": self.m0 })
+    }
+}
+
+impl FromJson for EfficiencyParams {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let phi: f64 = field(v, "phi")?;
+        let m0: f64 = field(v, "m0")?;
+        if !(phi >= 0.0 && m0 > 0.0) {
+            return Err(Error::msg("invalid efficiency parameters"));
+        }
+        Ok(EfficiencyParams::new(phi, m0))
+    }
+}
+
+impl ToJson for BatchLimits {
+    fn to_json(&self) -> Value {
+        serde_json::json!({ "min_total": self.min_total, "max_total": self.max_total })
+    }
+}
+
+impl FromJson for BatchLimits {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let min_total: f64 = field(v, "min_total")?;
+        let max_total: f64 = field(v, "max_total")?;
+        if !(min_total > 0.0 && min_total <= max_total) {
+            return Err(Error::msg("invalid batch limits"));
+        }
+        Ok(BatchLimits::new(min_total, max_total))
+    }
+}
+
+impl ToJson for TypeModel {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "params": self.params.to_json(),
+            "state": self.state.to_json(),
+            "samples": self.samples.to_json(),
+            "last_fit": self.last_fit as u64,
+        })
+    }
+}
+
+impl FromJson for TypeModel {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let last_fit: u64 = field(v, "last_fit")?;
+        Ok(TypeModel {
+            params: field(v, "params")?,
+            state: field(v, "state")?,
+            samples: field(v, "samples")?,
+            last_fit: last_fit as usize,
+        })
+    }
+}
+
+impl ToJson for JobEstimator {
+    /// Serializes the full model state. The goodput memo and its hit/miss
+    /// counters are a pure function of that state and are rebuilt empty on
+    /// restore, mirroring [`Clone`].
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "mode": self.mode.to_json(),
+            "types": self.types.to_json(),
+            "eff": self.eff.to_json(),
+            "limits": self.limits.to_json(),
+            "version": self.version,
+        })
+    }
+}
+
+impl FromJson for JobEstimator {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(JobEstimator {
+            mode: field(v, "mode")?,
+            types: field(v, "types")?,
+            eff: field(v, "eff")?,
+            limits: field(v, "limits")?,
+            version: field(v, "version")?,
+            memo: Mutex::new(Memo::default()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+        })
+    }
+}
+
 /// A generic sync-cost prior used to seed bootstrap models before any
 /// multi-GPU observation refines them.
 pub fn default_sync_prior() -> ThroughputParams {
@@ -664,5 +852,76 @@ mod tests {
     fn infeasible_shapes_propagate_none() {
         let est = JobEstimator::oracle(vec![slow_type()], eff(), BatchLimits::new(16.0, 32.0));
         assert!(est.estimate(GpuTypeId(0), AllocShape::dist(64)).is_none());
+    }
+
+    #[test]
+    fn estimator_json_round_trip_is_behaviorally_identical() {
+        let mut est = JobEstimator::bootstrap(vec![slow_type(), fast_type()], eff(), limits());
+        let truth0 = slow_type();
+        for &k in &[1usize, 2, 4, 8] {
+            est.observe(Observation {
+                gpu_type: GpuTypeId(0),
+                sample: FitSample {
+                    shape: AllocShape::local(k),
+                    local_bsz: 64.0,
+                    accum_steps: 0,
+                    iter_time: truth0.t_iter(AllocShape::local(k), 64.0, 0),
+                },
+                measured_phi: 1800.0,
+            });
+        }
+        let json = serde_json::to_string(&est.to_json()).unwrap();
+        let mut back: JobEstimator =
+            JobEstimator::from_json(&serde_json::from_str(&json).unwrap()).unwrap();
+        // The serialized form itself must be stable across a round trip.
+        assert_eq!(json, serde_json::to_string(&back.to_json()).unwrap());
+        assert_eq!(back.mode(), est.mode());
+        assert_eq!(back.version(), est.version());
+        // Bit-identical goodput evaluations, including the Eq. 1 ratio path
+        // on the unrefined type.
+        for t in 0..2 {
+            for shape in [
+                AllocShape::single(),
+                AllocShape::local(4),
+                AllocShape::dist(8),
+            ] {
+                assert_eq!(
+                    est.estimate(GpuTypeId(t), shape),
+                    back.estimate(GpuTypeId(t), shape)
+                );
+            }
+        }
+        // Bit-identical behavior under further observations (refit schedule
+        // depends on `last_fit` and the sample history).
+        let obs = Observation {
+            gpu_type: GpuTypeId(1),
+            sample: FitSample {
+                shape: AllocShape::dist(4),
+                local_bsz: 32.0,
+                accum_steps: 1,
+                iter_time: fast_type().t_iter(AllocShape::dist(4), 32.0, 1),
+            },
+            measured_phi: 2500.0,
+        };
+        est.observe(obs);
+        back.observe(obs);
+        assert_eq!(
+            est.estimate(GpuTypeId(1), AllocShape::dist(4)),
+            back.estimate(GpuTypeId(1), AllocShape::dist(4))
+        );
+        assert_eq!(
+            serde_json::to_string(&est.to_json()).unwrap(),
+            serde_json::to_string(&back.to_json()).unwrap()
+        );
+    }
+
+    #[test]
+    fn estimator_json_rejects_bad_mode() {
+        let est = JobEstimator::oracle(vec![slow_type()], eff(), limits());
+        let mut v = est.to_json();
+        if let serde_json::Value::Object(map) = &mut v {
+            map.insert("mode".into(), serde_json::Value::String("Psychic".into()));
+        }
+        assert!(JobEstimator::from_json(&v).is_err());
     }
 }

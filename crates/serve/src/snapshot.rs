@@ -1,0 +1,204 @@
+//! The on-disk snapshot container.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"SIASNAP1"
+//! 8       4     u32    container version (this file format)
+//! 12      8     u64    payload length in bytes
+//! 20      n     JSON   payload (UTF-8; the daemon state document)
+//! 20+n    8     u64    FNV-1a-64 checksum of the payload bytes
+//! ```
+//!
+//! Versioning and compatibility rules: the **container** version (here)
+//! guards the framing above and only changes if the layout itself does;
+//! the **state** version inside the JSON payload
+//! ([`sia_sim::SNAPSHOT_STATE_VERSION`]) guards the semantic content and
+//! is checked by the restore path. Readers must refuse unknown versions
+//! of either rather than guess — a snapshot restores bit-identically or
+//! not at all.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use serde_json::Value;
+
+/// Container format version written by [`write_snapshot`].
+pub const SNAPSHOT_FILE_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"SIASNAP1";
+
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the `SIASNAP1` magic.
+    BadMagic,
+    /// The container version is not one this build understands.
+    BadVersion(u32),
+    /// The declared payload length disagrees with the file size.
+    BadLength,
+    /// The payload does not match its checksum (truncated or corrupted).
+    BadChecksum,
+    /// The payload is not valid JSON.
+    Json(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(
+                f,
+                "snapshot container version {v} unsupported (expected {SNAPSHOT_FILE_VERSION})"
+            ),
+            SnapshotError::BadLength => {
+                write!(f, "snapshot length prefix disagrees with file size")
+            }
+            SnapshotError::BadChecksum => write!(f, "snapshot checksum mismatch (corrupt file)"),
+            SnapshotError::Json(e) => write!(f, "snapshot payload is not valid JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over the payload bytes: tiny, dependency-free, and more
+/// than enough to catch truncation and bit rot (this is an integrity
+/// check, not an authenticity one).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serializes `payload` into the container format and writes it to
+/// `path` atomically (temp file + rename), so a crash mid-write never
+/// leaves a half-snapshot behind under the final name.
+pub fn write_snapshot(path: impl AsRef<Path>, payload: &Value) -> Result<(), SnapshotError> {
+    let path = path.as_ref();
+    let body = serde_json::to_string(payload)
+        .map_err(|e| SnapshotError::Json(e.to_string()))?
+        .into_bytes();
+    let mut out = Vec::with_capacity(body.len() + 28);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&SNAPSHOT_FILE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+
+    let tmp = path.with_extension("snap.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a snapshot container back, verifying magic, version, length and
+/// checksum before parsing the payload.
+pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Value, SnapshotError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if bytes.len() < 28 {
+        return Err(SnapshotError::BadLength);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_FILE_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let len = usize::try_from(len).map_err(|_| SnapshotError::BadLength)?;
+    if bytes.len() != 20 + len + 8 {
+        return Err(SnapshotError::BadLength);
+    }
+    let body = &bytes[20..20 + len];
+    let declared = u64::from_le_bytes(bytes[20 + len..].try_into().expect("8 bytes"));
+    if fnv1a64(body) != declared {
+        return Err(SnapshotError::BadChecksum);
+    }
+    let text = std::str::from_utf8(body).map_err(|e| SnapshotError::Json(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| SnapshotError::Json(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sia_snap_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips() {
+        let path = tmp_path("rt");
+        let payload = json!({"version": 1, "data": [1, 2, 3], "pi": 3.5});
+        write_snapshot(&path, &payload).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back, payload);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let path = tmp_path("corrupt");
+        write_snapshot(&path, &json!({"x": 1})).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+
+        // Flip one payload byte: checksum must catch it.
+        let mid = 20 + (bytes.len() - 28) / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapshotError::BadChecksum)
+        ));
+
+        // Truncate: length check must catch it.
+        bytes[mid] ^= 0x40; // restore
+        bytes.truncate(bytes.len() - 3);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapshotError::BadLength)
+        ));
+
+        // Wrong magic.
+        std::fs::write(&path, b"NOTASNAPxxxxxxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(matches!(read_snapshot(&path), Err(SnapshotError::BadMagic)));
+
+        // Wrong version.
+        let mut good = Vec::new();
+        good.extend_from_slice(MAGIC);
+        good.extend_from_slice(&99u32.to_le_bytes());
+        good.extend_from_slice(&0u64.to_le_bytes());
+        good.extend_from_slice(&fnv1a64(b"").to_le_bytes());
+        std::fs::write(&path, &good).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapshotError::BadVersion(99))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,1109 @@
+//! Incremental stepping driver over the round-engine semantics.
+//!
+//! [`Simulator::run_round`] executes a whole trace in one call; a long-running
+//! daemon instead needs to *step* the simulation — admit jobs as they arrive
+//! on a command stream, advance virtual time round by round, snapshot the
+//! full scheduler state and resume from it bit-identically. [`SimDriver`]
+//! owns exactly the state the round engine keeps between loop iterations
+//! (jobs, pending arrivals, RNG, recorders, capacity view, audit cursor) and
+//! replays the engine's loop body verbatim per [`SimDriver::step_round`]:
+//! same RNG draw order, same flight-recorder and audit records. Driving a
+//! pre-loaded submission queue with [`SimDriver::run_to_idle`] therefore
+//! produces a canonical flight trace byte-identical to both engines' output.
+//!
+//! Capacity dynamics are deliberately out of scope: the daemon mutates the
+//! job set, not the cluster, and excluding dynamics keeps snapshots closed
+//! under the state enumerated here ([`SimDriver::new`] asserts the config
+//! carries no script).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::{json, FromJson, ToJson, Value};
+use sia_cluster::{ClusterSpec, ClusterView, GpuTypeId, JobId, Placement};
+use sia_models::{JobEstimator, ProfilingMode};
+use sia_telemetry::{AllocReason, AuditEvent, AuditRecorder, FlightRecorder, TraceEvent};
+use sia_workloads::JobSpec;
+
+use crate::engine::{
+    apply_allocations, assemble_result, is_fallback, record_audit_round, EngineKind, JobState,
+    SimConfig, Simulator,
+};
+use crate::result::{DecisionInfo, RoundLog, SimResult};
+use crate::scheduler::{JobView, Scheduler};
+
+/// Snapshot payload format version understood by [`SimDriver::restore`].
+pub const SNAPSHOT_STATE_VERSION: u64 = 1;
+
+/// What one [`SimDriver::step_round`] call did, for callers that translate
+/// engine activity into service events.
+#[derive(Debug, Clone, Default)]
+pub struct RoundOutcome {
+    /// Virtual time at the round boundary that was executed.
+    pub time: f64,
+    /// Jobs admitted from the pending queue at this boundary.
+    pub admitted: Vec<JobId>,
+    /// Jobs that completed during the round, with their exact finish times.
+    pub completed: Vec<(JobId, f64)>,
+    /// Per-job allocations in force after the apply pass, sorted by job id.
+    pub allocations: Vec<(JobId, GpuTypeId, usize)>,
+    /// Jobs whose placement changed this round, in apply order.
+    pub changed: Vec<JobId>,
+}
+
+/// Result of a [`SimDriver::cancel`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CancelOutcome {
+    /// The job was still queued; it never consumed resources.
+    Pending,
+    /// The job was active and has been terminated; `gpu_seconds` is what it
+    /// consumed up to the cancellation instant.
+    Active {
+        /// GPU-seconds consumed before cancellation.
+        gpu_seconds: f64,
+    },
+    /// The job already finished; nothing to cancel.
+    Finished,
+    /// No job with that id was ever submitted.
+    NotFound,
+}
+
+/// Externally visible status of one submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: JobId,
+    /// True while the job sits in the not-yet-admitted queue.
+    pub pending: bool,
+    /// True once the job completed (or was cancelled).
+    pub finished: bool,
+    /// Fraction of the work target completed, in `[0, 1]`.
+    pub progress: f64,
+    /// GPUs currently held.
+    pub gpus: usize,
+    /// Placement changes so far.
+    pub restarts: u32,
+    /// GPU-seconds consumed so far.
+    pub gpu_seconds: f64,
+    /// Completion instant, if any.
+    pub finish_time: Option<f64>,
+}
+
+/// A steppable instance of the round engine: one cluster, one scheduler,
+/// jobs injected over time. See the module docs for the parity contract.
+pub struct SimDriver {
+    sim: Simulator,
+    jobs: Vec<JobState>,
+    pending: VecDeque<JobSpec>,
+    rounds: Vec<RoundLog>,
+    now: f64,
+    makespan: f64,
+    audit_round: u64,
+    rng: ChaCha8Rng,
+    rec: FlightRecorder,
+    audit: AuditRecorder,
+    view: ClusterView,
+    round: f64,
+    horizon: f64,
+}
+
+impl SimDriver {
+    /// Creates an empty driver over `spec`. The scheduler is consulted for
+    /// the round duration and the recorder meta records, exactly as
+    /// [`Simulator::run_round`] would at the top of a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.dynamics` is set or the round duration is not
+    /// positive.
+    pub fn new(spec: ClusterSpec, cfg: SimConfig, sched: &dyn Scheduler) -> Self {
+        assert!(
+            cfg.dynamics.is_none(),
+            "SimDriver does not support capacity dynamics"
+        );
+        let round = sched.round_duration();
+        assert!(round > 0.0, "round duration must be positive");
+        let sim = Simulator {
+            spec: spec.clone(),
+            trace: Vec::new(),
+            cfg,
+        };
+        let rng = ChaCha8Rng::seed_from_u64(sim.cfg.seed);
+        let rec = sim.make_recorder(round);
+        let audit = sim.make_audit_recorder(sched.name(), round, sched.gap_tolerance());
+        let horizon = sim.cfg.max_hours * 3600.0;
+        SimDriver {
+            sim,
+            jobs: Vec::new(),
+            pending: VecDeque::new(),
+            rounds: Vec::new(),
+            now: 0.0,
+            makespan: 0.0,
+            audit_round: 0,
+            rng,
+            rec,
+            audit,
+            view: ClusterView::new(spec),
+            round,
+            horizon,
+        }
+    }
+
+    /// Current virtual time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Scheduling-round duration, seconds.
+    pub fn round_duration(&self) -> f64 {
+        self.round
+    }
+
+    /// Simulation horizon, seconds ([`SimConfig::max_hours`]).
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Number of admitted, unfinished jobs.
+    pub fn active_count(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.finished()).count()
+    }
+
+    /// Number of submitted jobs not yet admitted at a round boundary.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no work remains: nothing pending, nothing active.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.jobs.iter().all(JobState::finished)
+    }
+
+    /// Queues a job for admission at the first round boundary at or after
+    /// its `submit_time`. Submissions with equal times are admitted in
+    /// submission order, matching the trace order of the batch engines.
+    pub fn submit(&mut self, spec: JobSpec) {
+        let pos = self
+            .pending
+            .partition_point(|s| s.submit_time <= spec.submit_time);
+        self.pending.insert(pos, spec);
+    }
+
+    /// Cancels a job. Pending jobs are silently dropped from the queue;
+    /// active jobs are terminated at the current instant (their placement
+    /// is released and a `cancelled` lifecycle record is emitted). Draws no
+    /// RNG, so cancellations never perturb the noise stream of other jobs.
+    pub fn cancel(&mut self, id: JobId) -> CancelOutcome {
+        if let Some(pos) = self.pending.iter().position(|s| s.id == id) {
+            self.pending.remove(pos);
+            return CancelOutcome::Pending;
+        }
+        let Some(job) = self.jobs.iter_mut().find(|j| j.spec.id == id) else {
+            return CancelOutcome::NotFound;
+        };
+        if job.finished() {
+            return CancelOutcome::Finished;
+        }
+        job.finish_time = Some(self.now);
+        let held = !job.placement.is_empty();
+        job.placement = Placement::empty();
+        self.rec
+            .record(self.now, TraceEvent::JobCancelled { job: id.0 });
+        if held {
+            self.rec.record(
+                self.now,
+                TraceEvent::AllocationChanged {
+                    job: id.0,
+                    gpu_type: None,
+                    gpus: 0,
+                    reason: AllocReason::Cancelled,
+                    restart: false,
+                },
+            );
+        }
+        CancelOutcome::Active {
+            gpu_seconds: job.gpu_seconds,
+        }
+    }
+
+    /// Emits one `admission` audit record at the current instant: the typed
+    /// outcome of an admission-control decision made by a service layer in
+    /// front of this driver (accepted, rejected-with-reason, or a
+    /// cancellation refund with a negative charge). Pure recording — the
+    /// driver itself admits everything passed to [`SimDriver::submit`].
+    pub fn record_admission(
+        &mut self,
+        job: u64,
+        tenant: &str,
+        accepted: bool,
+        reason: &str,
+        charge_gpu_hours: f64,
+    ) {
+        self.audit.record(
+            self.now,
+            AuditEvent::Admission {
+                job,
+                tenant: tenant.to_string(),
+                accepted,
+                reason: reason.to_string(),
+                charge_gpu_hours,
+            },
+        );
+    }
+
+    /// Status of a job by id, searching both the pending queue and the
+    /// admitted set.
+    pub fn job_status(&self, id: JobId) -> Option<JobStatus> {
+        if let Some(spec) = self.pending.iter().find(|s| s.id == id) {
+            return Some(JobStatus {
+                id: spec.id,
+                pending: true,
+                finished: false,
+                progress: 0.0,
+                gpus: 0,
+                restarts: 0,
+                gpu_seconds: 0.0,
+                finish_time: None,
+            });
+        }
+        self.jobs
+            .iter()
+            .find(|j| j.spec.id == id)
+            .map(|j| JobStatus {
+                id: j.spec.id,
+                pending: false,
+                finished: j.finished(),
+                progress: j.progress(),
+                gpus: j.placement.total_gpus(),
+                restarts: j.restarts,
+                gpu_seconds: j.gpu_seconds,
+                finish_time: j.finish_time,
+            })
+    }
+
+    /// Admits every pending job whose submit time has been reached. Same
+    /// loop as the engines' per-boundary admission scan, including the RNG
+    /// draws of bootstrap profiling.
+    fn admit_due(&mut self) -> Vec<JobId> {
+        let mut admitted = Vec::new();
+        while self
+            .pending
+            .front()
+            .is_some_and(|s| s.submit_time <= self.now)
+        {
+            let spec = self.pending.pop_front().expect("front checked");
+            admitted.push(spec.id);
+            let state = self.sim.admit(&spec, &mut self.rng, &mut self.rec);
+            self.jobs.push(state);
+        }
+        admitted
+    }
+
+    /// Executes exactly one round: admission, scheduling, apply, execution,
+    /// then advances time by one round duration. This is the loop body of
+    /// [`Simulator::run_round`] minus dynamics — RNG draws and recorder
+    /// records are emitted in the identical order. Rounds with no active
+    /// jobs draw no RNG and record nothing, so idle stepping (a daemon
+    /// waiting for arrivals) cannot perturb parity with the batch engines.
+    pub fn step_round(&mut self, sched: &mut dyn Scheduler) -> RoundOutcome {
+        let now = self.now;
+        let round = self.round;
+        let admitted = self.admit_due();
+        let active: Vec<usize> = (0..self.jobs.len())
+            .filter(|&i| !self.jobs[i].finished())
+            .collect();
+
+        let round_t0 = Instant::now();
+        let (alloc_map, solver_stats, decisions) = if active.is_empty() {
+            (BTreeMap::new(), None, Vec::new())
+        } else {
+            let views: Vec<JobView<'_>> = active.iter().map(|&i| self.jobs[i].view(now)).collect();
+            let map = {
+                let _span = sia_telemetry::span("engine.schedule");
+                sched.schedule(now, &views, &self.view)
+            };
+            (map, sched.round_stats(), sched.round_decisions())
+        };
+        let provenance: BTreeMap<JobId, DecisionInfo> =
+            decisions.into_iter().map(|d| (d.job, d)).collect();
+        record_audit_round(
+            &mut self.audit,
+            self.audit_round,
+            now,
+            active.len(),
+            &solver_stats,
+        );
+
+        let contention = active.len();
+        let applied = apply_allocations(
+            &self.sim,
+            &mut self.jobs,
+            &active,
+            &alloc_map,
+            now,
+            is_fallback(&solver_stats),
+            &self.view,
+            &mut self.rng,
+            &mut self.rec,
+            &mut self.audit,
+            self.audit_round,
+            &provenance,
+        );
+        if solver_stats.is_some() {
+            self.audit_round += 1;
+        }
+        let policy_runtime = round_t0.elapsed().as_secs_f64();
+        if !active.is_empty() {
+            self.rec.record(
+                now,
+                TraceEvent::RoundScheduled {
+                    contention,
+                    policy_runtime,
+                },
+            );
+        }
+
+        sia_telemetry::counter("engine.rounds").incr();
+        sia_telemetry::counter("engine.restarts").add(applied.restarts);
+        sia_telemetry::counter("engine.alloc_churn").add(applied.churn);
+        sia_telemetry::gauge("engine.active_jobs").set(active.len() as f64);
+        sia_telemetry::gauge("engine.queue_depth")
+            .set((contention - applied.allocations.len()) as f64);
+
+        let changed: Vec<JobId> = applied
+            .changed
+            .iter()
+            .map(|&i| self.jobs[i].spec.id)
+            .collect();
+        let allocations = applied.allocations.clone();
+        self.rounds.push(RoundLog {
+            time: now,
+            active_jobs: active.len(),
+            contention,
+            allocations: applied.allocations,
+            policy_runtime,
+            solver_stats,
+        });
+
+        // Advance one round of execution (verbatim engine loop body).
+        let execute_span = sia_telemetry::span("engine.execute");
+        let mut round_failures = 0u64;
+        let mut completed: Vec<(JobId, f64)> = Vec::new();
+        for &i in &active {
+            let job = &mut self.jobs[i];
+            if job.placement.is_empty() {
+                continue;
+            }
+            let gpus = job.placement.total_gpus();
+            if self.sim.cfg.failure_rate_per_gpu_hour > 0.0 {
+                let expected =
+                    self.sim.cfg.failure_rate_per_gpu_hour * gpus as f64 * round / 3600.0;
+                let k = sia_events::poisson_sample(&mut self.rng, expected);
+                if k > 0 {
+                    job.failures += u32::try_from(k).unwrap_or(u32::MAX);
+                    round_failures += k;
+                    job.work_done = job.checkpointed_work;
+                    job.restart_remaining = (job.restart_remaining
+                        + k as f64 * job.truth.restart_delay)
+                        .min(4.0 * round);
+                    self.rec.record(
+                        now,
+                        TraceEvent::JobFailed {
+                            job: job.spec.id.0,
+                            count: k,
+                        },
+                    );
+                }
+            }
+            let paid_restart = job.restart_remaining.min(round);
+            job.restart_remaining -= paid_restart;
+            let usable = round - paid_restart;
+            let mut consumed = round;
+
+            if usable > 0.0 {
+                if let Some((goodput, point, gpu_type)) = self.sim.true_goodput(job, &self.view) {
+                    let jittered = goodput
+                        * (1.0
+                            + self.sim.cfg.execution_noise
+                                * crate::engine::symmetric(&mut self.rng));
+                    let jittered = jittered.max(0.0);
+                    let needed = job.spec.work_target - job.work_done;
+                    if jittered > 0.0 && needed <= jittered * usable {
+                        let dt = needed / jittered;
+                        let finish = now + paid_restart + dt;
+                        job.finish_time = Some(finish);
+                        job.work_done = job.spec.work_target;
+                        consumed = paid_restart + dt;
+                        self.makespan = self.makespan.max(finish);
+                        completed.push((job.spec.id, finish));
+                        self.rec
+                            .record(finish, TraceEvent::JobCompleted { job: job.spec.id.0 });
+                        self.rec.record(
+                            finish,
+                            TraceEvent::AllocationChanged {
+                                job: job.spec.id.0,
+                                gpu_type: None,
+                                gpus: 0,
+                                reason: AllocReason::Completed,
+                                restart: false,
+                            },
+                        );
+                    } else {
+                        job.work_done += jittered * usable;
+                        job.advance_checkpoint();
+                    }
+                    self.sim
+                        .executor_report(job, gpus, gpu_type, &point, &mut self.rng);
+                }
+            }
+            if paid_restart > 0.0 && usable > 0.0 {
+                self.rec.record(
+                    now + paid_restart,
+                    TraceEvent::RestartFinished { job: job.spec.id.0 },
+                );
+            }
+            job.gpu_seconds += gpus as f64 * consumed;
+            if job.finished() {
+                job.placement = Placement::empty();
+            }
+        }
+        drop(execute_span);
+        sia_telemetry::counter("engine.failures").add(round_failures);
+
+        self.now += round;
+        RoundOutcome {
+            time: now,
+            admitted,
+            completed,
+            allocations,
+            changed,
+        }
+    }
+
+    /// Steps rounds until virtual time reaches `t` (replay pacing for a
+    /// command stream: execute everything due strictly before the next
+    /// command's timestamp). The horizon is not enforced here — a daemon
+    /// keeps serving past it; batch-equivalent termination is
+    /// [`SimDriver::run_to_idle`].
+    pub fn step_until(&mut self, t: f64, sched: &mut dyn Scheduler) -> Vec<RoundOutcome> {
+        let mut out = Vec::new();
+        while self.now < t {
+            out.push(self.step_round(sched));
+        }
+        out
+    }
+
+    /// Runs until the engine's own termination condition: no active jobs
+    /// and nothing pending, or the horizon reached — the exact break logic
+    /// of [`Simulator::run_round`], so a driver pre-loaded with a whole
+    /// trace reproduces the batch run round for round.
+    pub fn run_to_idle(&mut self, sched: &mut dyn Scheduler) -> Vec<RoundOutcome> {
+        let mut out = Vec::new();
+        loop {
+            let admitted = self.admit_due();
+            let has_active = self.jobs.iter().any(|j| !j.finished());
+            if !has_active && self.pending.is_empty() {
+                break;
+            }
+            if self.now >= self.horizon {
+                break;
+            }
+            let mut o = self.step_round(sched);
+            // `step_round` re-scans the queue but everything due was just
+            // admitted above; surface those ids on this round's outcome.
+            o.admitted = admitted.into_iter().chain(o.admitted).collect();
+            out.push(o);
+        }
+        out
+    }
+
+    /// Finalizes the run into a [`SimResult`], consuming the driver. The
+    /// scheduler is only consulted for its display name.
+    pub fn finish(self, sched: &dyn Scheduler) -> SimResult {
+        assemble_result(
+            sched.name(),
+            &self.jobs,
+            self.rounds,
+            self.makespan,
+            self.rec.into_trace(),
+            self.audit.into_stream(),
+        )
+    }
+
+    /// Re-attaches a flight-recorder spill file (snapshots never carry open
+    /// file handles; a restored daemon opts back in here).
+    pub fn attach_trace_spill(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.rec.attach_spill(path)
+    }
+
+    /// Re-attaches an audit-recorder spill file, same contract as
+    /// [`SimDriver::attach_trace_spill`].
+    pub fn attach_audit_spill(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.audit.attach_spill(path)
+    }
+
+    /// Serializes the complete driver state — RNG, capacity view, per-job
+    /// truth-independent state (estimators included), pending queue, both
+    /// recorder rings and the scheduler's durable state — into one JSON
+    /// value. [`SimDriver::restore`] rebuilds a driver that emits exactly
+    /// the records and RNG draws the original would have emitted next.
+    ///
+    /// The per-round log ([`SimResult::rounds`]) is deliberately not
+    /// captured: it is reporting output, not evolution state, and a
+    /// restored daemon's result only carries post-restore rounds.
+    pub fn snapshot(&self, sched: &dyn Scheduler) -> Value {
+        let (key, counter, buf, idx) = self.rng.export_state();
+        json!({
+            "version": SNAPSHOT_STATE_VERSION,
+            "now": self.now,
+            "makespan": self.makespan,
+            "audit_round": bits(self.audit_round),
+            "round_duration": self.round,
+            "spec": self.sim.spec.to_json(),
+            "config": config_to_json(&self.sim.cfg),
+            "rng": json!({
+                "key": key.to_vec(),
+                "counter": bits(counter),
+                "buf": buf.iter().map(|&w| bits(w)).collect::<Vec<Value>>(),
+                "idx": idx,
+            }),
+            "cluster": self.view.to_json(),
+            "jobs": self.jobs.iter().map(job_to_json).collect::<Vec<Value>>(),
+            "pending": self.pending.iter().map(ToJson::to_json).collect::<Vec<Value>>(),
+            "trace_recorder": self.rec.export_state(),
+            "audit_recorder": self.audit.export_state(),
+            "scheduler": sched.export_state().unwrap_or(Value::Null),
+        })
+    }
+
+    /// Rebuilds a driver from a [`SimDriver::snapshot`] payload, feeding
+    /// the captured policy state into `sched` via
+    /// [`Scheduler::import_state`]. Spill files are not re-attached (see
+    /// [`SimDriver::attach_trace_spill`]). Fails on a version mismatch, a
+    /// malformed payload, or a scheduler whose round duration disagrees
+    /// with the snapshot.
+    pub fn restore(payload: &Value, sched: &mut dyn Scheduler) -> Result<Self, String> {
+        let version = payload
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or("snapshot: missing version")?;
+        if version != SNAPSHOT_STATE_VERSION {
+            return Err(format!(
+                "snapshot: state version {version} unsupported (expected {SNAPSHOT_STATE_VERSION})"
+            ));
+        }
+        let round = req_f64(payload, "round_duration")?;
+        if round != sched.round_duration() {
+            return Err(format!(
+                "snapshot: round duration {round}s does not match the scheduler's {}s",
+                sched.round_duration()
+            ));
+        }
+        let spec = ClusterSpec::from_json(payload.get("spec").ok_or("snapshot: missing spec")?)
+            .map_err(|e| format!("snapshot: bad spec: {e}"))?;
+        let cfg = config_from_json(payload.get("config").ok_or("snapshot: missing config")?)?;
+        let view =
+            ClusterView::from_json(payload.get("cluster").ok_or("snapshot: missing cluster")?)
+                .map_err(|e| format!("snapshot: bad cluster view: {e}"))?;
+        let rng = rng_from_json(payload.get("rng").ok_or("snapshot: missing rng")?)?;
+        let sim = Simulator {
+            spec,
+            trace: Vec::new(),
+            cfg,
+        };
+        let jobs = payload
+            .get("jobs")
+            .and_then(Value::as_array)
+            .ok_or("snapshot: missing jobs")?
+            .iter()
+            .map(|v| job_from_json(v, &sim.spec))
+            .collect::<Result<Vec<JobState>, String>>()?;
+        let pending = payload
+            .get("pending")
+            .and_then(Value::as_array)
+            .ok_or("snapshot: missing pending")?
+            .iter()
+            .map(|v| JobSpec::from_json(v).map_err(|e| format!("snapshot: bad pending job: {e}")))
+            .collect::<Result<VecDeque<JobSpec>, String>>()?;
+        let rec = FlightRecorder::from_state(
+            payload
+                .get("trace_recorder")
+                .ok_or("snapshot: missing trace recorder")?,
+        )
+        .map_err(|e| format!("snapshot: bad trace recorder: {e}"))?;
+        let audit = AuditRecorder::from_state(
+            payload
+                .get("audit_recorder")
+                .ok_or("snapshot: missing audit recorder")?,
+        )
+        .map_err(|e| format!("snapshot: bad audit recorder: {e}"))?;
+        if let Some(state) = payload.get("scheduler") {
+            if !state.is_null() {
+                sched.import_state(state);
+            }
+        }
+        let horizon = sim.cfg.max_hours * 3600.0;
+        Ok(SimDriver {
+            sim,
+            jobs,
+            pending,
+            rounds: Vec::new(),
+            now: req_f64(payload, "now")?,
+            makespan: req_f64(payload, "makespan")?,
+            audit_round: req_bits(payload, "audit_round")?,
+            rng,
+            rec,
+            audit,
+            view,
+            round,
+            horizon,
+        })
+    }
+}
+
+/// Encodes a full-range `u64` as its `i64` bit pattern (the compat JSON
+/// integer is `i64`; RNG words exceed its positive range about half the
+/// time).
+fn bits(v: u64) -> Value {
+    Value::Int(v as i64)
+}
+
+/// Decodes a [`bits`]-encoded integer.
+fn unbits(v: &Value) -> Option<u64> {
+    v.as_i64().map(|i| i as u64)
+}
+
+fn req_f64(v: &Value, name: &str) -> Result<f64, String> {
+    v.get(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("snapshot: missing {name}"))
+}
+
+fn req_bits(v: &Value, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(unbits)
+        .ok_or_else(|| format!("snapshot: missing {name}"))
+}
+
+fn opt_f64(v: Option<f64>) -> Value {
+    v.map(Value::Float).unwrap_or(Value::Null)
+}
+
+fn config_to_json(cfg: &SimConfig) -> Value {
+    json!({
+        "engine": cfg.engine.label(),
+        "profiling_mode": cfg.profiling_mode.to_json(),
+        "seed": bits(cfg.seed),
+        "measurement_noise": cfg.measurement_noise,
+        "execution_noise": cfg.execution_noise,
+        "restart_jitter": cfg.restart_jitter,
+        "max_hours": cfg.max_hours,
+        "profiling_gpu_seconds": cfg.profiling_gpu_seconds,
+        "failure_rate_per_gpu_hour": cfg.failure_rate_per_gpu_hour,
+        "trace_capacity": cfg.trace_capacity,
+        "audit_capacity": cfg.audit_capacity,
+    })
+}
+
+fn config_from_json(v: &Value) -> Result<SimConfig, String> {
+    let engine = match v.get("engine").and_then(Value::as_str) {
+        Some("round") => EngineKind::Round,
+        Some("events") | None => EngineKind::Events,
+        Some(other) => return Err(format!("snapshot: unknown engine {other:?}")),
+    };
+    let profiling_mode = ProfilingMode::from_json(
+        v.get("profiling_mode")
+            .ok_or("snapshot: missing profiling_mode")?,
+    )
+    .map_err(|e| format!("snapshot: bad profiling_mode: {e}"))?;
+    let cap = |name: &str| -> Result<usize, String> {
+        let raw = v
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("snapshot: missing {name}"))?;
+        usize::try_from(raw).map_err(|_| format!("snapshot: {name} out of range"))
+    };
+    Ok(SimConfig {
+        engine,
+        profiling_mode,
+        seed: req_bits(v, "seed")?,
+        measurement_noise: req_f64(v, "measurement_noise")?,
+        execution_noise: req_f64(v, "execution_noise")?,
+        restart_jitter: req_f64(v, "restart_jitter")?,
+        max_hours: req_f64(v, "max_hours")?,
+        profiling_gpu_seconds: req_f64(v, "profiling_gpu_seconds")?,
+        failure_rate_per_gpu_hour: req_f64(v, "failure_rate_per_gpu_hour")?,
+        trace_capacity: cap("trace_capacity")?,
+        trace_spill: None,
+        audit_capacity: cap("audit_capacity")?,
+        audit_spill: None,
+        dynamics: None,
+    })
+}
+
+fn rng_from_json(v: &Value) -> Result<ChaCha8Rng, String> {
+    let key_raw = v
+        .get("key")
+        .and_then(Value::as_array)
+        .ok_or("snapshot: missing rng key")?;
+    if key_raw.len() != 8 {
+        return Err("snapshot: rng key must have 8 words".into());
+    }
+    let mut key = [0u32; 8];
+    for (slot, w) in key.iter_mut().zip(key_raw) {
+        let raw = w.as_u64().ok_or("snapshot: bad rng key word")?;
+        *slot = u32::try_from(raw).map_err(|_| "snapshot: rng key word out of range")?;
+    }
+    let counter = v
+        .get("counter")
+        .and_then(unbits)
+        .ok_or("snapshot: missing rng counter")?;
+    let buf_raw = v
+        .get("buf")
+        .and_then(Value::as_array)
+        .ok_or("snapshot: missing rng buf")?;
+    if buf_raw.len() != 8 {
+        return Err("snapshot: rng buf must have 8 words".into());
+    }
+    let mut buf = [0u64; 8];
+    for (slot, w) in buf.iter_mut().zip(buf_raw) {
+        *slot = unbits(w).ok_or("snapshot: bad rng buf word")?;
+    }
+    let idx = v
+        .get("idx")
+        .and_then(Value::as_u64)
+        .ok_or("snapshot: missing rng idx")?;
+    let idx = usize::try_from(idx).map_err(|_| "snapshot: rng idx out of range")?;
+    if idx > 8 {
+        return Err("snapshot: rng idx out of range".into());
+    }
+    Ok(ChaCha8Rng::from_state(key, counter, buf, idx))
+}
+
+fn job_to_json(j: &JobState) -> Value {
+    json!({
+        "spec": j.spec.to_json(),
+        "estimator": j.estimator.to_json(),
+        "placement": j.placement.slots.clone(),
+        "restart_remaining": j.restart_remaining,
+        "work_done": j.work_done,
+        "checkpointed_work": j.checkpointed_work,
+        "restarts": j.restarts,
+        "failures": j.failures,
+        "first_start": opt_f64(j.first_start),
+        "finish_time": opt_f64(j.finish_time),
+        "gpu_seconds": j.gpu_seconds,
+        "contention_sum": j.contention_sum,
+        "contention_rounds": bits(j.contention_rounds),
+    })
+}
+
+fn job_from_json(v: &Value, cluster: &ClusterSpec) -> Result<JobState, String> {
+    let spec = JobSpec::from_json(v.get("spec").ok_or("snapshot: job missing spec")?)
+        .map_err(|e| format!("snapshot: bad job spec: {e}"))?;
+    let estimator = JobEstimator::from_json(
+        v.get("estimator")
+            .ok_or("snapshot: job missing estimator")?,
+    )
+    .map_err(|e| format!("snapshot: bad estimator: {e}"))?;
+    let slots = v
+        .get("placement")
+        .and_then(Value::as_array)
+        .ok_or("snapshot: job missing placement")?
+        .iter()
+        .map(|s| {
+            let pair = s.as_array().filter(|a| a.len() == 2);
+            let node = pair.and_then(|a| a[0].as_u64());
+            let gpus = pair.and_then(|a| a[1].as_u64());
+            match (node, gpus) {
+                (Some(n), Some(g)) => Ok((n as usize, g as usize)),
+                _ => Err("snapshot: bad placement slot".to_string()),
+            }
+        })
+        .collect::<Result<Vec<(usize, usize)>, String>>()?;
+    let count_u32 = |name: &str| -> Result<u32, String> {
+        let raw = v
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("snapshot: job missing {name}"))?;
+        u32::try_from(raw).map_err(|_| format!("snapshot: job {name} out of range"))
+    };
+    // The hidden true model is a pure function of the spec and the cluster;
+    // re-deriving it keeps truths out of the on-disk payload entirely.
+    let truth = spec.model.profile().true_model(cluster);
+    Ok(JobState {
+        truth,
+        estimator,
+        placement: Placement::new(slots),
+        restart_remaining: req_f64(v, "restart_remaining")?,
+        work_done: req_f64(v, "work_done")?,
+        checkpointed_work: req_f64(v, "checkpointed_work")?,
+        restarts: count_u32("restarts")?,
+        failures: count_u32("failures")?,
+        first_start: v.get("first_start").and_then(Value::as_f64),
+        finish_time: v.get("finish_time").and_then(Value::as_f64),
+        gpu_seconds: req_f64(v, "gpu_seconds")?,
+        contention_sum: req_f64(v, "contention_sum")?,
+        contention_rounds: req_bits(v, "contention_rounds")?,
+        spec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::AllocationMap;
+    use sia_cluster::{Configuration, FreeGpus};
+    use sia_workloads::{Trace, TraceConfig, TraceKind};
+
+    /// Same trivial scheduler as the engine tests: one GPU per job,
+    /// first-fit, placements kept forever.
+    struct OneGpuEach;
+
+    impl Scheduler for OneGpuEach {
+        fn name(&self) -> &'static str {
+            "one-gpu-each"
+        }
+
+        fn schedule(
+            &mut self,
+            _now: f64,
+            jobs: &[JobView<'_>],
+            cluster: &ClusterView,
+        ) -> AllocationMap {
+            let spec = cluster.spec();
+            let mut free = FreeGpus::for_view(cluster);
+            let mut out = AllocationMap::new();
+            for j in jobs {
+                if !j.current.is_empty() {
+                    free.take_available(cluster, j.current);
+                    out.insert(j.id, j.current.clone());
+                    continue;
+                }
+                for t in spec.gpu_types() {
+                    if j.gpus_per_replica(spec, t) == Some(1) {
+                        if let Ok(p) = free.place(spec, &Configuration::new(1, 1, t)) {
+                            out.insert(j.id, p);
+                            break;
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn tiny_trace(n: usize) -> Trace {
+        let mut t = Trace::generate(&TraceConfig::new(TraceKind::Philly, 3));
+        t.jobs.truncate(n);
+        for j in &mut t.jobs {
+            j.work_target *= 0.02;
+        }
+        t
+    }
+
+    fn driver_run(trace: &Trace, cfg: &SimConfig) -> SimResult {
+        let mut sched = OneGpuEach;
+        let mut drv = SimDriver::new(
+            sia_cluster::ClusterSpec::heterogeneous_64(),
+            cfg.clone(),
+            &sched,
+        );
+        for j in &trace.jobs {
+            drv.submit(j.clone());
+        }
+        drv.run_to_idle(&mut sched);
+        drv.finish(&sched)
+    }
+
+    fn assert_same_run(a: &SimResult, b: &SimResult) {
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.finish_time, y.finish_time, "job {} finish", x.id);
+            assert_eq!(x.gpu_seconds, y.gpu_seconds, "job {} gpu-s", x.id);
+            assert_eq!(x.restarts, y.restarts, "job {} restarts", x.id);
+            assert_eq!(x.work_done, y.work_done, "job {} work", x.id);
+        }
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.trace.canonical_jsonl(), b.trace.canonical_jsonl());
+        assert_eq!(a.audit.canonical_jsonl(), b.audit.canonical_jsonl());
+    }
+
+    #[test]
+    fn driver_matches_both_batch_engines() {
+        let trace = tiny_trace(10);
+        for cfg in [SimConfig::default(), SimConfig::physical(7)] {
+            let spec = sia_cluster::ClusterSpec::heterogeneous_64();
+            let round = Simulator::new(
+                spec.clone(),
+                &trace,
+                SimConfig {
+                    engine: EngineKind::Round,
+                    ..cfg.clone()
+                },
+            )
+            .run(&mut OneGpuEach);
+            let events = Simulator::new(
+                spec,
+                &trace,
+                SimConfig {
+                    engine: EngineKind::Events,
+                    ..cfg.clone()
+                },
+            )
+            .run(&mut OneGpuEach);
+            let driven = driver_run(&trace, &cfg);
+            assert_eq!(driven.unfinished, 0, "workload must complete");
+            assert_same_run(&driven, &round);
+            assert_eq!(
+                driven.trace.canonical_jsonl(),
+                events.trace.canonical_jsonl(),
+                "driver vs event engine"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        // Full physical noise profile: the widest RNG surface the snapshot
+        // must capture. Snapshot mid-run — with jobs still pending — then
+        // resume through a JSON string round trip and compare against the
+        // uninterrupted run.
+        let trace = tiny_trace(8);
+        let cfg = SimConfig::physical(11);
+        let uninterrupted = driver_run(&trace, &cfg);
+
+        for cut in [1usize, 7, 23] {
+            let mut sched = OneGpuEach;
+            let mut drv = SimDriver::new(
+                sia_cluster::ClusterSpec::heterogeneous_64(),
+                cfg.clone(),
+                &sched,
+            );
+            for j in &trace.jobs {
+                drv.submit(j.clone());
+            }
+            for _ in 0..cut {
+                drv.step_round(&mut sched);
+            }
+            let payload = serde_json::to_string(&drv.snapshot(&sched)).unwrap();
+            drop(drv);
+
+            let parsed: Value = serde_json::from_str(&payload).unwrap();
+            let mut sched2 = OneGpuEach;
+            let mut resumed = SimDriver::restore(&parsed, &mut sched2).unwrap();
+            resumed.run_to_idle(&mut sched2);
+            let result = resumed.finish(&sched2);
+            assert_eq!(
+                result.trace.canonical_jsonl(),
+                uninterrupted.trace.canonical_jsonl(),
+                "restore at round {cut} diverged"
+            );
+            assert_eq!(
+                result.audit.canonical_jsonl(),
+                uninterrupted.audit.canonical_jsonl(),
+                "audit restore at round {cut} diverged"
+            );
+            assert_eq!(result.makespan, uninterrupted.makespan);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_bad_payloads() {
+        let mut sched = OneGpuEach;
+        let err = SimDriver::restore(&json!({"version": 99}), &mut sched)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("version"), "got: {err}");
+        let err = SimDriver::restore(&json!({}), &mut sched)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("version"), "got: {err}");
+    }
+
+    #[test]
+    fn cancel_pending_and_active_jobs() {
+        let trace = tiny_trace(4);
+        let mut sched = OneGpuEach;
+        let mut drv = SimDriver::new(
+            sia_cluster::ClusterSpec::heterogeneous_64(),
+            SimConfig::default(),
+            &sched,
+        );
+        for j in &trace.jobs {
+            let mut j = j.clone();
+            j.submit_time = 0.0;
+            drv.submit(j);
+        }
+        let victim = trace.jobs[1].id;
+        let queued = trace.jobs[3].id;
+        // Cancel one job before admission, one after it is running.
+        assert_eq!(drv.cancel(queued), CancelOutcome::Pending);
+        assert_eq!(drv.cancel(queued), CancelOutcome::NotFound);
+        drv.step_round(&mut sched);
+        drv.step_round(&mut sched);
+        match drv.cancel(victim) {
+            CancelOutcome::Active { gpu_seconds } => assert!(gpu_seconds > 0.0),
+            other => panic!("expected active cancel, got {other:?}"),
+        }
+        assert_eq!(drv.cancel(victim), CancelOutcome::Finished);
+        drv.run_to_idle(&mut sched);
+        let result = drv.finish(&sched);
+        assert_eq!(
+            result.records.len(),
+            3,
+            "cancelled-pending job never admitted"
+        );
+        let victim_rec = result.records.iter().find(|r| r.id == victim).unwrap();
+        assert!(victim_rec.finish_time.is_some());
+        assert!(victim_rec.work_done < victim_rec.work_target);
+        let report = result.trace.report();
+        let stats = report.jobs.iter().find(|j| j.job == victim.0).unwrap();
+        assert!(stats.cancelled.is_some());
+        assert!(stats.completed.is_none());
+        // Everyone else still completes.
+        for r in result.records.iter().filter(|r| r.id != victim) {
+            assert!(
+                r.work_done >= r.work_target * 0.999,
+                "job {} unfinished",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn idle_stepping_does_not_perturb_parity() {
+        // A daemon stepping through empty rounds before the first arrival
+        // must produce the same canonical trace as a batch run.
+        let mut trace = tiny_trace(3);
+        for j in &mut trace.jobs {
+            j.submit_time += 600.0; // ten idle rounds up front
+        }
+        let cfg = SimConfig::default();
+        let batch = Simulator::new(
+            sia_cluster::ClusterSpec::heterogeneous_64(),
+            &trace,
+            SimConfig {
+                engine: EngineKind::Round,
+                ..cfg.clone()
+            },
+        )
+        .run(&mut OneGpuEach);
+        let mut sched = OneGpuEach;
+        let mut drv = SimDriver::new(sia_cluster::ClusterSpec::heterogeneous_64(), cfg, &sched);
+        // Step a while with nothing submitted at all, then inject.
+        drv.step_until(300.0, &mut sched);
+        for j in &trace.jobs {
+            drv.submit(j.clone());
+        }
+        drv.run_to_idle(&mut sched);
+        let driven = drv.finish(&sched);
+        assert_eq!(
+            driven.trace.canonical_jsonl(),
+            batch.trace.canonical_jsonl()
+        );
+    }
+}

@@ -122,6 +122,20 @@ pub trait Scheduler {
     fn gap_tolerance(&self) -> Option<f64> {
         None
     }
+
+    /// Serializes durable policy state for a daemon snapshot (warm-start
+    /// seeds and the like). Policies whose behavior is a pure function of
+    /// the per-round inputs keep the default `None`; stateful policies
+    /// return a value that [`Scheduler::import_state`] can consume.
+    fn export_state(&self) -> Option<serde_json::Value> {
+        None
+    }
+
+    /// Restores state captured by [`Scheduler::export_state`] into a
+    /// freshly constructed policy. Implementations must tolerate a payload
+    /// from an older build losing only performance, never correctness —
+    /// derived caches are rebuilt lazily. Default: no-op.
+    fn import_state(&mut self, _state: &serde_json::Value) {}
 }
 
 #[cfg(test)]

@@ -132,6 +132,23 @@ pub enum AuditEvent {
         /// Best value among all configurations offered for this job alone.
         best_value: f64,
     },
+    /// Admission-control outcome for one submission or cancellation
+    /// (serve mode): which tenant asked, whether the request was accepted,
+    /// and the typed reason when it was not.
+    Admission {
+        /// Job id the request concerned.
+        job: u64,
+        /// Tenant that submitted the request.
+        tenant: String,
+        /// Whether the request passed admission control.
+        accepted: bool,
+        /// Typed outcome label (e.g. `accepted`, `quota-exceeded`,
+        /// `queue-full`, `invalid-spec`, `cancelled`).
+        reason: String,
+        /// Signed GPU-hours charged against the tenant's quota (negative
+        /// for a cancellation refund, 0 for rejections).
+        charge_gpu_hours: f64,
+    },
 }
 
 impl AuditEvent {
@@ -141,24 +158,26 @@ impl AuditEvent {
             AuditEvent::Meta { .. } => "meta",
             AuditEvent::Round { .. } => "round",
             AuditEvent::Decision { .. } => "decision",
+            AuditEvent::Admission { .. } => "admission",
         }
     }
 
     /// The job this event concerns, if any.
     pub fn job(&self) -> Option<u64> {
         match self {
-            AuditEvent::Decision { job, .. } => Some(*job),
+            AuditEvent::Decision { job, .. } | AuditEvent::Admission { job, .. } => Some(*job),
             AuditEvent::Meta { .. } | AuditEvent::Round { .. } => None,
         }
     }
 
     /// Canonical same-timestamp ordering class: header, then the round's
-    /// solver record, then its decisions (by job).
+    /// solver record, then its decisions (by job), then admission outcomes.
     fn rank(&self) -> u8 {
         match self {
             AuditEvent::Meta { .. } => 0,
             AuditEvent::Round { .. } => 1,
             AuditEvent::Decision { .. } => 2,
+            AuditEvent::Admission { .. } => 3,
         }
     }
 
@@ -281,6 +300,19 @@ impl AuditRecord {
                 "best_value": *best_value,
                 "regret": opt(self.ev.regret()),
             }),
+            AuditEvent::Admission {
+                job,
+                tenant,
+                accepted,
+                reason,
+                charge_gpu_hours,
+            } => json!({
+                "job": *job,
+                "tenant": tenant,
+                "accepted": *accepted,
+                "reason": reason,
+                "charge_gpu_hours": *charge_gpu_hours,
+            }),
         };
         if let Value::Object(m) = &mut v {
             m.insert("ev".into(), json!(self.ev.kind()));
@@ -356,6 +388,24 @@ impl AuditRecord {
                 chosen_value: opt_f64("chosen_value").unwrap_or(0.0),
                 best_value: opt_f64("best_value").unwrap_or(0.0),
             },
+            "admission" => AuditEvent::Admission {
+                job: req_u64("job")?,
+                tenant: v
+                    .get("tenant")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                accepted: v
+                    .get("accepted")
+                    .and_then(Value::as_bool)
+                    .ok_or("admission record missing \"accepted\"")?,
+                reason: v
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .ok_or("admission record missing \"reason\"")?
+                    .to_string(),
+                charge_gpu_hours: opt_f64("charge_gpu_hours").unwrap_or(0.0),
+            },
             other => return Err(format!("unknown record kind {other:?}")),
         };
         Ok(AuditRecord { t, seq, ev })
@@ -409,6 +459,65 @@ impl AuditRecorder {
             w: BufWriter::new(file),
         });
         Ok(rec)
+    }
+
+    /// Attaches a full-fidelity JSONL spill file (truncating `path`) to an
+    /// existing recorder — e.g. one restored from a snapshot. Only records
+    /// emitted from this point onward land in the file.
+    pub fn attach_spill(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        self.spill = Some(Spill {
+            w: BufWriter::new(file),
+        });
+        Ok(())
+    }
+
+    /// Serializes the recorder state — ring contents, sequence counter,
+    /// drop count and capacity — for a daemon snapshot. The spill sink is
+    /// not part of the state; re-attach one after restoring.
+    pub fn export_state(&self) -> Value {
+        json!({
+            "capacity": self.capacity as u64,
+            "seq": self.seq,
+            "dropped": self.dropped,
+            "records": self.ring.iter().map(AuditRecord::to_value).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Rebuilds a recorder from [`AuditRecorder::export_state`] output.
+    /// The restored recorder continues the sequence exactly where the
+    /// exported one stopped; no spill is attached.
+    pub fn from_state(v: &Value) -> Result<Self, String> {
+        let capacity = v
+            .get("capacity")
+            .and_then(Value::as_u64)
+            .ok_or("recorder state missing \"capacity\"")? as usize;
+        let seq = v
+            .get("seq")
+            .and_then(Value::as_u64)
+            .ok_or("recorder state missing \"seq\"")?;
+        let dropped = v
+            .get("dropped")
+            .and_then(Value::as_u64)
+            .ok_or("recorder state missing \"dropped\"")?;
+        let mut ring = VecDeque::new();
+        for rv in v
+            .get("records")
+            .and_then(Value::as_array)
+            .ok_or("recorder state missing \"records\"")?
+        {
+            ring.push_back(AuditRecord::from_value(rv)?);
+        }
+        if ring.len() > capacity {
+            return Err("recorder state holds more records than its capacity".into());
+        }
+        Ok(AuditRecorder {
+            ring,
+            capacity,
+            seq,
+            dropped,
+            spill: None,
+        })
     }
 
     /// Records one event at simulated time `t_sim`.
@@ -550,6 +659,8 @@ impl AuditStream {
         let mut jobs: BTreeMap<u64, JobRegret> = BTreeMap::new();
         let mut decisions = 0u64;
         let mut total_regret = 0.0;
+        let mut admission_requests = 0u64;
+        let mut admission_rejections = 0u64;
 
         for r in &self.records {
             match &r.ev {
@@ -611,6 +722,12 @@ impl AuditStream {
                         entry.fallback_decisions += 1;
                     }
                 }
+                AuditEvent::Admission { accepted, .. } => {
+                    admission_requests += 1;
+                    if !accepted {
+                        admission_rejections += 1;
+                    }
+                }
             }
         }
 
@@ -637,6 +754,8 @@ impl AuditStream {
             total_pruned,
             decisions,
             total_regret,
+            admission_requests,
+            admission_rejections,
             jobs: jobs.into_values().collect(),
             dropped: self.dropped,
         }
@@ -723,6 +842,10 @@ pub struct AuditReport {
     pub decisions: u64,
     /// Sum of regret across all decisions.
     pub total_regret: f64,
+    /// Admission records observed (serve mode; 0 for batch runs).
+    pub admission_requests: u64,
+    /// Admission records that rejected the request.
+    pub admission_rejections: u64,
     /// Per-job regret table, sorted by job id.
     pub jobs: Vec<JobRegret>,
     /// Ring-buffer drops in the source stream (the report is partial if
@@ -930,6 +1053,83 @@ mod tests {
         let stream = rec.into_stream();
         assert_eq!(stream.dropped, 3);
         assert_eq!(stream.records[1].seq, 4);
+    }
+
+    #[test]
+    fn admission_round_trips_and_reports() {
+        let mut rec = AuditRecorder::new(64);
+        rec.record(
+            0.0,
+            AuditEvent::Admission {
+                job: 5,
+                tenant: "acme".into(),
+                accepted: true,
+                reason: "accepted".into(),
+                charge_gpu_hours: 12.5,
+            },
+        );
+        rec.record(
+            0.0,
+            AuditEvent::Admission {
+                job: 6,
+                tenant: "zero".into(),
+                accepted: false,
+                reason: "quota-exceeded".into(),
+                charge_gpu_hours: 0.0,
+            },
+        );
+        let stream = rec.into_stream();
+        let parsed = AuditStream::parse_jsonl(&stream.to_jsonl()).unwrap();
+        assert_eq!(parsed.records, stream.records);
+        let report = stream.report();
+        assert_eq!(report.admission_requests, 2);
+        assert_eq!(report.admission_rejections, 1);
+    }
+
+    #[test]
+    fn recorder_state_round_trips_and_resumes_sequence() {
+        let mut rec = AuditRecorder::new(8);
+        rec.record(
+            0.0,
+            AuditEvent::Meta {
+                scheduler: "sia".into(),
+                round_duration: 60.0,
+                gap_tolerance: 1e-9,
+            },
+        );
+        rec.record(
+            0.0,
+            AuditEvent::Admission {
+                job: 1,
+                tenant: "acme".into(),
+                accepted: true,
+                reason: "accepted".into(),
+                charge_gpu_hours: 2.0,
+            },
+        );
+        let state = rec.export_state();
+        let mut back = AuditRecorder::from_state(&state).unwrap();
+        rec.record(
+            60.0,
+            AuditEvent::Admission {
+                job: 1,
+                tenant: "acme".into(),
+                accepted: true,
+                reason: "cancelled".into(),
+                charge_gpu_hours: -2.0,
+            },
+        );
+        back.record(
+            60.0,
+            AuditEvent::Admission {
+                job: 1,
+                tenant: "acme".into(),
+                accepted: true,
+                reason: "cancelled".into(),
+                charge_gpu_hours: -2.0,
+            },
+        );
+        assert_eq!(rec.into_stream(), back.into_stream());
     }
 
     #[test]

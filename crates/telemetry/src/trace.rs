@@ -87,6 +87,9 @@ pub enum AllocReason {
     /// The job's nodes left the cluster (abrupt kill or expired drain
     /// grace window): the engine evicted it, not a scheduling decision.
     CapacityLost,
+    /// A client cancelled the job (serve mode): the release was requested,
+    /// not decided by the scheduler or caused by completion.
+    Cancelled,
 }
 
 impl AllocReason {
@@ -101,6 +104,7 @@ impl AllocReason {
             AllocReason::Completed => "completed",
             AllocReason::IlpInfeasibleFallback => "ilp-infeasible-fallback",
             AllocReason::CapacityLost => "capacity-lost",
+            AllocReason::Cancelled => "cancelled",
         }
     }
 
@@ -115,6 +119,7 @@ impl AllocReason {
             "completed" => AllocReason::Completed,
             "ilp-infeasible-fallback" => AllocReason::IlpInfeasibleFallback,
             "capacity-lost" => AllocReason::CapacityLost,
+            "cancelled" => AllocReason::Cancelled,
             _ => return None,
         })
     }
@@ -186,6 +191,11 @@ pub enum TraceEvent {
         /// Job id.
         job: u64,
     },
+    /// A client cancelled the job before it completed (serve mode).
+    JobCancelled {
+        /// Job id.
+        job: u64,
+    },
     /// A scheduling round ran (only rounds with at least one active job).
     RoundScheduled {
         /// Jobs wanting resources this round.
@@ -251,6 +261,7 @@ impl TraceEvent {
             TraceEvent::RestartFinished { .. } => "restart_finished",
             TraceEvent::JobFailed { .. } => "failed",
             TraceEvent::JobCompleted { .. } => "completed",
+            TraceEvent::JobCancelled { .. } => "cancelled",
             TraceEvent::RoundScheduled { .. } => "round",
             TraceEvent::CapacityAdded { .. } => "capacity_added",
             TraceEvent::CapacityRemoved { .. } => "capacity_removed",
@@ -268,7 +279,8 @@ impl TraceEvent {
             | TraceEvent::RestartStarted { job, .. }
             | TraceEvent::RestartFinished { job }
             | TraceEvent::JobFailed { job, .. }
-            | TraceEvent::JobCompleted { job } => Some(job),
+            | TraceEvent::JobCompleted { job }
+            | TraceEvent::JobCancelled { job } => Some(job),
             TraceEvent::Meta { .. }
             | TraceEvent::RoundScheduled { .. }
             | TraceEvent::CapacityAdded { .. }
@@ -299,6 +311,10 @@ impl TraceEvent {
             TraceEvent::CapacityRemoved { .. } => 10,
             TraceEvent::DrainStarted { .. } => 11,
             TraceEvent::NodeDegraded { .. } => 12,
+            // Cancellations are client requests delivered at a round
+            // boundary; sorting them after everything else at the same
+            // instant keeps pre-existing streams untouched.
+            TraceEvent::JobCancelled { .. } => 13,
         }
     }
 }
@@ -349,6 +365,7 @@ impl FlightRecord {
             TraceEvent::RestartFinished { job } => json!({ "job": *job }),
             TraceEvent::JobFailed { job, count } => json!({ "job": *job, "count": *count }),
             TraceEvent::JobCompleted { job } => json!({ "job": *job }),
+            TraceEvent::JobCancelled { job } => json!({ "job": *job }),
             TraceEvent::RoundScheduled {
                 contention,
                 policy_runtime,
@@ -471,6 +488,7 @@ impl FlightRecord {
                 count: v.get("count").and_then(Value::as_u64).unwrap_or(1),
             },
             "completed" => TraceEvent::JobCompleted { job: job("job")? },
+            "cancelled" => TraceEvent::JobCancelled { job: job("job")? },
             "round" => TraceEvent::RoundScheduled {
                 contention: job("contention")? as usize,
                 policy_runtime: v
@@ -553,6 +571,65 @@ impl FlightRecorder {
             w: BufWriter::new(file),
         });
         Ok(rec)
+    }
+
+    /// Attaches a full-fidelity JSONL spill file (truncating `path`) to an
+    /// existing recorder — e.g. one restored from a snapshot. Only records
+    /// emitted from this point onward land in the file.
+    pub fn attach_spill(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        self.spill = Some(Spill {
+            w: BufWriter::new(file),
+        });
+        Ok(())
+    }
+
+    /// Serializes the recorder state — ring contents, sequence counter,
+    /// drop count and capacity — for a daemon snapshot. The spill sink is
+    /// not part of the state; re-attach one after restoring.
+    pub fn export_state(&self) -> Value {
+        json!({
+            "capacity": self.capacity as u64,
+            "seq": self.seq,
+            "dropped": self.dropped,
+            "records": self.ring.iter().map(FlightRecord::to_value).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Rebuilds a recorder from [`FlightRecorder::export_state`] output.
+    /// The restored recorder continues the sequence exactly where the
+    /// exported one stopped; no spill is attached.
+    pub fn from_state(v: &Value) -> Result<Self, String> {
+        let capacity = v
+            .get("capacity")
+            .and_then(Value::as_u64)
+            .ok_or("recorder state missing \"capacity\"")? as usize;
+        let seq = v
+            .get("seq")
+            .and_then(Value::as_u64)
+            .ok_or("recorder state missing \"seq\"")?;
+        let dropped = v
+            .get("dropped")
+            .and_then(Value::as_u64)
+            .ok_or("recorder state missing \"dropped\"")?;
+        let mut ring = VecDeque::new();
+        for rv in v
+            .get("records")
+            .and_then(Value::as_array)
+            .ok_or("recorder state missing \"records\"")?
+        {
+            ring.push_back(FlightRecord::from_value(rv)?);
+        }
+        if ring.len() > capacity {
+            return Err("recorder state holds more records than its capacity".into());
+        }
+        Ok(FlightRecorder {
+            ring,
+            capacity,
+            seq,
+            dropped,
+            spill: None,
+        })
     }
 
     /// Records one event at simulated time `t_sim`.
@@ -789,6 +866,12 @@ impl FlightTrace {
                         "ts": us(r.t), "pid": 0u64, "tid": *job,
                     }));
                 }
+                TraceEvent::JobCancelled { job } => {
+                    events.push(json!({
+                        "name": "cancelled", "cat": "lifecycle", "ph": "i", "s": "t",
+                        "ts": us(r.t), "pid": 0u64, "tid": *job,
+                    }));
+                }
                 TraceEvent::RoundScheduled { contention, .. } => {
                     let mut per_type = vec![0u64; types.len().max(1)];
                     for (ty, gpus, _, _) in open.values() {
@@ -905,6 +988,7 @@ impl FlightTrace {
             submitted: 0.0,
             first_start: None,
             completed: None,
+            cancelled: None,
             restarts: 0,
             restart_overhead_s: 0.0,
             alloc_changes: 0,
@@ -947,7 +1031,7 @@ impl FlightTrace {
                     if *restart {
                         s.restarts += 1;
                     }
-                    if *reason != AllocReason::Completed {
+                    if !matches!(*reason, AllocReason::Completed | AllocReason::Cancelled) {
                         s.alloc_changes += 1;
                     }
                     if let (Some(ty), true) = (*gpu_type, *gpus > 0) {
@@ -972,6 +1056,10 @@ impl FlightTrace {
                 TraceEvent::JobCompleted { job } => {
                     let s = jobs.entry(*job).or_insert_with(|| blank(*job, n_types));
                     s.completed = Some(r.t);
+                }
+                TraceEvent::JobCancelled { job } => {
+                    let s = jobs.entry(*job).or_insert_with(|| blank(*job, n_types));
+                    s.cancelled = Some(r.t);
                 }
                 TraceEvent::RoundScheduled {
                     contention: _,
@@ -1114,6 +1202,8 @@ pub struct JobTraceStats {
     pub first_start: Option<f64>,
     /// Completion instant, if the job finished within the trace.
     pub completed: Option<f64>,
+    /// Cancellation instant, if a client cancelled the job (serve mode).
+    pub cancelled: Option<f64>,
     /// Restarts (allocation changes that preempted a running job).
     pub restarts: u64,
     /// Total checkpoint-restore seconds charged (includes the initial
@@ -1412,6 +1502,76 @@ mod tests {
             }
         }
         assert_eq!(slices, 2, "two allocation intervals for the sample job");
+    }
+
+    #[test]
+    fn recorder_state_round_trips_and_resumes_sequence() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..7 {
+            rec.record(i as f64, TraceEvent::JobAdmitted { job: i });
+        }
+        rec.record(7.0, TraceEvent::JobCancelled { job: 3 });
+        let state = rec.export_state();
+        let mut back = FlightRecorder::from_state(&state).unwrap();
+        // The restored recorder continues where the original stopped.
+        rec.record(8.0, TraceEvent::JobCompleted { job: 0 });
+        back.record(8.0, TraceEvent::JobCompleted { job: 0 });
+        let (a, b) = (rec.into_trace(), back.into_trace());
+        assert_eq!(a, b);
+        assert_eq!(a.dropped, 5);
+        assert_eq!(a.records.last().unwrap().seq, 8);
+    }
+
+    #[test]
+    fn cancelled_round_trips_and_reports() {
+        let mut rec = FlightRecorder::new(64);
+        rec.record(
+            0.0,
+            TraceEvent::Meta {
+                gpu_types: vec!["t4".into()],
+                round_duration: 60.0,
+            },
+        );
+        rec.record(
+            0.0,
+            TraceEvent::JobSubmitted {
+                job: 1,
+                name: "j1".into(),
+                model: "bert".into(),
+            },
+        );
+        rec.record(
+            60.0,
+            TraceEvent::AllocationChanged {
+                job: 1,
+                gpu_type: Some(0),
+                gpus: 2,
+                reason: AllocReason::Started,
+                restart: false,
+            },
+        );
+        rec.record(120.0, TraceEvent::JobCancelled { job: 1 });
+        rec.record(
+            120.0,
+            TraceEvent::AllocationChanged {
+                job: 1,
+                gpu_type: None,
+                gpus: 0,
+                reason: AllocReason::Cancelled,
+                restart: false,
+            },
+        );
+        let trace = rec.into_trace();
+        let parsed = FlightTrace::parse_jsonl(&trace.to_jsonl()).unwrap();
+        assert_eq!(parsed.records, trace.records);
+        let report = trace.report();
+        let j = &report.jobs[0];
+        assert_eq!(j.cancelled, Some(120.0));
+        assert_eq!(j.completed, None);
+        assert_eq!(
+            j.alloc_changes, 1,
+            "the cancellation release is not churn, like completion"
+        );
     }
 
     #[test]

@@ -19,10 +19,12 @@
 #![forbid(unsafe_code)]
 
 pub mod job;
+pub mod stream;
 pub mod trace;
 pub mod tuning;
 pub mod zoo;
 
 pub use job::{Adaptivity, JobSpec, SizeCategory};
+pub use stream::{trace_to_stream_jsonl, StreamOptions};
 pub use trace::{reference_work_target, Trace, TraceConfig, TraceKind};
 pub use zoo::{ModelKind, ModelProfile, PipelineSpec, TrueModel};

@@ -1,0 +1,119 @@
+//! Converting a static trace into a serve-mode submission stream.
+//!
+//! `sia-serve` consumes JSONL commands; this module turns a [`Trace`]
+//! (generated or loaded from a trace file) into the equivalent stream of
+//! `submit` requests — one per job, timestamped with the job's submit
+//! time — so a daemon replaying it reproduces exactly the batch run of the
+//! same trace. `sia-cli trace-to-stream` is the command-line wrapper.
+
+use serde_json::{json, ToJson};
+
+use crate::trace::Trace;
+
+/// How [`trace_to_stream_jsonl`] shapes the submission stream.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Tenant every submission is filed under.
+    pub tenant: String,
+    /// GPU-hours charged per GPU of the job's `max_gpus` (the quota charge
+    /// scales with job size; 0.0 charges nothing).
+    pub gpu_hours_per_gpu: f64,
+    /// Append a final `shutdown` request so a replaying daemon drains and
+    /// exits cleanly.
+    pub shutdown: bool,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            tenant: "default".to_string(),
+            gpu_hours_per_gpu: 0.0,
+            shutdown: true,
+        }
+    }
+}
+
+/// Renders `trace` as a serve-mode JSONL submission script: one `submit`
+/// request per job (request id `sub-<job id>`, `at` = the job's submit
+/// time), followed by a `shutdown` request when
+/// [`StreamOptions::shutdown`] is set.
+pub fn trace_to_stream_jsonl(trace: &Trace, opts: &StreamOptions) -> String {
+    let mut out = String::new();
+    for job in &trace.jobs {
+        let line = json!({
+            "id": format!("sub-{}", job.id),
+            "cmd": "submit",
+            "at": job.submit_time,
+            "tenant": opts.tenant.clone(),
+            "gpu_hours": opts.gpu_hours_per_gpu * job.max_gpus as f64,
+            "job": job.to_json(),
+        });
+        out.push_str(&serde_json::to_string(&line).expect("stream line serialization"));
+        out.push('\n');
+    }
+    if opts.shutdown {
+        out.push_str("{\"id\":\"end\",\"cmd\":\"shutdown\"}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceConfig, TraceKind};
+    use serde_json::Value;
+
+    #[test]
+    fn stream_covers_every_job_in_submit_order() {
+        let mut trace = Trace::generate(&TraceConfig::new(TraceKind::Philly, 5));
+        trace.jobs.truncate(12);
+        let text = trace_to_stream_jsonl(
+            &trace,
+            &StreamOptions {
+                tenant: "acme".to_string(),
+                gpu_hours_per_gpu: 2.0,
+                shutdown: true,
+            },
+        );
+        let lines: Vec<Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("each line is JSON"))
+            .collect();
+        assert_eq!(lines.len(), trace.jobs.len() + 1);
+        let mut last_at = 0.0;
+        for (line, job) in lines.iter().zip(&trace.jobs) {
+            assert_eq!(
+                line.get("id").and_then(Value::as_str),
+                Some(format!("sub-{}", job.id).as_str())
+            );
+            assert_eq!(line.get("cmd").and_then(Value::as_str), Some("submit"));
+            assert_eq!(
+                line.get("at").and_then(Value::as_f64),
+                Some(job.submit_time)
+            );
+            assert_eq!(
+                line.get("gpu_hours").and_then(Value::as_f64),
+                Some(2.0 * job.max_gpus as f64)
+            );
+            assert!(job.submit_time >= last_at, "stream must be time-ordered");
+            last_at = job.submit_time;
+            // The embedded job round-trips to the exact spec.
+            use serde_json::FromJson;
+            let back = crate::JobSpec::from_json(line.get("job").unwrap()).unwrap();
+            assert_eq!(back, *job);
+        }
+        assert_eq!(
+            lines.last().unwrap().get("cmd").and_then(Value::as_str),
+            Some("shutdown")
+        );
+        // Without the shutdown marker the stream is submissions only.
+        let bare = trace_to_stream_jsonl(
+            &trace,
+            &StreamOptions {
+                shutdown: false,
+                ..StreamOptions::default()
+            },
+        );
+        assert_eq!(bare.lines().count(), trace.jobs.len());
+    }
+}

@@ -9,6 +9,14 @@
 //!         [--audit-out PATH] [--quiet]
 //! sia-cli trace-report FILE [--audit FILE] [--json] [--quiet]
 //! sia-cli audit FILE [--json] [--quiet]
+//! sia-cli serve [--cluster ...] [--policy ...] [--seed N]
+//!         [--pacing replay|wallclock] [--speed X] [--socket PATH]
+//!         [--restore FILE] [--default-quota H] [--quota TENANT=H]
+//!         [--max-pending N] [--trace-out PATH --trace-format jsonl]
+//!         [--audit-out PATH] [--quiet]
+//! sia-cli trace-to-stream [FILE] [--trace KIND] [--seed N] [--rate R]
+//!         [--jobs N] [--tenant NAME] [--gpu-hours-per-gpu H]
+//!         [--no-shutdown] [--out PATH]
 //! ```
 //!
 //! Runs one simulation and prints the summary (or JSON with `--json`).
@@ -18,8 +26,9 @@
 //! that fails to parse or references unknown GPU types exits with status 2.
 //! `--telemetry-out PATH` streams span/counter events as JSONL to PATH;
 //! `--trace-out PATH` writes the simulated-time flight-recorder stream —
-//! per-job lifecycle events — as JSONL (default) or as a Chrome trace-event
-//! document (`--trace-format chrome`, loadable in Perfetto).
+//! per-job lifecycle events — and requires an explicit `--trace-format`:
+//! `jsonl`, or `chrome` (a Chrome trace-event document loadable in
+//! Perfetto).
 //! `--audit-out PATH` writes the decision-quality audit stream — per-round
 //! solver gap/effort records plus per-job decision provenance — as JSONL.
 //! `--quiet` suppresses the human-readable summary.
@@ -32,6 +41,16 @@
 //! `sia-cli audit FILE` analyses a recorded audit stream: proven optimality
 //! gap percentiles, worst-gap rounds, warm-start hit rate and the per-job
 //! regret table.
+//!
+//! `sia-cli serve` runs the scheduling daemon: JSONL commands (`submit`,
+//! `cancel`, `query`, `snapshot`, `shutdown`) on stdin or a Unix socket,
+//! JSONL responses and lifecycle events on stdout. `--restore FILE`
+//! resumes from a snapshot written by the `snapshot` command; with
+//! `--pacing wallclock` virtual time tracks the wall clock at `--speed`
+//! virtual seconds per second. `serve` is incompatible with `--dynamics`.
+//!
+//! `sia-cli trace-to-stream` converts a static trace file (or a generated
+//! trace) into a serve-mode JSONL submission script.
 
 use sia::baselines::{GavelPolicy, PolluxPolicy, ShockwavePolicy, ThemisPolicy};
 use sia::cluster::ClusterSpec;
@@ -100,6 +119,35 @@ impl Args {
     }
 }
 
+/// Parses a `--cluster` value into a [`ClusterSpec`].
+fn parse_cluster(name: &str) -> Result<ClusterSpec, String> {
+    match name {
+        "hetero64" => Ok(ClusterSpec::heterogeneous_64()),
+        "homog64" => Ok(ClusterSpec::homogeneous_64()),
+        "physical44" => Ok(ClusterSpec::physical_44()),
+        // Fig9-style scaled heterogeneous clusters: heteroN for any
+        // multiple of 64 (hetero128 ... hetero2048).
+        other => other
+            .strip_prefix("hetero")
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|n| *n > 0 && n % 64 == 0)
+            .map(|n| ClusterSpec::heterogeneous_scaled(n / 64))
+            .ok_or_else(|| format!("unknown cluster {other}")),
+    }
+}
+
+/// Parses a `--policy` value into a scheduler.
+fn parse_policy(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    match name {
+        "sia" => Ok(Box::new(SiaPolicy::default())),
+        "pollux" => Ok(Box::new(PolluxPolicy::default())),
+        "gavel" => Ok(Box::new(GavelPolicy::default())),
+        "shockwave" => Ok(Box::new(ShockwavePolicy::default())),
+        "themis" => Ok(Box::new(ThemisPolicy::default())),
+        other => Err(format!("unknown policy {other}")),
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     // Subcommand dispatch: `sia-cli trace-report FILE [--json] [--quiet]`.
@@ -109,6 +157,14 @@ fn main() {
     // `sia-cli audit FILE [--json] [--quiet]`.
     if raw.first().map(String::as_str) == Some("audit") {
         audit_report(&raw[1..]);
+    }
+    // `sia-cli serve ...`: the long-running scheduling daemon.
+    if raw.first().map(String::as_str) == Some("serve") {
+        run_serve(&raw[1..]);
+    }
+    // `sia-cli trace-to-stream ...`: static trace -> JSONL submissions.
+    if raw.first().map(String::as_str) == Some("trace-to-stream") {
+        trace_to_stream_cmd(&raw[1..]);
     }
 
     let args = Args { argv: raw };
@@ -123,7 +179,15 @@ fn main() {
              [--telemetry-out PATH] [--trace-out PATH] \
              [--trace-format jsonl|chrome] [--audit-out PATH] [--quiet]\n\
              \x20      sia-cli trace-report FILE [--audit FILE] [--json] [--quiet]\n\
-             \x20      sia-cli audit FILE [--json] [--quiet]"
+             \x20      sia-cli audit FILE [--json] [--quiet]\n\
+             \x20      sia-cli serve [--cluster C] [--policy P] [--seed N] \
+             [--pacing replay|wallclock] [--speed X] [--socket PATH] \
+             [--restore FILE] [--default-quota H] [--quota TENANT=H] \
+             [--max-pending N] [--trace-out PATH --trace-format jsonl] \
+             [--audit-out PATH] [--quiet]\n\
+             \x20      sia-cli trace-to-stream [FILE] [--trace KIND] [--seed N] \
+             [--rate R] [--jobs N] [--tenant NAME] [--gpu-hours-per-gpu H] \
+             [--no-shutdown] [--out PATH]"
         );
         return;
     }
@@ -140,23 +204,12 @@ fn main() {
     }
     let quiet = args.flag("--quiet");
 
-    let cluster = match args.opt("--cluster").unwrap_or("hetero64") {
-        "hetero64" => ClusterSpec::heterogeneous_64(),
-        "homog64" => ClusterSpec::homogeneous_64(),
-        "physical44" => ClusterSpec::physical_44(),
-        // Fig9-style scaled heterogeneous clusters: heteroN for any
-        // multiple of 64 (hetero128 ... hetero2048).
-        other => match other
-            .strip_prefix("hetero")
-            .and_then(|n| n.parse::<usize>().ok())
-            .filter(|n| *n > 0 && n % 64 == 0)
-        {
-            Some(n) => ClusterSpec::heterogeneous_scaled(n / 64),
-            None => {
-                eprintln!("unknown cluster {other}");
-                std::process::exit(2);
-            }
-        },
+    let cluster = match parse_cluster(args.opt("--cluster").unwrap_or("hetero64")) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     };
     let kind = match args.opt("--trace").unwrap_or("philly") {
         "philly" => TraceKind::Philly,
@@ -226,6 +279,10 @@ fn main() {
         eprintln!("--trace-format requires --trace-out (see --help)");
         std::process::exit(2);
     }
+    if trace_out.is_some() && args.opt("--trace-format").is_none() {
+        eprintln!("--trace-out requires an explicit --trace-format (jsonl or chrome; see --help)");
+        std::process::exit(2);
+    }
     if let Some(path) = trace_out {
         // Fail fast on an unwritable path rather than discovering it after
         // the run (jsonl spills open inside the engine; chrome exports
@@ -254,14 +311,10 @@ fn main() {
         }
     };
 
-    let mut sched: Box<dyn Scheduler> = match policy_name.as_str() {
-        "sia" => Box::new(SiaPolicy::default()),
-        "pollux" => Box::new(PolluxPolicy::default()),
-        "gavel" => Box::new(GavelPolicy::default()),
-        "shockwave" => Box::new(ShockwavePolicy::default()),
-        "themis" => Box::new(ThemisPolicy::default()),
-        other => {
-            eprintln!("unknown policy {other}");
+    let mut sched: Box<dyn Scheduler> = match parse_policy(&policy_name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(2);
         }
     };
@@ -767,6 +820,356 @@ fn audit_report(argv: &[String]) -> ! {
             "note            : {} records were evicted from the recording ring; figures are partial",
             report.dropped
         );
+    }
+    std::process::exit(0);
+}
+
+/// Pops the value of `--name VALUE` at position `i` in `argv`, exiting 2
+/// with the usage string when it is missing.
+fn take_value(argv: &[String], i: &mut usize, name: &str, usage: &str) -> String {
+    match argv.get(*i + 1) {
+        Some(v) => {
+            *i += 1;
+            v.clone()
+        }
+        None => {
+            eprintln!("option {name} requires a value\n{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `sia-cli serve ...`: run the long-running scheduling daemon. Never
+/// returns.
+fn run_serve(argv: &[String]) -> ! {
+    const USAGE: &str = "usage: sia-cli serve [--cluster C] [--policy P] [--seed N] \
+         [--pacing replay|wallclock] [--speed X] [--socket PATH] [--restore FILE] \
+         [--default-quota H] [--quota TENANT=H] [--max-pending N] \
+         [--trace-out PATH --trace-format jsonl] [--audit-out PATH] [--quiet]";
+    use sia::serve::{serve_replay, serve_wallclock, Pacing, ServeOptions, Server};
+
+    let mut cluster_name = "hetero64".to_string();
+    let mut policy_name = "sia".to_string();
+    let mut seed: u64 = 1;
+    let mut pacing = Pacing::Replay;
+    let mut speed: f64 = 60.0;
+    let mut socket: Option<String> = None;
+    let mut restore: Option<String> = None;
+    let mut opts = ServeOptions::default();
+    let mut trace_out: Option<String> = None;
+    let mut trace_format: Option<String> = None;
+    let mut audit_out: Option<String> = None;
+    let mut quiet = false;
+
+    let fail = |msg: &str| -> ! {
+        eprintln!("{msg}\n{USAGE}");
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--cluster" => cluster_name = take_value(argv, &mut i, "--cluster", USAGE),
+            "--policy" => policy_name = take_value(argv, &mut i, "--policy", USAGE),
+            "--seed" => {
+                seed = match take_value(argv, &mut i, "--seed", USAGE).parse() {
+                    Ok(s) => s,
+                    Err(_) => fail("--seed must be an integer"),
+                }
+            }
+            "--pacing" => {
+                pacing = match take_value(argv, &mut i, "--pacing", USAGE).as_str() {
+                    "replay" => Pacing::Replay,
+                    "wallclock" => Pacing::Wallclock { speed },
+                    other => fail(&format!("unknown pacing {other}")),
+                }
+            }
+            "--speed" => {
+                speed = match take_value(argv, &mut i, "--speed", USAGE).parse::<f64>() {
+                    Ok(s) if s > 0.0 && s.is_finite() => s,
+                    _ => fail("--speed must be a positive number"),
+                };
+                if let Pacing::Wallclock { .. } = pacing {
+                    pacing = Pacing::Wallclock { speed };
+                }
+            }
+            "--socket" => socket = Some(take_value(argv, &mut i, "--socket", USAGE)),
+            "--restore" => restore = Some(take_value(argv, &mut i, "--restore", USAGE)),
+            "--default-quota" => {
+                opts.default_quota =
+                    match take_value(argv, &mut i, "--default-quota", USAGE).parse::<f64>() {
+                        Ok(q) if q >= 0.0 && q.is_finite() => Some(q),
+                        _ => fail("--default-quota must be a non-negative number"),
+                    }
+            }
+            "--quota" => {
+                let v = take_value(argv, &mut i, "--quota", USAGE);
+                let Some((tenant, hours)) = v.split_once('=') else {
+                    fail("--quota expects TENANT=GPU_HOURS");
+                };
+                match hours.parse::<f64>() {
+                    Ok(h) if h >= 0.0 && h.is_finite() => opts.quotas.push((tenant.to_string(), h)),
+                    _ => fail("--quota expects TENANT=GPU_HOURS"),
+                }
+            }
+            "--max-pending" => {
+                opts.max_pending = match take_value(argv, &mut i, "--max-pending", USAGE).parse() {
+                    Ok(n) => Some(n),
+                    Err(_) => fail("--max-pending must be an integer"),
+                }
+            }
+            "--trace-out" => trace_out = Some(take_value(argv, &mut i, "--trace-out", USAGE)),
+            "--trace-format" => {
+                trace_format = Some(take_value(argv, &mut i, "--trace-format", USAGE))
+            }
+            "--audit-out" => audit_out = Some(take_value(argv, &mut i, "--audit-out", USAGE)),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--dynamics" => {
+                eprintln!(
+                    "serve is incompatible with --dynamics (capacity scripts are batch-only)"
+                );
+                std::process::exit(2);
+            }
+            other => fail(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    // The serve trace stream is canonical JSONL only, and the format must
+    // be spelled out so scripts never depend on an implicit default.
+    match (&trace_out, trace_format.as_deref()) {
+        (None, None) | (Some(_), Some("jsonl")) => {}
+        (None, Some(_)) => fail("--trace-format requires --trace-out"),
+        (Some(_), None) => fail("--trace-out requires an explicit --trace-format jsonl"),
+        (Some(_), Some(other)) => fail(&format!("serve only writes jsonl traces (got {other})")),
+    }
+
+    let sched = match parse_policy(&policy_name) {
+        Ok(s) => s,
+        Err(e) => fail(&e),
+    };
+    let mut server = match &restore {
+        Some(path) => {
+            let payload = match sia::serve::read_snapshot(path) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("cannot restore from {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match Server::restore(&payload, sched, &opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot restore from {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            let cluster = match parse_cluster(&cluster_name) {
+                Ok(c) => c,
+                Err(e) => fail(&e),
+            };
+            let cfg = SimConfig {
+                engine: EngineKind::Round,
+                seed,
+                ..SimConfig::default()
+            };
+            Server::new(cluster, cfg, sched, &opts)
+        }
+    };
+
+    if !quiet {
+        eprintln!(
+            "serve: {} on {}, {} pacing{}",
+            policy_name,
+            cluster_name,
+            if matches!(pacing, Pacing::Replay) {
+                "replay"
+            } else {
+                "wallclock"
+            },
+            restore
+                .as_deref()
+                .map(|p| format!(", restored from {p}"))
+                .unwrap_or_default()
+        );
+    }
+    let served = match &socket {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                sia::serve::server::serve_unix(&mut server, std::path::Path::new(path), pacing)
+            }
+            #[cfg(not(unix))]
+            {
+                eprintln!("--socket {path} is only supported on Unix");
+                std::process::exit(2);
+            }
+        }
+        None => {
+            let input = std::io::BufReader::new(std::io::stdin());
+            let mut out = std::io::stdout();
+            match pacing {
+                Pacing::Replay => serve_replay(&mut server, input, &mut out),
+                Pacing::Wallclock { speed } => serve_wallclock(&mut server, input, &mut out, speed),
+            }
+        }
+    };
+    let clean = match served {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve: io error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !clean {
+        if !quiet {
+            eprintln!(
+                "serve: stream ended without shutdown; run not finalized \
+                 (state survives only through snapshots)"
+            );
+        }
+        std::process::exit(0);
+    }
+    let result = server.into_result();
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, result.trace.canonical_jsonl()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &audit_out {
+        if let Err(e) = std::fs::write(path, result.audit.canonical_jsonl()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !quiet {
+        let s = summarize(&result);
+        eprintln!(
+            "serve: drained at t={:.0}s — {} jobs, {} unfinished, avg JCT {:.2} h",
+            result.makespan,
+            result.records.len(),
+            s.unfinished,
+            s.avg_jct_hours
+        );
+    }
+    std::process::exit(0);
+}
+
+/// `sia-cli trace-to-stream [FILE] ...`: convert a static trace file (or a
+/// freshly generated trace) into a serve-mode JSONL submission script.
+/// Never returns.
+fn trace_to_stream_cmd(argv: &[String]) -> ! {
+    const USAGE: &str =
+        "usage: sia-cli trace-to-stream [FILE] [--trace philly|helios|newtrace|physical] \
+         [--seed N] [--rate JOBS/HR] [--jobs N] [--tenant NAME] \
+         [--gpu-hours-per-gpu H] [--no-shutdown] [--out PATH]";
+    use sia::workloads::{trace_to_stream_jsonl, StreamOptions};
+
+    let fail = |msg: &str| -> ! {
+        eprintln!("{msg}\n{USAGE}");
+        std::process::exit(2);
+    };
+    let mut file: Option<String> = None;
+    let mut kind: Option<String> = None;
+    let mut seed: u64 = 1;
+    let mut rate: Option<f64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut out_path: Option<String> = None;
+    let mut stream_opts = StreamOptions::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--trace" => kind = Some(take_value(argv, &mut i, "--trace", USAGE)),
+            "--seed" => {
+                seed = match take_value(argv, &mut i, "--seed", USAGE).parse() {
+                    Ok(s) => s,
+                    Err(_) => fail("--seed must be an integer"),
+                }
+            }
+            "--rate" => {
+                rate = match take_value(argv, &mut i, "--rate", USAGE).parse::<f64>() {
+                    Ok(r) if r > 0.0 && r.is_finite() => Some(r),
+                    _ => fail("--rate must be a positive number"),
+                }
+            }
+            "--jobs" => {
+                jobs = match take_value(argv, &mut i, "--jobs", USAGE).parse() {
+                    Ok(n) => Some(n),
+                    Err(_) => fail("--jobs must be an integer"),
+                }
+            }
+            "--tenant" => stream_opts.tenant = take_value(argv, &mut i, "--tenant", USAGE),
+            "--gpu-hours-per-gpu" => {
+                stream_opts.gpu_hours_per_gpu =
+                    match take_value(argv, &mut i, "--gpu-hours-per-gpu", USAGE).parse::<f64>() {
+                        Ok(h) if h >= 0.0 && h.is_finite() => h,
+                        _ => fail("--gpu-hours-per-gpu must be a non-negative number"),
+                    }
+            }
+            "--no-shutdown" => stream_opts.shutdown = false,
+            "--out" => out_path = Some(take_value(argv, &mut i, "--out", USAGE)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => fail(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if file.is_some() && kind.is_some() {
+        fail("FILE and --trace are mutually exclusive (convert a file or generate a trace)");
+    }
+    let mut trace = match &file {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match Trace::from_json(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{path}: not a trace file: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            let kind = match kind.as_deref().unwrap_or("philly") {
+                "philly" => TraceKind::Philly,
+                "helios" => TraceKind::Helios,
+                "newtrace" => TraceKind::NewTrace,
+                "physical" => TraceKind::Physical,
+                other => fail(&format!("unknown trace {other}")),
+            };
+            let mut tcfg = TraceConfig::new(kind, seed).with_max_gpus_cap(16);
+            if let Some(r) = rate {
+                tcfg = tcfg.with_rate(r);
+            }
+            Trace::generate(&tcfg)
+        }
+    };
+    if let Some(n) = jobs {
+        trace.jobs.truncate(n);
+    }
+    let text = trace_to_stream_jsonl(&trace, &stream_opts);
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} request(s) to {path}", text.lines().count());
+        }
+        None => print!("{text}"),
     }
     std::process::exit(0);
 }

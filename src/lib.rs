@@ -19,6 +19,8 @@
 //! * [`dynamics`] — scripted and stochastic cluster-capacity dynamics
 //!   (elastic add/remove, drains, failures, stragglers).
 //! * [`telemetry`] — span timers, counters/gauges/histograms, JSONL sink.
+//! * [`serve`] — the long-running scheduling daemon (JSONL command
+//!   stream, admission control, snapshot/restore).
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@ pub use sia_dynamics as dynamics;
 pub use sia_events as events;
 pub use sia_metrics as metrics;
 pub use sia_models as models;
+pub use sia_serve as serve;
 pub use sia_sim as sim;
 pub use sia_solver as solver;
 pub use sia_telemetry as telemetry;

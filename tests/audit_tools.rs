@@ -295,6 +295,8 @@ fn cli_trace_report_audit_sidebar() {
             "--quiet",
             "--trace-out",
             trace_path.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
             "--audit-out",
             audit_path.to_str().unwrap(),
         ])

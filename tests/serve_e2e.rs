@@ -1,0 +1,319 @@
+//! End-to-end tests for the `sia-serve` daemon and its CLI surface:
+//! replay parity with the batch engine, snapshot/kill/restore losslessness
+//! through the real binary, the `trace-to-stream` converter, and the
+//! mutually-exclusive-flag exit codes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use serde_json::Value;
+use sia::cluster::ClusterSpec;
+use sia::core::SiaPolicy;
+use sia::sim::{EngineKind, SimConfig, Simulator};
+use sia::workloads::{trace_to_stream_jsonl, StreamOptions, Trace, TraceConfig, TraceKind};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sia-cli"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sia_serve_e2e_{}_{name}", std::process::id()))
+}
+
+fn small_trace(n: usize) -> Trace {
+    let mut trace = Trace::generate(&TraceConfig::new(TraceKind::Philly, 5).with_max_gpus_cap(16));
+    trace.jobs.truncate(n);
+    for j in &mut trace.jobs {
+        j.work_target *= 0.1;
+    }
+    trace
+}
+
+/// Runs `sia-cli serve` with `lines` on stdin and returns (status, stdout).
+fn serve_with_input(args: &[&str], lines: &str) -> (std::process::ExitStatus, String) {
+    let mut child = cli()
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sia-cli serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(lines.as_bytes())
+        .expect("write stream");
+    let out = child.wait_with_output().expect("serve run");
+    (out.status, String::from_utf8_lossy(&out.stdout).to_string())
+}
+
+#[test]
+fn serve_replay_reproduces_the_batch_trace() {
+    let trace = small_trace(10);
+    // Ground truth: the batch round engine over the identical trace,
+    // cluster, seed and config the daemon uses.
+    let batch = Simulator::new(
+        ClusterSpec::heterogeneous_64(),
+        &trace,
+        SimConfig {
+            engine: EngineKind::Round,
+            seed: 1,
+            ..SimConfig::default()
+        },
+    )
+    .run(&mut SiaPolicy::default());
+
+    let stream = trace_to_stream_jsonl(&trace, &StreamOptions::default());
+    let trace_out = tmp("parity_trace.jsonl");
+    let audit_out = tmp("parity_audit.jsonl");
+    let (status, stdout) = serve_with_input(
+        &[
+            "--seed",
+            "1",
+            "--quiet",
+            "--trace-out",
+            trace_out.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+            "--audit-out",
+            audit_out.to_str().unwrap(),
+        ],
+        &stream,
+    );
+    assert!(status.success(), "serve failed: {stdout}");
+    // Every submission was admitted and completed, tagged with its origin
+    // request id.
+    for job in &trace.jobs {
+        let id = format!("\"id\":\"sub-{}\"", job.id);
+        assert!(stdout.contains(&id), "no response tagged {id}");
+    }
+    assert!(stdout.contains("\"event\":\"shutdown\""));
+
+    let daemon_trace = std::fs::read_to_string(&trace_out).unwrap();
+    assert_eq!(
+        batch.trace.canonical_jsonl(),
+        daemon_trace,
+        "daemon flight trace must be byte-identical to the batch engine's"
+    );
+    let daemon_audit = std::fs::read_to_string(&audit_out).unwrap();
+    for line in daemon_audit.lines().take(1) {
+        assert!(line.contains("\"ev\":\"meta\""), "audit header missing");
+    }
+    // The daemon audit additionally carries admission records, so compare
+    // only that the batch audit's rounds/decisions are a subsequence.
+    let batch_rounds = batch
+        .audit
+        .canonical_jsonl()
+        .lines()
+        .filter(|l| l.contains("\"ev\":\"round\""))
+        .count();
+    let daemon_rounds = daemon_audit
+        .lines()
+        .filter(|l| l.contains("\"ev\":\"round\""))
+        .count();
+    assert_eq!(batch_rounds, daemon_rounds);
+    std::fs::remove_file(&trace_out).ok();
+    std::fs::remove_file(&audit_out).ok();
+}
+
+#[test]
+fn serve_snapshot_kill_restore_is_lossless_through_the_cli() {
+    let trace = small_trace(8);
+    let stream = trace_to_stream_jsonl(&trace, &StreamOptions::default());
+    let lines: Vec<&str> = stream.lines().collect();
+    let cut = 4;
+
+    // Uninterrupted run.
+    let full_trace = tmp("full_trace.jsonl");
+    let (status, _) = serve_with_input(
+        &[
+            "--seed",
+            "7",
+            "--quiet",
+            "--trace-out",
+            full_trace.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+        ],
+        &stream,
+    );
+    assert!(status.success());
+
+    // Interrupted run: first half, then a snapshot, then EOF (the kill).
+    let snap = tmp("mid.snap");
+    let cut_at = serde_json::from_str::<Value>(lines[cut - 1])
+        .unwrap()
+        .get("at")
+        .and_then(Value::as_f64)
+        .unwrap();
+    let mut first_half = lines[..cut].join("\n");
+    first_half.push_str(&format!(
+        "\n{{\"id\":\"snap\",\"cmd\":\"snapshot\",\"at\":{},\"path\":{:?}}}\n",
+        cut_at,
+        snap.to_str().unwrap()
+    ));
+    let (status, stdout) = serve_with_input(&["--seed", "7", "--quiet"], &first_half);
+    assert!(status.success());
+    assert!(
+        stdout.contains("\"event\":\"snapshot\""),
+        "snapshot not acknowledged: {stdout}"
+    );
+
+    // Restored run finishes the stream; its trace must be byte-identical
+    // to the uninterrupted one.
+    let resumed_trace = tmp("resumed_trace.jsonl");
+    let rest = lines[cut..].join("\n");
+    let (status, _) = serve_with_input(
+        &[
+            "--restore",
+            snap.to_str().unwrap(),
+            "--quiet",
+            "--trace-out",
+            resumed_trace.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+        ],
+        &rest,
+    );
+    assert!(status.success());
+    assert_eq!(
+        std::fs::read_to_string(&full_trace).unwrap(),
+        std::fs::read_to_string(&resumed_trace).unwrap(),
+        "snapshot/kill/restore must not perturb the flight trace"
+    );
+
+    // A corrupted snapshot is refused up front with exit 2.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&snap, &bytes).unwrap();
+    let out = cli()
+        .args(["serve", "--restore", snap.to_str().unwrap()])
+        .stdin(Stdio::null())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot restore"));
+
+    std::fs::remove_file(&full_trace).ok();
+    std::fs::remove_file(&resumed_trace).ok();
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn serve_wallclock_pacing_drains_and_exits() {
+    let trace = small_trace(3);
+    let stream = trace_to_stream_jsonl(&trace, &StreamOptions::default());
+    // Fast virtual clock so the drain completes in well under a second of
+    // wall time.
+    let (status, stdout) = serve_with_input(
+        &["--pacing", "wallclock", "--speed", "1000000", "--quiet"],
+        &stream,
+    );
+    assert!(status.success());
+    assert!(stdout.contains("\"event\":\"shutdown\""), "got: {stdout}");
+}
+
+#[test]
+fn cli_exclusive_flags_exit_two_with_one_line_messages() {
+    // --trace-out now requires an explicit --trace-format.
+    let out = cli()
+        .args(["--trace-out", "/tmp/t.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(stderr.lines().count(), 1, "one-line message, got: {stderr}");
+    assert!(stderr.contains("--trace-out requires an explicit --trace-format"));
+
+    // serve refuses capacity dynamics outright.
+    let out = cli()
+        .args(["serve", "--dynamics", "script.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(stderr.lines().count(), 1, "one-line message, got: {stderr}");
+    assert!(stderr.contains("incompatible"));
+
+    // serve --trace-out also demands the explicit format...
+    let out = cli()
+        .args(["serve", "--trace-out", "/tmp/t.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // ...and only jsonl is a valid one for the daemon.
+    let out = cli()
+        .args([
+            "serve",
+            "--trace-out",
+            "/tmp/t.jsonl",
+            "--trace-format",
+            "chrome",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("jsonl"));
+
+    // trace-to-stream: FILE and --trace generation are mutually exclusive.
+    let out = cli()
+        .args(["trace-to-stream", "trace.json", "--trace", "philly"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
+#[test]
+fn cli_trace_to_stream_converts_files_and_generates() {
+    // File conversion round-trip.
+    let trace = small_trace(6);
+    let trace_file = tmp("trace.json");
+    std::fs::write(&trace_file, trace.to_json()).unwrap();
+    let stream_file = tmp("stream.jsonl");
+    let out = cli()
+        .args([
+            "trace-to-stream",
+            trace_file.to_str().unwrap(),
+            "--tenant",
+            "acme",
+            "--gpu-hours-per-gpu",
+            "2",
+            "--out",
+            stream_file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&stream_file).unwrap();
+    let lines: Vec<Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), trace.jobs.len() + 1);
+    assert_eq!(lines[0].get("tenant").and_then(Value::as_str), Some("acme"));
+    assert_eq!(
+        lines[0].get("gpu_hours").and_then(Value::as_f64),
+        Some(2.0 * trace.jobs[0].max_gpus as f64)
+    );
+    assert_eq!(
+        lines.last().unwrap().get("cmd").and_then(Value::as_str),
+        Some("shutdown")
+    );
+
+    // Generation mode writes straight to stdout.
+    let out = cli()
+        .args(["trace-to-stream", "--trace", "philly", "--jobs", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 5);
+
+    std::fs::remove_file(&trace_file).ok();
+    std::fs::remove_file(&stream_file).ok();
+}
