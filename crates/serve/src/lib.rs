@@ -23,14 +23,22 @@
 
 #![forbid(unsafe_code)]
 
+pub mod log;
+pub mod observe;
 pub mod protocol;
 pub mod quota;
 pub mod server;
 pub mod snapshot;
+pub mod stats;
 
+pub use log::{LogLevel, Logger};
+pub use observe::Observe;
 pub use protocol::{parse_request, Command, Request};
 pub use quota::{
     AdmissionContext, AdmissionStage, QuotaLedger, QuotaStage, Rejection, SchemaStage,
 };
 pub use server::{serve_replay, serve_wallclock, Pacing, ServeOptions, Server};
 pub use snapshot::{read_snapshot, write_snapshot, SnapshotError, SNAPSHOT_FILE_VERSION};
+#[cfg(unix)]
+pub use stats::spawn_unix;
+pub use stats::{spawn_tcp, StatsHandle};

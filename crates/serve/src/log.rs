@@ -1,0 +1,185 @@
+//! Leveled, timestamped stderr logging for the daemon.
+//!
+//! The serving loops and the CLI wrapper used ad-hoc `eprintln!` lines;
+//! this module replaces them with a tiny leveled logger so operators can
+//! turn rejection-by-rejection detail on (`--log-level debug`) or reduce
+//! a production daemon to errors only. Lines are
+//! `<RFC 3339 UTC> LEVEL message`, one per call, written to stderr.
+//! Std-only: the timestamp comes from [`SystemTime`] via a civil-date
+//! conversion, no clock crates involved.
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log verbosity, ordered: `Error < Warn < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Unrecoverable or operator-actionable failures only.
+    Error,
+    /// Suspicious but non-fatal conditions (dropped records, stalls).
+    Warn,
+    /// Lifecycle events: startup, shutdown, snapshots, listeners.
+    Info,
+    /// Per-request detail: every rejection, heartbeat, scrape.
+    Debug,
+}
+
+impl LogLevel {
+    /// Uppercase label used in log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            LogLevel::Error => "ERROR",
+            LogLevel::Warn => "WARN",
+            LogLevel::Info => "INFO",
+            LogLevel::Debug => "DEBUG",
+        }
+    }
+}
+
+impl FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" => Ok(LogLevel::Error),
+            "warn" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stderr logger filtering by [`LogLevel`]. Cheap to clone.
+#[derive(Debug, Clone, Copy)]
+pub struct Logger {
+    level: LogLevel,
+}
+
+impl Logger {
+    /// A logger emitting everything at or above `level`.
+    pub fn new(level: LogLevel) -> Self {
+        Logger { level }
+    }
+
+    /// The configured verbosity.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// True when a message at `level` would be emitted.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level <= self.level
+    }
+
+    /// Emits one line at `level` if the filter admits it.
+    pub fn log(&self, level: LogLevel, msg: impl AsRef<str>) {
+        if self.enabled(level) {
+            eprintln!("{} {} {}", utc_timestamp(), level.label(), msg.as_ref());
+        }
+    }
+
+    /// Logs at [`LogLevel::Error`].
+    pub fn error(&self, msg: impl AsRef<str>) {
+        self.log(LogLevel::Error, msg);
+    }
+
+    /// Logs at [`LogLevel::Warn`].
+    pub fn warn(&self, msg: impl AsRef<str>) {
+        self.log(LogLevel::Warn, msg);
+    }
+
+    /// Logs at [`LogLevel::Info`].
+    pub fn info(&self, msg: impl AsRef<str>) {
+        self.log(LogLevel::Info, msg);
+    }
+
+    /// Logs at [`LogLevel::Debug`].
+    pub fn debug(&self, msg: impl AsRef<str>) {
+        self.log(LogLevel::Debug, msg);
+    }
+}
+
+impl Default for Logger {
+    fn default() -> Self {
+        Logger::new(LogLevel::Info)
+    }
+}
+
+/// Current wall-clock instant as `YYYY-MM-DDTHH:MM:SS.mmmZ`.
+fn utc_timestamp() -> String {
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    format_unix(now.as_secs(), now.subsec_millis())
+}
+
+/// Formats Unix seconds + milliseconds as RFC 3339 UTC.
+fn format_unix(secs: u64, millis: u32) -> String {
+    let days = secs / 86_400;
+    let tod = secs % 86_400;
+    let (y, m, d) = civil_from_days(days as i64);
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        tod / 3600,
+        (tod % 3600) / 60,
+        tod % 60,
+    )
+}
+
+/// Days-since-epoch to (year, month, day), Howard Hinnant's civil
+/// algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(LogLevel::Error < LogLevel::Debug);
+        assert_eq!("warn".parse::<LogLevel>().unwrap(), LogLevel::Warn);
+        assert!("verbose".parse::<LogLevel>().is_err());
+        let l = Logger::new(LogLevel::Warn);
+        assert!(l.enabled(LogLevel::Error));
+        assert!(l.enabled(LogLevel::Warn));
+        assert!(!l.enabled(LogLevel::Info));
+        assert!(!l.enabled(LogLevel::Debug));
+    }
+
+    #[test]
+    fn timestamps_are_rfc3339() {
+        // 2023-03-14T01:59:26.535Z
+        assert_eq!(format_unix(1_678_759_166, 535), "2023-03-14T01:59:26.535Z");
+        // Epoch and a leap-year day.
+        assert_eq!(format_unix(0, 0), "1970-01-01T00:00:00.000Z");
+        assert_eq!(format_unix(951_782_400, 1), "2000-02-29T00:00:00.001Z");
+    }
+
+    #[test]
+    fn civil_conversion_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+}

@@ -1,0 +1,463 @@
+//! The daemon's live observability plane: typed metric families and
+//! ready/live health semantics.
+//!
+//! Recording helpers write into the process-wide
+//! [`sia_telemetry::registry::global`] exposition registry; [`Observe`] is
+//! the cloneable read side shared with the stats listener
+//! ([`crate::stats`]) and the `metrics`/`health` protocol commands. All
+//! recording is observation-only: no RNG, no trace or audit records —
+//! canonical flight/audit output of an instrumented run stays
+//! byte-identical to a bare one.
+//!
+//! The exported families (see DESIGN.md for the full table):
+//!
+//! - `sia_serve_requests_total{cmd}` / `sia_serve_request_latency_seconds{cmd}`
+//! - `sia_serve_jobs_total{state}` and `sia_serve_rejections_total{stage,reason}`
+//! - `sia_serve_admission_stage_latency_seconds{stage}`
+//! - per-tenant `sia_tenant_*` gauges, `sia_cluster_gpus{gpu_type}`
+//! - engine/solver health gauges fed from [`RoundWatch`] at scrape time
+//! - `sia_ring_dropped_records{ring}` — silent-data-loss surface
+//! - every legacy dotted metric, bridged by
+//!   [`sia_telemetry::registry::prometheus_globals`]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use serde_json::{json, Value};
+use sia_cluster::ClusterView;
+use sia_sim::RoundWatch;
+use sia_telemetry::registry::{self, latency_buckets};
+
+use crate::quota::QuotaLedger;
+
+const LATENCY_HELP: &str = "Request handling latency in seconds.";
+
+/// Increments `sia_serve_requests_total{cmd}` and records the request
+/// latency histogram. `cmd` is the protocol command label, or `invalid`
+/// for lines that failed to parse.
+pub(crate) fn record_request(cmd: &str, latency_s: f64) {
+    let reg = registry::global();
+    reg.counter(
+        "sia_serve_requests_total",
+        "Requests handled, by protocol command.",
+        &[("cmd", cmd)],
+    )
+    .incr();
+    reg.histogram(
+        "sia_serve_request_latency_seconds",
+        LATENCY_HELP,
+        &latency_buckets(),
+        &[("cmd", cmd)],
+    )
+    .observe(latency_s);
+}
+
+/// Increments `sia_serve_jobs_total{state}` for one job-lifecycle
+/// transition (`submitted`, `admitted`, `rejected`, `cancelled`).
+pub(crate) fn record_job(state: &str) {
+    registry::global()
+        .counter(
+            "sia_serve_jobs_total",
+            "Job lifecycle transitions seen by the admission pipeline.",
+            &[("state", state)],
+        )
+        .incr();
+}
+
+/// Increments the typed-rejection counter. `reason` should be the stable
+/// label ([`crate::quota::Rejection::label`]), not the detailed message,
+/// to bound label cardinality.
+pub(crate) fn record_rejection(stage: &str, reason: &str) {
+    registry::global()
+        .counter(
+            "sia_serve_rejections_total",
+            "Admission rejections, by pipeline stage and typed reason.",
+            &[("stage", stage), ("reason", reason)],
+        )
+        .incr();
+}
+
+/// Records one admission stage's check latency.
+pub(crate) fn record_stage_latency(stage: &str, latency_s: f64) {
+    registry::global()
+        .histogram(
+            "sia_serve_admission_stage_latency_seconds",
+            "Admission pipeline stage check latency in seconds.",
+            &latency_buckets(),
+            &[("stage", stage)],
+        )
+        .observe(latency_s);
+}
+
+/// Counts a successful snapshot write and stamps its wall-clock time, so
+/// scrapes can alert on snapshot age.
+pub(crate) fn record_snapshot() {
+    let reg = registry::global();
+    reg.counter(
+        "sia_serve_snapshots_total",
+        "Snapshot files written successfully.",
+        &[],
+    )
+    .incr();
+    let unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    reg.set_gauge(
+        "sia_serve_last_snapshot_unixtime_seconds",
+        "Wall-clock time of the last successful snapshot (Unix seconds).",
+        &[],
+        unix,
+    );
+}
+
+/// Counts one emitted heartbeat line.
+pub(crate) fn record_heartbeat() {
+    registry::global()
+        .counter(
+            "sia_serve_heartbeats_total",
+            "Heartbeat self-reports emitted on the response stream.",
+            &[],
+        )
+        .incr();
+}
+
+/// Counts one stats-listener scrape, by endpoint path.
+pub(crate) fn record_scrape(path: &str) {
+    registry::global()
+        .counter(
+            "sia_serve_scrapes_total",
+            "HTTP requests answered by the stats listener, by path.",
+            &[("path", path)],
+        )
+        .incr();
+}
+
+/// Pushes the server-shaped gauges: virtual time, queue depths and the
+/// ring-drop counters (exported as gauges of the monotone per-recorder
+/// drop counts — the silent-data-loss surface).
+pub(crate) fn set_server_gauges(
+    now_virtual: f64,
+    active: usize,
+    pending: usize,
+    trace_dropped: u64,
+    audit_dropped: u64,
+) {
+    let reg = registry::global();
+    reg.set_gauge(
+        "sia_serve_virtual_time_seconds",
+        "Current virtual time of the scheduling engine.",
+        &[],
+        now_virtual,
+    );
+    reg.set_gauge(
+        "sia_serve_active_jobs",
+        "Admitted, unfinished jobs.",
+        &[],
+        active as f64,
+    );
+    reg.set_gauge(
+        "sia_serve_pending_jobs",
+        "Submitted jobs waiting for admission at a round boundary.",
+        &[],
+        pending as f64,
+    );
+    let drops = "Records evicted from a bounded telemetry ring (trace or audit). \
+                 Nonzero means the in-memory stream is partial; attach a spill file.";
+    reg.set_gauge(
+        "sia_ring_dropped_records",
+        drops,
+        &[("ring", "trace")],
+        trace_dropped as f64,
+    );
+    reg.set_gauge(
+        "sia_ring_dropped_records",
+        drops,
+        &[("ring", "audit")],
+        audit_dropped as f64,
+    );
+}
+
+/// Pushes the per-tenant gauges: committed GPU-hours, quota (where one is
+/// set) and pending job counts. Pending gauges are written for the union
+/// of ledger tenants and tenants with queued jobs — a tenant whose queue
+/// just drained must be reset to 0, not left at its last nonzero value.
+pub(crate) fn set_tenant_gauges(ledger: &QuotaLedger, pending_by_tenant: &BTreeMap<String, u64>) {
+    let reg = registry::global();
+    let mut tenants: Vec<String> = ledger.tenants();
+    tenants.extend(pending_by_tenant.keys().cloned());
+    tenants.sort();
+    tenants.dedup();
+    for tenant in &tenants {
+        reg.set_gauge(
+            "sia_tenant_committed_gpu_hours",
+            "GPU-hours currently committed against the tenant's quota.",
+            &[("tenant", tenant)],
+            ledger.committed(tenant),
+        );
+        if let Some(quota) = ledger.quota(tenant) {
+            reg.set_gauge(
+                "sia_tenant_quota_gpu_hours",
+                "The tenant's GPU-hour quota.",
+                &[("tenant", tenant)],
+                quota,
+            );
+        }
+        reg.set_gauge(
+            "sia_tenant_pending_jobs",
+            "Jobs waiting for admission, by submitting tenant.",
+            &[("tenant", tenant)],
+            pending_by_tenant.get(tenant).copied().unwrap_or(0) as f64,
+        );
+    }
+}
+
+/// Incrementally adjusts one tenant's pending-jobs gauge and refreshes
+/// its quota-state gauges from the ledger. O(1) in the pending-queue
+/// depth: the per-submit path must not walk the queue. Exactness holds
+/// because between scheduling rounds the pending set only changes through
+/// admits and cancels, and every round boundary does a full recompute
+/// ([`set_tenant_gauges`]).
+pub(crate) fn bump_tenant_state(ledger: &QuotaLedger, tenant: &str, pending_delta: f64) {
+    let reg = registry::global();
+    let pending = reg.gauge(
+        "sia_tenant_pending_jobs",
+        "Jobs waiting for admission, by submitting tenant.",
+        &[("tenant", tenant)],
+    );
+    pending.set((pending.value() + pending_delta).max(0.0));
+    reg.set_gauge(
+        "sia_tenant_committed_gpu_hours",
+        "GPU-hours currently committed against the tenant's quota.",
+        &[("tenant", tenant)],
+        ledger.committed(tenant),
+    );
+    if let Some(quota) = ledger.quota(tenant) {
+        reg.set_gauge(
+            "sia_tenant_quota_gpu_hours",
+            "The tenant's GPU-hour quota.",
+            &[("tenant", tenant)],
+            quota,
+        );
+    }
+}
+
+/// Publishes the cluster's capacity shape (`sia_cluster_gpus{gpu_type}`).
+/// Called once at construction; capacity is static for a daemon.
+pub(crate) fn set_cluster_gauges(view: &ClusterView) {
+    let reg = registry::global();
+    for t in view.gpu_types() {
+        reg.set_gauge(
+            "sia_cluster_gpus",
+            "Schedulable GPUs by type.",
+            &[("gpu_type", &view.kind(t).name)],
+            view.gpus_of_type(t) as f64,
+        );
+    }
+    reg.set_gauge(
+        "sia_cluster_gpus_total",
+        "Total schedulable GPUs.",
+        &[],
+        view.total_gpus() as f64,
+    );
+}
+
+/// The read side of the observability plane: everything a stats listener
+/// thread needs to answer `GET /metrics` and `GET /healthz` without
+/// touching the (single-threaded) [`crate::Server`].
+pub struct Observe {
+    watch: RoundWatch,
+    started: Instant,
+    round_deadline_s: Option<f64>,
+    restored: bool,
+    draining: AtomicBool,
+}
+
+impl Observe {
+    /// Creates the read handle over a driver's [`RoundWatch`].
+    /// `round_deadline_s` arms the stall watchdog: a scheduling round
+    /// running longer than this many wall seconds marks the daemon
+    /// not-ready. `restored` records whether the daemon booted from a
+    /// snapshot (reported by `/healthz`).
+    pub fn new(watch: RoundWatch, round_deadline_s: Option<f64>, restored: bool) -> Self {
+        Observe {
+            watch,
+            started: Instant::now(),
+            round_deadline_s,
+            restored,
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Wall seconds since the daemon (or this restore) started.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Marks the daemon as draining (shutdown requested): `/healthz`
+    /// turns not-ready so load balancers stop sending work, while the
+    /// process stays live until the drain completes.
+    pub fn set_draining(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Rounds executed since the daemon started (or restored).
+    pub fn rounds(&self) -> u64 {
+        self.watch.rounds()
+    }
+
+    /// Wall seconds the in-flight scheduling round has been running, if
+    /// one is executing right now.
+    pub fn round_in_flight_s(&self) -> Option<f64> {
+        self.watch.in_round_for().map(|d| d.as_secs_f64())
+    }
+
+    /// True when the round-deadline watchdog tripped: a scheduling round
+    /// has been executing longer than the configured deadline.
+    pub fn stalled(&self) -> bool {
+        match (self.round_deadline_s, self.round_in_flight_s()) {
+            (Some(deadline), Some(in_flight)) => in_flight > deadline,
+            _ => false,
+        }
+    }
+
+    /// Renders the full exposition document: scrape-time gauges from the
+    /// round watch, every typed family of the global registry, then the
+    /// bridged legacy dotted metrics.
+    pub fn render_metrics(&self) -> String {
+        let reg = registry::global();
+        reg.set_gauge(
+            "sia_serve_uptime_seconds",
+            "Wall seconds since the daemon started (or restored).",
+            &[],
+            self.uptime_s(),
+        );
+        reg.set_gauge(
+            "sia_serve_round_in_flight_seconds",
+            "Wall seconds the current scheduling round has been executing (0 when idle).",
+            &[],
+            self.round_in_flight_s().unwrap_or(0.0),
+        );
+        reg.set_gauge(
+            "sia_serve_stalled",
+            "1 when a scheduling round overran the round deadline, else 0.",
+            &[],
+            if self.stalled() { 1.0 } else { 0.0 },
+        );
+        if let Some(h) = self.watch.last() {
+            reg.set_gauge(
+                "sia_solver_last_round_runtime_seconds",
+                "Wall seconds of the last scheduled round's full policy pass.",
+                &[],
+                h.policy_runtime_s,
+            );
+            reg.set_gauge(
+                "sia_solver_last_solve_seconds",
+                "Wall seconds inside the solver in the last scheduled round.",
+                &[],
+                h.solve_s,
+            );
+            if let Some(gap) = h.gap_rel {
+                reg.set_gauge(
+                    "sia_solver_last_rel_gap",
+                    "Relative optimality gap reported by the last solve.",
+                    &[],
+                    gap,
+                );
+            }
+            reg.set_gauge(
+                "sia_solver_last_bb_nodes",
+                "Branch-and-bound nodes expanded in the last solve.",
+                &[],
+                h.nodes as f64,
+            );
+            reg.set_gauge(
+                "sia_solver_last_bb_nodes_pruned",
+                "Branch-and-bound nodes pruned in the last solve.",
+                &[],
+                h.nodes_pruned as f64,
+            );
+        }
+        if let Some(ratio) = self.watch.warm_hit_ratio() {
+            reg.set_gauge(
+                "sia_solver_warm_start_hit_ratio",
+                "Fraction of scheduled rounds seeded from a warm-start incumbent.",
+                &[],
+                ratio,
+            );
+        }
+        reg.set_gauge(
+            "sia_solver_fallback_rounds",
+            "Scheduled rounds that took the greedy fallback path since start.",
+            &[],
+            self.watch.fallback_rounds() as f64,
+        );
+        format!("{}{}", reg.render(), registry::prometheus_globals())
+    }
+
+    /// Health verdict: `(ready, body)`. The daemon is always *live* once
+    /// this is callable; it is *ready* unless the stall watchdog tripped
+    /// or a drain began. The body is the `/healthz` JSON document.
+    pub fn health(&self) -> (bool, Value) {
+        let stalled = self.stalled();
+        let draining = self.draining.load(Ordering::Relaxed);
+        let ready = !stalled && !draining;
+        let body = json!({
+            "live": true,
+            "ready": ready,
+            "stalled": stalled,
+            "draining": draining,
+            "restored": self.restored,
+            "uptime_s": self.uptime_s(),
+            "rounds": self.watch.rounds(),
+            "scheduled_rounds": self.watch.scheduled_rounds(),
+            "round_in_flight_s": self
+                .round_in_flight_s()
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+        });
+        (ready, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_observe_is_ready_and_live() {
+        let obs = Observe::new(RoundWatch::default(), Some(30.0), false);
+        let (ready, body) = obs.health();
+        assert!(ready);
+        assert_eq!(body.get("live"), Some(&Value::Bool(true)));
+        assert_eq!(body.get("stalled"), Some(&Value::Bool(false)));
+        assert!(!obs.stalled());
+        assert!(obs.round_in_flight_s().is_none());
+    }
+
+    #[test]
+    fn draining_flips_ready_but_not_live() {
+        let obs = Observe::new(RoundWatch::default(), None, true);
+        obs.set_draining();
+        let (ready, body) = obs.health();
+        assert!(!ready);
+        assert_eq!(body.get("live"), Some(&Value::Bool(true)));
+        assert_eq!(body.get("draining"), Some(&Value::Bool(true)));
+        assert_eq!(body.get("restored"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn render_includes_uptime_and_bridge() {
+        sia_telemetry::counter("observe.test.bridge").incr();
+        let obs = Observe::new(RoundWatch::default(), None, false);
+        let text = obs.render_metrics();
+        assert!(
+            text.contains("# TYPE sia_serve_uptime_seconds gauge"),
+            "{text}"
+        );
+        assert!(text.contains("sia_observe_test_bridge_total"), "{text}");
+        let samples = sia_telemetry::registry::parse_exposition(&text).unwrap();
+        assert!(samples.iter().any(|s| s.name == "sia_serve_stalled"));
+    }
+}

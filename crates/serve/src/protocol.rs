@@ -66,6 +66,11 @@ pub enum Command {
     /// Drain the cluster (run every admitted job to completion) and exit
     /// cleanly.
     Shutdown,
+    /// Render the metrics registry in Prometheus text exposition format.
+    /// Read-only: executes no scheduling rounds and ignores `at`.
+    Metrics,
+    /// Report ready/live health. Read-only, like [`Command::Metrics`].
+    Health,
 }
 
 impl Command {
@@ -77,6 +82,8 @@ impl Command {
             Command::Query { .. } => "query",
             Command::Snapshot { .. } => "snapshot",
             Command::Shutdown => "shutdown",
+            Command::Metrics => "metrics",
+            Command::Health => "health",
         }
     }
 }
@@ -144,6 +151,8 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<String>, String)> {
                 .to_string(),
         },
         "shutdown" => Command::Shutdown,
+        "metrics" => Command::Metrics,
+        "health" => Command::Health,
         other => return Err(fail(format!("unknown cmd {other:?}"))),
     };
     Ok(Request { id, at, cmd })
@@ -169,6 +178,12 @@ mod tests {
 
         let r = parse_request(r#"{"id":"d","cmd":"shutdown"}"#).unwrap();
         assert!(matches!(r.cmd, Command::Shutdown));
+
+        let r = parse_request(r#"{"id":"e","cmd":"metrics"}"#).unwrap();
+        assert!(matches!(r.cmd, Command::Metrics));
+        assert_eq!(r.cmd.label(), "metrics");
+        let r = parse_request(r#"{"id":"f","cmd":"health","at":99}"#).unwrap();
+        assert!(matches!(r.cmd, Command::Health));
     }
 
     #[test]

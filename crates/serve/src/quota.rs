@@ -183,6 +183,21 @@ impl QuotaLedger {
         self.committed.get(tenant).copied().unwrap_or(0.0)
     }
 
+    /// Every tenant the ledger knows about (explicit quota or committed
+    /// hours), sorted and deduplicated — the iteration key of per-tenant
+    /// metric gauges.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .quotas
+            .keys()
+            .chain(self.committed.keys())
+            .cloned()
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// Read-only admission check: would charging `tenant` `gpu_hours`
     /// respect its quota? Returns the typed reason on refusal.
     pub fn check(&self, tenant: &str, gpu_hours: f64) -> Result<(), String> {

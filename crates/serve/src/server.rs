@@ -3,13 +3,14 @@
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use serde_json::{json, Value};
 use sia_cluster::{ClusterSpec, JobId};
 use sia_sim::{CancelOutcome, RoundOutcome, Scheduler, SimConfig, SimDriver, SimResult};
 
+use crate::observe::{self, Observe};
 use crate::protocol::{parse_request, Command};
 use crate::quota::{AdmissionContext, AdmissionStage, QuotaLedger, QuotaStage, SchemaStage};
 use crate::snapshot::write_snapshot;
@@ -40,6 +41,13 @@ pub struct ServeOptions {
     /// Upper bound on submissions waiting for admission (`None` = no
     /// bound).
     pub max_pending: Option<usize>,
+    /// Stall watchdog: a scheduling round running longer than this many
+    /// wall seconds marks the daemon not-ready on `/healthz` (`None`
+    /// disarms the watchdog).
+    pub round_deadline_s: Option<f64>,
+    /// Heartbeat interval (`None` = no heartbeats). Replay pacing reads
+    /// it as virtual seconds, wallclock pacing as wall seconds.
+    pub heartbeat_s: Option<f64>,
 }
 
 /// Origin bookkeeping for one admitted job.
@@ -73,6 +81,10 @@ pub struct Server {
     meta: BTreeMap<u64, JobMeta>,
     stats: Stats,
     done: bool,
+    observe: Arc<Observe>,
+    hb_every: Option<f64>,
+    next_hb_virtual: f64,
+    last_hb_wall: Instant,
 }
 
 impl Server {
@@ -89,6 +101,12 @@ impl Server {
         for (tenant, quota) in &opts.quotas {
             ledger.set_quota(tenant.clone(), *quota);
         }
+        let observe = Arc::new(Observe::new(
+            driver.round_watch(),
+            opts.round_deadline_s,
+            false,
+        ));
+        observe::set_cluster_gauges(driver.cluster());
         Server {
             driver,
             sched,
@@ -102,6 +120,10 @@ impl Server {
             meta: BTreeMap::new(),
             stats: Stats::default(),
             done: false,
+            observe,
+            hb_every: opts.heartbeat_s,
+            next_hb_virtual: 0.0,
+            last_hb_wall: Instant::now(),
         }
     }
 
@@ -156,6 +178,13 @@ impl Server {
                 .and_then(Value::as_u64)
                 .unwrap_or(0)
         };
+        let observe = Arc::new(Observe::new(
+            driver.round_watch(),
+            opts.round_deadline_s,
+            true,
+        ));
+        observe::set_cluster_gauges(driver.cluster());
+        let driver_now = driver.now();
         Ok(Server {
             driver,
             sched,
@@ -174,12 +203,106 @@ impl Server {
                 cancelled: stat("cancelled"),
             },
             done: false,
+            observe,
+            hb_every: opts.heartbeat_s,
+            next_hb_virtual: driver_now,
+            last_hb_wall: Instant::now(),
         })
     }
 
     /// Current virtual time, seconds.
     pub fn now(&self) -> f64 {
         self.driver.now()
+    }
+
+    /// The shared observability handle (metrics rendering, health
+    /// verdicts) a stats listener thread serves from.
+    pub fn observe(&self) -> Arc<Observe> {
+        Arc::clone(&self.observe)
+    }
+
+    /// Flight/audit ring evictions so far, `(trace, audit)` — nonzero
+    /// means in-memory history is partial (spill files keep fidelity).
+    pub fn ring_drops(&self) -> (u64, u64) {
+        (self.driver.trace_dropped(), self.driver.audit_dropped())
+    }
+
+    /// Pushes the O(1) server-owned gauges (virtual time, queue depths,
+    /// ring drops) into the exposition registry, so a scrape arriving on
+    /// the listener thread reads values at most one request old. Runs on
+    /// every request, so it must stay constant-time — the per-tenant
+    /// gauges are maintained incrementally (`observe::bump_tenant_state`
+    /// on admit/cancel) and recomputed in full only at round boundaries
+    /// and `metrics` requests ([`Server::push_tenant_gauges`]).
+    fn push_gauges(&self) {
+        observe::set_server_gauges(
+            self.driver.now(),
+            self.driver.active_count(),
+            self.driver.pending_count(),
+            self.driver.trace_dropped(),
+            self.driver.audit_dropped(),
+        );
+    }
+
+    /// Recomputes every per-tenant gauge from the ledger and the pending
+    /// queue. O(tenants + pending) — called after scheduling rounds
+    /// execute and on `metrics` requests, never on the per-submit path.
+    fn push_tenant_gauges(&self) {
+        let mut pending_by_tenant: BTreeMap<String, u64> = BTreeMap::new();
+        for id in self.driver.pending_ids() {
+            let tenant = self
+                .meta
+                .get(&id.0)
+                .map(|m| m.tenant.clone())
+                .unwrap_or_else(|| "default".to_string());
+            *pending_by_tenant.entry(tenant).or_insert(0) += 1;
+        }
+        observe::set_tenant_gauges(&self.ledger, &pending_by_tenant);
+    }
+
+    /// Builds one `"ev":"heartbeat"` self-report: uptime, virtual time,
+    /// queue depths, request counters, round/drop totals.
+    pub fn heartbeat(&self) -> Value {
+        observe::record_heartbeat();
+        let (trace_dropped, audit_dropped) = self.ring_drops();
+        json!({
+            "ev": "heartbeat",
+            "uptime_s": self.observe.uptime_s(),
+            "now": self.driver.now(),
+            "active": self.driver.active_count(),
+            "pending": self.driver.pending_count(),
+            "stats": {
+                "submitted": self.stats.submitted,
+                "admitted": self.stats.admitted,
+                "rejected": self.stats.rejected,
+                "cancelled": self.stats.cancelled,
+            },
+            "rounds": self.observe.rounds(),
+            "dropped": { "trace": trace_dropped, "audit": audit_dropped },
+        })
+    }
+
+    /// Replay-paced heartbeat check: emits once each time virtual time
+    /// crosses the configured interval (interpreted as virtual seconds).
+    pub fn maybe_heartbeat_virtual(&mut self) -> Option<Value> {
+        let every = self.hb_every?;
+        if self.driver.now() < self.next_hb_virtual {
+            return None;
+        }
+        // One beat per crossing, even after a large time jump.
+        self.next_hb_virtual = self.driver.now() + every;
+        Some(self.heartbeat())
+    }
+
+    /// Wallclock-paced heartbeat check: emits once each time the
+    /// configured interval (wall seconds) elapses.
+    pub fn maybe_heartbeat_wall(&mut self) -> Option<Value> {
+        let every = self.hb_every?;
+        if self.last_hb_wall.elapsed().as_secs_f64() < every {
+            return None;
+        }
+        self.last_hb_wall = Instant::now();
+        Some(self.heartbeat())
     }
 
     /// True after a `shutdown` command completed.
@@ -248,6 +371,9 @@ impl Server {
     /// commands).
     pub fn advance_to(&mut self, t: f64) -> Vec<Value> {
         let outs = self.driver.step_until(t, self.sched.as_mut());
+        if !outs.is_empty() {
+            self.push_tenant_gauges();
+        }
         self.events_for(&outs)
     }
 
@@ -266,6 +392,7 @@ impl Server {
         let req = match parse_request(line) {
             Ok(r) => r,
             Err((id, reason)) => {
+                observe::record_request("invalid", t0.elapsed().as_secs_f64());
                 return vec![json!({
                     "id": id.map(Value::String).unwrap_or(Value::Null),
                     "ok": false,
@@ -274,8 +401,43 @@ impl Server {
                 })];
             }
         };
+        let cmd_label = req.cmd.label();
+
+        // Observability commands are strictly read-only: they execute no
+        // scheduling rounds (so a scrape can never perturb engine parity)
+        // and answer immediately.
+        match req.cmd {
+            Command::Metrics => {
+                self.push_gauges();
+                self.push_tenant_gauges();
+                out.push(json!({
+                    "id": req.id, "ok": true, "event": "metrics",
+                    "now": self.driver.now(),
+                    "exposition": self.observe.render_metrics(),
+                }));
+                observe::record_request(cmd_label, t0.elapsed().as_secs_f64());
+                return out;
+            }
+            Command::Health => {
+                let (ready, mut body) = self.observe.health();
+                if let Value::Object(map) = &mut body {
+                    map.insert("id".to_string(), Value::String(req.id.clone()));
+                    map.insert("ok".to_string(), Value::Bool(ready));
+                    map.insert("event".to_string(), Value::String("health".to_string()));
+                    map.insert("now".to_string(), Value::Float(self.driver.now()));
+                }
+                out.push(body);
+                observe::record_request(cmd_label, t0.elapsed().as_secs_f64());
+                return out;
+            }
+            _ => {}
+        }
+
         let at = at_override.unwrap_or(req.at);
         let outs = self.driver.step_until(at, self.sched.as_mut());
+        if !outs.is_empty() {
+            self.push_tenant_gauges();
+        }
         out.extend(self.events_for(&outs));
 
         match req.cmd {
@@ -286,6 +448,7 @@ impl Server {
             } => {
                 self.stats.submitted += 1;
                 sia_telemetry::counter("serve.submitted").incr();
+                observe::record_job("submitted");
                 let ctx = AdmissionContext {
                     job: &job,
                     tenant: &tenant,
@@ -293,10 +456,12 @@ impl Server {
                     pending: self.driver.pending_count(),
                     duplicate_id: self.meta.contains_key(&job.id.0),
                 };
-                let verdict = self
-                    .stages
-                    .iter()
-                    .try_for_each(|s| s.check(&ctx, &self.ledger));
+                let verdict = self.stages.iter().try_for_each(|s| {
+                    let stage_t0 = Instant::now();
+                    let r = s.check(&ctx, &self.ledger);
+                    observe::record_stage_latency(s.name(), stage_t0.elapsed().as_secs_f64());
+                    r
+                });
                 match verdict {
                     Ok(()) => {
                         let id = job.id.0;
@@ -314,6 +479,8 @@ impl Server {
                         self.driver.submit(*job);
                         self.stats.admitted += 1;
                         sia_telemetry::counter("serve.admitted").incr();
+                        observe::record_job("admitted");
+                        observe::bump_tenant_state(&self.ledger, &tenant, 1.0);
                         out.push(json!({
                             "id": req.id, "ok": true, "event": "admitted",
                             "job": id, "tenant": tenant, "charge_gpu_hours": gpu_hours,
@@ -324,6 +491,8 @@ impl Server {
                             .record_admission(job.id.0, &tenant, false, rej.label(), 0.0);
                         self.stats.rejected += 1;
                         sia_telemetry::counter("serve.rejected").incr();
+                        observe::record_job("rejected");
+                        observe::record_rejection(rej.stage, rej.label());
                         out.push(json!({
                             "id": req.id, "ok": false, "event": "rejected",
                             "job": job.id.0, "stage": rej.stage, "reason": rej.reason,
@@ -343,6 +512,13 @@ impl Server {
                         .record_admission(job, &tenant, true, "cancelled", -charge);
                     self.stats.cancelled += 1;
                     sia_telemetry::counter("serve.cancelled").incr();
+                    observe::record_job("cancelled");
+                    let was_pending = matches!(outcome, CancelOutcome::Pending);
+                    observe::bump_tenant_state(
+                        &self.ledger,
+                        &tenant,
+                        if was_pending { -1.0 } else { 0.0 },
+                    );
                     let gpu_seconds = match outcome {
                         CancelOutcome::Active { gpu_seconds } => gpu_seconds,
                         _ => 0.0,
@@ -387,14 +563,18 @@ impl Server {
                 "rejected": self.stats.rejected, "cancelled": self.stats.cancelled,
             })),
             Command::Snapshot { path } => match write_snapshot(&path, &self.snapshot_payload()) {
-                Ok(()) => out.push(json!({
-                    "id": req.id, "ok": true, "event": "snapshot", "path": path,
-                })),
+                Ok(()) => {
+                    observe::record_snapshot();
+                    out.push(json!({
+                        "id": req.id, "ok": true, "event": "snapshot", "path": path,
+                    }));
+                }
                 Err(e) => out.push(json!({
                     "id": req.id, "ok": false, "reason": format!("snapshot-failed: {e}"),
                 })),
             },
             Command::Shutdown => {
+                self.observe.set_draining();
                 let outs = self.driver.run_to_idle(self.sched.as_mut());
                 let evs = self.events_for(&outs);
                 out.extend(evs);
@@ -404,9 +584,14 @@ impl Server {
                     "now": self.driver.now(), "unfinished": self.driver.active_count(),
                 }));
             }
+            // Answered above before any round execution.
+            Command::Metrics | Command::Health => unreachable!("read-only commands return early"),
         }
-        sia_telemetry::histogram("serve.request_latency_s").record(t0.elapsed().as_secs_f64());
+        let latency_s = t0.elapsed().as_secs_f64();
+        sia_telemetry::histogram("serve.request_latency_s").record(latency_s);
         sia_telemetry::gauge("serve.queue_depth").set(self.driver.pending_count() as f64);
+        observe::record_request(cmd_label, latency_s);
+        self.push_gauges();
         out
     }
 
@@ -471,6 +656,9 @@ pub fn serve_replay<R: BufRead, W: Write>(
         }
         let values = server.handle(&line);
         write_values(out, &values)?;
+        if let Some(hb) = server.maybe_heartbeat_virtual() {
+            write_values(out, &[hb])?;
+        }
         if server.done() {
             return Ok(true);
         }
@@ -507,6 +695,9 @@ where
         let target = start.elapsed().as_secs_f64() * speed;
         let events = server.advance_to(target);
         write_values(out, &events)?;
+        if let Some(hb) = server.maybe_heartbeat_wall() {
+            write_values(out, &[hb])?;
+        }
         // Sleep until the next round boundary is due (capped to stay
         // responsive to the command stream).
         let wait_s = ((server.now() - target) / speed).clamp(0.01, 0.5);
@@ -708,6 +899,7 @@ mod tests {
             default_quota: None,
             quotas: vec![("acme".to_string(), 2.0), ("broke".to_string(), 0.0)],
             max_pending: Some(8),
+            ..Default::default()
         };
         let mut server = new_server(&opts);
         // Everything at t=0 with real work targets: no round runs between

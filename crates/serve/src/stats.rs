@@ -1,0 +1,309 @@
+//! Read-only stats listener: `GET /metrics` and `GET /healthz` over a
+//! Unix domain socket or a loopback TCP port.
+//!
+//! The listener runs on its own thread and answers every request from the
+//! shared [`Observe`] handle — it never touches the single-threaded
+//! [`crate::Server`], so scraping cannot block or reorder command
+//! handling. Responses are minimal HTTP/1.0 with `Connection: close`;
+//! both `curl --unix-socket` and a plain `curl http://127.0.0.1:PORT`
+//! work as scrapers.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::observe::{self, Observe};
+
+/// Content type of Prometheus text exposition format 0.0.4.
+const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Largest request head (request line + headers) the listener reads.
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// A running stats listener. Dropping the handle leaves the thread
+/// serving until process exit; call [`StatsHandle::stop`] for an orderly
+/// teardown (tests do; the daemon normally just exits).
+pub struct StatsHandle {
+    /// Human-readable endpoint (socket path or `host:port`) for logs.
+    pub endpoint: String,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    unix_path: Option<PathBuf>,
+    tcp_addr: Option<std::net::SocketAddr>,
+}
+
+impl StatsHandle {
+    /// Signals the accept loop to exit, unblocks it with a dummy
+    /// connection, and joins the thread. Removes a Unix socket file.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept call is blocking; poke it so it observes the flag.
+        if let Some(addr) = self.tcp_addr {
+            let _ = std::net::TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = std::os::unix::net::UnixStream::connect(path);
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Binds a loopback-style TCP stats listener on `addr` (e.g.
+/// `127.0.0.1:9464`; port 0 picks a free port) and serves it on a new
+/// thread. The bound address is in the returned handle.
+pub fn spawn_tcp(addr: &str, observe: Arc<Observe>) -> std::io::Result<StatsHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("sia-stats-tcp".to_string())
+        .spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let _ = serve_conn(stream, &observe);
+                    }
+                    Err(_) => break,
+                }
+            }
+        })?;
+    Ok(StatsHandle {
+        endpoint: bound.to_string(),
+        stop,
+        thread: Some(thread),
+        unix_path: None,
+        tcp_addr: Some(bound),
+    })
+}
+
+/// Binds a Unix-domain stats listener at `path` (replacing any stale
+/// socket file) and serves it on a new thread.
+#[cfg(unix)]
+pub fn spawn_unix(path: &Path, observe: Arc<Observe>) -> std::io::Result<StatsHandle> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("sia-stats-unix".to_string())
+        .spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let _ = serve_conn(stream, &observe);
+                    }
+                    Err(_) => break,
+                }
+            }
+        })?;
+    Ok(StatsHandle {
+        endpoint: path.display().to_string(),
+        stop,
+        thread: Some(thread),
+        unix_path: Some(path.to_path_buf()),
+        tcp_addr: None,
+    })
+}
+
+/// Answers one connection: read the request head, dispatch on the path,
+/// write one response, close.
+fn serve_conn<S: Read + Write>(mut stream: S, observe: &Observe) -> std::io::Result<()> {
+    let head = read_request_head(&mut stream)?;
+    let path = match parse_get_path(&head) {
+        Some(p) => p,
+        None => {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                "bad request: expected GET <path> HTTP/1.x\n",
+            );
+        }
+    };
+    match path.as_str() {
+        "/metrics" => {
+            observe::record_scrape("/metrics");
+            let body = observe.render_metrics();
+            respond(&mut stream, "200 OK", EXPOSITION_CONTENT_TYPE, &body)
+        }
+        "/healthz" => {
+            observe::record_scrape("/healthz");
+            let (ready, body) = observe.health();
+            let status = if ready {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            let mut body = serde_json::to_string(&body).unwrap_or_else(|_| "{}".to_string());
+            body.push('\n');
+            respond(&mut stream, status, "application/json", &body)
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found: try /metrics or /healthz\n",
+        ),
+    }
+}
+
+/// Reads until the blank line ending the request head (or EOF, or the
+/// size cap — scrapers send tiny requests).
+fn read_request_head<S: Read>(stream: &mut S) -> std::io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Extracts the path of a `GET <path> HTTP/1.x` request line, dropping
+/// any query string.
+fn parse_get_path(head: &str) -> Option<String> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let target = parts.next()?;
+    Some(
+        target
+            .split_once('?')
+            .map(|(p, _)| p)
+            .unwrap_or(target)
+            .to_string(),
+    )
+}
+
+/// Writes one minimal HTTP/1.0 response and flushes.
+fn respond<S: Write>(
+    stream: &mut S,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_sim::RoundWatch;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    fn scrape(addr: &std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut body = String::new();
+        let mut in_body = false;
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            if in_body {
+                body.push_str(&line);
+            } else if line.trim().is_empty() {
+                in_body = true;
+            }
+            line.clear();
+        }
+        (status.trim().to_string(), body)
+    }
+
+    #[test]
+    fn tcp_listener_answers_metrics_health_and_404() {
+        let observe = Arc::new(Observe::new(RoundWatch::default(), None, false));
+        let handle = spawn_tcp("127.0.0.1:0", Arc::clone(&observe)).unwrap();
+        let addr = handle.tcp_addr.unwrap();
+
+        let (status, body) = scrape(&addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("sia_serve_uptime_seconds"), "{body}");
+        sia_telemetry::registry::parse_exposition(&body).expect("valid exposition");
+
+        let (status, body) = scrape(&addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"ready\":true"), "{body}");
+
+        let (status, _) = scrape(&addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        // Draining flips /healthz to 503 while /metrics keeps serving.
+        observe.set_draining();
+        let (status, body) = scrape(&addr, "/healthz");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("\"ready\":false"), "{body}");
+        let (status, _) = scrape(&addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+
+        handle.stop();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_listener_answers_and_cleans_up() {
+        use std::os::unix::net::UnixStream;
+        let path = std::env::temp_dir().join(format!("sia-stats-test-{}.sock", std::process::id()));
+        let observe = Arc::new(Observe::new(RoundWatch::default(), None, false));
+        let handle = spawn_unix(&path, observe).unwrap();
+
+        let mut conn = UnixStream::connect(&path).unwrap();
+        write!(conn, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        conn.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200"), "{text}");
+        assert!(text.contains("sia_serve_uptime_seconds"), "{text}");
+
+        handle.stop();
+        assert!(!path.exists(), "socket file must be removed on stop");
+    }
+
+    #[test]
+    fn parse_get_path_handles_queries_and_garbage() {
+        assert_eq!(
+            parse_get_path("GET /metrics HTTP/1.1\r\n").as_deref(),
+            Some("/metrics")
+        );
+        assert_eq!(
+            parse_get_path("GET /healthz?verbose=1 HTTP/1.0\r\n").as_deref(),
+            Some("/healthz")
+        );
+        assert!(parse_get_path("POST /metrics HTTP/1.1\r\n").is_none());
+        assert!(parse_get_path("").is_none());
+    }
+}

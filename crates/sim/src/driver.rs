@@ -17,7 +17,9 @@
 //! carries no script).
 
 use std::collections::{BTreeMap, VecDeque};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -51,6 +53,120 @@ pub struct RoundOutcome {
     pub allocations: Vec<(JobId, GpuTypeId, usize)>,
     /// Jobs whose placement changed this round, in apply order.
     pub changed: Vec<JobId>,
+}
+
+/// Point-in-time health of the most recent *scheduled* round (one where
+/// the policy actually ran), published through [`RoundWatch`].
+#[derive(Debug, Clone, Default)]
+pub struct RoundHealth {
+    /// Virtual time of the round boundary.
+    pub time: f64,
+    /// Active jobs the policy saw.
+    pub active: usize,
+    /// Jobs that ended the round with an allocation.
+    pub allocated: usize,
+    /// Wall-clock seconds the whole scheduling pass took.
+    pub policy_runtime_s: f64,
+    /// Wall-clock seconds inside the solver proper.
+    pub solve_s: f64,
+    /// Relative optimality gap, when the solver reported bounds.
+    pub gap_rel: Option<f64>,
+    /// Branch-and-bound nodes expanded.
+    pub nodes: usize,
+    /// Branch-and-bound nodes pruned.
+    pub nodes_pruned: usize,
+    /// Whether the round was seeded from a warm-start incumbent.
+    pub warm_seeded: bool,
+    /// Whether the solver fell back to the greedy path.
+    pub fallback: bool,
+}
+
+/// Cloneable, thread-safe observation hook over a driver's round loop.
+///
+/// A stats listener thread holds one clone while the serving thread owns
+/// the driver; the watch carries only runtime health — cumulative round
+/// counters, the last scheduled round's [`RoundHealth`], and an
+/// in-progress marker for stall detection. It is *not* part of snapshots:
+/// counters restart from zero on [`SimDriver::restore`], matching the
+/// uptime of the new process.
+#[derive(Clone, Default)]
+pub struct RoundWatch {
+    inner: Arc<WatchInner>,
+}
+
+#[derive(Default)]
+struct WatchInner {
+    rounds: AtomicU64,
+    scheduled_rounds: AtomicU64,
+    warm_seeded_rounds: AtomicU64,
+    fallback_rounds: AtomicU64,
+    in_round_since: Mutex<Option<Instant>>,
+    last: Mutex<Option<RoundHealth>>,
+}
+
+impl RoundWatch {
+    fn begin_round(&self) {
+        *self.inner.in_round_since.lock().unwrap() = Some(Instant::now());
+    }
+
+    fn end_round(&self, health: Option<RoundHealth>) {
+        self.inner.rounds.fetch_add(1, Ordering::Relaxed);
+        if let Some(health) = health {
+            self.inner.scheduled_rounds.fetch_add(1, Ordering::Relaxed);
+            if health.warm_seeded {
+                self.inner
+                    .warm_seeded_rounds
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if health.fallback {
+                self.inner.fallback_rounds.fetch_add(1, Ordering::Relaxed);
+            }
+            *self.inner.last.lock().unwrap() = Some(health);
+        }
+        *self.inner.in_round_since.lock().unwrap() = None;
+    }
+
+    /// How long the current round has been executing, if one is in
+    /// flight. A long-running value is the stall signal a round-deadline
+    /// watchdog checks.
+    pub fn in_round_for(&self) -> Option<Duration> {
+        self.inner
+            .in_round_since
+            .lock()
+            .unwrap()
+            .map(|t| t.elapsed())
+    }
+
+    /// Rounds executed since this process started (or restored).
+    pub fn rounds(&self) -> u64 {
+        self.inner.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Rounds in which the policy actually ran (active jobs present).
+    pub fn scheduled_rounds(&self) -> u64 {
+        self.inner.scheduled_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Scheduled rounds seeded from a warm-start incumbent.
+    pub fn warm_seeded_rounds(&self) -> u64 {
+        self.inner.warm_seeded_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Scheduled rounds that took the greedy fallback path.
+    pub fn fallback_rounds(&self) -> u64 {
+        self.inner.fallback_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Warm-start hit rate over scheduled rounds, if any ran.
+    pub fn warm_hit_ratio(&self) -> Option<f64> {
+        let scheduled = self.scheduled_rounds();
+        (scheduled > 0).then(|| self.warm_seeded_rounds() as f64 / scheduled as f64)
+    }
+
+    /// The most recent scheduled round's health, if any round ran.
+    pub fn last(&self) -> Option<RoundHealth> {
+        self.inner.last.lock().unwrap().clone()
+    }
 }
 
 /// Result of a [`SimDriver::cancel`] call.
@@ -107,6 +223,7 @@ pub struct SimDriver {
     view: ClusterView,
     round: f64,
     horizon: f64,
+    watch: RoundWatch,
 }
 
 impl SimDriver {
@@ -148,6 +265,7 @@ impl SimDriver {
             view: ClusterView::new(spec),
             round,
             horizon,
+            watch: RoundWatch::default(),
         }
     }
 
@@ -179,6 +297,33 @@ impl SimDriver {
     /// True when no work remains: nothing pending, nothing active.
     pub fn is_idle(&self) -> bool {
         self.pending.is_empty() && self.jobs.iter().all(JobState::finished)
+    }
+
+    /// A clone of the round-loop observation hook, for health endpoints
+    /// and stall watchdogs running on other threads.
+    pub fn round_watch(&self) -> RoundWatch {
+        self.watch.clone()
+    }
+
+    /// The capacity view the scheduler sees, for capacity-shaped gauges.
+    pub fn cluster(&self) -> &ClusterView {
+        &self.view
+    }
+
+    /// Ids of submitted jobs not yet admitted, in admission order.
+    pub fn pending_ids(&self) -> Vec<JobId> {
+        self.pending.iter().map(|s| s.id).collect()
+    }
+
+    /// Flight-recorder ring evictions so far (see
+    /// [`sia_telemetry::FlightRecorder::dropped`]).
+    pub fn trace_dropped(&self) -> u64 {
+        self.rec.dropped()
+    }
+
+    /// Audit-recorder ring evictions so far.
+    pub fn audit_dropped(&self) -> u64 {
+        self.audit.dropped()
     }
 
     /// Queues a job for admission at the first round boundary at or after
@@ -310,6 +455,7 @@ impl SimDriver {
     pub fn step_round(&mut self, sched: &mut dyn Scheduler) -> RoundOutcome {
         let now = self.now;
         let round = self.round;
+        self.watch.begin_round();
         let admitted = self.admit_due();
         let active: Vec<usize> = (0..self.jobs.len())
             .filter(|&i| !self.jobs[i].finished())
@@ -378,6 +524,18 @@ impl SimDriver {
             .map(|&i| self.jobs[i].spec.id)
             .collect();
         let allocations = applied.allocations.clone();
+        let health = solver_stats.as_ref().map(|s| RoundHealth {
+            time: now,
+            active: active.len(),
+            allocated: allocations.len(),
+            policy_runtime_s: policy_runtime,
+            solve_s: s.solve_s,
+            gap_rel: s.gap_rel(),
+            nodes: s.nodes,
+            nodes_pruned: s.nodes_pruned,
+            warm_seeded: s.incumbent_seed.is_some(),
+            fallback: is_fallback(&solver_stats),
+        });
         self.rounds.push(RoundLog {
             time: now,
             active_jobs: active.len(),
@@ -473,6 +631,7 @@ impl SimDriver {
         sia_telemetry::counter("engine.failures").add(round_failures);
 
         self.now += round;
+        self.watch.end_round(health);
         RoundOutcome {
             time: now,
             admitted,
@@ -659,6 +818,7 @@ impl SimDriver {
             view,
             round,
             horizon,
+            watch: RoundWatch::default(),
         })
     }
 }

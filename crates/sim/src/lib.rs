@@ -33,7 +33,10 @@ mod event_engine;
 pub mod result;
 pub mod scheduler;
 
-pub use driver::{CancelOutcome, JobStatus, RoundOutcome, SimDriver, SNAPSHOT_STATE_VERSION};
+pub use driver::{
+    CancelOutcome, JobStatus, RoundHealth, RoundOutcome, RoundWatch, SimDriver,
+    SNAPSHOT_STATE_VERSION,
+};
 pub use engine::{EngineKind, SimConfig, Simulator};
 pub use result::{DecisionInfo, JobRecord, RoundLog, SimResult, SolveOutcome, SolverStats};
 pub use scheduler::{AllocationMap, JobView, Scheduler};

@@ -552,6 +552,12 @@ impl AuditRecorder {
         self.ring.is_empty()
     }
 
+    /// Records evicted from the ring so far (the spill, if attached,
+    /// still has them). Nonzero means the in-memory stream is partial.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Finishes the run: flushes the spill and returns the recorded stream.
     pub fn into_stream(mut self) -> AuditStream {
         if let Some(s) = &mut self.spill {

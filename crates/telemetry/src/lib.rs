@@ -29,6 +29,7 @@
 
 pub mod audit;
 mod metrics;
+pub mod registry;
 mod sink;
 mod span;
 pub mod trace;
@@ -143,6 +144,37 @@ pub fn counters_snapshot() -> Vec<(String, u64)> {
         .unwrap()
         .iter()
         .map(|(k, v)| (k.clone(), v.value()))
+        .collect()
+}
+
+/// Snapshot of every gauge, sorted by name (`None` = never set). For
+/// reports, tests and the exposition bridge.
+pub fn gauges_snapshot() -> Vec<(String, Option<f64>)> {
+    registry()
+        .gauges
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.value()))
+        .collect()
+}
+
+/// One histogram snapshot: `(name, buckets, count, sum)` where `buckets`
+/// are non-cumulative `(inclusive_upper_edge, count)` pairs.
+pub type HistogramSnapshot = (String, Vec<(f64, u64)>, u64, f64);
+
+/// Snapshot of every histogram, sorted by name. Powers
+/// [`registry::prometheus_globals`].
+pub fn histograms_exposition_snapshot() -> Vec<HistogramSnapshot> {
+    registry()
+        .histograms
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| {
+            let (buckets, count, sum) = v.exposition_buckets();
+            (k.clone(), buckets, count, sum)
+        })
         .collect()
 }
 

@@ -160,6 +160,22 @@ impl HistogramInner {
         }
     }
 
+    /// Non-cumulative `(inclusive_upper_edge, count)` pairs of the log2
+    /// buckets, plus total count and sum — for exposition bridging.
+    pub(crate) fn exposition_buckets(&self) -> (Vec<(f64, u64)>, u64, f64) {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (bucket_upper(i), b.load(Ordering::Relaxed)))
+            .collect();
+        (
+            buckets,
+            self.count.load(Ordering::Relaxed),
+            f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        )
+    }
+
     pub(crate) fn summary(&self) -> HistogramSummary {
         let count = self.count.load(Ordering::Relaxed);
         let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));

@@ -1,0 +1,821 @@
+//! Typed, labeled metrics registry with Prometheus text exposition.
+//!
+//! The process-wide registry of the crate root ([`crate::counter`] and
+//! friends) is a flat map of dotted names — ideal for hot-path
+//! accumulation, but unlabeled and without a wire format. This module adds
+//! the *exposition* layer a live daemon needs:
+//!
+//! - **Typed families** ([`MetricsRegistry`]): counters, gauges and
+//!   histograms with explicit help text and label sets, addressed as
+//!   `family{label="value"}` instances. Handles ([`LabeledCounter`],
+//!   [`LabeledGauge`], [`LabeledHistogram`]) are atomics-backed and cheap
+//!   to clone; look them up once and cache them on hot paths.
+//! - **Deterministic rendering** ([`MetricsRegistry::render`]): Prometheus
+//!   text format 0.0.4, families sorted by name, instances sorted by label
+//!   vector, label values escaped, one `# HELP`/`# TYPE` pair per family.
+//!   Identical metric state always renders to identical bytes, so the
+//!   format is golden-file testable.
+//! - **Histograms** with *inclusive* log-spaced upper bounds (a sample
+//!   equal to a boundary lands in that boundary's bucket, matching
+//!   Prometheus `le` semantics), rendered cumulatively with a `+Inf`
+//!   bucket whose count always equals the sample count.
+//! - **A legacy bridge** ([`prometheus_globals`]): every counter, gauge
+//!   and histogram of the process-wide dotted registry rendered under
+//!   sanitized `sia_*` names, so the exposition endpoint is the single
+//!   place all existing telemetry is findable at runtime.
+//! - **A parser** ([`parse_exposition`]) for consumers (`sia-cli top`,
+//!   tests, the CI shape checker) that need to read samples back.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Canonicalized label set: pairs sorted by label name.
+type LabelSet = Vec<(String, String)>;
+
+/// The kind of a metric family, fixed at first registration.
+#[derive(Clone, PartialEq)]
+enum FamilyKind {
+    Counter,
+    Gauge,
+    /// Inclusive upper bucket bounds, strictly increasing, `+Inf` implied.
+    Histogram(Arc<Vec<f64>>),
+}
+
+impl FamilyKind {
+    fn type_label(&self) -> &'static str {
+        match self {
+            FamilyKind::Counter => "counter",
+            FamilyKind::Gauge => "gauge",
+            FamilyKind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Shared state of one `family{labels}` instance.
+#[derive(Default)]
+struct Instance {
+    /// Counter value, or gauge f64 bits.
+    scalar: AtomicU64,
+    /// Histogram per-bucket counts (non-cumulative), last slot = `+Inf`.
+    buckets: Vec<AtomicU64>,
+    /// Histogram sample count.
+    count: AtomicU64,
+    /// Histogram sum, f64 bits, CAS-updated.
+    sum_bits: AtomicU64,
+}
+
+impl Instance {
+    fn add_f64(cell: &AtomicU64, value: f64) {
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// One metric family: kind, help text and its labeled instances.
+struct Family {
+    kind: FamilyKind,
+    help: String,
+    instances: BTreeMap<LabelSet, Arc<Instance>>,
+}
+
+/// Handle to one labeled monotone counter.
+#[derive(Clone)]
+pub struct LabeledCounter {
+    inner: Arc<Instance>,
+}
+
+impl LabeledCounter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.inner.scalar.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.inner.scalar.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to one labeled last-value-wins gauge.
+#[derive(Clone)]
+pub struct LabeledGauge {
+    inner: Arc<Instance>,
+}
+
+impl LabeledGauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.inner.scalar.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.inner.scalar.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to one labeled histogram with inclusive upper bucket bounds.
+#[derive(Clone)]
+pub struct LabeledHistogram {
+    bounds: Arc<Vec<f64>>,
+    inner: Arc<Instance>,
+}
+
+impl LabeledHistogram {
+    /// Records one sample. A sample exactly equal to a bucket's upper
+    /// bound counts in that bucket (Prometheus `le` is inclusive).
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.inner.buckets.len() - 1);
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        Instance::add_f64(&self.inner.sum_bits, value);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A registry of typed metric families rendering to Prometheus text.
+///
+/// Thread-safe: handles update via relaxed atomics; registration and
+/// rendering take the registry lock. [`Default`] yields an empty registry.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Looks up (registering on first use) a counter instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` or a label name is not a valid Prometheus
+    /// identifier, or if the family exists with a different type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> LabeledCounter {
+        let inner = self.instance(name, help, labels, FamilyKind::Counter);
+        LabeledCounter { inner }
+    }
+
+    /// Looks up (registering on first use) a gauge instance.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`MetricsRegistry::counter`].
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> LabeledGauge {
+        let inner = self.instance(name, help, labels, FamilyKind::Gauge);
+        LabeledGauge { inner }
+    }
+
+    /// Looks up (registering on first use) a histogram instance with the
+    /// given inclusive upper bucket `bounds` (strictly increasing; the
+    /// `+Inf` bucket is implicit). The bounds of the first registration
+    /// win for the whole family.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names, a kind mismatch, or empty/unsorted bounds.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> LabeledHistogram {
+        assert!(!bounds.is_empty(), "histogram {name}: no bucket bounds");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name}: bounds must be strictly increasing"
+        );
+        let kind = FamilyKind::Histogram(Arc::new(bounds.to_vec()));
+        let inner = self.instance(name, help, labels, kind);
+        let fams = self.families.read().unwrap();
+        let FamilyKind::Histogram(bounds) = &fams[name].kind else {
+            unreachable!("instance() verified the kind");
+        };
+        LabeledHistogram {
+            bounds: Arc::clone(bounds),
+            inner,
+        }
+    }
+
+    /// Convenience: sets `family{labels}` to `value`, registering the
+    /// gauge on first use. For scrape-time state pushes, not hot paths.
+    pub fn set_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauge(name, help, labels).set(value);
+    }
+
+    fn instance(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: FamilyKind,
+    ) -> Arc<Instance> {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?} on {name}");
+        }
+        let mut key: LabelSet = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        // Fast path: steady-state lookups of an already-registered
+        // instance only take the read lock, so they contend neither with
+        // each other nor with a concurrent scrape's render snapshot.
+        {
+            let fams = self.families.read().unwrap();
+            if let Some(fam) = fams.get(name) {
+                assert!(
+                    fam.kind.type_label() == kind.type_label(),
+                    "metric family {name} re-registered as a different type"
+                );
+                if let Some(inst) = fam.instances.get(&key) {
+                    return Arc::clone(inst);
+                }
+            }
+        }
+        let mut fams = self.families.write().unwrap();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            kind: kind.clone(),
+            help: help.to_string(),
+            instances: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind.type_label() == kind.type_label(),
+            "metric family {name} re-registered as a different type"
+        );
+        let n_buckets = match &fam.kind {
+            FamilyKind::Histogram(bounds) => bounds.len() + 1,
+            _ => 0,
+        };
+        Arc::clone(fam.instances.entry(key).or_insert_with(|| {
+            Arc::new(Instance {
+                buckets: (0..n_buckets).map(|_| AtomicU64::new(0)).collect(),
+                ..Instance::default()
+            })
+        }))
+    }
+
+    /// Renders the registry in Prometheus text exposition format 0.0.4:
+    /// families sorted by name, one `# HELP` and `# TYPE` line each,
+    /// instances sorted by label set, label values escaped. Families with
+    /// no instances are omitted. Identical state renders identical bytes.
+    ///
+    /// The registry lock is held only long enough to clone the family
+    /// structure (names, labels, `Arc`s to the atomics); the text is
+    /// formatted after it drops, so a scrape stalls hot-path writers for
+    /// microseconds rather than the full render.
+    pub fn render(&self) -> String {
+        /// One family cloned out of the lock: name, help, kind, instances.
+        type FamilySnapshot = (String, String, FamilyKind, Vec<(LabelSet, Arc<Instance>)>);
+        let snapshot: Vec<FamilySnapshot> = {
+            let fams = self.families.read().unwrap();
+            fams.iter()
+                .filter(|(_, fam)| !fam.instances.is_empty())
+                .map(|(name, fam)| {
+                    (
+                        name.clone(),
+                        fam.help.clone(),
+                        fam.kind.clone(),
+                        fam.instances
+                            .iter()
+                            .map(|(labels, inst)| (labels.clone(), Arc::clone(inst)))
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        let mut out = String::new();
+        for (name, help, kind, instances) in &snapshot {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+            let _ = writeln!(out, "# TYPE {name} {}", kind.type_label());
+            for (labels, inst) in instances {
+                match kind {
+                    FamilyKind::Counter => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            render_labels(labels, None),
+                            inst.scalar.load(Ordering::Relaxed)
+                        );
+                    }
+                    FamilyKind::Gauge => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            render_labels(labels, None),
+                            fmt_f64(f64::from_bits(inst.scalar.load(Ordering::Relaxed)))
+                        );
+                    }
+                    FamilyKind::Histogram(bounds) => {
+                        render_histogram_lines(
+                            &mut out,
+                            name,
+                            labels,
+                            bounds,
+                            &snapshot_buckets(inst),
+                            inst.count.load(Ordering::Relaxed),
+                            f64::from_bits(inst.sum_bits.load(Ordering::Relaxed)),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn snapshot_buckets(inst: &Instance) -> Vec<u64> {
+    inst.buckets
+        .iter()
+        .map(|b| b.load(Ordering::Relaxed))
+        .collect()
+}
+
+/// Writes the `_bucket`/`_sum`/`_count` lines of one histogram instance.
+/// `per_bucket` is non-cumulative with the `+Inf` overflow slot last.
+fn render_histogram_lines(
+    out: &mut String,
+    name: &str,
+    labels: &LabelSet,
+    bounds: &[f64],
+    per_bucket: &[u64],
+    count: u64,
+    sum: f64,
+) {
+    let mut cum = 0u64;
+    for (i, bound) in bounds.iter().enumerate() {
+        cum += per_bucket.get(i).copied().unwrap_or(0);
+        let le = fmt_f64(*bound);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cum}",
+            render_labels(labels, Some(&le))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {count}",
+        render_labels(labels, Some("+Inf"))
+    );
+    let _ = writeln!(out, "{name}_sum{} {}", render_labels(labels, None), {
+        fmt_f64(sum)
+    });
+    let _ = writeln!(out, "{name}_count{} {count}", render_labels(labels, None));
+}
+
+/// The default latency buckets: log-spaced 1–2.5–5 per decade from 1 µs
+/// to 10 s (inclusive upper bounds; `+Inf` implicit).
+pub fn latency_buckets() -> Vec<f64> {
+    let mut out = Vec::with_capacity(22);
+    for exp in -6..0 {
+        let decade = 10f64.powi(exp);
+        out.extend([decade, 2.5 * decade, 5.0 * decade]);
+    }
+    out.extend([1.0, 2.5, 5.0, 10.0]);
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Renders a sorted label set (with an optional trailing `le`) as
+/// `{k="v",...}`, or the empty string when there are no labels.
+fn render_labels(labels: &LabelSet, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, quote and
+/// newline.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes help text: backslash and newline (quotes are legal in help).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Deterministic float rendering for sample values and `le` bounds:
+/// shortest round-trip decimal, `+Inf`/`-Inf`/`NaN` spelled the
+/// Prometheus way.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Sanitizes a dotted telemetry name into a Prometheus identifier under
+/// the `sia_` namespace: `engine.rounds` becomes `sia_engine_rounds`.
+pub fn sanitize_name(dotted: &str) -> String {
+    let mut out = String::with_capacity(dotted.len() + 4);
+    out.push_str("sia_");
+    for c in dotted.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the process-wide dotted registry ([`crate::counter`],
+/// [`crate::gauge`], [`crate::histogram`]) in exposition format under
+/// sanitized `sia_*` names: counters gain a `_total` suffix, histograms
+/// render their log2 ring buckets cumulatively. Families are sorted, so
+/// the output is deterministic for deterministic metric state.
+pub fn prometheus_globals() -> String {
+    let mut out = String::new();
+    for (name, value) in crate::counters_snapshot() {
+        let prom = format!("{}_total", sanitize_name(&name));
+        let _ = writeln!(out, "# HELP {prom} Process counter {name}.");
+        let _ = writeln!(out, "# TYPE {prom} counter");
+        let _ = writeln!(out, "{prom} {value}");
+    }
+    for (name, value) in crate::gauges_snapshot() {
+        let Some(value) = value else { continue };
+        let prom = sanitize_name(&name);
+        let _ = writeln!(out, "# HELP {prom} Process gauge {name}.");
+        let _ = writeln!(out, "# TYPE {prom} gauge");
+        let _ = writeln!(out, "{prom} {}", fmt_f64(value));
+    }
+    for (name, buckets, count, sum) in crate::histograms_exposition_snapshot() {
+        let prom = sanitize_name(&name);
+        let _ = writeln!(out, "# HELP {prom} Process histogram {name}.");
+        let _ = writeln!(out, "# TYPE {prom} histogram");
+        let mut cum = 0u64;
+        for (upper, n) in buckets {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            let _ = writeln!(out, "{prom}_bucket{{le=\"{}\"}} {cum}", fmt_f64(upper));
+        }
+        let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(out, "{prom}_sum {}", fmt_f64(sum));
+        let _ = writeln!(out, "{prom}_count {count}");
+    }
+    out
+}
+
+/// The process-default exposition registry. Long-running services
+/// (`sia-serve`) publish their typed metrics here; one-shot tools build
+/// their own [`MetricsRegistry`] for isolation.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (bucket/sum/count suffixes included).
+    pub name: String,
+    /// Label pairs in file order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Value of the named label, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses Prometheus text exposition format into its samples, skipping
+/// comments and blank lines. Fails with a 1-based line number on
+/// malformed lines.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or("unterminated label set")?;
+            if close < brace {
+                return Err("mismatched braces".to_string());
+            }
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let sp = line.find(char::is_whitespace).ok_or("missing value")?;
+            (&line[..sp], line[sp..].trim())
+        }
+    };
+    // Exposition timestamps (a second trailing integer) are not emitted by
+    // this crate; take the first token as the value and ignore the rest.
+    let value_tok = value.split_whitespace().next().ok_or("missing value")?;
+    let value = match value_tok {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse::<f64>().map_err(|_| format!("bad value {v:?}"))?,
+    };
+    let (name, labels) = match head.find('{') {
+        None => (head.to_string(), Vec::new()),
+        Some(brace) => {
+            let name = head[..brace].to_string();
+            let body = &head[brace + 1..head.len() - 1];
+            (name, parse_labels(body)?)
+        }
+    };
+    if !valid_metric_name(&name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_label_name(&key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        let after = &rest[eq + 1..];
+        let after = after.strip_prefix('"').ok_or("label value not quoted")?;
+        // Scan for the closing quote, honoring backslash escapes.
+        let mut value = String::new();
+        let mut chars = after.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, esc)) => value.push(esc),
+                    None => return Err("dangling escape".to_string()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key, value));
+        rest = after[end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}
+
+/// Aggregated histogram read-back: sums `<family>_bucket` samples across
+/// all instances of `family` in `samples` and returns the cumulative
+/// `(upper_bound, count)` pairs sorted by bound (`+Inf` last), for
+/// quantile estimation by consumers like `sia-cli top`.
+pub fn bucket_counts(samples: &[Sample], family: &str) -> Vec<(f64, f64)> {
+    let bucket_name = format!("{family}_bucket");
+    let mut by_bound: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+    for s in samples.iter().filter(|s| s.name == bucket_name) {
+        let Some(le) = s.label("le") else { continue };
+        let bound = match le {
+            "+Inf" => f64::INFINITY,
+            v => match v.parse::<f64>() {
+                Ok(b) => b,
+                Err(_) => continue,
+            },
+        };
+        // total_cmp-compatible ordered key so +Inf sorts last.
+        let key = bound.to_bits() ^ (((bound.to_bits() as i64 >> 63) as u64) >> 1);
+        let entry = by_bound.entry(key).or_insert((bound, 0.0));
+        entry.1 += s.value;
+    }
+    by_bound.into_values().collect()
+}
+
+/// Upper-bound estimate of quantile `q` (in `[0, 1]`) from cumulative
+/// bucket counts as returned by [`bucket_counts`]. Returns `None` when
+/// there are no samples.
+pub fn bucket_quantile(cumulative: &[(f64, f64)], q: f64) -> Option<f64> {
+    let total = cumulative.last()?.1;
+    if total <= 0.0 {
+        return None;
+    }
+    let target = total * q.clamp(0.0, 1.0);
+    for &(bound, cum) in cumulative {
+        if cum >= target && cum > 0.0 {
+            return Some(bound);
+        }
+    }
+    Some(cumulative.last()?.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_boundary_sample_lands_in_lower_bucket() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t_boundary_seconds", "t", &[0.001, 0.01, 0.1], &[]);
+        // Exactly 0.01: must count in the le="0.01" bucket, not le="0.1".
+        h.observe(0.01);
+        let text = reg.render();
+        assert!(
+            text.contains("t_boundary_seconds_bucket{le=\"0.01\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("t_boundary_seconds_bucket{le=\"0.001\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn inf_bucket_count_equals_sample_count() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t_inf_seconds", "t", &[0.5, 1.0], &[]);
+        for v in [0.1, 0.5, 0.7, 1.0, 99.0, 1e12] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        let text = reg.render();
+        assert!(
+            text.contains("t_inf_seconds_bucket{le=\"+Inf\"} 6"),
+            "{text}"
+        );
+        assert!(text.contains("t_inf_seconds_count 6"), "{text}");
+        // Cumulative: 0.5 bucket has {0.1, 0.5}; 1.0 bucket adds {0.7, 1.0}.
+        assert!(
+            text.contains("t_inf_seconds_bucket{le=\"0.5\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("t_inf_seconds_bucket{le=\"1\"} 4"), "{text}");
+    }
+
+    #[test]
+    fn latency_buckets_are_increasing_and_cover_microseconds_to_seconds() {
+        let b = latency_buckets();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b.first(), Some(&1e-6));
+        assert_eq!(b.last(), Some(&10.0));
+    }
+
+    #[test]
+    fn render_sorts_families_and_instances_and_escapes() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zz_total", "last family", &[]).add(1);
+        reg.counter("aa_total", "first family", &[("tenant", "b")])
+            .add(2);
+        reg.counter("aa_total", "first family", &[("tenant", "a \"x\"\n\\")])
+            .incr();
+        let text = reg.render();
+        let aa = text.find("aa_total").unwrap();
+        let zz = text.find("zz_total").unwrap();
+        assert!(aa < zz, "families must sort by name:\n{text}");
+        let esc = text
+            .find("aa_total{tenant=\"a \\\"x\\\"\\n\\\\\"} 1")
+            .expect("escaped instance");
+        let plain = text.find("aa_total{tenant=\"b\"} 2").unwrap();
+        assert!(esc < plain, "instances must sort by label value:\n{text}");
+    }
+
+    #[test]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("t_kind", "c", &[]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.gauge("t_kind", "g", &[]);
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_output() {
+        let reg = MetricsRegistry::new();
+        reg.counter("rt_total", "c", &[("a", "x,y=\"z\"")]).add(7);
+        reg.gauge("rt_gauge", "g", &[]).set(-2.5);
+        let h = reg.histogram("rt_seconds", "h", &[1.0, 2.0], &[("op", "go")]);
+        h.observe(1.5);
+        h.observe(3.0);
+        let samples = parse_exposition(&reg.render()).unwrap();
+        let c = samples.iter().find(|s| s.name == "rt_total").unwrap();
+        assert_eq!(c.value, 7.0);
+        assert_eq!(c.label("a"), Some("x,y=\"z\""));
+        let g = samples.iter().find(|s| s.name == "rt_gauge").unwrap();
+        assert_eq!(g.value, -2.5);
+        let cum = bucket_counts(&samples, "rt_seconds");
+        assert_eq!(cum.len(), 3);
+        assert_eq!(cum[0], (1.0, 0.0));
+        assert_eq!(cum[1], (2.0, 1.0));
+        assert_eq!(cum[2].1, 2.0);
+        assert!(cum[2].0.is_infinite());
+        assert_eq!(bucket_quantile(&cum, 0.5), Some(2.0));
+        assert!(bucket_quantile(&cum, 0.99).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_exposition("x{y=\"} 1").is_err());
+        assert!(parse_exposition("1bad 2").is_err());
+        assert!(parse_exposition("name_only").is_err());
+        assert!(parse_exposition("ok 1\n# comment\n\nok 2").is_ok());
+    }
+
+    #[test]
+    fn globals_bridge_renders_sanitized_families() {
+        crate::counter("regtest.bridge.hits").add(3);
+        crate::gauge("regtest.bridge.depth").set(4.5);
+        crate::histogram("regtest.bridge.lat").record(0.25);
+        let text = prometheus_globals();
+        assert!(text.contains("# TYPE sia_regtest_bridge_hits_total counter"));
+        assert!(text.contains("sia_regtest_bridge_depth 4.5"));
+        assert!(text.contains("# TYPE sia_regtest_bridge_lat histogram"));
+        assert!(text.contains("sia_regtest_bridge_lat_count 1"));
+        let samples = parse_exposition(&text).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "sia_regtest_bridge_hits_total" && s.value >= 3.0));
+    }
+}

@@ -664,6 +664,12 @@ impl FlightRecorder {
         self.ring.is_empty()
     }
 
+    /// Records evicted from the ring so far (the spill, if attached,
+    /// still has them). Nonzero means the in-memory trace is partial.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Finishes the run: flushes the spill and returns the recorded stream.
     pub fn into_trace(mut self) -> FlightTrace {
         if let Some(s) = &mut self.spill {

@@ -1,0 +1,97 @@
+//! Golden-file test of the Prometheus text exposition renderer.
+//!
+//! The rendered output of a fully populated registry is compared byte-
+//! for-byte against `tests/golden/exposition.txt`. Scrapers and the CI
+//! metrics checker both parse this format; any change to family ordering,
+//! label escaping, number formatting or histogram layout must show up as
+//! a reviewed golden diff, never as a silent drift.
+//!
+//! Regenerate (after a deliberate format change) with:
+//! `UPDATE_GOLDEN=1 cargo test -p sia-telemetry --test exposition_golden`.
+
+use sia_telemetry::registry::{parse_exposition, MetricsRegistry};
+
+const GOLDEN_PATH: &str = "tests/golden/exposition.txt";
+
+/// Builds the registry every assertion in this file renders.
+fn populated_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    reg.counter(
+        "app_requests_total",
+        "Requests handled, by command.",
+        &[("cmd", "submit")],
+    )
+    .add(41);
+    reg.counter(
+        "app_requests_total",
+        "Requests handled, by command.",
+        &[("cmd", "query")],
+    )
+    .incr();
+    reg.gauge("app_active_jobs", "Jobs running right now.", &[])
+        .set(3.5);
+    // Label values exercise every escape the renderer knows: backslash,
+    // quote, newline.
+    reg.counter(
+        "app_oddities_total",
+        "Escaping test family.",
+        &[("path", "C:\\tmp"), ("quote", "say \"hi\"\nbye")],
+    )
+    .incr();
+    let hist = reg.histogram(
+        "app_latency_seconds",
+        "Request latency.",
+        &[0.001, 0.01, 0.1, 1.0],
+        &[],
+    );
+    // One sample per region of the bucket layout, including an exact
+    // boundary hit (0.01 -> the 0.01 bucket, le-inclusive) and an
+    // overflow into +Inf.
+    for v in [0.0005, 0.01, 0.05, 2.0] {
+        hist.observe(v);
+    }
+    reg
+}
+
+#[test]
+fn rendered_exposition_matches_golden_file() {
+    let rendered = populated_registry().render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "exposition drifted from {GOLDEN_PATH}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_is_valid_exposition() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file missing");
+    let samples = parse_exposition(&golden).expect("golden file must parse");
+    // The exact-boundary observation (0.01) lands in the le="0.01" bucket,
+    // not the next one up: cumulative count there is 2 (0.0005 + 0.01).
+    let at = |le: &str| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == "app_latency_seconds_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == le)
+            })
+            .map(|s| s.value)
+            .unwrap_or(-1.0)
+    };
+    assert_eq!(at("0.01"), 2.0);
+    assert_eq!(at("0.1"), 3.0);
+    // +Inf cumulative equals the total sample count.
+    assert_eq!(at("+Inf"), 4.0);
+    let count = samples
+        .iter()
+        .find(|s| s.name == "app_latency_seconds_count")
+        .map(|s| s.value);
+    assert_eq!(count, Some(4.0));
+}

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-exposition scrapes from a live sia-serve daemon.
+
+Usage:
+    check_prom.py SCRAPE [SCRAPE2]
+
+With one file, structural checks only:
+  - every sample line parses (name, optional labels, finite value);
+  - no metric family appears twice (HELP/TYPE blocks are contiguous);
+  - every family has a TYPE line, and samples match the declared type
+    (counters end in _total, histograms expose _bucket/_sum/_count);
+  - histogram buckets are cumulative non-decreasing in le-order and the
+    +Inf bucket equals the _count sample.
+
+With two files (an earlier and a later scrape of the SAME process), also
+checks that every counter present in the first scrape is present in the
+second with a value that did not decrease.
+
+Exits 0 when all checks pass, 1 with a message per violation otherwise.
+No third-party dependencies; the parser accepts exactly the subset of
+exposition format 0.0.4 that sia-telemetry renders.
+"""
+
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def family_of(name):
+    """Strips histogram sample suffixes back to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse(path, errors):
+    """Returns (types: {family: type}, samples: [(name, labels, value)])."""
+    types = {}
+    helps = set()
+    samples = []
+    current_family = None
+    seen_families = []
+    for lineno, line in enumerate(open(path, encoding="utf-8"), start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        where = f"{path}:{lineno}"
+        if line.startswith("# HELP "):
+            fam = line.split(" ", 3)[2]
+            if fam in helps:
+                errors.append(f"{where}: duplicate HELP for family {fam}")
+            helps.add(fam)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            fam, kind = parts[2], parts[3]
+            if fam in types:
+                errors.append(f"{where}: duplicate TYPE for family {fam}")
+            if kind not in ("counter", "gauge", "histogram"):
+                errors.append(f"{where}: unknown type {kind!r} for {fam}")
+            types[fam] = kind
+            if fam in seen_families:
+                errors.append(f"{where}: family {fam} re-opened; blocks must be contiguous")
+            seen_families.append(fam)
+            current_family = fam
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        name = m.group("name")
+        raw_labels = m.group("labels") or ""
+        labels = tuple(sorted(LABEL_RE.findall(raw_labels)))
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"{where}: bad value in {line!r}")
+            continue
+        fam = family_of(name)
+        if fam not in types and name in types:
+            fam = name  # e.g. a gauge named *_count would be its own family
+        if fam not in types:
+            errors.append(f"{where}: sample {name} has no TYPE line")
+        elif current_family not in (fam, name):
+            errors.append(
+                f"{where}: sample {name} appears under family block {current_family}"
+            )
+        samples.append((name, labels, value))
+    return types, samples
+
+
+def check_structure(path, types, samples, errors):
+    by_name = {}
+    for name, labels, value in samples:
+        by_name.setdefault(name, []).append((labels, value))
+
+    for fam, kind in types.items():
+        if kind == "counter":
+            for labels, value in by_name.get(fam, []):
+                if not fam.endswith("_total"):
+                    errors.append(f"{path}: counter {fam} does not end in _total")
+                    break
+                if value < 0:
+                    errors.append(f"{path}: counter {fam}{labels} is negative")
+        elif kind == "histogram":
+            check_histogram(path, fam, by_name, errors)
+
+
+def check_histogram(path, fam, by_name, errors):
+    """Cumulative monotone buckets; +Inf == _count, per label set."""
+    series = {}
+    for labels, value in by_name.get(fam + "_bucket", []):
+        le = dict(labels).get("le")
+        if le is None:
+            errors.append(f"{path}: {fam}_bucket sample without le label")
+            continue
+        rest = tuple(kv for kv in labels if kv[0] != "le")
+        series.setdefault(rest, []).append((parse_value(le), value))
+    counts = {labels: value for labels, value in by_name.get(fam + "_count", [])}
+    for rest, buckets in series.items():
+        buckets.sort(key=lambda b: b[0])
+        cumulative = [v for _, v in buckets]
+        if any(lo > hi for lo, hi in zip(cumulative, cumulative[1:])):
+            errors.append(f"{path}: {fam}{dict(rest)} buckets are not cumulative")
+        if not buckets or buckets[-1][0] != math.inf:
+            errors.append(f"{path}: {fam}{dict(rest)} is missing the +Inf bucket")
+            continue
+        count = counts.get(rest)
+        if count is None:
+            errors.append(f"{path}: {fam}{dict(rest)} has buckets but no _count")
+        elif buckets[-1][1] != count:
+            errors.append(
+                f"{path}: {fam}{dict(rest)} +Inf bucket {buckets[-1][1]} != _count {count}"
+            )
+
+
+def check_monotone(first, second, errors):
+    """Every counter in scrape 1 must not decrease in scrape 2."""
+    types1, samples1 = first
+    types2, samples2 = second
+    later = {(n, l): v for n, l, v in samples2}
+    for name, labels, value in samples1:
+        fam = family_of(name)
+        kind = types1.get(fam) or types1.get(name)
+        is_monotone = kind == "counter" or (
+            kind == "histogram" and not name.endswith("_sum")
+        )
+        if not is_monotone:
+            continue
+        after = later.get((name, labels))
+        if after is None:
+            errors.append(f"counter {name}{dict(labels)} vanished between scrapes")
+        elif after < value:
+            errors.append(
+                f"counter {name}{dict(labels)} went backwards: {value} -> {after}"
+            )
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip().splitlines()[0])
+        print(f"usage: {argv[0]} SCRAPE [SCRAPE2]")
+        return 2
+    errors = []
+    parsed = []
+    for path in argv[1:]:
+        types, samples = parse(path, errors)
+        if not samples:
+            errors.append(f"{path}: no samples found")
+        check_structure(path, types, samples, errors)
+        parsed.append((types, samples))
+    if len(parsed) == 2:
+        check_monotone(parsed[0], parsed[1], errors)
+    for e in errors:
+        print(f"FAIL: {e}")
+    if errors:
+        return 1
+    n = sum(len(s) for _, s in parsed)
+    print(f"OK: {n} samples across {len(parsed)} scrape(s) pass all checks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,7 +13,11 @@
 //!         [--pacing replay|wallclock] [--speed X] [--socket PATH]
 //!         [--restore FILE] [--default-quota H] [--quota TENANT=H]
 //!         [--max-pending N] [--trace-out PATH --trace-format jsonl]
-//!         [--audit-out PATH] [--quiet]
+//!         [--audit-out PATH] [--stats-socket PATH] [--stats-tcp ADDR]
+//!         [--heartbeat SECS] [--round-deadline SECS]
+//!         [--log-level error|warn|info|debug] [--quiet]
+//! sia-cli top FILE | sia-cli top --connect ENDPOINT
+//!         [--interval SECS] [--iterations N]
 //! sia-cli trace-to-stream [FILE] [--trace KIND] [--seed N] [--rate R]
 //!         [--jobs N] [--tenant NAME] [--gpu-hours-per-gpu H]
 //!         [--no-shutdown] [--out PATH]
@@ -43,11 +47,25 @@
 //! regret table.
 //!
 //! `sia-cli serve` runs the scheduling daemon: JSONL commands (`submit`,
-//! `cancel`, `query`, `snapshot`, `shutdown`) on stdin or a Unix socket,
-//! JSONL responses and lifecycle events on stdout. `--restore FILE`
-//! resumes from a snapshot written by the `snapshot` command; with
-//! `--pacing wallclock` virtual time tracks the wall clock at `--speed`
-//! virtual seconds per second. `serve` is incompatible with `--dynamics`.
+//! `cancel`, `query`, `snapshot`, `shutdown`, `metrics`, `health`) on
+//! stdin or a Unix socket, JSONL responses and lifecycle events on
+//! stdout. `--restore FILE` resumes from a snapshot written by the
+//! `snapshot` command; with `--pacing wallclock` virtual time tracks the
+//! wall clock at `--speed` virtual seconds per second. `serve` is
+//! incompatible with `--dynamics`. Observability: `--stats-socket PATH` /
+//! `--stats-tcp ADDR` expose read-only `GET /metrics` (Prometheus text
+//! exposition) and `GET /healthz` endpoints on a side thread;
+//! `--heartbeat SECS` emits a periodic `{"ev":"heartbeat",...}` JSONL
+//! self-report (virtual seconds under replay pacing, wall seconds under
+//! wallclock); `--round-deadline SECS` arms the stall watchdog that flips
+//! `/healthz` to 503 when a scheduling round overruns; `--log-level`
+//! selects the stderr verbosity (leveled, timestamped lines).
+//!
+//! `sia-cli top` renders a one-screen summary of a daemon's metrics:
+//! from a scraped exposition FILE (render once), or live over
+//! `--connect ENDPOINT` (a `--stats-socket` path or `--stats-tcp`
+//! host:port), refreshing every `--interval` seconds until interrupted
+//! (or `--iterations N` refreshes).
 //!
 //! `sia-cli trace-to-stream` converts a static trace file (or a generated
 //! trace) into a serve-mode JSONL submission script.
@@ -166,6 +184,10 @@ fn main() {
     if raw.first().map(String::as_str) == Some("trace-to-stream") {
         trace_to_stream_cmd(&raw[1..]);
     }
+    // `sia-cli top ...`: one-screen live metrics summary.
+    if raw.first().map(String::as_str) == Some("top") {
+        top_cmd(&raw[1..]);
+    }
 
     let args = Args { argv: raw };
     if args.flag("--help") || args.flag("-h") {
@@ -184,7 +206,11 @@ fn main() {
              [--pacing replay|wallclock] [--speed X] [--socket PATH] \
              [--restore FILE] [--default-quota H] [--quota TENANT=H] \
              [--max-pending N] [--trace-out PATH --trace-format jsonl] \
-             [--audit-out PATH] [--quiet]\n\
+             [--audit-out PATH] [--stats-socket PATH] [--stats-tcp ADDR] \
+             [--heartbeat SECS] [--round-deadline SECS] \
+             [--log-level error|warn|info|debug] [--quiet]\n\
+             \x20      sia-cli top FILE | sia-cli top --connect ENDPOINT \
+             [--interval SECS] [--iterations N]\n\
              \x20      sia-cli trace-to-stream [FILE] [--trace KIND] [--seed N] \
              [--rate R] [--jobs N] [--tenant NAME] [--gpu-hours-per-gpu H] \
              [--no-shutdown] [--out PATH]"
@@ -845,8 +871,12 @@ fn run_serve(argv: &[String]) -> ! {
     const USAGE: &str = "usage: sia-cli serve [--cluster C] [--policy P] [--seed N] \
          [--pacing replay|wallclock] [--speed X] [--socket PATH] [--restore FILE] \
          [--default-quota H] [--quota TENANT=H] [--max-pending N] \
-         [--trace-out PATH --trace-format jsonl] [--audit-out PATH] [--quiet]";
-    use sia::serve::{serve_replay, serve_wallclock, Pacing, ServeOptions, Server};
+         [--trace-out PATH --trace-format jsonl] [--audit-out PATH] \
+         [--stats-socket PATH] [--stats-tcp ADDR] [--heartbeat SECS] \
+         [--round-deadline SECS] [--log-level error|warn|info|debug] [--quiet]";
+    use sia::serve::{
+        serve_replay, serve_wallclock, LogLevel, Logger, Pacing, ServeOptions, Server,
+    };
 
     let mut cluster_name = "hetero64".to_string();
     let mut policy_name = "sia".to_string();
@@ -859,6 +889,9 @@ fn run_serve(argv: &[String]) -> ! {
     let mut trace_out: Option<String> = None;
     let mut trace_format: Option<String> = None;
     let mut audit_out: Option<String> = None;
+    let mut stats_socket: Option<String> = None;
+    let mut stats_tcp: Option<String> = None;
+    let mut log_level = LogLevel::Info;
     let mut quiet = false;
 
     let fail = |msg: &str| -> ! {
@@ -922,6 +955,31 @@ fn run_serve(argv: &[String]) -> ! {
                 trace_format = Some(take_value(argv, &mut i, "--trace-format", USAGE))
             }
             "--audit-out" => audit_out = Some(take_value(argv, &mut i, "--audit-out", USAGE)),
+            "--stats-socket" => {
+                stats_socket = Some(take_value(argv, &mut i, "--stats-socket", USAGE))
+            }
+            "--stats-tcp" => stats_tcp = Some(take_value(argv, &mut i, "--stats-tcp", USAGE)),
+            "--heartbeat" => {
+                opts.heartbeat_s =
+                    match take_value(argv, &mut i, "--heartbeat", USAGE).parse::<f64>() {
+                        Ok(h) if h > 0.0 && h.is_finite() => Some(h),
+                        _ => fail("--heartbeat must be a positive number of seconds"),
+                    }
+            }
+            "--round-deadline" => {
+                opts.round_deadline_s =
+                    match take_value(argv, &mut i, "--round-deadline", USAGE).parse::<f64>() {
+                        Ok(d) if d > 0.0 && d.is_finite() => Some(d),
+                        _ => fail("--round-deadline must be a positive number of seconds"),
+                    }
+            }
+            "--log-level" => {
+                log_level = match take_value(argv, &mut i, "--log-level", USAGE).parse::<LogLevel>()
+                {
+                    Ok(l) => l,
+                    Err(e) => fail(&e),
+                }
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -981,8 +1039,9 @@ fn run_serve(argv: &[String]) -> ! {
         }
     };
 
+    let logger = Logger::new(log_level);
     if !quiet {
-        eprintln!(
+        logger.info(format!(
             "serve: {} on {}, {} pacing{}",
             policy_name,
             cluster_name,
@@ -995,8 +1054,43 @@ fn run_serve(argv: &[String]) -> ! {
                 .as_deref()
                 .map(|p| format!(", restored from {p}"))
                 .unwrap_or_default()
-        );
+        ));
     }
+
+    // Read-only stats listeners serve /metrics and /healthz from a side
+    // thread off the shared Observe handle; they never touch the server.
+    let mut stats_handles = Vec::new();
+    if let Some(addr) = &stats_tcp {
+        match sia::serve::spawn_tcp(addr, server.observe()) {
+            Ok(h) => {
+                logger.info(format!("stats listener on http://{}/metrics", h.endpoint));
+                stats_handles.push(h);
+            }
+            Err(e) => {
+                logger.error(format!("cannot bind stats listener {addr}: {e}"));
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &stats_socket {
+        #[cfg(unix)]
+        match sia::serve::spawn_unix(std::path::Path::new(path), server.observe()) {
+            Ok(h) => {
+                logger.info(format!("stats listener on {}", h.endpoint));
+                stats_handles.push(h);
+            }
+            Err(e) => {
+                logger.error(format!("cannot bind stats socket {path}: {e}"));
+                std::process::exit(2);
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            logger.error(format!("--stats-socket {path} is only supported on Unix"));
+            std::process::exit(2);
+        }
+    }
+
     let served = match &socket {
         Some(path) => {
             #[cfg(unix)]
@@ -1018,18 +1112,32 @@ fn run_serve(argv: &[String]) -> ! {
             }
         }
     };
+    // Orderly listener teardown first: removes Unix socket files (process
+    // exit below skips destructors).
+    for h in stats_handles {
+        h.stop();
+    }
+    // Satellite contract: a daemon that evicted trace/audit records says
+    // so once at shutdown, whatever else happened.
+    let (trace_dropped, audit_dropped) = server.ring_drops();
+    if trace_dropped > 0 || audit_dropped > 0 {
+        logger.warn(format!(
+            "recording rings evicted records ({trace_dropped} trace, {audit_dropped} audit); \
+             exported streams are partial"
+        ));
+    }
     let clean = match served {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("serve: io error: {e}");
+            logger.error(format!("serve: io error: {e}"));
             std::process::exit(1);
         }
     };
     if !clean {
         if !quiet {
-            eprintln!(
+            logger.warn(
                 "serve: stream ended without shutdown; run not finalized \
-                 (state survives only through snapshots)"
+                 (state survives only through snapshots)",
             );
         }
         std::process::exit(0);
@@ -1037,25 +1145,25 @@ fn run_serve(argv: &[String]) -> ! {
     let result = server.into_result();
     if let Some(path) = &trace_out {
         if let Err(e) = std::fs::write(path, result.trace.canonical_jsonl()) {
-            eprintln!("cannot write {path}: {e}");
+            logger.error(format!("cannot write {path}: {e}"));
             std::process::exit(1);
         }
     }
     if let Some(path) = &audit_out {
         if let Err(e) = std::fs::write(path, result.audit.canonical_jsonl()) {
-            eprintln!("cannot write {path}: {e}");
+            logger.error(format!("cannot write {path}: {e}"));
             std::process::exit(1);
         }
     }
     if !quiet {
         let s = summarize(&result);
-        eprintln!(
+        logger.info(format!(
             "serve: drained at t={:.0}s — {} jobs, {} unfinished, avg JCT {:.2} h",
             result.makespan,
             result.records.len(),
             s.unfinished,
             s.avg_jct_hours
-        );
+        ));
     }
     std::process::exit(0);
 }
@@ -1172,4 +1280,359 @@ fn trace_to_stream_cmd(argv: &[String]) -> ! {
         None => print!("{text}"),
     }
     std::process::exit(0);
+}
+
+/// `sia-cli top FILE | --connect ENDPOINT`: a one-screen summary of a
+/// daemon's Prometheus exposition — from a scraped file (render once) or
+/// live from a stats listener (refresh until interrupted). Never returns.
+fn top_cmd(argv: &[String]) -> ! {
+    const USAGE: &str = "usage: sia-cli top FILE | sia-cli top --connect ENDPOINT \
+         [--interval SECS] [--iterations N]";
+    let fail = |msg: &str| -> ! {
+        eprintln!("{msg}\n{USAGE}");
+        std::process::exit(2);
+    };
+    let mut file: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut interval: f64 = 2.0;
+    let mut iterations: Option<u64> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--connect" => connect = Some(take_value(argv, &mut i, "--connect", USAGE)),
+            "--interval" => {
+                interval = match take_value(argv, &mut i, "--interval", USAGE).parse::<f64>() {
+                    Ok(s) if s > 0.0 && s.is_finite() => s,
+                    _ => fail("--interval must be a positive number of seconds"),
+                }
+            }
+            "--iterations" => {
+                iterations = match take_value(argv, &mut i, "--iterations", USAGE).parse() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => fail("--iterations must be a positive integer"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => fail(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if file.is_some() == connect.is_some() {
+        fail("top needs exactly one source: a scraped FILE or --connect ENDPOINT");
+    }
+
+    if let Some(path) = &file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match render_top(&text) {
+            Ok(screen) => {
+                print!("{screen}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let endpoint = connect.unwrap();
+    let mut done: u64 = 0;
+    loop {
+        let text = match scrape_metrics(&endpoint) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot scrape {endpoint}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let screen = match render_top(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{endpoint}: {e}");
+                std::process::exit(1);
+            }
+        };
+        // Clear screen, cursor home, then the fresh frame.
+        print!("\x1b[2J\x1b[H{screen}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        done += 1;
+        if iterations.is_some_and(|k| done >= k) {
+            std::process::exit(0);
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+/// Fetches `GET /metrics` from a stats listener endpoint: a Unix socket
+/// path (contains `/`) or a TCP `host:port`.
+fn scrape_metrics(endpoint: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut raw = String::new();
+    if endpoint.contains('/') {
+        #[cfg(unix)]
+        {
+            let mut conn = std::os::unix::net::UnixStream::connect(endpoint)
+                .map_err(|e| format!("connect: {e}"))?;
+            write!(conn, "GET /metrics HTTP/1.0\r\n\r\n").map_err(|e| format!("write: {e}"))?;
+            conn.read_to_string(&mut raw)
+                .map_err(|e| format!("read: {e}"))?;
+        }
+        #[cfg(not(unix))]
+        return Err("Unix socket endpoints are only supported on Unix".to_string());
+    } else {
+        let mut conn =
+            std::net::TcpStream::connect(endpoint).map_err(|e| format!("connect: {e}"))?;
+        write!(conn, "GET /metrics HTTP/1.0\r\n\r\n").map_err(|e| format!("write: {e}"))?;
+        conn.read_to_string(&mut raw)
+            .map_err(|e| format!("read: {e}"))?;
+    }
+    let status = raw.lines().next().unwrap_or_default();
+    if !status.contains("200") {
+        return Err(format!("unexpected response: {status}"));
+    }
+    // Body starts after the blank line ending the response head.
+    let body = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .map(|(_, b)| b)
+        .ok_or("malformed HTTP response (no body)")?;
+    Ok(body.to_string())
+}
+
+/// Renders one `top` frame from Prometheus exposition text.
+fn render_top(exposition: &str) -> Result<String, String> {
+    use sia::telemetry::registry::{bucket_counts, bucket_quantile, parse_exposition, Sample};
+    let samples = parse_exposition(exposition)?;
+
+    let gauge = |name: &str| -> Option<f64> {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s: &Sample| s.value)
+    };
+    let sum_of = |name: &str| -> f64 {
+        samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    };
+    // All `(label value, metric value)` pairs of one family, keyed by one
+    // label, in exposition (sorted) order.
+    let by_label = |name: &str, label: &str| -> Vec<(String, f64)> {
+        samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| {
+                s.labels
+                    .iter()
+                    .find(|(k, _)| k == label)
+                    .map(|(_, v)| (v.clone(), s.value))
+            })
+            .collect()
+    };
+    let fmt_ms = |s: f64| format!("{:.1}ms", s * 1e3);
+
+    let mut out = String::new();
+    let stalled = gauge("sia_serve_stalled").unwrap_or(0.0) > 0.5;
+    out.push_str(&format!(
+        "sia-serve  up {:.0}s  virtual t={:.0}s  rounds {:.0}{}\n",
+        gauge("sia_serve_uptime_seconds").unwrap_or(0.0),
+        gauge("sia_serve_virtual_time_seconds").unwrap_or(0.0),
+        sum_of("sia_engine_rounds_total"),
+        if stalled { "  [STALLED]" } else { "" },
+    ));
+
+    let job_of = |state: &str| -> f64 {
+        by_label("sia_serve_jobs_total", "state")
+            .iter()
+            .find(|(s, _)| s == state)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    out.push_str(&format!(
+        "jobs     : {:.0} active, {:.0} pending | {:.0} submitted, {:.0} admitted, \
+         {:.0} rejected, {:.0} cancelled\n",
+        gauge("sia_serve_active_jobs").unwrap_or(0.0),
+        gauge("sia_serve_pending_jobs").unwrap_or(0.0),
+        job_of("submitted"),
+        job_of("admitted"),
+        job_of("rejected"),
+        job_of("cancelled"),
+    ));
+
+    let cumulative = bucket_counts(&samples, "sia_serve_request_latency_seconds");
+    let quantiles = if cumulative.last().map(|(_, n)| *n).unwrap_or(0.0) > 0.0 {
+        let q = |p: f64| {
+            bucket_quantile(&cumulative, p)
+                .map(fmt_ms)
+                .unwrap_or_else(|| "-".to_string())
+        };
+        format!(" | latency p50 {} p95 {} p99 {}", q(0.50), q(0.95), q(0.99))
+    } else {
+        String::new()
+    };
+    out.push_str(&format!(
+        "requests : {:.0} handled{}\n",
+        sum_of("sia_serve_requests_total"),
+        quantiles,
+    ));
+
+    let rejections = by_label("sia_serve_rejections_total", "reason");
+    if !rejections.is_empty() {
+        let detail: Vec<String> = rejections
+            .iter()
+            .map(|(reason, n)| format!("{reason} {n:.0}"))
+            .collect();
+        out.push_str(&format!("rejects  : {}\n", detail.join(", ")));
+    }
+
+    if let Some(solve) = gauge("sia_solver_last_solve_seconds") {
+        let gap = gauge("sia_solver_last_rel_gap")
+            .map(|g| format!("{g:.1e}"))
+            .unwrap_or_else(|| "-".to_string());
+        let warm = gauge("sia_solver_warm_start_hit_ratio")
+            .map(|w| format!("{:.0}%", w * 100.0))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "solver   : last solve {} gap {} | warm-hit {} | fallback rounds {:.0} | \
+             B&B nodes {:.0} ({:.0} pruned)\n",
+            fmt_ms(solve),
+            gap,
+            warm,
+            gauge("sia_solver_fallback_rounds").unwrap_or(0.0),
+            gauge("sia_solver_last_bb_nodes").unwrap_or(0.0),
+            gauge("sia_solver_last_bb_nodes_pruned").unwrap_or(0.0),
+        ));
+    }
+
+    let committed = by_label("sia_tenant_committed_gpu_hours", "tenant");
+    if !committed.is_empty() {
+        let quota_of = |tenant: &str| -> Option<f64> {
+            by_label("sia_tenant_quota_gpu_hours", "tenant")
+                .iter()
+                .find(|(t, _)| t == tenant)
+                .map(|(_, v)| *v)
+        };
+        let pending_of = |tenant: &str| -> f64 {
+            by_label("sia_tenant_pending_jobs", "tenant")
+                .iter()
+                .find(|(t, _)| t == tenant)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        out.push_str("tenants  :");
+        for (tenant, used) in &committed {
+            let quota = quota_of(tenant)
+                .map(|q| format!("/{q:.1}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                " {tenant} {used:.1}{quota} GPU-h ({:.0} pending)",
+                pending_of(tenant)
+            ));
+        }
+        out.push('\n');
+    }
+
+    let ring_of = |ring: &str| -> f64 {
+        by_label("sia_ring_dropped_records", "ring")
+            .iter()
+            .find(|(r, _)| r == ring)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    out.push_str(&format!(
+        "rings    : {:.0} trace / {:.0} audit dropped | scrapes {:.0} | heartbeats {:.0}\n",
+        ring_of("trace"),
+        ring_of("audit"),
+        sum_of("sia_serve_scrapes_total"),
+        sum_of("sia_serve_heartbeats_total"),
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::render_top;
+
+    #[test]
+    fn top_renders_a_scraped_exposition() {
+        let exposition = "\
+# HELP sia_serve_uptime_seconds x
+# TYPE sia_serve_uptime_seconds gauge
+sia_serve_uptime_seconds 12
+# HELP sia_serve_virtual_time_seconds x
+# TYPE sia_serve_virtual_time_seconds gauge
+sia_serve_virtual_time_seconds 345
+# HELP sia_serve_active_jobs x
+# TYPE sia_serve_active_jobs gauge
+sia_serve_active_jobs 3
+# HELP sia_serve_pending_jobs x
+# TYPE sia_serve_pending_jobs gauge
+sia_serve_pending_jobs 2
+# HELP sia_serve_jobs_total x
+# TYPE sia_serve_jobs_total counter
+sia_serve_jobs_total{state=\"admitted\"} 8
+sia_serve_jobs_total{state=\"rejected\"} 1
+sia_serve_jobs_total{state=\"submitted\"} 9
+# HELP sia_serve_requests_total x
+# TYPE sia_serve_requests_total counter
+sia_serve_requests_total{cmd=\"query\"} 5
+sia_serve_requests_total{cmd=\"submit\"} 9
+# HELP sia_serve_request_latency_seconds x
+# TYPE sia_serve_request_latency_seconds histogram
+sia_serve_request_latency_seconds_bucket{le=\"0.001\"} 10
+sia_serve_request_latency_seconds_bucket{le=\"0.01\"} 14
+sia_serve_request_latency_seconds_bucket{le=\"+Inf\"} 14
+sia_serve_request_latency_seconds_sum 0.05
+sia_serve_request_latency_seconds_count 14
+# HELP sia_serve_rejections_total x
+# TYPE sia_serve_rejections_total counter
+sia_serve_rejections_total{stage=\"quota\",reason=\"queue-full\"} 1
+# HELP sia_tenant_committed_gpu_hours x
+# TYPE sia_tenant_committed_gpu_hours gauge
+sia_tenant_committed_gpu_hours{tenant=\"acme\"} 4.5
+# HELP sia_tenant_quota_gpu_hours x
+# TYPE sia_tenant_quota_gpu_hours gauge
+sia_tenant_quota_gpu_hours{tenant=\"acme\"} 10
+# HELP sia_ring_dropped_records x
+# TYPE sia_ring_dropped_records gauge
+sia_ring_dropped_records{ring=\"audit\"} 0
+sia_ring_dropped_records{ring=\"trace\"} 7
+";
+        let screen = render_top(exposition).unwrap();
+        assert!(screen.contains("up 12s"), "{screen}");
+        assert!(screen.contains("virtual t=345s"), "{screen}");
+        assert!(screen.contains("3 active, 2 pending"), "{screen}");
+        assert!(screen.contains("9 submitted, 8 admitted"), "{screen}");
+        assert!(screen.contains("14 handled"), "{screen}");
+        assert!(screen.contains("p50"), "{screen}");
+        assert!(screen.contains("queue-full 1"), "{screen}");
+        assert!(screen.contains("acme 4.5/10.0 GPU-h"), "{screen}");
+        assert!(screen.contains("7 trace / 0 audit dropped"), "{screen}");
+        assert!(!screen.contains("[STALLED]"), "{screen}");
+    }
+
+    #[test]
+    fn top_flags_a_stalled_daemon_and_rejects_garbage() {
+        let exposition = "\
+# HELP sia_serve_stalled x
+# TYPE sia_serve_stalled gauge
+sia_serve_stalled 1
+";
+        let screen = render_top(exposition).unwrap();
+        assert!(screen.contains("[STALLED]"), "{screen}");
+        assert!(render_top("not an exposition{{{").is_err());
+    }
 }

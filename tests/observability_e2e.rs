@@ -1,0 +1,373 @@
+//! End-to-end tests of the sia-serve observability plane through the real
+//! CLI binary: the `metrics`/`health` JSONL commands, heartbeats, the
+//! read-only stats listener, `sia-cli top`, and the hard parity contract —
+//! observability must never perturb the canonical flight/audit streams.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+
+use serde_json::Value;
+use sia::telemetry::registry::parse_exposition;
+use sia::workloads::{trace_to_stream_jsonl, StreamOptions, Trace, TraceConfig, TraceKind};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sia-cli"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sia_obs_e2e_{}_{name}", std::process::id()))
+}
+
+fn small_trace(n: usize) -> Trace {
+    let mut trace = Trace::generate(&TraceConfig::new(TraceKind::Philly, 5).with_max_gpus_cap(16));
+    trace.jobs.truncate(n);
+    for j in &mut trace.jobs {
+        j.work_target *= 0.1;
+    }
+    trace
+}
+
+/// Runs `sia-cli serve` with `lines` on stdin, returns (status, stdout).
+fn serve_with_input(args: &[&str], lines: &str) -> (std::process::ExitStatus, String) {
+    let mut child = cli()
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sia-cli serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(lines.as_bytes())
+        .expect("write stream");
+    let out = child.wait_with_output().expect("serve run");
+    (out.status, String::from_utf8_lossy(&out.stdout).to_string())
+}
+
+/// Finds the response line carrying request id `id`.
+fn response_with_id(stdout: &str, id: &str) -> Value {
+    let needle = format!("\"id\":\"{id}\"");
+    let line = stdout
+        .lines()
+        .find(|l| l.contains(&needle))
+        .unwrap_or_else(|| panic!("no response with id {id}: {stdout}"));
+    serde_json::from_str(line).expect("valid response JSON")
+}
+
+#[test]
+fn metrics_command_reconciles_with_query_stats_and_ledger() {
+    let trace = small_trace(10);
+    let stream = trace_to_stream_jsonl(
+        &trace,
+        &StreamOptions {
+            tenant: "acme".to_string(),
+            gpu_hours_per_gpu: 1.0,
+            ..StreamOptions::default()
+        },
+    );
+    let mut lines: Vec<String> = stream.lines().map(str::to_string).collect();
+    // Stream shape: submissions then one shutdown; splice the read-only
+    // observability commands in just before the drain.
+    assert!(lines.last().unwrap().contains("shutdown"));
+    let shutdown = lines.pop().unwrap();
+    lines.push(r#"{"id":"q","cmd":"query"}"#.to_string());
+    lines.push(r#"{"id":"m","cmd":"metrics"}"#.to_string());
+    lines.push(r#"{"id":"h","cmd":"health"}"#.to_string());
+    lines.push(shutdown);
+    let input = lines.join("\n");
+
+    // A quota tight enough that some submissions are rejected, so the
+    // rejection counters have something to say.
+    let (status, stdout) = serve_with_input(
+        &["--quiet", "--quota", "acme=40", "--heartbeat", "3600"],
+        &input,
+    );
+    assert!(status.success(), "serve failed: {stdout}");
+
+    let query = response_with_id(&stdout, "q");
+    let stat = |k: &str| query.get(k).and_then(Value::as_f64).unwrap();
+    assert!(stat("rejected") > 0.0, "quota produced no rejections");
+
+    // The metrics response is valid exposition and its counters reconcile
+    // exactly with the service stats of the query issued one line earlier
+    // (no rounds run in between — metrics/health are read-only).
+    let metrics = response_with_id(&stdout, "m");
+    assert_eq!(metrics.get("ok").and_then(Value::as_bool), Some(true));
+    let exposition = metrics
+        .get("exposition")
+        .and_then(Value::as_str)
+        .expect("metrics response carries the exposition");
+    let samples = parse_exposition(exposition).expect("valid exposition");
+    let family = |name: &str, label: Option<(&str, &str)>| -> f64 {
+        samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter(|s| match label {
+                None => true,
+                Some((k, v)) => s.labels.iter().any(|(lk, lv)| lk == k && lv == v),
+            })
+            .map(|s| s.value)
+            .sum()
+    };
+    for state in ["submitted", "admitted", "rejected", "cancelled"] {
+        assert_eq!(
+            family("sia_serve_jobs_total", Some(("state", state))),
+            stat(state),
+            "sia_serve_jobs_total{{state={state}}} disagrees with query"
+        );
+    }
+    assert_eq!(
+        family("sia_serve_rejections_total", None),
+        stat("rejected"),
+        "typed rejections must sum to the rejected count"
+    );
+    assert_eq!(family("sia_serve_active_jobs", None), stat("active"));
+    assert_eq!(family("sia_serve_pending_jobs", None), stat("pending"));
+
+    // The tenant's committed-GPU-hour gauge reconciles with the charges
+    // acknowledged in this run's admitted events (nothing was cancelled).
+    let charged: f64 = stdout
+        .lines()
+        .filter(|l| l.contains("\"event\":\"admitted\""))
+        .map(|l| {
+            serde_json::from_str::<Value>(l)
+                .unwrap()
+                .get("charge_gpu_hours")
+                .and_then(Value::as_f64)
+                .unwrap()
+        })
+        .sum();
+    let committed = family("sia_tenant_committed_gpu_hours", Some(("tenant", "acme")));
+    assert!(
+        (committed - charged).abs() < 1e-9,
+        "ledger gauge {committed} != acknowledged charges {charged}"
+    );
+    assert_eq!(
+        family("sia_tenant_quota_gpu_hours", Some(("tenant", "acme"))),
+        40.0
+    );
+    // Nothing dropped from the recording rings in a run this small.
+    assert_eq!(family("sia_ring_dropped_records", None), 0.0);
+
+    // The health command reports a live, ready, non-stalled daemon.
+    let health = response_with_id(&stdout, "h");
+    assert_eq!(health.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(health.get("live").and_then(Value::as_bool), Some(true));
+    assert_eq!(health.get("ready").and_then(Value::as_bool), Some(true));
+    assert_eq!(health.get("stalled").and_then(Value::as_bool), Some(false));
+
+    // Virtual-time heartbeats fired along the replay.
+    assert!(
+        stdout.contains("\"ev\":\"heartbeat\""),
+        "no heartbeat in: {stdout}"
+    );
+
+    // `sia-cli top FILE` renders a one-screen summary from the scrape.
+    let dump = tmp("top_exposition.txt");
+    std::fs::write(&dump, exposition).unwrap();
+    let out = cli()
+        .args(["top", dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let screen = String::from_utf8_lossy(&out.stdout);
+    assert!(screen.starts_with("sia-serve"), "got: {screen}");
+    assert!(screen.contains("jobs     :"), "got: {screen}");
+    assert!(screen.contains("acme"), "got: {screen}");
+    std::fs::remove_file(&dump).ok();
+}
+
+#[test]
+fn observability_never_perturbs_canonical_streams() {
+    let trace = small_trace(8);
+    let stream = trace_to_stream_jsonl(&trace, &StreamOptions::default());
+
+    let run = |args: &[&str], input: &str, tag: &str| -> (String, String) {
+        let trace_out = tmp(&format!("{tag}_trace.jsonl"));
+        let audit_out = tmp(&format!("{tag}_audit.jsonl"));
+        let mut argv = vec![
+            "--seed",
+            "3",
+            "--quiet",
+            "--trace-out",
+            trace_out.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+            "--audit-out",
+            audit_out.to_str().unwrap(),
+        ];
+        argv.extend_from_slice(args);
+        let (status, stdout) = serve_with_input(&argv, input);
+        assert!(status.success(), "serve failed: {stdout}");
+        let t = std::fs::read_to_string(&trace_out).unwrap();
+        let a = std::fs::read_to_string(&audit_out).unwrap();
+        std::fs::remove_file(&trace_out).ok();
+        std::fs::remove_file(&audit_out).ok();
+        (t, a)
+    };
+
+    // Baseline: no observability at all.
+    let (base_trace, base_audit) = run(&[], &stream, "base");
+
+    // Observability-heavy run: heartbeats, stall watchdog, a live stats
+    // listener, debug logging, and read-only metrics/health commands
+    // spliced into the stream.
+    let mut lines: Vec<String> = stream.lines().map(str::to_string).collect();
+    let shutdown = lines.pop().unwrap();
+    lines.push(r#"{"id":"m1","cmd":"metrics"}"#.to_string());
+    lines.push(r#"{"id":"h1","cmd":"health"}"#.to_string());
+    lines.push(shutdown);
+    let observed_input = lines.join("\n");
+    let (obs_trace, obs_audit) = run(
+        &[
+            "--heartbeat",
+            "1800",
+            "--round-deadline",
+            "120",
+            "--stats-tcp",
+            "127.0.0.1:0",
+            "--log-level",
+            "debug",
+        ],
+        &observed_input,
+        "obs",
+    );
+
+    assert_eq!(
+        base_trace, obs_trace,
+        "observability must not perturb the canonical flight trace"
+    );
+    assert_eq!(
+        base_audit, obs_audit,
+        "observability must not perturb the canonical audit stream"
+    );
+}
+
+#[test]
+fn stats_listener_serves_a_live_daemon_and_top_connects() {
+    // A wallclock-paced daemon stays alive while we scrape it from other
+    // processes/threads; stdin is held open until the shutdown line.
+    let mut child: Child = cli()
+        .args([
+            "serve",
+            "--pacing",
+            "wallclock",
+            "--speed",
+            "100000",
+            "--stats-tcp",
+            "127.0.0.1:0",
+            "--log-level",
+            "info",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut stdin = child.stdin.take().unwrap();
+
+    // The daemon logs the bound stats endpoint at info level.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let endpoint = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "daemon exited before announcing its stats listener"
+        );
+        if let Some(rest) = line.split("stats listener on http://").nth(1) {
+            break rest.trim().trim_end_matches("/metrics").to_string();
+        }
+    };
+
+    let scrape = |path: &str| -> (String, String) {
+        let mut conn = std::net::TcpStream::connect(&endpoint).expect("connect stats listener");
+        write!(conn, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).unwrap();
+        let status = raw.lines().next().unwrap_or_default().to_string();
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    };
+
+    // Submit one job, then scrape both endpoints while it runs.
+    let trace = small_trace(1);
+    let stream = trace_to_stream_jsonl(
+        &trace,
+        &StreamOptions {
+            shutdown: false,
+            ..StreamOptions::default()
+        },
+    );
+    stdin.write_all(stream.as_bytes()).unwrap();
+    stdin.flush().unwrap();
+
+    let (status, body) = scrape("/metrics");
+    assert!(status.contains("200"), "{status}");
+    parse_exposition(&body).expect("live scrape must be valid exposition");
+    assert!(body.contains("sia_serve_uptime_seconds"), "{body}");
+
+    let (status, body) = scrape("/healthz");
+    assert!(status.contains("200"), "{status}\n{body}");
+    assert!(body.contains("\"live\":true"), "{body}");
+
+    // `sia-cli top --connect` renders from a genuinely separate process.
+    let out = cli()
+        .args(["top", "--connect", &endpoint, "--iterations", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "top failed: {out:?}");
+    let screen = String::from_utf8_lossy(&out.stdout);
+    assert!(screen.contains("sia-serve"), "got: {screen}");
+
+    stdin
+        .write_all(b"{\"id\":\"end\",\"cmd\":\"shutdown\"}\n")
+        .unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("daemon exit");
+    assert!(out.status.success());
+}
+
+#[test]
+fn log_level_flag_validates_and_filters() {
+    // Unknown level: usage error, exit 2.
+    let out = cli()
+        .args(["serve", "--log-level", "verbose"])
+        .stdin(Stdio::null())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown log level"));
+
+    // At error level an orderly run says nothing on stderr; at info the
+    // startup line appears, leveled and timestamped.
+    let stream = "{\"id\":\"end\",\"cmd\":\"shutdown\"}\n";
+    for (level, expect_info) in [("error", false), ("info", true)] {
+        let mut child = cli()
+            .args(["serve", "--log-level", level])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(stream.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let has_info = stderr.lines().any(|l| l.contains(" INFO serve:"));
+        assert_eq!(
+            has_info, expect_info,
+            "--log-level {level} stderr: {stderr}"
+        );
+    }
+}
