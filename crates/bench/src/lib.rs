@@ -33,6 +33,15 @@ pub enum Policy {
     /// Sia with an explicit restart-amortization horizon in seconds
     /// (Figure 10 sensitivity sweep).
     SiaWithHorizon(u32),
+    /// Sia with the sharded MILP decomposition and an anytime per-round
+    /// time budget in seconds (Figure 9 at 4k–65k GPUs). The gap
+    /// tolerance is relaxed to 1e-3: at these scales the per-shard MILPs
+    /// prove optimality quickly and the residual gap comes from the
+    /// decomposition itself.
+    SiaSharded {
+        /// Per-round anytime budget, seconds.
+        round_budget_s: u32,
+    },
     /// Pollux (adaptive, heterogeneity-blind).
     Pollux,
     /// Gavel + TunedJobs (rigid, heterogeneity-aware).
@@ -51,6 +60,7 @@ impl Policy {
             Policy::SiaWithPower(p) => format!("Sia(p={})", *p as f64 / 10.0),
             Policy::SiaWithRound(r) => format!("Sia(round={r}s)"),
             Policy::SiaWithHorizon(h) => format!("Sia(horizon={h}s)"),
+            Policy::SiaSharded { .. } => "Sia-sharded".into(),
             Policy::Pollux => "Pollux".into(),
             Policy::GavelTuned => "Gavel+TJ".into(),
             Policy::ShockwaveTuned => "Shockwave+TJ".into(),
@@ -82,6 +92,15 @@ impl Policy {
                 restart_horizon_secs: *h as f64,
                 ..SiaConfig::default()
             })),
+            Policy::SiaSharded { round_budget_s } => {
+                let mut cfg = SiaConfig {
+                    round_budget: Some(*round_budget_s as f64),
+                    ..SiaConfig::default()
+                };
+                cfg.shard.enabled = true;
+                cfg.milp.gap_tolerance = 1e-3;
+                Box::new(SiaPolicy::new(cfg))
+            }
             Policy::Pollux => Box::new(PolluxPolicy::new(sia_baselines::pollux::PolluxConfig {
                 seed,
                 ..Default::default()
@@ -290,6 +309,11 @@ pub fn aggregates_json(aggs: &[Aggregate]) -> serde_json::Value {
                 "max_rel_gap": a.max(|s| s.solver.map_or(0.0, |p| p.max_rel_gap)),
                 "milp_nodes_pruned": a.mean(|s| s.solver.map_or(0.0, |p| p.total_nodes_pruned as f64)),
                 "mean_seed_objective": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_seed_objective)),
+                // Sharded-decomposition telemetry (zeros for the monolithic path).
+                "sharded_rounds": a.mean(|s| s.solver.map_or(0.0, |p| p.sharded_rounds as f64)),
+                "mean_shards": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_shards)),
+                "budget_exhausted_rounds": a.mean(|s| s.solver.map_or(0.0, |p| p.budget_exhausted_rounds as f64)),
+                "mean_lagrangian_iters": a.mean(|s| s.solver.map_or(0.0, |p| p.mean_lagrangian_iters)),
             })
         })
         .collect();
@@ -314,6 +338,7 @@ mod tests {
     fn policy_labels_and_builders() {
         for p in [
             Policy::Sia,
+            Policy::SiaSharded { round_budget_s: 15 },
             Policy::Pollux,
             Policy::GavelTuned,
             Policy::ShockwaveTuned,

@@ -7,16 +7,17 @@
 //! no per-node rows are needed.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sia_cluster::{ClusterView, Configuration, JobId};
 use sia_sim::SolveOutcome;
 use sia_solver::{
-    solve_assignment_lagrangian, AssignmentItem, MilpOptions, MilpWarmStart, Problem, Sense,
-    SolverError,
+    merge_shards, plan_shards, solve_assignment_lagrangian, solve_shard, AssignmentItem,
+    DecomposeOptions, MilpOptions, MilpWarmStart, Problem, Sense, ShardOutcome, SolverError,
 };
 
 use crate::matrix::Candidate;
+use crate::pool;
 
 /// Jobs whose resources are pinned this round (non-preemptive jobs and
 /// reservations, §3.4): the matching candidate is forced into the solution.
@@ -55,6 +56,18 @@ pub struct AssignmentStats {
     pub warm_nodes: usize,
     /// Estimated simplex pivots avoided by parent-basis reuse.
     pub warm_pivots_saved: usize,
+    /// Shards solved by the decomposed path (0 on the monolithic path).
+    pub shards: usize,
+    /// A node/time budget stopped at least one solve before an optimality
+    /// proof; the reported solution is the anytime incumbent.
+    pub budget_exhausted: bool,
+    /// Subgradient iterations of the Lagrangian pricing pass (0 when no
+    /// pricing ran).
+    pub lagrangian_iters: usize,
+    /// Final absolute duality gap of the pricing pass.
+    pub lagrangian_gap: f64,
+    /// Euclidean norm of the final Lagrangian multipliers (capacity prices).
+    pub lagrangian_norm: f64,
     /// How the solve concluded.
     pub outcome: SolveOutcome,
 }
@@ -116,6 +129,11 @@ pub fn solve_assignment_warm(
             incumbent_seed: None,
             warm_nodes: 0,
             warm_pivots_saved: 0,
+            shards: 0,
+            budget_exhausted: false,
+            lagrangian_iters: 0,
+            lagrangian_gap: 0.0,
+            lagrangian_norm: 0.0,
             outcome: SolveOutcome::Empty,
         };
         return (BTreeMap::new(), stats);
@@ -203,6 +221,11 @@ pub fn solve_assignment_warm(
                 incumbent_seed: milp.incumbent_seed_objective,
                 warm_nodes: milp.warm_nodes,
                 warm_pivots_saved: milp.warm_pivots_saved,
+                shards: 0,
+                budget_exhausted: milp.status == sia_solver::MilpStatus::Feasible,
+                lagrangian_iters: 0,
+                lagrangian_gap: 0.0,
+                lagrangian_norm: 0.0,
                 outcome: match milp.status {
                     sia_solver::MilpStatus::Optimal => SolveOutcome::Optimal,
                     sia_solver::MilpStatus::Feasible => SolveOutcome::Feasible,
@@ -249,11 +272,169 @@ pub fn solve_assignment_warm(
                 incumbent_seed: None,
                 warm_nodes: 0,
                 warm_pivots_saved: 0,
+                shards: 0,
+                budget_exhausted: true,
+                lagrangian_iters: if outcome == SolveOutcome::LagrangianFallback {
+                    50
+                } else {
+                    0
+                },
+                lagrangian_gap: 0.0,
+                lagrangian_norm: 0.0,
                 outcome,
             };
             (out, stats)
         }
     }
+}
+
+/// Per-round knobs of the sharded (price-and-decompose) solve path.
+#[derive(Debug, Clone)]
+pub struct ShardSolveOptions {
+    /// Decomposition parameters (cohort size, escalation threshold, pricing
+    /// iterations) plus the per-shard branch-and-bound options.
+    pub decompose: DecomposeOptions,
+    /// Per-round time budget in seconds, split across the estimated shard
+    /// count and converted into a deterministic per-shard node budget.
+    /// `None` leaves each shard bounded by `decompose.milp.max_nodes` alone.
+    pub round_budget: Option<f64>,
+    /// Worker threads for the shard fan-out (see [`pool::resolve_workers`]).
+    pub workers: usize,
+}
+
+impl Default for ShardSolveOptions {
+    fn default() -> Self {
+        ShardSolveOptions {
+            decompose: DecomposeOptions::default(),
+            round_budget: None,
+            workers: 1,
+        }
+    }
+}
+
+/// Solves the assignment ILP via the sharded price-and-decompose path
+/// (`sia_solver::decompose`), fanning independent shard solves out over the
+/// deterministic worker pool.
+///
+/// Reserved jobs are pre-assigned before pricing: a forced job whose
+/// matching candidate exists takes its configuration off the top (its
+/// capacity is deducted, its other candidates are dropped), mirroring the
+/// monolithic path where forcing binds only when the candidate exists. The
+/// result is identical at any worker count: shards are planned
+/// deterministically, solved independently, and merged in plan order.
+pub fn solve_assignment_sharded(
+    cluster: &ClusterView,
+    candidates: &[Candidate],
+    forced: &ForcedAssignments,
+    opts: &ShardSolveOptions,
+) -> (BTreeMap<JobId, Configuration>, AssignmentStats) {
+    if candidates.is_empty() {
+        let (_, stats) =
+            solve_assignment_warm(cluster, candidates, forced, &opts.decompose.milp, None);
+        return (BTreeMap::new(), stats);
+    }
+
+    let build_t0 = Instant::now();
+    let build_span = sia_telemetry::span("policy.shard_build");
+
+    // Pre-assign reservations that have a matching candidate.
+    let mut out: BTreeMap<JobId, Configuration> = BTreeMap::new();
+    let mut forced_weight = 0.0_f64;
+    let mut capacities: Vec<f64> = {
+        let max_row = cluster.gpu_types().map(|t| t.0).max().unwrap_or(0);
+        let mut caps = vec![0.0_f64; max_row + 1];
+        for t in cluster.gpu_types() {
+            caps[t.0] = cluster.gpus_of_type(t) as f64;
+        }
+        caps
+    };
+    for c in candidates {
+        if forced.get(&c.job) == Some(&c.config) && !out.contains_key(&c.job) {
+            out.insert(c.job, c.config);
+            forced_weight += c.weight;
+            let row = c.config.gpu_type.0;
+            capacities[row] = (capacities[row] - c.config.gpus as f64).max(0.0);
+        }
+    }
+
+    // Items over the remaining (unforced) candidates; group = job index in
+    // the sorted job list, exactly as the Lagrangian fallback builds it.
+    let jobs: Vec<JobId> = {
+        let mut v: Vec<JobId> = candidates
+            .iter()
+            .map(|c| c.job)
+            .filter(|j| !out.contains_key(j))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let group_of: BTreeMap<JobId, usize> = jobs.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+    let mut items: Vec<AssignmentItem> = Vec::new();
+    let mut item_cand: Vec<usize> = Vec::new();
+    for (i, c) in candidates.iter().enumerate() {
+        if let Some(&g) = group_of.get(&c.job) {
+            items.push(AssignmentItem {
+                group: g,
+                usage: vec![(c.config.gpu_type.0, c.config.gpus as f64)],
+                weight: c.weight,
+            });
+            item_cand.push(i);
+        }
+    }
+    drop(build_span);
+    let build_s = build_t0.elapsed().as_secs_f64();
+
+    // Split any round budget across the estimated shard count so the whole
+    // fan-out respects it; the conversion to node budgets is deterministic
+    // (see `sia_solver::milp::deterministic_node_budget`).
+    let mut dec = opts.decompose.clone();
+    if let Some(budget_s) = opts.round_budget {
+        let est_shards = jobs.len().div_ceil(dec.max_shard_groups.max(1)).max(1);
+        let per_shard = (budget_s / est_shards as f64).max(1e-6);
+        dec.milp.time_limit = Some(Duration::from_secs_f64(per_shard));
+    }
+
+    let solve_t0 = Instant::now();
+    let solve_span = sia_telemetry::span("policy.shard_solve");
+    let plan = plan_shards(&items, &capacities, &dec);
+    let workers = pool::resolve_workers(opts.workers);
+    let outcomes: Vec<ShardOutcome> =
+        pool::ordered_map(&plan.shards, workers, |s| solve_shard(s, &items, &dec.milp));
+    let merged = merge_shards(&plan, &outcomes, &items, &capacities, &dec);
+    drop(solve_span);
+
+    for (&g, &i) in &merged.chosen {
+        out.insert(jobs[g], candidates[item_cand[i]].config);
+    }
+
+    let objective = merged.objective + forced_weight;
+    let stats = AssignmentStats {
+        build_s,
+        solve_s: solve_t0.elapsed().as_secs_f64(),
+        nodes: merged.nodes,
+        pivots: merged.pivots,
+        lp_objective: None,
+        objective: Some(objective),
+        best_bound: Some(merged.best_bound + forced_weight),
+        nodes_pruned: 0,
+        first_incumbent_node: None,
+        first_incumbent_s: None,
+        incumbent_seed: None,
+        warm_nodes: 0,
+        warm_pivots_saved: 0,
+        shards: merged.shards,
+        budget_exhausted: merged.budget_exhausted,
+        lagrangian_iters: merged.lagrangian.iterations,
+        lagrangian_gap: merged.lagrangian.duality_gap,
+        lagrangian_norm: merged.lagrangian.multiplier_norm,
+        outcome: if merged.escalated && !merged.budget_exhausted {
+            SolveOutcome::Optimal
+        } else {
+            SolveOutcome::Feasible
+        },
+    };
+    (out, stats)
 }
 
 /// Total candidate weight of an assignment (the quantity the ILP maximizes).
@@ -463,6 +644,107 @@ mod tests {
         let c = two_type_cluster();
         let sol = solve_assignment(&c, &[], &ForcedAssignments::new(), &MilpOptions::default());
         assert!(sol.is_empty());
+    }
+
+    #[test]
+    fn sharded_solve_matches_monolithic_on_small_instances() {
+        let c = two_type_cluster();
+        let a = GpuTypeId(0);
+        let b = GpuTypeId(1);
+        let mut cands = Vec::new();
+        for j in 0..6u64 {
+            for (t, g) in [(a, 1usize), (a, 2), (b, 2), (b, 4)] {
+                cands.push(cand(
+                    j,
+                    Configuration::new(1, g, t),
+                    1.0 + j as f64 * 0.3 + g as f64,
+                ));
+            }
+        }
+        let (mono, mono_stats) = solve_assignment_with_stats(
+            &c,
+            &cands,
+            &ForcedAssignments::new(),
+            &MilpOptions::default(),
+        );
+        let (shard, shard_stats) = solve_assignment_sharded(
+            &c,
+            &cands,
+            &ForcedAssignments::new(),
+            &ShardSolveOptions::default(),
+        );
+        // Small instance escalates to an exact solve: same objective.
+        let close = (mono_stats.objective.unwrap() - shard_stats.objective.unwrap()).abs();
+        assert!(close < 1e-6, "objectives differ by {close}");
+        assert_eq!(mono.len(), shard.len());
+        assert!(shard_stats.lagrangian_iters > 0);
+        assert!(shard_stats.best_bound.unwrap() + 1e-9 >= shard_stats.objective.unwrap());
+    }
+
+    #[test]
+    fn sharded_solve_honors_forced_assignments() {
+        let c = two_type_cluster();
+        let b = GpuTypeId(1);
+        let cands = vec![
+            cand(1, Configuration::new(1, 4, b), 100.0),
+            cand(2, Configuration::new(1, 4, b), 1.0),
+        ];
+        let mut forced = ForcedAssignments::new();
+        forced.insert(JobId(2), Configuration::new(1, 4, b));
+        let (sol, stats) =
+            solve_assignment_sharded(&c, &cands, &forced, &ShardSolveOptions::default());
+        assert_eq!(sol.get(&JobId(2)), Some(&Configuration::new(1, 4, b)));
+        assert!(
+            !sol.contains_key(&JobId(1)),
+            "capacity went to the reservation"
+        );
+        assert!(stats.objective.unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn sharded_solve_identical_across_worker_counts() {
+        let c = two_type_cluster();
+        let a = GpuTypeId(0);
+        let b = GpuTypeId(1);
+        let mut cands = Vec::new();
+        for j in 0..12u64 {
+            for (t, g) in [(a, 1usize), (a, 2), (b, 1), (b, 2), (b, 4)] {
+                cands.push(cand(
+                    j,
+                    Configuration::new(1, g, t),
+                    1.0 + (j as f64 * 0.7).sin().abs() + g as f64 * 0.4,
+                ));
+            }
+        }
+        // Force the pure sharded path so the worker fan-out actually runs.
+        let mk = |workers| ShardSolveOptions {
+            decompose: sia_solver::DecomposeOptions {
+                escalation_vars: 0,
+                max_shard_groups: 3,
+                ..Default::default()
+            },
+            round_budget: Some(0.05),
+            workers,
+        };
+        let (base, base_stats) =
+            solve_assignment_sharded(&c, &cands, &ForcedAssignments::new(), &mk(1));
+        assert!(base_stats.shards >= 2);
+        for workers in [2usize, 0] {
+            let (sol, stats) =
+                solve_assignment_sharded(&c, &cands, &ForcedAssignments::new(), &mk(workers));
+            assert_eq!(base, sol, "workers={workers}");
+            assert_eq!(base_stats.objective, stats.objective);
+            assert_eq!(base_stats.best_bound, stats.best_bound);
+            assert_eq!(base_stats.nodes, stats.nodes);
+            assert_eq!(base_stats.shards, stats.shards);
+        }
+        // Capacity respected.
+        let mut used = std::collections::BTreeMap::new();
+        for cfg in base.values() {
+            *used.entry(cfg.gpu_type).or_insert(0usize) += cfg.gpus;
+        }
+        assert!(used.get(&GpuTypeId(0)).copied().unwrap_or(0) <= 2);
+        assert!(used.get(&GpuTypeId(1)).copied().unwrap_or(0) <= 4);
     }
 }
 

@@ -30,8 +30,11 @@ pub mod policy;
 pub mod pool;
 
 pub use ilp::{
-    solve_assignment, solve_assignment_warm, solve_assignment_with_stats, AssignmentStats,
-    ForcedAssignments,
+    solve_assignment, solve_assignment_sharded, solve_assignment_warm, solve_assignment_with_stats,
+    AssignmentStats, ForcedAssignments, ShardSolveOptions,
 };
-pub use matrix::{Candidate, MatrixCache, RefreshStats, DEFAULT_RESTART_HORIZON_SECS};
-pub use policy::{SiaConfig, SiaPolicy};
+pub use matrix::{
+    config_fingerprint, max_gpu_demand, prune_config_set, Candidate, MatrixCache, RefreshStats,
+    DEFAULT_RESTART_HORIZON_SECS,
+};
+pub use policy::{ShardConfig, SiaConfig, SiaPolicy};

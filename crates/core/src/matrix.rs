@@ -127,6 +127,59 @@ pub fn raw_values(
         .collect()
 }
 
+/// Largest GPU count any live job could legally be assigned: rigid jobs pin
+/// their exact count, adaptive jobs are bounded by the submitter's
+/// `max_gpus`. Configurations above this bound are disallowed for *every*
+/// job by [`config_allowed`], so pruning them cannot change any decision.
+pub fn max_gpu_demand(jobs: &[JobView<'_>]) -> usize {
+    jobs.iter()
+        .map(|v| match v.spec.adaptivity {
+            Adaptivity::Rigid { num_gpus, .. } => num_gpus.max(v.spec.max_gpus),
+            _ => v.spec.max_gpus,
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Restricts the configuration set to what live jobs can actually demand.
+///
+/// The full per-type configuration set grows with the node count (`N + log R`
+/// entries per type), so on a 65k-GPU cluster a matrix row would carry tens
+/// of thousands of columns — almost all describing allocations far larger
+/// than any job's `max_gpus` cap. Dropping those keeps row width (and
+/// candidate enumeration) proportional to job demand, not cluster size,
+/// without changing a single scheduling decision.
+pub fn prune_config_set(configs: &[Configuration], jobs: &[JobView<'_>]) -> Vec<Configuration> {
+    let demand = max_gpu_demand(jobs);
+    configs
+        .iter()
+        .filter(|cfg| cfg.gpus <= demand)
+        .copied()
+        .collect()
+}
+
+/// Order-sensitive FNV-1a fingerprint of a configuration set, used as a
+/// cache-invalidation key. Pruning can produce sets of equal *length* but
+/// different *content* round over round, so the cache must key on content.
+pub fn config_fingerprint(configs: &[Configuration]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for cfg in configs {
+        mix(cfg.nodes as u64);
+        mix(cfg.gpus as u64);
+        mix(cfg.gpu_type.0 as u64);
+    }
+    h
+}
+
 /// Weighting parameters of the goodput matrix (see Eq. 4 and §3.4).
 #[derive(Debug, Clone)]
 pub struct MatrixParams {
@@ -258,6 +311,10 @@ struct CachedRow {
     cluster_version: u64,
     /// Progress decile at computation time (see [`progress_bucket`]).
     progress_bucket: u32,
+    /// [`config_fingerprint`] of the configuration set the row was
+    /// enumerated against. Content-keyed (not length-keyed): pruned sets can
+    /// keep their length while changing their members.
+    config_fp: u64,
     values: Vec<Option<(usize, f64)>>,
 }
 
@@ -330,13 +387,14 @@ impl MatrixCache {
         let live: BTreeSet<JobId> = jobs.iter().map(|v| v.id).collect();
         self.rows.retain(|id, _| live.contains(id));
 
+        let config_fp = config_fingerprint(configs);
         let dirty: Vec<&JobView<'_>> = jobs
             .iter()
             .filter(|view| match self.rows.get(&view.id) {
                 Some(row) => {
                     row.version != view.estimator.version()
                         || row.cluster_version != cluster.version()
-                        || row.values.len() != configs.len()
+                        || row.config_fp != config_fp
                         || row.progress_bucket != progress_bucket(view.progress)
                 }
                 None => true,
@@ -355,6 +413,7 @@ impl MatrixCache {
                     version: view.estimator.version(),
                     cluster_version: cluster.version(),
                     progress_bucket: progress_bucket(view.progress),
+                    config_fp,
                     values,
                 },
             );
@@ -685,6 +744,87 @@ mod tests {
                 assert_eq!(serial.row(s.id), par.row(s.id), "workers={workers}");
             }
         }
+    }
+
+    #[test]
+    fn pruned_config_set_preserves_candidates() {
+        let c = cluster();
+        let configs = sia_cluster::config_set(&c);
+        let job = spec_job(Adaptivity::Adaptive, 1, 8);
+        let est = estimator();
+        let cur = Placement::new(vec![(0, 2)]);
+        let v = view(&job, &est, &cur);
+        let views = vec![view(&job, &est, &cur)];
+        let pruned = prune_config_set(&configs, &views);
+        assert!(pruned.len() < configs.len());
+        assert!(pruned.iter().all(|cfg| cfg.gpus <= 8));
+        let full = job_candidates(&v, &c, &configs, -0.5, 1.1);
+        let small = job_candidates(&v, &c, &pruned, -0.5, 1.1);
+        assert_eq!(full.len(), small.len());
+        for (a, b) in full.iter().zip(&small) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn rigid_demand_beyond_max_gpus_is_respected() {
+        let c = cluster();
+        let configs = sia_cluster::config_set(&c);
+        let job = spec_job(
+            Adaptivity::Rigid {
+                batch_size: 512.0,
+                num_gpus: 16,
+            },
+            1,
+            4,
+        );
+        let est = estimator();
+        let cur = Placement::empty();
+        let views = vec![view(&job, &est, &cur)];
+        assert_eq!(max_gpu_demand(&views), 16);
+        let pruned = prune_config_set(&configs, &views);
+        assert!(pruned.iter().any(|cfg| cfg.gpus == 16));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_same_length_sets() {
+        let t = GpuTypeId(0);
+        let a = vec![Configuration::new(1, 2, t), Configuration::new(1, 4, t)];
+        let b = vec![Configuration::new(1, 2, t), Configuration::new(1, 8, t)];
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a.clone()));
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&a[..1]));
+    }
+
+    #[test]
+    fn cache_invalidates_on_config_content_change() {
+        let c = ClusterView::new(cluster());
+        let configs = sia_cluster::config_set(c.spec());
+        let est = vec![estimator()];
+        let specs = [spec_job(Adaptivity::Adaptive, 1, 64)];
+        let cur = Placement::empty();
+        let views: Vec<JobView<'_>> = specs
+            .iter()
+            .zip(&est)
+            .map(|(s, e)| JobView {
+                id: s.id,
+                spec: s,
+                estimator: e,
+                current: &cur,
+                age: 600.0,
+                restarts: 0,
+                restart_delay: 30.0,
+                progress: 0.2,
+            })
+            .collect();
+        let mut cache = MatrixCache::new();
+        cache.refresh(&views, &c, &configs[..4], 1);
+        // Same length, different members: the row must be rebuilt.
+        let shifted = configs[1..5].to_vec();
+        let stats = cache.refresh(&views, &c, &shifted, 1);
+        assert_eq!(stats.rebuilt, 1);
+        assert_eq!(stats.reused, 0);
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! The Sia scheduler policy (implements [`sia_sim::Scheduler`]).
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sia_cluster::{config_set_view, ClusterView, Configuration, GpuTypeId, JobId, Placement};
 use sia_sim::{AllocationMap, DecisionInfo, JobView, Scheduler, SolverStats};
-use sia_solver::MilpOptions;
+use sia_solver::{DecomposeOptions, MilpOptions};
 
-use crate::ilp::{solve_assignment_warm, ForcedAssignments};
-use crate::matrix::MatrixCache;
+use crate::ilp::{
+    solve_assignment_sharded, solve_assignment_warm, ForcedAssignments, ShardSolveOptions,
+};
+use crate::matrix::{prune_config_set, MatrixCache};
 use crate::placer::realize;
 
 /// Tunable parameters of the Sia policy (§4.3 defaults).
@@ -32,6 +34,43 @@ pub struct SiaConfig {
     pub workers: usize,
     /// Branch-and-bound limits for the per-round ILP.
     pub milp: MilpOptions,
+    /// Per-round solve time budget in seconds. `None` (the default) bounds
+    /// the solve by `milp.max_nodes` alone. When set, the budget is
+    /// converted **once per round** into deterministic node budgets (see
+    /// `sia_solver::milp::deterministic_node_budget`), so a round never
+    /// blocks the cluster: on expiry the best incumbent — or the rounded
+    /// Lagrangian-relaxation solution — is returned with its proven bound,
+    /// and the optimality-gap telemetry reports the honest anytime gap.
+    pub round_budget: Option<f64>,
+    /// Sharded (price-and-decompose) solve path configuration.
+    pub shard: ShardConfig,
+}
+
+/// Configuration of the sharded solve path (see `sia_solver::decompose`).
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Route rounds through the sharded path instead of the monolithic
+    /// branch-and-bound. Off by default: the monolith is exact and fast up
+    /// to ~1k GPUs; sharding is what scales rounds to 16k–65k GPUs.
+    pub enabled: bool,
+    /// Maximum job groups per shard.
+    pub max_shard_groups: usize,
+    /// Escalate to an exact monolithic solve at or below this many ILP
+    /// variables (`0` disables escalation).
+    pub escalation_vars: usize,
+    /// Subgradient iterations of the Lagrangian pricing pass.
+    pub lagrangian_iters: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            enabled: false,
+            max_shard_groups: 24,
+            escalation_vars: 600,
+            lagrangian_iters: 120,
+        }
+    }
 }
 
 impl Default for SiaConfig {
@@ -48,6 +87,8 @@ impl Default for SiaConfig {
                 time_limit: None,
                 gap_tolerance: 1e-9,
             },
+            round_budget: None,
+            shard: ShardConfig::default(),
         }
     }
 }
@@ -139,7 +180,11 @@ impl Scheduler for SiaPolicy {
     ) -> AllocationMap {
         let _span = sia_telemetry::span("policy.schedule");
         let spec = cluster.spec();
-        let configs = config_set_view(cluster);
+        // Restrict the configuration set to what live jobs can demand: on
+        // large clusters the full set grows with the node count while job
+        // demand does not, and dropping configurations no job may take
+        // cannot change any decision (see `matrix::prune_config_set`).
+        let configs = prune_config_set(&config_set_view(cluster), jobs);
         let workers = crate::pool::resolve_workers(self.cfg.workers);
 
         // Capacity changed since last round: the previous assignment may
@@ -194,14 +239,40 @@ impl Scheduler for SiaPolicy {
         let goodput_s = goodput_t0.elapsed().as_secs_f64();
         sia_telemetry::counter("policy.candidates").add(candidates.len() as u64);
 
-        // 2. Assignment ILP (Eq. 4), warm-started from last round's choices.
-        let (chosen, ilp) = solve_assignment_warm(
-            cluster,
-            &candidates,
-            &self.reservations,
-            &self.cfg.milp,
-            Some(&self.prev_assignment),
-        );
+        // 2. Assignment ILP (Eq. 4). The sharded path prices capacities with
+        // a Lagrangian pass and solves per-cohort shards on the worker pool;
+        // the monolithic path is warm-started from last round's choices.
+        // Either way a `round_budget` is converted once into deterministic
+        // node budgets, so the solve is anytime without losing determinism.
+        let (chosen, ilp) = if self.cfg.shard.enabled {
+            solve_assignment_sharded(
+                cluster,
+                &candidates,
+                &self.reservations,
+                &ShardSolveOptions {
+                    decompose: DecomposeOptions {
+                        max_shard_groups: self.cfg.shard.max_shard_groups,
+                        escalation_vars: self.cfg.shard.escalation_vars,
+                        lagrangian_iters: self.cfg.shard.lagrangian_iters,
+                        milp: self.cfg.milp.clone(),
+                    },
+                    round_budget: self.cfg.round_budget,
+                    workers: self.cfg.workers,
+                },
+            )
+        } else {
+            let mut milp = self.cfg.milp.clone();
+            if milp.time_limit.is_none() {
+                milp.time_limit = self.cfg.round_budget.map(Duration::from_secs_f64);
+            }
+            solve_assignment_warm(
+                cluster,
+                &candidates,
+                &self.reservations,
+                &milp,
+                Some(&self.prev_assignment),
+            )
+        };
 
         // Decision provenance: for every job, the weight of the chosen
         // configuration vs the best weight it was offered at all — one pass
@@ -267,6 +338,11 @@ impl Scheduler for SiaPolicy {
             incumbent_seed: ilp.incumbent_seed,
             warm_pivots_saved: ilp.warm_pivots_saved,
             workers,
+            shards: ilp.shards,
+            budget_exhausted: ilp.budget_exhausted,
+            lagrangian_iters: ilp.lagrangian_iters,
+            lagrangian_gap: ilp.lagrangian_gap,
+            lagrangian_norm: ilp.lagrangian_norm,
             outcome: ilp.outcome,
         });
         allocations
@@ -532,6 +608,52 @@ mod tests {
         let serial = run(1);
         for workers in [2usize, 4, 8] {
             assert_eq!(run(workers), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn sharded_policy_allocations_identical_across_worker_counts() {
+        // The sharded path must also be worker-count independent, and its
+        // allocations must respect capacity like the monolith's.
+        let spec = ClusterSpec::heterogeneous_64();
+        let cluster = ClusterView::new(spec.clone());
+        let run = |workers: usize| {
+            let mut fx = Fixture::new(16, 16, &[1.0, 1.8, 4.0]);
+            let mut sia = SiaPolicy::new(SiaConfig {
+                workers,
+                round_budget: Some(5.0),
+                shard: ShardConfig {
+                    enabled: true,
+                    max_shard_groups: 4,
+                    escalation_vars: 0, // force the sharded machinery
+                    ..ShardConfig::default()
+                },
+                ..SiaConfig::default()
+            });
+            let mut rounds = Vec::new();
+            for _ in 0..4 {
+                let allocs = sia.schedule(0.0, &fx.views(), &cluster);
+                for (i, s) in fx.specs.iter().enumerate() {
+                    fx.placements[i] = allocs.get(&s.id).cloned().unwrap_or_else(Placement::empty);
+                }
+                rounds.push(allocs);
+            }
+            let stats = sia.round_stats().expect("stats recorded");
+            (rounds, stats)
+        };
+        let (serial, serial_stats) = run(1);
+        assert!(serial_stats.shards >= 2, "sharded path must engage");
+        assert!(serial_stats.lagrangian_iters > 0);
+        for workers in [2usize, 4, 0] {
+            let (rounds, stats) = run(workers);
+            assert_eq!(rounds, serial, "workers={workers}");
+            assert_eq!(stats.objective, serial_stats.objective);
+            assert_eq!(stats.shards, serial_stats.shards);
+        }
+        // Capacity respected in every round.
+        let mut free = sia_cluster::FreeGpus::all_free(&spec);
+        for p in serial.last().unwrap().values() {
+            free.take(p);
         }
     }
 

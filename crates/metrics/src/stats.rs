@@ -79,6 +79,15 @@ pub struct SolverPhaseSummary {
     pub total_nodes_pruned: u64,
     /// Mean objective of accepted warm-start seeds, over seeded rounds.
     pub mean_seed_objective: f64,
+    /// Rounds solved by the sharded decomposition path.
+    pub sharded_rounds: usize,
+    /// Mean shard count over sharded rounds (0 when none were sharded).
+    pub mean_shards: f64,
+    /// Rounds where the per-round time budget expired before optimality
+    /// was proven (the anytime incumbent was returned instead).
+    pub budget_exhausted_rounds: usize,
+    /// Mean Lagrangian pricing iterations over rounds that ran pricing.
+    pub mean_lagrangian_iters: f64,
 }
 
 /// Aggregates per-round [`sia_sim::SolverStats`] into a phase summary
@@ -139,6 +148,22 @@ pub fn summarize_phases(result: &SimResult) -> Option<SolverPhaseSummary> {
         max_rel_gap: rel_gaps.last().copied().unwrap_or(0.0),
         total_nodes_pruned: stats.iter().map(|s| s.nodes_pruned as u64).sum(),
         mean_seed_objective: mean_of(&seeds),
+        sharded_rounds: stats.iter().filter(|s| s.shards > 0).count(),
+        mean_shards: mean_of(
+            &stats
+                .iter()
+                .filter(|s| s.shards > 0)
+                .map(|s| s.shards as f64)
+                .collect::<Vec<_>>(),
+        ),
+        budget_exhausted_rounds: stats.iter().filter(|s| s.budget_exhausted).count(),
+        mean_lagrangian_iters: mean_of(
+            &stats
+                .iter()
+                .filter(|s| s.lagrangian_iters > 0)
+                .map(|s| s.lagrangian_iters as f64)
+                .collect::<Vec<_>>(),
+        ),
     })
 }
 

@@ -378,6 +378,24 @@ impl Observe {
                 &[],
                 h.nodes_pruned as f64,
             );
+            reg.set_gauge(
+                "sia_solver_last_shards",
+                "MILP shards solved in the last scheduled round (0 = monolithic).",
+                &[],
+                h.shards as f64,
+            );
+            reg.set_gauge(
+                "sia_solver_last_lagrangian_iters",
+                "Lagrangian pricing iterations run in the last scheduled round.",
+                &[],
+                h.lagrangian_iters as f64,
+            );
+            reg.set_gauge(
+                "sia_solver_last_lagrangian_gap",
+                "Duality gap left by the last round's Lagrangian pricing pass.",
+                &[],
+                h.lagrangian_gap,
+            );
         }
         if let Some(ratio) = self.watch.warm_hit_ratio() {
             reg.set_gauge(
@@ -392,6 +410,12 @@ impl Observe {
             "Scheduled rounds that took the greedy fallback path since start.",
             &[],
             self.watch.fallback_rounds() as f64,
+        );
+        reg.set_gauge(
+            "sia_solver_budget_exhausted_rounds",
+            "Scheduled rounds whose time budget expired before optimality was proven.",
+            &[],
+            self.watch.budget_exhausted_rounds() as f64,
         );
         format!("{}{}", reg.render(), registry::prometheus_globals())
     }

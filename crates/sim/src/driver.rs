@@ -79,6 +79,16 @@ pub struct RoundHealth {
     pub warm_seeded: bool,
     /// Whether the solver fell back to the greedy path.
     pub fallback: bool,
+    /// MILP shards solved this round (0 = monolithic solve).
+    pub shards: usize,
+    /// Whether the per-round time budget expired before optimality was
+    /// proven (the anytime incumbent was published instead).
+    pub budget_exhausted: bool,
+    /// Lagrangian pricing iterations run this round (0 when pricing
+    /// didn't run).
+    pub lagrangian_iters: usize,
+    /// Duality gap left by the Lagrangian pricing pass.
+    pub lagrangian_gap: f64,
 }
 
 /// Cloneable, thread-safe observation hook over a driver's round loop.
@@ -100,6 +110,7 @@ struct WatchInner {
     scheduled_rounds: AtomicU64,
     warm_seeded_rounds: AtomicU64,
     fallback_rounds: AtomicU64,
+    budget_exhausted_rounds: AtomicU64,
     in_round_since: Mutex<Option<Instant>>,
     last: Mutex<Option<RoundHealth>>,
 }
@@ -120,6 +131,11 @@ impl RoundWatch {
             }
             if health.fallback {
                 self.inner.fallback_rounds.fetch_add(1, Ordering::Relaxed);
+            }
+            if health.budget_exhausted {
+                self.inner
+                    .budget_exhausted_rounds
+                    .fetch_add(1, Ordering::Relaxed);
             }
             *self.inner.last.lock().unwrap() = Some(health);
         }
@@ -155,6 +171,12 @@ impl RoundWatch {
     /// Scheduled rounds that took the greedy fallback path.
     pub fn fallback_rounds(&self) -> u64 {
         self.inner.fallback_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Scheduled rounds whose per-round time budget expired before the
+    /// solve proved optimality (anytime incumbent published instead).
+    pub fn budget_exhausted_rounds(&self) -> u64 {
+        self.inner.budget_exhausted_rounds.load(Ordering::Relaxed)
     }
 
     /// Warm-start hit rate over scheduled rounds, if any ran.
@@ -535,6 +557,10 @@ impl SimDriver {
             nodes_pruned: s.nodes_pruned,
             warm_seeded: s.incumbent_seed.is_some(),
             fallback: is_fallback(&solver_stats),
+            shards: s.shards,
+            budget_exhausted: s.budget_exhausted,
+            lagrangian_iters: s.lagrangian_iters,
+            lagrangian_gap: s.lagrangian_gap,
         });
         self.rounds.push(RoundLog {
             time: now,

@@ -704,6 +704,11 @@ pub(crate) fn record_audit_round(
             seed_objective: s.incumbent_seed,
             warm_pivots_saved: s.warm_pivots_saved,
             solve_s: s.solve_s,
+            shards: s.shards as u64,
+            budget_exhausted: s.budget_exhausted,
+            lagrangian_iters: s.lagrangian_iters as u64,
+            lagrangian_gap: s.lagrangian_gap,
+            lagrangian_norm: s.lagrangian_norm,
         },
     );
 }

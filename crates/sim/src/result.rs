@@ -128,6 +128,20 @@ pub struct SolverStats {
     pub warm_pivots_saved: usize,
     /// Worker threads used for candidate-matrix evaluation.
     pub workers: usize,
+    /// Shards solved by the decomposed (price-and-decompose) path; 0 when
+    /// the round used the monolithic branch-and-bound.
+    pub shards: usize,
+    /// A node/time budget stopped at least one solve before an optimality
+    /// proof this round; the returned assignment is the anytime incumbent
+    /// and `best_bound` still bounds the optimum honestly.
+    pub budget_exhausted: bool,
+    /// Subgradient iterations of the Lagrangian pricing pass (0 when no
+    /// pricing ran this round).
+    pub lagrangian_iters: usize,
+    /// Final absolute duality gap of the pricing pass.
+    pub lagrangian_gap: f64,
+    /// Euclidean norm of the final Lagrangian multipliers (GPU prices).
+    pub lagrangian_norm: f64,
     /// How the solve concluded.
     pub outcome: SolveOutcome,
 }
@@ -328,6 +342,11 @@ mod tests {
                         incumbent_seed: Some(4.4),
                         warm_pivots_saved: 10,
                         workers: 2,
+                        shards: 0,
+                        budget_exhausted: false,
+                        lagrangian_iters: 0,
+                        lagrangian_gap: 0.0,
+                        lagrangian_norm: 0.0,
                         outcome: SolveOutcome::Optimal,
                     }),
                 },

@@ -1,0 +1,690 @@
+//! Price-and-decompose sharding for the round assignment MILP.
+//!
+//! The monolithic assignment problem (one SOS-1 row per job, one knapsack row
+//! per GPU type) stops being tractable for a dense-simplex branch-and-bound
+//! once the cluster reaches tens of thousands of jobs: every node relaxation
+//! carries an `m x m` basis inverse with `m = jobs + types`. But the problem
+//! decomposes naturally along its capacity rows: once a Lagrangian pricing
+//! pass has set a multiplier (price) per GPU-type row and produced a repaired
+//! feasible point, jobs can be partitioned into small cohorts that each
+//! re-optimize *exactly* within a capacity slice, and the slices sum to at
+//! most the true capacities — so the merged solution is feasible by
+//! construction and every shard is a tiny, independent MILP.
+//!
+//! The protocol, in shard-plan order (deterministic throughout):
+//!
+//! 1. **Price.** [`crate::lagrangian::solve_assignment_lagrangian_detailed`]
+//!    produces multipliers, a repaired feasible primal, and a dual bound `D`
+//!    that upper-bounds the true optimum for *any* multiplier vector.
+//! 2. **Partition.** Each job group homes at the capacity row of its repaired
+//!    choice (falling back to the row of its heaviest candidate); groups with
+//!    the same home row are chunked, in ascending group order, into cohorts
+//!    of at most [`DecomposeOptions::max_shard_groups`].
+//! 3. **Slice.** A shard's capacity slice starts from what its repaired
+//!    choices already use, plus an equal share of the leftover capacity of
+//!    its home row. Slices never exceed true capacities in total.
+//! 4. **Solve.** Each shard is an exact branch-and-bound over its own items,
+//!    warm-started from the repaired choices — which are feasible for the
+//!    slice by construction, so a shard can only improve on them and never
+//!    comes back infeasible.
+//! 5. **Merge + refill.** Shard results merge in plan order (disjoint groups,
+//!    summed slices within capacity), then a deterministic greedy pass gives
+//!    still-unassigned groups any capacity the shards left unused.
+//! 6. **Bound.** The dual bound `D` is reported as `best_bound`; the gap
+//!    `D - objective` is the honest anytime gap of the decomposition.
+//!
+//! Small instances skip the approximation entirely: when the item count is at
+//! most [`DecomposeOptions::escalation_vars`], the merged point seeds a
+//! monolithic warm-started solve, so the sharded path is *exact* exactly
+//! where exactness is affordable, and degrades to priced decomposition only
+//! at the scale where the monolith is unusable.
+//!
+//! Shard solving is embarrassingly parallel: callers fan
+//! [`solve_shard`] out over a deterministic worker pool and hand the
+//! plan-ordered outcomes to [`merge_shards`]. Results are identical at any
+//! worker count because nothing about a shard depends on when it is solved.
+
+use std::collections::BTreeMap;
+
+use crate::lagrangian::{
+    solve_assignment_lagrangian_detailed, AssignmentItem, LagrangianOutcome, LagrangianTelemetry,
+};
+use crate::milp::{MilpOptions, MilpStatus, MilpWarmStart};
+use crate::problem::{Problem, Sense};
+
+/// Capacity-feasibility tolerance, matching the Lagrangian repair pass.
+const CAP_TOL: f64 = 1e-9;
+
+/// Options controlling the sharded decomposition.
+#[derive(Debug, Clone)]
+pub struct DecomposeOptions {
+    /// Maximum job groups per shard. Bounds every shard MILP to
+    /// `max_shard_groups` SOS-1 rows plus a handful of capacity rows, which
+    /// keeps the dense-simplex node cost flat as the cluster grows.
+    pub max_shard_groups: usize,
+    /// Escalate to a monolithic warm-started solve when the instance has at
+    /// most this many items. `0` disables escalation (pure decomposition).
+    pub escalation_vars: usize,
+    /// Subgradient iterations for the pricing pass.
+    pub lagrangian_iters: usize,
+    /// Branch-and-bound options applied to each shard (and to the escalated
+    /// monolithic solve). A `time_limit` here is converted to a deterministic
+    /// node budget per solve by [`crate::milp::deterministic_node_budget`].
+    pub milp: MilpOptions,
+}
+
+impl Default for DecomposeOptions {
+    fn default() -> Self {
+        DecomposeOptions {
+            max_shard_groups: 24,
+            escalation_vars: 600,
+            lagrangian_iters: 120,
+            milp: MilpOptions::default(),
+        }
+    }
+}
+
+/// One independent cohort subproblem: a set of job groups, their candidate
+/// items, and a capacity slice they may consume.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Capacity row this shard's groups home at (plan ordering key).
+    pub home_row: usize,
+    /// Job groups owned by this shard (ascending).
+    pub groups: Vec<usize>,
+    /// Global item indices of every candidate of the shard's groups
+    /// (ascending).
+    pub items: Vec<usize>,
+    /// `(capacity row, rhs)` for every row any shard item touches. The rhs is
+    /// the shard's repaired usage plus its share of the home row's leftover.
+    pub slice: Vec<(usize, f64)>,
+    /// Repaired choice per group — the warm hint, feasible for the slice.
+    pub hint: BTreeMap<usize, usize>,
+}
+
+/// Result of one shard solve.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Selected global item per group.
+    pub chosen: BTreeMap<usize, usize>,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Simplex pivots performed.
+    pub pivots: usize,
+    /// The shard hit its node/time budget before proving optimality.
+    pub limit_hit: bool,
+}
+
+/// A full shard plan: pricing outcome plus the ordered shard list.
+#[derive(Debug, Clone)]
+pub struct DecomposePlan {
+    /// Shards in deterministic `(home_row, chunk)` order.
+    pub shards: Vec<Shard>,
+    /// The Lagrangian pricing pass: multipliers, repaired primal, dual bound.
+    pub pricing: LagrangianOutcome,
+}
+
+/// Merged result of a sharded solve.
+#[derive(Debug, Clone)]
+pub struct ShardedSolution {
+    /// Selected item index per group (absent = group unassigned).
+    pub chosen: BTreeMap<usize, usize>,
+    /// Primal objective of the merged feasible solution.
+    pub objective: f64,
+    /// Proven upper bound: the Lagrangian dual bound, tightened by the
+    /// branch-and-bound bound when the solve escalated to a monolith.
+    pub best_bound: f64,
+    /// Number of shards solved (0 when escalation or an empty instance
+    /// bypassed the decomposition).
+    pub shards: usize,
+    /// Branch-and-bound nodes summed over shards (and the escalated solve).
+    pub nodes: usize,
+    /// Simplex pivots summed over shards (and the escalated solve).
+    pub pivots: usize,
+    /// At least one solve stopped on its node/time budget; the reported
+    /// solution is the anytime incumbent and `best_bound` stays honest.
+    pub budget_exhausted: bool,
+    /// The instance was small enough to re-solve monolithically.
+    pub escalated: bool,
+    /// Pricing-pass convergence telemetry.
+    pub lagrangian: LagrangianTelemetry,
+}
+
+/// Prices the instance and partitions it into shards.
+pub fn plan_shards(
+    items: &[AssignmentItem],
+    capacities: &[f64],
+    opts: &DecomposeOptions,
+) -> DecomposePlan {
+    let _span = sia_telemetry::span("solver.decompose.plan");
+    let pricing = solve_assignment_lagrangian_detailed(items, capacities, opts.lagrangian_iters);
+
+    let mut group_items: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, item) in items.iter().enumerate() {
+        group_items.entry(item.group).or_default().push(i);
+    }
+
+    // Home row per group: the capacity row of its repaired choice, else the
+    // row of its heaviest candidate (ties to the lowest item index, which is
+    // deterministic because group item lists are ascending).
+    let mut by_home: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (&g, idxs) in &group_items {
+        let rep = pricing.solution.chosen.get(&g).copied();
+        let anchor = rep.or_else(|| {
+            idxs.iter().copied().max_by(|&a, &b| {
+                items[a]
+                    .weight
+                    .partial_cmp(&items[b].weight)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a)) // prefer the lower index on ties
+            })
+        });
+        let home = anchor
+            .and_then(|i| items[i].usage.first().map(|&(r, _)| r))
+            .unwrap_or(0);
+        by_home.entry(home).or_default().push(g);
+    }
+
+    // Chunk each home row's groups (already ascending) into cohorts.
+    let chunk = opts.max_shard_groups.max(1);
+    let mut shards: Vec<Shard> = Vec::new();
+    for (&home, groups) in &by_home {
+        for cohort in groups.chunks(chunk) {
+            shards.push(Shard {
+                home_row: home,
+                groups: cohort.to_vec(),
+                items: Vec::new(),
+                slice: Vec::new(),
+                hint: BTreeMap::new(),
+            });
+        }
+    }
+
+    // Leftover capacity per row after the repaired solution, split equally
+    // among the shards homed at that row. Rows nobody homes at keep their
+    // leftover unused — conservative, never infeasible.
+    let n_rows = capacities.len();
+    let mut repaired_usage = vec![0.0_f64; n_rows];
+    for &i in pricing.solution.chosen.values() {
+        for &(r, a) in &items[i].usage {
+            repaired_usage[r] += a;
+        }
+    }
+    let mut homed = vec![0usize; n_rows];
+    for s in &shards {
+        if s.home_row < n_rows {
+            homed[s.home_row] += 1;
+        }
+    }
+    let share: Vec<f64> = (0..n_rows)
+        .map(|r| {
+            let leftover = (capacities[r] - repaired_usage[r]).max(0.0);
+            if homed[r] > 0 {
+                leftover / homed[r] as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    for shard in &mut shards {
+        let mut shard_usage: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut rows_used: BTreeMap<usize, ()> = BTreeMap::new();
+        for &g in &shard.groups {
+            for &i in &group_items[&g] {
+                shard.items.push(i);
+                for &(r, _) in &items[i].usage {
+                    rows_used.insert(r, ());
+                }
+            }
+            if let Some(&i) = pricing.solution.chosen.get(&g) {
+                shard.hint.insert(g, i);
+                for &(r, a) in &items[i].usage {
+                    *shard_usage.entry(r).or_insert(0.0) += a;
+                }
+            }
+        }
+        shard.slice = rows_used
+            .keys()
+            .map(|&r| {
+                let mut rhs = shard_usage.get(&r).copied().unwrap_or(0.0);
+                if r == shard.home_row {
+                    rhs += share.get(r).copied().unwrap_or(0.0);
+                }
+                (r, rhs)
+            })
+            .collect();
+    }
+
+    sia_telemetry::counter("solver.decompose.plans").incr();
+    sia_telemetry::counter("solver.decompose.shards").add(shards.len() as u64);
+    DecomposePlan { shards, pricing }
+}
+
+/// Solves one shard exactly (up to its budget) within its capacity slice.
+///
+/// Pure function of `(shard, items, opts)` — safe to fan out over a worker
+/// pool in any order. Never fails: the warm hint is feasible for the slice by
+/// construction, and if branch-and-bound still returns no incumbent (budget
+/// of zero nodes, say) the hint itself is the outcome.
+pub fn solve_shard(shard: &Shard, items: &[AssignmentItem], opts: &MilpOptions) -> ShardOutcome {
+    let mut p = Problem::new(Sense::Maximize);
+    let mut by_group: BTreeMap<usize, Vec<(crate::problem::VarId, f64)>> = BTreeMap::new();
+    let mut local_vars = Vec::with_capacity(shard.items.len());
+    let mut hint = vec![0.0_f64; shard.items.len()];
+    for (k, &i) in shard.items.iter().enumerate() {
+        let v = p.add_binary_var(items[i].weight);
+        local_vars.push(v);
+        by_group.entry(items[i].group).or_default().push((v, 1.0));
+        if shard.hint.get(&items[i].group) == Some(&i) {
+            hint[k] = 1.0;
+        }
+    }
+    for row in by_group.values() {
+        p.add_le(row, 1.0);
+    }
+    for &(r, rhs) in &shard.slice {
+        let row: Vec<_> = shard
+            .items
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &i)| {
+                items[i]
+                    .usage
+                    .iter()
+                    .find(|&&(ur, _)| ur == r)
+                    .map(|&(_, a)| (local_vars[k], a))
+            })
+            .collect();
+        if !row.is_empty() {
+            p.add_le(&row, rhs + CAP_TOL);
+        }
+    }
+
+    let warm = MilpWarmStart { hint };
+    match crate::milp::solve_warm(&p, opts, Some(&warm)) {
+        Ok(s) => {
+            let mut chosen = BTreeMap::new();
+            for (k, &i) in shard.items.iter().enumerate() {
+                if s.solution.values[local_vars[k].index()] > 0.5 {
+                    chosen.insert(items[i].group, i);
+                }
+            }
+            ShardOutcome {
+                chosen,
+                nodes: s.nodes_explored,
+                pivots: s.total_pivots,
+                limit_hit: s.status == MilpStatus::Feasible,
+            }
+        }
+        // Defensive: the hint is slice-feasible, so these paths are only
+        // reachable with a zero-node budget — fall back to the hint.
+        Err(_) => ShardOutcome {
+            chosen: shard.hint.clone(),
+            nodes: 0,
+            pivots: 0,
+            limit_hit: true,
+        },
+    }
+}
+
+/// Merges plan-ordered shard outcomes, refills leftover capacity, and
+/// escalates to a monolithic warm-started solve on small instances.
+///
+/// `outcomes` must be in the same order as `plan.shards` (as produced by a
+/// deterministic ordered map); merging is then independent of how the shards
+/// were scheduled.
+pub fn merge_shards(
+    plan: &DecomposePlan,
+    outcomes: &[ShardOutcome],
+    items: &[AssignmentItem],
+    capacities: &[f64],
+    opts: &DecomposeOptions,
+) -> ShardedSolution {
+    let n_rows = capacities.len();
+    let mut chosen: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut used = vec![0.0_f64; n_rows];
+    let mut nodes = 0usize;
+    let mut pivots = 0usize;
+    let mut budget_exhausted = false;
+    for out in outcomes {
+        nodes += out.nodes;
+        pivots += out.pivots;
+        budget_exhausted |= out.limit_hit;
+        for (&g, &i) in &out.chosen {
+            chosen.insert(g, i);
+            for &(r, a) in &items[i].usage {
+                used[r] += a;
+            }
+        }
+    }
+
+    // Deterministic greedy refill: groups the shards left unassigned take
+    // whatever capacity the shard solves did not consume, heaviest first.
+    let mut candidates: Vec<usize> = (0..items.len())
+        .filter(|&i| !chosen.contains_key(&items[i].group))
+        .collect();
+    candidates.sort_by(|&a, &b| {
+        items[b]
+            .weight
+            .partial_cmp(&items[a].weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    for i in candidates {
+        if chosen.contains_key(&items[i].group) {
+            continue;
+        }
+        let fits = items[i]
+            .usage
+            .iter()
+            .all(|&(r, a)| used[r] + a <= capacities[r] + CAP_TOL);
+        if fits && items[i].weight > 0.0 {
+            for &(r, a) in &items[i].usage {
+                used[r] += a;
+            }
+            chosen.insert(items[i].group, i);
+        }
+    }
+
+    let objective: f64 = chosen.values().map(|&i| items[i].weight).sum();
+    let mut best_bound = plan.pricing.solution.dual_bound.max(objective);
+    let mut escalated = false;
+
+    // Escalation: on small instances, re-solve the monolith seeded with the
+    // merged point — exact where exact is affordable.
+    if !items.is_empty() && items.len() <= opts.escalation_vars {
+        escalated = true;
+        let mut p = Problem::new(Sense::Maximize);
+        let mut by_group: BTreeMap<usize, Vec<(crate::problem::VarId, f64)>> = BTreeMap::new();
+        let mut vars = Vec::with_capacity(items.len());
+        let mut hint = vec![0.0_f64; items.len()];
+        for (i, item) in items.iter().enumerate() {
+            let v = p.add_binary_var(item.weight);
+            vars.push(v);
+            by_group.entry(item.group).or_default().push((v, 1.0));
+            if chosen.get(&item.group) == Some(&i) {
+                hint[i] = 1.0;
+            }
+        }
+        for row in by_group.values() {
+            p.add_le(row, 1.0);
+        }
+        for (r, &cap) in capacities.iter().enumerate() {
+            let row: Vec<_> = items
+                .iter()
+                .enumerate()
+                .filter_map(|(i, item)| {
+                    item.usage
+                        .iter()
+                        .find(|&&(ur, _)| ur == r)
+                        .map(|&(_, a)| (vars[i], a))
+                })
+                .collect();
+            if !row.is_empty() {
+                p.add_le(&row, cap);
+            }
+        }
+        let warm = MilpWarmStart { hint };
+        if let Ok(s) = crate::milp::solve_warm(&p, &opts.milp, Some(&warm)) {
+            nodes += s.nodes_explored;
+            pivots += s.total_pivots;
+            budget_exhausted |= s.status == MilpStatus::Feasible;
+            if s.solution.objective >= objective {
+                chosen = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| s.solution.values[vars[*i].index()] > 0.5)
+                    .map(|(i, item)| (item.group, i))
+                    .collect();
+                best_bound = best_bound.min(s.best_bound).max(s.solution.objective);
+                return ShardedSolution {
+                    objective: s.solution.objective,
+                    chosen,
+                    best_bound,
+                    shards: plan.shards.len(),
+                    nodes,
+                    pivots,
+                    budget_exhausted,
+                    escalated,
+                    lagrangian: plan.pricing.telemetry,
+                };
+            }
+        }
+    }
+
+    ShardedSolution {
+        chosen,
+        objective,
+        best_bound,
+        shards: plan.shards.len(),
+        nodes,
+        pivots,
+        budget_exhausted,
+        escalated,
+        lagrangian: plan.pricing.telemetry,
+    }
+}
+
+/// Serial convenience driver: plan, solve every shard in order, merge.
+///
+/// Callers with a worker pool should instead fan [`solve_shard`] out over
+/// `plan.shards` and call [`merge_shards`] with the plan-ordered outcomes —
+/// the result is identical by construction.
+pub fn solve_sharded(
+    items: &[AssignmentItem],
+    capacities: &[f64],
+    opts: &DecomposeOptions,
+) -> ShardedSolution {
+    let _span = sia_telemetry::span("solver.decompose.solve");
+    let plan = plan_shards(items, capacities, opts);
+    let outcomes: Vec<ShardOutcome> = plan
+        .shards
+        .iter()
+        .map(|s| solve_shard(s, items, &opts.milp))
+        .collect();
+    merge_shards(&plan, &outcomes, items, capacities, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sia-shaped instance: `jobs` groups, 9 candidates each over 3 rows.
+    fn build(seedish: u64, jobs: usize) -> (Vec<AssignmentItem>, Vec<f64>) {
+        let capacities = vec![24.0, 24.0, 16.0];
+        let mut items = Vec::new();
+        for j in 0..jobs {
+            for c in 0..9 {
+                let t = c % 3;
+                let gpus = 1 << (c % 4);
+                let w = 1.0 + ((seedish as usize + j * 31 + c * 17) % 97) as f64 / 31.0;
+                items.push(AssignmentItem {
+                    group: j,
+                    usage: vec![(t, gpus as f64)],
+                    weight: w,
+                });
+            }
+        }
+        (items, capacities)
+    }
+
+    fn assert_feasible(sol: &ShardedSolution, items: &[AssignmentItem], caps: &[f64]) {
+        let mut used = vec![0.0; caps.len()];
+        for (&g, &i) in &sol.chosen {
+            assert_eq!(items[i].group, g);
+            for &(r, a) in &items[i].usage {
+                used[r] += a;
+            }
+        }
+        for (r, &u) in used.iter().enumerate() {
+            assert!(u <= caps[r] + 1e-6, "row {r}: {u} > {}", caps[r]);
+        }
+        let obj: f64 = sol.chosen.values().map(|&i| items[i].weight).sum();
+        assert!((obj - sol.objective).abs() < 1e-9);
+        assert!(sol.best_bound + 1e-9 >= sol.objective);
+    }
+
+    fn monolithic_optimum(items: &[AssignmentItem], caps: &[f64]) -> f64 {
+        let mut p = Problem::new(Sense::Maximize);
+        let mut by_group: BTreeMap<usize, Vec<(crate::problem::VarId, f64)>> = BTreeMap::new();
+        let mut vars = Vec::new();
+        for item in items {
+            let v = p.add_binary_var(item.weight);
+            by_group.entry(item.group).or_default().push((v, 1.0));
+            vars.push((item.usage[0].0, item.usage[0].1, v));
+        }
+        for row in by_group.values() {
+            p.add_le(row, 1.0);
+        }
+        for (r, &cap) in caps.iter().enumerate() {
+            let row: Vec<_> = vars
+                .iter()
+                .filter(|&&(t, _, _)| t == r)
+                .map(|&(_, a, v)| (v, a))
+                .collect();
+            p.add_le(&row, cap);
+        }
+        p.solve_milp().unwrap().solution.objective
+    }
+
+    #[test]
+    fn escalated_small_instance_matches_monolith_exactly() {
+        for seed in [1u64, 7, 23] {
+            let (items, caps) = build(seed, 12); // 108 items <= 600
+            let sharded = solve_sharded(&items, &caps, &DecomposeOptions::default());
+            assert!(sharded.escalated);
+            assert_feasible(&sharded, &items, &caps);
+            let exact = monolithic_optimum(&items, &caps);
+            assert!(
+                (sharded.objective - exact).abs() <= 1e-6,
+                "seed {seed}: sharded {} vs exact {exact}",
+                sharded.objective
+            );
+        }
+    }
+
+    #[test]
+    fn pure_decomposition_is_feasible_and_near_optimal() {
+        let opts = DecomposeOptions {
+            escalation_vars: 0, // force the sharded path
+            max_shard_groups: 4,
+            ..Default::default()
+        };
+        for seed in [1u64, 7, 23, 41] {
+            let (items, caps) = build(seed, 12);
+            let sharded = solve_sharded(&items, &caps, &opts);
+            assert!(!sharded.escalated);
+            assert!(sharded.shards >= 2, "cohorts must actually split");
+            assert_feasible(&sharded, &items, &caps);
+            let exact = monolithic_optimum(&items, &caps);
+            assert!(
+                sharded.objective >= 0.95 * exact,
+                "seed {seed}: sharded {} vs exact {exact}",
+                sharded.objective
+            );
+            assert!(sharded.objective <= exact + 1e-6);
+            assert!(sharded.best_bound >= exact - 1e-6);
+        }
+    }
+
+    #[test]
+    fn sharded_at_least_matches_the_pricing_repair() {
+        // Every shard is warm-started from the repaired choice, so the merged
+        // objective can only improve on the plain Lagrangian heuristic.
+        let opts = DecomposeOptions {
+            escalation_vars: 0,
+            max_shard_groups: 3,
+            ..Default::default()
+        };
+        for seed in [3u64, 11, 29] {
+            let (items, caps) = build(seed, 15);
+            let plan = plan_shards(&items, &caps, &opts);
+            let repaired = plan.pricing.solution.objective;
+            let sharded = solve_sharded(&items, &caps, &opts);
+            assert!(
+                sharded.objective >= repaired - 1e-9,
+                "seed {seed}: {} < repaired {repaired}",
+                sharded.objective
+            );
+        }
+    }
+
+    #[test]
+    fn plan_slices_never_exceed_capacity() {
+        let opts = DecomposeOptions {
+            escalation_vars: 0,
+            max_shard_groups: 2,
+            ..Default::default()
+        };
+        let (items, caps) = build(13, 20);
+        let plan = plan_shards(&items, &caps, &opts);
+        let mut total = vec![0.0_f64; caps.len()];
+        for s in &plan.shards {
+            for &(r, rhs) in &s.slice {
+                total[r] += rhs;
+            }
+        }
+        for (r, &t) in total.iter().enumerate() {
+            assert!(t <= caps[r] + 1e-6, "row {r}: slices sum to {t}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_order_independent() {
+        let opts = DecomposeOptions {
+            escalation_vars: 0,
+            max_shard_groups: 5,
+            ..Default::default()
+        };
+        let (items, caps) = build(17, 18);
+        let a = solve_sharded(&items, &caps, &opts);
+        let b = solve_sharded(&items, &caps, &opts);
+        assert_eq!(a.chosen, b.chosen);
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.best_bound, b.best_bound);
+        // Solving shards in reverse order and merging in plan order gives
+        // the identical result — the parallel-merge determinism argument.
+        let plan = plan_shards(&items, &caps, &opts);
+        let mut outcomes: Vec<(usize, ShardOutcome)> = plan
+            .shards
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(k, s)| (k, solve_shard(s, &items, &opts.milp)))
+            .collect();
+        outcomes.sort_by_key(|&(k, _)| k);
+        let merged: Vec<ShardOutcome> = outcomes.into_iter().map(|(_, o)| o).collect();
+        let c = merge_shards(&plan, &merged, &items, &caps, &opts);
+        assert_eq!(a.chosen, c.chosen);
+        assert_eq!(a.objective, c.objective);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sol = solve_sharded(&[], &[4.0, 4.0], &DecomposeOptions::default());
+        assert!(sol.chosen.is_empty());
+        assert_eq!(sol.objective, 0.0);
+        assert_eq!(sol.shards, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_and_solution_stays_feasible() {
+        // A one-node budget forces every shard to stop on its warm hint.
+        let opts = DecomposeOptions {
+            escalation_vars: 0,
+            max_shard_groups: 6,
+            milp: MilpOptions {
+                max_nodes: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (items, caps) = build(19, 16);
+        let sol = solve_sharded(&items, &caps, &opts);
+        assert_feasible(&sol, &items, &caps);
+        // The anytime answer is at least the repaired heuristic.
+        let plan = plan_shards(&items, &caps, &opts);
+        assert!(sol.objective >= plan.pricing.solution.objective - 1e-9);
+    }
+}

@@ -40,6 +40,30 @@ pub struct AssignmentSolution {
     pub dual_bound: f64,
 }
 
+/// Convergence telemetry for one Lagrangian solve.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LagrangianTelemetry {
+    /// Subgradient iterations performed.
+    pub iterations: usize,
+    /// `dual_bound - objective` at exit (absolute duality gap, >= 0 up to
+    /// floating-point noise).
+    pub duality_gap: f64,
+    /// Euclidean norm of the final multiplier vector.
+    pub multiplier_norm: f64,
+}
+
+/// Full output of the Lagrangian heuristic: repaired primal solution, final
+/// capacity prices, and convergence telemetry.
+#[derive(Debug, Clone)]
+pub struct LagrangianOutcome {
+    /// Repaired (feasible) primal solution with dual bound.
+    pub solution: AssignmentSolution,
+    /// Final multipliers per capacity row (the cross-shard prices).
+    pub multipliers: Vec<f64>,
+    /// Convergence telemetry.
+    pub telemetry: LagrangianTelemetry,
+}
+
 /// Solves `max sum w_i x_i` s.t. one item per group, `sum usage_r <= cap_r`.
 ///
 /// `iters` controls subgradient iterations (50 is plenty for Sia-shaped
@@ -49,6 +73,17 @@ pub fn solve_assignment_lagrangian(
     capacities: &[f64],
     iters: usize,
 ) -> AssignmentSolution {
+    solve_assignment_lagrangian_detailed(items, capacities, iters).solution
+}
+
+/// As [`solve_assignment_lagrangian`], but also returns the final capacity
+/// multipliers and convergence telemetry. The multipliers price cross-shard
+/// capacity coupling for the sharded decomposition in `decompose`.
+pub fn solve_assignment_lagrangian_detailed(
+    items: &[AssignmentItem],
+    capacities: &[f64],
+    iters: usize,
+) -> LagrangianOutcome {
     let _span = sia_telemetry::span("solver.lagrangian.solve");
     sia_telemetry::counter("solver.lagrangian.solves").incr();
     sia_telemetry::counter("solver.lagrangian.iters").add(iters.max(1) as u64);
@@ -173,7 +208,16 @@ pub fn solve_assignment_lagrangian(
 
     let mut out = best.expect("at least one iteration");
     out.dual_bound = dual_bound;
-    out
+    let telemetry = LagrangianTelemetry {
+        iterations: iters.max(1),
+        duality_gap: (out.dual_bound - out.objective).max(0.0),
+        multiplier_norm: lambda.iter().map(|l| l * l).sum::<f64>().sqrt(),
+    };
+    LagrangianOutcome {
+        solution: out,
+        multipliers: lambda,
+        telemetry,
+    }
 }
 
 #[cfg(test)]
@@ -277,5 +321,25 @@ mod tests {
         let b = solve_assignment_lagrangian(&items, &caps, 40);
         assert_eq!(a.objective, b.objective);
         assert_eq!(a.chosen, b.chosen);
+    }
+
+    #[test]
+    fn detailed_outcome_reports_telemetry_and_prices() {
+        let (items, caps, _, _) = build(11, 10);
+        let out = solve_assignment_lagrangian_detailed(&items, &caps, 40);
+        assert_eq!(out.telemetry.iterations, 40);
+        assert!(out.telemetry.duality_gap >= 0.0);
+        assert_eq!(out.multipliers.len(), caps.len());
+        assert!(out.multipliers.iter().all(|&l| l >= 0.0));
+        let norm = out.multipliers.iter().map(|l| l * l).sum::<f64>().sqrt();
+        assert!((out.telemetry.multiplier_norm - norm).abs() < 1e-12);
+        // Wrapper returns the identical solution.
+        let plain = solve_assignment_lagrangian(&items, &caps, 40);
+        assert_eq!(plain.chosen, out.solution.chosen);
+        assert_eq!(plain.objective, out.solution.objective);
+        assert!(
+            out.solution.dual_bound + 1e-9 >= out.solution.objective,
+            "dual bound must dominate the primal"
+        );
     }
 }

@@ -15,6 +15,14 @@
 //!   variables it has.
 //! * [`milp`] — best-first branch-and-bound on top of the LP relaxation,
 //!   with most-fractional branching and node/time limits.
+//! * [`lagrangian`] — a subgradient pricing heuristic with greedy repair,
+//!   used standalone as an anytime fallback and as the pricing pass of the
+//!   sharded decomposition.
+//! * [`decompose`] — price-and-decompose sharding: the assignment MILP is
+//!   split into per-GPU-type job cohorts coordinated by Lagrangian capacity
+//!   prices, each solved exactly within a capacity slice, merged in
+//!   deterministic shard order. This is what scales rounds past tens of
+//!   thousands of GPUs.
 //!
 //! The solver is deterministic: identical inputs produce identical solutions.
 //!
@@ -35,14 +43,22 @@
 
 #![forbid(unsafe_code)]
 
+pub mod decompose;
 pub mod error;
 pub mod lagrangian;
 pub mod milp;
 pub mod problem;
 pub mod simplex;
 
+pub use decompose::{
+    merge_shards, plan_shards, solve_shard, solve_sharded, DecomposeOptions, DecomposePlan, Shard,
+    ShardOutcome, ShardedSolution,
+};
 pub use error::SolverError;
-pub use lagrangian::{solve_assignment_lagrangian, AssignmentItem, AssignmentSolution};
-pub use milp::{MilpOptions, MilpStatus, MilpWarmStart};
+pub use lagrangian::{
+    solve_assignment_lagrangian, solve_assignment_lagrangian_detailed, AssignmentItem,
+    AssignmentSolution, LagrangianOutcome, LagrangianTelemetry,
+};
+pub use milp::{deterministic_node_budget, MilpOptions, MilpStatus, MilpWarmStart};
 pub use problem::{ConstraintOp, Problem, Sense, Solution, VarId};
 pub use simplex::Basis;

@@ -28,10 +28,12 @@ const BOUND_TOL: f64 = 1e-9;
 pub struct MilpOptions {
     /// Maximum number of branch-and-bound nodes to explore.
     pub max_nodes: usize,
-    /// Optional wall-clock budget for the search. `None` (the default) means
-    /// the search is bounded by `max_nodes` alone, which keeps results
-    /// deterministic across machines and load conditions; a wall-clock limit
-    /// is an explicit opt-in for interactive use.
+    /// Optional time budget for the search. `None` (the default) means the
+    /// search is bounded by `max_nodes` alone. A budget is converted **once**
+    /// per solve into a node budget via [`deterministic_node_budget`] — a
+    /// pure cost model of the problem's dimensions — rather than read from a
+    /// wall clock at every node, so budget-limited solves stay byte-identical
+    /// across machines, load conditions, and reruns.
     pub time_limit: Option<Duration>,
     /// Absolute optimality gap at which the search may stop early.
     pub gap_tolerance: f64,
@@ -148,6 +150,33 @@ impl Ord for QueuedNode {
     }
 }
 
+/// Converts a time budget into a branch-and-bound node budget using a pure
+/// cost model of the problem's dimensions — no wall-clock reads.
+///
+/// Each node solves one LP relaxation with the dense revised simplex: with
+/// `m` rows and `n` columns, a warm-started node re-solve costs on the order
+/// of `m^2 * (m + n)` floating-point operations (a few pivots, each touching
+/// the `m x m` basis inverse and pricing `n` columns). Dividing an assumed
+/// throughput by that per-node cost yields a node budget that depends only on
+/// `(m, n, time_limit)`, so two solves of equally-shaped problems under the
+/// same budget explore identical trees on any host. The throughput constant
+/// is deliberately conservative (slow-host order of magnitude): the budget
+/// exists to bound tail latency, and a too-generous node budget would let a
+/// slow machine blow through the wall-clock intent.
+pub fn deterministic_node_budget(p: &Problem, time_limit: Duration) -> usize {
+    // Conservative effective throughput for the dense simplex kernel.
+    const FLOPS_PER_SEC: f64 = 2.0e8;
+    let m = p.num_constraints().max(1) as f64;
+    let n = p.num_vars().max(1) as f64;
+    let node_cost_s = (m * m * (m + n) / FLOPS_PER_SEC).max(1e-7);
+    let budget = (time_limit.as_secs_f64() / node_cost_s).floor();
+    if budget.is_finite() && budget >= 1.0 {
+        (budget as u64).min(usize::MAX as u64) as usize
+    } else {
+        1
+    }
+}
+
 /// Solves `p` respecting its integrality marks.
 ///
 /// Returns the best integer point found together with a status flag. If no
@@ -236,6 +265,14 @@ pub fn solve_warm(
         }
     }
 
+    // Resolve the effective node budget once per solve: the deterministic
+    // conversion of any time budget, capped by the explicit node cap. No
+    // wall clock is consulted inside the search loop.
+    let node_limit = match opts.time_limit {
+        Some(tl) => opts.max_nodes.min(deterministic_node_budget(p, tl)),
+        None => opts.max_nodes,
+    };
+
     let mut nodes = 0usize;
     let mut nodes_pruned = 0usize;
     let mut root_infeasible = true;
@@ -253,7 +290,7 @@ pub fn solve_warm(
             nodes_pruned += 1;
             continue; // pruned by a newer incumbent
         }
-        if nodes >= opts.max_nodes || opts.time_limit.is_some_and(|tl| start.elapsed() > tl) {
+        if nodes >= node_limit {
             limit_hit = true;
             break;
         }
@@ -403,7 +440,7 @@ pub fn solve_warm(
                 Err(SolverError::Infeasible)
             } else if limit_hit {
                 record_outcome(nodes, total_pivots, "limit_hit");
-                Err(SolverError::IterationLimit(opts.max_nodes))
+                Err(SolverError::IterationLimit(node_limit))
             } else {
                 record_outcome(nodes, total_pivots, "infeasible");
                 Err(SolverError::Infeasible)
@@ -653,6 +690,59 @@ mod tests {
             Ok(s) => assert!(s.solution.objective > 0.0),
             Err(SolverError::IterationLimit(_)) => {}
             Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn node_budget_is_a_pure_function_of_dimensions() {
+        let mut p = Problem::new(Sense::Maximize);
+        let mut row = Vec::new();
+        for i in 0..20 {
+            let v = p.add_binary_var(1.0 + i as f64 * 0.1);
+            row.push((v, 1.0));
+        }
+        p.add_le(&row, 10.0);
+        let tl = Duration::from_millis(50);
+        let a = deterministic_node_budget(&p, tl);
+        let b = deterministic_node_budget(&p, tl);
+        assert_eq!(a, b);
+        assert!(a >= 1);
+        // More time, never fewer nodes; tiny budget clamps to one node.
+        assert!(deterministic_node_budget(&p, Duration::from_secs(10)) >= a);
+        assert_eq!(deterministic_node_budget(&p, Duration::from_nanos(1)), 1);
+    }
+
+    #[test]
+    fn time_limit_is_deterministic_across_repeated_solves() {
+        // A fractional instance forced through real branching with a budget
+        // tight enough that the node limit binds: every rerun must explore
+        // the exact same tree and return the exact same point, because the
+        // budget is converted to nodes once, not read from a wall clock.
+        let build = || {
+            let mut p = Problem::new(Sense::Maximize);
+            let mut row = Vec::new();
+            for i in 0..14 {
+                let v = p.add_binary_var(1.0 + (i as f64) * 0.013);
+                row.push((v, 1.0 + (i % 5) as f64 * 0.4));
+            }
+            p.add_le(&row, 7.1);
+            p
+        };
+        let opts = MilpOptions {
+            max_nodes: 100_000,
+            time_limit: Some(Duration::from_micros(30)),
+            gap_tolerance: 1e-9,
+        };
+        let p = build();
+        let budget = deterministic_node_budget(&p, Duration::from_micros(30));
+        assert!(budget < 100_000, "budget must bind for this test");
+        let a = solve(&p, &opts).unwrap();
+        for _ in 0..3 {
+            let b = solve(&build(), &opts).unwrap();
+            assert_eq!(a.nodes_explored, b.nodes_explored);
+            assert_eq!(a.solution.values, b.solution.values);
+            assert_eq!(a.best_bound, b.best_bound);
+            assert_eq!(a.status, b.status);
         }
     }
 }

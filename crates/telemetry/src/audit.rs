@@ -112,6 +112,18 @@ pub enum AuditEvent {
         /// Wall-clock seconds inside the MILP/heuristic solve
         /// (host-dependent; canonicalization zeroes it).
         solve_s: f64,
+        /// Shards solved by the decomposed path (0 = monolithic round).
+        shards: u64,
+        /// A node/time budget stopped at least one solve early; the round's
+        /// answer is the anytime incumbent.
+        budget_exhausted: bool,
+        /// Subgradient iterations of the Lagrangian pricing pass (0 when no
+        /// pricing ran).
+        lagrangian_iters: u64,
+        /// Final absolute duality gap of the pricing pass.
+        lagrangian_gap: f64,
+        /// Euclidean norm of the final Lagrangian multipliers.
+        lagrangian_norm: f64,
     },
     /// Decision provenance for one allocation change: what the job got,
     /// what its best alternative was worth, and why the change happened.
@@ -262,6 +274,11 @@ impl AuditRecord {
                 seed_objective,
                 warm_pivots_saved,
                 solve_s,
+                shards,
+                budget_exhausted,
+                lagrangian_iters,
+                lagrangian_gap,
+                lagrangian_norm,
             } => json!({
                 "round": *round,
                 "contention": *contention as u64,
@@ -281,6 +298,11 @@ impl AuditRecord {
                 "seed_objective": opt(*seed_objective),
                 "warm_pivots_saved": *warm_pivots_saved as u64,
                 "solve_s": *solve_s,
+                "shards": *shards,
+                "budget_exhausted": *budget_exhausted,
+                "lagrangian_iters": *lagrangian_iters,
+                "lagrangian_gap": *lagrangian_gap,
+                "lagrangian_norm": *lagrangian_norm,
             }),
             AuditEvent::Decision {
                 round,
@@ -371,6 +393,19 @@ impl AuditRecord {
                 seed_objective: opt_f64("seed_objective"),
                 warm_pivots_saved: req_u64("warm_pivots_saved")? as usize,
                 solve_s: opt_f64("solve_s").unwrap_or(0.0),
+                // Sharding fields default to "monolithic round" so streams
+                // recorded before the decomposed path still parse.
+                shards: v.get("shards").and_then(Value::as_u64).unwrap_or(0),
+                budget_exhausted: v
+                    .get("budget_exhausted")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+                lagrangian_iters: v
+                    .get("lagrangian_iters")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+                lagrangian_gap: opt_f64("lagrangian_gap").unwrap_or(0.0),
+                lagrangian_norm: opt_f64("lagrangian_norm").unwrap_or(0.0),
             },
             "decision" => AuditEvent::Decision {
                 round: req_u64("round")?,
@@ -659,6 +694,11 @@ impl AuditStream {
         let mut warm_seeded_rounds = 0u64;
         let mut total_nodes = 0u64;
         let mut total_pruned = 0u64;
+        let mut sharded_rounds = 0u64;
+        let mut budget_exhausted_rounds = 0u64;
+        let mut total_shards = 0u64;
+        let mut total_lagrangian_iters = 0u64;
+        let mut last_lagrangian_gap = 0.0f64;
         let mut abs_gaps = Vec::new();
         let mut rel_gaps = Vec::new();
         let mut gapped: Vec<WorstRound> = Vec::new();
@@ -684,11 +724,26 @@ impl AuditStream {
                     nodes,
                     pruned,
                     seed_objective,
+                    shards,
+                    budget_exhausted,
+                    lagrangian_iters,
+                    lagrangian_gap,
                     ..
                 } => {
                     rounds += 1;
                     total_nodes += *nodes as u64;
                     total_pruned += *pruned as u64;
+                    if *shards > 0 {
+                        sharded_rounds += 1;
+                        total_shards += *shards;
+                    }
+                    if *budget_exhausted {
+                        budget_exhausted_rounds += 1;
+                    }
+                    if *lagrangian_iters > 0 {
+                        total_lagrangian_iters += *lagrangian_iters;
+                        last_lagrangian_gap = *lagrangian_gap;
+                    }
                     if outcome == "optimal" {
                         proven_rounds += 1;
                     }
@@ -758,6 +813,15 @@ impl AuditStream {
             worst_rounds: gapped,
             total_nodes,
             total_pruned,
+            sharded_rounds,
+            budget_exhausted_rounds,
+            mean_shards: if sharded_rounds > 0 {
+                total_shards as f64 / sharded_rounds as f64
+            } else {
+                0.0
+            },
+            total_lagrangian_iters,
+            last_lagrangian_gap,
             decisions,
             total_regret,
             admission_requests,
@@ -844,6 +908,18 @@ pub struct AuditReport {
     pub total_nodes: u64,
     /// Nodes pruned across all rounds.
     pub total_pruned: u64,
+    /// Rounds solved by the sharded decomposition path.
+    pub sharded_rounds: u64,
+    /// Rounds where the per-round time budget expired before the solve
+    /// proved optimality (the anytime incumbent was returned instead).
+    pub budget_exhausted_rounds: u64,
+    /// Mean shard count over sharded rounds (0 when none were sharded).
+    pub mean_shards: f64,
+    /// Lagrangian pricing iterations summed across all rounds.
+    pub total_lagrangian_iters: u64,
+    /// Duality gap reported by the most recent round that ran the
+    /// Lagrangian pricing pass.
+    pub last_lagrangian_gap: f64,
     /// Decision records observed.
     pub decisions: u64,
     /// Sum of regret across all decisions.
@@ -899,6 +975,11 @@ mod tests {
                 seed_objective: None,
                 warm_pivots_saved: 0,
                 solve_s: 0.001,
+                shards: 0,
+                budget_exhausted: false,
+                lagrangian_iters: 0,
+                lagrangian_gap: 0.0,
+                lagrangian_norm: 0.0,
             },
         );
         rec.record(
@@ -941,6 +1022,11 @@ mod tests {
                 seed_objective: Some(10.0),
                 warm_pivots_saved: 40,
                 solve_s: 0.002,
+                shards: 4,
+                budget_exhausted: true,
+                lagrangian_iters: 120,
+                lagrangian_gap: 0.5,
+                lagrangian_norm: 1.25,
             },
         );
         rec.record(

@@ -783,6 +783,11 @@ fn audit_report(argv: &[String]) -> ! {
             "worst_rounds": worst,
             "total_nodes": report.total_nodes,
             "total_pruned": report.total_pruned,
+            "sharded_rounds": report.sharded_rounds,
+            "mean_shards": report.mean_shards,
+            "budget_exhausted_rounds": report.budget_exhausted_rounds,
+            "total_lagrangian_iters": report.total_lagrangian_iters,
+            "last_lagrangian_gap": report.last_lagrangian_gap,
             "decisions": report.decisions,
             "total_regret": report.total_regret,
             "jobs": jobs,
@@ -816,6 +821,21 @@ fn audit_report(argv: &[String]) -> ! {
         "search effort   : {} B&B nodes explored, {} pruned",
         report.total_nodes, report.total_pruned
     );
+    if report.sharded_rounds > 0 {
+        println!(
+            "decomposition   : {} sharded round(s), {:.1} shards mean, {} budget-exhausted",
+            report.sharded_rounds, report.mean_shards, report.budget_exhausted_rounds
+        );
+        println!(
+            "lagrangian      : {} pricing iterations total, last duality gap {:.3e}",
+            report.total_lagrangian_iters, report.last_lagrangian_gap
+        );
+    } else if report.budget_exhausted_rounds > 0 {
+        println!(
+            "time budget     : {} round(s) returned the anytime incumbent at budget expiry",
+            report.budget_exhausted_rounds
+        );
+    }
     if !report.worst_rounds.is_empty() {
         println!("worst-gap rounds:");
         for w in &report.worst_rounds {

@@ -9,7 +9,7 @@
 
 use sia::baselines::{GavelPolicy, PolluxPolicy};
 use sia::cluster::ClusterSpec;
-use sia::core::SiaPolicy;
+use sia::core::{SiaConfig, SiaPolicy};
 use sia::sim::{EngineKind, Scheduler, SimConfig, SimResult, Simulator};
 use sia::workloads::{Trace, TraceConfig, TraceKind};
 
@@ -193,6 +193,109 @@ fn same_seed_reruns_are_byte_identical() {
             assert_eq!(ra.ev.job(), rb.ev.job());
         }
     }
+}
+
+/// Sia with the sharded MILP decomposition and an anytime round budget.
+fn sharded_sia(workers: usize) -> Box<dyn Scheduler> {
+    let mut cfg = SiaConfig {
+        round_budget: Some(5.0),
+        workers,
+        ..SiaConfig::default()
+    };
+    cfg.shard.enabled = true;
+    // Small shards force a real multi-shard decomposition even on the
+    // 24-job quick trace; escalation off keeps the decomposed path hot.
+    cfg.shard.max_shard_groups = 4;
+    cfg.shard.escalation_vars = 0;
+    Box::new(SiaPolicy::new(cfg))
+}
+
+#[test]
+fn sharded_engines_bit_identical() {
+    // The decomposed solve path must preserve the engine-parity guarantee.
+    let trace = quick_trace(1);
+    let cfg = SimConfig {
+        seed: 1,
+        ..SimConfig::default()
+    };
+    let (round, events) = run_both(&|| sharded_sia(1), &trace, &cfg);
+    assert_bit_parity(&round, &events);
+}
+
+#[test]
+fn sharded_worker_counts_are_byte_identical() {
+    // Shards are solved on the deterministic worker pool and merged in
+    // plan order, so the worker count must never leak into the trace:
+    // 1 worker, 2 workers and auto all produce byte-identical canonical
+    // streams with the time budget active.
+    let trace = quick_trace(6);
+    let run = |workers: usize| {
+        Simulator::new(
+            ClusterSpec::heterogeneous_64(),
+            &trace,
+            SimConfig {
+                engine: EngineKind::Events,
+                seed: 6,
+                ..SimConfig::default()
+            },
+        )
+        .run(sharded_sia(workers).as_mut())
+    };
+    let base = run(1);
+    assert!(
+        !base.trace.records.is_empty(),
+        "sharded run recorded no trace"
+    );
+    assert!(
+        base.rounds
+            .iter()
+            .filter_map(|r| r.solver_stats)
+            .any(|s| s.shards > 1),
+        "workload never took the multi-shard path"
+    );
+    let canon = base.trace.canonical_jsonl();
+    for workers in [2, 0] {
+        let other = run(workers);
+        assert_eq!(
+            canon,
+            other.trace.canonical_jsonl(),
+            "worker count {workers} changed the canonical trace"
+        );
+    }
+}
+
+#[test]
+fn monolithic_time_budget_is_deterministic() {
+    // `round_budget` on the monolithic path becomes a deterministic node
+    // budget (not a wall-clock check), so same-seed reruns with the budget
+    // active stay byte-identical even when the budget truncates the search.
+    let trace = quick_trace(7);
+    let run = || {
+        Simulator::new(
+            ClusterSpec::heterogeneous_64(),
+            &trace,
+            SimConfig {
+                engine: EngineKind::Events,
+                seed: 7,
+                ..SimConfig::default()
+            },
+        )
+        .run(
+            Box::new(SiaPolicy::new(SiaConfig {
+                // Tight enough to clip branch-and-bound on this trace.
+                round_budget: Some(1e-4),
+                ..SiaConfig::default()
+            }))
+            .as_mut(),
+        )
+    };
+    let (a, b) = (run(), run());
+    assert!(!a.trace.records.is_empty());
+    assert_eq!(
+        a.trace.canonical_jsonl(),
+        b.trace.canonical_jsonl(),
+        "time-budgeted solve is not deterministic across same-seed runs"
+    );
 }
 
 #[test]
