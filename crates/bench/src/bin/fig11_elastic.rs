@@ -15,8 +15,15 @@
 //! the capacity event until utilization returns to 90% of the pre-shrink
 //! level). Expected qualitative result: Sia's adaptive re-sizing recovers
 //! at least as fast as the rigid baselines after both transitions.
+//!
+//! The canonical section above is one scripted timeline at one seed. The
+//! `churn_fleet` section turns the claim into intervals: `--reps N`
+//! (default 20; 4 under `SIA_BENCH_QUICK`) independent Poisson churn
+//! timelines per policy via `sia_dynamics::poisson_churn`, executed and
+//! aggregated by the `sia-fleet` runner — per-policy queue delay, JCT and
+//! utilization ship with 95% confidence intervals.
 
-use sia_bench::{run_one, scale_work, write_json, Policy};
+use sia_bench::{run_fleet_section, run_one, scale_work, write_json, Policy};
 use sia_cluster::ClusterSpec;
 use sia_dynamics::{CapacityEvent, DynamicsScript};
 use sia_sim::{SimConfig, SimResult};
@@ -126,6 +133,28 @@ fn recovery_s(result: &SimResult, full: usize, event_t: f64, pre: &PhaseStats) -
             queue <= queue_target && alloc / capacity_at(r.time, full) as f64 >= util_target
         })
         .map(|r| r.time - event_t)
+}
+
+/// `--reps N` (default 20, or 4 under `SIA_BENCH_QUICK`): Monte Carlo
+/// repetitions for the confidence-interval section.
+fn reps() -> u64 {
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--reps") {
+        return argv
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("--reps must be a positive integer");
+                std::process::exit(2);
+            });
+    }
+    let quick = std::env::var("SIA_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    if quick {
+        4
+    } else {
+        20
+    }
 }
 
 fn main() {
@@ -240,6 +269,22 @@ fn main() {
         println!("qualitative result DID NOT HOLD on this seed");
     }
 
+    // Monte Carlo section: the canonical run above scripts ONE shrink/grow
+    // timeline at ONE seed; here the same contended workload rides out
+    // `--reps` independent Poisson churn timelines (1 node-kill/hour, 2 h
+    // repair — the same "16 GPUs gone for 2 hours" magnitude, but with a
+    // fresh timeline per seed from `poisson_churn`). This turns the elastic
+    // claim into intervals: per-policy queue delay / JCT / utilization with
+    // 95% CIs, via the same fleet runner as `sia-cli fleet`.
+    let n = reps();
+    let churn_spec = format!(
+        "{{\"group\": \"fig11churn\", \"policies\": [\"sia\", \"pollux\", \"gavel\"], \
+         \"traces\": [\"philly\"], \"clusters\": [\"hetero64\"], \
+         \"dynamics\": [\"churn:1:7200\"], \"seeds\": {{\"start\": 1, \"count\": {n}}}, \
+         \"rate\": 40.0, \"max_hours\": {HORIZON_H}, \"work_scale\": 0.5, \"jobs\": 220}}"
+    );
+    let fleet = run_fleet_section("fig11_churn_fleet", &churn_spec);
+
     write_json(
         "fig11_elastic",
         &serde_json::json!({
@@ -250,6 +295,7 @@ fn main() {
             "policies": rows,
             "sia_grow_recovery_s": sia_grow,
             "worst_baseline_grow_recovery_s": worst_baseline_grow,
+            "churn_fleet": fleet,
         }),
     );
 }

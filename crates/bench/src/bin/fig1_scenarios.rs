@@ -5,7 +5,9 @@
 //! Expected shape: Pollux ≈ Sia < Gavel on the left; Sia < Pollux, Gavel in
 //! the center; Sia ≤ Gavel < Pollux on the right.
 
-use sia_bench::{aggregates_json, print_table, run_one, scale_work, write_json, Policy};
+use sia_bench::{
+    aggregates_json, print_table, run_fleet_section, run_one, scale_work, write_json, Policy,
+};
 use sia_cluster::ClusterSpec;
 use sia_metrics::summarize;
 use sia_sim::SimConfig;
@@ -17,6 +19,20 @@ fn seeds() -> Vec<u64> {
         .and_then(|s| s.parse().ok())
         .map(|n: u64| (1..=n).collect())
         .unwrap_or_else(|| vec![1, 2])
+}
+
+/// `--reps N`: when present, adds a Monte Carlo section with 95% CIs over
+/// N seeds per scenario cell, via the `sia-fleet` runner.
+fn reps() -> Option<u64> {
+    let argv: Vec<String> = std::env::args().collect();
+    let i = argv.iter().position(|a| a == "--reps")?;
+    match argv.get(i + 1).and_then(|s| s.parse().ok()) {
+        Some(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("--reps must be a positive integer");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn scenario(
@@ -90,12 +106,34 @@ fn main() {
         &seeds,
     );
 
-    write_json(
-        "fig1_scenarios",
-        &serde_json::json!({
-            "homogeneous_adaptive": aggregates_json(&homog),
-            "heterogeneous_adaptive": aggregates_json(&hetero),
-            "heterogeneous_rigid": aggregates_json(&rigid),
-        }),
-    );
+    // Optional Monte Carlo section: each scenario as a fleet group, N
+    // seeds per (policy × scenario) cell, aggregated with 95% CIs by the
+    // same runner as `sia-cli fleet`. Work is scaled down so the rep count
+    // dominates wall-clock, not individual run length.
+    let fleet = reps().map(|n| {
+        let spec = format!(
+            "{{\"group\": \"homog_adaptive\", \"policies\": [\"pollux\", \"sia\", \"gavel\"], \
+             \"traces\": [\"philly\"], \"clusters\": [\"homog64\"], \
+             \"seeds\": {{\"start\": 1, \"count\": {n}}}, \"work_scale\": 0.5, \
+             \"max_gpus_cap\": 64}}\n\
+             {{\"group\": \"hetero_adaptive\", \"policies\": [\"pollux\", \"sia\", \"gavel\"], \
+             \"traces\": [\"philly\"], \"clusters\": [\"hetero64\"], \
+             \"seeds\": {{\"start\": 1, \"count\": {n}}}, \"work_scale\": 0.5}}\n\
+             {{\"group\": \"hetero_rigid\", \"policies\": [\"pollux\", \"sia\", \"gavel\"], \
+             \"traces\": [\"philly\"], \"clusters\": [\"hetero64\"], \
+             \"seeds\": {{\"start\": 1, \"count\": {n}}}, \"work_scale\": 0.5, \
+             \"all_rigid\": true}}"
+        );
+        run_fleet_section("fig1_fleet", &spec)
+    });
+
+    let mut doc = serde_json::json!({
+        "homogeneous_adaptive": aggregates_json(&homog),
+        "heterogeneous_adaptive": aggregates_json(&hetero),
+        "heterogeneous_rigid": aggregates_json(&rigid),
+    });
+    if let (Some(fleet), Some(obj)) = (fleet, doc.as_object_mut()) {
+        obj.insert("fleet".to_string(), fleet);
+    }
+    write_json("fig1_scenarios", &doc);
 }

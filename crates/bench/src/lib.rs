@@ -320,6 +320,61 @@ pub fn aggregates_json(aggs: &[Aggregate]) -> serde_json::Value {
     serde_json::Value::Array(rows)
 }
 
+/// Runs a fleet spec (JSONL text) through `sia-fleet` and returns the
+/// canonical per-cell payloads, printing a compact CI table. This is the
+/// `--reps N` path of the figure binaries: the same runner, spec grammar
+/// and `FLEET_*` cell schema as `sia-cli fleet`, so every CI column in a
+/// committed results file is reproducible from the embedded spec alone.
+pub fn run_fleet_section(name: &str, spec_jsonl: &str) -> serde_json::Value {
+    let spec = sia_fleet::FleetSpec::parse_jsonl(name, spec_jsonl)
+        .unwrap_or_else(|e| panic!("bad embedded fleet spec: {e}"));
+    let report = sia_fleet::run_fleet(&spec, &sia_fleet::FleetOptions::default())
+        .unwrap_or_else(|e| panic!("fleet failed: {e}"));
+    println!(
+        "\n== {name}: {} runs across {} cells ({} failed, {:.1} s, {} workers) ==",
+        report.total_runs,
+        report.cells.len(),
+        report.total_failed,
+        report.wall_s,
+        report.workers
+    );
+    println!(
+        "{:<46} {:>4} {:>22} {:>22}",
+        "cell", "n", "avgJCT h [95% CI]", "queue delay h [95% CI]"
+    );
+    for cell in &report.cells {
+        let get = |key: &str| {
+            cell.metrics
+                .iter()
+                .find(|(n, _)| *n == key)
+                .map(|(_, s)| *s)
+                .unwrap_or_default()
+        };
+        let jct = get("avg_jct_hours");
+        let qd = get("queue_delay_hours");
+        println!(
+            "{:<46} {:>4} {:>6.2} [{:.2}, {:.2}] {:>8.2} [{:.2}, {:.2}]",
+            cell.cell.slug(),
+            cell.completed,
+            jct.mean,
+            jct.ci95.0,
+            jct.ci95.1,
+            qd.mean,
+            qd.ci95.0,
+            qd.ci95.1,
+        );
+    }
+    let cells: Vec<serde_json::Value> = report
+        .cells
+        .iter()
+        .map(|c| sia_fleet::cell_json(&report.fleet, c))
+        .collect();
+    serde_json::json!({
+        "spec": spec_jsonl.trim(),
+        "cells": cells,
+    })
+}
+
 /// Per-model GPU-hours as JSON (Figure 6).
 pub fn model_hours_json(by_model: &BTreeMap<sia_workloads::ModelKind, f64>) -> serde_json::Value {
     serde_json::Value::Object(

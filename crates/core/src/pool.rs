@@ -12,18 +12,43 @@
 /// [`ordered_map`] runs serially.
 pub const SERIAL_THRESHOLD: usize = 4;
 
-/// Resolves a configured worker count: `0` means auto-detect from
+/// Environment variable that overrides the auto-detected worker count.
+pub const WORKERS_ENV: &str = "SIA_WORKERS";
+
+/// Reads the [`WORKERS_ENV`] override: `Ok(None)` when unset, `Ok(Some(n))`
+/// for a positive integer, and `Err` (with a one-line message) for anything
+/// else so callers with a CLI surface can turn it into a usage error.
+pub fn env_workers() -> Result<Option<usize>, String> {
+    match std::env::var(WORKERS_ENV) {
+        Err(_) => Ok(None),
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n > 0)
+            .map(Some)
+            .ok_or_else(|| format!("{WORKERS_ENV} must be a positive integer (got {raw:?})")),
+    }
+}
+
+/// Resolves a configured worker count: an explicit value (CLI flag /
+/// config field) always wins; `0` consults the [`WORKERS_ENV`] environment
+/// override next, then auto-detects from
 /// [`std::thread::available_parallelism`] (capped at 8 — matrix rows are
-/// memory-bandwidth-bound and more threads stop helping).
+/// memory-bandwidth-bound and more threads stop helping). An unparseable
+/// override is ignored here (library code must not exit); `sia-cli`
+/// validates it up front via [`env_workers`] and exits 2.
 pub fn resolve_workers(configured: usize) -> usize {
     if configured > 0 {
-        configured
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8)
+        return configured;
     }
+    if let Ok(Some(n)) = env_workers() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Applies `f` to every item of `items`, returning the results in input
@@ -60,6 +85,50 @@ where
     out
 }
 
+/// Applies `f` to every item via a work-stealing index queue, returning
+/// results in input order.
+///
+/// Unlike [`ordered_map`]'s static chunking, workers claim the next
+/// unclaimed index from a shared atomic counter, so wildly uneven item
+/// costs (whole fleet simulations, not matrix rows) still balance. Each
+/// result lands in its input slot, so the output is byte-identical to the
+/// serial `items.iter().enumerate().map(|(i, t)| f(i, t))` — worker count
+/// only changes wall-clock time, never results or their order.
+pub fn ordered_map_stealing<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    if workers <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(items.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                *slots[i].lock().expect("fleet worker slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("fleet worker slot poisoned")
+                .expect("fleet worker skipped a claimed slot")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +157,30 @@ mod tests {
     fn resolve_workers_prefers_explicit() {
         assert_eq!(resolve_workers(3), 3);
         assert!(resolve_workers(0) >= 1);
-        assert!(resolve_workers(0) <= 8);
+        // Auto-detect may be superseded by a SIA_WORKERS override in the
+        // test environment; with an explicit override n the result is n,
+        // otherwise it is the capped auto-detect.
+        match env_workers() {
+            Ok(Some(n)) => assert_eq!(resolve_workers(0), n),
+            _ => assert!(resolve_workers(0) <= 8),
+        }
+    }
+
+    #[test]
+    fn stealing_matches_serial_for_any_worker_count() {
+        let items: Vec<u64> = (0..53).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 3 + i as u64)
+            .collect();
+        for workers in [0usize, 1, 2, 3, 8, 64] {
+            let par = ordered_map_stealing(&items, workers, |i, &x| x * 3 + i as u64);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+        assert_eq!(
+            ordered_map_stealing::<u32, u32, _>(&[], 8, |_, &x| x),
+            Vec::<u32>::new()
+        );
     }
 }

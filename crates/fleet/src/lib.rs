@@ -1,0 +1,46 @@
+//! Monte Carlo scenario-fleet runner.
+//!
+//! Every number under `results/` used to be a single-seed point estimate.
+//! This crate turns any `(seed range × workload trace × dynamics script ×
+//! policy × cluster scale)` cross product into a *fleet* of independent
+//! simulations, executes whole runs concurrently by work-stealing across
+//! the deterministic `sia-core::pool` worker model, and folds per-run
+//! summaries into streaming per-cell statistics (`sia-metrics::streaming`)
+//! so memory stays flat regardless of fleet size:
+//!
+//! * [`FleetSpec`] — versioned JSONL spec (one scenario group per line)
+//!   expanded into scenario *cells* (one per policy × trace × cluster ×
+//!   dynamics combination) times a seed range;
+//! * [`run_fleet`] — the batch executor: one `Simulator` per run, a
+//!   compact [`RunSummary`] handed back (traces dropped immediately),
+//!   results folded in run-id order so output never depends on worker
+//!   count; a failed run records its exact reproduction coordinate instead
+//!   of aborting the fleet;
+//! * [`FleetReport`] / [`write_fleet_json`] — one versioned
+//!   `FLEET_*.json` per cell carrying mean/median/p95 with 95% confidence
+//!   intervals (normal approximation + percentile bootstrap), run counts
+//!   and failed-run manifests.
+//!
+//! Progress streams through `sia-telemetry` (`fleet.runs_started` /
+//! `fleet.runs_completed` / `fleet.runs_failed` counters) and an optional
+//! `--progress` JSONL heartbeat. Wall-clock lives only in the progress
+//! stream and the human summary — the `FLEET_*.json` payload is canonical
+//! and byte-identical across reruns and worker counts.
+
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use report::{cell_json, write_fleet_json};
+pub use runner::{
+    run_fleet, CellReport, FailedRun, FleetOptions, FleetReport, RunSummary, METRIC_NAMES,
+};
+pub use spec::{
+    cluster_by_name, parse_trace_kind, CellSpec, DynamicsSpec, FleetPolicy, FleetSpec, SeedRange,
+};
+
+/// Version tag carried by every `FLEET_*.json` payload; bump on any schema
+/// change so downstream consumers can refuse unknown layouts.
+pub const FLEET_FORMAT_VERSION: u32 = 1;

@@ -1,0 +1,137 @@
+//! Canonical `FLEET_*.json` emission.
+//!
+//! One file per scenario cell, named `FLEET_<fleet>_<cell-slug>.json`. The
+//! payload is *canonical*: versioned, fully determined by the spec and the
+//! seed range, and byte-identical across reruns and worker counts. That is
+//! why it carries no wall-clock, hostname, or timestamp fields — wall time
+//! lives in the `--progress` heartbeat stream and the human stdout summary
+//! only (the same convention that zeroes `policy_runtime_s` in canonical
+//! flight traces).
+
+use std::path::{Path, PathBuf};
+
+use crate::runner::{CellReport, FleetReport};
+use crate::FLEET_FORMAT_VERSION;
+
+/// Builds the canonical JSON payload for one cell.
+pub fn cell_json(fleet: &str, cell: &CellReport) -> serde_json::Value {
+    let spec = &cell.cell;
+    let mut metrics = serde_json::Map::new();
+    for (name, s) in &cell.metrics {
+        metrics.insert(
+            name.to_string(),
+            serde_json::json!({
+                "n": s.n,
+                "mean": s.mean,
+                "std": s.std,
+                "ci95_lo": s.ci95.0,
+                "ci95_hi": s.ci95.1,
+                "boot_ci95_lo": s.boot_ci95.0,
+                "boot_ci95_hi": s.boot_ci95.1,
+                "median": s.median,
+                "p95": s.p95,
+            }),
+        );
+    }
+    let failed: Vec<serde_json::Value> = cell
+        .failed
+        .iter()
+        .map(|f| {
+            serde_json::json!({
+                "run_id": f.run_id as u64,
+                "cell": &f.cell,
+                "seed": f.seed,
+                "error": &f.error,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "version": FLEET_FORMAT_VERSION,
+        "fleet": fleet,
+        "cell": {
+            "slug": spec.slug(),
+            "group": &spec.group,
+            "policy": spec.policy.name(),
+            "policy_label": spec.policy.label(),
+            "trace": crate::spec::trace_name(spec.trace),
+            "cluster": &spec.cluster,
+            "dynamics": spec.dynamics.label(),
+        },
+        "spec": {
+            "seed_start": spec.seeds.start,
+            "seed_count": spec.seeds.count,
+            "rate": spec.rate,
+            "max_hours": spec.max_hours,
+            "work_scale": spec.work_scale,
+            "jobs": spec.jobs.map(|n| n as u64),
+            "max_gpus_cap": spec.max_gpus_cap as u64,
+            "all_rigid": spec.all_rigid,
+        },
+        "runs": cell.completed,
+        "failed_runs": cell.failed.len() as u64,
+        "failed": failed,
+        "metrics": serde_json::Value::Object(metrics),
+    })
+}
+
+/// Writes one `FLEET_<fleet>_<slug>.json` per cell into `out_dir`
+/// (created if missing); returns the written paths in cell order.
+pub fn write_fleet_json(report: &FleetReport, out_dir: &Path) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let mut paths = Vec::with_capacity(report.cells.len());
+    for cell in &report.cells {
+        let payload = cell_json(&report.fleet, cell);
+        let path = out_dir.join(format!("FLEET_{}_{}.json", report.fleet, cell.cell.slug()));
+        let text = format!(
+            "{}\n",
+            serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?
+        );
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_fleet, FleetOptions};
+    use crate::spec::FleetSpec;
+
+    #[test]
+    fn cell_json_is_canonical_and_versioned() {
+        let text = r#"{"group": "t", "policies": ["sia"], "traces": ["philly"], "clusters": ["hetero64"], "dynamics": ["none"], "seeds": {"start": 1, "count": 2}, "rate": 12.0, "max_hours": 1.0, "work_scale": 0.2, "jobs": 10}"#;
+        let spec = FleetSpec::parse_jsonl("unit", text).unwrap();
+        let opts = FleetOptions::default();
+        let a = run_fleet(
+            &spec,
+            &FleetOptions {
+                workers: 1,
+                ..opts.clone()
+            },
+        )
+        .unwrap();
+        let b = run_fleet(&spec, &FleetOptions { workers: 4, ..opts }).unwrap();
+        let ja = serde_json::to_string_pretty(&cell_json(&a.fleet, &a.cells[0])).unwrap();
+        let jb = serde_json::to_string_pretty(&cell_json(&b.fleet, &b.cells[0])).unwrap();
+        assert_eq!(ja, jb, "payload must not depend on worker count");
+        assert!(ja.contains("\"version\": 1"));
+        assert!(
+            !ja.contains("wall"),
+            "canonical payload must carry no wall-clock"
+        );
+        let parsed: serde_json::Value = serde_json::from_str(&ja).unwrap();
+        let top = parsed.as_object().unwrap();
+        assert_eq!(top.get("runs").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(top.get("failed_runs").and_then(|v| v.as_u64()), Some(0));
+        let n = top
+            .get("metrics")
+            .and_then(|m| m.as_object())
+            .and_then(|m| m.get("avg_jct_hours"))
+            .and_then(|m| m.as_object())
+            .and_then(|m| m.get("n"))
+            .and_then(|v| v.as_u64());
+        assert_eq!(n, Some(2));
+    }
+}

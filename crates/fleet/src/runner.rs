@@ -1,0 +1,382 @@
+//! Fleet execution: work-stealing whole simulations, streaming per-cell
+//! aggregation.
+//!
+//! Runs are executed by [`sia_core::pool::ordered_map_stealing`]: workers
+//! claim whole runs from a shared counter (a fleet mixes 2-minute and
+//! 30-second runs, so static chunking would leave workers idle), each
+//! result lands in its run-id slot, and the per-cell [`MetricAgg`] folds
+//! happen strictly in run-id order *after* execution. Worker count changes
+//! wall-clock time only — the aggregated output, and therefore every
+//! `FLEET_*.json`, is byte-identical at `--workers 1` and `--workers 64`.
+//!
+//! Memory stays flat: each run returns a compact [`RunSummary`] (a handful
+//! of scalars) and its `SimResult` — traces, audit stream, per-round logs —
+//! is dropped before the worker claims the next run. The simulation's
+//! flight/audit rings are capped at [`FLEET_RING`] entries for the same
+//! reason.
+//!
+//! A run that panics is caught ([`std::panic::catch_unwind`]) and recorded
+//! as a [`FailedRun`] carrying the exact reproduction coordinate
+//! (cell slug + seed) instead of aborting the fleet.
+
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sia_core::pool::{ordered_map_stealing, resolve_workers};
+use sia_metrics::{avg_utilization, summarize, MetricAgg, MetricSummary};
+use sia_sim::{SimConfig, Simulator};
+use sia_workloads::{Trace, TraceConfig};
+
+use crate::spec::{cluster_by_name, CellSpec, DynamicsSpec, FleetSpec};
+
+/// Flight/audit ring capacity for fleet runs: summaries never read the
+/// rings, so keep them tiny and memory flat across thousand-run fleets.
+pub const FLEET_RING: usize = 64;
+
+/// Metrics aggregated per cell, in `RunSummary::values` order.
+pub const METRIC_NAMES: [&str; 8] = [
+    "avg_jct_hours",
+    "p99_jct_hours",
+    "makespan_hours",
+    "gpu_hours_per_job",
+    "avg_restarts",
+    "unfinished",
+    "queue_delay_hours",
+    "utilization",
+];
+
+/// Compact per-run result: everything the aggregation needs, nothing the
+/// simulation produced beyond it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// The run's seed.
+    pub seed: u64,
+    /// Metric values, indexed like [`METRIC_NAMES`].
+    pub values: [f64; METRIC_NAMES.len()],
+}
+
+/// Reproduction coordinate of a run that panicked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedRun {
+    /// Fleet-wide run id (position in the expansion order).
+    pub run_id: usize,
+    /// Cell slug.
+    pub cell: String,
+    /// Seed to rerun with.
+    pub seed: u64,
+    /// Panic payload (first line).
+    pub error: String,
+}
+
+/// Execution knobs for [`run_fleet`].
+#[derive(Debug, Clone, Default)]
+pub struct FleetOptions {
+    /// Worker threads; `0` = `SIA_WORKERS` env override, then auto-detect.
+    pub workers: usize,
+    /// Optional JSONL heartbeat: one line per completed run (includes
+    /// wall-clock — this stream is *not* part of the canonical output).
+    pub progress: Option<std::path::PathBuf>,
+}
+
+/// Aggregated statistics for one scenario cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// The cell definition.
+    pub cell: CellSpec,
+    /// Runs that completed.
+    pub completed: u64,
+    /// Runs that panicked, with reproduction coordinates.
+    pub failed: Vec<FailedRun>,
+    /// Per-metric summaries, in [`METRIC_NAMES`] order.
+    pub metrics: Vec<(&'static str, MetricSummary)>,
+    /// Sum of per-run wall-clock seconds (telemetry only — never written
+    /// to the canonical `FLEET_*.json`).
+    pub wall_s: f64,
+}
+
+/// The whole fleet's outcome.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Fleet name (spec file stem).
+    pub fleet: String,
+    /// Per-cell reports in expansion order.
+    pub cells: Vec<CellReport>,
+    /// Total runs attempted.
+    pub total_runs: u64,
+    /// Total runs that failed.
+    pub total_failed: u64,
+    /// Fleet wall-clock, seconds (telemetry only).
+    pub wall_s: f64,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+/// One run's coordinate in the expansion.
+#[derive(Debug, Clone, Copy)]
+struct RunCoord {
+    cell: usize,
+    seed: u64,
+}
+
+/// What a worker hands back per run.
+struct RunOutcome {
+    result: Result<RunSummary, String>,
+    wall_s: f64,
+}
+
+/// Executes every run of the spec and aggregates per-cell statistics.
+///
+/// Runs execute concurrently (work stealing), results fold in run-id
+/// order: the report is identical for any worker count.
+pub fn run_fleet(spec: &FleetSpec, opts: &FleetOptions) -> Result<FleetReport, String> {
+    let cells = spec.cells();
+    let mut coords = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        for seed in cell.seeds.iter() {
+            coords.push(RunCoord { cell: ci, seed });
+        }
+    }
+    let workers = resolve_workers(opts.workers);
+    let total = coords.len();
+
+    let progress: Option<Mutex<std::fs::File>> = match &opts.progress {
+        None => None,
+        Some(path) => Some(Mutex::new(std::fs::File::create(path).map_err(|e| {
+            format!("cannot create progress file {}: {e}", path.display())
+        })?)),
+    };
+    let done = AtomicU64::new(0);
+    let started = sia_telemetry::counter("fleet.runs_started");
+    let completed = sia_telemetry::counter("fleet.runs_completed");
+    let failed_ctr = sia_telemetry::counter("fleet.runs_failed");
+
+    let fleet_t0 = Instant::now();
+    let outcomes = ordered_map_stealing(&coords, workers, |_i, coord| {
+        started.incr();
+        let cell = &cells[coord.cell];
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| execute_run(cell, coord.seed)))
+            .map_err(|p| panic_message(&p));
+        let wall_s = t0.elapsed().as_secs_f64();
+        let ok = result.is_ok();
+        if ok {
+            completed.incr();
+        } else {
+            failed_ctr.incr();
+        }
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(file) = &progress {
+            let line = format!(
+                "{{\"event\":\"run\",\"cell\":\"{}\",\"seed\":{},\"ok\":{},\"wall_s\":{:.3},\"done\":{},\"total\":{}}}",
+                cell.slug(),
+                coord.seed,
+                ok,
+                wall_s,
+                n,
+                total
+            );
+            if let Ok(mut f) = file.lock() {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+        RunOutcome { result, wall_s }
+    });
+
+    // Deterministic fold: strictly in run-id order, grouped by cell (the
+    // expansion is cell-major, so each cell's runs are contiguous).
+    let mut reports: Vec<CellReport> = cells
+        .iter()
+        .map(|c| CellReport {
+            cell: c.clone(),
+            completed: 0,
+            failed: Vec::new(),
+            metrics: Vec::new(),
+            wall_s: 0.0,
+        })
+        .collect();
+    let mut aggs: Vec<Vec<MetricAgg>> = cells
+        .iter()
+        .map(|_| METRIC_NAMES.iter().map(|_| MetricAgg::new()).collect())
+        .collect();
+    for (run_id, (coord, outcome)) in coords.iter().zip(outcomes.iter()).enumerate() {
+        let rep = &mut reports[coord.cell];
+        rep.wall_s += outcome.wall_s;
+        match &outcome.result {
+            Ok(summary) => {
+                rep.completed += 1;
+                for (agg, v) in aggs[coord.cell].iter_mut().zip(summary.values) {
+                    agg.push(v);
+                }
+            }
+            Err(msg) => rep.failed.push(FailedRun {
+                run_id,
+                cell: cells[coord.cell].slug(),
+                seed: coord.seed,
+                error: msg.lines().next().unwrap_or("panic").to_string(),
+            }),
+        }
+    }
+    for (rep, cell_aggs) in reports.iter_mut().zip(aggs) {
+        rep.metrics = METRIC_NAMES
+            .iter()
+            .zip(cell_aggs)
+            .map(|(name, agg)| (*name, agg.summary()))
+            .collect();
+    }
+
+    let total_failed = reports.iter().map(|r| r.failed.len() as u64).sum();
+    Ok(FleetReport {
+        fleet: spec.name.clone(),
+        cells: reports,
+        total_runs: total as u64,
+        total_failed,
+        wall_s: fleet_t0.elapsed().as_secs_f64(),
+        workers,
+    })
+}
+
+/// Executes one simulation and compacts it to a [`RunSummary`]; the
+/// `SimResult` (traces, rounds, audit) drops on return.
+fn execute_run(cell: &CellSpec, seed: u64) -> RunSummary {
+    let cluster = cluster_by_name(&cell.cluster).expect("cluster validated at spec parse");
+    let mut tcfg = TraceConfig::new(cell.trace, seed).with_max_gpus_cap(cell.max_gpus_cap);
+    if cell.all_rigid || cell.policy.needs_tuned_jobs() {
+        tcfg = tcfg.with_adaptivity_mix(0.0, 1.0);
+    }
+    if let Some(rate) = cell.rate {
+        tcfg = tcfg.with_rate(rate);
+    }
+    let mut trace = Trace::generate(&tcfg);
+    if let Some(n) = cell.jobs {
+        trace.jobs.truncate(n);
+    }
+    if cell.work_scale != 1.0 {
+        for j in &mut trace.jobs {
+            j.work_target *= cell.work_scale;
+        }
+    }
+    let dynamics = match &cell.dynamics {
+        DynamicsSpec::None => None,
+        DynamicsSpec::File { script, .. } => Some(script.clone()),
+        DynamicsSpec::Churn {
+            rate_per_hour,
+            repair_secs,
+        } => Some(sia_dynamics::generators::poisson_churn(
+            &cluster,
+            seed,
+            *rate_per_hour,
+            *repair_secs,
+            cell.max_hours * 3600.0,
+        )),
+    };
+    let cfg = SimConfig {
+        seed,
+        max_hours: cell.max_hours,
+        dynamics,
+        trace_capacity: FLEET_RING,
+        audit_capacity: FLEET_RING,
+        ..SimConfig::default()
+    };
+    let mut sched = cell.policy.build(seed);
+    let result = Simulator::new(cluster.clone(), &trace, cfg).run(sched.as_mut());
+
+    let s = summarize(&result);
+    let util = avg_utilization(&result, cluster.total_gpus());
+    let delays: Vec<f64> = result
+        .records
+        .iter()
+        .filter_map(|r| r.queue_delay())
+        .collect();
+    let queue_delay_hours = if delays.is_empty() {
+        0.0
+    } else {
+        delays.iter().sum::<f64>() / delays.len() as f64 / 3600.0
+    };
+    RunSummary {
+        seed,
+        values: [
+            s.avg_jct_hours,
+            s.p99_jct_hours,
+            s.makespan_hours,
+            s.gpu_hours_per_job,
+            s.avg_restarts,
+            s.unfinished as f64,
+            queue_delay_hours,
+            util,
+        ],
+    }
+}
+
+/// First line of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "run panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FleetSpec;
+
+    fn tiny_spec() -> FleetSpec {
+        let text = r#"{"group": "t", "policies": ["sia"], "traces": ["philly"], "clusters": ["hetero64"], "dynamics": ["none"], "seeds": {"start": 1, "count": 2}, "rate": 12.0, "max_hours": 1.0, "work_scale": 0.2, "jobs": 10}"#;
+        FleetSpec::parse_jsonl("tiny", text).unwrap()
+    }
+
+    #[test]
+    fn fleet_output_is_worker_count_invariant() {
+        let spec = tiny_spec();
+        let serial = run_fleet(
+            &spec,
+            &FleetOptions {
+                workers: 1,
+                progress: None,
+            },
+        )
+        .unwrap();
+        let parallel = run_fleet(
+            &spec,
+            &FleetOptions {
+                workers: 4,
+                progress: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.total_runs, 2);
+        assert_eq!(serial.total_failed, 0);
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.completed, b.completed);
+            for ((na, sa), (nb, sb)) in a.metrics.iter().zip(&b.metrics) {
+                assert_eq!(na, nb);
+                assert_eq!(sa, sb, "metric {na} differs between worker counts");
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_actually_vary_the_metrics() {
+        let spec = tiny_spec();
+        let report = run_fleet(
+            &spec,
+            &FleetOptions {
+                workers: 2,
+                progress: None,
+            },
+        )
+        .unwrap();
+        let (name, jct) = &report.cells[0].metrics[0];
+        assert_eq!(*name, "avg_jct_hours");
+        assert_eq!(jct.n, 2);
+        assert!(jct.mean > 0.0);
+        assert!(jct.std > 0.0, "two seeds should not produce identical JCT");
+        assert!(jct.ci95.0 <= jct.mean && jct.mean <= jct.ci95.1);
+    }
+}

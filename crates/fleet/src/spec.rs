@@ -1,0 +1,647 @@
+//! Fleet specification: the JSONL schema and its cross-product expansion.
+//!
+//! A fleet spec is JSONL — one *scenario group* per line:
+//!
+//! ```json
+//! {"group": "philly", "policies": ["sia", "pollux"], "traces": ["philly"],
+//!  "clusters": ["hetero64"], "dynamics": ["none", "churn:4:1800"],
+//!  "seeds": {"start": 1, "count": 8}, "rate": 40.0, "max_hours": 7.0,
+//!  "work_scale": 0.5, "jobs": 220}
+//! ```
+//!
+//! Each group expands into the cross product of policy × trace × cluster ×
+//! dynamics — one scenario *cell* each — and every cell runs once per seed
+//! in the (inclusive-start, `count`-long) seed range. All parse and
+//! validation failures are one-line messages with a 1-based line number,
+//! surfaced by `sia-cli fleet` as exit-2 usage errors.
+
+use sia_cluster::ClusterSpec;
+use sia_dynamics::DynamicsScript;
+use sia_sim::Scheduler;
+use sia_workloads::TraceKind;
+
+/// Scheduler selection for a fleet cell. Rigid baselines (`gavel`,
+/// `shockwave`, `themis`) automatically receive the TunedJobs rendering of
+/// the trace, as in the paper's §4.3 convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetPolicy {
+    /// Sia with default parameters.
+    Sia,
+    /// Pollux (adaptive, heterogeneity-blind).
+    Pollux,
+    /// Gavel + TunedJobs.
+    Gavel,
+    /// Shockwave + TunedJobs.
+    Shockwave,
+    /// Themis + TunedJobs.
+    Themis,
+}
+
+impl FleetPolicy {
+    /// Parses a CLI/spec policy name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "sia" => Ok(FleetPolicy::Sia),
+            "pollux" => Ok(FleetPolicy::Pollux),
+            "gavel" => Ok(FleetPolicy::Gavel),
+            "shockwave" => Ok(FleetPolicy::Shockwave),
+            "themis" => Ok(FleetPolicy::Themis),
+            other => Err(format!("unknown policy {other}")),
+        }
+    }
+
+    /// Spec/CLI name (also the slug fragment).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetPolicy::Sia => "sia",
+            FleetPolicy::Pollux => "pollux",
+            FleetPolicy::Gavel => "gavel",
+            FleetPolicy::Shockwave => "shockwave",
+            FleetPolicy::Themis => "themis",
+        }
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FleetPolicy::Sia => "Sia",
+            FleetPolicy::Pollux => "Pollux",
+            FleetPolicy::Gavel => "Gavel+TJ",
+            FleetPolicy::Shockwave => "Shockwave+TJ",
+            FleetPolicy::Themis => "Themis+TJ",
+        }
+    }
+
+    /// Whether this policy requires rigid (tuned) jobs.
+    pub fn needs_tuned_jobs(&self) -> bool {
+        matches!(
+            self,
+            FleetPolicy::Gavel | FleetPolicy::Shockwave | FleetPolicy::Themis
+        )
+    }
+
+    /// Builds a fresh scheduler instance for one run.
+    pub fn build(&self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            FleetPolicy::Sia => Box::new(sia_core::SiaPolicy::default()),
+            FleetPolicy::Pollux => Box::new(sia_baselines::PolluxPolicy::new(
+                sia_baselines::pollux::PolluxConfig {
+                    seed,
+                    ..Default::default()
+                },
+            )),
+            FleetPolicy::Gavel => Box::new(sia_baselines::GavelPolicy::default()),
+            FleetPolicy::Shockwave => Box::new(sia_baselines::ShockwavePolicy::default()),
+            FleetPolicy::Themis => Box::new(sia_baselines::ThemisPolicy::default()),
+        }
+    }
+}
+
+/// Parses a cluster name: the fixed specs plus fig9-style `heteroN` scaled
+/// clusters for any positive multiple of 64.
+pub fn cluster_by_name(name: &str) -> Result<ClusterSpec, String> {
+    match name {
+        "hetero64" => Ok(ClusterSpec::heterogeneous_64()),
+        "homog64" => Ok(ClusterSpec::homogeneous_64()),
+        "physical44" => Ok(ClusterSpec::physical_44()),
+        other => other
+            .strip_prefix("hetero")
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|n| *n > 0 && n % 64 == 0)
+            .map(|n| ClusterSpec::heterogeneous_scaled(n / 64))
+            .ok_or_else(|| format!("unknown cluster {other}")),
+    }
+}
+
+/// Parses a trace-kind name.
+pub fn parse_trace_kind(name: &str) -> Result<TraceKind, String> {
+    match name {
+        "philly" => Ok(TraceKind::Philly),
+        "helios" => Ok(TraceKind::Helios),
+        "newtrace" => Ok(TraceKind::NewTrace),
+        "physical" => Ok(TraceKind::Physical),
+        other => Err(format!("unknown trace {other}")),
+    }
+}
+
+/// Capacity-dynamics selection for a fleet cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicsSpec {
+    /// Static cluster.
+    None,
+    /// A scripted timeline loaded (and validated) from a JSONL file; every
+    /// run in the cell replays the identical script.
+    File {
+        /// Source path, kept for reproduction coordinates.
+        path: String,
+        /// The parsed script.
+        script: DynamicsScript,
+    },
+    /// Per-run Poisson node churn from `sia_dynamics::poisson_churn`,
+    /// generated from the *run's* seed — every rep sees a fresh churn
+    /// timeline, which is what turns fig11-style claims into intervals.
+    Churn {
+        /// Cluster-wide node-kill rate, events per hour.
+        rate_per_hour: f64,
+        /// Seconds until a killed node returns.
+        repair_secs: f64,
+    },
+}
+
+impl DynamicsSpec {
+    /// Parses a spec entry: `none`, `churn:RATE_PER_HOUR:REPAIR_SECS` or
+    /// `file:PATH` (loaded and parse-validated immediately so an
+    /// unreadable path is a spec error, not a mid-fleet panic).
+    pub fn parse(entry: &str) -> Result<Self, String> {
+        if entry == "none" {
+            return Ok(DynamicsSpec::None);
+        }
+        if let Some(rest) = entry.strip_prefix("churn:") {
+            let mut it = rest.splitn(2, ':');
+            let rate = it.next().and_then(|s| s.parse::<f64>().ok());
+            let repair = it.next().and_then(|s| s.parse::<f64>().ok());
+            return match (rate, repair) {
+                (Some(r), Some(p)) if r > 0.0 && r.is_finite() && p >= 0.0 && p.is_finite() => {
+                    Ok(DynamicsSpec::Churn {
+                        rate_per_hour: r,
+                        repair_secs: p,
+                    })
+                }
+                _ => Err(format!(
+                    "bad churn dynamics {entry:?} (expected churn:RATE_PER_HOUR:REPAIR_SECS)"
+                )),
+            };
+        }
+        if let Some(path) = entry.strip_prefix("file:") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("unreadable dynamics script {path}: {e}"))?;
+            let script = DynamicsScript::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+            return Ok(DynamicsSpec::File {
+                path: path.to_string(),
+                script,
+            });
+        }
+        Err(format!(
+            "unknown dynamics {entry:?} (expected none, churn:RATE:REPAIR or file:PATH)"
+        ))
+    }
+
+    /// Human/JSON label (also the reproduction coordinate).
+    pub fn label(&self) -> String {
+        match self {
+            DynamicsSpec::None => "none".into(),
+            DynamicsSpec::File { path, .. } => format!("file:{path}"),
+            DynamicsSpec::Churn {
+                rate_per_hour,
+                repair_secs,
+            } => format!("churn:{rate_per_hour}:{repair_secs}"),
+        }
+    }
+
+    /// Slug fragment: filesystem-safe.
+    fn slug(&self) -> String {
+        match self {
+            DynamicsSpec::None => "static".into(),
+            DynamicsSpec::File { path, .. } => {
+                let stem = std::path::Path::new(path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("script");
+                format!("file-{}", sanitize(stem))
+            }
+            DynamicsSpec::Churn { rate_per_hour, .. } => {
+                format!("churn{}", sanitize(&format!("{rate_per_hour}")))
+            }
+        }
+    }
+}
+
+/// Keeps slugs to `[A-Za-z0-9_-]`.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Contiguous seed range: `start, start+1, ..., start+count-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedRange {
+    /// First seed.
+    pub start: u64,
+    /// Number of seeds (runs per cell).
+    pub count: u64,
+}
+
+impl SeedRange {
+    /// Iterator over the seeds.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count).map(move |i| self.start + i)
+    }
+}
+
+/// One scenario group — a line of the JSONL spec before expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGroup {
+    /// Group name (slug fragment).
+    pub name: String,
+    /// Policies to compare.
+    pub policies: Vec<FleetPolicy>,
+    /// Workload traces.
+    pub traces: Vec<TraceKind>,
+    /// Cluster names (validated at parse time).
+    pub clusters: Vec<String>,
+    /// Dynamics variants.
+    pub dynamics: Vec<DynamicsSpec>,
+    /// Seed range (runs per cell).
+    pub seeds: SeedRange,
+    /// Optional arrival-rate override, jobs/hour.
+    pub rate: Option<f64>,
+    /// Simulation horizon, hours.
+    pub max_hours: f64,
+    /// Work-target multiplier (shortens runs while preserving shape).
+    pub work_scale: f64,
+    /// Optional cap on the number of jobs taken from the trace.
+    pub jobs: Option<usize>,
+    /// Per-job GPU cap handed to the trace generator.
+    pub max_gpus_cap: usize,
+    /// Force the rigid (TunedJobs) rendering for *every* policy.
+    pub all_rigid: bool,
+}
+
+/// A fully-expanded scenario cell: one `FLEET_*.json` each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Cell index within the fleet (stable expansion order).
+    pub index: usize,
+    /// Source group name.
+    pub group: String,
+    /// Policy under test.
+    pub policy: FleetPolicy,
+    /// Workload trace kind.
+    pub trace: TraceKind,
+    /// Cluster name.
+    pub cluster: String,
+    /// Dynamics variant.
+    pub dynamics: DynamicsSpec,
+    /// Seed range.
+    pub seeds: SeedRange,
+    /// Arrival-rate override.
+    pub rate: Option<f64>,
+    /// Horizon, hours.
+    pub max_hours: f64,
+    /// Work-target multiplier.
+    pub work_scale: f64,
+    /// Job-count cap.
+    pub jobs: Option<usize>,
+    /// Per-job GPU cap.
+    pub max_gpus_cap: usize,
+    /// Rigid rendering for all policies.
+    pub all_rigid: bool,
+}
+
+impl CellSpec {
+    /// Filesystem-safe cell identifier used in `FLEET_<fleet>_<slug>.json`.
+    pub fn slug(&self) -> String {
+        format!(
+            "{}_{}_{}_{}_{}",
+            sanitize(&self.group),
+            self.policy.name(),
+            trace_name(self.trace),
+            sanitize(&self.cluster),
+            self.dynamics.slug()
+        )
+    }
+}
+
+/// Stable lowercase trace name.
+pub(crate) fn trace_name(kind: TraceKind) -> &'static str {
+    match kind {
+        TraceKind::Philly => "philly",
+        TraceKind::Helios => "helios",
+        TraceKind::NewTrace => "newtrace",
+        TraceKind::Physical => "physical",
+    }
+}
+
+/// A parsed, validated fleet specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Fleet name (from the spec path's file stem).
+    pub name: String,
+    /// Scenario groups in spec order.
+    pub groups: Vec<ScenarioGroup>,
+}
+
+impl FleetSpec {
+    /// Loads and validates a JSONL spec file; the fleet name is the file
+    /// stem. All errors are one-line strings.
+    pub fn load(path: &str) -> Result<FleetSpec, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read fleet spec {path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("fleet")
+            .to_string();
+        FleetSpec::parse_jsonl(&name, &text).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Parses JSONL text (one scenario group per non-empty line).
+    pub fn parse_jsonl(name: &str, text: &str) -> Result<FleetSpec, String> {
+        let mut groups = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let group =
+                parse_group(trimmed, groups.len()).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            groups.push(group);
+        }
+        if groups.is_empty() {
+            return Err("empty fleet spec (no scenario groups)".into());
+        }
+        Ok(FleetSpec {
+            name: sanitize(name),
+            groups,
+        })
+    }
+
+    /// Expands the spec into scenario cells (cross product, spec order).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::new();
+        for g in &self.groups {
+            for policy in &g.policies {
+                for trace in &g.traces {
+                    for cluster in &g.clusters {
+                        for dynamics in &g.dynamics {
+                            out.push(CellSpec {
+                                index: out.len(),
+                                group: g.name.clone(),
+                                policy: *policy,
+                                trace: *trace,
+                                cluster: cluster.clone(),
+                                dynamics: dynamics.clone(),
+                                seeds: g.seeds,
+                                rate: g.rate,
+                                max_hours: g.max_hours,
+                                work_scale: g.work_scale,
+                                jobs: g.jobs,
+                                max_gpus_cap: g.max_gpus_cap,
+                                all_rigid: g.all_rigid,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total simulations the fleet will execute.
+    pub fn total_runs(&self) -> u64 {
+        self.cells().iter().map(|c| c.seeds.count).sum()
+    }
+}
+
+/// Parses one JSONL group object.
+fn parse_group(line: &str, index: usize) -> Result<ScenarioGroup, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| "group must be a JSON object".to_string())?;
+
+    const KNOWN: &[&str] = &[
+        "group",
+        "policies",
+        "traces",
+        "clusters",
+        "dynamics",
+        "seeds",
+        "rate",
+        "max_hours",
+        "work_scale",
+        "jobs",
+        "max_gpus_cap",
+        "all_rigid",
+    ];
+    for key in obj.keys() {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(format!("unknown key {key:?}"));
+        }
+    }
+
+    let str_list = |key: &str, default: &[&str]| -> Result<Vec<String>, String> {
+        match obj.get(key) {
+            None => Ok(default.iter().map(|s| s.to_string()).collect()),
+            Some(v) => {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| format!("{key} must be an array of strings"))?;
+                if arr.is_empty() {
+                    return Err(format!("{key} must not be empty"));
+                }
+                arr.iter()
+                    .map(|e| {
+                        e.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("{key} must be an array of strings"))
+                    })
+                    .collect()
+            }
+        }
+    };
+
+    let name = match obj.get("group") {
+        None => format!("g{index}"),
+        Some(v) => v
+            .as_str()
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .ok_or_else(|| "group must be a non-empty string".to_string())?,
+    };
+
+    let policies = str_list("policies", &["sia"])?
+        .iter()
+        .map(|s| FleetPolicy::parse(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let traces = str_list("traces", &["philly"])?
+        .iter()
+        .map(|s| parse_trace_kind(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let clusters = str_list("clusters", &["hetero64"])?;
+    for c in &clusters {
+        cluster_by_name(c)?;
+    }
+    let dynamics = str_list("dynamics", &["none"])?
+        .iter()
+        .map(|s| DynamicsSpec::parse(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    // File scripts must reference GPU types that exist on every cluster in
+    // the group: validate here so the failure is a spec error.
+    for d in &dynamics {
+        if let DynamicsSpec::File { path, script } = d {
+            for c in &clusters {
+                let spec = cluster_by_name(c)?;
+                script
+                    .validate(&spec)
+                    .map_err(|e| format!("{path} against cluster {c}: {e}"))?;
+            }
+        }
+    }
+
+    let seeds = match obj.get("seeds") {
+        None => SeedRange { start: 1, count: 1 },
+        Some(v) => {
+            let o = v
+                .as_object()
+                .ok_or_else(|| "seeds must be {\"start\": N, \"count\": N}".to_string())?;
+            let start = o.get("start").and_then(|x| x.as_u64()).unwrap_or(1);
+            let count = o
+                .get("count")
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| "seeds must carry an integer count".to_string())?;
+            SeedRange { start, count }
+        }
+    };
+    if seeds.count == 0 {
+        return Err(format!("empty seed range in group {name:?}"));
+    }
+
+    let num = |key: &str, default: f64, min: f64| -> Result<f64, String> {
+        match obj.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_f64()
+                .filter(|x| x.is_finite() && *x >= min)
+                .ok_or_else(|| format!("{key} must be a number >= {min}")),
+        }
+    };
+    let rate = match obj.get("rate") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .ok_or_else(|| "rate must be a positive number".to_string())?,
+        ),
+    };
+    let max_hours = num("max_hours", 400.0, 0.01)?;
+    let work_scale = num("work_scale", 1.0, 0.0)?;
+    let jobs = match obj.get("jobs") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| "jobs must be a positive integer".to_string())? as usize,
+        ),
+    };
+    let max_gpus_cap = match obj.get("max_gpus_cap") {
+        None => 16,
+        Some(v) => v
+            .as_u64()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| "max_gpus_cap must be a positive integer".to_string())?
+            as usize,
+    };
+    let all_rigid = match obj.get("all_rigid") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| "all_rigid must be a boolean".to_string())?,
+    };
+
+    Ok(ScenarioGroup {
+        name,
+        policies,
+        traces,
+        clusters,
+        dynamics,
+        seeds,
+        rate,
+        max_hours,
+        work_scale,
+        jobs,
+        max_gpus_cap,
+        all_rigid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_expands_cross_product() {
+        let text = r#"{"group": "a", "policies": ["sia", "pollux"], "traces": ["philly"],
+            "clusters": ["hetero64"], "dynamics": ["none", "churn:2:1800"],
+            "seeds": {"start": 1, "count": 3}, "rate": 40.0, "max_hours": 7.0}"#
+            .replace('\n', " ");
+        let spec = FleetSpec::parse_jsonl("t", &text).unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4, "2 policies x 2 dynamics");
+        assert_eq!(spec.total_runs(), 12);
+        assert_eq!(cells[0].slug(), "a_sia_philly_hetero64_static");
+        assert_eq!(cells[1].slug(), "a_sia_philly_hetero64_churn2");
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+    }
+
+    #[test]
+    fn rejects_bad_specs_with_one_line_errors() {
+        let unknown_policy = r#"{"policies": ["sio"]}"#;
+        let e = FleetSpec::parse_jsonl("t", unknown_policy).unwrap_err();
+        assert!(
+            e.contains("line 1") && e.contains("unknown policy sio"),
+            "{e}"
+        );
+
+        let empty_seeds = r#"{"seeds": {"start": 1, "count": 0}}"#;
+        let e = FleetSpec::parse_jsonl("t", empty_seeds).unwrap_err();
+        assert!(e.contains("empty seed range"), "{e}");
+
+        let bad_dyn = r#"{"dynamics": ["file:/nonexistent/nope.jsonl"]}"#;
+        let e = FleetSpec::parse_jsonl("t", bad_dyn).unwrap_err();
+        assert!(e.contains("unreadable dynamics script"), "{e}");
+
+        let unknown_key = r#"{"polices": ["sia"]}"#;
+        let e = FleetSpec::parse_jsonl("t", unknown_key).unwrap_err();
+        assert!(e.contains("unknown key"), "{e}");
+
+        let e = FleetSpec::parse_jsonl("t", "").unwrap_err();
+        assert!(e.contains("empty fleet spec"), "{e}");
+
+        let e = FleetSpec::parse_jsonl("t", r#"{"clusters": ["hetero65"]}"#).unwrap_err();
+        assert!(e.contains("unknown cluster hetero65"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text =
+            "# a comment\n\n{\"policies\": [\"sia\"], \"seeds\": {\"start\": 1, \"count\": 2}}\n";
+        let spec = FleetSpec::parse_jsonl("t", text).unwrap();
+        assert_eq!(spec.groups.len(), 1);
+        assert_eq!(spec.total_runs(), 2);
+    }
+
+    #[test]
+    fn policy_builders_and_labels() {
+        for p in [
+            FleetPolicy::Sia,
+            FleetPolicy::Pollux,
+            FleetPolicy::Gavel,
+            FleetPolicy::Shockwave,
+            FleetPolicy::Themis,
+        ] {
+            assert!(!p.build(1).name().is_empty());
+            assert_eq!(FleetPolicy::parse(p.name()).unwrap(), p);
+            assert!(!p.label().is_empty());
+        }
+        assert!(FleetPolicy::parse("tetris").is_err());
+    }
+}

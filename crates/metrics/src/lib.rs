@@ -17,9 +17,11 @@
 
 pub mod fairness;
 pub mod stats;
+pub mod streaming;
 
 pub use fairness::{ftf_ratios, unfair_fraction, worst_ftf};
 pub use stats::{
     avg_utilization, cdf, gpu_hours_by_model, percentile, summarize, summarize_phases,
     utilization_series, SolverPhaseSummary, Summary,
 };
+pub use streaming::{bootstrap_ci_mean, MetricAgg, MetricSummary, P2Quantile, Reservoir, Welford};

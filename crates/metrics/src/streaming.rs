@@ -1,0 +1,570 @@
+//! Streaming (single-pass, bounded-memory) statistics for fleet-scale
+//! aggregation.
+//!
+//! A Monte Carlo scenario fleet folds hundreds-to-thousands of per-run
+//! summaries into per-cell statistics. Retaining every run would tie memory
+//! to fleet size, so aggregation is streaming:
+//!
+//! * [`Welford`] — numerically stable one-pass mean/variance (Welford's
+//!   online algorithm, mergeable via the parallel-axis update);
+//! * [`P2Quantile`] — the P² marker estimator of Jain & Chlamtac (1985):
+//!   five markers track a target quantile in O(1) memory;
+//! * [`Reservoir`] — Algorithm-R reservoir sampling with a deterministic
+//!   SplitMix64 stream, feeding the percentile bootstrap (and exact
+//!   quantiles whenever the sample still fits the reservoir).
+//!
+//! Confidence intervals come two ways: a normal approximation
+//! (`mean ± 1.96·s/√n`) and a percentile bootstrap over the reservoir
+//! ([`bootstrap_ci_mean`]). Everything here is deterministic given the
+//! insertion order — the fleet runner folds run summaries in run-id order,
+//! so aggregates never depend on worker count.
+
+/// One-pass mean/variance accumulator (Welford's online algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator (parallel-axis / Chan et al. update):
+    /// the result is identical (up to rounding) to pushing both streams
+    /// into one accumulator.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n;
+        self.mean += delta * other.n as f64 / n;
+        self.n += other.n;
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Normal-approximation 95% confidence interval on the mean:
+    /// `mean ± 1.96·s/√n`. Collapses to the point estimate for n < 2.
+    pub fn ci95(&self) -> (f64, f64) {
+        if self.n < 2 {
+            return (self.mean(), self.mean());
+        }
+        let half = 1.96 * self.std() / (self.n as f64).sqrt();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+/// P² streaming quantile estimator (Jain & Chlamtac, CACM 1985).
+///
+/// Tracks the `p`-quantile of a stream with five markers in constant
+/// memory. Exact for the first five observations (kept in a buffer);
+/// afterwards the markers follow a piecewise-parabolic interpolation. The
+/// estimate is always within the observed data range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    n: u64,
+    buf: [f64; 5],
+    heights: [f64; 5],
+    /// Actual marker positions (1-based counts).
+    npos: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    dn: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Estimator for the `p`-quantile (`p` clamped to `[0, 1]`).
+    pub fn new(p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        P2Quantile {
+            p,
+            n: 0,
+            buf: [0.0; 5],
+            heights: [0.0; 5],
+            npos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+        }
+    }
+
+    /// Target quantile.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        if self.n < 5 {
+            self.buf[self.n as usize] = x;
+            self.n += 1;
+            if self.n == 5 {
+                let mut b = self.buf;
+                b.sort_by(f64::total_cmp);
+                self.heights = b;
+            }
+            return;
+        }
+        // Locate the marker cell and stretch the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 1..4 {
+                if x >= self.heights[i] {
+                    k = i;
+                }
+            }
+            k
+        };
+        self.n += 1;
+        for i in (k + 1)..5 {
+            self.npos[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.dn[i];
+        }
+        // Nudge interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.npos[i];
+            if (d >= 1.0 && self.npos[i + 1] - self.npos[i] > 1.0)
+                || (d <= -1.0 && self.npos[i - 1] - self.npos[i] < -1.0)
+            {
+                let d = d.signum();
+                let h = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < h && h < self.heights[i + 1] {
+                    h
+                } else {
+                    self.linear(i, d)
+                };
+                self.npos[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (h, np) = (&self.heights, &self.npos);
+        h[i] + d / (np[i + 1] - np[i - 1])
+            * ((np[i] - np[i - 1] + d) * (h[i + 1] - h[i]) / (np[i + 1] - np[i])
+                + (np[i + 1] - np[i] - d) * (h[i] - h[i - 1]) / (np[i] - np[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i] + d * (self.heights[j] - self.heights[i]) / (self.npos[j] - self.npos[i])
+    }
+
+    /// Current quantile estimate: exact (interpolated order statistic) while
+    /// fewer than five observations have arrived, the middle P² marker
+    /// afterwards. `None` when empty.
+    pub fn quantile(&self) -> Option<f64> {
+        match self.n {
+            0 => None,
+            n if n < 5 => {
+                let mut v: Vec<f64> = self.buf[..n as usize].to_vec();
+                v.sort_by(f64::total_cmp);
+                Some(interpolated(&v, self.p))
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+/// Linear-interpolated quantile of an already-sorted slice.
+fn interpolated(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// SplitMix64 step — the deterministic PRNG behind reservoir eviction and
+/// the bootstrap resampler (no wall-clock, no global state).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `0..bound` from a SplitMix64 stream.
+fn uniform(state: &mut u64, bound: u64) -> u64 {
+    // Bounds here are tiny relative to 2^64; modulo bias is negligible for
+    // CI purposes and keeps the draw branch-free (determinism is what
+    // matters).
+    splitmix64(state) % bound.max(1)
+}
+
+/// Bounded uniform sample of a stream (Algorithm R), deterministic given
+/// the insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    items: Vec<f64>,
+    rng: u64,
+}
+
+impl Reservoir {
+    /// Reservoir keeping at most `cap` items, evicting uniformly at random
+    /// from the `seed`-derived SplitMix64 stream once full.
+    pub fn new(cap: usize, seed: u64) -> Self {
+        Reservoir {
+            cap: cap.max(1),
+            seen: 0,
+            items: Vec::new(),
+            rng: seed ^ 0xD6E8_FEB8_6659_FD93,
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.seen += 1;
+        if self.items.len() < self.cap {
+            self.items.push(x);
+        } else {
+            let j = uniform(&mut self.rng, self.seen);
+            if (j as usize) < self.cap {
+                self.items[j as usize] = x;
+            }
+        }
+    }
+
+    /// Observations offered so far (≥ the retained count).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Whether every observation offered is still retained (sample ≡
+    /// population, so quantiles from the reservoir are exact).
+    pub fn is_exhaustive(&self) -> bool {
+        self.seen as usize == self.items.len()
+    }
+
+    /// Retained sample.
+    pub fn items(&self) -> &[f64] {
+        &self.items
+    }
+
+    /// Interpolated quantile of the retained sample (`None` when empty).
+    /// Exact while [`Self::is_exhaustive`]; an unbiased estimate after.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let mut v = self.items.clone();
+        v.sort_by(f64::total_cmp);
+        Some(interpolated(&v, q))
+    }
+}
+
+/// Percentile-bootstrap 95% confidence interval on the mean of `samples`:
+/// `iters` resamples with replacement (deterministic SplitMix64 stream from
+/// `seed`), interval = the 2.5th and 97.5th percentiles of the resampled
+/// means. Degenerates to the point estimate for fewer than two samples.
+pub fn bootstrap_ci_mean(samples: &[f64], iters: usize, seed: u64) -> (f64, f64) {
+    if samples.len() < 2 {
+        let v = samples.first().copied().unwrap_or(0.0);
+        return (v, v);
+    }
+    let mut rng = seed ^ 0xA076_1D64_78BD_642F;
+    let n = samples.len();
+    let mut means = Vec::with_capacity(iters.max(1));
+    for _ in 0..iters.max(1) {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += samples[uniform(&mut rng, n as u64) as usize];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    (interpolated(&means, 0.025), interpolated(&means, 0.975))
+}
+
+/// Bootstrap resamples used by [`MetricAgg::summary`].
+pub const BOOTSTRAP_ITERS: usize = 1000;
+/// Reservoir capacity used by [`MetricAgg`]: fleets up to this many runs
+/// per cell get exact quantiles and a full-sample bootstrap.
+pub const RESERVOIR_CAP: usize = 4096;
+
+/// Everything the fleet reports about one scalar metric, folded in one
+/// pass: Welford moments, P² median and p95 markers, and a reservoir for
+/// the bootstrap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricAgg {
+    welford: Welford,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    reservoir: Reservoir,
+}
+
+impl Default for MetricAgg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricAgg {
+    /// Empty aggregate with the default reservoir capacity.
+    pub fn new() -> Self {
+        MetricAgg {
+            welford: Welford::new(),
+            p50: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+            reservoir: Reservoir::new(RESERVOIR_CAP, 0),
+        }
+    }
+
+    /// Folds one per-run observation in.
+    pub fn push(&mut self, x: f64) {
+        self.welford.push(x);
+        self.p50.push(x);
+        self.p95.push(x);
+        self.reservoir.push(x);
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.welford.count()
+    }
+
+    /// Point estimates + 95% intervals over everything folded so far.
+    pub fn summary(&self) -> MetricSummary {
+        let (ci_lo, ci_hi) = self.welford.ci95();
+        let (boot_lo, boot_hi) = bootstrap_ci_mean(
+            self.reservoir.items(),
+            BOOTSTRAP_ITERS,
+            self.welford.count(),
+        );
+        // Prefer exact order statistics while the reservoir still holds the
+        // whole sample; fall back to the P² markers on overflow.
+        let (median, p95) = if self.reservoir.is_exhaustive() {
+            (
+                self.reservoir.quantile(0.5).unwrap_or(0.0),
+                self.reservoir.quantile(0.95).unwrap_or(0.0),
+            )
+        } else {
+            (
+                self.p50.quantile().unwrap_or(0.0),
+                self.p95.quantile().unwrap_or(0.0),
+            )
+        };
+        MetricSummary {
+            n: self.welford.count(),
+            mean: self.welford.mean(),
+            std: self.welford.std(),
+            ci95: (ci_lo, ci_hi),
+            boot_ci95: (boot_lo, boot_hi),
+            median,
+            p95,
+        }
+    }
+}
+
+/// Snapshot of a [`MetricAgg`]: the row a `FLEET_*.json` cell carries per
+/// metric.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricSummary {
+    /// Runs folded in.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Normal-approximation 95% CI on the mean.
+    pub ci95: (f64, f64),
+    /// Percentile-bootstrap 95% CI on the mean.
+    pub boot_ci95: (f64, f64),
+    /// Median (exact while the reservoir is exhaustive, P² after).
+    pub median: f64,
+    /// 95th percentile (same sourcing as the median).
+    pub p95: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_mean_var(v: &[f64]) -> (f64, f64) {
+        let n = v.len() as f64;
+        let mean = v.iter().sum::<f64>() / n;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let v: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 50.0 + 100.0)
+            .collect();
+        let mut w = Welford::new();
+        for &x in &v {
+            w.push(x);
+        }
+        let (m, var) = batch_mean_var(&v);
+        assert!((w.mean() - m).abs() < 1e-9);
+        assert!((w.variance() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let v: Vec<f64> = (0..500).map(|i| (i as f64).sqrt() * 3.0 - 20.0).collect();
+        let mut whole = Welford::new();
+        for &x in &v {
+            whole.push(x);
+        }
+        let (mut a, mut b) = (Welford::new(), Welford::new());
+        for &x in &v[..123] {
+            a.push(x);
+        }
+        for &x in &v[123..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p2_exact_below_five_and_constant() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.quantile(), None);
+        for x in [3.0, 1.0, 2.0] {
+            q.push(x);
+        }
+        assert!((q.quantile().unwrap() - 2.0).abs() < 1e-12);
+        let mut c = P2Quantile::new(0.95);
+        for _ in 0..200 {
+            c.push(7.5);
+        }
+        assert_eq!(c.quantile().unwrap(), 7.5);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_ramp() {
+        // Sorted (adversarial for marker estimators) ramp 0..10_000.
+        let mut q = P2Quantile::new(0.5);
+        for i in 0..10_000 {
+            q.push(i as f64);
+        }
+        let est = q.quantile().unwrap();
+        assert!((est - 5000.0).abs() < 250.0, "median est {est}");
+    }
+
+    #[test]
+    fn reservoir_exact_until_full_then_bounded() {
+        let mut r = Reservoir::new(8, 42);
+        for i in 0..8 {
+            r.push(i as f64);
+        }
+        assert!(r.is_exhaustive());
+        assert_eq!(r.quantile(1.0).unwrap(), 7.0);
+        for i in 8..1000 {
+            r.push(i as f64);
+        }
+        assert!(!r.is_exhaustive());
+        assert_eq!(r.items().len(), 8);
+        // Deterministic given the same insertion order.
+        let mut r2 = Reservoir::new(8, 42);
+        for i in 0..1000 {
+            r2.push(i as f64);
+        }
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_mean_and_is_deterministic() {
+        let v: Vec<f64> = (0..100).map(|i| 10.0 + (i % 7) as f64).collect();
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let (lo, hi) = bootstrap_ci_mean(&v, 500, 9);
+        assert!(lo <= mean && mean <= hi, "({lo}, {hi}) vs {mean}");
+        assert_eq!((lo, hi), bootstrap_ci_mean(&v, 500, 9));
+        assert_eq!(bootstrap_ci_mean(&[5.0], 500, 9), (5.0, 5.0));
+        assert_eq!(bootstrap_ci_mean(&[], 500, 9), (0.0, 0.0));
+    }
+
+    #[test]
+    fn metric_agg_summary_consistency() {
+        let mut agg = MetricAgg::new();
+        let v: Vec<f64> = (0..64).map(|i| (i as f64 * 1.7) % 13.0).collect();
+        for &x in &v {
+            agg.push(x);
+        }
+        let s = agg.summary();
+        assert_eq!(s.n, 64);
+        let (m, var) = batch_mean_var(&v);
+        assert!((s.mean - m).abs() < 1e-9);
+        assert!((s.std - var.sqrt()).abs() < 1e-9);
+        assert!(s.ci95.0 <= s.mean && s.mean <= s.ci95.1);
+        assert!(s.boot_ci95.0 <= s.mean + 1e-9 && s.mean - 1e-9 <= s.boot_ci95.1);
+        // Exact quantiles while the reservoir holds everything.
+        let mut sorted = v.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!((s.median - interpolated(&sorted, 0.5)).abs() < 1e-12);
+        assert!((s.p95 - interpolated(&sorted, 0.95)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validate canonical FLEET_*.json payloads produced by `sia-cli fleet`.
+
+Usage:
+    check_fleet.py OUT_DIR [--expect-runs N] [--expect-cells N]
+
+Checks, per FLEET_*.json file in OUT_DIR:
+  - the document is versioned (version == 1) and names its fleet and cell;
+  - run accounting adds up: runs == seed_count from the embedded spec,
+    completed runs == runs - failed_runs, and the failed[] manifest has
+    exactly failed_runs entries, each carrying repro coordinates
+    (cell slug + seed);
+  - every metric block is internally consistent: n matches completed
+    runs, std >= 0, both CI variants bracket their point estimate
+    (ci95_lo <= mean <= ci95_hi, boot_ci95_lo <= mean <= boot_ci95_hi),
+    the CI collapses to the mean when n < 2, and median/p95 are finite;
+  - no wall-clock contamination: the canonical payload must not contain
+    any key mentioning wall time (determinism contract — byte-identical
+    output regardless of worker count or machine speed).
+
+With --expect-runs / --expect-cells, also checks fleet-level totals so CI
+catches a silently truncated sweep.
+
+Exits 0 when all checks pass, 1 with a message per violation otherwise.
+No third-party dependencies.
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def finite(x):
+    return isinstance(x, (int, float)) and math.isfinite(x)
+
+
+def walk_keys(node, prefix=""):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            yield f"{prefix}.{k}" if prefix else k
+            yield from walk_keys(v, f"{prefix}.{k}" if prefix else k)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            yield from walk_keys(v, f"{prefix}[{i}]")
+
+
+def check_metric(where, name, m, completed, errors):
+    for field in ("n", "mean", "std", "ci95_lo", "ci95_hi",
+                  "boot_ci95_lo", "boot_ci95_hi", "median", "p95"):
+        if field not in m:
+            errors.append(f"{where}: metric {name} missing field {field}")
+            return
+    if m["n"] != completed:
+        errors.append(
+            f"{where}: metric {name} n {m['n']} != completed runs {completed}")
+    if not all(finite(m[f]) for f in ("mean", "std", "median", "p95")):
+        errors.append(f"{where}: metric {name} has non-finite statistics")
+        return
+    if m["std"] < 0:
+        errors.append(f"{where}: metric {name} std {m['std']} < 0")
+    for lo, hi, kind in (
+        (m["ci95_lo"], m["ci95_hi"], "normal"),
+        (m["boot_ci95_lo"], m["boot_ci95_hi"], "bootstrap"),
+    ):
+        eps = 1e-9 * max(1.0, abs(m["mean"]))
+        if not (lo - eps <= m["mean"] <= hi + eps):
+            errors.append(
+                f"{where}: metric {name} {kind} CI [{lo}, {hi}] "
+                f"does not bracket mean {m['mean']}")
+    if m["n"] < 2 and (m["ci95_lo"] != m["mean"] or m["ci95_hi"] != m["mean"]):
+        errors.append(
+            f"{where}: metric {name} n={m['n']} but normal CI not collapsed")
+
+
+def check_file(path, errors):
+    """Returns (runs, failed_runs) for fleet-level accounting."""
+    where = path.name
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{where}: unreadable ({e})")
+        return 0, 0
+    if doc.get("version") != 1:
+        errors.append(f"{where}: version {doc.get('version')!r} != 1")
+    for key in ("fleet", "cell", "spec", "runs", "failed_runs", "failed", "metrics"):
+        if key not in doc:
+            errors.append(f"{where}: missing top-level key {key}")
+            return 0, 0
+
+    runs, failed = doc["runs"], doc["failed_runs"]
+    seed_count = doc["spec"].get("seed_count")
+    if runs != seed_count:
+        errors.append(f"{where}: runs {runs} != spec seed_count {seed_count}")
+    if len(doc["failed"]) != failed:
+        errors.append(
+            f"{where}: failed manifest has {len(doc['failed'])} entries, "
+            f"failed_runs says {failed}")
+    for entry in doc["failed"]:
+        if not all(k in entry for k in ("cell", "seed", "error")):
+            errors.append(f"{where}: failed entry lacks repro coordinates: {entry}")
+    completed = runs - failed
+
+    metrics = doc["metrics"]
+    if completed > 0 and not metrics:
+        errors.append(f"{where}: completed runs but no metrics")
+    for name, m in metrics.items():
+        check_metric(where, name, m, completed, errors)
+
+    wall_keys = [k for k in walk_keys(doc) if "wall" in k.lower()]
+    if wall_keys:
+        errors.append(f"{where}: wall-clock contamination in keys {wall_keys}")
+    return runs, failed
+
+
+def main(argv):
+    args = list(argv[1:])
+    expect_runs = expect_cells = None
+    if "--expect-runs" in args:
+        i = args.index("--expect-runs")
+        expect_runs = int(args[i + 1])
+        del args[i:i + 2]
+    if "--expect-cells" in args:
+        i = args.index("--expect-cells")
+        expect_cells = int(args[i + 1])
+        del args[i:i + 2]
+    if len(args) != 1:
+        print(__doc__.strip().splitlines()[0])
+        print(f"usage: {argv[0]} OUT_DIR [--expect-runs N] [--expect-cells N]")
+        return 2
+
+    out_dir = Path(args[0])
+    files = sorted(out_dir.glob("FLEET_*.json"))
+    errors = []
+    if not files:
+        errors.append(f"{out_dir}: no FLEET_*.json files found")
+    total_runs = total_failed = 0
+    for path in files:
+        runs, failed = check_file(path, errors)
+        total_runs += runs
+        total_failed += failed
+    if expect_cells is not None and len(files) != expect_cells:
+        errors.append(f"{out_dir}: {len(files)} cells, expected {expect_cells}")
+    if expect_runs is not None and total_runs != expect_runs:
+        errors.append(f"{out_dir}: {total_runs} runs, expected {expect_runs}")
+    if total_failed:
+        errors.append(f"{out_dir}: {total_failed} failed runs (manifests above)")
+
+    for e in errors:
+        print(f"FAIL: {e}")
+    if errors:
+        return 1
+    print(
+        f"OK: {len(files)} cells, {total_runs} runs, 0 failed; "
+        "all payloads canonical and consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,6 +21,8 @@
 //! sia-cli trace-to-stream [FILE] [--trace KIND] [--seed N] [--rate R]
 //!         [--jobs N] [--tenant NAME] [--gpu-hours-per-gpu H]
 //!         [--no-shutdown] [--out PATH]
+//! sia-cli fleet SPEC.jsonl [--out DIR] [--workers N]
+//!         [--progress PATH] [--json] [--quiet]
 //! ```
 //!
 //! Runs one simulation and prints the summary (or JSON with `--json`).
@@ -69,6 +71,20 @@
 //!
 //! `sia-cli trace-to-stream` converts a static trace file (or a generated
 //! trace) into a serve-mode JSONL submission script.
+//!
+//! `sia-cli fleet` expands a JSONL fleet spec (one scenario group per line;
+//! see `sia-fleet`) into the cross product of policy × trace × cluster ×
+//! dynamics × seed range, executes the runs concurrently (work stealing
+//! across `--workers` threads, or the `SIA_WORKERS` env override), and
+//! writes one canonical `FLEET_*.json` per scenario cell into `--out DIR`
+//! with mean/median/p95 and 95% confidence intervals per metric. The
+//! canonical files are byte-identical for any worker count; wall-clock
+//! lives only in the `--progress PATH` JSONL heartbeat and the stdout
+//! summary. Spec errors, an unparseable `SIA_WORKERS`, and unwritable
+//! outputs are one-line exit-2 usage errors; a fleet whose runs all
+//! executed exits 0 even when some runs failed (their reproduction
+//! coordinates are listed in the per-cell `failed` manifests) — exit 1 is
+//! reserved for fleets that could not write their reports.
 
 use sia::baselines::{GavelPolicy, PolluxPolicy, ShockwavePolicy, ThemisPolicy};
 use sia::cluster::ClusterSpec;
@@ -188,6 +204,10 @@ fn main() {
     if raw.first().map(String::as_str) == Some("top") {
         top_cmd(&raw[1..]);
     }
+    // `sia-cli fleet ...`: Monte Carlo scenario-fleet runner.
+    if raw.first().map(String::as_str) == Some("fleet") {
+        fleet_cmd(&raw[1..]);
+    }
 
     let args = Args { argv: raw };
     if args.flag("--help") || args.flag("-h") {
@@ -213,7 +233,9 @@ fn main() {
              [--interval SECS] [--iterations N]\n\
              \x20      sia-cli trace-to-stream [FILE] [--trace KIND] [--seed N] \
              [--rate R] [--jobs N] [--tenant NAME] [--gpu-hours-per-gpu H] \
-             [--no-shutdown] [--out PATH]"
+             [--no-shutdown] [--out PATH]\n\
+             \x20      sia-cli fleet SPEC.jsonl [--out DIR] [--workers N] \
+             [--progress PATH] [--json] [--quiet]"
         );
         return;
     }
@@ -1298,6 +1320,155 @@ fn trace_to_stream_cmd(argv: &[String]) -> ! {
             eprintln!("wrote {} request(s) to {path}", text.lines().count());
         }
         None => print!("{text}"),
+    }
+    std::process::exit(0);
+}
+
+/// `sia-cli fleet SPEC.jsonl ...`: expand a fleet spec into its scenario
+/// cross product, execute every run (work stealing across workers), and
+/// write one canonical `FLEET_*.json` per scenario cell. Never returns.
+fn fleet_cmd(argv: &[String]) -> ! {
+    const USAGE: &str = "usage: sia-cli fleet SPEC.jsonl [--out DIR] [--workers N] \
+         [--progress PATH] [--json] [--quiet]";
+    use sia::fleet::{run_fleet, write_fleet_json, FleetOptions, FleetSpec};
+
+    let fail = |msg: &str| -> ! {
+        eprintln!("{msg}\n{USAGE}");
+        std::process::exit(2);
+    };
+    let mut spec_path: Option<String> = None;
+    let mut out_dir = "results/fleet".to_string();
+    let mut workers: usize = 0;
+    let mut progress: Option<String> = None;
+    let mut json = false;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => out_dir = take_value(argv, &mut i, "--out", USAGE),
+            "--workers" => {
+                workers = match take_value(argv, &mut i, "--workers", USAGE).parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => fail("--workers must be a positive integer"),
+                }
+            }
+            "--progress" => progress = Some(take_value(argv, &mut i, "--progress", USAGE)),
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && spec_path.is_none() => {
+                spec_path = Some(other.to_string())
+            }
+            other => fail(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    // Validate the SIA_WORKERS override up front: library code ignores a
+    // malformed value, the CLI turns it into a usage error.
+    if let Err(e) = sia::core::pool::env_workers() {
+        fail(&e);
+    }
+    let Some(spec_path) = spec_path else {
+        fail("fleet needs a SPEC.jsonl path");
+    };
+    let spec = match FleetSpec::load(&spec_path) {
+        Ok(s) => s,
+        Err(e) => fail(&e),
+    };
+
+    let opts = FleetOptions {
+        workers,
+        progress: progress.as_ref().map(std::path::PathBuf::from),
+    };
+    if !quiet {
+        eprintln!(
+            "fleet {}: {} cells, {} runs",
+            spec.name,
+            spec.cells().len(),
+            spec.total_runs()
+        );
+    }
+    let report = match run_fleet(&spec, &opts) {
+        Ok(r) => r,
+        Err(e) => fail(&e),
+    };
+    let paths = match write_fleet_json(&report, std::path::Path::new(&out_dir)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+
+    if json {
+        let cells: Vec<serde_json::Value> = report
+            .cells
+            .iter()
+            .zip(&paths)
+            .map(|(c, p)| {
+                let jct = c
+                    .metrics
+                    .iter()
+                    .find(|(n, _)| *n == "avg_jct_hours")
+                    .map(|(_, s)| *s)
+                    .unwrap_or_default();
+                serde_json::json!({
+                    "cell": c.cell.slug(),
+                    "runs": c.completed,
+                    "failed": c.failed.len() as u64,
+                    "avg_jct_hours": jct.mean,
+                    "avg_jct_ci95": [jct.ci95.0, jct.ci95.1],
+                    "wall_s": c.wall_s,
+                    "path": p.display().to_string(),
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "fleet": report.fleet.as_str(),
+            "total_runs": report.total_runs,
+            "total_failed": report.total_failed,
+            "workers": report.workers as u64,
+            "wall_s": report.wall_s,
+            "cells": cells,
+        });
+        println!("{doc}");
+    } else if !quiet {
+        for c in &report.cells {
+            let jct = c
+                .metrics
+                .iter()
+                .find(|(n, _)| *n == "avg_jct_hours")
+                .map(|(_, s)| *s)
+                .unwrap_or_default();
+            println!(
+                "cell {:<44} {:>3} runs ({} failed)  avgJCT {:.2} h [{:.2}, {:.2}]  wall {:.1}s",
+                c.cell.slug(),
+                c.completed,
+                c.failed.len(),
+                jct.mean,
+                jct.ci95.0,
+                jct.ci95.1,
+                c.wall_s,
+            );
+            for f in &c.failed {
+                println!("  failed run {} seed {}: {}", f.run_id, f.seed, f.error);
+            }
+        }
+        println!(
+            "fleet {}: {} runs ({} failed) across {} cells in {:.1} s with {} workers; \
+             {} report(s) in {}",
+            report.fleet,
+            report.total_runs,
+            report.total_failed,
+            report.cells.len(),
+            report.wall_s,
+            report.workers,
+            paths.len(),
+            out_dir,
+        );
     }
     std::process::exit(0);
 }

@@ -21,6 +21,8 @@
 //! * [`telemetry`] — span timers, counters/gauges/histograms, JSONL sink.
 //! * [`serve`] — the long-running scheduling daemon (JSONL command
 //!   stream, admission control, snapshot/restore).
+//! * [`fleet`] — the Monte Carlo scenario-fleet runner (batch sweeps with
+//!   streaming aggregation and confidence intervals).
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@ pub use sia_cluster as cluster;
 pub use sia_core as core;
 pub use sia_dynamics as dynamics;
 pub use sia_events as events;
+pub use sia_fleet as fleet;
 pub use sia_metrics as metrics;
 pub use sia_models as models;
 pub use sia_serve as serve;

@@ -1,0 +1,195 @@
+//! End-to-end tests for `sia-cli fleet`: worker-count invariance of the
+//! canonical `FLEET_*.json` payloads, spec-error and `SIA_WORKERS` exit
+//! codes, and the progress heartbeat stream.
+
+use std::process::Command;
+
+use serde_json::Value;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sia-cli"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sia_fleet_cli_{}_{name}", std::process::id()))
+}
+
+/// A tiny two-cell spec: short horizon, scaled work, 2 seeds per cell.
+const SMOKE_SPEC: &str = r#"{"group": "smoke", "policies": ["sia", "gavel"], "traces": ["philly"], "clusters": ["hetero64"], "dynamics": ["none"], "seeds": {"start": 1, "count": 2}, "rate": 12.0, "max_hours": 1.0, "work_scale": 0.2, "jobs": 10}"#;
+
+fn write_spec(name: &str, text: &str) -> std::path::PathBuf {
+    let path = tmp(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn read_dir_sorted(dir: &std::path::Path) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().to_string(),
+                std::fs::read_to_string(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn fleet_json_is_byte_identical_across_worker_counts() {
+    let spec = write_spec("inv_spec.jsonl", SMOKE_SPEC);
+    let out1 = tmp("inv_w1");
+    let out8 = tmp("inv_w8");
+    for (dir, workers) in [(&out1, "1"), (&out8, "8")] {
+        let _ = std::fs::remove_dir_all(dir);
+        let status = cli()
+            .arg("fleet")
+            .arg(&spec)
+            .args([
+                "--out",
+                dir.to_str().unwrap(),
+                "--workers",
+                workers,
+                "--quiet",
+            ])
+            .status()
+            .expect("run fleet");
+        assert!(status.success(), "fleet --workers {workers} failed");
+    }
+    let a = read_dir_sorted(&out1);
+    let b = read_dir_sorted(&out8);
+    assert_eq!(a.len(), 2, "one FLEET_*.json per cell");
+    assert_eq!(a, b, "canonical payloads must not depend on worker count");
+    // And canonical means canonical: no wall-clock fields anywhere.
+    for (name, text) in &a {
+        assert!(name.starts_with("FLEET_"), "{name}");
+        assert!(!text.contains("wall"), "{name} leaks wall-clock");
+        let doc: Value = serde_json::from_str(text).unwrap();
+        let top = doc.as_object().unwrap();
+        assert_eq!(top.get("version").and_then(Value::as_u64), Some(1));
+        assert_eq!(top.get("runs").and_then(Value::as_u64), Some(2));
+        assert_eq!(top.get("failed_runs").and_then(Value::as_u64), Some(0));
+    }
+    let _ = std::fs::remove_file(&spec);
+    let _ = std::fs::remove_dir_all(&out1);
+    let _ = std::fs::remove_dir_all(&out8);
+}
+
+#[test]
+fn progress_heartbeat_covers_every_run() {
+    let spec = write_spec("prog_spec.jsonl", SMOKE_SPEC);
+    let out = tmp("prog_out");
+    let prog = tmp("prog.jsonl");
+    let _ = std::fs::remove_dir_all(&out);
+    let status = cli()
+        .arg("fleet")
+        .arg(&spec)
+        .args([
+            "--out",
+            out.to_str().unwrap(),
+            "--progress",
+            prog.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--quiet",
+        ])
+        .status()
+        .expect("run fleet");
+    assert!(status.success());
+    let text = std::fs::read_to_string(&prog).unwrap();
+    let lines: Vec<Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 4, "one heartbeat per run");
+    for line in &lines {
+        let obj = line.as_object().unwrap();
+        assert_eq!(obj.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(obj.get("total").and_then(Value::as_u64), Some(4));
+        assert!(obj.get("wall_s").and_then(Value::as_f64).is_some());
+    }
+    let _ = std::fs::remove_file(&spec);
+    let _ = std::fs::remove_file(&prog);
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+/// Runs `sia-cli fleet` expecting exit 2, returns stderr.
+fn expect_usage_error(args: &[&str], env: &[(&str, &str)]) -> String {
+    let mut cmd = cli();
+    cmd.arg("fleet").args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("run fleet");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "expected exit 2, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+#[test]
+fn spec_errors_exit_2_with_one_line_messages() {
+    let bad_policy = write_spec("bad_policy.jsonl", r#"{"policies": ["sio"]}"#);
+    let err = expect_usage_error(&[bad_policy.to_str().unwrap()], &[]);
+    assert!(err.contains("unknown policy sio"), "{err}");
+    assert!(err.lines().next().unwrap().contains("line 1"), "{err}");
+
+    let empty_seeds = write_spec(
+        "empty_seeds.jsonl",
+        r#"{"policies": ["sia"], "seeds": {"start": 1, "count": 0}}"#,
+    );
+    let err = expect_usage_error(&[empty_seeds.to_str().unwrap()], &[]);
+    assert!(err.contains("empty seed range"), "{err}");
+
+    let bad_dynamics = write_spec(
+        "bad_dyn.jsonl",
+        r#"{"policies": ["sia"], "dynamics": ["file:/nonexistent/nope.jsonl"]}"#,
+    );
+    let err = expect_usage_error(&[bad_dynamics.to_str().unwrap()], &[]);
+    assert!(err.contains("unreadable dynamics script"), "{err}");
+
+    let err = expect_usage_error(&["/nonexistent/fleet.jsonl"], &[]);
+    assert!(err.contains("cannot read fleet spec"), "{err}");
+
+    let err = expect_usage_error(&[], &[]);
+    assert!(err.contains("fleet needs a SPEC.jsonl path"), "{err}");
+
+    for f in [bad_policy, empty_seeds, bad_dynamics] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn bad_sia_workers_env_exits_2() {
+    let spec = write_spec("envw_spec.jsonl", SMOKE_SPEC);
+    let err = expect_usage_error(&[spec.to_str().unwrap()], &[("SIA_WORKERS", "lots")]);
+    assert!(
+        err.contains("SIA_WORKERS must be a positive integer"),
+        "{err}"
+    );
+    let err = expect_usage_error(&[spec.to_str().unwrap()], &[("SIA_WORKERS", "0")]);
+    assert!(
+        err.contains("SIA_WORKERS must be a positive integer"),
+        "{err}"
+    );
+    let _ = std::fs::remove_file(&spec);
+}
+
+#[test]
+fn bad_cli_args_exit_2() {
+    let spec = write_spec("args_spec.jsonl", SMOKE_SPEC);
+    let err = expect_usage_error(&[spec.to_str().unwrap(), "--workers", "zero"], &[]);
+    assert!(
+        err.contains("--workers must be a positive integer"),
+        "{err}"
+    );
+    let err = expect_usage_error(&[spec.to_str().unwrap(), "--frobnicate"], &[]);
+    assert!(err.contains("unknown argument --frobnicate"), "{err}");
+    let _ = std::fs::remove_file(&spec);
+}

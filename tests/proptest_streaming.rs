@@ -1,0 +1,176 @@
+//! Property-based tests for the streaming estimators behind the fleet
+//! aggregation: Welford mean/variance and the P²/reservoir quantiles must
+//! agree with exact batch computation within tolerance, including on
+//! adversarial inputs (constants, sorted ramps, extreme magnitudes).
+
+use proptest::prelude::*;
+use sia::metrics::{bootstrap_ci_mean, MetricAgg, P2Quantile, Reservoir, Welford};
+
+/// Exact batch mean.
+fn batch_mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Exact unbiased batch variance.
+fn batch_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = batch_mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Exact linearly-interpolated quantile of a sorted copy.
+fn batch_quantile(xs: &[f64], q: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    sorted[lo] + (pos - lo as f64) * (sorted[hi] - sorted[lo])
+}
+
+/// Adversarial input families: uniform noise, constants, sorted ramps
+/// (ascending and descending), and mixed extreme magnitudes.
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    (0usize..5, proptest::collection::vec(-1e3f64..1e3, 2..200)).prop_map(|(family, base)| {
+        let n = base.len();
+        match family {
+            // Uniform noise.
+            0 => base,
+            // Constant stream (possibly huge magnitude).
+            1 => vec![base[0] * 1e9; n],
+            // Sorted ascending ramp.
+            2 => {
+                let mut v = base;
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v
+            }
+            // Sorted descending ramp.
+            3 => {
+                let mut v = base;
+                v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                v
+            }
+            // Mixed extreme magnitudes (±1e9 outliers among small values).
+            _ => base
+                .iter()
+                .enumerate()
+                .map(|(i, x)| match i % 3 {
+                    0 => x * 1e6,
+                    1 => *x,
+                    _ => -x * 1e6,
+                })
+                .collect(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Welford matches exact batch mean/variance to relative tolerance.
+    #[test]
+    fn welford_matches_batch(xs in arb_samples()) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let m = batch_mean(&xs);
+        let v = batch_variance(&xs);
+        let scale = xs.iter().fold(1.0f64, |a, x| a.max(x.abs()));
+        prop_assert!((w.mean() - m).abs() <= 1e-9 * scale,
+            "mean {} vs batch {m}", w.mean());
+        prop_assert!((w.variance() - v).abs() <= 1e-7 * scale * scale,
+            "variance {} vs batch {v}", w.variance());
+        prop_assert_eq!(w.count(), xs.len() as u64);
+    }
+
+    /// Merging split streams equals one stream (parallel-axis update).
+    #[test]
+    fn welford_merge_matches_single_stream(xs in arb_samples(), split in 0usize..200) {
+        let split = split.min(xs.len());
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (mut a, mut b) = (Welford::new(), Welford::new());
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        let scale = xs.iter().fold(1.0f64, |acc, x| acc.max(x.abs()));
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-9 * scale);
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-6 * scale * scale);
+        prop_assert_eq!(a.count(), whole.count());
+    }
+
+    /// P² stays within the sample range and lands near the exact batch
+    /// quantile. P² is an approximation: exact for n <= 5, then
+    /// marker-interpolated — accuracy improves with n and degrades on
+    /// multi-modal input, so the tolerance is a fraction of the observed
+    /// range that tightens as the stream grows. The hard invariant is
+    /// range containment; the tolerance catches gross estimator breakage
+    /// (e.g. markers collapsing to one end).
+    #[test]
+    fn p2_quantile_tracks_batch(xs in arb_samples(), q in prop_oneof![Just(0.5), Just(0.95)]) {
+        let mut p2 = P2Quantile::new(q);
+        for &x in &xs {
+            p2.push(x);
+        }
+        let est = p2.quantile().unwrap();
+        let exact = batch_quantile(&xs, q);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est >= lo && est <= hi, "estimate {est} outside [{lo}, {hi}]");
+        let range = (hi - lo).max(1e-12);
+        let frac = if xs.len() < 30 { 0.8 } else { 0.45 };
+        prop_assert!((est - exact).abs() <= frac * range + 1e-9,
+            "P²({q}) {est} too far from exact {exact} (n {}, range {range})", xs.len());
+    }
+
+    /// While the reservoir is exhaustive its quantiles are EXACT, and the
+    /// MetricAgg summary therefore matches batch order statistics. Fleet
+    /// cells with up to RESERVOIR_CAP runs report exact medians/p95s.
+    #[test]
+    fn exhaustive_reservoir_is_exact(xs in arb_samples()) {
+        let mut agg = MetricAgg::new();
+        for &x in &xs {
+            agg.push(x);
+        }
+        let s = agg.summary();
+        let scale = xs.iter().fold(1.0f64, |a, x| a.max(x.abs()));
+        prop_assert!((s.median - batch_quantile(&xs, 0.5)).abs() <= 1e-9 * scale);
+        prop_assert!((s.p95 - batch_quantile(&xs, 0.95)).abs() <= 1e-9 * scale);
+        prop_assert!((s.mean - batch_mean(&xs)).abs() <= 1e-9 * scale);
+        prop_assert!(s.ci95.0 <= s.mean + 1e-12 && s.mean <= s.ci95.1 + 1e-12);
+    }
+
+    /// Bootstrap CI brackets the sample mean and is deterministic in the
+    /// seed.
+    #[test]
+    fn bootstrap_ci_brackets_mean(xs in proptest::collection::vec(-100f64..100.0, 3..80), seed in 0u64..1_000_000_000) {
+        let (lo, hi) = bootstrap_ci_mean(&xs, 200, seed);
+        let m = batch_mean(&xs);
+        prop_assert!(lo <= m + 1e-9 && m <= hi + 1e-9, "[{lo}, {hi}] vs mean {m}");
+        prop_assert_eq!(bootstrap_ci_mean(&xs, 200, seed), (lo, hi));
+    }
+
+    /// Overflowing reservoir keeps exactly `cap` items, all from the
+    /// stream, and tracks the total seen.
+    #[test]
+    fn reservoir_overflow_is_sane(n in 10usize..500, seed in 0u64..1_000_000_000) {
+        let cap = 16;
+        let mut r = Reservoir::new(cap, seed);
+        for i in 0..n {
+            r.push(i as f64);
+        }
+        prop_assert_eq!(r.seen(), n as u64);
+        prop_assert_eq!(r.is_exhaustive(), n <= cap);
+        prop_assert_eq!(r.items().len(), n.min(cap));
+        prop_assert!(r.items().iter().all(|x| *x >= 0.0 && *x < n as f64));
+    }
+}
